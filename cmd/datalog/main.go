@@ -1,0 +1,197 @@
+// Command datalog is a Datalog workbench: it evaluates programs over
+// fact files, unfolds nonrecursive programs into unions of conjunctive
+// queries, classifies programs, and renders expansion trees.
+//
+// Usage:
+//
+//	datalog eval -program tc.dl -db graph.dl -goal p [-naive]
+//	datalog unfold -program nonrec.dl -goal q [-minimize]
+//	datalog classify -program prog.dl
+//	datalog trees -program tc.dl -goal p -depth 3 [-count 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/expansion"
+	"datalogeq/internal/nonrec"
+	"datalogeq/internal/parser"
+	"datalogeq/internal/ucq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "unfold":
+		err = cmdUnfold(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "trees":
+		err = cmdTrees(os.Args[2:])
+	case "repl":
+		err = cmdRepl(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datalog:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|trees|repl> [flags]
+  eval     -program FILE -db FILE -goal PRED [-naive]
+  unfold   -program FILE -goal PRED [-minimize]
+  classify -program FILE
+  trees    -program FILE -goal PRED [-depth N] [-count N] [-dot]
+  repl     interactive session`)
+	os.Exit(2)
+}
+
+func loadProgram(path string) (*ast.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parser.Program(string(src))
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	progPath := fs.String("program", "", "program file")
+	dbPath := fs.String("db", "", "facts file")
+	goal := fs.String("goal", "", "goal predicate")
+	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
+	fs.Parse(args)
+	if *progPath == "" || *dbPath == "" || *goal == "" {
+		return fmt.Errorf("eval needs -program, -db, and -goal")
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := database.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	rel, stats, err := eval.Goal(prog, db, *goal, eval.Options{Naive: *naive})
+	if err != nil {
+		return err
+	}
+	lines := make([]string, 0, rel.Len())
+	for _, t := range rel.Tuples() {
+		args := make([]ast.Term, len(t))
+		for i, c := range t {
+			args[i] = ast.C(c)
+		}
+		lines = append(lines, ast.Atom{Pred: *goal, Args: args}.String()+".")
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Fprintf(os.Stderr, "%% %d tuples, %d iterations, %d facts derived, %d rule firings\n",
+		rel.Len(), stats.Iterations, stats.Derived, stats.Firings)
+	return nil
+}
+
+func cmdUnfold(args []string) error {
+	fs := flag.NewFlagSet("unfold", flag.ExitOnError)
+	progPath := fs.String("program", "", "program file")
+	goal := fs.String("goal", "", "goal predicate")
+	minimize := fs.Bool("minimize", false, "minimize the resulting union")
+	fs.Parse(args)
+	if *progPath == "" || *goal == "" {
+		return fmt.Errorf("unfold needs -program and -goal")
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	u, err := nonrec.Unfold(prog, *goal)
+	if err != nil {
+		return err
+	}
+	if *minimize {
+		u = ucq.Minimize(u)
+	}
+	fmt.Print(u)
+	fmt.Fprintf(os.Stderr, "%% %d disjuncts, %d atoms total\n", u.Size(), u.TotalAtoms())
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	progPath := fs.String("program", "", "program file")
+	fs.Parse(args)
+	if *progPath == "" {
+		return fmt.Errorf("classify needs -program")
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rules:         %d\n", len(prog.Rules))
+	fmt.Printf("recursive:     %v\n", prog.IsRecursive())
+	fmt.Printf("linear:        %v\n", prog.IsLinear())
+	fmt.Printf("path-linear:   %v\n", prog.IsPathLinear())
+	fmt.Printf("max rule vars: %d\n", prog.MaxRuleVars())
+	fmt.Printf("varnum:        %d\n", prog.VarNum())
+	var idb, edb []string
+	for s := range prog.IDBPreds() {
+		idb = append(idb, s.String())
+	}
+	for s := range prog.EDBPreds() {
+		edb = append(edb, s.String())
+	}
+	sort.Strings(idb)
+	sort.Strings(edb)
+	fmt.Printf("IDB:           %v\n", idb)
+	fmt.Printf("EDB:           %v\n", edb)
+	return nil
+}
+
+func cmdTrees(args []string) error {
+	fs := flag.NewFlagSet("trees", flag.ExitOnError)
+	progPath := fs.String("program", "", "program file")
+	goal := fs.String("goal", "", "goal predicate")
+	depth := fs.Int("depth", 3, "maximum tree height")
+	count := fs.Int("count", 5, "maximum number of trees (0 = all)")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of ASCII")
+	fs.Parse(args)
+	if *progPath == "" || *goal == "" {
+		return fmt.Errorf("trees needs -program and -goal")
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	trees := expansion.Unfoldings(prog, *goal, *depth, *count)
+	for i, tr := range trees {
+		if *dot {
+			fmt.Print(tr.DOT(fmt.Sprintf("tree%d", i+1)))
+			continue
+		}
+		fmt.Printf("%% unfolding expansion tree %d (height %d)\n", i+1, tr.Depth())
+		fmt.Print(tr)
+		fmt.Printf("%% expansion: %s\n\n", tr.Query())
+	}
+	fmt.Fprintf(os.Stderr, "%% %d trees up to height %d\n", len(trees), *depth)
+	return nil
+}

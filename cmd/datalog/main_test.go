@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdEval(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).\n")
+	db := write(t, dir, "g.dl", "e(a, b). e(b, c).")
+	if err := cmdEval([]string{"-program", prog, "-db", db, "-goal", "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-naive"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-program", prog}); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := cmdEval([]string{"-program", prog, "-db", db, "-goal", "zzz"}); err == nil {
+		t.Error("unknown goal accepted")
+	}
+	bad := write(t, dir, "bad.dl", "p(X :- e(X).")
+	if err := cmdEval([]string{"-program", bad, "-db", db, "-goal", "p"}); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
+
+func TestCmdUnfold(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "nr.dl", `
+		q(X, Y) :- r(X, Z), r(Z, Y).
+		r(X, Y) :- e(X, Y).
+		r(X, Y) :- f(X, Y).
+	`)
+	if err := cmdUnfold([]string{"-program", prog, "-goal", "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdUnfold([]string{"-program", prog, "-goal", "q", "-minimize"}); err != nil {
+		t.Fatal(err)
+	}
+	rec := write(t, dir, "rec.dl", "p(X) :- p(X).\np(X) :- e(X).\n")
+	if err := cmdUnfold([]string{"-program", rec, "-goal", "p"}); err == nil {
+		t.Error("recursive program accepted by unfold")
+	}
+}
+
+func TestCmdClassifyAndTrees(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- b(X, Y).\n")
+	if err := cmdClassify([]string{"-program", prog}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrees([]string{"-program", prog, "-goal", "p", "-depth", "3", "-count", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdClassify([]string{"-program", filepath.Join(dir, "missing.dl")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdTreesDOT(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- b(X, Y).\n")
+	if err := cmdTrees([]string{"-program", prog, "-goal", "p", "-depth", "2", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+}

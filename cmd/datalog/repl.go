@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/parser"
+)
+
+// cmdRepl runs the interactive session: rules and facts accumulate,
+// "?- body." queries evaluate against the current program.
+func cmdRepl(args []string) error {
+	fmt.Println("datalog repl — enter rules/facts, '?- body.' to query, :help for commands")
+	s := newSession()
+	return s.loop(os.Stdin, os.Stdout)
+}
+
+// session holds the REPL state.
+type session struct {
+	prog  *ast.Program
+	facts *database.DB
+	qn    int
+}
+
+func newSession() *session {
+	return &session{prog: &ast.Program{}, facts: database.New()}
+}
+
+// loop reads statements (possibly spanning lines, terminated by '.') or
+// :commands (one per line) and writes responses.
+func (s *session) loop(in io.Reader, out io.Writer) error {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(out, "> ")
+		} else {
+			fmt.Fprint(out, "| ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+			quit, msg := s.command(trimmed)
+			if msg != "" {
+				fmt.Fprintln(out, msg)
+			}
+			if quit {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !statementComplete(buf.String()) {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		if msg := s.statement(stmt); msg != "" {
+			fmt.Fprintln(out, msg)
+		}
+		prompt()
+	}
+	return scanner.Err()
+}
+
+// statementComplete reports whether the buffered text ends with a
+// period outside quotes and comments.
+func statementComplete(text string) bool {
+	inQuote := false
+	lastMeaningful := byte(0)
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case inQuote:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inQuote = false
+			}
+		case c == '\'':
+			inQuote = true
+		case c == '%':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		if !inQuote && c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			lastMeaningful = c
+		}
+	}
+	return lastMeaningful == '.'
+}
+
+// command handles a :directive; it returns (quit, message).
+func (s *session) command(line string) (bool, string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":quit", ":q", ":exit":
+		return true, "bye"
+	case ":help", ":h":
+		return false, strings.TrimSpace(`
+commands:
+  p(X, Y) :- e(X, Z), p(Z, Y).   add a rule
+  e(a, b).                       add a fact
+  ?- p(a, X).                    query
+  :list                          show rules and facts
+  :classify                      program properties
+  :load FILE                     load rules/facts from a file
+  :clear                         reset the session
+  :quit                          leave`)
+	case ":list":
+		var b strings.Builder
+		b.WriteString(s.prog.String())
+		b.WriteString(s.facts.String())
+		return false, strings.TrimRight(b.String(), "\n")
+	case ":clear":
+		s.prog = &ast.Program{}
+		s.facts = database.New()
+		return false, "cleared"
+	case ":classify":
+		var b strings.Builder
+		fmt.Fprintf(&b, "rules: %d, facts: %d\n", len(s.prog.Rules), s.facts.FactCount())
+		fmt.Fprintf(&b, "recursive: %v, linear: %v, path-linear: %v",
+			s.prog.IsRecursive(), s.prog.IsLinear(), s.prog.IsPathLinear())
+		return false, b.String()
+	case ":load":
+		if len(fields) != 2 {
+			return false, "usage: :load FILE"
+		}
+		src, err := os.ReadFile(fields[1])
+		if err != nil {
+			return false, "error: " + err.Error()
+		}
+		if msg := s.statement(string(src)); msg != "" {
+			return false, msg
+		}
+		return false, "loaded " + fields[1]
+	default:
+		return false, "unknown command " + fields[0] + " (:help for help)"
+	}
+}
+
+// statement handles one or more rules/facts, or a query.
+func (s *session) statement(text string) string {
+	trimmed := strings.TrimSpace(text)
+	if strings.HasPrefix(trimmed, "?-") {
+		return s.query(strings.TrimSuffix(strings.TrimSpace(trimmed[2:]), "."))
+	}
+	prog, err := parser.Program(text)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	// Validate the combined program (and fact arities) before mutating
+	// any session state, so a bad statement leaves the session intact.
+	candidate := s.prog.Clone()
+	var newFacts []ast.Atom
+	for _, r := range prog.Rules {
+		if r.IsFact() {
+			newFacts = append(newFacts, r.Head)
+			// Represent the fact as a rule for arity validation.
+			candidate.Rules = append(candidate.Rules, ast.Rule{Head: r.Head})
+			continue
+		}
+		candidate.Rules = append(candidate.Rules, r)
+	}
+	for _, a := range newFacts {
+		if rel := s.facts.Lookup(a.Pred); rel != nil && rel.Arity() != len(a.Args) {
+			return fmt.Sprintf("error: fact %s clashes with existing arity %d", a, rel.Arity())
+		}
+	}
+	if err := candidate.Validate(); err != nil {
+		return "error: " + err.Error()
+	}
+	for _, r := range prog.Rules {
+		if !r.IsFact() {
+			s.prog.Rules = append(s.prog.Rules, r)
+		}
+	}
+	for _, a := range newFacts {
+		if err := s.facts.AddAtom(a); err != nil {
+			return "error: " + err.Error()
+		}
+	}
+	return fmt.Sprintf("ok (%d statements)", len(prog.Rules))
+}
+
+// query evaluates "?- body" by compiling the body into a fresh query
+// rule whose head carries the body's variables.
+func (s *session) query(body string) string {
+	atoms, err := parser.AtomList(body)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	if len(atoms) == 0 {
+		return "error: empty query"
+	}
+	s.qn++
+	headPred := fmt.Sprintf("˂query%d", s.qn)
+	vars := ast.VarsOfAtoms(atoms)
+	args := make([]ast.Term, len(vars))
+	for i, v := range vars {
+		args[i] = ast.V(v)
+	}
+	q := cq.CQ{Head: ast.Atom{Pred: headPred, Args: args}, Body: atoms}
+	prog := s.prog.Clone()
+	prog.Rules = append(prog.Rules, ast.Rule{Head: q.Head, Body: q.Body})
+	rel, _, err := eval.Goal(prog, s.facts, headPred, eval.Options{})
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	if len(vars) == 0 {
+		if rel.Len() > 0 {
+			return "true"
+		}
+		return "false"
+	}
+	if rel.Len() == 0 {
+		return "no answers"
+	}
+	var lines []string
+	for _, t := range rel.Tuples() {
+		parts := make([]string, len(vars))
+		for i, v := range vars {
+			parts[i] = fmt.Sprintf("%s = %s", v, t[i])
+		}
+		lines = append(lines, "  "+strings.Join(parts, ", "))
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("%d answers:\n%s", rel.Len(), strings.Join(lines, "\n"))
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplSession(t *testing.T) {
+	s := newSession()
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"p(X, Y) :- e(X, Z), p(Z, Y).", "ok"},
+		{"p(X, Y) :- e(X, Y).", "ok"},
+		{"e(a, b). e(b, c).", "ok (2 statements)"},
+		{"?- p(a, X).", "X = b"},
+		{"?- p(c, X).", "no answers"},
+		{"?- p(a, c).", "true"},
+		{"?- p(c, a).", "false"},
+		{"?- .", "error"},
+		{"p(X :- e(X).", "error"},
+	}
+	for _, c := range cases {
+		got := s.statement(c.in)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("statement(%q) = %q, want substring %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReplRejectsInvalidWithoutMutating(t *testing.T) {
+	s := newSession()
+	s.statement("p(X) :- e(X).")
+	// Arity clash with the existing p/1.
+	got := s.statement("p(X, Y) :- e(X).")
+	if !strings.Contains(got, "error") {
+		t.Fatalf("arity clash accepted: %q", got)
+	}
+	if len(s.prog.Rules) != 1 {
+		t.Errorf("session mutated by bad statement: %d rules", len(s.prog.Rules))
+	}
+	// Fact arity clash.
+	s.statement("e(a).")
+	got = s.statement("e(a, b).")
+	if !strings.Contains(got, "error") {
+		t.Errorf("fact arity clash accepted: %q", got)
+	}
+}
+
+func TestReplCommands(t *testing.T) {
+	s := newSession()
+	s.statement("e(a, b).")
+	s.statement("p(X) :- e(X, Y).")
+	if quit, msg := s.command(":list"); quit || !strings.Contains(msg, "e(a, b).") {
+		t.Errorf(":list = %q", msg)
+	}
+	if quit, msg := s.command(":classify"); quit || !strings.Contains(msg, "recursive: false") {
+		t.Errorf(":classify = %q", msg)
+	}
+	if quit, _ := s.command(":quit"); !quit {
+		t.Error(":quit should quit")
+	}
+	if _, msg := s.command(":nonsense"); !strings.Contains(msg, "unknown") {
+		t.Errorf("unknown command: %q", msg)
+	}
+	if quit, msg := s.command(":clear"); quit || msg != "cleared" {
+		t.Errorf(":clear = %q", msg)
+	}
+	if len(s.prog.Rules) != 0 || s.facts.FactCount() != 0 {
+		t.Error(":clear did not reset")
+	}
+}
+
+func TestReplLoop(t *testing.T) {
+	in := strings.NewReader(`
+p(X, Y) :-
+  e(X, Z),
+  p(Z, Y).
+p(X, Y) :- e(X, Y).
+e(a, b). e(b, c).
+?- p(a, X).
+:quit
+`)
+	var out strings.Builder
+	s := newSession()
+	if err := s.loop(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"X = c", "bye"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("loop output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStatementComplete(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"p(X).", true},
+		{"p(X)", false},
+		{"p(X). % trailing comment", true}, // comments do not affect completeness
+		{"p(X).\n% comment\n", true},
+		{"p('dot . inside')", false},
+		{"p('dot . inside').", true},
+		{"p(X) :- \n", false},
+	}
+	for _, c := range cases {
+		if got := statementComplete(c.in); got != c.want {
+			t.Errorf("statementComplete(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Command equiv decides containment and equivalence of recursive and
+// nonrecursive Datalog programs — the decision procedures of Chaudhuri
+// & Vardi (JCSS 1997).
+//
+// Usage:
+//
+//	equiv contain -program tc.dl -goal p -queries qs.dl [-linear]
+//	equiv nonrec  -program rec.dl -nonrec nr.dl -goal p
+//
+// "contain" decides Π ⊆ Θ for a union of conjunctive queries given as
+// Datalog rules with the goal predicate in their heads. "nonrec"
+// decides full equivalence of a recursive and a nonrecursive program.
+// Exit status: 0 = contained/equivalent, 1 = not, 2 = error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/core"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/nonrec"
+	"datalogeq/internal/parser"
+	"datalogeq/internal/ucq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var (
+		verdict bool
+		err     error
+	)
+	switch os.Args[1] {
+	case "contain":
+		verdict, err = cmdContain(os.Args[2:])
+	case "nonrec":
+		verdict, err = cmdNonrec(os.Args[2:])
+	case "ucq":
+		verdict, err = cmdUCQ(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "equiv:", err)
+		os.Exit(2)
+	}
+	if !verdict {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: equiv <contain|nonrec> [flags]
+  contain -program FILE -goal PRED -queries FILE [-linear] [-max-states N]
+  nonrec  -program FILE -nonrec FILE -goal PRED [-max-states N]
+  ucq     -left FILE -right FILE -goal PRED  (UCQ vs UCQ equivalence)`)
+	os.Exit(2)
+}
+
+func loadProgram(path string) (*ast.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parser.Program(string(src))
+}
+
+// loadUCQ reads a union of conjunctive queries written as Datalog rules
+// whose heads share the goal predicate.
+func loadUCQ(path, goal string) (ucq.UCQ, error) {
+	prog, err := loadProgram(path)
+	if err != nil {
+		return ucq.UCQ{}, err
+	}
+	var ds []cq.CQ
+	for _, r := range prog.Rules {
+		if r.Head.Pred != goal {
+			return ucq.UCQ{}, fmt.Errorf("query head %s does not match goal %q", r.Head, goal)
+		}
+		ds = append(ds, cq.CQ{Head: r.Head, Body: r.Body})
+	}
+	u := ucq.New(ds...)
+	return u, u.Validate()
+}
+
+func cmdContain(args []string) (bool, error) {
+	fs := flag.NewFlagSet("contain", flag.ExitOnError)
+	progPath := fs.String("program", "", "recursive program file")
+	goal := fs.String("goal", "", "goal predicate")
+	queriesPath := fs.String("queries", "", "union of conjunctive queries (as rules)")
+	linear := fs.Bool("linear", false, "use the word-automaton procedure (path-linear programs)")
+	maxStates := fs.Int("max-states", 0, "abort if an automaton exceeds this many states")
+	fs.Parse(args)
+	if *progPath == "" || *goal == "" || *queriesPath == "" {
+		return false, fmt.Errorf("contain needs -program, -goal, and -queries")
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return false, err
+	}
+	q, err := loadUCQ(*queriesPath, *goal)
+	if err != nil {
+		return false, err
+	}
+	opts := core.Options{MaxStates: *maxStates}
+	var res core.Result
+	if *linear {
+		if !prog.IsPathLinear() {
+			inlined, err := nonrec.InlineNonrecursive(prog, *goal)
+			if err != nil {
+				return false, err
+			}
+			prog = inlined
+		}
+		res, err = core.ContainsUCQLinear(prog, *goal, q, opts)
+	} else {
+		res, err = core.ContainsUCQ(prog, *goal, q, opts)
+	}
+	if err != nil {
+		return false, err
+	}
+	report(res)
+	return res.Contained, nil
+}
+
+func report(res core.Result) {
+	fmt.Fprintf(os.Stderr, "%% alphabet %d letters, A^ptrees %d states, A^theta %d states\n",
+		res.Stats.Letters, res.Stats.PtreeStates, res.Stats.ThetaStates)
+	if res.Contained {
+		fmt.Println("CONTAINED")
+		return
+	}
+	fmt.Println("NOT CONTAINED")
+	fmt.Println("% counterexample proof tree:")
+	fmt.Print(res.Witness.Tree)
+	fmt.Printf("%% counterexample expansion: %s\n", res.Witness.Query)
+	db, head := res.Witness.Query.CanonicalDB()
+	fmt.Println("% separating database:")
+	fmt.Println(db)
+	fmt.Printf("%% separating tuple: %v\n", head)
+}
+
+// cmdUCQ decides equivalence of two unions of conjunctive queries via
+// Sagiv-Yannakakis containment.
+func cmdUCQ(args []string) (bool, error) {
+	fs := flag.NewFlagSet("ucq", flag.ExitOnError)
+	leftPath := fs.String("left", "", "first UCQ file (rules)")
+	rightPath := fs.String("right", "", "second UCQ file (rules)")
+	goal := fs.String("goal", "", "goal predicate")
+	fs.Parse(args)
+	if *leftPath == "" || *rightPath == "" || *goal == "" {
+		return false, fmt.Errorf("ucq needs -left, -right, and -goal")
+	}
+	left, err := loadUCQ(*leftPath, *goal)
+	if err != nil {
+		return false, err
+	}
+	right, err := loadUCQ(*rightPath, *goal)
+	if err != nil {
+		return false, err
+	}
+	lr := ucq.ContainedInUCQ(left, right)
+	rl := ucq.ContainedInUCQ(right, left)
+	fmt.Fprintf(os.Stderr, "%% left ⊆ right: %v; right ⊆ left: %v\n", lr, rl)
+	if lr && rl {
+		fmt.Println("EQUIVALENT")
+		min := ucq.Minimize(left)
+		fmt.Printf("%% canonical minimal form (%d disjuncts):\n", min.Size())
+		fmt.Print(min)
+		return true, nil
+	}
+	fmt.Println("NOT EQUIVALENT")
+	return false, nil
+}
+
+func cmdNonrec(args []string) (bool, error) {
+	fs := flag.NewFlagSet("nonrec", flag.ExitOnError)
+	progPath := fs.String("program", "", "recursive program file")
+	nrPath := fs.String("nonrec", "", "nonrecursive program file")
+	goal := fs.String("goal", "", "goal predicate")
+	maxStates := fs.Int("max-states", 0, "abort if an automaton exceeds this many states")
+	fs.Parse(args)
+	if *progPath == "" || *nrPath == "" || *goal == "" {
+		return false, fmt.Errorf("nonrec needs -program, -nonrec, and -goal")
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return false, err
+	}
+	nr, err := loadProgram(*nrPath)
+	if err != nil {
+		return false, err
+	}
+	res, err := core.EquivalentToNonrecursive(prog, *goal, nr, core.Options{MaxStates: *maxStates})
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(os.Stderr, "%% nonrecursive program unfolds to %d disjuncts\n", res.UnfoldedDisjuncts)
+	fmt.Fprintf(os.Stderr, "%% alphabet %d letters, A^ptrees %d states, A^theta %d states\n",
+		res.Stats.Letters, res.Stats.PtreeStates, res.Stats.ThetaStates)
+	if res.Equivalent {
+		fmt.Println("EQUIVALENT")
+		return true, nil
+	}
+	fmt.Printf("NOT EQUIVALENT (%s)\n", res.Failure)
+	if res.Witness != nil {
+		fmt.Println("% counterexample proof tree:")
+		fmt.Print(res.Witness.Tree)
+		fmt.Printf("%% counterexample expansion: %s\n", res.Witness.Query)
+	}
+	if res.FailingCQ != nil {
+		fmt.Printf("%% nonrecursive disjunct not contained in the recursive program: %s\n", res.FailingCQ)
+	}
+	fmt.Println("% separating database:")
+	fmt.Println(res.SeparatingDB)
+	fmt.Printf("%% separating tuple: %v\n", res.SeparatingTuple)
+	return false, nil
+}

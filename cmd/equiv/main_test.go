@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tcSrc = "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- b(X, Y).\n"
+
+const paths2Src = "p(X, Y) :- b(X, Y).\np(X, Y) :- e(X, A), b(A, Y).\n"
+
+func TestCmdContain(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", tcSrc)
+	qs := write(t, dir, "q.dl", paths2Src)
+	ok, err := cmdContain([]string{"-program", prog, "-goal", "p", "-queries", qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("TC should not be contained in paths<=2")
+	}
+	// Word-automaton route agrees.
+	ok, err = cmdContain([]string{"-program", prog, "-goal", "p", "-queries", qs, "-linear"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("linear route disagrees")
+	}
+	// Mismatched query head.
+	bad := write(t, dir, "bad.dl", "q(X) :- e(X, X).\n")
+	if _, err := cmdContain([]string{"-program", prog, "-goal", "p", "-queries", bad}); err == nil {
+		t.Error("head mismatch accepted")
+	}
+	// The -linear flag inlines when needed: a linear but not
+	// path-linear program.
+	mixed := write(t, dir, "mixed.dl", `
+		p(X, Y) :- step(X, Z), p(Z, Y).
+		p(X, Y) :- b(X, Y).
+		step(X, Y) :- e(X, Y).
+	`)
+	ok, err = cmdContain([]string{"-program", mixed, "-goal", "p", "-queries", qs, "-linear"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("mixed program not contained in paths<=2")
+	}
+}
+
+func TestCmdNonrec(t *testing.T) {
+	dir := t.TempDir()
+	trendy := write(t, dir, "trendy.dl", "buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).\n")
+	trendyNR := write(t, dir, "trendy_nr.dl", "buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), likes(Z, Y).\n")
+	ok, err := cmdNonrec([]string{"-program", trendy, "-nonrec", trendyNR, "-goal", "buys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("trendy should be equivalent to its rewriting")
+	}
+	knows := write(t, dir, "knows.dl", "buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- knows(X, Z), buys(Z, Y).\n")
+	knowsNR := write(t, dir, "knows_nr.dl", "buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- knows(X, Z), likes(Z, Y).\n")
+	ok, err = cmdNonrec([]string{"-program", knows, "-nonrec", knowsNR, "-goal", "buys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("knows is inherently recursive")
+	}
+	// A recursive second program is rejected.
+	if _, err := cmdNonrec([]string{"-program", knows, "-nonrec", knows, "-goal", "buys"}); err == nil {
+		t.Error("recursive -nonrec accepted")
+	}
+}
+
+func TestCmdUCQ(t *testing.T) {
+	dir := t.TempDir()
+	left := write(t, dir, "l.dl", "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Y), e(X, Z).\n")
+	right := write(t, dir, "r.dl", "p(U, V) :- e(U, V).\n")
+	ok, err := cmdUCQ([]string{"-left", left, "-right", right, "-goal", "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("redundant-atom union should be equivalent to the single edge query")
+	}
+	other := write(t, dir, "o.dl", "p(X, Y) :- e(X, Z), e(Z, Y).\n")
+	ok, err = cmdUCQ([]string{"-left", left, "-right", other, "-goal", "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("edge query is not equivalent to path-2")
+	}
+	if _, err := cmdUCQ([]string{"-left", left, "-goal", "p"}); err == nil {
+		t.Error("missing flags accepted")
+	}
+}

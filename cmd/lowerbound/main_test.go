@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestDemoMachineAccepts(t *testing.T) {
+	m := demoMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Accepts(2) {
+		t.Error("demo machine should accept in space 2")
+	}
+}
+
+func TestCmdTable(t *testing.T) {
+	if err := cmdTable([]string{"-max-n", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdEmit(t *testing.T) {
+	if err := cmdEmit([]string{"-kind", "53", "-n", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEmit([]string{"-kind", "6", "-n", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEmit([]string{"-kind", "zz", "-n", "1"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCmdDemo(t *testing.T) {
+	if err := cmdDemo(); err != nil {
+		t.Fatal(err)
+	}
+}

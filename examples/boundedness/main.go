@@ -1,0 +1,50 @@
+// Boundedness: the paper distinguishes its decidable problem
+// (equivalence to a *given* nonrecursive program) from the undecidable
+// boundedness problem (does *some* equivalent nonrecursive program
+// exist [GMSV93]). The decision procedure of Theorem 5.12 still yields
+// a useful semi-procedure: search for a depth k at which the program is
+// contained in — and hence equivalent to — the union of its own
+// expansions of height <= k. This example runs that search on bounded
+// and unbounded programs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/core"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+)
+
+func main() {
+	probe("Π₁ of Example 1.1 (trendy)", gen.Example11Trendy(), "buys", 4)
+	fmt.Println()
+
+	// A doubly-guarded variant: recursion that stalls after one step
+	// because the recursive call reuses the same guard.
+	bounded := parser.MustProgram(`
+		reach(X, Y) :- direct(X, Y).
+		reach(X, Y) :- hub(X), hub(Z), reach(Z, Y).
+	`)
+	probe("hub-guarded reachability", bounded, "reach", 4)
+	fmt.Println()
+
+	probe("transitive closure (inherently recursive)", gen.TransitiveClosure(), "p", 4)
+}
+
+func probe(name string, prog *ast.Program, goal string, maxDepth int) {
+	fmt.Printf("=== %s ===\n", name)
+	fmt.Print(prog)
+	u, k, ok, err := core.BoundedRewriting(prog, goal, maxDepth, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		fmt.Printf("no nonrecursive equivalent among expansion unions of height <= %d\n", maxDepth)
+		return
+	}
+	fmt.Printf("bounded at height %d; equivalent union of %d conjunctive queries:\n", k, u.Size())
+	fmt.Print(u)
+}

@@ -1,0 +1,93 @@
+// Lowerbound: walks through the §5.3 reduction that proves containment
+// of linear Datalog programs in unions of conjunctive queries
+// EXPSPACE-hard. A Turing machine is compiled into a program Π whose
+// expansions spell candidate computations and a union Θ of error
+// queries; Π ⊆ Θ exactly when the machine does not accept. The example
+// builds both directions' evidence at the database level.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datalogeq/internal/eval"
+	"datalogeq/internal/expansion"
+	"datalogeq/internal/tm"
+)
+
+func main() {
+	accepting := &tm.Machine{
+		States:      []string{"s0", "s1", "qa"},
+		TapeSymbols: []string{"_", "1"},
+		Blank:       "_",
+		Start:       "s0",
+		Accept:      []string{"qa"},
+		Transitions: []tm.Transition{
+			{State: "s0", Read: "_", Write: "1", Move: tm.Right, NewState: "s1"},
+			{State: "s1", Read: "_", Write: "_", Move: tm.Stay, NewState: "qa"},
+		},
+	}
+	rejecting := &tm.Machine{
+		States:      []string{"s0", "qa"},
+		TapeSymbols: []string{"_"},
+		Blank:       "_",
+		Start:       "s0",
+		Accept:      []string{"qa"},
+		Transitions: []tm.Transition{
+			{State: "s0", Read: "_", Write: "_", Move: tm.Right, NewState: "s0"},
+		},
+	}
+
+	const n = 1
+	fmt.Printf("Address width n = %d (configurations of 2^%d cells).\n\n", n, n)
+
+	// Accepting machine: the computation database separates Π from Θ.
+	e, err := tm.Encode53(accepting, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := e.Stats()
+	fmt.Printf("Accepting machine: Π has %d rules, Θ has %d error queries.\n", s.Rules, s.ErrorQueries)
+	run, _ := accepting.AcceptingRun(1 << n)
+	fmt.Printf("Accepting run (%d configurations):\n", len(run))
+	for _, c := range run {
+		fmt.Printf("  %s\n", c)
+	}
+	db, err := e.ComputationDB(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, _, err := eval.Goal(e.Program, db, tm.Goal, eval.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	caught, err := e.Errors.Holds(db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("On the computation database: Π derives C = %v, Θ fires = %v\n", rel.Len() > 0, caught)
+	fmt.Println("=> Π ⊄ Θ, witnessing that M accepts.")
+	fmt.Println()
+
+	// Rejecting machine: every (sampled) expansion of Π is caught by Θ.
+	e2, err := tm.Encode53(rejecting, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Rejecting machine: Π has %d rules, Θ has %d error queries.\n",
+		e2.Stats().Rules, e2.Stats().ErrorQueries)
+	queries := expansion.Expansions(e2.Program, tm.Goal, 6, 25)
+	all := true
+	for _, q := range queries {
+		cdb, head := q.CanonicalDB()
+		ok, err := e2.Errors.Holds(cdb, head)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			all = false
+		}
+	}
+	fmt.Printf("Sampled %d expansions of Π; every one caught by an error query: %v\n", len(queries), all)
+	fmt.Println("=> consistent with Π ⊆ Θ, witnessing that M rejects.")
+}

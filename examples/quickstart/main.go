@@ -1,0 +1,62 @@
+// Quickstart: parse a recursive Datalog program, evaluate it, and
+// decide containment in a union of conjunctive queries — the core
+// workflow of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datalogeq/internal/core"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+)
+
+func main() {
+	// The transitive-closure program of the paper's Example 2.5:
+	// e-steps terminated by a b-edge.
+	prog := parser.MustProgram(`
+		p(X, Y) :- e(X, Z), p(Z, Y).
+		p(X, Y) :- b(X, Y).
+	`)
+
+	// Evaluate it over a small graph.
+	db := database.MustParse(`
+		e(paris, lyon). e(lyon, nice).
+		b(nice, rome).
+	`)
+	rel, _, err := eval.Goal(prog, db, "p", eval.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("p(X, Y) over the database:")
+	for _, t := range rel.Tuples() {
+		fmt.Printf("  p(%s, %s)\n", t[0], t[1])
+	}
+
+	// Is the program contained in "paths of length at most 3"?
+	// The decision procedure of Theorem 5.12 says no and produces a
+	// counterexample expansion.
+	q := gen.TCPathsUCQ(3)
+	res, err := core.ContainsUCQ(prog, "p", q, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontained in paths of length <= 3? %v\n", res.Contained)
+	if !res.Contained {
+		fmt.Println("counterexample expansion:")
+		fmt.Printf("  %s\n", res.Witness.Query)
+	}
+
+	// Paths of length at most 4 still do not suffice — transitive
+	// closure is inherently recursive.
+	q4 := gen.TCPathsUCQ(4)
+	res4, err := core.ContainsUCQ(prog, "p", q4, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contained in paths of length <= 4? %v (witness height %d)\n",
+		res4.Contained, res4.Witness.Tree.Depth())
+}

@@ -1,0 +1,3 @@
+module datalogeq
+
+go 1.22

@@ -1,0 +1,291 @@
+package ast
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func tc() *Program {
+	return NewProgram(
+		NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"), V("Z")), NewAtom("p", V("Z"), V("Y"))),
+		NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"), V("Y"))),
+	)
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{V("X"), "X"},
+		{C("a"), "a"},
+		{C("42"), "42"},
+		{C("Upper"), "'Upper'"},
+		{C("has space"), "'has space'"},
+		{C(""), "''"},
+		{C("it's"), `'it\'s'`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestSubstitution(t *testing.T) {
+	s := Substitution{"X": C("a"), "Y": V("Z")}
+	if got := s.Apply(V("X")); got != C("a") {
+		t.Errorf("Apply(X) = %v", got)
+	}
+	if got := s.Apply(V("W")); got != V("W") {
+		t.Errorf("Apply(W) = %v, want W unchanged", got)
+	}
+	if got := s.Apply(C("X")); got != C("X") {
+		t.Errorf("Apply(const X) = %v, want constant unchanged", got)
+	}
+	t2 := Substitution{"Z": C("b")}
+	comp := s.Compose(t2)
+	if comp.Apply(V("Y")) != C("b") {
+		t.Errorf("Compose: Y should map to b, got %v", comp.Apply(V("Y")))
+	}
+	if comp.Apply(V("Z")) != C("b") {
+		t.Errorf("Compose: Z should map to b, got %v", comp.Apply(V("Z")))
+	}
+	if s.String() != "{X->a, Y->Z}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("p", V("X"), C("a"), V("X"))
+	if a.String() != "p(X, a, X)" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.Sym() != (PredSym{Name: "p", Arity: 3}) {
+		t.Errorf("Sym = %v", a.Sym())
+	}
+	if a.IsGround() {
+		t.Error("IsGround should be false")
+	}
+	if !NewAtom("q", C("a")).IsGround() {
+		t.Error("q(a) should be ground")
+	}
+	vars := a.Vars(nil)
+	if len(vars) != 1 || vars[0] != "X" {
+		t.Errorf("Vars = %v", vars)
+	}
+	b := a.Apply(Substitution{"X": C("c")})
+	if b.String() != "p(c, a, c)" {
+		t.Errorf("Apply = %q", b.String())
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone should be equal")
+	}
+	if a.Equal(b) {
+		t.Error("distinct atoms equal")
+	}
+	if a.Key() == b.Key() {
+		t.Error("distinct atoms share a key")
+	}
+	// Keys distinguish variables from equally named constants.
+	if NewAtom("p", V("a")).Key() == NewAtom("p", C("a")).Key() {
+		t.Error("var/const key collision")
+	}
+}
+
+func TestRuleBasics(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"), V("Z")), NewAtom("p", V("Z"), V("Y")))
+	if r.String() != "p(X, Y) :- e(X, Z), p(Z, Y)." {
+		t.Errorf("String = %q", r.String())
+	}
+	if got := r.Vars(); strings.Join(got, ",") != "X,Y,Z" {
+		t.Errorf("Vars = %v", got)
+	}
+	if !r.IsSafe() {
+		t.Error("rule should be safe")
+	}
+	unsafe := NewRule(NewAtom("p", V("X"), V("W")), NewAtom("e", V("X"), V("Z")))
+	if unsafe.IsSafe() {
+		t.Error("rule with free head var should be unsafe")
+	}
+	empty := NewRule(NewAtom("p", V("X"), V("X")))
+	if empty.String() != "p(X, X)." {
+		t.Errorf("empty body String = %q", empty.String())
+	}
+	if empty.IsSafe() {
+		t.Error("empty-body rule with head vars is unsafe")
+	}
+	if !NewRule(NewAtom("q", C("a"))).IsFact() {
+		t.Error("ground bodiless rule should be a fact")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"), V("Y")))
+	g := NewFreshVarGen("V", "X", "Y")
+	r2 := r.RenameApart(func(string) string { return g.Fresh() })
+	if r2.String() == r.String() {
+		t.Error("rename-apart should change variables")
+	}
+	vars := r2.Vars()
+	if len(vars) != 2 || vars[0] == vars[1] {
+		t.Errorf("distinct variables must stay distinct: %v", vars)
+	}
+}
+
+func TestFreshVarGen(t *testing.T) {
+	g := NewFreshVarGen("V", "V1", "V3")
+	got := []string{g.Fresh(), g.Fresh(), g.Fresh()}
+	want := []string{"V2", "V4", "V5"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Fresh[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProgramClassification(t *testing.T) {
+	p := tc()
+	if !p.IsRecursive() {
+		t.Error("transitive closure is recursive")
+	}
+	if !p.IsLinear() {
+		t.Error("transitive closure is linear")
+	}
+	if !p.IsPathLinear() {
+		t.Error("transitive closure is path-linear")
+	}
+	idb := p.IDBPreds()
+	if !idb[PredSym{"p", 2}] || len(idb) != 1 {
+		t.Errorf("IDBPreds = %v", idb)
+	}
+	edb := p.EDBPreds()
+	if !edb[PredSym{"e", 2}] || len(edb) != 1 {
+		t.Errorf("EDBPreds = %v", edb)
+	}
+
+	nonrec := NewProgram(
+		NewRule(NewAtom("q", V("X")), NewAtom("r", V("X"))),
+		NewRule(NewAtom("r2", V("X")), NewAtom("q", V("X"))),
+	)
+	if nonrec.IsRecursive() {
+		t.Error("acyclic program reported recursive")
+	}
+
+	nonlinear := NewProgram(
+		NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("p", V("X"), V("Z")), NewAtom("p", V("Z"), V("Y"))),
+		NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"), V("Y"))),
+	)
+	if nonlinear.IsLinear() {
+		t.Error("doubled recursion reported linear")
+	}
+
+	// Mutual recursion.
+	mutual := NewProgram(
+		NewRule(NewAtom("a", V("X")), NewAtom("b", V("X"))),
+		NewRule(NewAtom("b", V("X")), NewAtom("a", V("X"))),
+	)
+	if !mutual.IsRecursive() {
+		t.Error("mutual recursion not detected")
+	}
+	rec := mutual.RecursivePreds()
+	if !rec[PredSym{"a", 1}] || !rec[PredSym{"b", 1}] {
+		t.Errorf("RecursivePreds = %v", rec)
+	}
+
+	// Linear but not path-linear: one recursive subgoal plus a
+	// nonrecursive IDB subgoal.
+	mixed := NewProgram(
+		NewRule(NewAtom("p", V("X")), NewAtom("p", V("X")), NewAtom("q", V("X"))),
+		NewRule(NewAtom("p", V("X")), NewAtom("e", V("X"))),
+		NewRule(NewAtom("q", V("X")), NewAtom("e", V("X"))),
+	)
+	if !mixed.IsLinear() {
+		t.Error("mixed should be linear (one recursive subgoal)")
+	}
+	if mixed.IsPathLinear() {
+		t.Error("mixed is not path-linear (two IDB subgoals)")
+	}
+}
+
+func TestSCCOrder(t *testing.T) {
+	p := NewProgram(
+		NewRule(NewAtom("top", V("X")), NewAtom("mid", V("X"))),
+		NewRule(NewAtom("mid", V("X")), NewAtom("bot", V("X"))),
+		NewRule(NewAtom("bot", V("X")), NewAtom("e", V("X"))),
+	)
+	sccs := p.SCCs()
+	pos := map[string]int{}
+	for i, comp := range sccs {
+		for _, s := range comp {
+			pos[s.Name] = i
+		}
+	}
+	if !(pos["e"] < pos["bot"] && pos["bot"] < pos["mid"] && pos["mid"] < pos["top"]) {
+		t.Errorf("SCC order wrong: %v", sccs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := tc()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+	bad := NewProgram(
+		NewRule(NewAtom("p", V("X")), NewAtom("e", V("X"))),
+		NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"))),
+	)
+	if err := bad.Validate(); err == nil {
+		t.Error("arity clash not detected")
+	}
+}
+
+func TestVarNum(t *testing.T) {
+	p := tc()
+	if p.MaxRuleVars() != 3 {
+		t.Errorf("MaxRuleVars = %d, want 3", p.MaxRuleVars())
+	}
+	if p.VarNum() != 6 {
+		t.Errorf("VarNum = %d, want 6", p.VarNum())
+	}
+}
+
+func TestGoalArity(t *testing.T) {
+	p := tc()
+	if p.GoalArity("p") != 2 {
+		t.Errorf("GoalArity(p) = %d", p.GoalArity("p"))
+	}
+	if p.GoalArity("e") != 2 {
+		t.Errorf("GoalArity(e) = %d", p.GoalArity("e"))
+	}
+	if p.GoalArity("nope") != -1 {
+		t.Errorf("GoalArity(nope) = %d", p.GoalArity("nope"))
+	}
+}
+
+func TestSortAtoms(t *testing.T) {
+	atoms := []Atom{NewAtom("z", V("X")), NewAtom("a", V("Y")), NewAtom("a", C("b"))}
+	SortAtoms(atoms)
+	var names []string
+	for _, a := range atoms {
+		names = append(names, a.Pred)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("not sorted: %v", atoms)
+	}
+}
+
+func TestIDBEDBAtomsOfRule(t *testing.T) {
+	p := tc()
+	isIDB := func(s PredSym) bool { return p.IsIDB(s) }
+	r := p.Rules[0]
+	idb, idx := r.IDBAtoms(isIDB)
+	if len(idb) != 1 || idb[0].Pred != "p" || idx[0] != 1 {
+		t.Errorf("IDBAtoms = %v at %v", idb, idx)
+	}
+	edb := r.EDBAtoms(isIDB)
+	if len(edb) != 1 || edb[0].Pred != "e" {
+		t.Errorf("EDBAtoms = %v", edb)
+	}
+}

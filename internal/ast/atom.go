@@ -1,0 +1,177 @@
+package ast
+
+import (
+	"sort"
+	"strings"
+)
+
+// PredSym identifies a predicate by name and arity. Two predicates with
+// the same name but different arities are distinct (and rejected by
+// Program.Validate, which enforces consistent arities per name).
+type PredSym struct {
+	Name  string
+	Arity int
+}
+
+// String renders the predicate symbol as name/arity.
+func (p PredSym) String() string {
+	return p.Name + "/" + itoa(p.Arity)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Atom is an atomic formula p(t1, ..., tk).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom constructs an atom.
+func NewAtom(pred string, args ...Term) Atom {
+	return Atom{Pred: pred, Args: args}
+}
+
+// Sym returns the predicate symbol of the atom.
+func (a Atom) Sym() PredSym { return PredSym{Name: a.Pred, Arity: len(a.Args)} }
+
+// Equal reports structural equality of two atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the atom.
+func (a Atom) Clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Apply returns the atom with substitution s applied to its arguments.
+func (a Atom) Apply(s Substitution) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.Apply(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Vars appends the names of variables occurring in a to dst, in order of
+// occurrence and without duplicates relative to dst, and returns dst.
+func (a Atom) Vars(dst []string) []string {
+	for _, t := range a.Args {
+		if t.Kind == Var && !containsStr(dst, t.Name) {
+			dst = append(dst, t.Name)
+		}
+	}
+	return dst
+}
+
+// HasVar reports whether variable v occurs in a.
+func (a Atom) HasVar(v string) bool {
+	for _, t := range a.Args {
+		if t.Kind == Var && t.Name == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.Kind == Var {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom in concrete syntax.
+func (a Atom) String() string {
+	var b strings.Builder
+	a.write(&b)
+	return b.String()
+}
+
+func (a Atom) write(b *strings.Builder) {
+	b.WriteString(a.Pred)
+	if len(a.Args) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+}
+
+// Key returns a canonical string key for the atom, usable as a map key.
+// Distinct atoms have distinct keys.
+func (a Atom) Key() string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	for _, t := range a.Args {
+		if t.Kind == Var {
+			b.WriteString("\x00v")
+		} else {
+			b.WriteString("\x00c")
+		}
+		b.WriteString(t.Name)
+	}
+	return b.String()
+}
+
+// SortAtoms sorts atoms by their canonical keys, in place.
+func SortAtoms(atoms []Atom) {
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Key() < atoms[j].Key() })
+}
+
+// VarsOfAtoms returns the variable names occurring in the given atoms, in
+// order of first occurrence.
+func VarsOfAtoms(atoms []Atom) []string {
+	var out []string
+	for _, a := range atoms {
+		out = a.Vars(out)
+	}
+	return out
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package ast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randTerm(rng *rand.Rand) Term {
+	if rng.Intn(2) == 0 {
+		return V(fmt.Sprintf("V%d", rng.Intn(5)))
+	}
+	return C(fmt.Sprintf("c%d", rng.Intn(5)))
+}
+
+func randSub(rng *rand.Rand) Substitution {
+	s := Substitution{}
+	for i := 0; i < rng.Intn(5); i++ {
+		s[fmt.Sprintf("V%d", rng.Intn(5))] = randTerm(rng)
+	}
+	return s
+}
+
+// Property: Compose is the sequential application law:
+// Compose(s, t).Apply(x) == t.Apply(s.Apply(x)) for every term x.
+func TestQuickComposeLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, u := randSub(rng), randSub(rng)
+		comp := s.Compose(u)
+		for i := 0; i < 5; i++ {
+			x := randTerm(rng)
+			if comp.Apply(x) != u.Apply(s.Apply(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: atom keys are injective — structurally different atoms get
+// different keys, identical atoms identical keys.
+func TestQuickAtomKeyInjective(t *testing.T) {
+	randAtom := func(rng *rand.Rand) Atom {
+		n := rng.Intn(4)
+		args := make([]Term, n)
+		for i := range args {
+			args[i] = randTerm(rng)
+		}
+		return Atom{Pred: fmt.Sprintf("p%d", rng.Intn(3)), Args: args}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randAtom(rng), randAtom(rng)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RenameApart with a fresh generator yields a rule with the
+// same shape (same key after renaming back is too strong; check shape:
+// same predicates, same arity, same variable-equality pattern).
+func TestQuickRenameApartPreservesShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		head := Atom{Pred: "h", Args: []Term{randTerm(rng), randTerm(rng)}}
+		body := []Atom{
+			{Pred: "b", Args: []Term{randTerm(rng), randTerm(rng)}},
+			{Pred: "b", Args: []Term{randTerm(rng)}},
+		}
+		// Fix arity clash in the random data.
+		body[1] = Atom{Pred: "b2", Args: body[1].Args}
+		r := Rule{Head: head, Body: body}
+		g := NewFreshVarGen("QQ", r.Vars()...)
+		r2 := r.RenameApart(func(string) string { return g.Fresh() })
+		if len(r2.Body) != len(r.Body) {
+			return false
+		}
+		// Variable-equality pattern: positions sharing a variable in r
+		// must share one in r2, and vice versa.
+		type pos struct{ atom, arg int }
+		collect := func(rr Rule) map[pos]string {
+			out := map[pos]string{}
+			for j, t := range rr.Head.Args {
+				if t.Kind == Var {
+					out[pos{-1, j}] = t.Name
+				}
+			}
+			for i, a := range rr.Body {
+				for j, t := range a.Args {
+					if t.Kind == Var {
+						out[pos{i, j}] = t.Name
+					}
+				}
+			}
+			return out
+		}
+		m1, m2 := collect(r), collect(r2)
+		if len(m1) != len(m2) {
+			return false
+		}
+		for p1, v1 := range m1 {
+			for p2, v2 := range m1 {
+				if (v1 == v2) != (m2[p1] == m2[p2]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnifyAtoms produces a unifier: both atoms resolve to the
+// same atom under the returned environment.
+func TestQuickUnifyAtomsCorrect(t *testing.T) {
+	randAtom := func(rng *rand.Rand) Atom {
+		args := make([]Term, 3)
+		for i := range args {
+			args[i] = randTerm(rng)
+		}
+		return Atom{Pred: "p", Args: args}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randAtom(rng), randAtom(rng)
+		env, ok := UnifyAtoms(a, b, Substitution{})
+		if !ok {
+			// Must be genuinely non-unifiable: some position has two
+			// distinct constants after full resolution; spot-check by
+			// trying the trivial case where both are ground and equal.
+			return !a.Equal(b)
+		}
+		return ResolveAtom(a, env).Equal(ResolveAtom(b, env))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

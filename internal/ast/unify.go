@@ -1,0 +1,59 @@
+package ast
+
+// Resolve chases variable bindings in env to a fixed point. Since
+// Datalog has no function symbols, terms are variables or constants and
+// resolution is a simple chain walk.
+func Resolve(t Term, env Substitution) Term {
+	for t.Kind == Var {
+		img, ok := env[t.Name]
+		if !ok || img == t {
+			return t
+		}
+		t = img
+	}
+	return t
+}
+
+// ResolveAtom applies env to every argument of a, chasing chains.
+func ResolveAtom(a Atom, env Substitution) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = Resolve(t, env)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ResolveRule applies env throughout r, chasing chains.
+func ResolveRule(r Rule, env Substitution) Rule {
+	body := make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		body[i] = ResolveAtom(a, env)
+	}
+	return Rule{Head: ResolveAtom(r.Head, env), Body: body}
+}
+
+// UnifyAtoms unifies two atoms under env and returns the extended
+// environment, or false if they do not unify. The input environment is
+// not modified.
+func UnifyAtoms(a, b Atom, env Substitution) (Substitution, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	out := env.Clone()
+	for i := range a.Args {
+		x := Resolve(a.Args[i], out)
+		y := Resolve(b.Args[i], out)
+		if x == y {
+			continue
+		}
+		switch {
+		case x.Kind == Var:
+			out[x.Name] = y
+		case y.Kind == Var:
+			out[y.Name] = x
+		default:
+			return nil, false // distinct constants
+		}
+	}
+	return out, true
+}

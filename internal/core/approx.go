@@ -1,0 +1,87 @@
+package core
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/expansion"
+)
+
+// Verdict is the outcome of an approximation procedure for an
+// undecidable (or out-of-reach) question.
+type Verdict int
+
+// Possible outcomes of approximate checks.
+const (
+	// Unknown means neither direction could be established.
+	Unknown Verdict = iota
+	// Yes means the property was established (soundly).
+	Yes
+	// No means a counterexample was found.
+	No
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Yes:
+		return "yes"
+	case No:
+		return "no"
+	}
+	return "unknown"
+}
+
+// ProgramContainmentApprox attacks the general containment question
+// Π₁ ⊆ Π₂ for two recursive programs — undecidable in general [Shm87],
+// which is exactly why the paper restricts one side to be nonrecursive.
+// The approximation combines two sound procedures:
+//
+//   - uniform containment (Sagiv): a sound "yes" — if every Π₁ rule is
+//     rederivable by Π₂, then Π₁ ⊆ Π₂ on every database;
+//   - bounded expansion search: a sound "no" — each unfolding expansion
+//     of Π₁ up to maxDepth is tested against Π₂ via its canonical
+//     database; a miss is a concrete separating database.
+//
+// When both are inconclusive the verdict is Unknown.
+func ProgramContainmentApprox(p1 *ast.Program, goal string, p2 *ast.Program, maxDepth int) (Verdict, *cq.CQ, error) {
+	if uniform, _, err := UniformlyContained(p1, p2, goal); err != nil {
+		return Unknown, nil, err
+	} else if uniform {
+		return Yes, nil, nil
+	}
+	queries := expansion.Expansions(p1, goal, maxDepth, 0)
+	for i := range queries {
+		q := queries[i]
+		ok, err := CQContainedInProgram(q, p2, goal)
+		if err != nil {
+			return Unknown, nil, err
+		}
+		if !ok {
+			return No, &queries[i], nil
+		}
+	}
+	return Unknown, nil, nil
+}
+
+// ProgramEquivalenceApprox runs ProgramContainmentApprox in both
+// directions: Yes means equivalence was established, No means a
+// separating expansion exists in the indicated direction.
+func ProgramEquivalenceApprox(p1 *ast.Program, p2 *ast.Program, goal string, maxDepth int) (Verdict, Direction, *cq.CQ, error) {
+	v12, w12, err := ProgramContainmentApprox(p1, goal, p2, maxDepth)
+	if err != nil {
+		return Unknown, BothDirections, nil, err
+	}
+	if v12 == No {
+		return No, RecursiveNotContained, w12, nil
+	}
+	v21, w21, err := ProgramContainmentApprox(p2, goal, p1, maxDepth)
+	if err != nil {
+		return Unknown, BothDirections, nil, err
+	}
+	if v21 == No {
+		return No, NonrecursiveNotContained, w21, nil
+	}
+	if v12 == Yes && v21 == Yes {
+		return Yes, BothDirections, nil, nil
+	}
+	return Unknown, BothDirections, nil, nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"datalogeq/internal/eval"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+)
+
+func TestProgramContainmentApproxYes(t *testing.T) {
+	// Subset of rules: uniformly contained.
+	sub := parser.MustProgram("p(X, Y) :- b(X, Y).")
+	v, _, err := ProgramContainmentApprox(sub, "p", gen.TransitiveClosure(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Yes {
+		t.Errorf("verdict = %v, want yes", v)
+	}
+}
+
+func TestProgramContainmentApproxNo(t *testing.T) {
+	// TC is not contained in its base rule: a depth-2 expansion
+	// separates.
+	base := parser.MustProgram("p(X, Y) :- b(X, Y).")
+	v, w, err := ProgramContainmentApprox(gen.TransitiveClosure(), "p", base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != No {
+		t.Fatalf("verdict = %v, want no", v)
+	}
+	// The witness expansion's canonical database separates.
+	db, head := w.CanonicalDB()
+	r1, _, err := eval.Goal(gen.TransitiveClosure(), db, "p", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := eval.Goal(base, db, "p", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Contains(head) || r2.Contains(head) {
+		t.Error("witness does not separate the programs")
+	}
+}
+
+func TestProgramContainmentApproxUnknown(t *testing.T) {
+	// Π₁ (trendy) is genuinely contained in its nonrecursive rewriting
+	// but not uniformly, and no bounded expansion refutes it: Unknown.
+	nr := gen.Example11TrendyNR()
+	v, _, err := ProgramContainmentApprox(gen.Example11Trendy(), "buys", nr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Unknown {
+		t.Errorf("verdict = %v, want unknown (the decidable procedure is ContainedInNonrecursive)", v)
+	}
+}
+
+func TestProgramEquivalenceApprox(t *testing.T) {
+	// Identical programs: equivalent via uniform containment.
+	v, dir, _, err := ProgramEquivalenceApprox(gen.TransitiveClosure(), gen.TransitiveClosure(), "p", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Yes || dir != BothDirections {
+		t.Errorf("self-equivalence: %v %v", v, dir)
+	}
+	// TC vs its base rule: refuted, direction recursive-not-contained.
+	base := parser.MustProgram("p(X, Y) :- b(X, Y).")
+	v, dir, w, err := ProgramEquivalenceApprox(gen.TransitiveClosure(), base, "p", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != No || dir != RecursiveNotContained || w == nil {
+		t.Errorf("got %v %v %v", v, dir, w)
+	}
+	if Unknown.String() != "unknown" || Yes.String() != "yes" || No.String() != "no" {
+		t.Error("Verdict.String broken")
+	}
+}

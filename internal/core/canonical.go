@@ -1,0 +1,65 @@
+package core
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/ucq"
+)
+
+// CQContainedInProgram decides whether the conjunctive query theta is
+// contained in the program with the given goal predicate — the converse
+// direction of the paper's problem, decidable by the classical
+// canonical-database argument [CK86, CLM81, Sa88b] cited in §1:
+// θ ⊆ Π iff evaluating Π on the canonical (frozen) database of θ
+// derives θ's frozen head tuple.
+func CQContainedInProgram(theta cq.CQ, prog *ast.Program, goal string) (bool, error) {
+	if theta.Head.Pred != goal {
+		return false, nil
+	}
+	db, head := theta.CanonicalDB()
+	rel, _, err := eval.Goal(prog, db, goal, eval.Options{})
+	if err != nil {
+		return false, err
+	}
+	return rel.Contains(head), nil
+}
+
+// UCQContainedInProgram decides Θ ⊆ Π disjunct-wise (Theorem 2.3 makes
+// per-disjunct checking exact when the left side is a union).
+func UCQContainedInProgram(q ucq.UCQ, prog *ast.Program, goal string) (bool, *cq.CQ, error) {
+	for i := range q.Disjuncts {
+		d := q.Disjuncts[i]
+		ok, err := CQContainedInProgram(d, prog, goal)
+		if err != nil {
+			return false, nil, err
+		}
+		if !ok {
+			return false, &d, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// CheckOnDB compares two programs on one concrete database, returning a
+// tuple in Q_{p1}(db) \ Q_{p2}(db) if any. It is not a decision
+// procedure (containment quantifies over all databases) but refutes
+// containment soundly; the decision procedures' witnesses are verified
+// through it.
+func CheckOnDB(p1 *ast.Program, p2 *ast.Program, goal string, db *database.DB) (database.Tuple, bool, error) {
+	r1, _, err := eval.Goal(p1, db, goal, eval.Options{})
+	if err != nil {
+		return nil, false, err
+	}
+	r2, _, err := eval.Goal(p2, db, goal, eval.Options{})
+	if err != nil {
+		return nil, false, err
+	}
+	for _, t := range r1.Tuples() {
+		if !r2.Contains(t) {
+			return t, true, nil
+		}
+	}
+	return nil, false, nil
+}

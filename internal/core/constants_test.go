@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"datalogeq/internal/parser"
+	"datalogeq/internal/ucq"
+)
+
+// Remark 5.14: constants in programs and queries, handled by extending
+// containment mappings so constants map to themselves.
+
+func TestConstantsInRuleHeads(t *testing.T) {
+	// The program can only ever derive p(a, X)-shaped facts through
+	// the recursive rule.
+	prog := parser.MustProgram(`
+		p(a, Y) :- e(Y), p(a, Y).
+		p(X, Y) :- b(X, Y).
+	`)
+	q := ucq.New(mkCQ(t, "p(X, Y) :- b(X, Y)."))
+	res, err := ContainsUCQ(prog, "p", q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Errorf("every expansion bottoms out in b; witness:\n%s", res.Witness.Tree)
+	}
+}
+
+func TestConstantHeadedDisjunct(t *testing.T) {
+	prog := parser.MustProgram(`
+		p(a) :- mark(X).
+		p(X) :- b(X).
+	`)
+	// A union with one constant-headed disjunct and one generic one.
+	q := ucq.New(
+		mkCQ(t, "p(a) :- mark(X)."),
+		mkCQ(t, "p(X) :- b(X)."),
+	)
+	res, err := ContainsUCQ(prog, "p", q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Errorf("exact rule set should be covered; witness:\n%s", res.Witness.Tree)
+	}
+	// Dropping the constant-headed disjunct loses the p(a) expansions.
+	qGen := ucq.New(mkCQ(t, "p(X) :- b(X)."))
+	res, err = ContainsUCQ(prog, "p", qGen, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("the mark-rule expansion is not covered")
+	}
+	verifyWitness(t, prog, "p", qGen, res.Witness)
+	if res.Witness.Query.Head.Args[0].Name != "a" {
+		t.Errorf("witness head should be p(a): %s", res.Witness.Query)
+	}
+}
+
+func TestRepeatedHeadVariableDisjunct(t *testing.T) {
+	// The program derives only "diagonal" facts.
+	prog := parser.MustProgram(`
+		d(X, X) :- n(X).
+		d(X, Y) :- e(X, Y), d(Y, X).
+	`)
+	// d(X, X) :- n(X) covers the base; the recursive rule needs the
+	// symmetric-edge query.
+	q := ucq.New(
+		mkCQ(t, "d(X, X) :- n(X)."),
+		mkCQ(t, "d(X, Y) :- e(X, Y), e(Y, X)."),
+	)
+	res, err := ContainsUCQ(prog, "d", q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		// Depth-2 expansion: e(X,Y), n(Y)... with d(Y,X) resolved by
+		// base rule forcing Y=X: e(X,X), n(X). Check whether the
+		// second disjunct covers it: e(X,X),e(X,X) maps; yes it does.
+		// Depth-3: e(X,Y), e(Y,X), d(X,Y)->base forces X=Y... all
+		// covered; so containment may genuinely hold.
+		return
+	}
+	verifyWitness(t, prog, "d", q, res.Witness)
+}
+
+func TestConstantOnlyProgram(t *testing.T) {
+	prog := parser.MustProgram(`
+		p(a) :- c.
+	`)
+	q := ucq.New(mkCQ(t, "p(a) :- c."))
+	res, err := ContainsUCQ(prog, "p", q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Errorf("identity containment with constants failed; witness:\n%s", res.Witness.Tree)
+	}
+	qWrong := ucq.New(mkCQ(t, "p(b) :- c."))
+	res, err = ContainsUCQ(prog, "p", qWrong, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("p(a) is not covered by p(b)")
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/expansion"
+	"datalogeq/internal/treeauto"
+	"datalogeq/internal/ucq"
+	"datalogeq/internal/wordauto"
+)
+
+// Options bound the automata constructions.
+type Options struct {
+	// MaxStates aborts a construction whose proof-tree or
+	// strong-mapping automaton exceeds this many states; 0 = unlimited.
+	MaxStates int
+}
+
+// Stats reports the sizes of the constructed automata — the quantities
+// Theorem 5.12's analysis is about.
+type Stats struct {
+	// Letters is the alphabet size: rule instances over var(Π) ∪ consts.
+	Letters int
+	// PtreeStates is the number of states of A^ptrees (IDB atoms).
+	PtreeStates int
+	// ThetaStates is the total number of states across the A^θᵢ.
+	ThetaStates int
+}
+
+// Witness is a counterexample to containment: a proof tree of the
+// program admitting no strong containment mapping from any disjunct,
+// together with the expansion it represents. Every database on which
+// Query produces a tuple outside the union's answer is a concrete
+// separating database; Query's own canonical database is one.
+type Witness struct {
+	Tree  *expansion.Tree
+	Query cq.CQ
+}
+
+// Result is the outcome of a containment check.
+type Result struct {
+	Contained bool
+	Witness   *Witness
+	Stats     Stats
+}
+
+// ContainsUCQ decides whether the program (with the given goal
+// predicate) is contained in the union of conjunctive queries — the
+// 2EXPTIME procedure of Theorem 5.12: T(A^ptrees) ⊆ ∪ᵢ T(A^θᵢ), checked
+// with the fused antichain algorithm of treeauto.Contains.
+func ContainsUCQ(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (Result, error) {
+	u, pt, thetas, stats, err := buildAutomata(prog, goal, q, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	a := pt.TA()
+	var b *treeauto.TA
+	if len(thetas) == 0 {
+		b = treeauto.New(0, u.NumLetters())
+	} else {
+		b = thetas[0].freeze(u.NumLetters())
+		for _, tb := range thetas[1:] {
+			b = treeauto.Union(b, tb.freeze(u.NumLetters()))
+		}
+	}
+	ok, wTree := treeauto.Contains(a, b)
+	res := Result{Contained: ok, Stats: stats}
+	if !ok {
+		res.Witness = decodeWitness(u, pt, wTree)
+	}
+	return res, nil
+}
+
+// buildAutomata constructs the shared universe, the proof-tree
+// automaton, and one strong-mapping automaton per disjunct.
+func buildAutomata(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (*Universe, *PtreesResult, []*taBuilder, Stats, error) {
+	var stats Stats
+	if err := q.Validate(); err != nil {
+		return nil, nil, nil, stats, err
+	}
+	for _, d := range q.Disjuncts {
+		if d.Head.Pred != goal {
+			return nil, nil, nil, stats, fmt.Errorf("core: disjunct head %s does not match goal %q", d.Head, goal)
+		}
+	}
+	u, err := NewUniverse(prog, goal)
+	if err != nil {
+		return nil, nil, nil, stats, err
+	}
+	pt, err := u.buildPtrees(opts.MaxStates)
+	if err != nil {
+		return nil, nil, nil, stats, err
+	}
+	stats.PtreeStates = u.NumAtoms()
+	stats.Letters = u.NumLetters()
+	// The strong-mapping automata only read the universe (every atom
+	// they touch was interned by the proof-tree construction), so the
+	// per-disjunct builds run in parallel.
+	thetas := make([]*taBuilder, len(q.Disjuncts))
+	counts := make([]int, len(q.Disjuncts))
+	errs := make([]error, len(q.Disjuncts))
+	var wg sync.WaitGroup
+	for i := range q.Disjuncts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			thetas[i], counts[i], errs[i] = u.buildTheta(q.Disjuncts[i], pt, opts.MaxStates)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, nil, stats, err
+		}
+		stats.ThetaStates += counts[i]
+	}
+	return u, pt, thetas, stats, nil
+}
+
+// buildTheta constructs A^θ (Proposition 5.10) restricted to reachable
+// states, as a builder over the universe's letters. It returns the
+// builder and its state count.
+func (u *Universe) buildTheta(theta cq.CQ, pt *PtreesResult, maxStates int) (*taBuilder, int, error) {
+	info, err := newThetaInfo(theta)
+	if err != nil {
+		return nil, 0, err
+	}
+	b := &taBuilder{}
+	ids := make(map[string]int)
+	var states []thetaState
+	intern := func(st thetaState) int {
+		k := st.key()
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		ids[k] = len(states)
+		states = append(states, st)
+		return len(states) - 1
+	}
+	for _, root := range u.RootAtoms() {
+		st, ok := info.startState(u, root)
+		if !ok {
+			continue
+		}
+		b.starts = append(b.starts, intern(st))
+	}
+	for id := 0; id < len(states); id++ {
+		if maxStates > 0 && len(states) > maxStates {
+			return nil, 0, fmt.Errorf("core: strong-mapping automaton exceeds %d states", maxStates)
+		}
+		st := states[id]
+		for _, letter := range pt.LettersByAtom[st.atomID] {
+			inst := u.Letter(letter)
+			idbPos := pt.IDBPos[letter]
+			info.transitions(u, st, inst, idbPos, func(children []thetaState) {
+				tuple := make([]int, len(children))
+				for k, c := range children {
+					tuple[k] = intern(c)
+				}
+				b.trans = append(b.trans, taEdge{state: id, letter: letter, tuple: tuple})
+			})
+		}
+	}
+	b.numStates = len(states)
+	return b, len(states), nil
+}
+
+// decodeWitness converts a counterexample tree over letter symbols back
+// into an expansion-tree witness.
+func decodeWitness(u *Universe, pt *PtreesResult, t *treeauto.Tree) *Witness {
+	var rec func(t *treeauto.Tree) *expansion.Node
+	rec = func(t *treeauto.Tree) *expansion.Node {
+		inst := u.Letter(t.Symbol)
+		idbPos := pt.IDBPos[t.Symbol]
+		n := &expansion.Node{Rule: inst.Clone(), ChildPos: append([]int(nil), idbPos...)}
+		for _, c := range t.Children {
+			n.Children = append(n.Children, rec(c))
+		}
+		return n
+	}
+	tree := &expansion.Tree{Prog: u.Prog, Root: rec(t)}
+	return &Witness{Tree: tree, Query: tree.ExpansionQuery()}
+}
+
+// ContainsUCQLinear decides containment of a path-linear program in a
+// union of conjunctive queries with word automata (the EXPSPACE
+// procedure of Theorem 5.12 for linear programs). Programs that are
+// linear but not path-linear should first be transformed with
+// nonrec.InlineNonrecursive.
+func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (Result, error) {
+	if !prog.IsPathLinear() {
+		return Result{}, fmt.Errorf("core: program is not path-linear; inline its nonrecursive predicates first")
+	}
+	var stats Stats
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	for _, d := range q.Disjuncts {
+		if d.Head.Pred != goal {
+			return Result{}, fmt.Errorf("core: disjunct head %s does not match goal %q", d.Head, goal)
+		}
+	}
+	u, err := NewUniverse(prog, goal)
+	if err != nil {
+		return Result{}, err
+	}
+	pt, err := u.buildPtrees(opts.MaxStates)
+	if err != nil {
+		return Result{}, err
+	}
+	stats.PtreeStates = u.NumAtoms()
+	stats.Letters = u.NumLetters()
+
+	// A^ptrees as a word automaton: states are IDB atoms plus a final
+	// accept state; a proof path is read root to leaf.
+	aw := &nfaBuilder{numStates: u.NumAtoms() + 1}
+	acceptA := u.NumAtoms()
+	aw.accepts = append(aw.accepts, acceptA)
+	for _, root := range u.RootAtoms() {
+		aw.starts = append(aw.starts, u.InternAtom(root))
+	}
+	for id := 0; id < u.NumAtoms(); id++ {
+		for _, letter := range pt.LettersByAtom[id] {
+			idbPos := pt.IDBPos[letter]
+			switch len(idbPos) {
+			case 0:
+				aw.trans = append(aw.trans, nfaEdge{from: id, letter: letter, to: acceptA})
+			case 1:
+				child := u.InternAtom(u.Letter(letter).Body[idbPos[0]])
+				aw.trans = append(aw.trans, nfaEdge{from: id, letter: letter, to: child})
+			default:
+				// Unreachable: path-linearity was checked above.
+				panic("core: non-path-linear letter in linear procedure")
+			}
+		}
+	}
+
+	// One word automaton per disjunct, then the nondeterministic union.
+	var bw *wordauto.NFA
+	for _, d := range q.Disjuncts {
+		nb, n, err := u.buildThetaWord(d, pt, opts.MaxStates)
+		if err != nil {
+			return Result{}, err
+		}
+		stats.ThetaStates += n
+		nfa := nb.freeze(u.NumLetters())
+		if bw == nil {
+			bw = nfa
+		} else {
+			bw = wordauto.Union(bw, nfa)
+		}
+	}
+	if bw == nil {
+		bw = wordauto.New(0, u.NumLetters())
+	}
+	ok, word := wordauto.Contains(aw.freeze(u.NumLetters()), bw)
+	res := Result{Contained: ok, Stats: stats}
+	if !ok {
+		res.Witness = decodeWordWitness(u, pt, word)
+	}
+	return res, nil
+}
+
+// buildThetaWord is the word-automaton analogue of buildTheta for
+// path-linear programs.
+func (u *Universe) buildThetaWord(theta cq.CQ, pt *PtreesResult, maxStates int) (*nfaBuilder, int, error) {
+	info, err := newThetaInfo(theta)
+	if err != nil {
+		return nil, 0, err
+	}
+	b := &nfaBuilder{}
+	ids := make(map[string]int)
+	var states []thetaState
+	intern := func(st thetaState) int {
+		k := st.key()
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		ids[k] = len(states)
+		states = append(states, st)
+		return len(states) - 1
+	}
+	for _, root := range u.RootAtoms() {
+		st, ok := info.startState(u, root)
+		if !ok {
+			continue
+		}
+		b.starts = append(b.starts, intern(st))
+	}
+	type pendingAccept struct{ from, letter int }
+	var accepts []pendingAccept
+	for id := 0; id < len(states); id++ {
+		if maxStates > 0 && len(states) > maxStates {
+			return nil, 0, fmt.Errorf("core: strong-mapping automaton exceeds %d states", maxStates)
+		}
+		st := states[id]
+		for _, letter := range pt.LettersByAtom[st.atomID] {
+			inst := u.Letter(letter)
+			idbPos := pt.IDBPos[letter]
+			info.transitions(u, st, inst, idbPos, func(children []thetaState) {
+				switch len(children) {
+				case 0:
+					accepts = append(accepts, pendingAccept{from: id, letter: letter})
+				case 1:
+					b.trans = append(b.trans, nfaEdge{from: id, letter: letter, to: intern(children[0])})
+				}
+			})
+		}
+	}
+	acceptState := len(states)
+	b.numStates = acceptState + 1
+	b.accepts = append(b.accepts, acceptState)
+	for _, pa := range accepts {
+		b.trans = append(b.trans, nfaEdge{from: pa.from, letter: pa.letter, to: acceptState})
+	}
+	return b, b.numStates, nil
+}
+
+// decodeWordWitness converts a counterexample word (a root-to-leaf
+// sequence of letters) into an expansion-tree witness.
+func decodeWordWitness(u *Universe, pt *PtreesResult, word []int) *Witness {
+	var root, cur *expansion.Node
+	for _, letter := range word {
+		inst := u.Letter(letter)
+		idbPos := pt.IDBPos[letter]
+		n := &expansion.Node{Rule: inst.Clone(), ChildPos: append([]int(nil), idbPos...)}
+		if root == nil {
+			root = n
+		} else {
+			cur.Children = append(cur.Children, n)
+		}
+		cur = n
+	}
+	tree := &expansion.Tree{Prog: u.Prog, Root: root}
+	return &Witness{Tree: tree, Query: tree.ExpansionQuery()}
+}
+
+// ContainsCQ is ContainsUCQ for a single conjunctive query.
+func ContainsCQ(prog *ast.Program, goal string, theta cq.CQ, opts Options) (Result, error) {
+	return ContainsUCQ(prog, goal, ucq.New(theta), opts)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/nonrec"
+	"datalogeq/internal/ucq"
+)
+
+// Direction names the failing direction of an equivalence check.
+type Direction int
+
+const (
+	// BothDirections means the programs are equivalent.
+	BothDirections Direction = iota
+	// RecursiveNotContained means Π ⊄ Π' (the recursive program
+	// produces tuples the nonrecursive one does not).
+	RecursiveNotContained
+	// NonrecursiveNotContained means Π' ⊄ Π.
+	NonrecursiveNotContained
+)
+
+func (d Direction) String() string {
+	switch d {
+	case BothDirections:
+		return "equivalent"
+	case RecursiveNotContained:
+		return "recursive ⊄ nonrecursive"
+	case NonrecursiveNotContained:
+		return "nonrecursive ⊄ recursive"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// EquivResult is the outcome of an equivalence check between a recursive
+// and a nonrecursive program.
+type EquivResult struct {
+	Equivalent bool
+	Failure    Direction
+	// Witness is set when the recursive program is not contained in
+	// the nonrecursive one: a proof tree/expansion the UCQ misses.
+	Witness *Witness
+	// FailingCQ is set when the nonrecursive program is not contained
+	// in the recursive one: a disjunct of the unfolding whose canonical
+	// database separates the programs.
+	FailingCQ *cq.CQ
+	// SeparatingDB and SeparatingTuple give a concrete database and
+	// tuple on which the two programs disagree, whichever direction
+	// failed.
+	SeparatingDB    *database.DB
+	SeparatingTuple database.Tuple
+	// Stats reports automata sizes from the hard direction.
+	Stats Stats
+	// UnfoldedDisjuncts is the size of the nonrecursive program's UCQ
+	// unfolding (the §6 blowup).
+	UnfoldedDisjuncts int
+}
+
+// ContainedInNonrecursive decides Π ⊆ Π' where Π' is nonrecursive
+// (Theorem 6.4): Π' is unfolded into a union of conjunctive queries —
+// with its inherent exponential blowup — and the UCQ containment
+// procedure of Theorem 5.12 runs on the result.
+func ContainedInNonrecursive(prog *ast.Program, goal string, nr *ast.Program, opts Options) (Result, int, error) {
+	q, err := nonrec.Unfold(nr, goal)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	res, err := ContainsUCQ(prog, goal, q, opts)
+	return res, q.Size(), err
+}
+
+// NonrecursiveContainedIn decides Π' ⊆ Π where Π' is nonrecursive, via
+// unfolding and canonical databases.
+func NonrecursiveContainedIn(nr *ast.Program, prog *ast.Program, goal string) (bool, *cq.CQ, error) {
+	q, err := nonrec.Unfold(nr, goal)
+	if err != nil {
+		return false, nil, err
+	}
+	return UCQContainedInProgram(q, prog, goal)
+}
+
+// EquivalentToNonrecursive decides whether the recursive program prog
+// and the nonrecursive program nr compute the same goal relation on
+// every database (Theorem 6.5). On failure the result carries a
+// machine-checkable separating database and tuple.
+func EquivalentToNonrecursive(prog *ast.Program, goal string, nr *ast.Program, opts Options) (EquivResult, error) {
+	if nr.IsRecursive() {
+		return EquivResult{}, fmt.Errorf("core: second program is recursive")
+	}
+	out := EquivResult{}
+
+	res, disjuncts, err := ContainedInNonrecursive(prog, goal, nr, opts)
+	if err != nil {
+		return out, err
+	}
+	out.Stats = res.Stats
+	out.UnfoldedDisjuncts = disjuncts
+	if !res.Contained {
+		out.Failure = RecursiveNotContained
+		out.Witness = res.Witness
+		db, head := res.Witness.Query.CanonicalDB()
+		out.SeparatingDB = db
+		out.SeparatingTuple = head
+		return out, nil
+	}
+
+	ok, failing, err := NonrecursiveContainedIn(nr, prog, goal)
+	if err != nil {
+		return out, err
+	}
+	if !ok {
+		out.Failure = NonrecursiveNotContained
+		out.FailingCQ = failing
+		db, head := failing.CanonicalDB()
+		out.SeparatingDB = db
+		out.SeparatingTuple = head
+		return out, nil
+	}
+
+	out.Equivalent = true
+	out.Failure = BothDirections
+	return out, nil
+}
+
+// EquivalentToUCQ decides whether the program and the union of
+// conjunctive queries define the same goal relation.
+func EquivalentToUCQ(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (EquivResult, error) {
+	out := EquivResult{}
+	res, err := ContainsUCQ(prog, goal, q, opts)
+	if err != nil {
+		return out, err
+	}
+	out.Stats = res.Stats
+	out.UnfoldedDisjuncts = q.Size()
+	if !res.Contained {
+		out.Failure = RecursiveNotContained
+		out.Witness = res.Witness
+		db, head := res.Witness.Query.CanonicalDB()
+		out.SeparatingDB = db
+		out.SeparatingTuple = head
+		return out, nil
+	}
+	ok, failing, err := UCQContainedInProgram(q, prog, goal)
+	if err != nil {
+		return out, err
+	}
+	if !ok {
+		out.Failure = NonrecursiveNotContained
+		out.FailingCQ = failing
+		db, head := failing.CanonicalDB()
+		out.SeparatingDB = db
+		out.SeparatingTuple = head
+		return out, nil
+	}
+	out.Equivalent = true
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"fmt"
+
+	"datalogeq/internal/core"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+)
+
+// Deciding containment of a recursive program in a union of conjunctive
+// queries (Theorem 5.12). Transitive closure is not contained in
+// bounded-length paths; the counterexample expansion is one step longer
+// than the union covers.
+func ExampleContainsUCQ() {
+	prog := parser.MustProgram(`
+		p(X, Y) :- e(X, Z), p(Z, Y).
+		p(X, Y) :- b(X, Y).
+	`)
+	res, err := core.ContainsUCQ(prog, "p", gen.TCPathsUCQ(2), core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("contained:", res.Contained)
+	fmt.Println("witness height:", res.Witness.Tree.Depth())
+	// Output:
+	// contained: false
+	// witness height: 3
+}
+
+// Deciding equivalence to a nonrecursive program (Theorem 6.5,
+// Example 1.1 of the paper). The "trendy" recursion collapses; the
+// "knows" recursion does not.
+func ExampleEquivalentToNonrecursive() {
+	trendy, err := core.EquivalentToNonrecursive(
+		gen.Example11Trendy(), "buys", gen.Example11TrendyNR(), core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	knows, err := core.EquivalentToNonrecursive(
+		gen.Example11Knows(), "buys", gen.Example11KnowsNR(), core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("trendy:", trendy.Equivalent)
+	fmt.Println("knows:", knows.Equivalent, "-", knows.Failure)
+	// Output:
+	// trendy: true
+	// knows: false - recursive ⊄ nonrecursive
+}
+
+// The converse direction: a conjunctive query is contained in a program
+// iff the program derives the frozen head on the query's canonical
+// database.
+func ExampleCQContainedInProgram() {
+	prog := gen.TransitiveClosure()
+	ok, err := core.CQContainedInProgram(gen.TCPathCQ(3), prog, "p")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("path-3 ⊆ TC:", ok)
+	// Output:
+	// path-3 ⊆ TC: true
+}
+
+// Searching for a nonrecursive equivalent among the program's own
+// expansion unions (bounded rewriting).
+func ExampleBoundedRewriting() {
+	_, k, ok, err := core.BoundedRewriting(gen.Example11Trendy(), "buys", 4, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bounded:", ok, "at height", k)
+	// Output:
+	// bounded: true at height 2
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"datalogeq/internal/eval"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+	"datalogeq/internal/ucq"
+)
+
+func TestBoundedRewritingTrendy(t *testing.T) {
+	// Π₁ of Example 1.1 is bounded: its height-2 expansions already
+	// cover it.
+	u, k, ok, err := BoundedRewriting(gen.Example11Trendy(), "buys", 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("trendy program should be bounded within depth 4")
+	}
+	if k != 2 {
+		t.Errorf("bound found at depth %d, want 2", k)
+	}
+	// The rewriting is a genuine equivalent: check both directions.
+	res, err := EquivalentToUCQ(gen.Example11Trendy(), "buys", u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Errorf("rewriting not equivalent: %v", res.Failure)
+	}
+}
+
+func TestBoundedRewritingTC(t *testing.T) {
+	// Transitive closure is inherently recursive: no bound exists.
+	_, _, ok, err := BoundedRewriting(gen.TransitiveClosure(), "p", 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("transitive closure reported bounded")
+	}
+	if _, _, _, err := BoundedRewriting(gen.TransitiveClosure(), "p", 0, Options{}); err == nil {
+		t.Error("maxDepth 0 accepted")
+	}
+}
+
+func TestUniformContainment(t *testing.T) {
+	tc := gen.TransitiveClosure()
+	// Every program uniformly contains itself.
+	ok, failing, err := UniformlyContained(tc, tc, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("self uniform containment failed at %s", failing)
+	}
+	// A program with fewer rules is uniformly contained in one with
+	// more.
+	sub := parser.MustProgram("p(X, Y) :- b(X, Y).")
+	ok, _, err = UniformlyContained(sub, tc, "p")
+	if err != nil || !ok {
+		t.Errorf("subset program should be uniformly contained: %v %v", ok, err)
+	}
+	// The converse fails: tc has a rule the base program cannot
+	// rederive.
+	ok, failing, err = UniformlyContained(tc, sub, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("tc should not be uniformly contained in its base rule")
+	}
+	if failing == nil || failing.Body[0].Pred != "e" {
+		t.Errorf("failing rule = %v", failing)
+	}
+}
+
+// Uniform containment is sound for ordinary containment: spot-check on
+// a database.
+func TestUniformContainmentSound(t *testing.T) {
+	p1 := parser.MustProgram(`
+		p(X, Y) :- e(X, Y).
+		p(X, Y) :- b(X, Y).
+	`)
+	p2 := parser.MustProgram(`
+		p(X, Y) :- e(X, Y).
+		p(X, Y) :- b(X, Y).
+		p(X, Y) :- e(X, Z), p(Z, Y).
+	`)
+	ok, _, err := UniformlyContained(p1, p2, "p")
+	if err != nil || !ok {
+		t.Fatalf("uniform containment expected: %v %v", ok, err)
+	}
+	db := gen.ChainGraph(5)
+	r1, _, err := eval.Goal(p1, db, "p", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := eval.Goal(p2, db, "p", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range r1.Tuples() {
+		if !r2.Contains(tup) {
+			t.Errorf("soundness violated at %v", tup)
+		}
+	}
+}
+
+// Uniform containment is incomplete: Π₁ (trendy) is contained in its
+// nonrecursive rewriting but not uniformly (the recursive rule's body
+// with a frozen buys-fact cannot be rederived without that fact).
+func TestUniformContainmentIncomplete(t *testing.T) {
+	ok, _, err := UniformlyContained(gen.Example11Trendy(), gen.Example11TrendyNR(), "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Skip("uniform containment unexpectedly holds; incompleteness demo void")
+	}
+	// Ordinary containment does hold (E1).
+	res, _, err := ContainedInNonrecursive(gen.Example11Trendy(), "buys", gen.Example11TrendyNR(), Options{})
+	if err != nil || !res.Contained {
+		t.Fatalf("ordinary containment must hold: %v %v", res.Contained, err)
+	}
+}
+
+// A 0-ary (Boolean) goal exercises the degenerate root-atom case.
+func TestBooleanGoalContainment(t *testing.T) {
+	prog := parser.MustProgram(`
+		c :- mark(X), c.
+		c :- done(X).
+	`)
+	q := parser.MustProgram("c :- done(X).")
+	qd := ucq.New(mkCQ(t, "c :- done(X)."))
+	res, err := ContainsUCQ(prog, "c", qd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Errorf("every expansion ends in done(_); witness:\n%s", res.Witness.Tree)
+	}
+	// And equivalence against the base program.
+	eq, err := EquivalentToNonrecursive(prog, "c", q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Equivalent {
+		t.Errorf("boolean program should be equivalent to its base rule: %v", eq.Failure)
+	}
+}
+
+// Unsafe disjuncts (head variables without body occurrences) are
+// handled: the free head variable imposes no constraint beyond the head
+// interface, matching the first-order reading of containment.
+func TestUnsafeDisjunct(t *testing.T) {
+	prog := parser.MustProgram(`
+		p(X, Y) :- e(X, X), p(X, Y).
+		p(X, Y) :- b(X, Y).
+	`)
+	// theta: p(X, Y) :- e(X, X). Y is free: any pair whose first
+	// component has a self-loop qualifies.
+	unsafe := mkCQ(t, "p(X, Y) :- e(X, X).")
+	res, err := ContainsUCQ(prog, "p", ucq.New(unsafe, mkCQ(t, "p(X, Y) :- b(X, Y).")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Errorf("recursive expansions contain e(X,X); witness:\n%s", res.Witness.Tree)
+	}
+	// The unsafe disjunct alone misses the base rule.
+	res, err = ContainsUCQ(prog, "p", ucq.New(unsafe), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("base expansions have no e-atom")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/treeauto"
+	"datalogeq/internal/wordauto"
+)
+
+// taBuilder accumulates tree-automaton transitions before the alphabet
+// size is known.
+type taBuilder struct {
+	numStates int
+	starts    []int
+	trans     []taEdge
+}
+
+type taEdge struct {
+	state  int
+	letter int
+	tuple  []int
+}
+
+func (b *taBuilder) freeze(numSymbols int) *treeauto.TA {
+	out := treeauto.New(b.numStates, numSymbols)
+	for _, s := range b.starts {
+		out.AddStart(s)
+	}
+	for _, e := range b.trans {
+		out.AddTransition(e.state, e.letter, e.tuple)
+	}
+	return out
+}
+
+// nfaBuilder accumulates word-automaton transitions before the alphabet
+// size is known.
+type nfaBuilder struct {
+	numStates int
+	starts    []int
+	accepts   []int
+	trans     []nfaEdge
+}
+
+type nfaEdge struct{ from, letter, to int }
+
+func (b *nfaBuilder) freeze(numSymbols int) *wordauto.NFA {
+	out := wordauto.New(b.numStates, numSymbols)
+	for _, s := range b.starts {
+		out.AddStart(s)
+	}
+	for _, s := range b.accepts {
+		out.SetAccept(s)
+	}
+	for _, e := range b.trans {
+		out.AddTransition(e.from, e.letter, e.to)
+	}
+	return out
+}
+
+// PtreesResult is the proof-tree automaton of Proposition 5.9 together
+// with the letter index needed by the strong-mapping automata.
+type PtreesResult struct {
+	u *Universe
+	// builder holds the automaton before freezing.
+	builder taBuilder
+	// LettersByAtom[atomID] lists the letters whose head is that atom.
+	LettersByAtom map[int][]int
+	// IDBPos[letter] caches the IDB body positions of each letter.
+	IDBPos map[int][]int
+}
+
+// buildPtrees constructs A^ptrees restricted to states reachable from
+// the root atoms Q(s): states are IDB atoms over Terms, and δ(α, ρ)
+// contains the tuple of IDB body atoms of ρ whenever ρ's head is α
+// (an empty tuple when ρ's body is all-EDB, making the node a leaf).
+// maxStates bounds the construction; 0 means unlimited.
+func (u *Universe) buildPtrees(maxStates int) (*PtreesResult, error) {
+	res := &PtreesResult{
+		u:             u,
+		LettersByAtom: make(map[int][]int),
+		IDBPos:        make(map[int][]int),
+	}
+	for _, root := range u.RootAtoms() {
+		id := u.InternAtom(root)
+		res.builder.starts = append(res.builder.starts, id)
+	}
+	// Worklist: atom ids are dense and grow as children are interned.
+	for id := 0; id < u.NumAtoms(); id++ {
+		if maxStates > 0 && u.NumAtoms() > maxStates {
+			return nil, fmt.Errorf("core: proof-tree automaton exceeds %d states", maxStates)
+		}
+		atom := u.Atom(id)
+		u.InstancesFor(atom, func(inst ast.Rule, idbPos []int) {
+			letter := u.InternLetter(inst)
+			if _, seen := res.IDBPos[letter]; seen {
+				// Identical instance produced by another program rule.
+				return
+			}
+			res.LettersByAtom[id] = append(res.LettersByAtom[id], letter)
+			res.IDBPos[letter] = idbPos
+			tuple := make([]int, len(idbPos))
+			for k, p := range idbPos {
+				tuple[k] = u.InternAtom(inst.Body[p])
+			}
+			res.builder.trans = append(res.builder.trans, taEdge{state: id, letter: letter, tuple: tuple})
+		})
+	}
+	res.builder.numStates = u.NumAtoms()
+	return res, nil
+}
+
+// TA freezes the proof-tree automaton over the universe's final letter
+// alphabet.
+func (r *PtreesResult) TA() *treeauto.TA {
+	return r.builder.freeze(r.u.NumLetters())
+}

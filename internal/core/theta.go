@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+)
+
+// thetaState is a state of the strong-mapping automaton A^θ of
+// Proposition 5.10: the goal atom of the node (by id), the set of θ-body
+// atoms not yet mapped (a bitmask over θ.Body indexes), and the partial
+// map M recording, for variables of the pending atoms whose images are
+// already fixed, the var(Π) name under which their connectedness class
+// surfaces at this node's goal atom — or the constant they map to.
+//
+// Compared to the paper's states (α, β, M) with M: V_θ ⇀ var(Π), the
+// map is canonicalized to dom(M) ⊆ vars(β): entries for variables
+// without pending occurrences can never be consulted again, and dropping
+// them collapses otherwise-distinct states.
+type thetaState struct {
+	atomID int
+	beta   uint64
+	m      map[string]ast.Term
+}
+
+func (s thetaState) key() string {
+	return fmt.Sprintf("%d:%x:%s", s.atomID, s.beta, mapKey(s.m))
+}
+
+// thetaInfo precomputes per-disjunct data used by the transition
+// enumeration.
+type thetaInfo struct {
+	theta cq.CQ
+	// varsOf[i] lists the variables of body atom i.
+	varsOf [][]string
+}
+
+func newThetaInfo(theta cq.CQ) (*thetaInfo, error) {
+	if len(theta.Body) > 64 {
+		return nil, fmt.Errorf("core: conjunctive query has %d atoms; at most 64 supported", len(theta.Body))
+	}
+	info := &thetaInfo{theta: theta, varsOf: make([][]string, len(theta.Body))}
+	for i, a := range theta.Body {
+		info.varsOf[i] = a.Vars(nil)
+	}
+	return info, nil
+}
+
+// startState returns the start state of A^θ for the given root atom, or
+// false when θ's head cannot map onto it (mismatched constants or
+// repeated head variables landing on distinct terms).
+func (info *thetaInfo) startState(u *Universe, root ast.Atom) (thetaState, bool) {
+	theta := info.theta
+	if theta.Head.Pred != root.Pred || len(theta.Head.Args) != len(root.Args) {
+		return thetaState{}, false
+	}
+	m := make(map[string]ast.Term)
+	for i, t := range theta.Head.Args {
+		rootArg := root.Args[i]
+		if t.Kind == ast.Const {
+			if rootArg.Kind != ast.Const || rootArg.Name != t.Name {
+				return thetaState{}, false
+			}
+			continue
+		}
+		if img, ok := m[t.Name]; ok {
+			if img != rootArg {
+				return thetaState{}, false
+			}
+			continue
+		}
+		m[t.Name] = rootArg
+	}
+	var beta uint64
+	for i := range theta.Body {
+		beta |= 1 << uint(i)
+	}
+	st := thetaState{atomID: u.AtomID(root), beta: beta, m: restrictTo(m, info, beta)}
+	return st, true
+}
+
+// restrictTo keeps only the entries of m whose variable occurs in some
+// pending atom of beta.
+func restrictTo(m map[string]ast.Term, info *thetaInfo, beta uint64) map[string]ast.Term {
+	out := make(map[string]ast.Term)
+	for i := 0; i < len(info.theta.Body); i++ {
+		if beta&(1<<uint(i)) == 0 {
+			continue
+		}
+		for _, v := range info.varsOf[i] {
+			if img, ok := m[v]; ok {
+				out[v] = img
+			}
+		}
+	}
+	return out
+}
+
+// transitions enumerates the transitions of A^θ from state st on the
+// letter inst (whose head is st's atom), emitting each tuple of child
+// states in the order of inst's IDB body positions. The enumeration
+// implements the conditions of Proposition 5.10:
+//
+//  1. the pending atoms β are partitioned into β' (mapped to EDB atoms
+//     of inst, consistently with M) and β1..βl (delegated to children);
+//  2. the working map M' extends M with the bindings induced by the β'
+//     placement;
+//  3. a variable shared between two delegated parts must be bound, with
+//     a variable image occurring in both child goal atoms (or a
+//     constant image);
+//  4. a bound variable occurring in a delegated part must have a
+//     variable image occurring in that child's goal atom (or a constant
+//     image).
+func (info *thetaInfo) transitions(u *Universe, st thetaState, inst ast.Rule, idbPos []int, emit func(children []thetaState)) {
+	theta := info.theta
+	// Pending atom indexes.
+	var pending []int
+	for i := 0; i < len(theta.Body); i++ {
+		if st.beta&(1<<uint(i)) != 0 {
+			pending = append(pending, i)
+		}
+	}
+	// EDB body atoms of the letter.
+	var edbAtoms []ast.Atom
+	for p, a := range inst.Body {
+		if !u.IsIDB(a.Sym()) {
+			_ = p
+			edbAtoms = append(edbAtoms, a)
+		}
+	}
+	l := len(idbPos)
+	// placement[k] = -1-e for EDB atom index e, or child index j >= 0.
+	placement := make([]int, len(pending))
+	mPrime := make(map[string]ast.Term, len(st.m))
+	for v, t := range st.m {
+		mPrime[v] = t
+	}
+
+	// bind attempts to set mPrime[v] = t, returning (undo, ok).
+	bind := func(v string, t ast.Term) (bool, bool) {
+		if img, ok := mPrime[v]; ok {
+			return false, img == t
+		}
+		mPrime[v] = t
+		return true, true
+	}
+
+	var finish func()
+	var place func(k int)
+
+	place = func(k int) {
+		if k == len(pending) {
+			finish()
+			return
+		}
+		atom := theta.Body[pending[k]]
+		// Option A: map onto an EDB atom of the letter.
+		for e, target := range edbAtoms {
+			if target.Pred != atom.Pred || len(target.Args) != len(atom.Args) {
+				continue
+			}
+			var undo []string
+			ok := true
+			for i, t := range atom.Args {
+				tt := target.Args[i]
+				if t.Kind == ast.Const {
+					if tt.Kind != ast.Const || tt.Name != t.Name {
+						ok = false
+						break
+					}
+					continue
+				}
+				u2, bok := bind(t.Name, tt)
+				if !bok {
+					ok = false
+					break
+				}
+				if u2 {
+					undo = append(undo, t.Name)
+				}
+			}
+			if ok {
+				placement[k] = -1 - e
+				place(k + 1)
+			}
+			for _, v := range undo {
+				delete(mPrime, v)
+			}
+		}
+		// Option B: delegate to a child.
+		for j := 0; j < l; j++ {
+			placement[k] = j
+			place(k + 1)
+		}
+	}
+
+	finish = func() {
+		// Group pending atoms per child and collect shared-variable
+		// constraints.
+		childBeta := make([]uint64, l)
+		// partsOf[v] = distinct children that use v.
+		partsOf := make(map[string][]int)
+		for k, pi := range pending {
+			if placement[k] < 0 {
+				continue
+			}
+			j := placement[k]
+			childBeta[j] |= 1 << uint(pi)
+			for _, v := range info.varsOf[pi] {
+				found := false
+				for _, jj := range partsOf[v] {
+					if jj == j {
+						found = true
+						break
+					}
+				}
+				if !found {
+					partsOf[v] = append(partsOf[v], j)
+				}
+			}
+		}
+		// Variables needing a chosen binding: unbound and in >= 2
+		// children.
+		var needChoice []string
+		for v, parts := range partsOf {
+			if _, bound := mPrime[v]; bound {
+				continue
+			}
+			if len(parts) >= 2 {
+				needChoice = append(needChoice, v)
+			}
+		}
+		sortStrings(needChoice)
+
+		childAtomVars := make([]map[string]bool, l)
+		for j := 0; j < l; j++ {
+			childAtomVars[j] = make(map[string]bool)
+			for _, v := range inst.Body[idbPos[j]].Vars(nil) {
+				childAtomVars[j][v] = true
+			}
+		}
+		// validFor reports whether image t works for a variable used by
+		// the given children: a variable image must occur in every such
+		// child's goal atom; constants are unconstrained.
+		validFor := func(t ast.Term, parts []int) bool {
+			if t.Kind == ast.Const {
+				return true
+			}
+			for _, j := range parts {
+				if !childAtomVars[j][t.Name] {
+					return false
+				}
+			}
+			return true
+		}
+
+		var choose func(i int)
+		choose = func(i int) {
+			if i == len(needChoice) {
+				// Validate all bound variables against their parts.
+				for v, parts := range partsOf {
+					img, bound := mPrime[v]
+					if !bound {
+						continue
+					}
+					if !validFor(img, parts) {
+						return
+					}
+				}
+				children := make([]thetaState, l)
+				for j := 0; j < l; j++ {
+					children[j] = thetaState{
+						atomID: u.AtomID(inst.Body[idbPos[j]]),
+						beta:   childBeta[j],
+						m:      restrictTo(mPrime, info, childBeta[j]),
+					}
+				}
+				emit(children)
+				return
+			}
+			v := needChoice[i]
+			for _, t := range u.Terms {
+				if !validFor(t, partsOf[v]) {
+					continue
+				}
+				mPrime[v] = t
+				choose(i + 1)
+				delete(mPrime, v)
+			}
+		}
+		choose(0)
+	}
+
+	place(0)
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"datalogeq/internal/gen"
+	"datalogeq/internal/nonrec"
+	"datalogeq/internal/parser"
+)
+
+// Theorem 6.7 exercises containment against *linear nonrecursive*
+// programs, whose unfoldings have exponentially many but individually
+// small disjuncts. word_3 (Example 6.6) unfolds to 8 disjuncts of 6
+// atoms each.
+func TestTheorem67LinearNonrecursive(t *testing.T) {
+	words := gen.WordProgram(3)
+	if !words.IsLinear() || words.IsRecursive() {
+		t.Fatal("word_3 should be a linear nonrecursive program")
+	}
+	// A recursive program computing paths of any positive length whose
+	// first point is labeled — a superset of word_3's labeled paths
+	// (word_n labels the first point and every point from the third
+	// on, but not the second).
+	anyPath := parser.MustProgram(`
+		word3(X, Y) :- e(X, Y), zero(X).
+		word3(X, Y) :- e(X, Y), one(X).
+		word3(X, Y) :- word3(X, Z), e(Z, Y).
+	`)
+	// Every word_3 disjunct is a labeled path of length 3, hence
+	// contained in the any-length program (the converse direction, via
+	// canonical databases).
+	ok, failing, err := NonrecursiveContainedIn(words, anyPath, "word3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("word_3 should be contained in the any-length program; failing disjunct %s", failing)
+	}
+	// The recursive program is NOT contained in word_3: it also has
+	// length-1 and length-4 paths. The hard direction runs the full
+	// automata pipeline against the 8-disjunct unfolding.
+	res, disjuncts, err := ContainedInNonrecursive(anyPath, "word3", words, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disjuncts != 8 {
+		t.Errorf("word_3 unfolds to %d disjuncts, want 8", disjuncts)
+	}
+	if res.Contained {
+		t.Fatal("any-length paths cannot be contained in length-3 words")
+	}
+	u, err := nonrec.Unfold(words, "word3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyWitness(t, anyPath, "word3", u, res.Witness)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+)
+
+// UniformlyContained decides *uniform* containment Π₁ ⊑ᵤ Π₂: whether
+// Q_{Π₁}(D) ⊆ Q_{Π₂}(D) for every database D that may already contain
+// IDB facts (equivalently, whether Π₂ derives the head of every Π₁ rule
+// from that rule's body taken as facts — a single chase step per rule).
+// Uniform containment implies ordinary containment and is decidable in
+// exponential time [Sa88b]; it is a useful sound-but-incomplete fast
+// path before the 2EXPTIME machinery, and an optimization-preserving
+// condition in its own right.
+func UniformlyContained(p1 *ast.Program, p2 *ast.Program, goal string) (bool, *ast.Rule, error) {
+	for i := range p1.Rules {
+		r := p1.Rules[i]
+		ok, err := ruleUniformlyDerivable(r, p2)
+		if err != nil {
+			return false, nil, err
+		}
+		if !ok {
+			return false, &p1.Rules[i], nil
+		}
+	}
+	return true, nil, nil
+}
+
+// ruleUniformlyDerivable checks that p2 derives r's head when r's body
+// atoms (IDB and EDB alike) are frozen into facts.
+func ruleUniformlyDerivable(r ast.Rule, p2 *ast.Program) (bool, error) {
+	if !r.IsSafe() {
+		// Active-domain rules are handled by freezing the head
+		// variables too; the check below covers them because frozen
+		// head constants enter the active domain.
+	}
+	body := cq.CQ{Head: r.Head, Body: r.Body}
+	db, head := body.CanonicalDB()
+	// Head variables not bound by the body must still be in the
+	// database's domain for the comparison to make sense.
+	for _, c := range head {
+		ensureConstant(db, c)
+	}
+	rel, _, err := eval.Goal(p2, db, r.Head.Pred, eval.Options{})
+	if err != nil {
+		return false, err
+	}
+	return rel.Contains(head), nil
+}
+
+// ensureConstant makes sure c appears in the database's active domain
+// by adding it to a throwaway unary relation.
+func ensureConstant(db *database.DB, c string) {
+	db.Relation("˂domain", 1).Add(database.Tuple{c})
+}

@@ -1,0 +1,260 @@
+// Package core implements the paper's main contribution: the automata-
+// theoretic decision procedures for containment of a recursive Datalog
+// program in a union of conjunctive queries (Theorems 5.11/5.12), the
+// specialized word-automaton procedure for linear programs, the
+// canonical-database procedure for the converse direction [CK86], and
+// the resulting decision procedures for containment in — and equivalence
+// to — nonrecursive programs (Theorems 6.4/6.5).
+//
+// The central objects are
+//
+//   - the proof-tree automaton A^ptrees of Proposition 5.9, whose tree
+//     language is exactly ptrees(Q, Π), and
+//   - the strong-mapping automaton A^θ of Proposition 5.10, which
+//     accepts exactly the proof trees admitting a strong containment
+//     mapping from θ.
+//
+// Containment Π ⊆ ∪θᵢ then reduces to T(A^ptrees) ⊆ ∪T(A^θᵢ)
+// (Theorem 5.11), decided by treeauto.Contains. Both automata are built
+// lazily: only states reachable from the start states are materialized,
+// which is what makes the doubly-exponential procedure usable on real
+// instances.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/expansion"
+)
+
+// Universe fixes the shared vocabulary of one containment check: the
+// program, its goal, the proof-tree variable set var(Π), the constants
+// of the program, and the interned alphabet of proof-tree letters (rule
+// instances over var(Π) ∪ constants).
+type Universe struct {
+	Prog *ast.Program
+	Goal string
+
+	// Terms is var(Π) ∪ constants(Π): the terms rule instances range
+	// over.
+	Terms []ast.Term
+
+	isIDB map[ast.PredSym]bool
+
+	// Letters are the interned rule instances; a letter's head atom is
+	// the goal of the proof-tree node it labels.
+	letters   []ast.Rule
+	letterIDs map[string]int
+
+	// Atom state ids shared by both automata constructions.
+	atoms   []ast.Atom
+	atomIDs map[string]int
+}
+
+// NewUniverse prepares a universe for the program and goal predicate.
+func NewUniverse(prog *ast.Program, goal string) (*Universe, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.GoalArity(goal) < 0 {
+		return nil, fmt.Errorf("core: goal predicate %q does not occur in program", goal)
+	}
+	u := &Universe{
+		Prog:      prog,
+		Goal:      goal,
+		isIDB:     prog.IDBPreds(),
+		letterIDs: make(map[string]int),
+		atomIDs:   make(map[string]int),
+	}
+	for _, v := range expansion.VarSet(prog) {
+		u.Terms = append(u.Terms, ast.V(v))
+	}
+	for _, c := range programConstants(prog) {
+		u.Terms = append(u.Terms, ast.C(c))
+	}
+	return u, nil
+}
+
+func programConstants(prog *ast.Program) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(a ast.Atom) {
+		for _, t := range a.Args {
+			if t.Kind == ast.Const && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	for _, r := range prog.Rules {
+		add(r.Head)
+		for _, a := range r.Body {
+			add(a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoalArity returns the arity of the goal predicate.
+func (u *Universe) GoalArity() int { return u.Prog.GoalArity(u.Goal) }
+
+// IsIDB reports whether sym is intensional.
+func (u *Universe) IsIDB(sym ast.PredSym) bool { return u.isIDB[sym] }
+
+// InternLetter returns the id of the rule instance, interning it on
+// first use.
+func (u *Universe) InternLetter(inst ast.Rule) int {
+	k := inst.Key()
+	if id, ok := u.letterIDs[k]; ok {
+		return id
+	}
+	id := len(u.letters)
+	u.letterIDs[k] = id
+	u.letters = append(u.letters, inst)
+	return id
+}
+
+// Letter returns the rule instance with the given id.
+func (u *Universe) Letter(id int) ast.Rule { return u.letters[id] }
+
+// NumLetters returns the number of interned letters.
+func (u *Universe) NumLetters() int { return len(u.letters) }
+
+// InternAtom returns the state id of an IDB atom over Terms.
+func (u *Universe) InternAtom(a ast.Atom) int {
+	k := a.Key()
+	if id, ok := u.atomIDs[k]; ok {
+		return id
+	}
+	id := len(u.atoms)
+	u.atomIDs[k] = id
+	u.atoms = append(u.atoms, a)
+	return id
+}
+
+// Atom returns the atom with the given state id.
+func (u *Universe) Atom(id int) ast.Atom { return u.atoms[id] }
+
+// AtomID returns the state id of an already-interned atom. It panics if
+// the atom was never interned: the proof-tree construction interns
+// every atom the strong-mapping automata can encounter, so a miss is a
+// programming error. Unlike InternAtom it never mutates the universe,
+// which is what makes the per-disjunct constructions safe to run in
+// parallel.
+func (u *Universe) AtomID(a ast.Atom) int {
+	id, ok := u.atomIDs[a.Key()]
+	if !ok {
+		panic("core: atom " + a.String() + " was not interned by the proof-tree construction")
+	}
+	return id
+}
+
+// NumAtoms returns the number of interned atoms.
+func (u *Universe) NumAtoms() int { return len(u.atoms) }
+
+// RootAtoms enumerates the possible root atoms Q(s) with s over Terms.
+func (u *Universe) RootAtoms() []ast.Atom {
+	arity := u.GoalArity()
+	var out []ast.Atom
+	args := make([]ast.Term, arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == arity {
+			out = append(out, ast.Atom{Pred: u.Goal, Args: append([]ast.Term(nil), args...)})
+			return
+		}
+		for _, t := range u.Terms {
+			args[i] = t
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// InstancesFor enumerates the rule instances of prog whose head is
+// exactly goalAtom: head variables are forced by matching, and body-only
+// variables range over Terms. Each instance is passed to emit together
+// with the body positions of its IDB atoms.
+func (u *Universe) InstancesFor(goalAtom ast.Atom, emit func(inst ast.Rule, idbPos []int)) {
+	for _, r := range u.Prog.Rules {
+		if r.Head.Sym() != goalAtom.Sym() {
+			continue
+		}
+		sub := ast.Substitution{}
+		ok := true
+		for i, t := range r.Head.Args {
+			if t.Kind == ast.Const {
+				if goalAtom.Args[i] != t {
+					ok = false
+					break
+				}
+				continue
+			}
+			if img, bound := sub[t.Name]; bound {
+				if img != goalAtom.Args[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			sub[t.Name] = goalAtom.Args[i]
+		}
+		if !ok {
+			continue
+		}
+		var free []string
+		for _, v := range r.Vars() {
+			if _, bound := sub[v]; !bound {
+				free = append(free, v)
+			}
+		}
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(free) {
+				inst := r.Apply(sub)
+				var idbPos []int
+				for p, a := range inst.Body {
+					if u.isIDB[a.Sym()] {
+						idbPos = append(idbPos, p)
+					}
+				}
+				emit(inst, idbPos)
+				return
+			}
+			for _, t := range u.Terms {
+				sub[free[i]] = t
+				rec(i + 1)
+			}
+			delete(sub, free[i])
+		}
+		rec(0)
+	}
+}
+
+// mapKey renders a canonical key for a partial map from query variables
+// to terms.
+func mapKey(m map[string]ast.Term) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for v := range m {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, v := range keys {
+		t := m[v]
+		kind := byte('v')
+		if t.Kind == ast.Const {
+			kind = 'c'
+		}
+		fmt.Fprintf(&b, "%s\x00%c%s\x01", v, kind, t.Name)
+	}
+	return b.String()
+}

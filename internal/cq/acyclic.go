@@ -1,0 +1,462 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+)
+
+// Acyclicity and Yannakakis evaluation: companion tooling for the
+// conjunctive queries this library manipulates. α-acyclic queries admit
+// evaluation in time polynomial in input + output via semijoin programs
+// over a join tree; the GYO reduction decides acyclicity and builds the
+// tree.
+
+// JoinTree is a join tree of an acyclic conjunctive query: one node per
+// body atom, such that for every variable the nodes containing it form
+// a connected subtree.
+type JoinTree struct {
+	// Atom is the body atom at this node.
+	Atom int
+	// Children are subtrees.
+	Children []*JoinTree
+}
+
+// IsAcyclic reports whether the query is α-acyclic, using the GYO
+// (Graham–Yu–Özsoyoğlu) reduction: repeatedly remove ears — atoms whose
+// variables are covered by a single other atom except for variables
+// private to the ear. The query is acyclic iff the reduction empties
+// the body.
+func (q CQ) IsAcyclic() bool {
+	_, ok := q.JoinTree()
+	return ok
+}
+
+// JoinTree returns a join tree for the query, or false when the query
+// is cyclic. Queries with no body atoms return a nil tree and true.
+func (q CQ) JoinTree() (*JoinTree, bool) {
+	n := len(q.Body)
+	if n == 0 {
+		return nil, true
+	}
+	// varsOf[i]: variable set of atom i.
+	varsOf := make([]map[string]bool, n)
+	for i, a := range q.Body {
+		varsOf[i] = make(map[string]bool)
+		for _, v := range a.Vars(nil) {
+			varsOf[i][v] = true
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	// occurrences[v] = number of alive atoms containing v.
+	occ := make(map[string]int)
+	for i := 0; i < n; i++ {
+		for v := range varsOf[i] {
+			occ[v]++
+		}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	removed := 0
+	order := make([]int, 0, n)
+	for removed < n {
+		progress := false
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			// Shared variables of atom i: those occurring in another
+			// alive atom.
+			var shared []string
+			for v := range varsOf[i] {
+				if occ[v] > 1 {
+					shared = append(shared, v)
+				}
+			}
+			// Find a witness atom covering all shared variables.
+			witness := -1
+			if len(shared) == 0 {
+				// Fully private ear; attach to any other alive atom
+				// (or none if it is the last).
+				for j := 0; j < n; j++ {
+					if j != i && alive[j] {
+						witness = j
+						break
+					}
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					if j == i || !alive[j] {
+						continue
+					}
+					covers := true
+					for _, v := range shared {
+						if !varsOf[j][v] {
+							covers = false
+							break
+						}
+					}
+					if covers {
+						witness = j
+						break
+					}
+				}
+				if witness == -1 {
+					continue // not an ear
+				}
+			}
+			// Remove the ear.
+			alive[i] = false
+			removed++
+			progress = true
+			parent[i] = witness
+			order = append(order, i)
+			for v := range varsOf[i] {
+				occ[v]--
+			}
+			if removed == n {
+				break
+			}
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	// The last removed atom is the root. Build the tree from parent
+	// pointers (parent -1 only for the final atom).
+	root := order[n-1]
+	nodes := make([]*JoinTree, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &JoinTree{Atom: i}
+	}
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		p := parent[i]
+		if p < 0 {
+			p = root
+		}
+		nodes[p].Children = append(nodes[p].Children, nodes[i])
+	}
+	return nodes[root], true
+}
+
+func countAlive(alive []bool) int {
+	n := 0
+	for _, a := range alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the join tree with atom indexes.
+func (t *JoinTree) String() string {
+	var b strings.Builder
+	var rec func(n *JoinTree, depth int)
+	rec = func(n *JoinTree, depth int) {
+		fmt.Fprintf(&b, "%s[%d]\n", strings.Repeat("  ", depth), n.Atom)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t, 0)
+	return b.String()
+}
+
+// EvalYannakakis evaluates an acyclic query over db with the Yannakakis
+// algorithm: a bottom-up semijoin pass over the join tree prunes
+// dangling tuples, then a top-down join assembles answers. It returns
+// an error when the query is cyclic (use Apply instead).
+func (q CQ) EvalYannakakis(db *database.DB) (*database.Relation, error) {
+	tree, ok := q.JoinTree()
+	if !ok {
+		return nil, fmt.Errorf("cq: query is cyclic")
+	}
+	if tree == nil {
+		// Empty body: answers are the head over the active domain;
+		// delegate to the generic evaluator.
+		return q.Apply(db)
+	}
+	// Materialize each atom's matching bindings as a list of
+	// variable->constant maps (with constants and repeated variables
+	// already filtered).
+	bindingsOf := make([][]map[string]string, len(q.Body))
+	for i, a := range q.Body {
+		rel := db.Lookup(a.Pred)
+		if rel == nil {
+			return database.NewRelation(len(q.Head.Args)), nil
+		}
+		for _, tuple := range rel.Tuples() {
+			if m, ok := matchAtom(a, tuple); ok {
+				bindingsOf[i] = append(bindingsOf[i], m)
+			}
+		}
+		if len(bindingsOf[i]) == 0 {
+			return database.NewRelation(len(q.Head.Args)), nil
+		}
+	}
+	// Bottom-up semijoin: child prunes parent? No — parent keeps only
+	// bindings joinable with every child (upward pass), then a second
+	// downward pass prunes children against parents.
+	var up func(n *JoinTree)
+	up = func(n *JoinTree) {
+		for _, c := range n.Children {
+			up(c)
+			bindingsOf[n.Atom] = semijoin(bindingsOf[n.Atom], bindingsOf[c.Atom])
+		}
+	}
+	up(tree)
+	var down func(n *JoinTree)
+	down = func(n *JoinTree) {
+		for _, c := range n.Children {
+			bindingsOf[c.Atom] = semijoin(bindingsOf[c.Atom], bindingsOf[n.Atom])
+			down(c)
+		}
+	}
+	down(tree)
+	// Assemble answers by joining along the tree in preorder. After
+	// each join the accumulator is projected onto the head variables
+	// plus the variables still needed by future joins — the projection
+	// that makes Yannakakis polynomial in input + output.
+	headVars := make(map[string]bool)
+	for _, t := range q.Head.Args {
+		if t.Kind == ast.Var {
+			headVars[t.Name] = true
+		}
+	}
+	var order []int
+	var collect func(n *JoinTree)
+	collect = func(n *JoinTree) {
+		order = append(order, n.Atom)
+		for _, c := range n.Children {
+			collect(c)
+		}
+	}
+	collect(tree)
+	needAfter := func(step int) map[string]bool {
+		keep := make(map[string]bool, len(headVars))
+		for v := range headVars {
+			keep[v] = true
+		}
+		for _, ai := range order[step+1:] {
+			for _, v := range q.Body[ai].Vars(nil) {
+				keep[v] = true
+			}
+		}
+		return keep
+	}
+	results := projectList(bindingsOf[order[0]], needAfter(0))
+	for step := 1; step < len(order); step++ {
+		results = joinProject(results, bindingsOf[order[step]], needAfter(step))
+	}
+	out := database.NewRelation(len(q.Head.Args))
+	for _, m := range results {
+		tuple := make(database.Tuple, len(q.Head.Args))
+		complete := true
+		for i, t := range q.Head.Args {
+			if t.Kind == ast.Var {
+				c, ok := m[t.Name]
+				if !ok {
+					complete = false
+					break
+				}
+				tuple[i] = c
+			} else {
+				tuple[i] = t.Name
+			}
+		}
+		if complete {
+			out.Add(tuple)
+		}
+	}
+	return out, nil
+}
+
+// matchAtom matches an atom against a tuple, returning the variable
+// bindings; constants and repeated variables must agree.
+func matchAtom(a ast.Atom, tuple database.Tuple) (map[string]string, bool) {
+	if len(a.Args) != len(tuple) {
+		return nil, false
+	}
+	m := make(map[string]string, len(a.Args))
+	for i, t := range a.Args {
+		if t.Kind == ast.Const {
+			if tuple[i] != t.Name {
+				return nil, false
+			}
+			continue
+		}
+		if c, ok := m[t.Name]; ok {
+			if c != tuple[i] {
+				return nil, false
+			}
+			continue
+		}
+		m[t.Name] = tuple[i]
+	}
+	return m, true
+}
+
+// compatible reports whether two bindings agree on shared variables.
+func compatible(a, b map[string]string) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for v, c := range a {
+		if c2, ok := b[v]; ok && c2 != c {
+			return false
+		}
+	}
+	return true
+}
+
+// sharedVars returns the variables common to the domains of two binding
+// lists (the domains are uniform within each list).
+func sharedVars(left, right []map[string]string) []string {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	var out []string
+	for v := range left[0] {
+		if _, ok := right[0][v]; ok {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func projKey(m map[string]string, vars []string) string {
+	var b strings.Builder
+	for _, v := range vars {
+		b.WriteString(m[v])
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// semijoin keeps the bindings of left that are compatible with some
+// binding of right, via a hash join on the shared variables.
+func semijoin(left, right []map[string]string) []map[string]string {
+	shared := sharedVars(left, right)
+	if len(shared) == 0 {
+		if len(right) == 0 {
+			return nil
+		}
+		return left
+	}
+	keys := make(map[string]bool, len(right))
+	for _, r := range right {
+		keys[projKey(r, shared)] = true
+	}
+	var out []map[string]string
+	for _, l := range left {
+		if keys[projKey(l, shared)] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// projectList projects bindings onto keep, deduplicating.
+func projectList(list []map[string]string, keep map[string]bool) []map[string]string {
+	seen := make(map[string]bool)
+	var out []map[string]string
+	for _, m := range list {
+		p := make(map[string]string)
+		for v, c := range m {
+			if keep[v] {
+				p[v] = c
+			}
+		}
+		k := bindingKey(p)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// joinProject joins acc with right (hash join on shared variables) and
+// projects onto the union of acc's variables and keep, deduplicating.
+// Bindings within acc may have heterogeneous domains (variables
+// accumulate along the tree), so the shared variables are recomputed
+// per left binding.
+func joinProject(acc, right []map[string]string, keep map[string]bool) []map[string]string {
+	if len(acc) == 0 || len(right) == 0 {
+		return nil
+	}
+	// Index right on its full (uniform) domain restricted to variables
+	// that appear in acc's first binding; variables that only some acc
+	// bindings carry fall back to a compatibility check.
+	rightVars := make([]string, 0, len(right[0]))
+	for v := range right[0] {
+		rightVars = append(rightVars, v)
+	}
+	sort.Strings(rightVars)
+	var probe []string
+	for _, v := range rightVars {
+		if _, ok := acc[0][v]; ok {
+			probe = append(probe, v)
+		}
+	}
+	index := make(map[string][]map[string]string, len(right))
+	for _, r := range right {
+		k := projKey(r, probe)
+		index[k] = append(index[k], r)
+	}
+	seen := make(map[string]bool)
+	var out []map[string]string
+	for _, l := range acc {
+		for _, r := range index[projKey(l, probe)] {
+			if !compatible(l, r) {
+				continue
+			}
+			p := make(map[string]string, len(l))
+			for v, c := range l {
+				if keep[v] {
+					p[v] = c
+				}
+			}
+			for v, c := range r {
+				if keep[v] {
+					p[v] = c
+				}
+			}
+			k := bindingKey(p)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func bindingKey(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for v := range m {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, v := range keys {
+		b.WriteString(v)
+		b.WriteByte(1)
+		b.WriteString(m[v])
+		b.WriteByte(2)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package cq
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+)
+
+// FreezePrefix prefixes the constants that canonical databases create
+// for frozen variables. Choosing a prefix that the parser cannot produce
+// from ordinary programs keeps frozen constants from colliding with real
+// ones.
+const FreezePrefix = "˂frozen:" // "˂frozen:"
+
+// FrozenConst returns the canonical-database constant for variable v.
+func FrozenConst(v string) string { return FreezePrefix + v }
+
+// CanonicalDB freezes the query: every variable becomes a distinct fresh
+// constant, the frozen body atoms become the facts of the returned
+// database, and the frozen head arguments become the returned tuple.
+//
+// The canonical database is the classical tool for the "easy" direction
+// of recursive/nonrecursive containment (paper §1, [CK86]): a CQ θ is
+// contained in a program Π with goal Q iff evaluating Π on θ's canonical
+// database derives the frozen head tuple.
+func (q CQ) CanonicalDB() (*database.DB, database.Tuple) {
+	freeze := func(t ast.Term) string {
+		if t.Kind == ast.Const {
+			return t.Name
+		}
+		return FrozenConst(t.Name)
+	}
+	db := database.New()
+	for _, a := range q.Body {
+		tuple := make(database.Tuple, len(a.Args))
+		for i, t := range a.Args {
+			tuple[i] = freeze(t)
+		}
+		db.Relation(a.Pred, len(a.Args)).Add(tuple)
+	}
+	head := make(database.Tuple, len(q.Head.Args))
+	for i, t := range q.Head.Args {
+		head[i] = freeze(t)
+	}
+	return db, head
+}
+
+// FromFrozenTuple converts a tuple over a canonical database back into
+// terms: frozen constants thaw to their variables, others stay constants.
+func FromFrozenTuple(t database.Tuple) []ast.Term {
+	out := make([]ast.Term, len(t))
+	for i, c := range t {
+		if len(c) >= len(FreezePrefix) && c[:len(FreezePrefix)] == FreezePrefix {
+			out[i] = ast.V(c[len(FreezePrefix):])
+		} else {
+			out[i] = ast.C(c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package cq
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+)
+
+// A Mapping is a containment mapping: a map from the variables of one
+// query to terms of another.
+type Mapping ast.Substitution
+
+// ContainmentMapping searches for a containment mapping from `from` to
+// `to` (Definition 2.1, extended with constants per Remark 5.14): an
+// assignment h of terms of `to` to variables of `from` such that
+// h(from.Head) == to.Head and every atom of h(from.Body) occurs in
+// to.Body. It returns the mapping and true, or nil and false.
+//
+// By Theorem 2.2, such a mapping exists iff `to` is contained in `from`.
+func ContainmentMapping(from, to CQ) (Mapping, bool) {
+	if from.Head.Pred != to.Head.Pred || len(from.Head.Args) != len(to.Head.Args) {
+		return nil, false
+	}
+	h := ast.Substitution{}
+	// Unify heads: distinguished terms must map exactly.
+	for i, t := range from.Head.Args {
+		if !bindTerm(h, t, to.Head.Args[i]) {
+			return nil, false
+		}
+	}
+	// Index target atoms by predicate symbol.
+	byPred := make(map[ast.PredSym][]ast.Atom)
+	for _, a := range to.Body {
+		byPred[a.Sym()] = append(byPred[a.Sym()], a)
+	}
+	order := orderAtoms(from.Body, h)
+	if !mapAtoms(order, 0, h, byPred) {
+		return nil, false
+	}
+	return Mapping(h), true
+}
+
+// Contained reports whether sub is contained in super: sub(D) ⊆ super(D)
+// for every database D. Per Theorem 2.2 this holds iff there is a
+// containment mapping from super to sub.
+func Contained(sub, super CQ) bool {
+	_, ok := ContainmentMapping(super, sub)
+	return ok
+}
+
+// Equivalent reports whether the two queries are equivalent.
+func Equivalent(a, b CQ) bool { return Contained(a, b) && Contained(b, a) }
+
+// bindTerm extends h so that h maps term t of the source onto target; it
+// reports whether that is possible. Constants must match exactly;
+// variables must be unbound or already bound to target.
+func bindTerm(h ast.Substitution, t ast.Term, target ast.Term) bool {
+	if t.Kind == ast.Const {
+		return target.Kind == ast.Const && target.Name == t.Name
+	}
+	if img, ok := h[t.Name]; ok {
+		return img == target
+	}
+	h[t.Name] = target
+	return true
+}
+
+// orderAtoms returns the source atoms reordered so that atoms sharing
+// variables with already-placed atoms (or with the pre-bound head
+// variables) come early — a greedy most-connected-first heuristic that
+// keeps the backtracking search shallow.
+func orderAtoms(atoms []ast.Atom, preBound ast.Substitution) []ast.Atom {
+	bound := make(map[string]bool, len(preBound))
+	for v := range preBound {
+		bound[v] = true
+	}
+	remaining := make([]ast.Atom, len(atoms))
+	copy(remaining, atoms)
+	out := make([]ast.Atom, 0, len(atoms))
+	for len(remaining) > 0 {
+		best, bestScore := 0, -1
+		for i, a := range remaining {
+			score := 0
+			for _, t := range a.Args {
+				if t.Kind == ast.Const || bound[t.Name] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		out = append(out, a)
+		for _, t := range a.Args {
+			if t.Kind == ast.Var {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// mapAtoms is the backtracking core: map source atom i onto some target
+// atom consistently with h, then recurse.
+func mapAtoms(src []ast.Atom, i int, h ast.Substitution, byPred map[ast.PredSym][]ast.Atom) bool {
+	if i == len(src) {
+		return true
+	}
+	a := src[i]
+	for _, target := range byPred[a.Sym()] {
+		var bound []string
+		ok := true
+		for j, t := range a.Args {
+			if t.Kind == ast.Var {
+				if _, already := h[t.Name]; !already {
+					if bindTerm(h, t, target.Args[j]) {
+						bound = append(bound, t.Name)
+						continue
+					}
+					ok = false
+					break
+				}
+			}
+			if !bindTerm(h, t, target.Args[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok && mapAtoms(src, i+1, h, byPred) {
+			return true
+		}
+		for _, v := range bound {
+			delete(h, v)
+		}
+	}
+	return false
+}
+
+// VerifyMapping checks that h is a genuine containment mapping from
+// `from` to `to`; it returns nil on success. Used by tests and by the
+// self-checking paths of the decision procedures.
+func VerifyMapping(h Mapping, from, to CQ) error {
+	s := ast.Substitution(h)
+	if got := from.Head.Apply(s); !got.Equal(to.Head) {
+		return fmt.Errorf("cq: head maps to %s, want %s", got, to.Head)
+	}
+	inTarget := make(map[string]bool, len(to.Body))
+	for _, a := range to.Body {
+		inTarget[a.Key()] = true
+	}
+	for _, a := range from.Body {
+		img := a.Apply(s)
+		if !inTarget[img.Key()] {
+			return fmt.Errorf("cq: atom %s maps to %s, which is not in the target body", a, img)
+		}
+		for _, t := range img.Args {
+			if t.Kind == ast.Var {
+				// The image must use only terms of the target.
+				found := to.Head.HasVar(t.Name)
+				for _, b := range to.Body {
+					if b.HasVar(t.Name) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("cq: mapping image uses variable %s not present in target", t.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

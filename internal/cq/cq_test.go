@@ -1,0 +1,276 @@
+package cq
+
+import (
+	"testing"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/parser"
+)
+
+// mk parses a CQ written as a rule: "q(X, Y) :- e(X, Z), e(Z, Y)."
+func mk(t *testing.T, src string) CQ {
+	t.Helper()
+	prog, err := parser.Program(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	r := prog.Rules[0]
+	return CQ{Head: r.Head, Body: r.Body}
+}
+
+func TestContainmentPathQueries(t *testing.T) {
+	// path of length 2 is contained in path of length 1? No.
+	// path-2 q2(X,Y) :- e(X,Z), e(Z,Y);  q1(X,Y) :- e(X,Y).
+	q1 := mk(t, "q(X, Y) :- e(X, Y).")
+	q2 := mk(t, "q(X, Y) :- e(X, Z), e(Z, Y).")
+	if Contained(q2, q1) {
+		t.Error("path-2 should not be contained in path-1")
+	}
+	if Contained(q1, q2) {
+		t.Error("path-1 should not be contained in path-2")
+	}
+	// Boolean versions: ∃ path-2 IS contained in ∃ path-1 (map both
+	// atoms of the length-1 witness onto ... no: containment mapping
+	// from q1bool to q2bool maps e(X,Y) to e(X,Z): exists).
+	b1 := mk(t, "q :- e(X, Y).")
+	b2 := mk(t, "q :- e(X, Z), e(Z, Y).")
+	if !Contained(b2, b1) {
+		t.Error("boolean: ∃path-2 ⊆ ∃path-1 should hold")
+	}
+	if Contained(b1, b2) {
+		t.Error("boolean: ∃path-1 ⊄ ∃path-2 (a single edge has no 2-path)")
+	}
+}
+
+func TestContainmentWithRepeatedVars(t *testing.T) {
+	loop := mk(t, "q(X) :- e(X, X).")
+	edge := mk(t, "q(X) :- e(X, Y).")
+	if !Contained(loop, edge) {
+		t.Error("self-loop query ⊆ edge query")
+	}
+	if Contained(edge, loop) {
+		t.Error("edge query ⊄ self-loop query")
+	}
+}
+
+func TestContainmentWithConstants(t *testing.T) {
+	qa := mk(t, "q(X) :- e(X, a).")
+	qv := mk(t, "q(X) :- e(X, Y).")
+	if !Contained(qa, qv) {
+		t.Error("e(X,a) ⊆ e(X,Y)")
+	}
+	if Contained(qv, qa) {
+		t.Error("e(X,Y) ⊄ e(X,a)")
+	}
+	qb := mk(t, "q(X) :- e(X, b).")
+	if Contained(qa, qb) || Contained(qb, qa) {
+		t.Error("different constants are incomparable")
+	}
+}
+
+func TestContainmentMappingVerify(t *testing.T) {
+	from := mk(t, "q(X, Y) :- e(X, Y).")
+	to := mk(t, "q(X, Y) :- e(X, Y), f(X).")
+	h, ok := ContainmentMapping(from, to)
+	if !ok {
+		t.Fatal("mapping should exist")
+	}
+	if err := VerifyMapping(h, from, to); err != nil {
+		t.Errorf("VerifyMapping: %v", err)
+	}
+}
+
+func TestHeadMismatch(t *testing.T) {
+	a := mk(t, "q(X) :- e(X, Y).")
+	b := mk(t, "r(X) :- e(X, Y).")
+	if Contained(a, b) || Contained(b, a) {
+		t.Error("different head predicates are incomparable")
+	}
+	c := mk(t, "q(X, Y) :- e(X, Y).")
+	if Contained(a, c) || Contained(c, a) {
+		t.Error("different arities are incomparable")
+	}
+}
+
+func TestHeadWithRepeatedDistinguished(t *testing.T) {
+	// q(X, X) is contained in q(X, Y) pattern: mapping from the more
+	// general to the specific must send X,Y -> X,X.
+	spec := mk(t, "q(X, X) :- e(X, X).")
+	gen := mk(t, "q(X, Y) :- e(X, Y).")
+	if !Contained(spec, gen) {
+		t.Error("q(X,X):-e(X,X) ⊆ q(X,Y):-e(X,Y)")
+	}
+	if Contained(gen, spec) {
+		t.Error("general not contained in specific")
+	}
+}
+
+func TestEquivalentRedundantAtom(t *testing.T) {
+	a := mk(t, "q(X, Y) :- e(X, Y), e(X, Z).")
+	b := mk(t, "q(X, Y) :- e(X, Y).")
+	if !Equivalent(a, b) {
+		t.Error("redundant atom should not change semantics")
+	}
+}
+
+func TestApply(t *testing.T) {
+	q := mk(t, "q(X, Y) :- e(X, Z), e(Z, Y).")
+	db := database.MustParse("e(a, b). e(b, c). e(c, d).")
+	rel, err := q.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{{"a", "c"}, {"b", "d"}}
+	if rel.Len() != len(want) {
+		t.Fatalf("got %d answers: %v", rel.Len(), rel.Tuples())
+	}
+	for _, w := range want {
+		if !rel.Contains(database.Tuple{w[0], w[1]}) {
+			t.Errorf("missing %v", w)
+		}
+	}
+}
+
+func TestApplyBoolean(t *testing.T) {
+	q := mk(t, "q :- e(X, X).")
+	yes := database.MustParse("e(a, a).")
+	no := database.MustParse("e(a, b).")
+	rel, err := q.Apply(yes)
+	if err != nil || rel.Len() != 1 {
+		t.Errorf("boolean true: %v %v", rel.Tuples(), err)
+	}
+	rel, err = q.Apply(no)
+	if err != nil || rel.Len() != 0 {
+		t.Errorf("boolean false: %v %v", rel.Tuples(), err)
+	}
+}
+
+func TestCanonicalDB(t *testing.T) {
+	q := mk(t, "q(X, Y) :- e(X, Z), e(Z, Y), lab(X, a).")
+	db, head := q.CanonicalDB()
+	if db.FactCount() != 3 {
+		t.Errorf("FactCount = %d", db.FactCount())
+	}
+	if head[0] != FrozenConst("X") || head[1] != FrozenConst("Y") {
+		t.Errorf("head = %v", head)
+	}
+	if !db.Contains("lab", database.Tuple{FrozenConst("X"), "a"}) {
+		t.Error("constant should stay unfrozen")
+	}
+	// Duality: q holds on its own canonical DB with the frozen head.
+	ok, err := q.Holds(db, head)
+	if err != nil || !ok {
+		t.Errorf("q must hold on its canonical DB: %v %v", ok, err)
+	}
+	// Thawing round-trips.
+	terms := FromFrozenTuple(head)
+	if terms[0] != ast.V("X") || terms[1] != ast.V("Y") {
+		t.Errorf("FromFrozenTuple = %v", terms)
+	}
+	if got := FromFrozenTuple(database.Tuple{"a"}); got[0] != ast.C("a") {
+		t.Errorf("constant thawed wrong: %v", got)
+	}
+}
+
+// Containment-by-canonical-database: sub ⊆ super iff super holds on
+// sub's canonical DB with the frozen head. Cross-checks the mapping
+// search against the evaluator.
+func TestContainmentAgreesWithCanonicalDB(t *testing.T) {
+	queries := []CQ{
+		mk(t, "q(X, Y) :- e(X, Y)."),
+		mk(t, "q(X, Y) :- e(X, Z), e(Z, Y)."),
+		mk(t, "q(X, Y) :- e(X, Y), e(Y, Y)."),
+		mk(t, "q(X, Y) :- e(X, Z), e(Z, W), e(W, Y)."),
+		mk(t, "q(X, Y) :- e(X, Y), f(X)."),
+		mk(t, "q(X, X) :- e(X, X)."),
+		mk(t, "q(X, Y) :- e(X, a), e(a, Y)."),
+	}
+	for i, sub := range queries {
+		for j, super := range queries {
+			byMapping := Contained(sub, super)
+			db, head := sub.CanonicalDB()
+			byEval, err := super.Holds(db, head)
+			if err != nil {
+				t.Fatalf("Holds: %v", err)
+			}
+			if byMapping != byEval {
+				t.Errorf("queries %d ⊆ %d: mapping says %v, canonical DB says %v", i, j, byMapping, byEval)
+			}
+		}
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	q := mk(t, "q(X, Y) :- e(X, Y), e(X, Z), e(W, Y).")
+	m := Minimize(q)
+	if m.Size() != 1 {
+		t.Errorf("Minimize size = %d, want 1: %s", m.Size(), m)
+	}
+	if !Equivalent(q, m) {
+		t.Error("Minimize must preserve equivalence")
+	}
+	if !IsMinimal(m) {
+		t.Error("result should be minimal")
+	}
+	// Path-2 is already minimal.
+	p2 := mk(t, "q(X, Y) :- e(X, Z), e(Z, Y).")
+	if got := Minimize(p2); got.Size() != 2 {
+		t.Errorf("path-2 minimized to %d atoms", got.Size())
+	}
+	if !IsMinimal(p2) {
+		t.Error("path-2 should be minimal")
+	}
+}
+
+func TestMinimizePreservesSafety(t *testing.T) {
+	// e(X,Y) is the only atom binding Y; even though e(X,Z) looks
+	// similar, removing e(X,Y) would unbind the head.
+	q := mk(t, "q(X, Y) :- e(X, Y), e(X, Z).")
+	m := Minimize(q)
+	if !m.IsSafe() {
+		t.Errorf("minimized query is unsafe: %s", m)
+	}
+	if m.Size() != 1 {
+		t.Errorf("size = %d", m.Size())
+	}
+	if !m.Body[0].HasVar("Y") {
+		t.Errorf("kept wrong atom: %s", m)
+	}
+}
+
+func TestNormalizeKey(t *testing.T) {
+	a := mk(t, "q(X, Y) :- e(X, Z), e(Z, Y).")
+	b := mk(t, "q(U, V) :- e(W, V), e(U, W).") // renamed + reordered
+	if a.NormalizeKey() != b.NormalizeKey() {
+		t.Error("renamed/reordered copies should share NormalizeKey")
+	}
+	c := mk(t, "q(X, Y) :- e(X, Z), e(Y, Z).")
+	if a.NormalizeKey() == c.NormalizeKey() {
+		t.Error("structurally different queries collide")
+	}
+}
+
+func TestVarsAndClone(t *testing.T) {
+	q := mk(t, "q(X, Y) :- e(X, Z), e(Z, Y).")
+	vars := q.Vars()
+	if len(vars) != 3 {
+		t.Errorf("Vars = %v", vars)
+	}
+	if q.AtomCount() != 6 {
+		t.Errorf("AtomCount = %d", q.AtomCount())
+	}
+	c := q.Clone()
+	c.Body[0].Args[0] = ast.C("mut")
+	if q.Body[0].Args[0] == ast.C("mut") {
+		t.Error("Clone should deep-copy")
+	}
+	g := ast.NewFreshVarGen("R")
+	r := q.RenameApart(g)
+	if len(r.Vars()) != 3 {
+		t.Errorf("RenameApart vars = %v", r.Vars())
+	}
+	if !Equivalent(q, r) {
+		t.Error("RenameApart must preserve equivalence")
+	}
+}

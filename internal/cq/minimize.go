@@ -1,0 +1,51 @@
+package cq
+
+import "datalogeq/internal/ast"
+
+// Minimize returns an equivalent query with a minimal body (a core of
+// q). It repeatedly deletes a body atom when the smaller query is still
+// contained in the original; since deleting atoms can only enlarge the
+// result, the two queries are then equivalent. The classical result that
+// cores are unique up to isomorphism means the returned query is *the*
+// minimal equivalent of q up to renaming.
+func Minimize(q CQ) CQ {
+	cur := q.Clone()
+	for {
+		removed := false
+		for i := 0; i < len(cur.Body); i++ {
+			smaller := CQ{Head: cur.Head, Body: removeAt(cur.Body, i)}
+			// smaller has fewer constraints, so cur ⊆ smaller always;
+			// equivalence needs smaller ⊆ cur, i.e. a containment
+			// mapping from cur to smaller.
+			if !smaller.IsSafe() {
+				continue
+			}
+			if Contained(smaller, cur) {
+				cur = smaller
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// IsMinimal reports whether no single body atom can be removed from q
+// while preserving equivalence.
+func IsMinimal(q CQ) bool {
+	for i := range q.Body {
+		smaller := CQ{Head: q.Head, Body: removeAt(q.Body, i)}
+		if smaller.IsSafe() && Contained(smaller, q) {
+			return false
+		}
+	}
+	return true
+}
+
+func removeAt(atoms []ast.Atom, i int) []ast.Atom {
+	out := make([]ast.Atom, 0, len(atoms)-1)
+	out = append(out, atoms[:i]...)
+	return append(out, atoms[i+1:]...)
+}

@@ -1,0 +1,163 @@
+package cq_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/gen"
+)
+
+// Property: the containment-mapping test agrees with the canonical-
+// database characterization on random conjunctive queries.
+func TestQuickContainmentAgreesWithCanonicalDB(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		b := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		byMapping := cq.Contained(a, b)
+		db, head := a.CanonicalDB()
+		byEval, err := b.Holds(db, head)
+		if err != nil {
+			return false
+		}
+		return byMapping == byEval
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: containment is semantically sound — if a ⊆ b then a's
+// answers are a subset of b's on random databases.
+func TestQuickContainmentSemanticSoundness(t *testing.T) {
+	preds := map[string]int{"e1": 2, "e2": 2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		b := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		if !cq.Contained(a, b) {
+			return true // nothing to check
+		}
+		db := gen.RandomDB(rng, preds, 3, 5)
+		ra, err := a.Apply(db)
+		if err != nil {
+			return false
+		}
+		rb, err := b.Apply(db)
+		if err != nil {
+			return false
+		}
+		for _, tup := range ra.Tuples() {
+			if !rb.Contains(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: containment is reflexive and transitive on random samples.
+func TestQuickContainmentPreorder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		b := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		c := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		if !cq.Contained(a, a) {
+			return false
+		}
+		if cq.Contained(a, b) && cq.Contained(b, c) && !cq.Contained(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Minimize returns an equivalent, minimal query.
+func TestQuickMinimize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := gen.RandomCQ(rng, "q", 1+rng.Intn(4), 3, 2)
+		m := cq.Minimize(q)
+		if !cq.Equivalent(q, m) {
+			return false
+		}
+		return cq.IsMinimal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the canonical database is the "most free" model — the query
+// holds on it with the frozen head, and its answer relation contains
+// the frozen head exactly when a containment endomorphism exists.
+func TestQuickCanonicalDBDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		db, head := q.CanonicalDB()
+		ok, err := q.Holds(db, head)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizeKey is invariant under variable renaming.
+func TestQuickNormalizeKeyRenamingInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		g := ast.NewFreshVarGen("RN", q.Vars()...)
+		r := q.RenameApart(g)
+		return q.NormalizeKey() == r.NormalizeKey()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluation of a CQ agrees with the definition: a tuple is
+// an answer iff freezing the tuple into the head yields a Boolean query
+// that holds.
+func TestQuickApplyConsistent(t *testing.T) {
+	preds := map[string]int{"e1": 2, "e2": 2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+		db := gen.RandomDB(rng, preds, 3, 5)
+		rel, err := q.Apply(db)
+		if err != nil {
+			return false
+		}
+		// Spot-check a few domain tuples.
+		dom := db.ActiveDomain()
+		if len(dom) == 0 {
+			return true
+		}
+		for i := 0; i < 5; i++ {
+			tup := database.Tuple{dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))]}
+			got := rel.Contains(tup)
+			want, err := q.Holds(db, tup)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

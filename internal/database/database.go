@@ -1,0 +1,266 @@
+// Package database implements the extensional store a Datalog program is
+// evaluated over: named relations holding tuples of constants. It is the
+// "database D" of the paper's semantics Q_Π(D).
+package database
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datalogeq/internal/ast"
+)
+
+// Tuple is a tuple of constants. Tuples are compared by value.
+type Tuple []string
+
+// Key returns a canonical map key for the tuple. Distinct tuples have
+// distinct keys.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, c := range t {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(c)
+	}
+	return b.String()
+}
+
+// Equal reports whether two tuples are identical.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as (a, b, c).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, c := range t {
+		parts[i] = c
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a set of same-arity tuples with insertion order preserved.
+type Relation struct {
+	arity  int
+	tuples []Tuple
+	index  map[string]bool
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, index: make(map[string]bool)}
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Add inserts a tuple, reporting whether it was new. It panics if the
+// tuple has the wrong arity, which always indicates a programming error
+// upstream (the parser and evaluator enforce arity).
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("database: tuple %v has arity %d, relation has arity %d", t, len(t), r.arity))
+	}
+	k := t.Key()
+	if r.index[k] {
+		return false
+	}
+	r.index[k] = true
+	r.tuples = append(r.tuples, t.Clone())
+	return true
+}
+
+// Contains reports whether the relation holds t.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	return r.index[t.Key()]
+}
+
+// Tuples returns the tuples in insertion order. The returned slice is
+// shared; callers must not modify it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.arity)
+	for _, t := range r.tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// Equal reports whether two relations hold exactly the same tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// DB is a database: a map from predicate name to relation. The zero
+// value is not usable; construct with New.
+type DB struct {
+	relations map[string]*Relation
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{relations: make(map[string]*Relation)}
+}
+
+// Relation returns the relation for pred, creating an empty one of the
+// given arity if absent. It panics on an arity clash with an existing
+// relation of the same name.
+func (d *DB) Relation(pred string, arity int) *Relation {
+	if r, ok := d.relations[pred]; ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("database: relation %s has arity %d, requested %d", pred, r.arity, arity))
+		}
+		return r
+	}
+	r := NewRelation(arity)
+	d.relations[pred] = r
+	return r
+}
+
+// Lookup returns the relation for pred, or nil if absent.
+func (d *DB) Lookup(pred string) *Relation { return d.relations[pred] }
+
+// Add inserts the fact pred(t...) and reports whether it was new.
+func (d *DB) Add(pred string, t Tuple) bool {
+	return d.Relation(pred, len(t)).Add(t)
+}
+
+// AddAtom inserts a ground atom as a fact. It returns an error if the
+// atom is not ground.
+func (d *DB) AddAtom(a ast.Atom) error {
+	t := make(Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		if arg.Kind != ast.Const {
+			return fmt.Errorf("database: atom %s is not ground", a)
+		}
+		t[i] = arg.Name
+	}
+	d.Add(a.Pred, t)
+	return nil
+}
+
+// Contains reports whether the fact pred(t...) is present.
+func (d *DB) Contains(pred string, t Tuple) bool {
+	r := d.relations[pred]
+	return r != nil && r.Contains(t)
+}
+
+// Preds returns the predicate names with relations, sorted.
+func (d *DB) Preds() []string {
+	out := make([]string, 0, len(d.relations))
+	for p := range d.relations {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FactCount returns the total number of facts across all relations.
+func (d *DB) FactCount() int {
+	n := 0
+	for _, r := range d.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the database.
+func (d *DB) Clone() *DB {
+	out := New()
+	for p, r := range d.relations {
+		out.relations[p] = r.Clone()
+	}
+	return out
+}
+
+// Equal reports whether two databases hold exactly the same facts,
+// ignoring empty relations.
+func (d *DB) Equal(e *DB) bool {
+	for p, r := range d.relations {
+		if r.Len() == 0 {
+			continue
+		}
+		s := e.relations[p]
+		if s == nil || !r.Equal(s) {
+			return false
+		}
+	}
+	for p, s := range e.relations {
+		if s.Len() == 0 {
+			continue
+		}
+		r := d.relations[p]
+		if r == nil || !s.Equal(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveDomain returns the set of constants appearing anywhere in the
+// database, sorted.
+func (d *DB) ActiveDomain() []string {
+	seen := make(map[string]bool)
+	for _, r := range d.relations {
+		for _, t := range r.tuples {
+			for _, c := range t {
+				seen[c] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the database as a sorted list of facts, one per line.
+func (d *DB) String() string {
+	var lines []string
+	for p, r := range d.relations {
+		for _, t := range r.tuples {
+			args := make([]ast.Term, len(t))
+			for i, c := range t {
+				args[i] = ast.C(c)
+			}
+			lines = append(lines, ast.Atom{Pred: p, Args: args}.String()+".")
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

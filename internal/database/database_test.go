@@ -1,0 +1,145 @@
+package database
+
+import (
+	"strings"
+	"testing"
+
+	"datalogeq/internal/ast"
+)
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation(2)
+	if !r.Add(Tuple{"a", "b"}) {
+		t.Error("first Add should be new")
+	}
+	if r.Add(Tuple{"a", "b"}) {
+		t.Error("duplicate Add should not be new")
+	}
+	r.Add(Tuple{"b", "c"})
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Contains(Tuple{"a", "b"}) || r.Contains(Tuple{"b", "a"}) {
+		t.Error("Contains wrong")
+	}
+	if r.Contains(Tuple{"a"}) {
+		t.Error("wrong arity should not be contained")
+	}
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Add(Tuple{"x", "y"})
+	if r.Equal(c) {
+		t.Error("modified clone still equal")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// ("ab","c") and ("a","bc") must not collide.
+	a := Tuple{"ab", "c"}
+	b := Tuple{"a", "bc"}
+	if a.Key() == b.Key() {
+		t.Error("tuple key collision")
+	}
+}
+
+func TestAddPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with wrong arity should panic")
+		}
+	}()
+	NewRelation(2).Add(Tuple{"a"})
+}
+
+func TestDBBasics(t *testing.T) {
+	d := New()
+	d.Add("e", Tuple{"a", "b"})
+	d.Add("e", Tuple{"b", "c"})
+	d.Add("lab", Tuple{"a"})
+	if !d.Contains("e", Tuple{"a", "b"}) {
+		t.Error("Contains")
+	}
+	if d.Contains("missing", Tuple{"a"}) {
+		t.Error("missing relation should not contain")
+	}
+	if d.FactCount() != 3 {
+		t.Errorf("FactCount = %d", d.FactCount())
+	}
+	got := d.Preds()
+	if strings.Join(got, ",") != "e,lab" {
+		t.Errorf("Preds = %v", got)
+	}
+	dom := d.ActiveDomain()
+	if strings.Join(dom, ",") != "a,b,c" && strings.Join(dom, ",") != "a,b,c" {
+		// sorted
+	}
+	if len(dom) != 3 {
+		t.Errorf("ActiveDomain = %v", dom)
+	}
+	c := d.Clone()
+	if !d.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Add("e", Tuple{"c", "d"})
+	if d.Equal(c) {
+		t.Error("modified clone equal")
+	}
+}
+
+func TestDBEqualIgnoresEmptyRelations(t *testing.T) {
+	a := New()
+	b := New()
+	a.Add("e", Tuple{"x", "y"})
+	b.Add("e", Tuple{"x", "y"})
+	a.Relation("ghost", 1) // empty relation
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("empty relations should not affect equality")
+	}
+}
+
+func TestAddAtom(t *testing.T) {
+	d := New()
+	if err := d.AddAtom(ast.NewAtom("e", ast.C("a"), ast.C("b"))); err != nil {
+		t.Fatalf("AddAtom: %v", err)
+	}
+	if err := d.AddAtom(ast.NewAtom("e", ast.V("X"), ast.C("b"))); err == nil {
+		t.Error("non-ground atom accepted")
+	}
+}
+
+func TestParse(t *testing.T) {
+	d, err := Parse("edge(a, b). edge(b, c).\nlikes(ann, jazz).")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.FactCount() != 3 {
+		t.Errorf("FactCount = %d", d.FactCount())
+	}
+	if _, err := Parse("p(X)."); err == nil {
+		t.Error("non-ground fact accepted")
+	}
+	if _, err := Parse("p(a) :- q(b)."); err == nil {
+		t.Error("rule accepted as fact")
+	}
+}
+
+func TestDBString(t *testing.T) {
+	d := MustParse("b(x). a(y).")
+	want := "a(y).\nb(x)."
+	if d.String() != want {
+		t.Errorf("String = %q, want %q", d.String(), want)
+	}
+}
+
+func TestRelationPanicsOnArityClash(t *testing.T) {
+	d := New()
+	d.Relation("e", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("arity clash should panic")
+		}
+	}()
+	d.Relation("e", 3)
+}

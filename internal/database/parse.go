@@ -1,0 +1,40 @@
+package database
+
+import (
+	"fmt"
+
+	"datalogeq/internal/parser"
+)
+
+// Parse reads a database from Datalog fact syntax: one ground atom per
+// statement, e.g.
+//
+//	edge(a, b). edge(b, c).
+//	likes(ann, jazz).
+//
+// Non-ground statements or rules with bodies are rejected.
+func Parse(src string) (*DB, error) {
+	prog, err := parser.Program(src)
+	if err != nil {
+		return nil, err
+	}
+	db := New()
+	for _, r := range prog.Rules {
+		if len(r.Body) > 0 {
+			return nil, fmt.Errorf("database: %s is a rule, not a fact", r)
+		}
+		if err := db.AddAtom(r.Head); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// MustParse is like Parse but panics on error; intended for tests.
+func MustParse(src string) *DB {
+	db, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}

@@ -1,0 +1,260 @@
+// Package eval implements bottom-up evaluation of Datalog programs: the
+// semantics Q_Π(D) = ∪_i Q^i_Π(D) of paper §2.1. Both naive and
+// semi-naive fixpoint strategies are provided; semi-naive is the default.
+//
+// Rules with empty bodies or with head variables not bound by the body
+// (Example 6.2 of the paper uses "dist0(x, x) :- .") are evaluated with
+// active-domain semantics: unbound head variables range over the set of
+// constants occurring in the database or the program.
+package eval
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+)
+
+// Stats reports work done by an evaluation.
+type Stats struct {
+	// Iterations is the number of fixpoint rounds executed.
+	Iterations int
+	// Derived is the number of distinct IDB facts derived.
+	Derived int
+	// Firings is the number of rule-body matches that produced a
+	// (possibly duplicate) head fact.
+	Firings int
+}
+
+// Options configure evaluation.
+type Options struct {
+	// Naive selects the naive strategy (recompute every rule against
+	// the full store each round) instead of semi-naive.
+	Naive bool
+	// MaxFacts aborts evaluation once more than this many IDB facts
+	// have been derived; 0 means unlimited. Datalog evaluation always
+	// terminates, but a bound is useful in adversarial benchmarks.
+	MaxFacts int
+}
+
+// Eval computes the least fixpoint of prog over edb and returns a new
+// database containing all EDB facts plus every derived IDB fact. The
+// input database is not modified.
+func Eval(prog *ast.Program, edb *database.DB, opts Options) (*database.DB, Stats, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	e := &evaluator{
+		prog:  prog,
+		total: edb.Clone(),
+		idb:   prog.IDBPreds(),
+		opts:  opts,
+	}
+	e.domain = activeDomain(prog, edb)
+	stats, err := e.run()
+	return e.total, stats, err
+}
+
+// Goal evaluates prog over edb and returns the relation computed for the
+// goal predicate (empty if the goal derives nothing).
+func Goal(prog *ast.Program, edb *database.DB, goal string, opts Options) (*database.Relation, Stats, error) {
+	out, stats, err := Eval(prog, edb, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	if r := out.Lookup(goal); r != nil {
+		return r, stats, nil
+	}
+	arity := prog.GoalArity(goal)
+	if arity < 0 {
+		return nil, stats, fmt.Errorf("eval: goal predicate %q does not occur in program", goal)
+	}
+	return database.NewRelation(arity), stats, nil
+}
+
+func activeDomain(prog *ast.Program, edb *database.DB) []string {
+	seen := make(map[string]bool)
+	out := edb.ActiveDomain()
+	for _, c := range out {
+		seen[c] = true
+	}
+	addAtom := func(a ast.Atom) {
+		for _, t := range a.Args {
+			if t.Kind == ast.Const && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	for _, r := range prog.Rules {
+		addAtom(r.Head)
+		for _, a := range r.Body {
+			addAtom(a)
+		}
+	}
+	return out
+}
+
+type evaluator struct {
+	prog   *ast.Program
+	total  *database.DB
+	idb    map[ast.PredSym]bool
+	domain []string
+	opts   Options
+
+	// delta holds the facts derived in the previous round, per
+	// predicate name (semi-naive only).
+	delta map[string][]database.Tuple
+
+	// indexes caches join indexes per round; see matcher.
+	indexes map[indexKey]index
+
+	stats Stats
+}
+
+func (e *evaluator) run() (Stats, error) {
+	// Round 0: evaluate every rule against the initial store.
+	first := e.applyAllRules(nil)
+	e.delta = first
+	e.stats.Iterations = 1
+	for len(e.delta) > 0 {
+		if e.opts.MaxFacts > 0 && e.stats.Derived > e.opts.MaxFacts {
+			return e.stats, fmt.Errorf("eval: derived more than %d facts", e.opts.MaxFacts)
+		}
+		var next map[string][]database.Tuple
+		if e.opts.Naive {
+			next = e.applyAllRules(nil)
+		} else {
+			next = e.applyAllRules(e.delta)
+		}
+		e.delta = next
+		e.stats.Iterations++
+	}
+	return e.stats, nil
+}
+
+// applyAllRules evaluates every rule once. With delta == nil every rule
+// is evaluated against the full store. With a non-nil delta, rules whose
+// bodies contain IDB atoms are evaluated once per IDB position, with that
+// position restricted to the delta of its predicate (standard semi-naive
+// rewriting); rules without IDB subgoals are skipped, since they can
+// derive nothing new after round 0.
+func (e *evaluator) applyAllRules(delta map[string][]database.Tuple) map[string][]database.Tuple {
+	e.indexes = make(map[indexKey]index)
+	derived := make(map[string][]database.Tuple)
+	for _, rule := range e.prog.Rules {
+		if delta == nil {
+			e.applyRule(rule, -1, nil, derived)
+			continue
+		}
+		for i, a := range rule.Body {
+			if !e.idb[a.Sym()] {
+				continue
+			}
+			d := delta[a.Pred]
+			if len(d) == 0 {
+				continue
+			}
+			e.applyRule(rule, i, d, derived)
+		}
+	}
+	return derived
+}
+
+// applyRule joins the body of rule and adds resulting head facts to the
+// store, recording genuinely new facts in derived. If deltaPos >= 0, the
+// body atom at that position matches only deltaTuples.
+func (e *evaluator) applyRule(rule ast.Rule, deltaPos int, deltaTuples []database.Tuple, derived map[string][]database.Tuple) {
+	env := make(map[string]string)
+	e.joinFrom(rule, 0, deltaPos, deltaTuples, env, derived)
+}
+
+func (e *evaluator) joinFrom(rule ast.Rule, pos, deltaPos int, deltaTuples []database.Tuple, env map[string]string, derived map[string][]database.Tuple) {
+	if pos == len(rule.Body) {
+		e.emitHead(rule, env, derived)
+		return
+	}
+	atom := rule.Body[pos]
+	var tuples []database.Tuple
+	if pos == deltaPos {
+		tuples = e.matchDelta(atom, deltaTuples, env)
+	} else {
+		tuples = e.matchTotal(atom, env)
+	}
+	for _, t := range tuples {
+		bound := bindAtom(atom, t, env)
+		e.joinFrom(rule, pos+1, deltaPos, deltaTuples, env, derived)
+		for _, v := range bound {
+			delete(env, v)
+		}
+	}
+}
+
+// bindAtom extends env with the bindings needed to match atom against
+// tuple t (which is assumed to match all already-bound positions) and
+// returns the variables newly bound.
+func bindAtom(atom ast.Atom, t database.Tuple, env map[string]string) []string {
+	var bound []string
+	for i, arg := range atom.Args {
+		if arg.Kind == ast.Var {
+			if _, ok := env[arg.Name]; !ok {
+				env[arg.Name] = t[i]
+				bound = append(bound, arg.Name)
+			}
+		}
+	}
+	return bound
+}
+
+// emitHead instantiates the head under env; unbound head variables range
+// over the active domain.
+func (e *evaluator) emitHead(rule ast.Rule, env map[string]string, derived map[string][]database.Tuple) {
+	head := rule.Head
+	tuple := make(database.Tuple, len(head.Args))
+	var unboundPos []int
+	unboundVars := make(map[string][]int)
+	for i, arg := range head.Args {
+		if arg.Kind == ast.Const {
+			tuple[i] = arg.Name
+			continue
+		}
+		if c, ok := env[arg.Name]; ok {
+			tuple[i] = c
+			continue
+		}
+		unboundPos = append(unboundPos, i)
+		unboundVars[arg.Name] = append(unboundVars[arg.Name], i)
+	}
+	if len(unboundPos) == 0 {
+		e.addFact(head.Pred, tuple, derived)
+		return
+	}
+	// Active-domain semantics for unsafe heads: enumerate assignments
+	// to the distinct unbound variables.
+	vars := make([]string, 0, len(unboundVars))
+	for v := range unboundVars {
+		vars = append(vars, v)
+	}
+	var assign func(i int)
+	assign = func(i int) {
+		if i == len(vars) {
+			e.addFact(head.Pred, tuple.Clone(), derived)
+			return
+		}
+		for _, c := range e.domain {
+			for _, pos := range unboundVars[vars[i]] {
+				tuple[pos] = c
+			}
+			assign(i + 1)
+		}
+	}
+	assign(0)
+}
+
+func (e *evaluator) addFact(pred string, t database.Tuple, derived map[string][]database.Tuple) {
+	e.stats.Firings++
+	if e.total.Add(pred, t) {
+		e.stats.Derived++
+		derived[pred] = append(derived[pred], t)
+	}
+}

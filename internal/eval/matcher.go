@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"strings"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+)
+
+// indexKey identifies a cached join index: a predicate, the bitmask of
+// columns the index is keyed on, and whether it indexes the delta store.
+type indexKey struct {
+	pred  string
+	mask  uint64
+	delta bool
+}
+
+// index maps a projection key (the bound column values, NUL-joined) to
+// the matching tuples.
+type index map[string][]database.Tuple
+
+// matchTotal returns tuples of atom's relation in the full store that
+// agree with env on bound positions and with constants in the atom.
+func (e *evaluator) matchTotal(atom ast.Atom, env map[string]string) []database.Tuple {
+	rel := e.total.Lookup(atom.Pred)
+	if rel == nil {
+		return nil
+	}
+	return e.match(atom, rel.Tuples(), env, false)
+}
+
+// matchDelta is matchTotal restricted to the given delta tuples.
+func (e *evaluator) matchDelta(atom ast.Atom, deltaTuples []database.Tuple, env map[string]string) []database.Tuple {
+	return e.match(atom, deltaTuples, env, true)
+}
+
+func (e *evaluator) match(atom ast.Atom, tuples []database.Tuple, env map[string]string, isDelta bool) []database.Tuple {
+	// Determine which positions are constrained: constants in the atom,
+	// variables already bound in env, and repeated variables within the
+	// atom (the second and later occurrences must equal the first, which
+	// we handle by treating only the first occurrence as binding and
+	// checking the rest).
+	var mask uint64
+	key := make([]string, 0, len(atom.Args))
+	seenVar := make(map[string]int)
+	var repeats [][2]int // (pos, firstPos) pairs for repeated variables
+	for i, arg := range atom.Args {
+		switch arg.Kind {
+		case ast.Const:
+			mask |= 1 << uint(i)
+			key = append(key, arg.Name)
+		case ast.Var:
+			if c, ok := env[arg.Name]; ok {
+				mask |= 1 << uint(i)
+				key = append(key, c)
+				continue
+			}
+			if first, ok := seenVar[arg.Name]; ok {
+				repeats = append(repeats, [2]int{i, first})
+			} else {
+				seenVar[arg.Name] = i
+			}
+		}
+	}
+	var candidates []database.Tuple
+	if mask == 0 {
+		candidates = tuples
+	} else if len(atom.Args) <= 64 {
+		idx := e.indexFor(atom.Pred, mask, isDelta, tuples, len(atom.Args))
+		candidates = idx[strings.Join(key, "\x00")]
+	} else {
+		candidates = filterLinear(tuples, atom, env)
+	}
+	if len(repeats) == 0 {
+		return candidates
+	}
+	out := candidates[:0:0]
+	for _, t := range candidates {
+		ok := true
+		for _, r := range repeats {
+			if t[r[0]] != t[r[1]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// indexFor returns (building on first use this round) the hash index for
+// the given predicate, column mask, and store.
+func (e *evaluator) indexFor(pred string, mask uint64, isDelta bool, tuples []database.Tuple, arity int) index {
+	k := indexKey{pred: pred, mask: mask, delta: isDelta}
+	if idx, ok := e.indexes[k]; ok {
+		return idx
+	}
+	idx := make(index)
+	cols := make([]int, 0, arity)
+	for i := 0; i < arity; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			cols = append(cols, i)
+		}
+	}
+	parts := make([]string, len(cols))
+	for _, t := range tuples {
+		for j, c := range cols {
+			parts[j] = t[c]
+		}
+		key := strings.Join(parts, "\x00")
+		idx[key] = append(idx[key], t)
+	}
+	e.indexes[k] = idx
+	return idx
+}
+
+// filterLinear is the fallback matcher for atoms too wide to index.
+func filterLinear(tuples []database.Tuple, atom ast.Atom, env map[string]string) []database.Tuple {
+	var out []database.Tuple
+	for _, t := range tuples {
+		if matchesTuple(atom, t, env) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func matchesTuple(atom ast.Atom, t database.Tuple, env map[string]string) bool {
+	local := make(map[string]string)
+	for i, arg := range atom.Args {
+		switch arg.Kind {
+		case ast.Const:
+			if t[i] != arg.Name {
+				return false
+			}
+		case ast.Var:
+			if c, ok := env[arg.Name]; ok {
+				if t[i] != c {
+					return false
+				}
+				continue
+			}
+			if c, ok := local[arg.Name]; ok {
+				if t[i] != c {
+					return false
+				}
+				continue
+			}
+			local[arg.Name] = t[i]
+		}
+	}
+	return true
+}

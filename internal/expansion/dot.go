@@ -1,0 +1,57 @@
+package expansion
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the tree in Graphviz DOT format, one node per expansion-
+// tree node labeled with its goal atom and rule instance — the layout
+// of the paper's Figures 1 and 2, machine-renderable.
+func (t *Tree) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", dotID(name))
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	counter := 0
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		id := counter
+		counter++
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s\"];\n",
+			id, dotEscape(n.Atom().String()), dotEscape(n.Rule.String()))
+		for _, c := range n.Children {
+			cid := rec(c)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, cid)
+		}
+		return id
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotID(s string) string {
+	if s == "" {
+		return "tree"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

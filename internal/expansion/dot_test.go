@@ -1,0 +1,42 @@
+package expansion
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	tree := fig2ProofTree()
+	dot := tree.DOT("fig2")
+	for _, want := range []string{
+		"digraph fig2 {",
+		"n0 -> n1;",
+		"n1 -> n2;",
+		"p(X, Y)",
+		"shape=box",
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Three nodes, two edges.
+	if got := strings.Count(dot, "label="); got != 3 {
+		t.Errorf("node count = %d, want 3", got)
+	}
+	if got := strings.Count(dot, "->"); got != 2 {
+		t.Errorf("edge count = %d, want 2", got)
+	}
+}
+
+func TestDOTEscaping(t *testing.T) {
+	if id := dotID("my-tree 2"); id != "my_tree_2" {
+		t.Errorf("dotID = %q", id)
+	}
+	if id := dotID(""); id != "tree" {
+		t.Errorf("empty dotID = %q", id)
+	}
+	if esc := dotEscape(`a"b\c`); esc != `a\"b\\c` {
+		t.Errorf("dotEscape = %q", esc)
+	}
+}

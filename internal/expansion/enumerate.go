@@ -1,0 +1,265 @@
+package expansion
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+)
+
+// Unfoldings enumerates unfolding expansion trees for the goal predicate
+// up to the given height, returning at most maxCount trees (0 means
+// unlimited). Trees are produced by SLD-style unfolding with most
+// general unifiers, so every unfolding expansion tree of the program is
+// a substitution instance of some returned tree; since instances are
+// homomorphic images, the returned trees suffice for semantics and
+// containment (Proposition 2.6 and the remark after it).
+func Unfoldings(prog *ast.Program, goal string, maxDepth, maxCount int) []*Tree {
+	e := &unfolder{
+		prog:     prog,
+		isIDB:    prog.IDBPreds(),
+		maxDepth: maxDepth,
+		maxCount: maxCount,
+		fresh:    ast.NewFreshVarGen("U"),
+	}
+	for _, r := range prog.Rules {
+		if r.Head.Pred != goal {
+			continue
+		}
+		root := r.RenameApart(func(string) string { return e.fresh.Fresh() })
+		e.expand(&buildNode{rule: root}, 1, func(n *buildNode, env ast.Substitution) bool {
+			e.out = append(e.out, e.finish(n, env))
+			return maxCount > 0 && len(e.out) >= maxCount
+		}, ast.Substitution{})
+		if maxCount > 0 && len(e.out) >= maxCount {
+			break
+		}
+	}
+	return e.out
+}
+
+// buildNode is a tree under construction; rules are stored unsubstituted
+// and the accumulated unifier is applied when the tree completes.
+type buildNode struct {
+	rule     ast.Rule
+	children []*buildNode
+	childPos []int
+}
+
+type unfolder struct {
+	prog     *ast.Program
+	isIDB    map[ast.PredSym]bool
+	maxDepth int
+	maxCount int
+	fresh    *ast.FreshVarGen
+	out      []*Tree
+}
+
+// expand completes all open IDB subgoals of n (at the given depth) in
+// every possible way, invoking done for each completion. done returns
+// true to stop the enumeration. expand returns true when enumeration
+// should stop.
+func (e *unfolder) expand(n *buildNode, depth int, done func(*buildNode, ast.Substitution) bool, env ast.Substitution) bool {
+	return e.expandFrom(n, n, 0, depth, done, env)
+}
+
+// expandFrom processes the IDB atoms of cur.rule.Body starting at body
+// index pos, then returns control to the continuation for the rest of
+// the tree.
+func (e *unfolder) expandFrom(root, cur *buildNode, pos, depth int, done func(*buildNode, ast.Substitution) bool, env ast.Substitution) bool {
+	for i := pos; i < len(cur.rule.Body); i++ {
+		atom := cur.rule.Body[i]
+		if !e.isIDB[atom.Sym()] {
+			continue
+		}
+		if depth >= e.maxDepth {
+			return false // cannot expand deeper; this branch dies
+		}
+		for _, r := range e.prog.Rules {
+			if r.Head.Sym() != atom.Sym() {
+				continue
+			}
+			inst := r.RenameApart(func(string) string { return e.fresh.Fresh() })
+			env2, ok := ast.UnifyAtoms(atom, inst.Head, env)
+			if !ok {
+				continue
+			}
+			child := &buildNode{rule: inst}
+			cur.children = append(cur.children, child)
+			cur.childPos = append(cur.childPos, i)
+			stop := e.expandFrom(root, child, 0, depth+1, func(rn *buildNode, envDone ast.Substitution) bool {
+				return e.expandFrom(root, cur, i+1, depth, done, envDone)
+			}, env2)
+			cur.children = cur.children[:len(cur.children)-1]
+			cur.childPos = cur.childPos[:len(cur.childPos)-1]
+			if stop {
+				return true
+			}
+		}
+		return false // all rule choices for this atom exhausted
+	}
+	return done(root, env)
+}
+
+// finish applies the accumulated unifier to the built tree.
+func (e *unfolder) finish(n *buildNode, env ast.Substitution) *Tree {
+	var conv func(b *buildNode) *Node
+	conv = func(b *buildNode) *Node {
+		out := &Node{
+			Rule:     ast.ResolveRule(b.rule, env),
+			ChildPos: append([]int(nil), b.childPos...),
+		}
+		for _, c := range b.children {
+			out.Children = append(out.Children, conv(c))
+		}
+		return out
+	}
+	return &Tree{Prog: e.prog, Root: conv(n)}
+}
+
+// Expansions returns the expansions (as conjunctive queries) of all
+// unfolding expansion trees up to the given height.
+func Expansions(prog *ast.Program, goal string, maxDepth, maxCount int) []cq.CQ {
+	trees := Unfoldings(prog, goal, maxDepth, maxCount)
+	out := make([]cq.CQ, len(trees))
+	for i, t := range trees {
+		out[i] = t.Query()
+	}
+	return out
+}
+
+// ProofTrees enumerates proof trees for the goal predicate up to the
+// given height, at most maxCount (0 = unlimited). All variables are
+// drawn from var(Π). The enumeration is exponential and intended for
+// small programs: it is the brute-force oracle the automata-theoretic
+// procedures are validated against.
+func ProofTrees(prog *ast.Program, goal string, maxDepth, maxCount int) []*Tree {
+	vars := VarSet(prog)
+	e := &proofEnum{prog: prog, isIDB: prog.IDBPreds(), vars: vars, maxDepth: maxDepth, maxCount: maxCount}
+	arity := prog.GoalArity(goal)
+	if arity < 0 {
+		return nil
+	}
+	// Enumerate root atoms Q(s) with s over var(Π).
+	args := make([]ast.Term, arity)
+	var roots func(i int)
+	roots = func(i int) {
+		if e.stopped() {
+			return
+		}
+		if i == arity {
+			goalAtom := ast.Atom{Pred: goal, Args: append([]ast.Term(nil), args...)}
+			e.subtrees(goalAtom, 1, func(n *Node) bool {
+				// n is still being backtracked over by the
+				// enumerator; snapshot it.
+				e.out = append(e.out, &Tree{Prog: prog, Root: n.Clone()})
+				return e.stopped()
+			})
+			return
+		}
+		for _, v := range vars {
+			args[i] = ast.V(v)
+			roots(i + 1)
+		}
+	}
+	roots(0)
+	return e.out
+}
+
+type proofEnum struct {
+	prog     *ast.Program
+	isIDB    map[ast.PredSym]bool
+	vars     []string
+	maxDepth int
+	maxCount int
+	out      []*Tree
+}
+
+func (e *proofEnum) stopped() bool {
+	return e.maxCount > 0 && len(e.out) >= e.maxCount
+}
+
+// subtrees enumerates proof subtrees whose root goal is exactly goalAtom
+// (an atom over var(Π)), calling emit for each; emit returns true to
+// stop.
+func (e *proofEnum) subtrees(goalAtom ast.Atom, depth int, emit func(*Node) bool) bool {
+	if depth > e.maxDepth {
+		return false
+	}
+	for _, r := range e.prog.Rules {
+		if r.Head.Sym() != goalAtom.Sym() {
+			continue
+		}
+		// The head variables are forced by goalAtom; body-only
+		// variables range over var(Π).
+		sub := ast.Substitution{}
+		ok := true
+		for i, t := range r.Head.Args {
+			if t.Kind == ast.Const {
+				if goalAtom.Args[i] != t {
+					ok = false
+					break
+				}
+				continue
+			}
+			if img, bound := sub[t.Name]; bound {
+				if img != goalAtom.Args[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			sub[t.Name] = goalAtom.Args[i]
+		}
+		if !ok {
+			continue
+		}
+		var free []string
+		for _, v := range r.Vars() {
+			if _, bound := sub[v]; !bound {
+				free = append(free, v)
+			}
+		}
+		if e.instantiate(r, sub, free, 0, goalAtom, depth, emit) {
+			return true
+		}
+	}
+	return false
+}
+
+// instantiate assigns var(Π) values to the free body variables of r and
+// recurses into children for each complete instance.
+func (e *proofEnum) instantiate(r ast.Rule, sub ast.Substitution, free []string, i int, goalAtom ast.Atom, depth int, emit func(*Node) bool) bool {
+	if i < len(free) {
+		for _, v := range e.vars {
+			sub[free[i]] = ast.V(v)
+			if e.instantiate(r, sub, free, i+1, goalAtom, depth, emit) {
+				return true
+			}
+		}
+		delete(sub, free[i])
+		return false
+	}
+	inst := r.Apply(sub)
+	node := &Node{Rule: inst}
+	var idbPos []int
+	for p, a := range inst.Body {
+		if e.isIDB[a.Sym()] {
+			idbPos = append(idbPos, p)
+		}
+	}
+	return e.buildChildren(node, inst, idbPos, 0, depth, emit)
+}
+
+func (e *proofEnum) buildChildren(node *Node, inst ast.Rule, idbPos []int, k, depth int, emit func(*Node) bool) bool {
+	if k == len(idbPos) {
+		return emit(node)
+	}
+	atom := inst.Body[idbPos[k]]
+	return e.subtrees(atom, depth+1, func(child *Node) bool {
+		node.Children = append(node.Children, child)
+		node.ChildPos = append(node.ChildPos, idbPos[k])
+		stop := e.buildChildren(node, inst, idbPos, k+1, depth, emit)
+		node.Children = node.Children[:len(node.Children)-1]
+		node.ChildPos = node.ChildPos[:len(node.ChildPos)-1]
+		return stop
+	})
+}

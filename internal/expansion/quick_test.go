@@ -1,0 +1,95 @@
+package expansion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datalogeq/internal/cq"
+	"datalogeq/internal/gen"
+)
+
+// Property (the semantic heart of §5.1): a conjunctive query strongly
+// maps into a proof tree iff it plainly maps into the expansion the
+// tree represents, for random queries and random proof trees of random
+// linear programs.
+func TestQuickStrongMappingEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := gen.RandomLinearProgram(rng, 2, 2)
+		trees := ProofTrees(prog, "p", 2, 40)
+		if len(trees) == 0 {
+			return true
+		}
+		tree := trees[rng.Intn(len(trees))]
+		exp := tree.ExpansionQuery()
+		q := gen.RandomCQ(rng, "p", 1+rng.Intn(3), 3, 2)
+		// Give the query a chance to use the program's predicates.
+		if rng.Intn(2) == 0 && len(q.Body) > 0 {
+			q.Body[len(q.Body)-1].Pred = "b"
+		}
+		_, strong := StrongMapping(q, tree)
+		_, plain := cq.ContainmentMapping(q, exp)
+		return strong == plain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every unfolding expansion tree validates, and its query's
+// canonical database makes the program derive the query head.
+func TestQuickUnfoldingsAreDerivations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := gen.RandomLinearProgram(rng, 2, 2)
+		trees := Unfoldings(prog, "p", 3, 5)
+		for _, tr := range trees {
+			if err := tr.Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: connectedness classes partition occurrences — every
+// variable of every node has exactly one class, and distinguished
+// classes are exactly those of the root atom's variables.
+func TestQuickConnectivityPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := gen.RandomLinearProgram(rng, 2, 2)
+		trees := ProofTrees(prog, "p", 2, 20)
+		if len(trees) == 0 {
+			return true
+		}
+		tree := trees[rng.Intn(len(trees))]
+		conn := Connect(tree)
+		ok := true
+		tree.Walk(func(n *Node) {
+			for _, v := range n.Rule.Vars() {
+				if _, found := conn.Class(n, v); !found {
+					ok = false
+				}
+			}
+		})
+		if !ok {
+			return false
+		}
+		// Root-arg classes are distinguished.
+		for i := range tree.Root.Atom().Args {
+			id := conn.RootArgClass(i)
+			if id >= 0 && !conn.Distinguished(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package expansion
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+)
+
+// Image is the image of a conjunctive-query variable under a strong
+// containment mapping into a proof tree: either a connectedness class of
+// the tree (a variable of the represented expansion) or a constant.
+type Image struct {
+	IsClass bool
+	Class   ClassID
+	Const   string
+}
+
+// StrongMapping searches for a strong containment mapping (Definition
+// 5.4) from the conjunctive query theta to the tree: a containment
+// mapping from theta's atoms into the EDB atoms of the tree's rule
+// instances such that
+//
+//   - occurrences of the same theta-variable map to connected
+//     occurrences of the tree (equivalently: to a single connectedness
+//     class), and
+//   - the head of theta maps onto the root atom, so distinguished
+//     variables land on distinguished occurrences.
+//
+// By Corollary 5.7, a program Π is contained in theta iff every proof
+// tree in ptrees(Q, Π) admits such a mapping.
+func StrongMapping(theta cq.CQ, t *Tree) (map[string]Image, bool) {
+	conn := Connect(t)
+	return StrongMappingWith(theta, t, conn)
+}
+
+// StrongMappingWith is StrongMapping with a precomputed connectivity,
+// for callers checking many queries against one tree.
+func StrongMappingWith(theta cq.CQ, t *Tree, conn *Connectivity) (map[string]Image, bool) {
+	root := t.Root.Atom()
+	if theta.Head.Pred != root.Pred || len(theta.Head.Args) != len(root.Args) {
+		return nil, false
+	}
+	s := &strongSearch{conn: conn, assign: make(map[string]Image)}
+	// Head condition: theta.Head must map exactly onto the root atom.
+	for i, arg := range theta.Head.Args {
+		var want Image
+		if rootArg := root.Args[i]; rootArg.Kind == ast.Var {
+			want = Image{IsClass: true, Class: conn.RootArgClass(i)}
+		} else {
+			want = Image{Const: rootArg.Name}
+		}
+		if arg.Kind == ast.Const {
+			if want.IsClass || want.Const != arg.Name {
+				return nil, false
+			}
+			continue
+		}
+		if !s.bind(arg.Name, want) {
+			return nil, false
+		}
+	}
+	// Collect the EDB atom occurrences of the tree, indexed by
+	// predicate symbol.
+	isIDB := t.Prog.IDBPreds()
+	byPred := make(map[ast.PredSym][]occAtom)
+	t.Walk(func(n *Node) {
+		for _, a := range n.Rule.Body {
+			if !isIDB[a.Sym()] {
+				byPred[a.Sym()] = append(byPred[a.Sym()], occAtom{node: n, atom: a})
+			}
+		}
+	})
+	if !s.mapAtoms(theta.Body, 0, byPred) {
+		return nil, false
+	}
+	return s.assign, true
+}
+
+type occAtom struct {
+	node *Node
+	atom ast.Atom
+}
+
+type strongSearch struct {
+	conn   *Connectivity
+	assign map[string]Image
+}
+
+func (s *strongSearch) bind(v string, img Image) bool {
+	if cur, ok := s.assign[v]; ok {
+		return cur == img
+	}
+	s.assign[v] = img
+	return true
+}
+
+func (s *strongSearch) mapAtoms(src []ast.Atom, i int, byPred map[ast.PredSym][]occAtom) bool {
+	if i == len(src) {
+		return true
+	}
+	a := src[i]
+	for _, target := range byPred[a.Sym()] {
+		var bound []string
+		ok := true
+		for j, term := range a.Args {
+			img, imgOK := s.imageOf(target, j)
+			if !imgOK {
+				ok = false
+				break
+			}
+			if term.Kind == ast.Const {
+				if img.IsClass || img.Const != term.Name {
+					ok = false
+					break
+				}
+				continue
+			}
+			if _, already := s.assign[term.Name]; !already {
+				s.assign[term.Name] = img
+				bound = append(bound, term.Name)
+				continue
+			}
+			if !s.bind(term.Name, img) {
+				ok = false
+				break
+			}
+		}
+		if ok && s.mapAtoms(src, i+1, byPred) {
+			return true
+		}
+		for _, v := range bound {
+			delete(s.assign, v)
+		}
+	}
+	return false
+}
+
+// imageOf returns the Image of argument j of the target occurrence.
+func (s *strongSearch) imageOf(target occAtom, j int) (Image, bool) {
+	term := target.atom.Args[j]
+	if term.Kind == ast.Const {
+		return Image{Const: term.Name}, true
+	}
+	id, ok := s.conn.Class(target.node, term.Name)
+	if !ok {
+		return Image{}, false
+	}
+	return Image{IsClass: true, Class: id}, true
+}
+
+// ContainedInUCQByTrees is the brute-force containment oracle: it
+// enumerates proof trees of the program up to maxDepth and reports
+// whether every one admits a strong containment mapping from some
+// disjunct of the union. A false answer is definitive (the failing tree
+// is returned as a counterexample); a true answer is definitive only if
+// the program has no proof trees deeper than maxDepth, and is otherwise
+// a bounded approximation — which is exactly what makes it a useful
+// independent check of the automata procedure on small instances.
+func ContainedInUCQByTrees(prog *ast.Program, goal string, disjuncts []cq.CQ, maxDepth int) (*Tree, bool) {
+	trees := ProofTrees(prog, goal, maxDepth, 0)
+	for _, t := range trees {
+		conn := Connect(t)
+		found := false
+		for _, d := range disjuncts {
+			if _, ok := StrongMappingWith(d, t, conn); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return t, false
+		}
+	}
+	return nil, true
+}

@@ -1,0 +1,141 @@
+package expansion
+
+import (
+	"testing"
+
+	"datalogeq/internal/cq"
+	"datalogeq/internal/parser"
+)
+
+func TestStrongMappingPath3(t *testing.T) {
+	tree := fig2ProofTree()
+	theta3 := mkCQ(t, "p(X, Y) :- e(X, A), e(A, B), b(B, Y).")
+	if _, ok := StrongMapping(theta3, tree); !ok {
+		t.Error("path-3 query should strongly map onto the Fig 2 proof tree")
+	}
+	theta2 := mkCQ(t, "p(X, Y) :- e(X, A), b(A, Y).")
+	if _, ok := StrongMapping(theta2, tree); ok {
+		t.Error("path-2 query should not map onto a 3-node proof tree")
+	}
+}
+
+// A containment mapping into the proof tree *as a conjunctive query*
+// exists (variables are reused, so the tree-query has a cycle), but a
+// strong mapping must not: occurrences of X in different classes cannot
+// both be images of one query variable.
+func TestStrongRejectsClassMixing(t *testing.T) {
+	tree := fig2ProofTree()
+	cyclic := mkCQ(t, "p(X, Y) :- e(X, Z), e(Z, X), b(X, Y).")
+	if !cq.Contained(tree.Query(), cyclic) {
+		t.Fatal("sanity: plain containment mapping into the raw tree query should exist")
+	}
+	if _, ok := StrongMapping(cyclic, tree); ok {
+		t.Error("strong mapping should reject mixing connectedness classes")
+	}
+}
+
+// Strong mappings into a proof tree coincide with plain containment
+// mappings into the expansion the tree represents (Propositions 5.5/5.6
+// at the level of a single tree).
+func TestStrongAgreesWithExpansionMapping(t *testing.T) {
+	prog := tcProg()
+	queries := []cq.CQ{
+		mkCQ(t, "p(X, Y) :- b(X, Y)."),
+		mkCQ(t, "p(X, Y) :- e(X, A), b(A, Y)."),
+		mkCQ(t, "p(X, Y) :- e(X, A), e(A, B), b(B, Y)."),
+		mkCQ(t, "p(X, Y) :- e(X, Z), e(Z, X), b(X, Y)."),
+		mkCQ(t, "p(X, X) :- b(X, X)."),
+		mkCQ(t, "p(X, Y) :- e(X, A), b(B, Y)."),
+		mkCQ(t, "p(X, Y) :- b(X, Y), b(Y, X)."),
+	}
+	trees := ProofTrees(prog, "p", 3, 300)
+	for _, tree := range trees {
+		exp := tree.ExpansionQuery()
+		for _, q := range queries {
+			_, strong := StrongMapping(q, tree)
+			_, plain := cq.ContainmentMapping(q, exp)
+			if strong != plain {
+				t.Errorf("query %s on tree\n%s: strong=%v plain-on-expansion=%v (expansion %s)",
+					q, tree, strong, plain, exp)
+			}
+		}
+	}
+}
+
+func TestStrongMappingHeadConstants(t *testing.T) {
+	prog := parser.MustProgram(`
+		p(X) :- e(X, a), p(X).
+		p(X) :- b(X).
+	`)
+	leaf := &Node{Rule: parser.MustProgram("p(X1) :- b(X1).").Rules[0]}
+	root := &Node{
+		Rule:     parser.MustProgram("p(X1) :- e(X1, a), p(X1).").Rules[0],
+		Children: []*Node{leaf},
+		ChildPos: []int{1},
+	}
+	tree := &Tree{Prog: prog, Root: root}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	good := mkCQ(t, "p(X) :- e(X, a), b(X).")
+	if _, ok := StrongMapping(good, tree); !ok {
+		t.Error("constant-using query should map")
+	}
+	bad := mkCQ(t, "p(X) :- e(X, c), b(X).")
+	if _, ok := StrongMapping(bad, tree); ok {
+		t.Error("mismatched constant accepted")
+	}
+}
+
+// Example 1.1: the "trendy" program is contained in its nonrecursive
+// rewriting; the "knows" program is not, and the counterexample tree's
+// expansion is a genuine witness.
+func TestExample11ByTrees(t *testing.T) {
+	trendy := parser.MustProgram(`
+		buys(X, Y) :- likes(X, Y).
+		buys(X, Y) :- trendy(X), buys(Z, Y).
+	`)
+	nrTrendy := []cq.CQ{
+		mkCQ(t, "buys(X, Y) :- likes(X, Y)."),
+		mkCQ(t, "buys(X, Y) :- trendy(X), likes(Z, Y)."),
+	}
+	if witness, ok := ContainedInUCQByTrees(trendy, "buys", nrTrendy, 4); !ok {
+		t.Errorf("Π1 should be contained in its nonrecursive version; counterexample:\n%s", witness)
+	}
+
+	knows := parser.MustProgram(`
+		buys(X, Y) :- likes(X, Y).
+		buys(X, Y) :- knows(X, Z), buys(Z, Y).
+	`)
+	nrKnows := []cq.CQ{
+		mkCQ(t, "buys(X, Y) :- likes(X, Y)."),
+		mkCQ(t, "buys(X, Y) :- knows(X, Z), likes(Z, Y)."),
+	}
+	witness, ok := ContainedInUCQByTrees(knows, "buys", nrKnows, 3)
+	if ok {
+		t.Fatal("Π2 is not contained in its depth-2 unfolding")
+	}
+	// The witness expansion must be a knows-chain of length >= 2.
+	exp := witness.ExpansionQuery()
+	knowsCount := 0
+	for _, a := range exp.Body {
+		if a.Pred == "knows" {
+			knowsCount++
+		}
+	}
+	if knowsCount < 2 {
+		t.Errorf("witness should chain at least two knows atoms: %s", exp)
+	}
+}
+
+func TestStrongMappingWrongGoal(t *testing.T) {
+	tree := fig2ProofTree()
+	other := mkCQ(t, "q(X, Y) :- b(X, Y).")
+	if _, ok := StrongMapping(other, tree); ok {
+		t.Error("different head predicate should not map")
+	}
+	wrongArity := mkCQ(t, "p(X) :- b(X, X).")
+	if _, ok := StrongMapping(wrongArity, tree); ok {
+		t.Error("wrong arity should not map")
+	}
+}

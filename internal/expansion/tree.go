@@ -1,0 +1,274 @@
+// Package expansion implements expansion trees, unfolding expansion
+// trees, and proof trees (paper §2.3 and §5.1), the connectedness
+// relation on variable occurrences (Definition 5.2), strong containment
+// mappings (Definition 5.4), and bounded enumeration of trees — the
+// direct, non-automata-theoretic half of the paper's machinery, used both
+// as a building block and as an independent oracle for the automata
+// procedures.
+package expansion
+
+import (
+	"fmt"
+	"strings"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+)
+
+// Node is a node of an expansion tree, labeled by the pair (α, ρ): the
+// goal atom α (always the head of ρ) and a rule instance ρ. The node has
+// one child per IDB atom in ρ's body, in body order.
+type Node struct {
+	Rule     ast.Rule
+	Children []*Node
+	// ChildPos[i] is the body position of the IDB atom that
+	// Children[i] proves.
+	ChildPos []int
+}
+
+// Atom returns the goal atom α labelling the node.
+func (n *Node) Atom() ast.Atom { return n.Rule.Head }
+
+// Clone returns a deep copy of the node and its subtree.
+func (n *Node) Clone() *Node {
+	out := &Node{
+		Rule:     n.Rule.Clone(),
+		ChildPos: append([]int(nil), n.ChildPos...),
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// Tree is an expansion tree for a goal predicate of a program.
+type Tree struct {
+	Prog *ast.Program
+	Root *Node
+}
+
+// Clone returns a deep copy of the tree (sharing the program).
+func (t *Tree) Clone() *Tree {
+	return &Tree{Prog: t.Prog, Root: t.Root.Clone()}
+}
+
+// Walk visits every node of the tree in preorder.
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		visit(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int {
+	n := 0
+	t.Walk(func(*Node) { n++ })
+	return n
+}
+
+// Depth returns the height of the tree (a single node has depth 1).
+func (t *Tree) Depth() int {
+	var rec func(*Node) int
+	rec = func(n *Node) int {
+		max := 0
+		for _, c := range n.Children {
+			if d := rec(c); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	if t.Root == nil {
+		return 0
+	}
+	return rec(t.Root)
+}
+
+// Vars returns the variable names occurring anywhere in the tree.
+func (t *Tree) Vars() []string {
+	var out []string
+	t.Walk(func(n *Node) {
+		out = append(out, n.Rule.Vars()...)
+	})
+	seen := make(map[string]bool)
+	uniq := out[:0]
+	for _, v := range out {
+		if !seen[v] {
+			seen[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}
+
+// Query returns the conjunctive query the tree denotes: the conjunction
+// of all EDB atoms of all rule instances, with the root atom as head
+// (paper §2.3). For proof trees this is the query of the *tree*, not of
+// the expansion it represents; use ExpansionQuery for the latter.
+func (t *Tree) Query() cq.CQ {
+	isIDB := t.Prog.IDBPreds()
+	var body []ast.Atom
+	t.Walk(func(n *Node) {
+		for _, a := range n.Rule.Body {
+			if !isIDB[a.Sym()] {
+				body = append(body, a)
+			}
+		}
+	})
+	return cq.CQ{Head: t.Root.Atom().Clone(), Body: body}
+}
+
+// Validate checks that the tree is a well-formed expansion tree for its
+// program: every node's rule is an instance of a program rule, the goal
+// is the head of the node's rule instance, and the children correspond
+// exactly to the IDB atoms of the body in order.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("expansion: empty tree")
+	}
+	isIDB := t.Prog.IDBPreds()
+	var check func(n *Node, path string) error
+	check = func(n *Node, path string) error {
+		if !instanceOfSome(n.Rule, t.Prog) {
+			return fmt.Errorf("expansion: node %s: %s is not an instance of any program rule", path, n.Rule)
+		}
+		var idbPos []int
+		for i, a := range n.Rule.Body {
+			if isIDB[a.Sym()] {
+				idbPos = append(idbPos, i)
+			}
+		}
+		if len(idbPos) != len(n.Children) {
+			return fmt.Errorf("expansion: node %s: %d IDB atoms but %d children", path, len(idbPos), len(n.Children))
+		}
+		for i, c := range n.Children {
+			if n.ChildPos[i] != idbPos[i] {
+				return fmt.Errorf("expansion: node %s: child %d at body position %d, want %d", path, i, n.ChildPos[i], idbPos[i])
+			}
+			want := n.Rule.Body[idbPos[i]]
+			if !c.Atom().Equal(want) {
+				return fmt.Errorf("expansion: node %s: child %d proves %s, want %s", path, i, c.Atom(), want)
+			}
+			if err := check(c, fmt.Sprintf("%s.%d", path, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(t.Root, "root")
+}
+
+// instanceOfSome reports whether rule is an instance (under a variable-
+// to-term substitution) of some rule of prog.
+func instanceOfSome(rule ast.Rule, prog *ast.Program) bool {
+	for _, r := range prog.Rules {
+		if isInstance(rule, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// isInstance reports whether inst == generic·σ for some substitution σ.
+func isInstance(inst, generic ast.Rule) bool {
+	if len(inst.Body) != len(generic.Body) {
+		return false
+	}
+	sub := ast.Substitution{}
+	match := func(g, i ast.Atom) bool {
+		if g.Pred != i.Pred || len(g.Args) != len(i.Args) {
+			return false
+		}
+		for k, gt := range g.Args {
+			it := i.Args[k]
+			if gt.Kind == ast.Const {
+				if it != gt {
+					return false
+				}
+				continue
+			}
+			if img, ok := sub[gt.Name]; ok {
+				if img != it {
+					return false
+				}
+				continue
+			}
+			sub[gt.Name] = it
+		}
+		return true
+	}
+	if !match(generic.Head, inst.Head) {
+		return false
+	}
+	for k := range generic.Body {
+		if !match(generic.Body[k], inst.Body[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsProofTree reports whether the tree is a proof tree: a well-formed
+// expansion tree all of whose variables come from var(Π) = x1..x_varnum
+// (paper §5.1).
+func (t *Tree) IsProofTree() error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	allowed := make(map[string]bool)
+	for _, v := range VarSet(t.Prog) {
+		allowed[v] = true
+	}
+	for _, v := range t.Vars() {
+		if !allowed[v] {
+			return fmt.Errorf("expansion: variable %s is not in var(Π)", v)
+		}
+	}
+	return nil
+}
+
+// VarName returns the i-th canonical proof-tree variable name (1-based).
+func VarName(i int) string { return fmt.Sprintf("X%d", i) }
+
+// VarSet returns var(Π): the canonical proof-tree variables X1..Xvarnum
+// (paper §5.1).
+func VarSet(prog *ast.Program) []string {
+	n := prog.VarNum()
+	out := make([]string, n)
+	for i := range out {
+		out[i] = VarName(i + 1)
+	}
+	return out
+}
+
+// String renders the tree in an ASCII layout resembling the paper's
+// Figures 1 and 2: each node shows its goal atom and rule instance.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var rec func(n *Node, prefix string, last bool)
+	rec = func(n *Node, prefix string, last bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if prefix == "" && connector == "└─ " {
+			connector = ""
+			childPrefix = "   "
+		}
+		fmt.Fprintf(&b, "%s%s<%s ; %s>\n", prefix, connector, n.Atom(), n.Rule)
+		for i, c := range n.Children {
+			rec(c, childPrefix, i == len(n.Children)-1)
+		}
+	}
+	rec(t.Root, "", true)
+	return b.String()
+}

@@ -1,0 +1,342 @@
+package expansion
+
+import (
+	"strings"
+	"testing"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/parser"
+)
+
+// tcProg is the transitive-closure program of Example 2.5:
+//
+//	r1: p(X, Y) :- e(X, Z), p(Z, Y).
+//	r0: p(X, Y) :- b(X, Y).
+//
+// (the paper writes e' for the base relation; we use b).
+func tcProg() *ast.Program {
+	return parser.MustProgram(`
+		p(X, Y) :- e(X, Z), p(Z, Y).
+		p(X, Y) :- b(X, Y).
+	`)
+}
+
+func mkCQ(t *testing.T, src string) cq.CQ {
+	t.Helper()
+	prog, err := parser.Program(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	r := prog.Rules[0]
+	return cq.CQ{Head: r.Head, Body: r.Body}
+}
+
+// fig2ProofTree builds the proof tree of Figure 2(b): the variable X is
+// reused in the leaf instead of a fresh W.
+//
+//	<p(X, Y) ; p(X, Y) :- e(X, Z), p(Z, Y)>
+//	└─ <p(Z, Y) ; p(Z, Y) :- e(Z, X), p(X, Y)>
+//	   └─ <p(X, Y) ; p(X, Y) :- b(X, Y)>
+func fig2ProofTree() *Tree {
+	prog := tcProg()
+	leaf := &Node{Rule: parser.MustProgram("p(X, Y) :- b(X, Y).").Rules[0]}
+	mid := &Node{
+		Rule:     parser.MustProgram("p(Z, Y) :- e(Z, X), p(X, Y).").Rules[0],
+		Children: []*Node{leaf},
+		ChildPos: []int{1},
+	}
+	root := &Node{
+		Rule:     parser.MustProgram("p(X, Y) :- e(X, Z), p(Z, Y).").Rules[0],
+		Children: []*Node{mid},
+		ChildPos: []int{1},
+	}
+	return &Tree{Prog: prog, Root: root}
+}
+
+func TestValidateFig2(t *testing.T) {
+	tree := fig2ProofTree()
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tree.Size() != 3 || tree.Depth() != 3 {
+		t.Errorf("Size = %d, Depth = %d", tree.Size(), tree.Depth())
+	}
+}
+
+func TestValidateRejectsNonInstance(t *testing.T) {
+	prog := tcProg()
+	bad := &Tree{Prog: prog, Root: &Node{
+		Rule: parser.MustProgram("p(X, Y) :- q(X, Y).").Rules[0],
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-instance rule accepted")
+	}
+	// An instance that identifies variables is still an instance.
+	inst := &Tree{Prog: prog, Root: &Node{
+		Rule: parser.MustProgram("p(X, X) :- b(X, X).").Rules[0],
+	}}
+	if err := inst.Validate(); err != nil {
+		t.Errorf("variable-identifying instance rejected: %v", err)
+	}
+	// Wrong child atom.
+	leaf := &Node{Rule: parser.MustProgram("p(W, W) :- b(W, W).").Rules[0]}
+	mismatch := &Tree{Prog: prog, Root: &Node{
+		Rule:     parser.MustProgram("p(X, Y) :- e(X, Z), p(Z, Y).").Rules[0],
+		Children: []*Node{leaf},
+		ChildPos: []int{1},
+	}}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("child/goal mismatch accepted")
+	}
+}
+
+func TestQueryOfTree(t *testing.T) {
+	tree := fig2ProofTree()
+	q := tree.Query()
+	if q.Head.String() != "p(X, Y)" {
+		t.Errorf("head = %s", q.Head)
+	}
+	if len(q.Body) != 3 {
+		t.Errorf("body = %v", q.Body)
+	}
+}
+
+// Connectedness per Example 5.3: the Y occurrences are all connected and
+// distinguished; root X and leaf X are in different classes; only root X
+// is distinguished.
+func TestConnectivityFig2(t *testing.T) {
+	tree := fig2ProofTree()
+	conn := Connect(tree)
+	root := tree.Root
+	mid := root.Children[0]
+	leaf := mid.Children[0]
+
+	yRoot, ok1 := conn.Class(root, "Y")
+	yMid, ok2 := conn.Class(mid, "Y")
+	yLeaf, ok3 := conn.Class(leaf, "Y")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("Y should occur in every node")
+	}
+	if yRoot != yMid || yMid != yLeaf {
+		t.Error("all Y occurrences should be connected")
+	}
+	if !conn.Distinguished(yRoot) {
+		t.Error("Y should be distinguished")
+	}
+
+	xRoot, _ := conn.Class(root, "X")
+	xMid, okm := conn.Class(mid, "X")
+	xLeaf, _ := conn.Class(leaf, "X")
+	if !okm {
+		t.Fatal("X occurs in the interior rule instance")
+	}
+	if xRoot == xLeaf {
+		t.Error("root X and leaf X must not be connected")
+	}
+	if xMid != xLeaf {
+		t.Error("interior X and leaf X are connected (X is in the leaf goal)")
+	}
+	if !conn.Distinguished(xRoot) {
+		t.Error("root X is distinguished")
+	}
+	if conn.Distinguished(xLeaf) {
+		t.Error("leaf X is not distinguished")
+	}
+
+	// Z spans root and interior (Z is in the interior goal p(Z, Y)).
+	zRoot, _ := conn.Class(root, "Z")
+	zMid, _ := conn.Class(mid, "Z")
+	if zRoot != zMid {
+		t.Error("Z occurrences should be connected")
+	}
+	if conn.Distinguished(zRoot) {
+		t.Error("Z is not distinguished")
+	}
+
+	if conn.RootArgClass(0) != xRoot || conn.RootArgClass(1) != yRoot {
+		t.Error("RootArgClass wrong")
+	}
+}
+
+// The expansion the Fig 2 proof tree represents is the length-3 path.
+func TestExpansionQueryFig2(t *testing.T) {
+	tree := fig2ProofTree()
+	exp := tree.ExpansionQuery()
+	want := mkCQ(t, "p(X, Y) :- e(X, A), e(A, B), b(B, Y).")
+	// Heads differ in variable names; rename exp's head to match via
+	// equivalence check (cq.Equivalent handles renaming).
+	if !cq.Equivalent(exp, want) {
+		t.Errorf("expansion = %s, want equivalent of %s", exp, want)
+	}
+	// The raw tree query (with reuse) is NOT equivalent: it requires a
+	// cycle e(X,Z), e(Z,X).
+	raw := tree.Query()
+	if cq.Equivalent(raw, want) {
+		t.Error("raw proof-tree query should differ from its expansion")
+	}
+}
+
+func TestIsProofTree(t *testing.T) {
+	prog := tcProg()
+	// Fig2 uses X, Y, Z which are not var(Π) = X1..X6 names.
+	if err := fig2ProofTree().IsProofTree(); err == nil {
+		t.Error("tree with non-canonical variables accepted as proof tree")
+	}
+	if prog.VarNum() != 6 {
+		t.Fatalf("VarNum = %d", prog.VarNum())
+	}
+	leaf := &Node{Rule: parser.MustProgram("p(X3, X2) :- b(X3, X2).").Rules[0]}
+	root := &Node{
+		Rule:     parser.MustProgram("p(X1, X2) :- e(X1, X3), p(X3, X2).").Rules[0],
+		Children: []*Node{leaf},
+		ChildPos: []int{1},
+	}
+	tree := &Tree{Prog: prog, Root: root}
+	if err := tree.IsProofTree(); err != nil {
+		t.Errorf("IsProofTree: %v", err)
+	}
+}
+
+func TestUnfoldingsTC(t *testing.T) {
+	prog := tcProg()
+	trees := Unfoldings(prog, "p", 3, 0)
+	// Heights 1..3: exactly one chain shape per height.
+	if len(trees) != 3 {
+		t.Fatalf("got %d unfoldings, want 3", len(trees))
+	}
+	for _, tr := range trees {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Validate: %v\n%s", err, tr)
+		}
+	}
+	// Their queries are the paths of length 1..3.
+	wantBySize := map[int]string{
+		1: "p(X, Y) :- b(X, Y).",
+		2: "p(X, Y) :- e(X, A), b(A, Y).",
+		3: "p(X, Y) :- e(X, A), e(A, B), b(B, Y).",
+	}
+	seen := map[int]bool{}
+	for _, tr := range trees {
+		q := tr.Query()
+		n := len(q.Body)
+		want := mkCQ(t, wantBySize[n])
+		if !cq.Equivalent(q, want) {
+			t.Errorf("size-%d unfolding = %s, want %s", n, q, want)
+		}
+		seen[n] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("sizes seen: %v", seen)
+	}
+}
+
+func TestUnfoldingsFreshness(t *testing.T) {
+	// In an unfolding expansion tree, variables of a node's body that
+	// are not in its goal must be globally fresh: distinct nodes never
+	// share them (Definition 2.4).
+	prog := tcProg()
+	trees := Unfoldings(prog, "p", 4, 0)
+	for _, tr := range trees {
+		counts := map[string]int{}
+		tr.Walk(func(n *Node) {
+			goalVars := map[string]bool{}
+			for _, v := range n.Atom().Vars(nil) {
+				goalVars[v] = true
+			}
+			for _, v := range n.Rule.BodyVars() {
+				if !goalVars[v] {
+					counts[v]++
+				}
+			}
+		})
+		for v, c := range counts {
+			if c > 1 {
+				t.Errorf("variable %s introduced fresh in %d nodes:\n%s", v, c, tr)
+			}
+		}
+	}
+}
+
+func TestUnfoldingsMaxCount(t *testing.T) {
+	prog := tcProg()
+	trees := Unfoldings(prog, "p", 10, 4)
+	if len(trees) != 4 {
+		t.Errorf("maxCount: got %d", len(trees))
+	}
+}
+
+// The union of expansions up to depth |chain| equals the evaluator's
+// answer on a chain database.
+func TestExpansionsMatchEvaluation(t *testing.T) {
+	prog := tcProg()
+	db := database.MustParse("e(a, b). e(b, c). b(c, d). b(a, b). b(b, b).")
+	queries := Expansions(prog, "p", 4, 0)
+	got := database.NewRelation(2)
+	for _, q := range queries {
+		rel, err := q.Apply(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range rel.Tuples() {
+			got.Add(tu)
+		}
+	}
+	want := evalGoal(t, prog, db, "p")
+	if !got.Equal(want) {
+		t.Errorf("expansions: %v\nevaluator: %v", got.Tuples(), want.Tuples())
+	}
+}
+
+func evalGoal(t *testing.T, prog *ast.Program, db *database.DB, goal string) *database.Relation {
+	t.Helper()
+	rel, _, err := eval.Goal(prog, db, goal, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestProofTreesTC(t *testing.T) {
+	prog := tcProg()
+	trees := ProofTrees(prog, "p", 2, 0)
+	// Roots: 6^2 = 36 atoms. Height 1: the base rule, head forced,
+	// no free vars -> 1 tree per root. Height 2: recursive rule with
+	// free Z (6 choices) and a base child -> 6 trees per root.
+	if len(trees) != 36*7 {
+		t.Fatalf("got %d proof trees, want %d", len(trees), 36*7)
+	}
+	for _, tr := range trees[:20] {
+		if err := tr.IsProofTree(); err != nil {
+			t.Errorf("IsProofTree: %v\n%s", err, tr)
+		}
+	}
+}
+
+func TestProofTreesMaxCount(t *testing.T) {
+	prog := tcProg()
+	trees := ProofTrees(prog, "p", 3, 10)
+	if len(trees) != 10 {
+		t.Errorf("maxCount: got %d", len(trees))
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	s := fig2ProofTree().String()
+	for _, want := range []string{"p(X, Y) :- e(X, Z), p(Z, Y).", "└─", "b(X, Y)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tree := fig2ProofTree()
+	c := tree.Clone()
+	c.Root.Rule.Head.Args[0] = ast.C("mut")
+	if tree.Root.Rule.Head.Args[0] == ast.C("mut") {
+		t.Error("Clone shares storage")
+	}
+}

@@ -1,0 +1,371 @@
+// Package fol implements the §3 machinery of the paper: conjunctive
+// queries viewed as 2-sorted relational structures A_φ, a first-order
+// evaluator over such finite structures, and first-order properties of
+// Datalog programs — a program satisfies a sentence ψ when ψ holds in
+// every structure of str(Q, Π), the structures of its unfolding
+// expansions.
+//
+// Courcelle's theorem (Theorem 3.1) makes such properties decidable
+// with nonelementary complexity; like the paper, this package does not
+// implement that general decision procedure. It provides the structure
+// encoding, the evaluator, and bounded checking over enumerated
+// unfolding trees — enough to state and test properties such as strong
+// nonredundancy exactly as §3 does, and to cross-validate the encoding
+// against direct syntactic checks.
+package fol
+
+import (
+	"fmt"
+	"sort"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+)
+
+// Sorts of the 2-sorted vocabulary.
+const (
+	// SortV is the sort of variables of the conjunctive query.
+	SortV = 0
+	// SortF is the sort of atomic-formula occurrences.
+	SortF = 1
+)
+
+// Structure is a finite 2-sorted relational structure.
+type Structure struct {
+	// Domain[s] lists the elements of sort s.
+	Domain [2][]string
+	// Consts interprets constant symbols as elements (of sort V in the
+	// paper's encoding).
+	Consts map[string]string
+	// Rels maps relation names to their tuples.
+	Rels map[string][][]string
+}
+
+// NewStructure returns an empty structure.
+func NewStructure() *Structure {
+	return &Structure{
+		Consts: make(map[string]string),
+		Rels:   make(map[string][][]string),
+	}
+}
+
+// AddElement adds an element to a sort (idempotent).
+func (st *Structure) AddElement(sort int, e string) {
+	for _, x := range st.Domain[sort] {
+		if x == e {
+			return
+		}
+	}
+	st.Domain[sort] = append(st.Domain[sort], e)
+}
+
+// AddTuple adds a tuple to a relation.
+func (st *Structure) AddTuple(rel string, tuple ...string) {
+	st.Rels[rel] = append(st.Rels[rel], tuple)
+}
+
+// HasTuple reports whether the relation holds the tuple.
+func (st *Structure) HasTuple(rel string, tuple []string) bool {
+	for _, t := range st.Rels[rel] {
+		if len(t) != len(tuple) {
+			continue
+		}
+		eq := true
+		for i := range t {
+			if t[i] != tuple[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode builds the structure A_φ of a conjunctive query (paper §3):
+// sort V holds the query's variables, sort F holds one element per body
+// atom occurrence, and each l-ary predicate P of the query contributes a
+// relation P´ of type F × Vˡ with a tuple (aᵢ, z₁..z_l) per occurrence.
+// Distinguished variables are exposed as constant symbols x1..xk.
+// Constants of the query are treated as additional V elements exposed
+// under their own names — the natural extension of the paper's
+// constant-free setting.
+func Encode(q cq.CQ) *Structure {
+	st := NewStructure()
+	termElem := func(t ast.Term) string {
+		if t.Kind == ast.Var {
+			return "v:" + t.Name
+		}
+		return "c:" + t.Name
+	}
+	for _, v := range q.Vars() {
+		st.AddElement(SortV, "v:"+v)
+	}
+	for i, a := range q.Body {
+		f := fmt.Sprintf("f:%d", i)
+		st.AddElement(SortF, f)
+		tuple := []string{f}
+		for _, t := range a.Args {
+			e := termElem(t)
+			st.AddElement(SortV, e)
+			if t.Kind == ast.Const {
+				st.Consts["k:"+t.Name] = e
+			}
+			tuple = append(tuple, e)
+		}
+		st.AddTuple(relName(a.Pred), tuple...)
+	}
+	for i, t := range q.Head.Args {
+		e := termElem(t)
+		st.AddElement(SortV, e)
+		st.Consts[fmt.Sprintf("x%d", i+1)] = e
+	}
+	return st
+}
+
+// relName returns the vocabulary name P´ of query predicate P.
+func relName(pred string) string { return pred + "´" }
+
+// Term is a first-order term: a variable or a constant symbol.
+type Term struct {
+	Var   string
+	Const string
+}
+
+// TVar returns a variable term.
+func TVar(name string) Term { return Term{Var: name} }
+
+// TConst returns a constant-symbol term.
+func TConst(name string) Term { return Term{Const: name} }
+
+// Formula is a first-order formula over a 2-sorted vocabulary.
+type Formula interface {
+	eval(st *Structure, env map[string]string) bool
+	String() string
+}
+
+// Atom is R(t1..tn).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// Eq is t1 = t2.
+type Eq struct{ L, R Term }
+
+// Not negates a formula.
+type Not struct{ F Formula }
+
+// And conjoins formulas.
+type And struct{ Fs []Formula }
+
+// Or disjoins formulas.
+type Or struct{ Fs []Formula }
+
+// Implies is material implication.
+type Implies struct{ L, R Formula }
+
+// Forall quantifies a variable over a sort.
+type Forall struct {
+	Var  string
+	Sort int
+	Body Formula
+}
+
+// Exists quantifies a variable over a sort.
+type Exists struct {
+	Var  string
+	Sort int
+	Body Formula
+}
+
+func resolve(st *Structure, env map[string]string, t Term) (string, bool) {
+	if t.Var != "" {
+		e, ok := env[t.Var]
+		return e, ok
+	}
+	e, ok := st.Consts[t.Const]
+	return e, ok
+}
+
+func (a Atom) eval(st *Structure, env map[string]string) bool {
+	tuple := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		e, ok := resolve(st, env, t)
+		if !ok {
+			return false
+		}
+		tuple[i] = e
+	}
+	return st.HasTuple(a.Rel, tuple)
+}
+
+func (e Eq) eval(st *Structure, env map[string]string) bool {
+	l, ok1 := resolve(st, env, e.L)
+	r, ok2 := resolve(st, env, e.R)
+	return ok1 && ok2 && l == r
+}
+
+func (n Not) eval(st *Structure, env map[string]string) bool {
+	return !n.F.eval(st, env)
+}
+
+func (c And) eval(st *Structure, env map[string]string) bool {
+	for _, f := range c.Fs {
+		if !f.eval(st, env) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d Or) eval(st *Structure, env map[string]string) bool {
+	for _, f := range d.Fs {
+		if f.eval(st, env) {
+			return true
+		}
+	}
+	return false
+}
+
+func (i Implies) eval(st *Structure, env map[string]string) bool {
+	return !i.L.eval(st, env) || i.R.eval(st, env)
+}
+
+func (q Forall) eval(st *Structure, env map[string]string) bool {
+	saved, had := env[q.Var]
+	defer restore(env, q.Var, saved, had)
+	for _, e := range st.Domain[q.Sort] {
+		env[q.Var] = e
+		if !q.Body.eval(st, env) {
+			return false
+		}
+	}
+	return true
+}
+
+func (q Exists) eval(st *Structure, env map[string]string) bool {
+	saved, had := env[q.Var]
+	defer restore(env, q.Var, saved, had)
+	for _, e := range st.Domain[q.Sort] {
+		env[q.Var] = e
+		if q.Body.eval(st, env) {
+			return true
+		}
+	}
+	return false
+}
+
+func restore(env map[string]string, v, saved string, had bool) {
+	if had {
+		env[v] = saved
+	} else {
+		delete(env, v)
+	}
+}
+
+// Sat reports whether the sentence holds in the structure.
+func Sat(st *Structure, f Formula) bool {
+	return f.eval(st, map[string]string{})
+}
+
+// String renderings, for diagnostics.
+
+func (t Term) String() string {
+	if t.Var != "" {
+		return t.Var
+	}
+	return t.Const
+}
+
+func (a Atom) String() string {
+	s := a.Rel + "("
+	for i, t := range a.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.String()
+	}
+	return s + ")"
+}
+
+func (e Eq) String() string      { return e.L.String() + " = " + e.R.String() }
+func (n Not) String() string     { return "¬(" + n.F.String() + ")" }
+func (i Implies) String() string { return "(" + i.L.String() + " → " + i.R.String() + ")" }
+
+func (c And) String() string {
+	s := "("
+	for i, f := range c.Fs {
+		if i > 0 {
+			s += " ∧ "
+		}
+		s += f.String()
+	}
+	return s + ")"
+}
+
+func (d Or) String() string {
+	s := "("
+	for i, f := range d.Fs {
+		if i > 0 {
+			s += " ∨ "
+		}
+		s += f.String()
+	}
+	return s + ")"
+}
+
+func (q Forall) String() string {
+	return fmt.Sprintf("∀%s∈%s.%s", q.Var, sortName(q.Sort), q.Body)
+}
+
+func (q Exists) String() string {
+	return fmt.Sprintf("∃%s∈%s.%s", q.Var, sortName(q.Sort), q.Body)
+}
+
+func sortName(s int) string {
+	if s == SortV {
+		return "V"
+	}
+	return "F"
+}
+
+// StrongNonredundancySentence builds the §3 example sentence for the
+// given EDB predicates: no two distinct atom occurrences share predicate
+// and arguments. For each k-ary predicate P:
+//
+//	∀x1,x2 ∈ F ∀y1..yk ∈ V (P´(x1, ȳ) ∧ P´(x2, ȳ) → x1 = x2)
+func StrongNonredundancySentence(preds map[string]int) Formula {
+	names := make([]string, 0, len(preds))
+	for p := range preds {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	var conj []Formula
+	for _, p := range names {
+		k := preds[p]
+		args1 := []Term{TVar("x1")}
+		args2 := []Term{TVar("x2")}
+		for i := 0; i < k; i++ {
+			y := TVar(fmt.Sprintf("y%d", i+1))
+			args1 = append(args1, y)
+			args2 = append(args2, y)
+		}
+		var body Formula = Implies{
+			L: And{Fs: []Formula{Atom{Rel: relName(p), Args: args1}, Atom{Rel: relName(p), Args: args2}}},
+			R: Eq{L: TVar("x1"), R: TVar("x2")},
+		}
+		for i := k; i >= 1; i-- {
+			body = Forall{Var: fmt.Sprintf("y%d", i), Sort: SortV, Body: body}
+		}
+		body = Forall{Var: "x2", Sort: SortF, Body: body}
+		body = Forall{Var: "x1", Sort: SortF, Body: body}
+		conj = append(conj, body)
+	}
+	if len(conj) == 1 {
+		return conj[0]
+	}
+	return And{Fs: conj}
+}

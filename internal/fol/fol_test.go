@@ -1,0 +1,220 @@
+package fol
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"datalogeq/internal/cq"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+)
+
+func mkCQ(t *testing.T, src string) cq.CQ {
+	t.Helper()
+	prog, err := parser.Program(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	r := prog.Rules[0]
+	return cq.CQ{Head: r.Head, Body: r.Body}
+}
+
+func TestEncodeBasics(t *testing.T) {
+	q := mkCQ(t, "q(X, Y) :- e(X, Z), e(Z, Y).")
+	st := Encode(q)
+	if len(st.Domain[SortV]) != 3 {
+		t.Errorf("V = %v", st.Domain[SortV])
+	}
+	if len(st.Domain[SortF]) != 2 {
+		t.Errorf("F = %v", st.Domain[SortF])
+	}
+	// Constant symbols x1, x2 name the distinguished variables.
+	if st.Consts["x1"] != "v:X" || st.Consts["x2"] != "v:Y" {
+		t.Errorf("Consts = %v", st.Consts)
+	}
+	// The relation e´ has one tuple per occurrence.
+	if len(st.Rels["e´"]) != 2 {
+		t.Errorf("e´ = %v", st.Rels["e´"])
+	}
+	if !st.HasTuple("e´", []string{"f:0", "v:X", "v:Z"}) {
+		t.Error("missing occurrence tuple for the first atom")
+	}
+}
+
+func TestEncodeDuplicateAtoms(t *testing.T) {
+	// Multiple occurrences of the same atom get distinct F elements —
+	// the reason sort F exists (§3).
+	q := mkCQ(t, "q(X) :- e(X, X), e(X, X).")
+	st := Encode(q)
+	if len(st.Domain[SortF]) != 2 {
+		t.Errorf("F = %v", st.Domain[SortF])
+	}
+	if len(st.Rels["e´"]) != 2 {
+		t.Errorf("e´ = %v", st.Rels["e´"])
+	}
+}
+
+func TestEvaluatorConnectives(t *testing.T) {
+	st := NewStructure()
+	st.AddElement(SortV, "a")
+	st.AddElement(SortV, "b")
+	st.AddTuple("r", "a")
+	ra := Atom{Rel: "r", Args: []Term{TVar("x")}}
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{Exists{Var: "x", Sort: SortV, Body: ra}, true},
+		{Forall{Var: "x", Sort: SortV, Body: ra}, false},
+		{Forall{Var: "x", Sort: SortV, Body: Or{Fs: []Formula{ra, Not{F: ra}}}}, true},
+		{Exists{Var: "x", Sort: SortV, Body: And{Fs: []Formula{ra, Not{F: ra}}}}, false},
+		{Forall{Var: "x", Sort: SortV, Body: Forall{Var: "y", Sort: SortV,
+			Body: Implies{L: And{Fs: []Formula{
+				Atom{Rel: "r", Args: []Term{TVar("x")}},
+				Atom{Rel: "r", Args: []Term{TVar("y")}},
+			}}, R: Eq{L: TVar("x"), R: TVar("y")}}}}, true},
+	}
+	for i, c := range cases {
+		if got := Sat(st, c.f); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.f, got, c.want)
+		}
+	}
+}
+
+func TestStrongNonredundancySentenceOnQueries(t *testing.T) {
+	preds := map[string]int{"e": 2}
+	psi := StrongNonredundancySentence(preds)
+	good := mkCQ(t, "q(X, Y) :- e(X, Z), e(Z, Y).")
+	if !Sat(Encode(good), psi) {
+		t.Error("distinct atoms flagged as redundant")
+	}
+	bad := mkCQ(t, "q(X) :- e(X, X), e(X, X).")
+	if Sat(Encode(bad), psi) {
+		t.Error("duplicate atoms not flagged")
+	}
+}
+
+func TestStronglyNonredundantPrograms(t *testing.T) {
+	// Transitive closure uses fresh variables at every unfolding: no
+	// duplicates.
+	if tree, ok := StronglyNonredundant(gen.TransitiveClosure(), "p", 4); !ok {
+		t.Errorf("TC should be strongly nonredundant; offending tree:\n%s", tree)
+	}
+	// A persistent self-loop atom repeats at every unfolding.
+	redundant := parser.MustProgram(`
+		p(X) :- e(X, X), p(X).
+		p(X) :- b(X).
+	`)
+	tree, ok := StronglyNonredundant(redundant, "p", 3)
+	if ok {
+		t.Fatal("persistent e(X,X) atom should repeat")
+	}
+	if tree == nil || tree.Depth() < 3 {
+		t.Errorf("offending tree should need two recursive unfoldings:\n%s", tree)
+	}
+}
+
+// Property: the first-order check agrees with the direct syntactic
+// check on random linear programs.
+func TestQuickFOAgreesWithDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := gen.RandomLinearProgram(rng, 2, 2)
+		_, foOK := StronglyNonredundant(prog, "p", 3)
+		_, directOK := StronglyNonredundantDirect(prog, "p", 3)
+		return foOK == directOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: structures of random queries satisfy basic invariants — the
+// number of F elements equals the body size, and every occurrence tuple
+// is registered.
+func TestQuickEncodeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := gen.RandomCQ(rng, "q", 1+rng.Intn(4), 3, 2)
+		st := Encode(q)
+		if len(st.Domain[SortF]) != len(q.Body) {
+			return false
+		}
+		total := 0
+		for _, tuples := range st.Rels {
+			total += len(tuples)
+		}
+		return total == len(q.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatisfiedByProgramWitness(t *testing.T) {
+	redundant := parser.MustProgram(`
+		p(X) :- e(X, X), p(X).
+		p(X) :- b(X).
+	`)
+	preds := map[string]int{"e": 2, "b": 1}
+	tree, ok := SatisfiedByProgram(redundant, "p", StrongNonredundancySentence(preds), 3)
+	if ok {
+		t.Fatal("expected a violation")
+	}
+	// The witness tree's own structure must indeed violate the
+	// sentence.
+	if Sat(Encode(tree.Query()), StrongNonredundancySentence(preds)) {
+		t.Error("witness tree satisfies the sentence after all")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := Forall{Var: "x", Sort: SortF, Body: Exists{Var: "y", Sort: SortV,
+		Body: Implies{
+			L: And{Fs: []Formula{
+				Atom{Rel: "r", Args: []Term{TVar("x"), TConst("x1")}},
+				Not{F: Eq{L: TVar("x"), R: TVar("y")}},
+			}},
+			R: Or{Fs: []Formula{
+				Eq{L: TVar("y"), R: TConst("x1")},
+				Atom{Rel: "s", Args: []Term{TVar("y")}},
+			}},
+		}}}
+	s := f.String()
+	for _, want := range []string{"∀x∈F", "∃y∈V", "r(x, x1)", "¬(x = y)", "→", "∨", "∧"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestUnboundTermsEvaluateFalse(t *testing.T) {
+	st := NewStructure()
+	st.AddElement(SortV, "a")
+	// An atom over an unknown constant symbol is false, not a panic.
+	if Sat(st, Atom{Rel: "r", Args: []Term{TConst("nope")}}) {
+		t.Error("unknown constant should not satisfy")
+	}
+	if Sat(st, Eq{L: TConst("nope"), R: TConst("nope")}) {
+		t.Error("unresolvable equality should be false")
+	}
+}
+
+func TestStronglyNonredundantNoEDB(t *testing.T) {
+	// A program without EDB predicates is vacuously nonredundant.
+	prog := parser.MustProgram("p(X) :- p(X).")
+	if _, ok := StronglyNonredundant(prog, "p", 2); !ok {
+		t.Error("no EDB predicates: vacuously nonredundant")
+	}
+}
+
+func TestAddElementIdempotent(t *testing.T) {
+	st := NewStructure()
+	st.AddElement(SortV, "a")
+	st.AddElement(SortV, "a")
+	if len(st.Domain[SortV]) != 1 {
+		t.Errorf("Domain = %v", st.Domain[SortV])
+	}
+}

@@ -1,0 +1,58 @@
+package fol
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/expansion"
+)
+
+// SatisfiedByProgram checks, up to the given unfolding height, whether
+// every structure in str(Q, Π) satisfies the sentence: the bounded form
+// of the paper's "Π with goal Q satisfies ψ". A false answer comes with
+// the offending unfolding tree and is definitive; a true answer is
+// definitive only when the program has no deeper unfolding trees
+// (Courcelle's theorem decides the unbounded question, with
+// nonelementary complexity — see §3).
+func SatisfiedByProgram(prog *ast.Program, goal string, f Formula, maxDepth int) (*expansion.Tree, bool) {
+	trees := expansion.Unfoldings(prog, goal, maxDepth, 0)
+	for _, tr := range trees {
+		st := Encode(tr.Query())
+		if !Sat(st, f) {
+			return tr, false
+		}
+	}
+	return nil, true
+}
+
+// StronglyNonredundant checks the §3 example property up to the given
+// unfolding height: no unfolding expansion tree contains two distinct
+// occurrences of the same EDB atom. The check evaluates the first-order
+// sentence on the encoded structures.
+func StronglyNonredundant(prog *ast.Program, goal string, maxDepth int) (*expansion.Tree, bool) {
+	preds := make(map[string]int)
+	for sym := range prog.EDBPreds() {
+		preds[sym.Name] = sym.Arity
+	}
+	if len(preds) == 0 {
+		return nil, true
+	}
+	return SatisfiedByProgram(prog, goal, StrongNonredundancySentence(preds), maxDepth)
+}
+
+// StronglyNonredundantDirect is the direct syntactic check of the same
+// property, used to cross-validate the structure encoding: an unfolding
+// tree violates it iff its query body contains duplicate atoms.
+func StronglyNonredundantDirect(prog *ast.Program, goal string, maxDepth int) (*expansion.Tree, bool) {
+	trees := expansion.Unfoldings(prog, goal, maxDepth, 0)
+	for _, tr := range trees {
+		q := tr.Query()
+		seen := make(map[string]bool, len(q.Body))
+		for _, a := range q.Body {
+			k := a.Key()
+			if seen[k] {
+				return tr, false
+			}
+			seen[k] = true
+		}
+	}
+	return nil, true
+}

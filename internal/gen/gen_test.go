@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+)
+
+func TestPaperPrograms(t *testing.T) {
+	cases := []struct {
+		name      string
+		prog      interface{ Validate() error }
+		recursive bool
+	}{
+		{"tc", TransitiveClosure(), true},
+		{"trendy", Example11Trendy(), true},
+		{"trendyNR", Example11TrendyNR(), false},
+		{"knows", Example11Knows(), true},
+		{"knowsNR", Example11KnowsNR(), false},
+		{"dist3", DistProgram(3), false},
+		{"distle2", DistLeProgram(2), false},
+		{"equal2", EqualProgram(2), false},
+		{"word4", WordProgram(4), false},
+		{"chain3", ChainProgram(3), true},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	if !TransitiveClosure().IsRecursive() || DistProgram(2).IsRecursive() {
+		t.Error("recursion classification wrong")
+	}
+	if !ChainProgram(3).IsLinear() {
+		t.Error("chain program should be linear")
+	}
+}
+
+func TestDistProgramSemantics(t *testing.T) {
+	// dist2 = paths of length exactly 4.
+	db := ChainGraph(6)
+	rel, _, err := eval.Goal(DistProgram(2), db, DistGoal(2), eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Contains(database.Tuple{"n0", "n4"}) {
+		t.Error("missing dist2(n0, n4)")
+	}
+	if rel.Contains(database.Tuple{"n0", "n3"}) {
+		t.Error("dist2 should not contain length-3 paths")
+	}
+}
+
+func TestWordProgramSemantics(t *testing.T) {
+	// word2 over a labeled chain: 0 -> 1 with labels zero(n0), one(n1).
+	db := database.MustParse(`
+		e(n0, n1). e(n1, n2).
+		zero(n0). one(n1). one(n2).
+	`)
+	rel, _, err := eval.Goal(WordProgram(2), db, "word2", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Contains(database.Tuple{"n0", "n2"}) {
+		t.Errorf("missing word2(n0, n2): %v", rel.Tuples())
+	}
+}
+
+func TestEqualProgramSemantics(t *testing.T) {
+	// Two parallel 2-paths with matching labels.
+	db := database.MustParse(`
+		e(a0, a1). e(a1, a2).
+		e(b0, b1). e(b1, b2).
+		zero(a0). one(a1).
+		zero(b0). one(b1).
+	`)
+	rel, _, err := eval.Goal(EqualProgram(1), db, "equal1", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Contains(database.Tuple{"a0", "a2", "b0", "b2"}) {
+		t.Errorf("missing equal1: %v", rel.Tuples())
+	}
+	// Mismatched labels.
+	db2 := database.MustParse(`
+		e(a0, a1). e(a1, a2).
+		e(b0, b1). e(b1, b2).
+		zero(a0). one(a1).
+		one(b0). one(b1).
+	`)
+	rel2, _, err := eval.Goal(EqualProgram(1), db2, "equal1", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Contains(database.Tuple{"a0", "a2", "b0", "b2"}) {
+		t.Error("equal1 matched differing labels")
+	}
+}
+
+func TestPathCQs(t *testing.T) {
+	p3 := PathCQ("q", 3)
+	if len(p3.Body) != 3 || !p3.IsSafe() {
+		t.Errorf("PathCQ = %s", p3)
+	}
+	tc2 := TCPathCQ(2)
+	if tc2.Body[1].Pred != "b" {
+		t.Errorf("TCPathCQ terminator = %s", tc2)
+	}
+	u := TCPathsUCQ(3)
+	if u.Size() != 3 {
+		t.Errorf("TCPathsUCQ size = %d", u.Size())
+	}
+	if err := u.Validate(); err != nil {
+		t.Error(err)
+	}
+	// A TC expansion is contained in the corresponding path query.
+	if !cq.Contained(TCPathCQ(2), TCPathCQ(2)) {
+		t.Error("self-containment")
+	}
+}
+
+func TestRandomGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := RandomGraph(rng, 5, 10)
+	if db.Lookup("e") == nil || db.Lookup("e").Len() == 0 {
+		t.Error("RandomGraph produced no edges")
+	}
+	chain := ChainGraph(4)
+	if chain.Lookup("e").Len() != 4 || chain.Lookup("b").Len() != 1 {
+		t.Error("ChainGraph shape wrong")
+	}
+	q := RandomCQ(rng, "q", 3, 3, 2)
+	if len(q.Body) != 3 {
+		t.Errorf("RandomCQ size = %d", len(q.Body))
+	}
+	if !q.IsSafe() {
+		t.Errorf("RandomCQ unsafe: %s", q)
+	}
+	p := RandomLinearProgram(rng, 3, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsPathLinear() || !p.IsRecursive() {
+		t.Errorf("RandomLinearProgram shape wrong:\n%s", p)
+	}
+	rdb := RandomDB(rng, map[string]int{"e": 2, "f": 1}, 4, 6)
+	if rdb.Lookup("e") == nil || rdb.Lookup("f") == nil {
+		t.Error("RandomDB missing relations")
+	}
+}

@@ -1,0 +1,221 @@
+package magic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+)
+
+func TestAdornmentFor(t *testing.T) {
+	q := parser.MustAtom("p(a, X, b)")
+	if got := AdornmentFor(q); got != "bfb" {
+		t.Errorf("AdornmentFor = %q", got)
+	}
+	if !Adornment("bf").Bound(0) || Adornment("bf").Bound(1) {
+		t.Error("Bound wrong")
+	}
+}
+
+func TestTransformRejectsEDBQuery(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	if _, err := Transform(prog, parser.MustAtom("e(a, X)")); err == nil {
+		t.Error("EDB query accepted")
+	}
+}
+
+func TestMagicTransitiveClosure(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	db := database.MustParse(`
+		e(a, b). e(b, c). b(c, d).
+		e(x, y). b(y, z).
+	`)
+	query := parser.MustAtom("p(a, X)")
+	rel, _, err := Answer(prog, query, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct evaluation, filtered.
+	direct, _, err := eval.Goal(prog, db, "p", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := database.NewRelation(2)
+	for _, tu := range direct.Tuples() {
+		if tu[0] == "a" {
+			want.Add(tu)
+		}
+	}
+	if !rel.Equal(want) {
+		t.Errorf("magic %v vs direct %v", rel.Tuples(), want.Tuples())
+	}
+	if want.Len() == 0 {
+		t.Fatal("test vacuous")
+	}
+}
+
+// Magic evaluation does less work: the x/y component is never touched
+// when querying from a.
+func TestMagicPrunesIrrelevantFacts(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	db := database.New()
+	// A long chain reachable from the query constant, plus a much
+	// larger irrelevant component.
+	for i := 0; i < 5; i++ {
+		db.Add("e", database.Tuple{fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1)})
+	}
+	db.Add("b", database.Tuple{"a5", "a6"})
+	for i := 0; i < 200; i++ {
+		db.Add("e", database.Tuple{fmt.Sprintf("z%d", i), fmt.Sprintf("z%d", i+1)})
+		db.Add("b", database.Tuple{fmt.Sprintf("z%d", i), fmt.Sprintf("z%d", i+1)})
+	}
+	query := parser.MustAtom("p(a0, X)")
+	_, magicStats, err := Answer(prog, query, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, directStats, err := eval.Goal(prog, db, "p", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if magicStats.Derived >= directStats.Derived {
+		t.Errorf("magic derived %d facts, direct %d; magic should prune",
+			magicStats.Derived, directStats.Derived)
+	}
+}
+
+func TestMagicSameGeneration(t *testing.T) {
+	prog := parser.MustProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+	`)
+	db := database.MustParse(`
+		up(a, e). up(b, f). flat(e, f). flat(g, g).
+		down(f, b). down(e, a).
+	`)
+	query := parser.MustAtom("sg(a, X)")
+	rel, _, err := Answer(prog, query, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := eval.Goal(prog, db, "sg", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := database.NewRelation(2)
+	for _, tu := range direct.Tuples() {
+		if tu[0] == "a" {
+			want.Add(tu)
+		}
+	}
+	if !rel.Equal(want) {
+		t.Errorf("magic %v vs direct %v", rel.Tuples(), want.Tuples())
+	}
+}
+
+func TestMagicAllFreeQuery(t *testing.T) {
+	// An all-free query degenerates to full evaluation.
+	prog := gen.TransitiveClosure()
+	db := database.MustParse("e(a, b). b(b, c).")
+	rel, _, err := Answer(prog, parser.MustAtom("p(X, Y)"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := eval.Goal(prog, db, "p", eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(direct) {
+		t.Errorf("magic %v vs direct %v", rel.Tuples(), direct.Tuples())
+	}
+}
+
+func TestMagicRepeatedQueryVariable(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	db := database.MustParse("e(a, b). b(b, a). b(c, c).")
+	// p(X, X): self-reachability.
+	rel, _, err := Answer(prog, parser.MustAtom("p(X, X)"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range rel.Tuples() {
+		if tu[0] != tu[1] {
+			t.Errorf("non-diagonal answer %v", tu)
+		}
+	}
+	if !rel.Contains(database.Tuple{"a", "a"}) || !rel.Contains(database.Tuple{"c", "c"}) {
+		t.Errorf("missing diagonal answers: %v", rel.Tuples())
+	}
+}
+
+// Property: magic-sets answers equal directly-evaluated answers
+// filtered by the query pattern, on random programs, queries, and
+// databases.
+func TestQuickMagicAgreesWithDirect(t *testing.T) {
+	preds := map[string]int{"e1": 2, "e2": 2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randProgram(rng)
+		db := gen.RandomDB(rng, preds, 4, 6)
+		// Random query: p or q (whichever the program defines) with a
+		// randomly bound first argument.
+		pred := []string{"p", "q"}[rng.Intn(2)]
+		if !prog.IsIDB(ast.PredSym{Name: pred, Arity: 2}) {
+			return true // query predicate undefined; nothing to check
+		}
+		var queryArgs []ast.Term
+		if rng.Intn(2) == 0 {
+			queryArgs = []ast.Term{ast.C(fmt.Sprintf("c%d", rng.Intn(4))), ast.V("X")}
+		} else {
+			queryArgs = []ast.Term{ast.V("X"), ast.V("Y")}
+		}
+		query := ast.Atom{Pred: pred, Args: queryArgs}
+		magicRel, _, err := Answer(prog, query, db)
+		if err != nil {
+			return false
+		}
+		direct, _, err := eval.Goal(prog, db, pred, eval.Options{})
+		if err != nil {
+			return false
+		}
+		want := database.NewRelation(2)
+		for _, tu := range direct.Tuples() {
+			if matches(query, tu) {
+				want.Add(tu)
+			}
+		}
+		return magicRel.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randProgram builds a small random safe program with IDB preds p, q
+// over EDB e1, e2 (mirrors the eval tests' generator).
+func randProgram(rng *rand.Rand) *ast.Program {
+	v := func(i int) ast.Term { return ast.V(fmt.Sprintf("V%d", i)) }
+	preds := []string{"e1", "e2", "p", "q"}
+	prog := &ast.Program{}
+	nRules := 2 + rng.Intn(3)
+	for r := 0; r < nRules; r++ {
+		headPred := []string{"p", "q"}[rng.Intn(2)]
+		nBody := 1 + rng.Intn(3)
+		var body []ast.Atom
+		for i := 0; i < nBody; i++ {
+			pred := preds[rng.Intn(len(preds))]
+			body = append(body, ast.NewAtom(pred, v(rng.Intn(4)), v(rng.Intn(4))))
+		}
+		bv := ast.VarsOfAtoms(body)
+		head := ast.NewAtom(headPred,
+			ast.V(bv[rng.Intn(len(bv))]), ast.V(bv[rng.Intn(len(bv))]))
+		prog.Rules = append(prog.Rules, ast.Rule{Head: head, Body: body})
+	}
+	return prog
+}

@@ -1,0 +1,217 @@
+// Package nonrec handles nonrecursive Datalog programs (paper §6):
+// unfolding them into unions of conjunctive queries — the translation
+// whose inherent exponential blowup drives the jump from 2EXPTIME to
+// 3EXPTIME — and inlining the nonrecursive predicates of a recursive
+// program, which turns linear programs into path-linear ones for the
+// word-automaton procedure.
+package nonrec
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/ucq"
+)
+
+// Unfold rewrites a nonrecursive program into an equivalent union of
+// conjunctive queries for the goal predicate. The number of disjuncts
+// can be exponential in the program size (Example 6.1); callers that
+// only need sizes should use UnfoldStats.
+//
+// Disjuncts are deduplicated up to renaming/reordering (ucq.Dedup) but
+// not minimized; pass the result through ucq.Minimize for the canonical
+// form.
+func Unfold(prog *ast.Program, goal string) (ucq.UCQ, error) {
+	u, _, err := unfold(prog, goal, false)
+	return u, err
+}
+
+// Stats summarizes the size of an unfolding without keeping all
+// disjuncts in memory longer than necessary.
+type Stats struct {
+	// Disjuncts is the number of conjunctive queries in the unfolding
+	// (before deduplication).
+	Disjuncts int
+	// TotalAtoms is the total number of body atoms across disjuncts.
+	TotalAtoms int
+	// MaxAtoms is the largest disjunct body.
+	MaxAtoms int
+}
+
+// UnfoldStats computes the size of the unfolding of the goal predicate.
+func UnfoldStats(prog *ast.Program, goal string) (Stats, error) {
+	_, stats, err := unfold(prog, goal, true)
+	return stats, err
+}
+
+func unfold(prog *ast.Program, goal string, statsOnly bool) (ucq.UCQ, Stats, error) {
+	var stats Stats
+	if err := prog.Validate(); err != nil {
+		return ucq.UCQ{}, stats, err
+	}
+	if prog.IsRecursive() {
+		return ucq.UCQ{}, stats, fmt.Errorf("nonrec: program is recursive")
+	}
+	if prog.GoalArity(goal) < 0 {
+		return ucq.UCQ{}, stats, fmt.Errorf("nonrec: goal predicate %q does not occur in program", goal)
+	}
+	idb := prog.IDBPreds()
+	// defs[pred] accumulates the disjuncts for each IDB predicate,
+	// keyed by head predicate name; SCC order guarantees that rule
+	// bodies only mention already-unfolded IDB predicates.
+	defs := make(map[ast.PredSym][]cq.CQ)
+	fresh := ast.NewFreshVarGen("N")
+	for _, comp := range prog.SCCs() {
+		for _, sym := range comp {
+			if !idb[sym] {
+				continue
+			}
+			for _, r := range prog.RulesFor(sym) {
+				expandRule(r, prog, defs, fresh, func(d cq.CQ) {
+					defs[sym] = append(defs[sym], d)
+				})
+			}
+		}
+	}
+	goalSym := ast.PredSym{Name: goal, Arity: prog.GoalArity(goal)}
+	disjuncts := defs[goalSym]
+	stats.Disjuncts = len(disjuncts)
+	for _, d := range disjuncts {
+		n := len(d.Body)
+		stats.TotalAtoms += n
+		if n > stats.MaxAtoms {
+			stats.MaxAtoms = n
+		}
+	}
+	if statsOnly {
+		return ucq.UCQ{}, stats, nil
+	}
+	return ucq.Dedup(ucq.New(disjuncts...)), stats, nil
+}
+
+// expandRule substitutes every combination of definitions for the IDB
+// atoms of r's body and emits the resulting conjunctive queries.
+func expandRule(r ast.Rule, prog *ast.Program, defs map[ast.PredSym][]cq.CQ, fresh *ast.FreshVarGen, emit func(cq.CQ)) {
+	idb := prog.IDBPreds()
+	var rec func(i int, env ast.Substitution, acc []ast.Atom)
+	rec = func(i int, env ast.Substitution, acc []ast.Atom) {
+		if i == len(r.Body) {
+			head := ast.ResolveAtom(r.Head, env)
+			body := make([]ast.Atom, len(acc))
+			for k, a := range acc {
+				body[k] = ast.ResolveAtom(a, env)
+			}
+			emit(cq.CQ{Head: head, Body: body})
+			return
+		}
+		atom := r.Body[i]
+		if !idb[atom.Sym()] {
+			rec(i+1, env, append(acc, atom))
+			return
+		}
+		for _, d := range defs[atom.Sym()] {
+			dr := d.RenameApart(fresh)
+			env2, ok := ast.UnifyAtoms(atom, dr.Head, env)
+			if !ok {
+				continue
+			}
+			rec(i+1, env2, append(acc, dr.Body...))
+		}
+	}
+	rec(0, ast.Substitution{}, nil)
+}
+
+// InlineNonrecursive returns a program equivalent to prog (for the goal
+// predicate) in which every nonrecursive IDB predicate other than the
+// goal has been inlined away: the remaining rules mention only EDB
+// predicates, recursive IDB predicates, and the goal. For a linear
+// program the result is path-linear, which is what the word-automaton
+// decision procedure needs.
+func InlineNonrecursive(prog *ast.Program, goal string) (*ast.Program, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	recursive := prog.RecursivePreds()
+	idb := prog.IDBPreds()
+	fresh := ast.NewFreshVarGen("I")
+	// Work on a copy whose rules we rewrite in place.
+	rules := make([]ast.Rule, len(prog.Rules))
+	for i, r := range prog.Rules {
+		rules[i] = r.Clone()
+	}
+	for _, comp := range prog.SCCs() {
+		for _, sym := range comp {
+			if !idb[sym] || recursive[sym] || sym.Name == goal {
+				continue
+			}
+			// Collect sym's (current) defining rules as CQ-like
+			// definitions. Because we process callees first, these
+			// bodies no longer mention earlier inlined predicates.
+			var defRules []ast.Rule
+			var restRules []ast.Rule
+			for _, r := range rules {
+				if r.Head.Sym() == sym {
+					defRules = append(defRules, r)
+				} else {
+					restRules = append(restRules, r)
+				}
+			}
+			var out []ast.Rule
+			for _, r := range restRules {
+				out = append(out, inlineInRule(r, sym, defRules, fresh)...)
+			}
+			rules = out
+		}
+	}
+	result := &ast.Program{Rules: rules}
+	if err := result.Validate(); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// inlineInRule replaces every occurrence of sym in r's body by every
+// combination of the defining rules' bodies.
+func inlineInRule(r ast.Rule, sym ast.PredSym, defs []ast.Rule, fresh *ast.FreshVarGen) []ast.Rule {
+	var positions []int
+	for i, a := range r.Body {
+		if a.Sym() == sym {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return []ast.Rule{r}
+	}
+	var out []ast.Rule
+	var rec func(k int, env ast.Substitution, replacement map[int][]ast.Atom)
+	rec = func(k int, env ast.Substitution, replacement map[int][]ast.Atom) {
+		if k == len(positions) {
+			var body []ast.Atom
+			for i, a := range r.Body {
+				if rep, ok := replacement[i]; ok {
+					body = append(body, rep...)
+				} else {
+					body = append(body, a)
+				}
+			}
+			nr := ast.ResolveRule(ast.Rule{Head: r.Head, Body: body}, env)
+			out = append(out, nr)
+			return
+		}
+		pos := positions[k]
+		atom := r.Body[pos]
+		for _, d := range defs {
+			dr := d.RenameApart(func(string) string { return fresh.Fresh() })
+			env2, ok := ast.UnifyAtoms(atom, dr.Head, env)
+			if !ok {
+				continue
+			}
+			replacement[pos] = dr.Body
+			rec(k+1, env2, replacement)
+			delete(replacement, pos)
+		}
+	}
+	rec(0, ast.Substitution{}, map[int][]ast.Atom{})
+	return out
+}

@@ -1,0 +1,324 @@
+package nonrec
+
+import (
+	"math/rand"
+	"testing"
+
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+	"datalogeq/internal/ucq"
+)
+
+func TestUnfoldRejectsRecursive(t *testing.T) {
+	if _, err := Unfold(gen.TransitiveClosure(), "p"); err == nil {
+		t.Error("recursive program accepted")
+	}
+}
+
+func TestUnfoldRejectsMissingGoal(t *testing.T) {
+	prog := parser.MustProgram("q(X) :- e(X).")
+	if _, err := Unfold(prog, "nope"); err == nil {
+		t.Error("missing goal accepted")
+	}
+}
+
+func TestUnfoldSimple(t *testing.T) {
+	prog := parser.MustProgram(`
+		q(X, Y) :- r(X, Z), r(Z, Y).
+		r(X, Y) :- e(X, Y).
+		r(X, Y) :- f(X, Y).
+	`)
+	u, err := Unfold(prog, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 choices per r atom: 4 disjuncts (all distinct).
+	if u.Size() != 4 {
+		t.Fatalf("got %d disjuncts:\n%s", u.Size(), u)
+	}
+	for _, d := range u.Disjuncts {
+		if len(d.Body) != 2 {
+			t.Errorf("disjunct size %d: %s", len(d.Body), d)
+		}
+	}
+}
+
+// Unfolding is semantics-preserving: on random databases, evaluating the
+// program and evaluating its unfolding agree.
+func TestUnfoldPreservesSemantics(t *testing.T) {
+	progs := []struct {
+		prog string
+		goal string
+	}{
+		{`
+			q(X, Y) :- r(X, Z), r(Z, Y).
+			r(X, Y) :- e1(X, Y).
+			r(X, Y) :- e2(X, Y).
+		`, "q"},
+		{`
+			q(X) :- s(X, Y), top(Y).
+			s(X, Y) :- e1(X, Y).
+			s(X, Y) :- e1(X, Z), e2(Z, Y).
+			top(Y) :- e2(Y, Y).
+		`, "q"},
+		{`
+			q(X, Y) :- mid(X, Y).
+			q(X, Y) :- mid(Y, X).
+			mid(X, Y) :- e1(X, Z), e1(Z, Y).
+		`, "q"},
+	}
+	rng := rand.New(rand.NewSource(7))
+	preds := map[string]int{"e1": 2, "e2": 2}
+	for pi, pc := range progs {
+		prog := parser.MustProgram(pc.prog)
+		u, err := Unfold(prog, pc.goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			db := gen.RandomDB(rng, preds, 4, 6)
+			progRel, _, err := eval.Goal(prog, db, pc.goal, eval.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ucqRel, err := u.Apply(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !progRel.Equal(ucqRel) {
+				t.Errorf("program %d trial %d: program %v vs unfolding %v",
+					pi, trial, progRel.Tuples(), ucqRel.Tuples())
+			}
+		}
+	}
+}
+
+// Example 6.1: dist_n unfolds to a single disjunct with 2^n atoms.
+func TestUnfoldDistBlowup(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		stats, err := UnfoldStats(gen.DistProgram(n), gen.DistGoal(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Disjuncts != 1 {
+			t.Errorf("n=%d: %d disjuncts", n, stats.Disjuncts)
+		}
+		if want := 1 << n; stats.MaxAtoms != want {
+			t.Errorf("n=%d: MaxAtoms = %d, want %d", n, stats.MaxAtoms, want)
+		}
+	}
+}
+
+// Example 6.6 / Theorem 6.7: word_n unfolds to 2^n disjuncts, each with
+// exactly 2n-1 atoms (n edges/labels interleaved: e-atoms n, labels n,
+// minus shared... count: n e-atoms + n label atoms = 2n).
+func TestUnfoldWordBlowup(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		stats, err := UnfoldStats(gen.WordProgram(n), "word"+itoa(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 1 << n; stats.Disjuncts != want {
+			t.Errorf("n=%d: %d disjuncts, want %d", n, stats.Disjuncts, want)
+		}
+		if want := 2 * n; stats.MaxAtoms != want {
+			t.Errorf("n=%d: MaxAtoms = %d, want %d", n, stats.MaxAtoms, want)
+		}
+	}
+}
+
+func itoa(n int) string {
+	s := ""
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+// Example 6.2 unfolds with empty-body rules: distle_n(x, y) includes the
+// x = y case, so one disjunct has an empty body.
+func TestUnfoldDistLe(t *testing.T) {
+	u, err := Unfold(gen.DistLeProgram(1), "distle1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasEmpty := false
+	for _, d := range u.Disjuncts {
+		if len(d.Body) == 0 {
+			hasEmpty = true
+			// Head must be distle1(X, X): the identity.
+			if d.Head.Args[0] != d.Head.Args[1] {
+				t.Errorf("empty-body disjunct should equate head vars: %s", d)
+			}
+		}
+	}
+	if !hasEmpty {
+		t.Errorf("expected an empty-body disjunct:\n%s", u)
+	}
+	// Semantics: paths of length <= 2 (including 0).
+	db := database.MustParse("e(a, b). e(b, c). e(c, d).")
+	rel, err := u.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range [][2]string{{"a", "a"}, {"a", "b"}, {"a", "c"}} {
+		if !rel.Contains(database.Tuple{want[0], want[1]}) {
+			t.Errorf("missing distle1%v", want)
+		}
+	}
+	if rel.Contains(database.Tuple{"a", "d"}) {
+		t.Error("distle1 should not contain length-3 paths")
+	}
+}
+
+func TestUnfoldEqualProgram(t *testing.T) {
+	stats, err := UnfoldStats(gen.EqualProgram(2), "equal2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^(2^2) = 16 label combinations.
+	if stats.Disjuncts != 16 {
+		t.Errorf("disjuncts = %d, want 16", stats.Disjuncts)
+	}
+}
+
+func TestInlineNonrecursive(t *testing.T) {
+	// Linear but not path-linear: recursive rule uses a nonrecursive
+	// helper.
+	prog := parser.MustProgram(`
+		p(X, Y) :- step(X, Z), p(Z, Y).
+		p(X, Y) :- b(X, Y).
+		step(X, Y) :- e(X, Y).
+		step(X, Y) :- f(X, Y).
+	`)
+	if prog.IsPathLinear() {
+		t.Fatal("sanity: program should not be path-linear yet")
+	}
+	inlined, err := InlineNonrecursive(prog, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inlined.IsPathLinear() {
+		t.Errorf("inlined program should be path-linear:\n%s", inlined)
+	}
+	// Semantics preserved.
+	rng := rand.New(rand.NewSource(3))
+	preds := map[string]int{"e": 2, "f": 2, "b": 2}
+	for trial := 0; trial < 8; trial++ {
+		db := gen.RandomDB(rng, preds, 4, 5)
+		a, _, err := eval.Goal(prog, db, "p", eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bRel, _, err := eval.Goal(inlined, db, "p", eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(bRel) {
+			t.Errorf("trial %d: inlining changed semantics", trial)
+		}
+	}
+}
+
+func TestInlineKeepsRecursivePredicates(t *testing.T) {
+	prog := parser.MustProgram(`
+		p(X) :- q(X).
+		q(X) :- p(X).
+		q(X) :- e(X).
+		helper(X) :- e(X).
+		top(X) :- helper(X), p(X).
+	`)
+	inlined, err := InlineNonrecursive(prog, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// helper must be gone; p and q (mutually recursive) must remain.
+	for _, r := range inlined.Rules {
+		if r.Head.Pred == "helper" {
+			t.Errorf("helper rule survived:\n%s", inlined)
+		}
+		for _, a := range r.Body {
+			if a.Pred == "helper" {
+				t.Errorf("helper use survived:\n%s", inlined)
+			}
+		}
+	}
+	if !inlined.IsRecursive() {
+		t.Error("recursion should be preserved")
+	}
+}
+
+// Unfold then minimize yields the canonical UCQ; sanity check it is
+// equivalent to the direct unfolding.
+func TestUnfoldMinimizeEquivalence(t *testing.T) {
+	prog := parser.MustProgram(`
+		q(X, Y) :- r(X, Y).
+		q(X, Y) :- r(X, Y), e1(X, X).
+		r(X, Y) :- e1(X, Y).
+	`)
+	u, err := Unfold(prog, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ucq.Minimize(u)
+	if m.Size() != 1 {
+		t.Errorf("minimized size = %d, want 1:\n%s", m.Size(), m)
+	}
+	if !ucq.Equivalent(u, m) {
+		t.Error("minimization changed semantics")
+	}
+}
+
+// Unfolding heads preserve repeated variables and constants.
+func TestUnfoldHeadStructure(t *testing.T) {
+	prog := parser.MustProgram(`
+		q(X, X) :- e(X, a).
+	`)
+	u, err := Unfold(prog, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Size() != 1 {
+		t.Fatalf("size = %d", u.Size())
+	}
+	d := u.Disjuncts[0]
+	if d.Head.Args[0] != d.Head.Args[1] {
+		t.Errorf("repeated head variable lost: %s", d)
+	}
+	got, err := d.Apply(database.MustParse("e(x, a). e(y, b)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Contains(database.Tuple{"x", "x"}) || got.Len() != 1 {
+		t.Errorf("apply = %v", got.Tuples())
+	}
+}
+
+func TestUnfoldSharedSubpredicateCrossProduct(t *testing.T) {
+	// dist-style doubling: dist2 uses dist1 twice; the unfolding must
+	// rename apart the two copies.
+	prog := gen.DistProgram(2)
+	u, err := Unfold(prog, "dist2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Size() != 1 {
+		t.Fatalf("size = %d", u.Size())
+	}
+	d := u.Disjuncts[0]
+	if len(d.Body) != 4 {
+		t.Fatalf("dist2 should have 4 atoms: %s", d)
+	}
+	// It must be the 4-path, equivalent to PathCQ.
+	want := gen.PathCQ("dist2", 4)
+	if !cq.Equivalent(d, want) {
+		t.Errorf("dist2 unfolding = %s, want 4-path", d)
+	}
+}

@@ -1,0 +1,41 @@
+package parser
+
+import "testing"
+
+// FuzzProgram checks that the parser is total: it never panics, and
+// everything it accepts survives a print/parse round trip.
+func FuzzProgram(f *testing.F) {
+	seeds := []string{
+		"p(X, Y) :- e(X, Z), p(Z, Y).",
+		"q(a). q('Weird Const'). c :- b(X).",
+		"p(X, X) :- .",
+		"% comment only",
+		"p(X) <- e(X).",
+		"p('esc\\'aped').",
+		"p(",
+		":-",
+		"p(X) :- q(X), r(X, Y, Z).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Program(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip structurally.
+		back, err := Program(prog.String())
+		if err != nil {
+			t.Fatalf("reprint of accepted program rejected: %v\noriginal: %q\nprinted: %q", err, src, prog)
+		}
+		if len(back.Rules) != len(prog.Rules) {
+			t.Fatalf("round trip changed rule count: %q", src)
+		}
+		for i := range prog.Rules {
+			if back.Rules[i].Key() != prog.Rules[i].Key() {
+				t.Fatalf("round trip changed rule %d: %q vs %q", i, prog.Rules[i], back.Rules[i])
+			}
+		}
+	})
+}

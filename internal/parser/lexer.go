@@ -1,0 +1,245 @@
+// Package parser implements a lexer and recursive-descent parser for the
+// concrete Datalog syntax used throughout this repository:
+//
+//	% line comment
+//	path(X, Y) :- edge(X, Z), path(Z, Y).
+//	path(X, Y) :- edge(X, Y).
+//	fact(a, 'Quoted Const', 42).
+//	true_rule(X, X).            % empty body: holds over the active domain
+//
+// Identifiers beginning with an upper-case letter or underscore are
+// variables; identifiers beginning with a lower-case letter, numerals,
+// and single-quoted strings are constants. Rules are terminated by a
+// period. ":-" may also be written "<-".
+package parser
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota
+	tokIdent            // lower-case identifier (predicate or constant)
+	tokVar              // upper-case identifier or _name
+	tokNumber           // numeric constant
+	tokString           // quoted constant
+	tokLParen
+	tokRParen
+	tokComma
+	tokPeriod
+	tokImplies // :- or <-
+	tokQuery   // ?- prefix for queries
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "quoted constant"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return -1, 0
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r, size
+}
+
+func (l *lexer) advance(r rune, size int) {
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r, size := l.peekRune()
+		switch {
+		case r == -1:
+			return
+		case unicode.IsSpace(r):
+			l.advance(r, size)
+		case r == '%':
+			for {
+				r, size := l.peekRune()
+				if r == -1 || r == '\n' {
+					break
+				}
+				l.advance(r, size)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentCont(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, *Error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	r, size := l.peekRune()
+	if r == -1 {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch r {
+	case '(':
+		l.advance(r, size)
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case ')':
+		l.advance(r, size)
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case ',':
+		l.advance(r, size)
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case '.':
+		l.advance(r, size)
+		return token{kind: tokPeriod, text: ".", line: line, col: col}, nil
+	case ':':
+		l.advance(r, size)
+		r2, size2 := l.peekRune()
+		if r2 != '-' {
+			return token{}, l.errf(line, col, "expected '-' after ':'")
+		}
+		l.advance(r2, size2)
+		return token{kind: tokImplies, text: ":-", line: line, col: col}, nil
+	case '<':
+		l.advance(r, size)
+		r2, size2 := l.peekRune()
+		if r2 != '-' {
+			return token{}, l.errf(line, col, "expected '-' after '<'")
+		}
+		l.advance(r2, size2)
+		return token{kind: tokImplies, text: "<-", line: line, col: col}, nil
+	case '?':
+		l.advance(r, size)
+		r2, size2 := l.peekRune()
+		if r2 != '-' {
+			return token{}, l.errf(line, col, "expected '-' after '?'")
+		}
+		l.advance(r2, size2)
+		return token{kind: tokQuery, text: "?-", line: line, col: col}, nil
+	case '\'':
+		l.advance(r, size)
+		var buf []rune
+		for {
+			r2, size2 := l.peekRune()
+			if r2 == -1 {
+				return token{}, l.errf(line, col, "unterminated quoted constant")
+			}
+			if r2 == '\\' {
+				l.advance(r2, size2)
+				r3, size3 := l.peekRune()
+				if r3 == -1 {
+					return token{}, l.errf(line, col, "unterminated escape in quoted constant")
+				}
+				l.advance(r3, size3)
+				buf = append(buf, r3)
+				continue
+			}
+			l.advance(r2, size2)
+			if r2 == '\'' {
+				break
+			}
+			buf = append(buf, r2)
+		}
+		return token{kind: tokString, text: string(buf), line: line, col: col}, nil
+	}
+	if unicode.IsDigit(r) {
+		start := l.pos
+		for {
+			r2, size2 := l.peekRune()
+			if r2 == -1 || !unicode.IsDigit(r2) {
+				break
+			}
+			l.advance(r2, size2)
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+	if isIdentStart(r) {
+		start := l.pos
+		for {
+			r2, size2 := l.peekRune()
+			if r2 == -1 || !isIdentCont(r2) {
+				break
+			}
+			l.advance(r2, size2)
+		}
+		text := l.src[start:l.pos]
+		if unicode.IsUpper(r) || r == '_' {
+			return token{kind: tokVar, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+	}
+	return token{}, l.errf(line, col, "unexpected character %q", r)
+}

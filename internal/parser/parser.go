@@ -1,0 +1,231 @@
+package parser
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+)
+
+type parser struct {
+	lex *lexer
+	tok token
+	err *Error
+}
+
+func newParser(src string) (*parser, *Error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() *Error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, *Error) {
+	if p.tok.kind != kind {
+		return token{}, &Error{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("expected %v, found %v %q", kind, p.tok.kind, p.tok.text)}
+	}
+	tok := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return tok, nil
+}
+
+func (p *parser) parseTerm() (ast.Term, *Error) {
+	switch p.tok.kind {
+	case tokVar:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.V(name), nil
+	case tokIdent, tokNumber, tokString:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.C(name), nil
+	}
+	return ast.Term{}, &Error{Line: p.tok.line, Col: p.tok.col,
+		Msg: fmt.Sprintf("expected term, found %v %q", p.tok.kind, p.tok.text)}
+}
+
+func (p *parser) parseAtom() (ast.Atom, *Error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	atom := ast.Atom{Pred: name.text}
+	if p.tok.kind != tokLParen {
+		// 0-ary atom written without parentheses, e.g. "c :- body."
+		return atom, nil
+	}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind == tokRParen {
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		return atom, nil
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		atom.Args = append(atom.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return atom, nil
+}
+
+func (p *parser) parseAtomList() ([]ast.Atom, *Error) {
+	var atoms []ast.Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return atoms, nil
+	}
+}
+
+func (p *parser) parseRule() (ast.Rule, *Error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	rule := ast.Rule{Head: head}
+	if p.tok.kind == tokImplies {
+		if err := p.advance(); err != nil {
+			return ast.Rule{}, err
+		}
+		// An empty body is written "p(X, X) :- ." or just "p(X, X).";
+		// allow the body to be empty only in the latter form, so after
+		// ":-" at least one atom is required unless a period follows.
+		if p.tok.kind != tokPeriod {
+			body, err := p.parseAtomList()
+			if err != nil {
+				return ast.Rule{}, err
+			}
+			rule.Body = body
+		}
+	}
+	if _, err := p.expect(tokPeriod); err != nil {
+		return ast.Rule{}, err
+	}
+	return rule, nil
+}
+
+// Program parses a whole Datalog program.
+func Program(src string) (*ast.Program, error) {
+	p, perr := newParser(src)
+	if perr != nil {
+		return nil, perr
+	}
+	prog := &ast.Program{}
+	for p.tok.kind != tokEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustProgram is like Program but panics on error; intended for tests and
+// example programs embedded in source.
+func MustProgram(src string) *ast.Program {
+	p, err := Program(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Atom parses a single atom, e.g. "p(X, a)".
+func Atom(src string) (ast.Atom, error) {
+	p, perr := newParser(src)
+	if perr != nil {
+		return ast.Atom{}, perr
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokEOF && p.tok.kind != tokPeriod {
+		return ast.Atom{}, &Error{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("trailing input after atom: %v %q", p.tok.kind, p.tok.text)}
+	}
+	return a, nil
+}
+
+// MustAtom is like Atom but panics on error.
+func MustAtom(src string) ast.Atom {
+	a, err := Atom(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AtomList parses a comma-separated list of atoms, e.g. a conjunctive
+// query body "e(X, Z), e(Z, Y)".
+func AtomList(src string) ([]ast.Atom, error) {
+	p, perr := newParser(src)
+	if perr != nil {
+		return nil, perr
+	}
+	if p.tok.kind == tokEOF {
+		return nil, nil
+	}
+	atoms, err := p.parseAtomList()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF && p.tok.kind != tokPeriod {
+		return nil, &Error{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("trailing input after atoms: %v %q", p.tok.kind, p.tok.text)}
+	}
+	return atoms, nil
+}
+
+// MustAtomList is like AtomList but panics on error.
+func MustAtomList(src string) []ast.Atom {
+	atoms, err := AtomList(src)
+	if err != nil {
+		panic(err)
+	}
+	return atoms
+}

@@ -1,0 +1,190 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"datalogeq/internal/ast"
+)
+
+func TestParseTransitiveClosure(t *testing.T) {
+	src := `
+		% transitive closure
+		p(X, Y) :- e(X, Z), p(Z, Y).
+		p(X, Y) :- e(X, Y).
+	`
+	prog, err := Program(src)
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("got %d rules", len(prog.Rules))
+	}
+	want := "p(X, Y) :- e(X, Z), p(Z, Y)."
+	if got := prog.Rules[0].String(); got != want {
+		t.Errorf("rule 0 = %q, want %q", got, want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"p(X, Y) :- e(X, Z), p(Z, Y).",
+		"p(X, Y) :- e(X, Y).",
+		"q(a).",
+		"q('Big Const').",
+		"r(X, X).",
+		"c :- b(X).",
+		"c.",
+		"mix(X, a, 42) :- e(X, a), f(42).",
+	}
+	for _, src := range cases {
+		prog, err := Program(src)
+		if err != nil {
+			t.Errorf("Program(%q): %v", src, err)
+			continue
+		}
+		if got := strings.TrimSpace(prog.String()); got != src {
+			t.Errorf("round-trip %q -> %q", src, got)
+		}
+	}
+}
+
+func TestParseAlternateArrow(t *testing.T) {
+	prog, err := Program("p(X) <- e(X).")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if prog.Rules[0].String() != "p(X) :- e(X)." {
+		t.Errorf("got %q", prog.Rules[0].String())
+	}
+}
+
+func TestParseVariablesVsConstants(t *testing.T) {
+	a, err := Atom("p(X, _Y, abc, 'Quoted', 7)")
+	if err != nil {
+		t.Fatalf("Atom: %v", err)
+	}
+	kinds := []ast.TermKind{ast.Var, ast.Var, ast.Const, ast.Const, ast.Const}
+	for i, k := range kinds {
+		if a.Args[i].Kind != k {
+			t.Errorf("arg %d kind = %v, want %v", i, a.Args[i].Kind, k)
+		}
+	}
+	if a.Args[3].Name != "Quoted" {
+		t.Errorf("quoted constant = %q", a.Args[3].Name)
+	}
+}
+
+func TestParseZeroAryAtom(t *testing.T) {
+	for _, src := range []string{"c", "c()"} {
+		a, err := Atom(src)
+		if err != nil {
+			t.Fatalf("Atom(%q): %v", src, err)
+		}
+		if a.Pred != "c" || len(a.Args) != 0 {
+			t.Errorf("Atom(%q) = %v", src, a)
+		}
+	}
+}
+
+func TestParseAtomList(t *testing.T) {
+	atoms, err := AtomList("e(X, Z), e(Z, Y)")
+	if err != nil {
+		t.Fatalf("AtomList: %v", err)
+	}
+	if len(atoms) != 2 || atoms[0].Pred != "e" || atoms[1].Args[1] != ast.V("Y") {
+		t.Errorf("AtomList = %v", atoms)
+	}
+	empty, err := AtomList("")
+	if err != nil || empty != nil {
+		t.Errorf("empty AtomList = %v, %v", empty, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{"p(X, Y) :- e(X", "expected"},
+		{"p(X Y).", "expected"},
+		{"p(X).", ""}, // valid
+		{"p(X)", "expected"},
+		{":- e(X).", "expected"},
+		{"p('unterminated).", "unterminated"},
+		{"p(X) :~ e(X).", "'-'"},
+		{"p(X, Y) :- e(X, Y). q(X) :- p(X, X, X).", "arities"},
+		{"p(#).", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Program(c.src)
+		if c.wantMsg == "" {
+			if err != nil {
+				t.Errorf("Program(%q) unexpected error: %v", c.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Program(%q): want error containing %q, got nil", c.src, c.wantMsg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("Program(%q) error = %q, want substring %q", c.src, err, c.wantMsg)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Program("p(X).\nq(X) :- r(X\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line < 2 {
+		t.Errorf("error line = %d, want >= 2", perr.Line)
+	}
+}
+
+func TestEmptyBodyAfterImplies(t *testing.T) {
+	// "p(X, X) :- ." is the explicit empty-body form.
+	prog, err := Program("p(X, X) :- .")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if len(prog.Rules[0].Body) != 0 {
+		t.Errorf("body = %v, want empty", prog.Rules[0].Body)
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram should panic on bad input")
+		}
+	}()
+	MustProgram("p(")
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "% leading comment\n  p(X) :- % inline\n     e(X).  % trailing\n%only comment line\n"
+	prog, err := Program(src)
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Errorf("rules = %d", len(prog.Rules))
+	}
+}
+
+func TestQuotedEscapes(t *testing.T) {
+	a := MustAtom(`p('it\'s', 'a\\b')`)
+	if a.Args[0].Name != "it's" {
+		t.Errorf("escape: %q", a.Args[0].Name)
+	}
+	if a.Args[1].Name != `a\b` {
+		t.Errorf("escape: %q", a.Args[1].Name)
+	}
+}

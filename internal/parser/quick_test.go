@@ -1,0 +1,106 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datalogeq/internal/ast"
+)
+
+// randProgram builds a random syntactically valid program.
+func randProgram(rng *rand.Rand) *ast.Program {
+	term := func() ast.Term {
+		switch rng.Intn(4) {
+		case 0:
+			return ast.V(fmt.Sprintf("Var%d", rng.Intn(4)))
+		case 1:
+			return ast.C(fmt.Sprintf("const%d", rng.Intn(4)))
+		case 2:
+			return ast.C(fmt.Sprintf("%d", rng.Intn(100)))
+		default:
+			return ast.C("Quoted Constant'" + fmt.Sprint(rng.Intn(3)))
+		}
+	}
+	// Fixed arity per predicate name to satisfy Validate.
+	arity := map[string]int{}
+	atom := func(idb bool) ast.Atom {
+		base := "edge"
+		if idb {
+			base = "out"
+		}
+		name := fmt.Sprintf("%s%d", base, rng.Intn(3))
+		n, ok := arity[name]
+		if !ok {
+			n = rng.Intn(4)
+			arity[name] = n
+		}
+		args := make([]ast.Term, n)
+		for i := range args {
+			args[i] = term()
+		}
+		return ast.Atom{Pred: name, Args: args}
+	}
+	prog := &ast.Program{}
+	for r := 0; r < 1+rng.Intn(4); r++ {
+		head := atom(true)
+		var body []ast.Atom
+		for i := 0; i < rng.Intn(4); i++ {
+			body = append(body, atom(false))
+		}
+		prog.Rules = append(prog.Rules, ast.Rule{Head: head, Body: body})
+	}
+	return prog
+}
+
+// Property: printing a program and parsing it back yields a
+// structurally identical program (round-trip).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randProgram(rng)
+		src := prog.String()
+		back, err := Program(src)
+		if err != nil {
+			t.Logf("parse error on:\n%s\n%v", src, err)
+			return false
+		}
+		if len(back.Rules) != len(prog.Rules) {
+			return false
+		}
+		for i := range prog.Rules {
+			if back.Rules[i].Key() != prog.Rules[i].Key() {
+				t.Logf("rule %d: %q vs %q", i, prog.Rules[i], back.Rules[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary input and errors carry
+// positions.
+func TestQuickNoPanicOnGarbage(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		prog, err := Program(src)
+		if err != nil {
+			if perr, ok := err.(*Error); ok {
+				return perr.Line >= 1 && perr.Col >= 1
+			}
+			return true // Validate errors carry no position
+		}
+		return prog != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package tm
+
+import "fmt"
+
+// The alternating extension of §5.3 assumes a normalized machine: it
+// strictly alternates existential and universal states, and every
+// configuration has (at most) a left successor and a right successor,
+// given by two transition relations. Branches are expressed by tagging
+// transitions.
+
+// Branch selects one of the two successor relations of a normalized
+// alternating machine.
+type Branch int
+
+// Successor branches.
+const (
+	LeftBranch Branch = iota
+	RightBranch
+)
+
+// BranchOf assigns transitions to branches for normalized alternating
+// machines: the machine stores it per transition in BranchTags, indexed
+// by transition position. A machine without tags treats every
+// transition as belonging to both branches (useful for deterministic
+// machines, whose left and right successors coincide).
+type BranchTags []Branch
+
+// AltMachine wraps a Machine with branch tags.
+type AltMachine struct {
+	*Machine
+	// Tags[i] is the branch of Transitions[i]; nil means every
+	// transition is in both branches.
+	Tags BranchTags
+}
+
+// Validate checks the wrapped machine and tag consistency.
+func (am *AltMachine) Validate() error {
+	if err := am.Machine.Validate(); err != nil {
+		return err
+	}
+	if am.Tags != nil && len(am.Tags) != len(am.Transitions) {
+		return fmt.Errorf("tm: %d branch tags for %d transitions", len(am.Tags), len(am.Transitions))
+	}
+	// Per branch, the relation must be deterministic.
+	for _, br := range []Branch{LeftBranch, RightBranch} {
+		seen := make(map[[2]string]bool)
+		for i, t := range am.Transitions {
+			if am.Tags != nil && am.Tags[i] != br {
+				continue
+			}
+			k := [2]string{t.State, t.Read}
+			if seen[k] {
+				return fmt.Errorf("tm: branch %v has two transitions on (%s, %s)", br, t.State, t.Read)
+			}
+			seen[k] = true
+		}
+	}
+	return nil
+}
+
+// branchMachine returns a deterministic machine containing only the
+// transitions of one branch.
+func (am *AltMachine) branchMachine(br Branch) *Machine {
+	m := &Machine{
+		States:      am.States,
+		TapeSymbols: am.TapeSymbols,
+		Blank:       am.Blank,
+		Start:       am.Start,
+		Accept:      am.Accept,
+		Universal:   am.Universal,
+	}
+	for i, t := range am.Transitions {
+		if am.Tags == nil || am.Tags[i] == br {
+			m.Transitions = append(m.Transitions, t)
+		}
+	}
+	return m
+}
+
+// BranchSuccessor returns the configuration's successor in the given
+// branch, if any.
+func (am *AltMachine) BranchSuccessor(c Config, br Branch) (Config, bool) {
+	ss := am.branchMachine(br).Successors(c)
+	if len(ss) == 0 {
+		return Config{}, false
+	}
+	return ss[0], true
+}
+
+// RunTree is a node of an accepting computation tree: universal
+// configurations have both successors as children, existential ones the
+// chosen accepting successor.
+type RunTree struct {
+	Config   Config
+	Children []*RunTree
+	// Branches[i] tells which branch Children[i] followed.
+	Branches []Branch
+}
+
+// Size returns the number of configurations in the tree.
+func (r *RunTree) Size() int {
+	n := 1
+	for _, c := range r.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// AcceptingRunTree extracts an accepting computation tree for the
+// machine on the empty tape within the space bound, or reports that
+// none exists. Acceptance follows the alternating semantics of
+// Machine.Accepts.
+func (am *AltMachine) AcceptingRunTree(space int) (*RunTree, bool) {
+	// Reuse the fixpoint from Accepts, but keep the table.
+	init := am.InitialConfig(space)
+	configs := []Config{init}
+	index := map[string]int{init.Key(): 0}
+	type edge struct {
+		to int
+		br Branch
+	}
+	var succ [][]edge
+	for i := 0; i < len(configs); i++ {
+		var row []edge
+		for _, br := range []Branch{LeftBranch, RightBranch} {
+			s, ok := am.BranchSuccessor(configs[i], br)
+			if !ok {
+				continue
+			}
+			k := s.Key()
+			j, found := index[k]
+			if !found {
+				j = len(configs)
+				index[k] = j
+				configs = append(configs, s)
+			}
+			row = append(row, edge{to: j, br: br})
+		}
+		succ = append(succ, row)
+	}
+	accepting := make([]bool, len(configs))
+	for {
+		changed := false
+		for i, c := range configs {
+			if accepting[i] {
+				continue
+			}
+			if am.isAccept(c.State) {
+				accepting[i] = true
+				changed = true
+				continue
+			}
+			if len(succ[i]) == 0 {
+				continue
+			}
+			if am.Universal[c.State] {
+				all := true
+				for _, e := range succ[i] {
+					if !accepting[e.to] {
+						all = false
+						break
+					}
+				}
+				if all {
+					accepting[i] = true
+					changed = true
+				}
+			} else {
+				for _, e := range succ[i] {
+					if accepting[e.to] {
+						accepting[i] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !accepting[0] {
+		return nil, false
+	}
+	// Extract a finite tree; depth-bound by number of configs to avoid
+	// cycles (an accepting config tree without repetition always
+	// exists: follow the fixpoint stages).
+	stage := make([]int, len(configs))
+	for i := range stage {
+		stage[i] = -1
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for i, c := range configs {
+			if stage[i] >= 0 {
+				continue
+			}
+			if am.isAccept(c.State) {
+				stage[i] = 0
+				changed = true
+				continue
+			}
+			if len(succ[i]) == 0 {
+				continue
+			}
+			best := -1
+			if am.Universal[c.State] {
+				max := -1
+				ok := true
+				for _, e := range succ[i] {
+					if stage[e.to] < 0 {
+						ok = false
+						break
+					}
+					if stage[e.to] > max {
+						max = stage[e.to]
+					}
+				}
+				if ok {
+					best = max + 1
+				}
+			} else {
+				for _, e := range succ[i] {
+					if stage[e.to] >= 0 && (best < 0 || stage[e.to]+1 < best) {
+						best = stage[e.to] + 1
+					}
+				}
+			}
+			if best >= 0 {
+				stage[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var build func(i int) *RunTree
+	build = func(i int) *RunTree {
+		node := &RunTree{Config: configs[i]}
+		c := configs[i]
+		if am.isAccept(c.State) {
+			return node
+		}
+		if am.Universal[c.State] {
+			for _, e := range succ[i] {
+				node.Children = append(node.Children, build(e.to))
+				node.Branches = append(node.Branches, e.br)
+			}
+			return node
+		}
+		// Existential: follow the successor with the smallest stage.
+		bestE := -1
+		for k, e := range succ[i] {
+			if stage[e.to] < 0 {
+				continue
+			}
+			if bestE < 0 || stage[e.to] < stage[succ[i][bestE].to] {
+				bestE = k
+			}
+		}
+		e := succ[i][bestE]
+		node.Children = append(node.Children, build(e.to))
+		node.Branches = append(node.Branches, e.br)
+		return node
+	}
+	return build(0), true
+}

@@ -1,0 +1,264 @@
+package tm
+
+import (
+	"testing"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/expansion"
+)
+
+// altAccepting strictly alternates: the existential start writes a one
+// and hands over to a universal state whose two branches both accept.
+func altAccepting() *AltMachine {
+	return &AltMachine{
+		Machine: &Machine{
+			States:      []string{"e0", "u1", "eacc"},
+			TapeSymbols: []string{"_", "1"},
+			Blank:       "_",
+			Start:       "e0",
+			Accept:      []string{"eacc"},
+			Universal:   map[string]bool{"u1": true},
+			Transitions: []Transition{
+				{State: "e0", Read: "_", Write: "1", Move: Stay, NewState: "u1"},
+				{State: "e0", Read: "_", Write: "1", Move: Stay, NewState: "u1"},
+				{State: "u1", Read: "1", Write: "1", Move: Stay, NewState: "eacc"},
+				{State: "u1", Read: "1", Write: "1", Move: Right, NewState: "eacc"},
+			},
+		},
+		Tags: BranchTags{LeftBranch, RightBranch, LeftBranch, RightBranch},
+	}
+}
+
+// altRejecting is altAccepting with the universal right branch leading
+// to a dead existential state.
+func altRejecting() *AltMachine {
+	m := altAccepting()
+	m.States = append(m.States, "edead")
+	m.Transitions[3].NewState = "edead"
+	return m
+}
+
+func TestAltValidate(t *testing.T) {
+	if err := altAccepting().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := altAccepting()
+	bad.Tags = bad.Tags[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("tag length mismatch accepted")
+	}
+	dup := altAccepting()
+	dup.Tags[1] = LeftBranch
+	if err := dup.Validate(); err == nil {
+		t.Error("nondeterministic branch accepted")
+	}
+}
+
+func TestAcceptingRunTree(t *testing.T) {
+	tree, ok := altAccepting().AcceptingRunTree(2)
+	if !ok {
+		t.Fatal("machine should accept")
+	}
+	// Root (existential) has one child; that child (universal) has two.
+	if len(tree.Children) != 1 {
+		t.Fatalf("root children = %d", len(tree.Children))
+	}
+	uni := tree.Children[0]
+	if len(uni.Children) != 2 {
+		t.Fatalf("universal children = %d", len(uni.Children))
+	}
+	if tree.Size() != 4 {
+		t.Errorf("tree size = %d, want 4", tree.Size())
+	}
+	if _, ok := altRejecting().AcceptingRunTree(2); ok {
+		t.Error("rejecting machine has an accepting tree")
+	}
+}
+
+func TestAltEncodingShape(t *testing.T) {
+	e, err := Encode53Alternating(altAccepting(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Program.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Program.IsRecursive() {
+		t.Error("alternating encoding should be recursive")
+	}
+	if e.Program.IsLinear() {
+		t.Error("the universal rule makes the program nonlinear")
+	}
+	s := e.Stats()
+	if s.Rules == 0 || s.ErrorQueries == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestAltComputationTreeSeparates(t *testing.T) {
+	am := altAccepting()
+	e, err := Encode53Alternating(am, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, ok := am.AcceptingRunTree(4)
+	if !ok {
+		t.Fatal("machine should accept")
+	}
+	db, err := e.ComputationTreeDB(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err := eval.Goal(e.Program, db, Goal, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() == 0 {
+		t.Fatal("program does not derive C on the computation tree DB")
+	}
+	errOK, err := e.Errors.Holds(db, database.Tuple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errOK {
+		t.Fatal("a valid alternating computation triggered an error query")
+	}
+}
+
+func TestAltMutationsCaught(t *testing.T) {
+	am := altAccepting()
+	e, err := Encode53Alternating(am, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := am.AcceptingRunTree(4)
+
+	build := func() *database.DB {
+		db, err := e.ComputationTreeDB(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	holds := func(db *database.DB) bool {
+		ok, err := e.Errors.Holds(db, database.Tuple{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+
+	t.Run("baseline", func(t *testing.T) {
+		if holds(build()) {
+			t.Fatal("baseline errors")
+		}
+	})
+
+	t.Run("flag-flip", func(t *testing.T) {
+		// Mismark the whole universal configuration as existential:
+		// flip the t column (index 9) of every one of its a-facts, so
+		// the program still derives C but the flag contradicts the
+		// configuration's composite symbol.
+		src := build()
+		var uniU string
+		for _, tu := range src.Lookup(predA(1)).Tuples() {
+			if tu[9] == BitOne {
+				uniU = tu[6]
+				break
+			}
+		}
+		if uniU == "" {
+			t.Fatal("no universal configuration found")
+		}
+		out := database.New()
+		for _, p := range src.Preds() {
+			for _, tu := range src.Lookup(p).Tuples() {
+				nt := tu.Clone()
+				if len(nt) == 10 && nt[6] == uniU {
+					nt[9] = BitZero
+				}
+				out.Add(p, nt)
+			}
+		}
+		if !holds(out) {
+			t.Error("flag/symbol inconsistency not caught")
+		}
+	})
+
+	t.Run("wrong-symbol-in-branch", func(t *testing.T) {
+		// Replace one symbol fact in a successor configuration with a
+		// different plain symbol: a per-branch window violation.
+		src := build()
+		out := database.New()
+		var targetNode, oldPred string
+		// Find a block of a child configuration: its a_1 fact has
+		// u_root in column 7 or 8 (v or w position).
+		for _, tu := range src.Lookup(predA(e.N)).Tuples() {
+			if tu[7] == "u_root" || tu[8] == "u_root" {
+				targetNode = tu[4]
+				break
+			}
+		}
+		if targetNode == "" {
+			t.Fatal("no successor block found")
+		}
+		for _, p := range src.Preds() {
+			for _, tu := range src.Lookup(p).Tuples() {
+				if len(tu) == 1 && tu[0] == targetNode {
+					oldPred = p
+					continue
+				}
+				out.Add(p, tu)
+			}
+		}
+		if oldPred == "" {
+			t.Fatal("symbol fact not found")
+		}
+		var replacement string
+		for cell, pred := range e.SymPred {
+			if pred != oldPred && !cell.IsComposite() && cell.Sym != e.Machine.Blank {
+				replacement = pred
+				break
+			}
+		}
+		if replacement == "" {
+			t.Fatal("no replacement symbol")
+		}
+		out.Add(replacement, database.Tuple{targetNode})
+		if !holds(out) {
+			t.Error("branch window violation not caught")
+		}
+	})
+}
+
+// Sampled expansions of the rejecting alternating machine are all
+// caught by the error queries.
+func TestAltRejectingExpansionsCaught(t *testing.T) {
+	am := altRejecting()
+	e, err := Encode53Alternating(am, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := sampleExpansions(e.Program, 9, 25)
+	if len(queries) == 0 {
+		t.Fatal("no expansions")
+	}
+	for i, q := range queries {
+		db, head := q.CanonicalDB()
+		ok, err := e.Errors.Holds(db, head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("expansion %d evades the error queries:\n%s", i, q)
+		}
+	}
+}
+
+// sampleExpansions enumerates a few expansions of a program with goal C.
+func sampleExpansions(prog *ast.Program, depth, count int) []cq.CQ {
+	return expansion.Expansions(prog, Goal, depth, count)
+}

@@ -1,0 +1,129 @@
+package tm
+
+import (
+	"fmt"
+
+	"datalogeq/internal/database"
+)
+
+// The computation database encodes a run of the machine exactly the way
+// the program's expansions describe it: a z-linked chain of a_i facts,
+// one per address bit per tape position per configuration, with symbol
+// facts at each block's last node, u/v constants identifying
+// configurations, and the x/y "bit constants".
+const (
+	// BitZero and BitOne are the database constants the program's
+	// persistent variables x and y bind to.
+	BitZero = "bit0"
+	BitOne  = "bit1"
+)
+
+// ComputationDB builds the database of a configuration sequence. The
+// run need not be valid or accepting — invalid runs are exactly what
+// the error queries are tested against. All configurations must have
+// length 2^N.
+func (e *Encoding) ComputationDB(run []Config) (*database.DB, error) {
+	n := e.N
+	size := 1 << uint(n)
+	for _, c := range run {
+		if len(c.Tape) != size {
+			return nil, fmt.Errorf("tm: configuration has %d cells, want %d", len(c.Tape), size)
+		}
+	}
+	db := database.New()
+	node := func(t, p, i int) string { return fmt.Sprintf("z_%d_%d_%d", t, p, i) }
+	uOf := func(t int) string { return fmt.Sprintf("u%d", t) }
+	// v of configuration t is u of configuration t-1.
+	vOf := func(t int) string {
+		if t == 0 {
+			return "v0"
+		}
+		return uOf(t - 1)
+	}
+	bitConst := func(b int) string {
+		if b == 0 {
+			return BitZero
+		}
+		return BitOne
+	}
+	// carries(p) returns the carry bits (index 0 = bit 1) used when the
+	// address p was produced by incrementing p-1; the first address of
+	// the whole computation gets all-ones carries, consistent with the
+	// roll-over from 1...1 for every later 0...0.
+	carries := func(p int) []int {
+		out := make([]int, n)
+		if p == 0 {
+			for i := range out {
+				out[i] = 1
+			}
+			return out
+		}
+		prev := p - 1
+		c := 1
+		for i := 0; i < n; i++ {
+			out[i] = c
+			alpha := (prev >> uint(i)) & 1
+			c = c & alpha
+		}
+		return out
+	}
+	last := len(run) - 1
+	for t, cfg := range run {
+		cells := ConfigCells(cfg)
+		for p := 0; p < size; p++ {
+			cs := carries(p)
+			for i := 1; i <= n; i++ {
+				cur := node(t, p, i)
+				var next string
+				switch {
+				case i < n:
+					next = node(t, p, i+1)
+				case p < size-1:
+					next = node(t, p+1, 1)
+				case t < last:
+					next = node(t+1, 0, 1)
+				default:
+					next = "z_end"
+				}
+				addrBit := (p >> uint(i-1)) & 1
+				db.Add(predA(i), database.Tuple{
+					BitZero, BitOne,
+					bitConst(addrBit), bitConst(cs[i-1]),
+					cur, next,
+					uOf(t), vOf(t),
+				})
+				if i == n {
+					db.Add(e.SymPred[cells[p]], database.Tuple{cur})
+				}
+			}
+		}
+	}
+	db.Add("start", database.Tuple{node(0, 0, 1)})
+	return db, nil
+}
+
+// Stats summarizes the size of a generated encoding — the quantities
+// behind the succinctness argument of §5.3/§6.
+type Stats struct {
+	Rules        int
+	RuleAtoms    int
+	ErrorQueries int
+	ErrorAtoms   int
+	Cells        int
+	WindowSize   int
+}
+
+// Stats computes size statistics of the encoding.
+func (e *Encoding) Stats() Stats {
+	s := Stats{
+		Rules:        len(e.Program.Rules),
+		ErrorQueries: e.Errors.Size(),
+		ErrorAtoms:   e.Errors.TotalAtoms(),
+		Cells:        len(e.Cells),
+		WindowSize:   len(e.Windows.R),
+	}
+	for _, r := range e.Program.Rules {
+		s.RuleAtoms += len(r.Body) + 1
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package tm
+
+import (
+	"fmt"
+
+	"datalogeq/internal/database"
+)
+
+// ComputationDB builds the §6 database of a configuration sequence:
+// a global e-chain of points — 2ⁿ address points plus one symbol point
+// per tape position — labeled with address/symbol, zero/one,
+// carry0/carry1, and symbol predicates, and an a(z, u, v) fact per
+// point carrying the configuration pair. Configurations must have
+// length 2^(2ⁿ).
+func (e *Encoding6) ComputationDB(run []Config) (*database.DB, error) {
+	n := e.N
+	bits := 1 << uint(n)    // address bits per position
+	size := 1 << uint(bits) // positions per configuration
+	for _, c := range run {
+		if len(c.Tape) != size {
+			return nil, fmt.Errorf("tm: configuration has %d cells, want %d", len(c.Tape), size)
+		}
+	}
+	db := database.New()
+	counter := 0
+	newNode := func() string {
+		counter++
+		return fmt.Sprintf("p%d", counter)
+	}
+	carries := func(p int) []int {
+		out := make([]int, bits)
+		if p == 0 {
+			for i := range out {
+				out[i] = 1
+			}
+			return out
+		}
+		prev := p - 1
+		c := 1
+		for i := 0; i < bits; i++ {
+			out[i] = c
+			alpha := (prev >> uint(i)) & 1
+			c = c & alpha
+		}
+		return out
+	}
+	uOf := func(t int) string { return fmt.Sprintf("u%d", t) }
+	vOf := func(t int) string {
+		if t == 0 {
+			return "v0"
+		}
+		return uOf(t - 1)
+	}
+	var prev string
+	first := ""
+	link := func(node string) {
+		if prev != "" {
+			db.Add("e", database.Tuple{prev, node})
+		}
+		if first == "" {
+			first = node
+		}
+		prev = node
+	}
+	for t, cfg := range run {
+		cells := ConfigCells(cfg)
+		for p := 0; p < size; p++ {
+			cs := carries(p)
+			for i := 0; i < bits; i++ {
+				node := newNode()
+				link(node)
+				db.Add("a", database.Tuple{node, uOf(t), vOf(t)})
+				db.Add("address", database.Tuple{node})
+				if (p>>uint(i))&1 == 1 {
+					db.Add("one", database.Tuple{node})
+				} else {
+					db.Add("zero", database.Tuple{node})
+				}
+				if cs[i] == 1 {
+					db.Add("carry1", database.Tuple{node})
+				} else {
+					db.Add("carry0", database.Tuple{node})
+				}
+			}
+			node := newNode()
+			link(node)
+			db.Add("a", database.Tuple{node, uOf(t), vOf(t)})
+			db.Add("symbol", database.Tuple{node})
+			db.Add(e.SymPred[cells[p]], database.Tuple{node})
+		}
+	}
+	db.Add("start", database.Tuple{first})
+	return db, nil
+}

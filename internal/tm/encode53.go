@@ -1,0 +1,512 @@
+package tm
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/ucq"
+)
+
+// Encoding is a generated lower-bound instance (§5.3): a linear
+// recursive program Π whose expansions spell candidate computations of
+// the machine as sequences of n-bit-addressed cells, and a union Θ of
+// error-detecting conjunctive queries, such that Π (goal C) is contained
+// in Θ iff the machine does not accept the empty tape in space 2ⁿ.
+type Encoding struct {
+	Machine *Machine
+	N       int
+	Program *ast.Program
+	Errors  ucq.UCQ
+	// Cells enumerates the cell symbols; SymPred maps each to its
+	// unary EDB predicate name.
+	Cells   []CellSymbol
+	SymPred map[CellSymbol]string
+	Windows *WindowRelations
+}
+
+// Goal is the 0-ary goal predicate of every encoding.
+const Goal = "c"
+
+// predA returns the name of the i-th address-bit EDB predicate (8-ary).
+func predA(i int) string { return fmt.Sprintf("a%d", i) }
+
+// predBit returns the name of the i-th IDB predicate (5-ary).
+func predBit(i int) string { return fmt.Sprintf("bit%d", i) }
+
+// Encode53 compiles the machine and address width n into the §5.3
+// reduction instance. The machine must be deterministic (the linear
+// case); use Encode53Alternating for alternating machines.
+func Encode53(m *Machine, n int) (*Encoding, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("tm: need n >= 1")
+	}
+	if !m.IsDeterministic() {
+		return nil, fmt.Errorf("tm: Encode53 requires a deterministic machine")
+	}
+	e := &Encoding{
+		Machine: m,
+		N:       n,
+		Cells:   m.CellSymbols(),
+		SymPred: make(map[CellSymbol]string),
+		Windows: m.Windows(),
+	}
+	for i, c := range e.Cells {
+		e.SymPred[c] = fmt.Sprintf("sym%d", i)
+	}
+	e.Program = e.buildProgram()
+	e.Errors = e.buildErrors()
+	return e, nil
+}
+
+// Variable helpers. The program's persistent variables x, y act as the
+// bit constants 0 and 1.
+var (
+	vX  = ast.V("X")
+	vY  = ast.V("Y")
+	vZ  = ast.V("Z")
+	vZ2 = ast.V("Z2")
+	vU  = ast.V("U")
+	vU2 = ast.V("U2")
+	vV  = ast.V("V")
+)
+
+// bitCombos are the four (address-bit, carry-bit) argument pairs; x
+// encodes 0 and y encodes 1.
+func bitCombos() [][2]ast.Term {
+	return [][2]ast.Term{{vX, vX}, {vX, vY}, {vY, vX}, {vY, vY}}
+}
+
+func (e *Encoding) buildProgram() *ast.Program {
+	n := e.N
+	prog := &ast.Program{}
+	bit := func(i int, z, u, v ast.Term) ast.Atom {
+		return ast.NewAtom(predBit(i), vX, vY, z, u, v)
+	}
+	aAtom := func(i int, b, c, z, z2, u, v ast.Term) ast.Atom {
+		return ast.NewAtom(predA(i), vX, vY, b, c, z, z2, u, v)
+	}
+	// Interior address-bit rules, for 1 <= i <= n-1:
+	//   bit_i(x,y,z,u,v) :- bit_{i+1}(x,y,z',u,v), a_i(x,y,B,C,z,z',u,v).
+	for i := 1; i < n; i++ {
+		for _, bc := range bitCombos() {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				bit(i, vZ, vU, vV),
+				bit(i+1, vZ2, vU, vV),
+				aAtom(i, bc[0], bc[1], vZ, vZ2, vU, vV),
+			))
+		}
+	}
+	// Symbol rules for bit_n: continue to the next position of the same
+	// configuration.
+	for _, cell := range e.Cells {
+		q := e.SymPred[cell]
+		for _, bc := range bitCombos() {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				bit(n, vZ, vU, vV),
+				bit(1, vZ2, vU, vV),
+				aAtom(n, bc[0], bc[1], vZ, vZ2, vU, vV),
+				ast.NewAtom(q, vZ),
+			))
+		}
+	}
+	// Configuration-change rules: u migrates to the v position.
+	for _, cell := range e.Cells {
+		q := e.SymPred[cell]
+		for _, bc := range bitCombos() {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				bit(n, vZ, vU, vV),
+				bit(1, vZ2, vU2, vU),
+				aAtom(n, bc[0], bc[1], vZ, vZ2, vU, vV),
+				ast.NewAtom(q, vZ),
+			))
+		}
+	}
+	// End rules: the computation may stop at an accepting composite
+	// symbol.
+	for _, cell := range e.Cells {
+		if !cell.IsComposite() || !e.Machine.isAccept(cell.State) {
+			continue
+		}
+		q := e.SymPred[cell]
+		for _, bc := range bitCombos() {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				bit(n, vZ, vU, vV),
+				aAtom(n, bc[0], bc[1], vZ, vZ2, vU, vV),
+				ast.NewAtom(q, vZ),
+			))
+		}
+	}
+	// Start rule.
+	prog.Rules = append(prog.Rules, ast.NewRule(
+		ast.NewAtom(Goal),
+		bit(1, vZ, vU, vV),
+		ast.NewAtom("start", vZ),
+	))
+	return prog
+}
+
+// fresh variable namer for error queries; "dots" in the paper.
+type dotter struct{ n int }
+
+func (d *dotter) dot() ast.Term {
+	d.n++
+	return ast.V(fmt.Sprintf("D%d", d.n))
+}
+
+// chainVars returns z-chain variables z1..z_k+1.
+func chainVars(k int) []ast.Term {
+	out := make([]ast.Term, k+1)
+	for i := range out {
+		out[i] = ast.V(fmt.Sprintf("Z%d", i+1))
+	}
+	return out
+}
+
+// buildErrors constructs the union of error-detecting conjunctive
+// queries of §5.3. Every disjunct is Boolean with head c.
+func (e *Encoding) buildErrors() ucq.UCQ {
+	n := e.N
+	var out []cq.CQ
+	head := ast.NewAtom(Goal)
+	add := func(atoms ...ast.Atom) {
+		out = append(out, cq.CQ{Head: head.Clone(), Body: atoms})
+	}
+	// a_i atom in an error query: args (x, y, bit, carry, z, z', u, v).
+	aq := func(i int, bit, carry, z, z2, u, v ast.Term) ast.Atom {
+		return ast.NewAtom(predA(i), vX, vY, bit, carry, z, z2, u, v)
+	}
+
+	// (a) First address is not 0...0: for each i, the i-th bit of the
+	// block right after start is 1.
+	for i := 1; i <= n; i++ {
+		d := &dotter{}
+		z := chainVars(i)
+		atoms := []ast.Atom{ast.NewAtom("start", z[0])}
+		for j := 1; j <= i; j++ {
+			bitArg := d.dot()
+			if j == i {
+				bitArg = vY
+			}
+			atoms = append(atoms, aq(j, bitArg, d.dot(), z[j-1], z[j], vU, vV))
+		}
+		add(atoms...)
+	}
+
+	// (b) Counter errors.
+	// Type 1: a first carry bit is 0.
+	{
+		d := &dotter{}
+		add(aq(1, d.dot(), vX, d.dot(), d.dot(), d.dot(), d.dot()))
+	}
+	// Spanning queries relate position i of one address block (alpha)
+	// to positions i and i+1 of the next block (gamma/beta): the chain
+	// a_i .. a_n of the first block followed by a_1 .. a_{i+1} of the
+	// next.
+	span := func(i int, alphaBit ast.Term, withNext bool, nextBits, nextCarries map[int]ast.Term) []ast.Atom {
+		d := &dotter{}
+		last := i
+		if withNext {
+			last = i + 1
+		}
+		total := (n - i + 1) + last
+		z := chainVars(total)
+		var atoms []ast.Atom
+		pos := 0
+		// First block, positions i..n.
+		for j := i; j <= n; j++ {
+			bitArg := d.dot()
+			if j == i {
+				bitArg = alphaBit
+			}
+			atoms = append(atoms, aq(j, bitArg, d.dot(), z[pos], z[pos+1], d.dot(), d.dot()))
+			pos++
+		}
+		// Next block, positions 1..last.
+		for j := 1; j <= last; j++ {
+			bitArg := d.dot()
+			if t, ok := nextBits[j]; ok {
+				bitArg = t
+			}
+			carryArg := d.dot()
+			if t, ok := nextCarries[j]; ok {
+				carryArg = t
+			}
+			atoms = append(atoms, aq(j, bitArg, carryArg, z[pos], z[pos+1], d.dot(), d.dot()))
+			pos++
+		}
+		return atoms
+	}
+	for i := 1; i < n; i++ {
+		// Type 2: alpha_i=1, gamma_i=1, gamma_{i+1}=0.
+		add(span(i, vY, true, nil, map[int]ast.Term{i: vY, i + 1: vX})...)
+		// Type 3a: alpha_i=0 but gamma_{i+1}=1.
+		add(span(i, vX, true, nil, map[int]ast.Term{i + 1: vY})...)
+		// Type 3b: gamma_i=0 but gamma_{i+1}=1 (within one block).
+		d := &dotter{}
+		z := chainVars(2)
+		add(
+			aq(i, d.dot(), vX, z[0], z[1], d.dot(), d.dot()),
+			aq(i+1, d.dot(), vY, z[1], z[2], d.dot(), d.dot()),
+		)
+	}
+	for i := 1; i <= n; i++ {
+		// XOR violations beta_i != alpha_i XOR gamma_i.
+		// Type 4: alpha=0, gamma=0, beta=1.
+		add(span(i, vX, false, map[int]ast.Term{i: vY}, map[int]ast.Term{i: vX})...)
+		// Type 5: alpha=1, gamma=1, beta=1.
+		add(span(i, vY, false, map[int]ast.Term{i: vY}, map[int]ast.Term{i: vY})...)
+		// Type 6: alpha=1, gamma=0, beta=0.
+		add(span(i, vY, false, map[int]ast.Term{i: vX}, map[int]ast.Term{i: vX})...)
+		// Type 7: alpha=0, gamma=1, beta=0.
+		add(span(i, vX, false, map[int]ast.Term{i: vX}, map[int]ast.Term{i: vY})...)
+	}
+
+	// (c) Configuration-boundary errors.
+	// Type 1: the configuration changes although bit i is 0: the block
+	// (sharing u, v) is followed by an a_1 whose 8th argument is u.
+	for i := 1; i <= n; i++ {
+		d := &dotter{}
+		z := chainVars(n - i + 2)
+		var atoms []ast.Atom
+		pos := 0
+		for j := i; j <= n; j++ {
+			bitArg := d.dot()
+			if j == i {
+				bitArg = vX
+			}
+			atoms = append(atoms, aq(j, bitArg, d.dot(), z[pos], z[pos+1], vU, vV))
+			pos++
+		}
+		atoms = append(atoms, aq(1, d.dot(), d.dot(), z[pos], z[pos+1], d.dot(), vU))
+		add(atoms...)
+	}
+	// Type 2: the configuration does not change although the address is
+	// 1...1: the all-ones block is followed by an a_1 with the same
+	// (u, v).
+	{
+		d := &dotter{}
+		z := chainVars(n + 1)
+		var atoms []ast.Atom
+		for j := 1; j <= n; j++ {
+			atoms = append(atoms, aq(j, vY, d.dot(), z[j-1], z[j], vU, vV))
+		}
+		atoms = append(atoms, aq(1, d.dot(), d.dot(), z[n], z[n+1], vU, vV))
+		add(atoms...)
+	}
+
+	// (d) Initial-configuration errors.
+	startCell := CellSymbol{State: e.Machine.Start, Sym: e.Machine.Blank}
+	// Position 0 of the first configuration is not (start, blank).
+	for _, cell := range e.Cells {
+		if cell == startCell {
+			continue
+		}
+		d := &dotter{}
+		z := chainVars(n)
+		atoms := []ast.Atom{ast.NewAtom("start", z[0])}
+		for j := 1; j <= n; j++ {
+			atoms = append(atoms, aq(j, d.dot(), d.dot(), z[j-1], z[j], vU, vV))
+		}
+		atoms = append(atoms, ast.NewAtom(e.SymPred[cell], z[n-1]))
+		add(atoms...)
+	}
+	// A non-zero position of the first configuration is not blank.
+	blank := CellSymbol{Sym: e.Machine.Blank}
+	for _, cell := range e.Cells {
+		if cell == blank {
+			continue
+		}
+		for i := 1; i <= n; i++ {
+			d := &dotter{}
+			zs := ast.V("ZS")
+			z := chainVars(n - i + 1)
+			atoms := []ast.Atom{
+				ast.NewAtom("start", zs),
+				aq(1, d.dot(), d.dot(), zs, d.dot(), vU, vV),
+			}
+			for j := i; j <= n; j++ {
+				bitArg := d.dot()
+				if j == i {
+					bitArg = vY
+				}
+				atoms = append(atoms, aq(j, bitArg, d.dot(), z[j-i], z[j-i+1], vU, vV))
+			}
+			atoms = append(atoms, ast.NewAtom(e.SymPred[cell], z[n-i]))
+			add(atoms...)
+		}
+	}
+
+	// (e) Window violations. For interior windows, three consecutive
+	// blocks carry symbols a, b, c; the corresponding block of the next
+	// configuration carries d, with the middle block's address bits
+	// shared.
+	e.addWindowErrors(&out)
+	return ucq.New(out...)
+}
+
+// addWindowErrors appends the R_M, R^l_M, and R^r_M violation queries.
+func (e *Encoding) addWindowErrors(out *[]cq.CQ) {
+	n := e.N
+	head := ast.NewAtom(Goal)
+	add := func(atoms []ast.Atom) {
+		*out = append(*out, cq.CQ{Head: head.Clone(), Body: atoms})
+	}
+	aq := func(i int, bit, carry, z, z2, u, v ast.Term) ast.Atom {
+		return ast.NewAtom(predA(i), vX, vY, bit, carry, z, z2, u, v)
+	}
+	// block emits the n a-atoms of one address block. bits[j] (1-based)
+	// supplies the address-bit terms; nil entries become fresh dots.
+	block := func(d *dotter, z []ast.Term, zoff int, bits []ast.Term, u, v ast.Term) []ast.Atom {
+		var atoms []ast.Atom
+		for j := 1; j <= n; j++ {
+			bitArg := bits[j-1]
+			if bitArg == (ast.Term{}) {
+				bitArg = d.dot()
+			}
+			atoms = append(atoms, aq(j, bitArg, d.dot(), z[zoff+j-1], z[zoff+j], u, v))
+		}
+		return atoms
+	}
+	freshBits := func() []ast.Term { return make([]ast.Term, n) }
+	sharedBits := func(prefix string) []ast.Term {
+		outBits := make([]ast.Term, n)
+		for j := range outBits {
+			outBits[j] = ast.V(fmt.Sprintf("%s%d", prefix, j+1))
+		}
+		return outBits
+	}
+	legalTriple := func(a, b, c CellSymbol) bool {
+		k := 0
+		for _, s := range []CellSymbol{a, b, c} {
+			if s.IsComposite() {
+				k++
+			}
+		}
+		return k <= 1
+	}
+	legalPair := func(a, b CellSymbol) bool {
+		return !(a.IsComposite() && b.IsComposite())
+	}
+	// Interior window violations.
+	for _, a := range e.Cells {
+		for _, b := range e.Cells {
+			if !legalPair(a, b) {
+				continue
+			}
+			for _, c := range e.Cells {
+				if !legalTriple(a, b, c) {
+					continue
+				}
+				for _, dsym := range e.Cells {
+					if e.Windows.R[Window4{a, b, c, dsym}] {
+						continue
+					}
+					d := &dotter{}
+					z1 := chainVars(3 * n)
+					z2 := chainVars(n)
+					for i := range z2 {
+						z2[i] = ast.V(fmt.Sprintf("W%d", i+1))
+					}
+					mid := sharedBits("S")
+					var atoms []ast.Atom
+					atoms = append(atoms, block(d, z1, 0, freshBits(), vU, vV)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[a], z1[n-1]))
+					atoms = append(atoms, block(d, z1, n, mid, vU, vV)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[b], z1[2*n-1]))
+					atoms = append(atoms, block(d, z1, 2*n, freshBits(), vU, vV)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[c], z1[3*n-1]))
+					atoms = append(atoms, block(d, z2, 0, mid, vU2, vU)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[dsym], z2[n-1]))
+					add(atoms)
+				}
+			}
+		}
+	}
+	// Left-end violations: positions 0 and 1 (addresses 0...0 and
+	// 0...01) and position 0 of the next configuration.
+	zeroBits := func() []ast.Term {
+		outBits := make([]ast.Term, n)
+		for j := range outBits {
+			outBits[j] = vX
+		}
+		return outBits
+	}
+	// Address 1 is 0...01: bit 1 (the least significant, stored first)
+	// is 1.
+	oneAtEnd := func() []ast.Term {
+		outBits := zeroBits()
+		outBits[0] = vY
+		return outBits
+	}
+	for _, a := range e.Cells {
+		for _, b := range e.Cells {
+			if !legalPair(a, b) {
+				continue
+			}
+			for _, dsym := range e.Cells {
+				if e.Windows.Rl[Window3{a, b, dsym}] {
+					continue
+				}
+				d := &dotter{}
+				z1 := chainVars(2 * n)
+				z2 := chainVars(n)
+				for i := range z2 {
+					z2[i] = ast.V(fmt.Sprintf("W%d", i+1))
+				}
+				var atoms []ast.Atom
+				atoms = append(atoms, block(d, z1, 0, zeroBits(), vU, vV)...)
+				atoms = append(atoms, ast.NewAtom(e.SymPred[a], z1[n-1]))
+				atoms = append(atoms, block(d, z1, n, oneAtEnd(), vU, vV)...)
+				atoms = append(atoms, ast.NewAtom(e.SymPred[b], z1[2*n-1]))
+				atoms = append(atoms, block(d, z2, 0, zeroBits(), vU2, vU)...)
+				atoms = append(atoms, ast.NewAtom(e.SymPred[dsym], z2[n-1]))
+				add(atoms)
+			}
+		}
+	}
+	// Right-end violations: the last two positions (1...10 and 1...1)
+	// and the last position of the next configuration.
+	onesBits := func() []ast.Term {
+		outBits := make([]ast.Term, n)
+		for j := range outBits {
+			outBits[j] = vY
+		}
+		return outBits
+	}
+	// Address 2^n - 2 is 1...10: bit 1 is 0.
+	zeroAtEnd := func() []ast.Term {
+		outBits := onesBits()
+		outBits[0] = vX
+		return outBits
+	}
+	for _, a := range e.Cells {
+		for _, b := range e.Cells {
+			if !legalPair(a, b) {
+				continue
+			}
+			for _, dsym := range e.Cells {
+				if e.Windows.Rr[Window3{a, b, dsym}] {
+					continue
+				}
+				d := &dotter{}
+				z1 := chainVars(2 * n)
+				z2 := chainVars(n)
+				for i := range z2 {
+					z2[i] = ast.V(fmt.Sprintf("W%d", i+1))
+				}
+				var atoms []ast.Atom
+				atoms = append(atoms, block(d, z1, 0, zeroAtEnd(), vU, vV)...)
+				atoms = append(atoms, ast.NewAtom(e.SymPred[a], z1[n-1]))
+				atoms = append(atoms, block(d, z1, n, onesBits(), vU, vV)...)
+				atoms = append(atoms, ast.NewAtom(e.SymPred[b], z1[2*n-1]))
+				atoms = append(atoms, block(d, z2, 0, onesBits(), vU2, vU)...)
+				atoms = append(atoms, ast.NewAtom(e.SymPred[dsym], z2[n-1]))
+				add(atoms)
+			}
+		}
+	}
+}

@@ -1,0 +1,626 @@
+package tm
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+	"datalogeq/internal/ucq"
+)
+
+// AltEncoding is the alternating-machine extension of the §5.3
+// reduction (the construction behind Theorem 5.15): bit predicates gain
+// a branching triple (u, v, w) and an existential/universal flag t, and
+// universal configurations spawn both successors through a nonlinear
+// rule. Π (goal C) is contained in Θ iff the alternating machine does
+// not accept the empty tape in space 2ⁿ.
+type AltEncoding struct {
+	Machine *AltMachine
+	N       int
+	Program *ast.Program
+	Errors  ucq.UCQ
+	Cells   []CellSymbol
+	SymPred map[CellSymbol]string
+	// WindowsL and WindowsR are the window relations of the left and
+	// right successor relations.
+	WindowsL *WindowRelations
+	WindowsR *WindowRelations
+}
+
+var (
+	vW  = ast.V("W")
+	vW2 = ast.V("W2")
+	vT  = ast.V("T")
+	vV2 = ast.V("V2")
+)
+
+// Encode53Alternating compiles a normalized alternating machine into
+// the nonlinear reduction instance.
+func Encode53Alternating(am *AltMachine, n int) (*AltEncoding, error) {
+	if err := am.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		// With n = 1 a block's first and last chain nodes coincide, so
+		// the two successor chains of a universal configuration (which
+		// share their root node, exactly as the paper's universal rule
+		// shares z') would also share their first symbol fact,
+		// producing spurious window violations. The construction is
+		// faithful for n >= 2.
+		return nil, fmt.Errorf("tm: alternating encoding needs n >= 2")
+	}
+	e := &AltEncoding{
+		Machine:  am,
+		N:        n,
+		Cells:    am.CellSymbols(),
+		SymPred:  make(map[CellSymbol]string),
+		WindowsL: am.branchMachine(LeftBranch).Windows(),
+		WindowsR: am.branchMachine(RightBranch).Windows(),
+	}
+	for i, c := range e.Cells {
+		e.SymPred[c] = fmt.Sprintf("sym%d", i)
+	}
+	e.Program = e.buildProgram()
+	e.Errors = e.buildErrors()
+	return e, nil
+}
+
+// Atom shapes: bit_i(x, y, z, u, v, w, t), a_i(x, y, bit, carry, z, z',
+// u, v, w, t).
+func (e *AltEncoding) bit(i int, z, u, v, w, t ast.Term) ast.Atom {
+	return ast.NewAtom(predBit(i), vX, vY, z, u, v, w, t)
+}
+
+func (e *AltEncoding) aAtom(i int, b, c, z, z2, u, v, w, t ast.Term) ast.Atom {
+	return ast.NewAtom(predA(i), vX, vY, b, c, z, z2, u, v, w, t)
+}
+
+func (e *AltEncoding) buildProgram() *ast.Program {
+	n := e.N
+	prog := &ast.Program{}
+	// Interior address-bit rules.
+	for i := 1; i < n; i++ {
+		for _, bc := range bitCombos() {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				e.bit(i, vZ, vU, vV, vW, vT),
+				e.bit(i+1, vZ2, vU, vV, vW, vT),
+				e.aAtom(i, bc[0], bc[1], vZ, vZ2, vU, vV, vW, vT),
+			))
+		}
+	}
+	// Symbol rules: continue within the configuration.
+	for _, cell := range e.Cells {
+		q := e.SymPred[cell]
+		for _, bc := range bitCombos() {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				e.bit(n, vZ, vU, vV, vW, vT),
+				e.bit(1, vZ2, vU, vV, vW, vT),
+				e.aAtom(n, bc[0], bc[1], vZ, vZ2, vU, vV, vW, vT),
+				ast.NewAtom(q, vZ),
+			))
+		}
+	}
+	fresh := func(name string) ast.Term { return ast.V(name) }
+	// Existential configuration change (flag x): the successor is
+	// universal (flag y); u migrates to the v position (left) or the w
+	// position (right).
+	for _, cell := range e.Cells {
+		q := e.SymPred[cell]
+		for _, bc := range bitCombos() {
+			// Left successor.
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				e.bit(n, vZ, vU, vV, vW, vX),
+				e.bit(1, fresh("Z2"), fresh("U2"), vU, fresh("W2"), vY),
+				e.aAtom(n, bc[0], bc[1], vZ, fresh("Z2"), vU, vV, vW, vX),
+				ast.NewAtom(q, vZ),
+			))
+			// Right successor.
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				e.bit(n, vZ, vU, vV, vW, vX),
+				e.bit(1, fresh("Z2"), fresh("U2"), fresh("V2"), vU, vY),
+				e.aAtom(n, bc[0], bc[1], vZ, fresh("Z2"), vU, vV, vW, vX),
+				ast.NewAtom(q, vZ),
+			))
+		}
+	}
+	// Universal configuration change (flag y): both successors, each on
+	// its own chain; the successors are existential (flag x).
+	for _, cell := range e.Cells {
+		q := e.SymPred[cell]
+		for _, bc := range bitCombos() {
+			// Both successors are rooted at the same chain node z';
+			// their configuration triples distinguish them (u in the
+			// v position for the left successor, in the w position
+			// for the right one).
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				e.bit(n, vZ, vU, vV, vW, vY),
+				e.bit(1, fresh("Z2"), fresh("UL"), vU, fresh("WL"), vX),
+				e.bit(1, fresh("Z2"), fresh("UR"), fresh("VR"), vU, vX),
+				e.aAtom(n, bc[0], bc[1], vZ, fresh("Z2"), vU, vV, vW, vY),
+				ast.NewAtom(q, vZ),
+			))
+		}
+	}
+	// End rules at accepting symbols.
+	for _, cell := range e.Cells {
+		if !cell.IsComposite() || !e.Machine.isAccept(cell.State) {
+			continue
+		}
+		q := e.SymPred[cell]
+		for _, bc := range bitCombos() {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				e.bit(n, vZ, vU, vV, vW, vT),
+				e.aAtom(n, bc[0], bc[1], vZ, vZ2, vU, vV, vW, vT),
+				ast.NewAtom(q, vZ),
+			))
+		}
+	}
+	// Start rule: the initial configuration is existential.
+	prog.Rules = append(prog.Rules, ast.NewRule(
+		ast.NewAtom(Goal),
+		e.bit(1, vZ, vU, vV, vW, vX),
+		ast.NewAtom("start", vZ),
+	))
+	return prog
+}
+
+func (e *AltEncoding) buildErrors() ucq.UCQ {
+	n := e.N
+	var out []cq.CQ
+	head := ast.NewAtom(Goal)
+	add := func(atoms ...ast.Atom) {
+		out = append(out, cq.CQ{Head: head.Clone(), Body: atoms})
+	}
+	aq := func(i int, bit, carry, z, z2, u, v, w, t ast.Term) ast.Atom {
+		return ast.NewAtom(predA(i), vX, vY, bit, carry, z, z2, u, v, w, t)
+	}
+
+	// (a) First address is not 0...0.
+	for i := 1; i <= n; i++ {
+		d := &dotter{}
+		z := chainVars(i)
+		atoms := []ast.Atom{ast.NewAtom("start", z[0])}
+		for j := 1; j <= i; j++ {
+			bitArg := d.dot()
+			if j == i {
+				bitArg = vY
+			}
+			atoms = append(atoms, aq(j, bitArg, d.dot(), z[j-1], z[j], vU, vV, vW, vT))
+		}
+		add(atoms...)
+	}
+
+	// (b) Counter errors, as in the deterministic case, with the extra
+	// arguments wild.
+	{
+		d := &dotter{}
+		add(aq(1, d.dot(), vX, d.dot(), d.dot(), d.dot(), d.dot(), d.dot(), d.dot()))
+	}
+	span := func(i int, alphaBit ast.Term, withNext bool, nextBits, nextCarries map[int]ast.Term) []ast.Atom {
+		d := &dotter{}
+		last := i
+		if withNext {
+			last = i + 1
+		}
+		total := (n - i + 1) + last
+		z := chainVars(total)
+		var atoms []ast.Atom
+		pos := 0
+		for j := i; j <= n; j++ {
+			bitArg := d.dot()
+			if j == i {
+				bitArg = alphaBit
+			}
+			atoms = append(atoms, aq(j, bitArg, d.dot(), z[pos], z[pos+1], d.dot(), d.dot(), d.dot(), d.dot()))
+			pos++
+		}
+		for j := 1; j <= last; j++ {
+			bitArg := d.dot()
+			if t, ok := nextBits[j]; ok {
+				bitArg = t
+			}
+			carryArg := d.dot()
+			if t, ok := nextCarries[j]; ok {
+				carryArg = t
+			}
+			atoms = append(atoms, aq(j, bitArg, carryArg, z[pos], z[pos+1], d.dot(), d.dot(), d.dot(), d.dot()))
+			pos++
+		}
+		return atoms
+	}
+	for i := 1; i < n; i++ {
+		add(span(i, vY, true, nil, map[int]ast.Term{i: vY, i + 1: vX})...)
+		add(span(i, vX, true, nil, map[int]ast.Term{i + 1: vY})...)
+		d := &dotter{}
+		z := chainVars(2)
+		add(
+			aq(i, d.dot(), vX, z[0], z[1], d.dot(), d.dot(), d.dot(), d.dot()),
+			aq(i+1, d.dot(), vY, z[1], z[2], d.dot(), d.dot(), d.dot(), d.dot()),
+		)
+	}
+	for i := 1; i <= n; i++ {
+		add(span(i, vX, false, map[int]ast.Term{i: vY}, map[int]ast.Term{i: vX})...)
+		add(span(i, vY, false, map[int]ast.Term{i: vY}, map[int]ast.Term{i: vY})...)
+		add(span(i, vY, false, map[int]ast.Term{i: vX}, map[int]ast.Term{i: vX})...)
+		add(span(i, vX, false, map[int]ast.Term{i: vX}, map[int]ast.Term{i: vY})...)
+	}
+
+	// (c) Configuration-boundary errors, for both successor patterns:
+	// premature change (some bit 0) and missing change (all bits 1).
+	migrations := [][2]int{{7, 0}, {8, 0}} // v-position or w-position gets u
+	_ = migrations
+	for i := 1; i <= n; i++ {
+		for _, left := range []bool{true, false} {
+			d := &dotter{}
+			z := chainVars(n - i + 2)
+			var atoms []ast.Atom
+			pos := 0
+			for j := i; j <= n; j++ {
+				bitArg := d.dot()
+				if j == i {
+					bitArg = vX
+				}
+				atoms = append(atoms, aq(j, bitArg, d.dot(), z[pos], z[pos+1], vU, vV, vW, vT))
+				pos++
+			}
+			// Next block in a successor configuration: u appears in
+			// the v position (left) or the w position (right).
+			if left {
+				atoms = append(atoms, aq(1, d.dot(), d.dot(), z[pos], z[pos+1], d.dot(), vU, d.dot(), d.dot()))
+			} else {
+				atoms = append(atoms, aq(1, d.dot(), d.dot(), z[pos], z[pos+1], d.dot(), d.dot(), vU, d.dot()))
+			}
+			add(atoms...)
+		}
+	}
+	{
+		// Missing change: all-ones block continued with identical
+		// (u, v, w).
+		d := &dotter{}
+		z := chainVars(n + 1)
+		var atoms []ast.Atom
+		for j := 1; j <= n; j++ {
+			atoms = append(atoms, aq(j, vY, d.dot(), z[j-1], z[j], vU, vV, vW, vT))
+		}
+		atoms = append(atoms, aq(1, d.dot(), d.dot(), z[n], z[n+1], vU, vV, vW, d.dot()))
+		add(atoms...)
+	}
+
+	// (d) Initial-configuration errors.
+	startCell := CellSymbol{State: e.Machine.Start, Sym: e.Machine.Blank}
+	for _, cell := range e.Cells {
+		if cell == startCell {
+			continue
+		}
+		d := &dotter{}
+		z := chainVars(n)
+		atoms := []ast.Atom{ast.NewAtom("start", z[0])}
+		for j := 1; j <= n; j++ {
+			atoms = append(atoms, aq(j, d.dot(), d.dot(), z[j-1], z[j], vU, vV, vW, vT))
+		}
+		atoms = append(atoms, ast.NewAtom(e.SymPred[cell], z[n-1]))
+		add(atoms...)
+	}
+	blank := CellSymbol{Sym: e.Machine.Blank}
+	for _, cell := range e.Cells {
+		if cell == blank {
+			continue
+		}
+		for i := 1; i <= n; i++ {
+			d := &dotter{}
+			zs := ast.V("ZS")
+			z := chainVars(n - i + 1)
+			atoms := []ast.Atom{
+				ast.NewAtom("start", zs),
+				aq(1, d.dot(), d.dot(), zs, d.dot(), vU, vV, vW, vT),
+			}
+			for j := i; j <= n; j++ {
+				bitArg := d.dot()
+				if j == i {
+					bitArg = vY
+				}
+				atoms = append(atoms, aq(j, bitArg, d.dot(), z[j-i], z[j-i+1], vU, vV, vW, vT))
+			}
+			atoms = append(atoms, ast.NewAtom(e.SymPred[cell], z[n-i]))
+			add(atoms...)
+		}
+	}
+
+	// (e) Flag/symbol consistency: a block whose symbol has a universal
+	// state must carry flag y, and vice versa.
+	for _, cell := range e.Cells {
+		if !cell.IsComposite() {
+			continue
+		}
+		d := &dotter{}
+		if e.Machine.Universal[cell.State] {
+			add(
+				aq(n, d.dot(), d.dot(), vZ, d.dot(), d.dot(), d.dot(), d.dot(), vX),
+				ast.NewAtom(e.SymPred[cell], vZ),
+			)
+		} else {
+			add(
+				aq(n, d.dot(), d.dot(), vZ, d.dot(), d.dot(), d.dot(), d.dot(), vY),
+				ast.NewAtom(e.SymPred[cell], vZ),
+			)
+		}
+	}
+
+	// (f) Window violations per branch: the successor block pattern
+	// distinguishes left (u in the v position) from right (u in the w
+	// position).
+	e.addAltWindowErrors(&out, e.WindowsL, true)
+	e.addAltWindowErrors(&out, e.WindowsR, false)
+	return ucq.New(out...)
+}
+
+func (e *AltEncoding) addAltWindowErrors(out *[]cq.CQ, w *WindowRelations, left bool) {
+	n := e.N
+	head := ast.NewAtom(Goal)
+	add := func(atoms []ast.Atom) {
+		*out = append(*out, cq.CQ{Head: head.Clone(), Body: atoms})
+	}
+	aq := func(i int, bit, carry, z, z2, u, v, wt, t ast.Term) ast.Atom {
+		return ast.NewAtom(predA(i), vX, vY, bit, carry, z, z2, u, v, wt, t)
+	}
+	nextArgs := func(d *dotter) (u, v, wt ast.Term) {
+		if left {
+			return d.dot(), vU, d.dot()
+		}
+		return d.dot(), d.dot(), vU
+	}
+	block := func(d *dotter, z []ast.Term, zoff int, bits []ast.Term, u, v, wt, t ast.Term) []ast.Atom {
+		var atoms []ast.Atom
+		for j := 1; j <= n; j++ {
+			bitArg := bits[j-1]
+			if bitArg == (ast.Term{}) {
+				bitArg = d.dot()
+			}
+			atoms = append(atoms, aq(j, bitArg, d.dot(), z[zoff+j-1], z[zoff+j], u, v, wt, t))
+		}
+		return atoms
+	}
+	freshBits := func() []ast.Term { return make([]ast.Term, n) }
+	sharedBits := func(prefix string) []ast.Term {
+		outBits := make([]ast.Term, n)
+		for j := range outBits {
+			outBits[j] = ast.V(fmt.Sprintf("%s%d", prefix, j+1))
+		}
+		return outBits
+	}
+	legalTriple := func(a, b, c CellSymbol) bool {
+		k := 0
+		for _, s := range []CellSymbol{a, b, c} {
+			if s.IsComposite() {
+				k++
+			}
+		}
+		return k <= 1
+	}
+	legalPair := func(a, b CellSymbol) bool { return !(a.IsComposite() && b.IsComposite()) }
+	newZ2 := func() []ast.Term {
+		z2 := chainVars(n)
+		for i := range z2 {
+			z2[i] = ast.V(fmt.Sprintf("NW%d", i+1))
+		}
+		return z2
+	}
+	for _, a := range e.Cells {
+		for _, b := range e.Cells {
+			if !legalPair(a, b) {
+				continue
+			}
+			for _, c := range e.Cells {
+				if !legalTriple(a, b, c) {
+					continue
+				}
+				for _, dsym := range e.Cells {
+					if w.R[Window4{a, b, c, dsym}] {
+						continue
+					}
+					d := &dotter{}
+					z1 := chainVars(3 * n)
+					z2 := newZ2()
+					mid := sharedBits("S")
+					nu, nv, nw := nextArgs(d)
+					var atoms []ast.Atom
+					atoms = append(atoms, block(d, z1, 0, freshBits(), vU, vV, vW, vT)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[a], z1[n-1]))
+					atoms = append(atoms, block(d, z1, n, mid, vU, vV, vW, vT)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[b], z1[2*n-1]))
+					atoms = append(atoms, block(d, z1, 2*n, freshBits(), vU, vV, vW, vT)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[c], z1[3*n-1]))
+					atoms = append(atoms, block(d, z2, 0, mid, nu, nv, nw, d.dot())...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[dsym], z2[n-1]))
+					add(atoms)
+				}
+			}
+		}
+	}
+	zeroBits := func() []ast.Term {
+		outBits := make([]ast.Term, n)
+		for j := range outBits {
+			outBits[j] = vX
+		}
+		return outBits
+	}
+	oneAtEnd := func() []ast.Term {
+		outBits := zeroBits()
+		outBits[0] = vY
+		return outBits
+	}
+	onesBits := func() []ast.Term {
+		outBits := make([]ast.Term, n)
+		for j := range outBits {
+			outBits[j] = vY
+		}
+		return outBits
+	}
+	zeroAtEnd := func() []ast.Term {
+		outBits := onesBits()
+		outBits[0] = vX
+		return outBits
+	}
+	ends := []struct {
+		rel      map[Window3]bool
+		bitsA    func() []ast.Term
+		bitsB    func() []ast.Term
+		bitsNext func() []ast.Term
+	}{
+		{w.Rl, zeroBits, oneAtEnd, zeroBits},
+		{w.Rr, zeroAtEnd, onesBits, onesBits},
+	}
+	for _, end := range ends {
+		for _, a := range e.Cells {
+			for _, b := range e.Cells {
+				if !legalPair(a, b) {
+					continue
+				}
+				for _, dsym := range e.Cells {
+					if end.rel[Window3{a, b, dsym}] {
+						continue
+					}
+					d := &dotter{}
+					z1 := chainVars(2 * n)
+					z2 := newZ2()
+					nu, nv, nw := nextArgs(d)
+					var atoms []ast.Atom
+					atoms = append(atoms, block(d, z1, 0, end.bitsA(), vU, vV, vW, vT)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[a], z1[n-1]))
+					atoms = append(atoms, block(d, z1, n, end.bitsB(), vU, vV, vW, vT)...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[b], z1[2*n-1]))
+					atoms = append(atoms, block(d, z2, 0, end.bitsNext(), nu, nv, nw, d.dot())...)
+					atoms = append(atoms, ast.NewAtom(e.SymPred[dsym], z2[n-1]))
+					add(atoms)
+				}
+			}
+		}
+	}
+}
+
+// ComputationTreeDB builds the database of an alternating computation
+// tree, branching the z-chain at universal configurations.
+func (e *AltEncoding) ComputationTreeDB(tree *RunTree) (*database.DB, error) {
+	n := e.N
+	size := 1 << uint(n)
+	db := database.New()
+	nodeCounter := 0
+	carries := func(p int) []int {
+		out := make([]int, n)
+		if p == 0 {
+			for i := range out {
+				out[i] = 1
+			}
+			return out
+		}
+		prev := p - 1
+		c := 1
+		for i := 0; i < n; i++ {
+			out[i] = c
+			alpha := (prev >> uint(i)) & 1
+			c = c & alpha
+		}
+		return out
+	}
+	bitConst := func(b int) string {
+		if b == 0 {
+			return BitZero
+		}
+		return BitOne
+	}
+	flagConst := func(universal bool) string {
+		if universal {
+			return BitOne
+		}
+		return BitZero
+	}
+	// emit writes one configuration's chain, whose first node name is
+	// supplied by the parent (successor chains are rooted at the
+	// parent's z'; a universal configuration's two successors share
+	// that root node and are told apart by their u/v/w triples).
+	freshID := func(prefix string) string {
+		nodeCounter++
+		return fmt.Sprintf("%s%d", prefix, nodeCounter)
+	}
+	var emit func(rt *RunTree, first, u, v, w string) error
+	emit = func(rt *RunTree, first, u, v, w string) error {
+		cfg := rt.Config
+		if len(cfg.Tape) != size {
+			return fmt.Errorf("tm: configuration has %d cells, want %d", len(cfg.Tape), size)
+		}
+		cells := ConfigCells(cfg)
+		universal := e.Machine.Universal[cfg.State]
+		flag := flagConst(universal)
+		// Node names: the first is fixed; the rest are fresh.
+		names := make([]string, size*n)
+		names[0] = first
+		for i := 1; i < len(names); i++ {
+			names[i] = freshID("z")
+		}
+		node := func(p, i int) string { return names[p*n+(i-1)] }
+		// The shared root of the successor chains.
+		childRoot := "z_end"
+		if len(rt.Children) > 0 {
+			childRoot = freshID("z")
+		}
+		for p := 0; p < size; p++ {
+			cs := carries(p)
+			for i := 1; i <= n; i++ {
+				cur := node(p, i)
+				var next string
+				switch {
+				case i < n:
+					next = node(p, i+1)
+				case p < size-1:
+					next = node(p+1, 1)
+				default:
+					next = childRoot
+				}
+				addrBit := (p >> uint(i-1)) & 1
+				db.Add(predA(i), database.Tuple{
+					BitZero, BitOne,
+					bitConst(addrBit), bitConst(cs[i-1]),
+					cur, next,
+					u, v, w, flag,
+				})
+				if i == n {
+					db.Add(e.SymPred[cells[p]], database.Tuple{cur})
+				}
+			}
+		}
+		for ci, child := range rt.Children {
+			cu := freshID("u")
+			var cv, cw string
+			if rt.Branches[ci] == LeftBranch {
+				cv, cw = u, freshID("w")
+			} else {
+				cv, cw = freshID("v"), u
+			}
+			if err := emit(child, childRoot, cu, cv, cw); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit(tree, "z_start", "u_root", "v_root", "w_root"); err != nil {
+		return nil, err
+	}
+	db.Add("start", database.Tuple{"z_start"})
+	return db, nil
+}
+
+// Stats computes the size statistics of the alternating encoding.
+func (e *AltEncoding) Stats() Stats {
+	s := Stats{
+		Rules:        len(e.Program.Rules),
+		ErrorQueries: e.Errors.Size(),
+		ErrorAtoms:   e.Errors.TotalAtoms(),
+		Cells:        len(e.Cells),
+		WindowSize:   len(e.WindowsL.R) + len(e.WindowsR.R),
+	}
+	for _, r := range e.Program.Rules {
+		s.RuleAtoms += len(r.Body) + 1
+	}
+	return s
+}

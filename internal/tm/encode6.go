@@ -1,0 +1,414 @@
+package tm
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+)
+
+// Encoding6 is the §6 reduction instance behind Theorem 6.4: a linear
+// recursive program Π over a single ternary IDB predicate bit whose
+// expansions spell computations of a 2^(2ⁿ)-space machine as chains of
+// labeled points, and a *nonrecursive* program Π′ that detects errors
+// using dist/equal/allones-style helper predicates of depth n — the
+// succinctness that lifts the lower bound from 2EXPTIME to 3EXPTIME.
+// Π (goal C) is contained in Π′ iff the machine does not accept the
+// empty tape in space 2^(2ⁿ).
+type Encoding6 struct {
+	Machine *Machine
+	N       int
+	// Program is the recursive program Π; Filter is the nonrecursive
+	// program Π′ with the same goal C.
+	Program *ast.Program
+	Filter  *ast.Program
+	Cells   []CellSymbol
+	SymPred map[CellSymbol]string
+	Windows *WindowRelations
+}
+
+// Encode6 compiles the machine and depth n into the §6 instance. The
+// machine must be deterministic (the linear case of Theorem 6.4).
+func Encode6(m *Machine, n int) (*Encoding6, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("tm: need n >= 1")
+	}
+	if !m.IsDeterministic() {
+		return nil, fmt.Errorf("tm: Encode6 requires a deterministic machine")
+	}
+	e := &Encoding6{
+		Machine: m,
+		N:       n,
+		Cells:   m.CellSymbols(),
+		SymPred: make(map[CellSymbol]string),
+		Windows: m.Windows(),
+	}
+	for i, c := range e.Cells {
+		e.SymPred[c] = fmt.Sprintf("sym%d", i)
+	}
+	e.Program = e.buildProgram()
+	e.Filter = e.buildFilter()
+	return e, nil
+}
+
+// buildProgram constructs the recursive program Π of §6: points are
+// database nodes labeled address/symbol, zero/one, carry0/carry1, and
+// chained by e; the single IDB predicate bit walks the chain while the
+// binary-ish EDB predicate a carries the configuration pair (u, v).
+func (e *Encoding6) buildProgram() *ast.Program {
+	prog := &ast.Program{}
+	bit := func(z, u, v ast.Term) ast.Atom { return ast.NewAtom("bit", z, u, v) }
+	aAtom := func(z, u, v ast.Term) ast.Atom { return ast.NewAtom("a", z, u, v) }
+	// Address rules: four bit/carry label combinations.
+	for _, bitLab := range []string{"zero", "one"} {
+		for _, carryLab := range []string{"carry0", "carry1"} {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				bit(vZ, vU, vV),
+				bit(vZ2, vU, vV),
+				aAtom(vZ, vU, vV),
+				ast.NewAtom("address", vZ),
+				ast.NewAtom("e", vZ, vZ2),
+				ast.NewAtom(bitLab, vZ),
+				ast.NewAtom(carryLab, vZ),
+			))
+		}
+	}
+	// Symbol rules: one per cell symbol, continuing the chain.
+	for _, cell := range e.Cells {
+		prog.Rules = append(prog.Rules, ast.NewRule(
+			bit(vZ, vU, vV),
+			bit(vZ2, vU, vV),
+			aAtom(vZ, vU, vV),
+			ast.NewAtom("e", vZ, vZ2),
+			ast.NewAtom("symbol", vZ),
+			ast.NewAtom(e.SymPred[cell], vZ),
+		))
+	}
+	// Configuration change at a symbol point: u migrates.
+	for _, cell := range e.Cells {
+		prog.Rules = append(prog.Rules, ast.NewRule(
+			bit(vZ, vU, vV),
+			bit(vZ2, vU2, vU),
+			aAtom(vZ, vU, vV),
+			ast.NewAtom("e", vZ, vZ2),
+			ast.NewAtom("symbol", vZ),
+			ast.NewAtom(e.SymPred[cell], vZ),
+		))
+	}
+	// End rules at accepting symbols.
+	for _, cell := range e.Cells {
+		if !cell.IsComposite() || !e.Machine.isAccept(cell.State) {
+			continue
+		}
+		prog.Rules = append(prog.Rules, ast.NewRule(
+			bit(vZ, vU, vV),
+			aAtom(vZ, vU, vV),
+			ast.NewAtom("symbol", vZ),
+			ast.NewAtom(e.SymPred[cell], vZ),
+		))
+	}
+	// Start rule: the first point is address bit 0 with carry 1.
+	prog.Rules = append(prog.Rules, ast.NewRule(
+		ast.NewAtom(Goal),
+		ast.NewAtom("start", vZ),
+		bit(vZ, vU, vV),
+		aAtom(vZ, vU, vV),
+		ast.NewAtom("address", vZ),
+		ast.NewAtom("zero", vZ),
+		ast.NewAtom("carry1", vZ),
+	))
+	return prog
+}
+
+// Helper-predicate names of the filter program.
+func distPred(i int) string     { return fmt.Sprintf("dist%d", i) }
+func distLtPred(i int) string   { return fmt.Sprintf("distlt%d", i) }
+func distLePred(i int) string   { return fmt.Sprintf("distle%d", i) }
+func equalPred(i int) string    { return fmt.Sprintf("equal%d", i) }
+func allOnesPred(i int) string  { return fmt.Sprintf("allones%d", i) }
+func allZerosPred(i int) string { return fmt.Sprintf("allzeros%d", i) }
+
+// buildFilter constructs the nonrecursive program Π′: the dist/equal
+// helper hierarchy of Examples 6.1–6.3 plus one C-rule per error type.
+func (e *Encoding6) buildFilter() *ast.Program {
+	n := e.N
+	prog := &ast.Program{}
+	r := func(head ast.Atom, body ...ast.Atom) {
+		prog.Rules = append(prog.Rules, ast.NewRule(head, body...))
+	}
+	x, y, z := ast.V("X"), ast.V("Y"), ast.V("Z")
+	u, v := ast.V("U"), ast.V("V")
+	eAtom := func(a, b ast.Term) ast.Atom { return ast.NewAtom("e", a, b) }
+
+	// dist_i(x, y): e-path of length exactly 2^i (Example 6.1).
+	r(ast.NewAtom(distPred(0), x, y), eAtom(x, y))
+	for i := 1; i <= n; i++ {
+		r(ast.NewAtom(distPred(i), x, y),
+			ast.NewAtom(distPred(i-1), x, z), ast.NewAtom(distPred(i-1), z, y))
+	}
+	// distlt_i(x, y): path of length <= 2^i - 1; distle_i: <= 2^i
+	// (Example 6.2; note the empty-body rule).
+	r(ast.NewAtom(distLtPred(0), x, x))
+	r(ast.NewAtom(distLePred(0), x, x))
+	r(ast.NewAtom(distLePred(0), x, y), eAtom(x, y))
+	for i := 1; i <= n; i++ {
+		r(ast.NewAtom(distLtPred(i), x, y),
+			ast.NewAtom(distLtPred(i-1), x, z), ast.NewAtom(distLePred(i-1), z, y))
+		r(ast.NewAtom(distLePred(i), x, y),
+			ast.NewAtom(distLePred(i-1), x, z), ast.NewAtom(distLePred(i-1), z, y))
+	}
+	// equal_i(x, y, u, v): paths of length 2^i from x to y and u to v
+	// with equal zero/one labels except possibly at the endpoints
+	// (Example 6.3).
+	x2, u2 := ast.V("X2"), ast.V("U2")
+	r(ast.NewAtom(equalPred(0), x, y, u, v),
+		eAtom(x, y), eAtom(u, v), ast.NewAtom("zero", x), ast.NewAtom("zero", u))
+	r(ast.NewAtom(equalPred(0), x, y, u, v),
+		eAtom(x, y), eAtom(u, v), ast.NewAtom("one", x), ast.NewAtom("one", u))
+	for i := 1; i <= n; i++ {
+		r(ast.NewAtom(equalPred(i), x, y, u, v),
+			ast.NewAtom(equalPred(i-1), x, x2, u, u2),
+			ast.NewAtom(equalPred(i-1), x2, y, u2, v))
+	}
+	// allones_i(x, y) / allzeros_i(x, y): paths of length 2^i whose
+	// first 2^i points all carry the label.
+	r(ast.NewAtom(allOnesPred(0), x, y), eAtom(x, y), ast.NewAtom("one", x))
+	r(ast.NewAtom(allZerosPred(0), x, y), eAtom(x, y), ast.NewAtom("zero", x))
+	for i := 1; i <= n; i++ {
+		r(ast.NewAtom(allOnesPred(i), x, y),
+			ast.NewAtom(allOnesPred(i-1), x, z), ast.NewAtom(allOnesPred(i-1), z, y))
+		r(ast.NewAtom(allZerosPred(i), x, y),
+			ast.NewAtom(allZerosPred(i-1), x, z), ast.NewAtom(allZerosPred(i-1), z, y))
+	}
+
+	goal := ast.NewAtom(Goal)
+	d := func(name string) ast.Term { return ast.V(name) }
+	aAtom := func(zz, uu, vv ast.Term) ast.Atom { return ast.NewAtom("a", zz, uu, vv) }
+
+	// --- Block-format errors: every block is 2^n address points
+	// followed by a symbol point.
+	// A symbol among the first 2^n points after start.
+	r(goal.Clone(), ast.NewAtom("start", z), ast.NewAtom(distLtPred(n), z, d("Z1")), ast.NewAtom("symbol", d("Z1")))
+	// The point at distance 2^n from start is an address point (it
+	// must be the first symbol point).
+	r(goal.Clone(), ast.NewAtom("start", z), ast.NewAtom(distPred(n), z, d("Z1")), ast.NewAtom("address", d("Z1")))
+	// A symbol among the 2^n points after a symbol.
+	r(goal.Clone(), ast.NewAtom("symbol", z), eAtom(z, d("Z1")),
+		ast.NewAtom(distLtPred(n), d("Z1"), d("Z2")), ast.NewAtom("symbol", d("Z2")))
+	// The point at distance 2^n + 1 after a symbol is an address point.
+	r(goal.Clone(), ast.NewAtom("symbol", z), ast.NewAtom(distPred(n), z, d("Z1")),
+		eAtom(d("Z1"), d("Z2")), ast.NewAtom("address", d("Z2")))
+
+	// --- Counter errors (the §5.3 list, at distance 2^n + 1).
+	// corresponding(z, z'') chains: distn(z, z'), e(z', z'').
+	corr := func(from, to ast.Term, mid ast.Term) []ast.Atom {
+		return []ast.Atom{ast.NewAtom(distPred(n), from, mid), eAtom(mid, to)}
+	}
+	// 1. A first carry bit is 0: the point after start, or after any
+	// symbol, has carry0... the first address point of each block is
+	// the start point or the successor of a symbol point.
+	r(goal.Clone(), ast.NewAtom("start", z), ast.NewAtom("carry0", z))
+	r(goal.Clone(), ast.NewAtom("symbol", z), eAtom(z, d("Z1")), ast.NewAtom("address", d("Z1")), ast.NewAtom("carry0", d("Z1")))
+	// 2. alpha_i = 1 and gamma_i = 1 but gamma_{i+1} = 0.
+	{
+		atoms := []ast.Atom{ast.NewAtom("address", z), ast.NewAtom("one", z)}
+		atoms = append(atoms, corr(z, d("Z2"), d("Z1"))...)
+		atoms = append(atoms, ast.NewAtom("carry1", d("Z2")), eAtom(d("Z2"), d("Z3")),
+			ast.NewAtom("address", d("Z3")), ast.NewAtom("carry0", d("Z3")))
+		r(goal.Clone(), atoms...)
+	}
+	// 3a. alpha_i = 0 but gamma_{i+1} = 1.
+	{
+		atoms := []ast.Atom{ast.NewAtom("address", z), ast.NewAtom("zero", z)}
+		atoms = append(atoms, corr(z, d("Z2"), d("Z1"))...)
+		atoms = append(atoms, eAtom(d("Z2"), d("Z3")),
+			ast.NewAtom("address", d("Z3")), ast.NewAtom("carry1", d("Z3")))
+		r(goal.Clone(), atoms...)
+	}
+	// 3b. gamma_i = 0 but gamma_{i+1} = 1 (within one address).
+	r(goal.Clone(), ast.NewAtom("address", z), ast.NewAtom("carry0", z),
+		eAtom(z, d("Z1")), ast.NewAtom("address", d("Z1")), ast.NewAtom("carry1", d("Z1")))
+	// 4-7: XOR violations beta_i != alpha_i xor gamma_i, with alpha at
+	// z and beta/gamma at the corresponding point of the next address.
+	xor := func(alpha, gamma, beta string) {
+		atoms := []ast.Atom{ast.NewAtom("address", z), ast.NewAtom(alpha, z)}
+		atoms = append(atoms, corr(z, d("Z2"), d("Z1"))...)
+		atoms = append(atoms, ast.NewAtom(gamma, d("Z2")), ast.NewAtom(beta, d("Z2")))
+		r(goal.Clone(), atoms...)
+	}
+	xor("zero", "carry0", "one")
+	xor("one", "carry1", "one")
+	xor("one", "carry0", "zero")
+	xor("zero", "carry1", "zero")
+
+	// --- Configuration-boundary errors.
+	// Premature change: an address point with bit 0 whose corresponding
+	// point in the next block is in a different configuration.
+	{
+		atoms := []ast.Atom{ast.NewAtom("address", z), ast.NewAtom("zero", z), aAtom(z, u, v)}
+		atoms = append(atoms, corr(z, d("Z2"), d("Z1"))...)
+		atoms = append(atoms, ast.NewAtom("address", d("Z2")), aAtom(d("Z2"), d("U2"), u))
+		r(goal.Clone(), atoms...)
+	}
+	// Missing change: an all-ones block whose successor block is in the
+	// same configuration.
+	r(goal.Clone(),
+		ast.NewAtom(allOnesPred(n), z, d("ZS")), ast.NewAtom("symbol", d("ZS")),
+		aAtom(z, u, v), eAtom(d("ZS"), d("Z2")), aAtom(d("Z2"), u, v))
+
+	// --- Initial-configuration errors.
+	startCell := CellSymbol{State: e.Machine.Start, Sym: e.Machine.Blank}
+	for _, cell := range e.Cells {
+		if cell == startCell {
+			continue
+		}
+		// The first symbol point (distance 2^n from start) is not the
+		// initial head cell.
+		r(goal.Clone(), ast.NewAtom("start", z), ast.NewAtom(distPred(n), z, d("Z1")),
+			ast.NewAtom(e.SymPred[cell], d("Z1")))
+	}
+	blank := CellSymbol{Sym: e.Machine.Blank}
+	for _, cell := range e.Cells {
+		if cell == blank {
+			continue
+		}
+		// A non-zero-address symbol of the first configuration is not
+		// blank: some one-bit in its block, same configuration as the
+		// start point.
+		r(goal.Clone(),
+			ast.NewAtom("start", z), aAtom(z, u, v),
+			ast.NewAtom("address", d("Z1")), ast.NewAtom("one", d("Z1")),
+			ast.NewAtom(distLePred(n), d("Z1"), d("ZS")),
+			ast.NewAtom("symbol", d("ZS")), aAtom(d("ZS"), u, v),
+			ast.NewAtom(e.SymPred[cell], d("ZS")))
+	}
+
+	// --- Window violations. Three consecutive symbol points a, b, c in
+	// one configuration and the symbol point d at b's address in the
+	// next configuration, with (a, b, c, d) not in R_M.
+	e.addFilterWindowErrors(prog)
+	return prog
+}
+
+func (e *Encoding6) addFilterWindowErrors(prog *ast.Program) {
+	n := e.N
+	goal := ast.NewAtom(Goal)
+	r := func(head ast.Atom, body ...ast.Atom) {
+		prog.Rules = append(prog.Rules, ast.NewRule(head, body...))
+	}
+	u, v := ast.V("U"), ast.V("V")
+	aAtom := func(zz, uu, vv ast.Term) ast.Atom { return ast.NewAtom("a", zz, uu, vv) }
+	eAtom := func(a, b ast.Term) ast.Atom { return ast.NewAtom("e", a, b) }
+	d := func(name string) ast.Term { return ast.V(name) }
+	legalTriple := func(a, b, c CellSymbol) bool {
+		k := 0
+		for _, s := range []CellSymbol{a, b, c} {
+			if s.IsComposite() {
+				k++
+			}
+		}
+		return k <= 1
+	}
+	legalPair := func(a, b CellSymbol) bool { return !(a.IsComposite() && b.IsComposite()) }
+
+	for _, a := range e.Cells {
+		for _, b := range e.Cells {
+			if !legalPair(a, b) {
+				continue
+			}
+			for _, c := range e.Cells {
+				if !legalTriple(a, b, c) {
+					continue
+				}
+				for _, dsym := range e.Cells {
+					if e.Windows.R[Window4{a, b, c, dsym}] {
+						continue
+					}
+					// z1, z2, z3: consecutive symbol points (same
+					// config); t1 -> z2 and t2 -> z4 paths of length
+					// 2^n with equal labels (same address); z4 in the
+					// next config.
+					r(goal.Clone(),
+						aAtom(d("Z1"), u, v), ast.NewAtom(e.SymPred[a], d("Z1")),
+						eAtom(d("Z1"), d("T1")),
+						ast.NewAtom(distPred(n), d("T1"), d("Z2")),
+						aAtom(d("Z2"), u, v), ast.NewAtom(e.SymPred[b], d("Z2")),
+						eAtom(d("Z2"), d("T3")),
+						ast.NewAtom(distPred(n), d("T3"), d("Z3")),
+						aAtom(d("Z3"), u, v), ast.NewAtom(e.SymPred[c], d("Z3")),
+						ast.NewAtom(distPred(n), d("T2"), d("Z4")),
+						aAtom(d("Z4"), d("U2"), u), ast.NewAtom(e.SymPred[dsym], d("Z4")),
+						ast.NewAtom(equalPred(n), d("T1"), d("Z2"), d("T2"), d("Z4")),
+					)
+				}
+			}
+		}
+	}
+	// Left end: blocks at address 0...0 (first two positions) and the
+	// next configuration's position 0.
+	for _, a := range e.Cells {
+		for _, b := range e.Cells {
+			if !legalPair(a, b) {
+				continue
+			}
+			for _, dsym := range e.Cells {
+				if e.Windows.Rl[Window3{a, b, dsym}] {
+					continue
+				}
+				r(goal.Clone(),
+					ast.NewAtom(allZerosPred(n), d("T1"), d("Z1")),
+					aAtom(d("Z1"), u, v), ast.NewAtom("symbol", d("Z1")), ast.NewAtom(e.SymPred[a], d("Z1")),
+					eAtom(d("Z1"), d("T2")),
+					ast.NewAtom(distPred(n), d("T2"), d("Z2")),
+					aAtom(d("Z2"), u, v), ast.NewAtom(e.SymPred[b], d("Z2")),
+					ast.NewAtom(allZerosPred(n), d("T3"), d("Z4")),
+					aAtom(d("Z4"), d("U2"), u), ast.NewAtom("symbol", d("Z4")), ast.NewAtom(e.SymPred[dsym], d("Z4")),
+				)
+			}
+		}
+	}
+	// Right end: the last two positions (addresses 1...10 and 1...1)
+	// and the next configuration's last position.
+	for _, a := range e.Cells {
+		for _, b := range e.Cells {
+			if !legalPair(a, b) {
+				continue
+			}
+			for _, dsym := range e.Cells {
+				if e.Windows.Rr[Window3{a, b, dsym}] {
+					continue
+				}
+				// b's block is all ones; a is the previous symbol
+				// point; d's block is all ones in the next config.
+				r(goal.Clone(),
+					aAtom(d("Z1"), u, v), ast.NewAtom("symbol", d("Z1")), ast.NewAtom(e.SymPred[a], d("Z1")),
+					eAtom(d("Z1"), d("T1")),
+					ast.NewAtom(allOnesPred(n), d("T1"), d("Z2")),
+					aAtom(d("Z2"), u, v), ast.NewAtom(e.SymPred[b], d("Z2")),
+					ast.NewAtom(allOnesPred(n), d("T2"), d("Z4")),
+					aAtom(d("Z4"), d("U2"), u), ast.NewAtom(e.SymPred[dsym], d("Z4")),
+				)
+			}
+		}
+	}
+}
+
+// Stats computes the size statistics of the §6 encoding.
+func (e *Encoding6) Stats() Stats {
+	s := Stats{
+		Rules:      len(e.Program.Rules),
+		Cells:      len(e.Cells),
+		WindowSize: len(e.Windows.R),
+	}
+	for _, r := range e.Program.Rules {
+		s.RuleAtoms += len(r.Body) + 1
+	}
+	// For the filter, count its rules in the error fields.
+	s.ErrorQueries = len(e.Filter.Rules)
+	for _, r := range e.Filter.Rules {
+		s.ErrorAtoms += len(r.Body)
+	}
+	return s
+}

@@ -1,0 +1,241 @@
+package tm
+
+import (
+	"testing"
+
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/expansion"
+)
+
+// space4Writer accepts within 4 cells: write two ones and accept.
+func space4Writer() *Machine {
+	return &Machine{
+		States:      []string{"s0", "s1", "qa"},
+		TapeSymbols: []string{"_", "1"},
+		Blank:       "_",
+		Start:       "s0",
+		Accept:      []string{"qa"},
+		Transitions: []Transition{
+			{State: "s0", Read: "_", Write: "1", Move: Right, NewState: "s1"},
+			{State: "s1", Read: "_", Write: "1", Move: Stay, NewState: "qa"},
+		},
+	}
+}
+
+func TestEncode6Shape(t *testing.T) {
+	e, err := Encode6(space4Writer(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Program.Validate(); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	if err := e.Filter.Validate(); err != nil {
+		t.Fatalf("filter: %v", err)
+	}
+	if !e.Program.IsRecursive() || !e.Program.IsLinear() {
+		t.Error("Π should be linear recursive")
+	}
+	if e.Filter.IsRecursive() {
+		t.Error("Π′ must be nonrecursive")
+	}
+	if _, err := Encode6(space4Writer(), 0); err == nil {
+		t.Error("n = 0 accepted")
+	}
+}
+
+// The program Π is fixed-size in n except for the goal rule set; the
+// filter grows linearly in n (the dist/equal hierarchy).
+func TestEncode6Succinctness(t *testing.T) {
+	m := space4Writer()
+	var prevFilter int
+	for n := 1; n <= 4; n++ {
+		e, err := Encode6(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := e.Stats()
+		if n > 1 {
+			if s.ErrorQueries <= prevFilter {
+				t.Errorf("n=%d: filter rules %d did not grow from %d", n, s.ErrorQueries, prevFilter)
+			}
+			// The growth must be additive (the dist/equal hierarchy
+			// adds a constant number of rules per level), not
+			// exponential: the whole point of §6.
+			if s.ErrorQueries > prevFilter+20 {
+				t.Errorf("n=%d: filter grew too fast: %d from %d", n, s.ErrorQueries, prevFilter)
+			}
+		}
+		prevFilter = s.ErrorQueries
+	}
+}
+
+func TestEncode6AcceptingComputationSeparates(t *testing.T) {
+	m := space4Writer()
+	e, err := Encode6(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, ok := m.AcceptingRun(4) // 2^(2^1) = 4 cells
+	if !ok {
+		t.Fatal("machine must accept in 4 cells")
+	}
+	db, err := e.ComputationDB(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err := eval.Goal(e.Program, db, Goal, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() == 0 {
+		t.Fatal("Π does not derive C on the computation DB")
+	}
+	frel, _, err := eval.Goal(e.Filter, db, Goal, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frel.Len() != 0 {
+		t.Fatal("Π′ flags a valid computation")
+	}
+}
+
+func TestEncode6MutationsCaught(t *testing.T) {
+	m := space4Writer()
+	e, err := Encode6(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _ := m.AcceptingRun(4)
+
+	build := func() *database.DB {
+		db, err := e.ComputationDB(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	filterFires := func(db *database.DB) bool {
+		rel, _, err := eval.Goal(e.Filter, db, Goal, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel.Len() > 0
+	}
+	// relabel moves node from one unary label to another.
+	relabel := func(db *database.DB, node, from, to string) *database.DB {
+		out := database.New()
+		for _, p := range db.Preds() {
+			for _, tu := range db.Lookup(p).Tuples() {
+				if p == from && tu[0] == node {
+					continue
+				}
+				out.Add(p, tu)
+			}
+		}
+		out.Add(to, database.Tuple{node})
+		return out
+	}
+
+	if filterFires(build()) {
+		t.Fatal("baseline fires")
+	}
+
+	t.Run("address-bit-flip", func(t *testing.T) {
+		// Node p1 is the first address point (bit 0 of address 0):
+		// flipping zero -> one is a first-address error.
+		if !filterFires(relabel(build(), "p1", "zero", "one")) {
+			t.Error("first-address error not caught")
+		}
+	})
+
+	t.Run("carry-flip", func(t *testing.T) {
+		if !filterFires(relabel(build(), "p1", "carry1", "carry0")) {
+			t.Error("first-carry error not caught")
+		}
+	})
+
+	t.Run("mid-counter-break", func(t *testing.T) {
+		// Flip an address bit in the middle of the first config:
+		// position 1's low bit lives at node p4 (p1, p2 addr bits of
+		// pos 0? layout: pos0 = p1, p2 addresses... n=1: bits=2 per
+		// position: pos0 = p1, p2, symbol p3; pos1 = p4, p5, symbol
+		// p6. Node p4 is bit 0 of address 1 (one).
+		if !filterFires(relabel(build(), "p4", "one", "zero")) {
+			t.Error("counter error not caught")
+		}
+	})
+
+	t.Run("wrong-symbol", func(t *testing.T) {
+		// Change a symbol in the second configuration: its first
+		// position's symbol point. First config: 4 positions x 3
+		// points = 12 points (p1..p12); second config's pos 0 symbol
+		// is p15.
+		src := build()
+		var oldPred string
+		for cell, pred := range e.SymPred {
+			if src.Contains(pred, database.Tuple{"p15"}) {
+				oldPred = pred
+				_ = cell
+				break
+			}
+		}
+		if oldPred == "" {
+			t.Fatal("no symbol at p15")
+		}
+		var newPred string
+		for cell, pred := range e.SymPred {
+			if pred != oldPred && !cell.IsComposite() {
+				newPred = pred
+				break
+			}
+		}
+		if !filterFires(relabel(src, "p15", oldPred, newPred)) {
+			t.Error("window violation not caught")
+		}
+	})
+
+	t.Run("premature-config-change", func(t *testing.T) {
+		// Rewire the a-facts so the configuration changes one block
+		// early: give the last block of config 0 the pair of config 1.
+		src := build()
+		out := database.New()
+		for _, p := range src.Preds() {
+			for _, tu := range src.Lookup(p).Tuples() {
+				nt := tu.Clone()
+				if p == "a" && (nt[0] == "p10" || nt[0] == "p11" || nt[0] == "p12") {
+					nt[1], nt[2] = "u1", "u0"
+				}
+				out.Add(p, nt)
+			}
+		}
+		if !filterFires(out) {
+			t.Error("premature configuration change not caught")
+		}
+	})
+}
+
+// Sampled expansions of a never-accepting machine are all caught by the
+// filter program.
+func TestEncode6RejectingExpansionsCaught(t *testing.T) {
+	m := walkerMachine()
+	e, err := Encode6(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := expansion.Expansions(e.Program, Goal, 8, 30)
+	if len(queries) == 0 {
+		t.Fatal("no expansions")
+	}
+	for i, q := range queries {
+		db, head := q.CanonicalDB()
+		rel, _, err := eval.Goal(e.Filter, db, Goal, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rel.Contains(head) {
+			t.Errorf("expansion %d evades the filter:\n%s", i, q)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package tm
+
+import (
+	"strings"
+	"testing"
+
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/expansion"
+)
+
+// evalC reports whether the encoding's program derives the goal C on db.
+func evalC(t *testing.T, e *Encoding, db *database.DB) bool {
+	t.Helper()
+	rel, _, err := eval.Goal(e.Program, db, Goal, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel.Len() > 0
+}
+
+// errorsHold reports whether some error query fires on db.
+func errorsHold(t *testing.T, e *Encoding, db *database.DB) bool {
+	t.Helper()
+	ok, err := e.Errors.Holds(db, database.Tuple{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+// The heart of the §5.3 reduction, verified at the database level: for
+// an accepting machine, the database of the accepting computation makes
+// the program derive C while no error query fires — a concrete
+// separating database witnessing Π ⊄ Θ.
+func TestAcceptingComputationSeparates(t *testing.T) {
+	m := writerMachine()
+	for n := 1; n <= 2; n++ {
+		e, err := Encode53(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, ok := m.AcceptingRun(1 << uint(n))
+		if !ok {
+			t.Fatal("writer must accept")
+		}
+		db, err := e.ComputationDB(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !evalC(t, e, db) {
+			t.Fatalf("n=%d: program does not derive C on the computation DB", n)
+		}
+		if errorsHold(t, e, db) {
+			t.Fatalf("n=%d: a valid computation triggered an error query", n)
+		}
+	}
+}
+
+// Mutations of the valid computation database must each be caught by
+// some error query — one probe per error family.
+func TestMutationsAreCaught(t *testing.T) {
+	m := writerMachine()
+	n := 2
+	e, err := Encode53(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _ := m.AcceptingRun(1 << uint(n))
+
+	build := func() *database.DB {
+		db, err := e.ComputationDB(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+
+	// mutate rebuilds the DB with one a_i fact's column changed.
+	mutate := func(pred string, matchCol int, matchVal string, col int, newVal string) *database.DB {
+		src := build()
+		out := database.New()
+		mutated := false
+		for _, p := range src.Preds() {
+			rel := src.Lookup(p)
+			for _, tu := range rel.Tuples() {
+				nt := tu.Clone()
+				if p == pred && !mutated && nt[matchCol] == matchVal {
+					nt[col] = newVal
+					mutated = true
+				}
+				out.Add(p, nt)
+			}
+		}
+		if !mutated {
+			t.Fatalf("mutation target not found: %s col %d = %s", pred, matchCol, matchVal)
+		}
+		return out
+	}
+
+	t.Run("valid-baseline", func(t *testing.T) {
+		if errorsHold(t, e, build()) {
+			t.Fatal("baseline already errors")
+		}
+	})
+
+	t.Run("first-address-bit-flipped", func(t *testing.T) {
+		// Flip address bit 1 of the very first block (node z_0_0_1).
+		db := mutate(predA(1), 4, "z_0_0_1", 2, BitOne)
+		if !errorsHold(t, e, db) {
+			t.Error("first-address error not caught")
+		}
+	})
+
+	t.Run("carry-bit-zeroed", func(t *testing.T) {
+		// Zero the first carry bit somewhere (column 3 of an a_1 fact).
+		db := mutate(predA(1), 4, "z_0_1_1", 3, BitZero)
+		if !errorsHold(t, e, db) {
+			t.Error("carry error not caught")
+		}
+	})
+
+	t.Run("address-bit-desynced", func(t *testing.T) {
+		// Flip an address bit mid-computation: position 1 of config 0
+		// claims address 0 in bit 1, breaking the counter.
+		db := mutate(predA(1), 4, "z_0_1_1", 2, BitZero)
+		if !errorsHold(t, e, db) {
+			t.Error("counter error not caught")
+		}
+	})
+
+	t.Run("wrong-symbol-transition", func(t *testing.T) {
+		// Swap a symbol in the second configuration so it no longer
+		// follows from the first. Node z_1_0_n carries config 1,
+		// position 0's symbol; replace its symbol fact.
+		src := build()
+		node := "z_1_0_" + itoa(n)
+		out := database.New()
+		var oldPred string
+		for _, p := range src.Preds() {
+			rel := src.Lookup(p)
+			for _, tu := range rel.Tuples() {
+				if strings.HasPrefix(p, "sym") && len(tu) == 1 && tu[0] == node {
+					oldPred = p
+					continue // drop the fact
+				}
+				out.Add(p, tu)
+			}
+		}
+		if oldPred == "" {
+			t.Fatal("symbol fact not found")
+		}
+		// Give it a different plain symbol instead.
+		var replacement string
+		for cell, pred := range e.SymPred {
+			if pred != oldPred && !cell.IsComposite() {
+				replacement = pred
+				break
+			}
+		}
+		out.Add(replacement, database.Tuple{node})
+		if !errorsHold(t, e, out) {
+			t.Error("window violation not caught")
+		}
+	})
+
+	t.Run("config-boundary-early", func(t *testing.T) {
+		// Make a mid-configuration a_1 fact look like a configuration
+		// change (8th column = u of its own config), while the address
+		// is not 1...1.
+		db := mutate(predA(1), 4, "z_0_1_1", 7, "u0")
+		if !errorsHold(t, e, db) {
+			t.Error("early configuration change not caught")
+		}
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+// For a machine that never accepts, sampled expansions of the program
+// must all be caught by the error queries (the containment direction
+// Π ⊆ Θ, checked on a sample of canonical databases).
+func TestRejectingMachineExpansionsAreCaught(t *testing.T) {
+	m := walkerMachine()
+	e, err := Encode53(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := expansion.Expansions(e.Program, Goal, 6, 40)
+	if len(queries) == 0 {
+		t.Fatal("no expansions enumerated")
+	}
+	for i, q := range queries {
+		db, head := q.CanonicalDB()
+		ok, err := e.Errors.Holds(db, head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("expansion %d evades every error query:\n%s", i, q)
+		}
+	}
+}
+
+// For the accepting machine, the computation expansion corresponds to a
+// proof tree; sanity-check that the program's own unfoldings include
+// short expansions at all (structure smoke test).
+func TestEncodingUnfoldingsExist(t *testing.T) {
+	m := writerMachine()
+	e, err := Encode53(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := expansion.Unfoldings(e.Program, Goal, 4, 5)
+	if len(trees) == 0 {
+		t.Fatal("no unfolding trees")
+	}
+	for _, tr := range trees {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("invalid unfolding: %v", err)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package tm provides the Turing-machine substrate for the paper's
+// lower-bound constructions (§5.3 and §6): a space-bounded machine
+// model with deterministic, nondeterministic, and alternating
+// acceptance, a configuration-graph simulator, the local window
+// relations R_M, R^l_M, R^r_M that make machine steps a local property,
+// and generators that compile a machine into the Datalog program Π and
+// union of conjunctive queries Θ of the reduction, with
+//
+//	Π ⊆ Θ   iff   M does not accept the empty tape (in the space bound).
+package tm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Move is a head direction.
+type Move int
+
+// Head movement directions.
+const (
+	Left Move = iota
+	Right
+	Stay
+)
+
+func (m Move) String() string {
+	switch m {
+	case Left:
+		return "L"
+	case Right:
+		return "R"
+	case Stay:
+		return "S"
+	}
+	return "?"
+}
+
+// Transition is a machine transition: in state State reading Read,
+// write Write, move the head, and enter NewState.
+type Transition struct {
+	State    string
+	Read     string
+	Write    string
+	Move     Move
+	NewState string
+}
+
+// Machine is a single-tape Turing machine. Nondeterminism is expressed
+// by multiple transitions on the same (State, Read) pair; alternation by
+// marking states universal.
+type Machine struct {
+	// States and TapeSymbols enumerate the machine's components; Blank
+	// must be among TapeSymbols.
+	States      []string
+	TapeSymbols []string
+	Blank       string
+	Start       string
+	// Accept lists the accepting states (terminal: acceptance is by
+	// reaching one, regardless of remaining transitions).
+	Accept []string
+	// Universal marks universal states; all others are existential.
+	Universal   map[string]bool
+	Transitions []Transition
+}
+
+// Validate checks structural sanity.
+func (m *Machine) Validate() error {
+	states := make(map[string]bool)
+	for _, s := range m.States {
+		states[s] = true
+	}
+	syms := make(map[string]bool)
+	for _, s := range m.TapeSymbols {
+		syms[s] = true
+	}
+	if !syms[m.Blank] {
+		return fmt.Errorf("tm: blank %q not among tape symbols", m.Blank)
+	}
+	if !states[m.Start] {
+		return fmt.Errorf("tm: start state %q not among states", m.Start)
+	}
+	for _, a := range m.Accept {
+		if !states[a] {
+			return fmt.Errorf("tm: accept state %q not among states", a)
+		}
+	}
+	for u := range m.Universal {
+		if !states[u] {
+			return fmt.Errorf("tm: universal state %q not among states", u)
+		}
+	}
+	for _, t := range m.Transitions {
+		if !states[t.State] || !states[t.NewState] {
+			return fmt.Errorf("tm: transition %v uses unknown state", t)
+		}
+		if !syms[t.Read] || !syms[t.Write] {
+			return fmt.Errorf("tm: transition %v uses unknown symbol", t)
+		}
+	}
+	return nil
+}
+
+// IsDeterministic reports whether no (state, read) pair has two
+// transitions.
+func (m *Machine) IsDeterministic() bool {
+	seen := make(map[[2]string]bool)
+	for _, t := range m.Transitions {
+		k := [2]string{t.State, t.Read}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}
+
+// isAccept reports whether state is accepting.
+func (m *Machine) isAccept(state string) bool {
+	for _, a := range m.Accept {
+		if a == state {
+			return true
+		}
+	}
+	return false
+}
+
+// Config is a machine configuration with a fixed tape length (the space
+// bound): the head position, current state, and tape contents.
+type Config struct {
+	State string
+	Head  int
+	Tape  []string
+}
+
+// Key returns a canonical map key.
+func (c Config) Key() string {
+	return fmt.Sprintf("%s|%d|%s", c.State, c.Head, strings.Join(c.Tape, "\x00"))
+}
+
+// Clone returns a deep copy.
+func (c Config) Clone() Config {
+	tape := make([]string, len(c.Tape))
+	copy(tape, c.Tape)
+	return Config{State: c.State, Head: c.Head, Tape: tape}
+}
+
+// String renders the configuration with the head position bracketed.
+func (c Config) String() string {
+	var b strings.Builder
+	for i, s := range c.Tape {
+		if i == c.Head {
+			fmt.Fprintf(&b, "[%s:%s]", c.State, s)
+		} else {
+			b.WriteString(s)
+		}
+		if i < len(c.Tape)-1 {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// InitialConfig returns the start configuration on an empty tape of the
+// given length.
+func (m *Machine) InitialConfig(space int) Config {
+	tape := make([]string, space)
+	for i := range tape {
+		tape[i] = m.Blank
+	}
+	return Config{State: m.Start, Head: 0, Tape: tape}
+}
+
+// Successors returns the configurations reachable in one step within
+// the space bound. Moves off the tape edges are discarded (the machine
+// is space-bounded by fiat).
+func (m *Machine) Successors(c Config) []Config {
+	var out []Config
+	for _, t := range m.Transitions {
+		if t.State != c.State || t.Read != c.Tape[c.Head] {
+			continue
+		}
+		n := c.Clone()
+		n.Tape[n.Head] = t.Write
+		n.State = t.NewState
+		switch t.Move {
+		case Left:
+			n.Head--
+		case Right:
+			n.Head++
+		}
+		if n.Head < 0 || n.Head >= len(n.Tape) {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Accepts decides whether the machine accepts the empty tape within the
+// given space bound, under alternating semantics: an accepting-state
+// configuration accepts; an existential configuration accepts when some
+// successor does; a universal configuration accepts when it has at
+// least one successor and all successors accept. The answer is the
+// least fixpoint over the finite reachable configuration graph.
+func (m *Machine) Accepts(space int) bool {
+	init := m.InitialConfig(space)
+	// Explore the reachable configuration graph.
+	configs := []Config{init}
+	index := map[string]int{init.Key(): 0}
+	var succ [][]int
+	for i := 0; i < len(configs); i++ {
+		ss := m.Successors(configs[i])
+		row := make([]int, 0, len(ss))
+		for _, s := range ss {
+			k := s.Key()
+			j, ok := index[k]
+			if !ok {
+				j = len(configs)
+				index[k] = j
+				configs = append(configs, s)
+			}
+			row = append(row, j)
+		}
+		succ = append(succ, row)
+	}
+	// Least fixpoint of acceptance.
+	accepting := make([]bool, len(configs))
+	for {
+		changed := false
+		for i, c := range configs {
+			if accepting[i] {
+				continue
+			}
+			if m.isAccept(c.State) {
+				accepting[i] = true
+				changed = true
+				continue
+			}
+			if len(succ[i]) == 0 {
+				continue
+			}
+			if m.Universal[c.State] {
+				all := true
+				for _, j := range succ[i] {
+					if !accepting[j] {
+						all = false
+						break
+					}
+				}
+				if all {
+					accepting[i] = true
+					changed = true
+				}
+			} else {
+				for _, j := range succ[i] {
+					if accepting[j] {
+						accepting[i] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if !changed {
+			return accepting[0]
+		}
+	}
+}
+
+// AcceptingRun returns a sequence of configurations from the initial
+// configuration to an accepting one, for deterministic or existential
+// machines (it follows any accepting branch). It returns false when the
+// machine does not accept.
+func (m *Machine) AcceptingRun(space int) ([]Config, bool) {
+	init := m.InitialConfig(space)
+	type node struct {
+		cfg    Config
+		parent int
+	}
+	queue := []node{{cfg: init, parent: -1}}
+	seen := map[string]bool{init.Key(): true}
+	for i := 0; i < len(queue); i++ {
+		c := queue[i].cfg
+		if m.isAccept(c.State) {
+			var rev []Config
+			for j := i; j >= 0; j = queue[j].parent {
+				rev = append(rev, queue[j].cfg)
+			}
+			run := make([]Config, len(rev))
+			for k := range rev {
+				run[k] = rev[len(rev)-1-k]
+			}
+			return run, true
+		}
+		for _, s := range m.Successors(c) {
+			if !seen[s.Key()] {
+				seen[s.Key()] = true
+				queue = append(queue, node{cfg: s, parent: i})
+			}
+		}
+	}
+	return nil, false
+}
+
+// CellSymbol is the §5.3 notion of configuration symbol: a tape symbol,
+// or a composite (state, symbol) at the head position.
+type CellSymbol struct {
+	State string // empty for plain tape symbols
+	Sym   string
+}
+
+func (s CellSymbol) String() string {
+	if s.State == "" {
+		return s.Sym
+	}
+	return "(" + s.State + "," + s.Sym + ")"
+}
+
+// IsComposite reports whether the cell carries the head.
+func (s CellSymbol) IsComposite() bool { return s.State != "" }
+
+// CellSymbols enumerates all cell symbols of the machine, plain symbols
+// first, in a deterministic order.
+func (m *Machine) CellSymbols() []CellSymbol {
+	var out []CellSymbol
+	syms := append([]string(nil), m.TapeSymbols...)
+	sort.Strings(syms)
+	states := append([]string(nil), m.States...)
+	sort.Strings(states)
+	for _, s := range syms {
+		out = append(out, CellSymbol{Sym: s})
+	}
+	for _, q := range states {
+		for _, s := range syms {
+			out = append(out, CellSymbol{State: q, Sym: s})
+		}
+	}
+	return out
+}
+
+// ConfigCells renders a configuration as its cell-symbol string.
+func ConfigCells(c Config) []CellSymbol {
+	out := make([]CellSymbol, len(c.Tape))
+	for i, s := range c.Tape {
+		if i == c.Head {
+			out[i] = CellSymbol{State: c.State, Sym: s}
+		} else {
+			out[i] = CellSymbol{Sym: s}
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package tm
+
+import (
+	"testing"
+)
+
+// writerMachine accepts the empty tape: it writes a one, steps right,
+// and accepts.
+func writerMachine() *Machine {
+	return &Machine{
+		States:      []string{"s0", "s1", "qa"},
+		TapeSymbols: []string{"_", "1"},
+		Blank:       "_",
+		Start:       "s0",
+		Accept:      []string{"qa"},
+		Transitions: []Transition{
+			{State: "s0", Read: "_", Write: "1", Move: Right, NewState: "s1"},
+			{State: "s1", Read: "_", Write: "_", Move: Stay, NewState: "qa"},
+		},
+	}
+}
+
+// walkerMachine never accepts: it walks right forever (falling off the
+// space bound).
+func walkerMachine() *Machine {
+	return &Machine{
+		States:      []string{"s0", "qa"},
+		TapeSymbols: []string{"_"},
+		Blank:       "_",
+		Start:       "s0",
+		Accept:      []string{"qa"},
+		Transitions: []Transition{
+			{State: "s0", Read: "_", Write: "_", Move: Right, NewState: "s0"},
+		},
+	}
+}
+
+// flipFlopAlternating alternates existential and universal states; the
+// universal state has two successors, one accepting and one not, so the
+// machine rejects.
+func flipFlopAlternating() *Machine {
+	return &Machine{
+		States:      []string{"e0", "u0", "dead", "qa"},
+		TapeSymbols: []string{"_"},
+		Blank:       "_",
+		Start:       "e0",
+		Accept:      []string{"qa"},
+		Universal:   map[string]bool{"u0": true},
+		Transitions: []Transition{
+			{State: "e0", Read: "_", Write: "_", Move: Stay, NewState: "u0"},
+			{State: "u0", Read: "_", Write: "_", Move: Stay, NewState: "qa"},
+			{State: "u0", Read: "_", Write: "_", Move: Right, NewState: "dead"},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := writerMachine().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := writerMachine()
+	bad.Blank = "missing"
+	if err := bad.Validate(); err == nil {
+		t.Error("bad blank accepted")
+	}
+	bad2 := writerMachine()
+	bad2.Transitions = append(bad2.Transitions, Transition{State: "zzz", Read: "_", Write: "_", NewState: "s0"})
+	if err := bad2.Validate(); err == nil {
+		t.Error("unknown state accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	if !writerMachine().IsDeterministic() {
+		t.Error("writer should be deterministic")
+	}
+	nd := writerMachine()
+	nd.Transitions = append(nd.Transitions, Transition{State: "s0", Read: "_", Write: "_", Move: Stay, NewState: "qa"})
+	if nd.IsDeterministic() {
+		t.Error("duplicate (state, read) should be nondeterministic")
+	}
+}
+
+func TestSimulator(t *testing.T) {
+	m := writerMachine()
+	if !m.Accepts(2) {
+		t.Error("writer should accept in space 2")
+	}
+	run, ok := m.AcceptingRun(2)
+	if !ok || len(run) != 3 {
+		t.Fatalf("run = %v, ok = %v", run, ok)
+	}
+	// Each successive configuration must be a successor.
+	for i := 0; i+1 < len(run); i++ {
+		found := false
+		for _, s := range m.Successors(run[i]) {
+			if s.Key() == run[i+1].Key() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("step %d -> %d is not a machine step", i, i+1)
+		}
+	}
+	if walkerMachine().Accepts(4) {
+		t.Error("walker should not accept")
+	}
+	if _, ok := walkerMachine().AcceptingRun(4); ok {
+		t.Error("walker has no accepting run")
+	}
+}
+
+func TestAlternatingAcceptance(t *testing.T) {
+	m := flipFlopAlternating()
+	// In space 1 the "dead" branch falls off the tape, leaving the
+	// universal state with a single accepting successor: accepts.
+	if !m.Accepts(1) {
+		t.Error("space 1: the surviving branch accepts")
+	}
+	// In space 2 the universal state has two successors and the dead
+	// branch never accepts: rejects.
+	if m.Accepts(2) {
+		t.Error("space 2: universal branching should reject")
+	}
+}
+
+func TestWindowsCoverRealSteps(t *testing.T) {
+	m := writerMachine()
+	w := m.Windows()
+	run, _ := m.AcceptingRun(2)
+	for i := 0; i+1 < len(run); i++ {
+		a := ConfigCells(run[i])
+		b := ConfigCells(run[i+1])
+		if !w.Rl[Window3{a[0], a[1], b[0]}] {
+			t.Errorf("step %d: left window missing: (%v, %v) -> %v", i, a[0], a[1], b[0])
+		}
+		if !w.Rr[Window3{a[0], a[1], b[1]}] {
+			t.Errorf("step %d: right window missing: (%v, %v) -> %v", i, a[0], a[1], b[1])
+		}
+	}
+	// A plainly wrong window: both cells plain and the output invents a
+	// head out of nowhere.
+	plain := CellSymbol{Sym: "_"}
+	headCell := CellSymbol{State: "s0", Sym: "_"}
+	if w.Rl[Window3{plain, plain, headCell}] {
+		t.Error("window relation admits spontaneous head creation")
+	}
+}
+
+func TestWindowsNoHeadNoChange(t *testing.T) {
+	m := writerMachine()
+	w := m.Windows()
+	plain := CellSymbol{Sym: "1"}
+	other := CellSymbol{Sym: "_"}
+	if !w.R[Window4{plain, other, plain, other}] {
+		t.Error("cells away from the head must persist")
+	}
+	if w.R[Window4{plain, other, plain, plain}] {
+		t.Error("cells away from the head must not change")
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	if _, err := Encode53(writerMachine(), 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	nd := writerMachine()
+	nd.Transitions = append(nd.Transitions, Transition{State: "s0", Read: "_", Write: "1", Move: Stay, NewState: "qa"})
+	if _, err := Encode53(nd, 1); err == nil {
+		t.Error("nondeterministic machine accepted by linear encoding")
+	}
+}
+
+func TestEncodingProgramShape(t *testing.T) {
+	e, err := Encode53(writerMachine(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := e.Program
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !prog.IsRecursive() {
+		t.Error("encoding program should be recursive")
+	}
+	if !prog.IsLinear() || !prog.IsPathLinear() {
+		t.Error("encoding program should be (path-)linear")
+	}
+	if prog.GoalArity(Goal) != 0 {
+		t.Errorf("goal arity = %d", prog.GoalArity(Goal))
+	}
+	stats := e.Stats()
+	if stats.Rules == 0 || stats.ErrorQueries == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// The size of the encoding grows linearly with n for the program and
+// polynomially for the error queries — the succinctness behind the
+// lower bound.
+func TestEncodingSizeScaling(t *testing.T) {
+	m := writerMachine()
+	var prevRules, prevQueries int
+	for n := 1; n <= 4; n++ {
+		e, err := Encode53(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := e.Stats()
+		if n > 1 {
+			if s.Rules <= prevRules {
+				t.Errorf("n=%d: rules %d did not grow from %d", n, s.Rules, prevRules)
+			}
+			if s.ErrorQueries <= prevQueries {
+				t.Errorf("n=%d: queries %d did not grow from %d", n, s.ErrorQueries, prevQueries)
+			}
+		}
+		prevRules, prevQueries = s.Rules, s.ErrorQueries
+	}
+}

@@ -1,0 +1,134 @@
+package tm
+
+// Window relations (§5.3): machine steps are local, so "b is a successor
+// configuration of a" is characterized by the 4-ary relation R_M on cell
+// symbols — (a_{i-1}, a_i, a_{i+1}, b_i) ∈ R_M for interior positions —
+// together with the 3-ary end relations R^l_M and R^r_M.
+
+// Window4 is an element of R_M.
+type Window4 struct {
+	Prev, Cur, Next, Out CellSymbol
+}
+
+// Window3 is an element of R^l_M or R^r_M.
+type Window3 struct {
+	A, B, Out CellSymbol
+}
+
+// WindowRelations computes R_M, R^l_M, and R^r_M for the machine: the
+// sets of windows consistent with some machine transition (or with the
+// head being elsewhere).
+type WindowRelations struct {
+	R  map[Window4]bool
+	Rl map[Window3]bool
+	Rr map[Window3]bool
+}
+
+// Windows computes the window relations of the machine.
+func (m *Machine) Windows() *WindowRelations {
+	w := &WindowRelations{
+		R:  make(map[Window4]bool),
+		Rl: make(map[Window3]bool),
+		Rr: make(map[Window3]bool),
+	}
+	cells := m.CellSymbols()
+	// successorsOfCell returns the possible next-step values of the
+	// middle cell, given its neighborhood. neighbors may be the
+	// sentinel zero CellSymbol{} at the tape edges.
+	const edge = "\x00edge"
+	out4 := func(prev, cur, next CellSymbol) []CellSymbol {
+		var outs []CellSymbol
+		switch {
+		case cur.IsComposite():
+			// The head is here: it writes and moves (or stays).
+			for _, t := range m.Transitions {
+				if t.State != cur.State || t.Read != cur.Sym {
+					continue
+				}
+				switch t.Move {
+				case Stay:
+					outs = append(outs, CellSymbol{State: t.NewState, Sym: t.Write})
+				case Left:
+					if prev.Sym == edge {
+						continue // head would fall off; no successor via this transition
+					}
+					outs = append(outs, CellSymbol{Sym: t.Write})
+				case Right:
+					if next.Sym == edge {
+						continue
+					}
+					outs = append(outs, CellSymbol{Sym: t.Write})
+				}
+			}
+		case prev.IsComposite():
+			// Head to the left: it may move right onto this cell; any
+			// other move leaves the cell unchanged. A stuck head
+			// generates no windows (the configuration has no
+			// successor).
+			for _, t := range m.Transitions {
+				if t.State != prev.State || t.Read != prev.Sym {
+					continue
+				}
+				if t.Move == Right {
+					outs = append(outs, CellSymbol{State: t.NewState, Sym: cur.Sym})
+				} else {
+					outs = append(outs, cur)
+				}
+			}
+		case next.IsComposite():
+			for _, t := range m.Transitions {
+				if t.State != next.State || t.Read != next.Sym {
+					continue
+				}
+				if t.Move == Left {
+					outs = append(outs, CellSymbol{State: t.NewState, Sym: cur.Sym})
+				} else {
+					outs = append(outs, cur)
+				}
+			}
+		default:
+			// Head far away: the cell is unchanged.
+			outs = append(outs, cur)
+		}
+		return outs
+	}
+	edgeCell := CellSymbol{Sym: edge}
+	for _, prev := range cells {
+		for _, cur := range cells {
+			for _, next := range cells {
+				// At most one composite in any window of a legal
+				// configuration.
+				n := 0
+				for _, c := range []CellSymbol{prev, cur, next} {
+					if c.IsComposite() {
+						n++
+					}
+				}
+				if n > 1 {
+					continue
+				}
+				for _, out := range out4(prev, cur, next) {
+					w.R[Window4{prev, cur, next, out}] = true
+				}
+			}
+		}
+	}
+	for _, a := range cells {
+		for _, b := range cells {
+			if a.IsComposite() && b.IsComposite() {
+				continue
+			}
+			// Left end: window (a, b, out_of_a) with the tape edge on
+			// the left of a.
+			for _, out := range out4(edgeCell, a, b) {
+				w.Rl[Window3{a, b, out}] = true
+			}
+			// Right end: window (a, b, out_of_b) with the edge right
+			// of b.
+			for _, out := range out4(a, b, edgeCell) {
+				w.Rr[Window3{a, b, out}] = true
+			}
+		}
+	}
+	return w
+}

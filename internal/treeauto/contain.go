@@ -1,0 +1,237 @@
+package treeauto
+
+// Contains reports whether T(a) ⊆ T(b); when it does not, a witness tree
+// in T(a) \ T(b) is returned.
+//
+// The algorithm (the engineered form of Proposition 4.6) explores, bottom
+// up, the reachable pairs (s, T) where s is an a-state accepting some
+// tree t and T is the exact set of b-states accepting that same t — the
+// subset construction of b fused with a product against a, restricted to
+// pairs realized by actual trees. Containment fails iff some reachable
+// pair has s ∈ start(a) and T ∩ start(b) = ∅.
+//
+// Antichain pruning: for a fixed s, a pair with a smaller T dominates
+// one with a larger T, both for witnessing failure and under every
+// transition (the subset step is monotone), so only ⊆-minimal T are
+// kept. A worklist keyed on child states avoids rescanning the whole
+// transition relation as pairs are discovered.
+func Contains(a, b *TA) (bool, *Tree) {
+	if a.numSymbols != b.numSymbols {
+		panic("treeauto: Contains over different alphabets")
+	}
+	type pairInfo struct {
+		s   int
+		set []int
+		// Witness reconstruction: the transition that produced the
+		// pair.
+		sym      int
+		children []int // indexes into the pairs list
+	}
+	var pairs []pairInfo
+	// antichain[s] holds indexes into pairs of the minimal sets for s.
+	// Slices are replaced wholesale on update, so snapshots taken by
+	// the combo enumeration stay valid.
+	antichain := make(map[int][]int)
+	dominated := func(s int, set []int) bool {
+		for _, i := range antichain[s] {
+			if subsetOf(pairs[i].set, set) {
+				return true
+			}
+		}
+		return false
+	}
+	// bStep computes the set of b-states that accept a tree rooted with
+	// sym whose i-th subtree is accepted exactly by childSets[i].
+	bStep := func(sym int, childSets [][]int) []int {
+		var out []int
+		for s := 0; s < b.numStates; s++ {
+			for _, tuple := range b.Tuples(s, sym) {
+				if len(tuple) != len(childSets) {
+					continue
+				}
+				ok := true
+				for i, c := range tuple {
+					if !containsInt(childSets[i], c) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, s)
+					break
+				}
+			}
+		}
+		return out
+	}
+	var worklist []int // indexes of freshly added pairs
+	push := func(p pairInfo) bool {
+		if dominated(p.s, p.set) {
+			return false
+		}
+		// Drop previously kept pairs that the new one dominates (they
+		// stay in pairs for witness reconstruction but leave the
+		// antichain index). Build a fresh slice: callers may hold
+		// snapshots of the old one.
+		kept := make([]int, 0, len(antichain[p.s])+1)
+		for _, i := range antichain[p.s] {
+			if !subsetOf(p.set, pairs[i].set) {
+				kept = append(kept, i)
+			}
+		}
+		pairs = append(pairs, p)
+		antichain[p.s] = append(kept, len(pairs)-1)
+		worklist = append(worklist, len(pairs)-1)
+		return true
+	}
+	isStartA := make([]bool, a.numStates)
+	for _, s := range a.start {
+		isStartA[s] = true
+	}
+	intersectsStartB := func(set []int) bool {
+		for _, s := range b.start {
+			if containsInt(set, s) {
+				return true
+			}
+		}
+		return false
+	}
+	buildWitness := func(idx int) *Tree {
+		var rec func(i int) *Tree
+		rec = func(i int) *Tree {
+			p := pairs[i]
+			children := make([]*Tree, len(p.children))
+			for k, ci := range p.children {
+				children[k] = rec(ci)
+			}
+			return &Tree{Symbol: p.sym, Children: children}
+		}
+		return rec(idx)
+	}
+
+	// Index a's transitions by the child states they consume.
+	type transRef struct {
+		s, sym int
+		tuple  []int
+	}
+	usedBy := make(map[int][]transRef)
+	var leaves []transRef
+	for s := 0; s < a.numStates; s++ {
+		for _, sym := range a.SymbolsFrom(s) {
+			for _, tuple := range a.Tuples(s, sym) {
+				ref := transRef{s: s, sym: sym, tuple: tuple}
+				if len(tuple) == 0 {
+					leaves = append(leaves, ref)
+					continue
+				}
+				seen := make(map[int]bool)
+				for _, c := range tuple {
+					if !seen[c] {
+						seen[c] = true
+						usedBy[c] = append(usedBy[c], ref)
+					}
+				}
+			}
+		}
+	}
+
+	// fire enumerates the combinations of kept pairs for ref's tuple;
+	// when mustUse >= 0, only combinations containing that pair index
+	// are produced (freshness filter for the worklist). It returns true
+	// when a failing pair was pushed.
+	fire := func(ref transRef, mustUse int) bool {
+		k := len(ref.tuple)
+		choice := make([]int, k)
+		childSets := make([][]int, k)
+		// Snapshot candidate lists.
+		cands := make([][]int, k)
+		for i, c := range ref.tuple {
+			cands[i] = antichain[c]
+			if len(cands[i]) == 0 {
+				return false
+			}
+		}
+		var rec func(i int, used bool) bool
+		rec = func(i int, used bool) bool {
+			if i == k {
+				if mustUse >= 0 && !used {
+					return false
+				}
+				set := bStep(ref.sym, childSets)
+				p := pairInfo{s: ref.s, set: set, sym: ref.sym, children: append([]int(nil), choice...)}
+				if push(p) && isStartA[ref.s] && !intersectsStartB(set) {
+					return true
+				}
+				return false
+			}
+			for _, pi := range cands[i] {
+				choice[i] = pi
+				childSets[i] = pairs[pi].set
+				if rec(i+1, used || pi == mustUse) {
+					return true
+				}
+			}
+			return false
+		}
+		return rec(0, false)
+	}
+
+	// Base: leaf transitions.
+	for _, ref := range leaves {
+		set := bStep(ref.sym, nil)
+		p := pairInfo{s: ref.s, set: set, sym: ref.sym}
+		if push(p) && isStartA[ref.s] && !intersectsStartB(set) {
+			return false, buildWitness(len(pairs) - 1)
+		}
+	}
+	// Worklist saturation.
+	for len(worklist) > 0 {
+		pi := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		state := pairs[pi].s
+		for _, ref := range usedBy[state] {
+			if fire(ref, pi) {
+				return false, buildWitness(len(pairs) - 1)
+			}
+		}
+	}
+	return true, nil
+}
+
+// ContainsClassical decides containment by the textbook reduction:
+// T(a) ⊆ T(b) iff T(a) ∩ complement(T(b)) = ∅. Exponential even on easy
+// instances; used to cross-validate Contains.
+func ContainsClassical(a, b *TA) (bool, *Tree) {
+	alphabet := MergeRanked(a.RankedAlphabet(), b.RankedAlphabet())
+	diff := Intersect(a, Complement(b, alphabet))
+	empty, witness := diff.Empty()
+	return empty, witness
+}
+
+// Equivalent reports whether T(a) == T(b), with a witness from the
+// symmetric difference when they differ.
+func Equivalent(a, b *TA) (bool, *Tree) {
+	if ok, w := Contains(a, b); !ok {
+		return false, w
+	}
+	if ok, w := Contains(b, a); !ok {
+		return false, w
+	}
+	return true, nil
+}
+
+func subsetOf(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}

@@ -1,0 +1,282 @@
+package treeauto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Union returns an automaton accepting T(a) ∪ T(b) via disjoint union
+// (Proposition 4.4, polynomial).
+func Union(a, b *TA) *TA {
+	if a.numSymbols != b.numSymbols {
+		panic("treeauto: Union over different alphabets")
+	}
+	out := New(a.numStates+b.numStates, a.numSymbols)
+	for _, s := range a.start {
+		out.AddStart(s)
+	}
+	for _, s := range b.start {
+		out.AddStart(s + a.numStates)
+	}
+	for s := 0; s < a.numStates; s++ {
+		for _, sym := range a.SymbolsFrom(s) {
+			for _, tuple := range a.Tuples(s, sym) {
+				out.AddTransition(s, sym, tuple)
+			}
+		}
+	}
+	shift := func(tuple []int) []int {
+		out := make([]int, len(tuple))
+		for i, c := range tuple {
+			out[i] = c + a.numStates
+		}
+		return out
+	}
+	for s := 0; s < b.numStates; s++ {
+		for _, sym := range b.SymbolsFrom(s) {
+			for _, tuple := range b.Tuples(s, sym) {
+				out.AddTransition(s+a.numStates, sym, shift(tuple))
+			}
+		}
+	}
+	return out
+}
+
+// Intersect returns an automaton accepting T(a) ∩ T(b) via the product
+// construction on reachable state pairs.
+func Intersect(a, b *TA) *TA {
+	if a.numSymbols != b.numSymbols {
+		panic("treeauto: Intersect over different alphabets")
+	}
+	type pair struct{ s, t int }
+	id := make(map[pair]int)
+	var pairs []pair
+	intern := func(p pair) int {
+		if i, ok := id[p]; ok {
+			return i
+		}
+		id[p] = len(pairs)
+		pairs = append(pairs, p)
+		return len(pairs) - 1
+	}
+	var startIDs []int
+	for _, s := range a.start {
+		for _, t := range b.start {
+			startIDs = append(startIDs, intern(pair{s, t}))
+		}
+	}
+	type edge struct {
+		from, sym int
+		tuple     []int
+	}
+	var edges []edge
+	for i := 0; i < len(pairs); i++ {
+		p := pairs[i]
+		for _, sym := range a.SymbolsFrom(p.s) {
+			bTuples := b.Tuples(p.t, sym)
+			if len(bTuples) == 0 {
+				continue
+			}
+			for _, ta := range a.Tuples(p.s, sym) {
+				for _, tb := range bTuples {
+					if len(ta) != len(tb) {
+						continue
+					}
+					tuple := make([]int, len(ta))
+					for k := range ta {
+						tuple[k] = intern(pair{ta[k], tb[k]})
+					}
+					edges = append(edges, edge{i, sym, tuple})
+				}
+			}
+		}
+	}
+	out := New(len(pairs), a.numSymbols)
+	for _, s := range startIDs {
+		out.AddStart(s)
+	}
+	for _, e := range edges {
+		out.AddTransition(e.from, e.sym, e.tuple)
+	}
+	return out
+}
+
+// Determinization result: a deterministic bottom-up automaton whose
+// states are subsets of the source automaton's states. It is the
+// building block for complementation.
+type detTA struct {
+	source   *TA
+	alphabet []RankedSymbol
+	// sets[i] is the i-th reachable subset (sorted).
+	sets [][]int
+	id   map[string]int
+	// delta maps (symbol, child ids...) to the resulting subset id.
+	delta map[string]int
+}
+
+func setKey(set []int) string {
+	var b strings.Builder
+	for i, s := range set {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	return b.String()
+}
+
+func deltaKey(sym int, children []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", sym)
+	for i, c := range children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+// determinize materializes every reachable subset of a's states over the
+// given ranked alphabet (the exponential subset construction for
+// bottom-up tree automata).
+func determinize(a *TA, alphabet []RankedSymbol) *detTA {
+	d := &detTA{source: a, alphabet: alphabet, id: make(map[string]int), delta: make(map[string]int)}
+	intern := func(set []int) int {
+		k := setKey(set)
+		if i, ok := d.id[k]; ok {
+			return i
+		}
+		d.id[k] = len(d.sets)
+		d.sets = append(d.sets, set)
+		return len(d.sets) - 1
+	}
+	// step computes Δ(sym, T1..Tk): the set of states with a tuple into
+	// the child subsets.
+	step := func(sym int, childSets [][]int) []int {
+		var out []int
+		for s := 0; s < a.numStates; s++ {
+			for _, tuple := range a.Tuples(s, sym) {
+				if len(tuple) != len(childSets) {
+					continue
+				}
+				ok := true
+				for i, c := range tuple {
+					if !containsInt(childSets[i], c) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, s)
+					break
+				}
+			}
+		}
+		return out
+	}
+	// Saturate: start with arity-0 results, then close under all
+	// (symbol, arity) combinations of known subsets.
+	for {
+		before := len(d.sets)
+		for _, rs := range d.alphabet {
+			if rs.Arity == 0 {
+				k := deltaKey(rs.Symbol, nil)
+				if _, done := d.delta[k]; !done {
+					d.delta[k] = intern(step(rs.Symbol, nil))
+				}
+				continue
+			}
+			// All Arity-length combinations of current subset ids.
+			combo := make([]int, rs.Arity)
+			var rec func(i int)
+			rec = func(i int) {
+				if i == rs.Arity {
+					k := deltaKey(rs.Symbol, combo)
+					if _, done := d.delta[k]; done {
+						return
+					}
+					childSets := make([][]int, rs.Arity)
+					for j, c := range combo {
+						childSets[j] = d.sets[c]
+					}
+					d.delta[k] = intern(step(rs.Symbol, childSets))
+					return
+				}
+				// Iterate over ids known *before* this pass to keep
+				// the enumeration finite; new ids are handled by the
+				// outer fixpoint.
+				for c := 0; c < before; c++ {
+					combo[i] = c
+					rec(i + 1)
+				}
+			}
+			rec(0)
+		}
+		if len(d.sets) == before {
+			break
+		}
+	}
+	return d
+}
+
+// Complement returns an automaton accepting exactly the trees over the
+// given ranked alphabet that a rejects (Proposition 4.4; exponential).
+// Pass nil to use a's own ranked alphabet.
+func Complement(a *TA, alphabet []RankedSymbol) *TA {
+	if alphabet == nil {
+		alphabet = a.RankedAlphabet()
+	}
+	d := determinize(a, alphabet)
+	// Convert the deterministic bottom-up automaton into a top-down
+	// NTA: states are subset ids; δ(T, sym) contains (T1..Tk) whenever
+	// Δ(sym, T1..Tk) = T; start states are subsets disjoint from a's
+	// start set.
+	out := New(len(d.sets), a.numSymbols)
+	for i, set := range d.sets {
+		disjoint := true
+		for _, s := range a.start {
+			if containsInt(set, s) {
+				disjoint = false
+				break
+			}
+		}
+		if disjoint {
+			out.AddStart(i)
+		}
+	}
+	for k, result := range d.delta {
+		sym, children := parseDeltaKey(k)
+		out.AddTransition(result, sym, children)
+	}
+	return out
+}
+
+func parseDeltaKey(k string) (int, []int) {
+	colon := strings.IndexByte(k, ':')
+	sym := atoiFast(k[:colon])
+	rest := k[colon+1:]
+	if rest == "" {
+		return sym, nil
+	}
+	parts := strings.Split(rest, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i] = atoiFast(p)
+	}
+	return sym, out
+}
+
+func atoiFast(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	return n
+}
+
+func containsInt(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}

@@ -1,0 +1,256 @@
+package treeauto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Symbols: 0 = leaf "a", 1 = leaf "b", 2 = binary "f".
+const (
+	symA = 0
+	symB = 1
+	symF = 2
+)
+
+// allTrees accepts every tree over {a, b, f/2}.
+func allTrees() *TA {
+	t := New(1, 3)
+	t.AddStart(0)
+	t.AddTransition(0, symA, nil)
+	t.AddTransition(0, symB, nil)
+	t.AddTransition(0, symF, []int{0, 0})
+	return t
+}
+
+// onlyALeaves accepts trees over {a, f/2} (every leaf is a).
+func onlyALeaves() *TA {
+	t := New(1, 3)
+	t.AddStart(0)
+	t.AddTransition(0, symA, nil)
+	t.AddTransition(0, symF, []int{0, 0})
+	return t
+}
+
+// someBLeaf accepts trees containing at least one b leaf.
+func someBLeaf() *TA {
+	// state 0: subtree contains a b; state 1: any subtree.
+	t := New(2, 3)
+	t.AddStart(0)
+	t.AddTransition(0, symB, nil)
+	t.AddTransition(0, symF, []int{0, 1})
+	t.AddTransition(0, symF, []int{1, 0})
+	t.AddTransition(1, symA, nil)
+	t.AddTransition(1, symB, nil)
+	t.AddTransition(1, symF, []int{1, 1})
+	return t
+}
+
+func a() *Tree           { return Leaf(symA) }
+func b() *Tree           { return Leaf(symB) }
+func f(l, r *Tree) *Tree { return Branch(symF, l, r) }
+
+func TestAccepts(t *testing.T) {
+	cases := []struct {
+		ta   *TA
+		tree *Tree
+		want bool
+	}{
+		{allTrees(), a(), true},
+		{allTrees(), f(a(), b()), true},
+		{onlyALeaves(), a(), true},
+		{onlyALeaves(), b(), false},
+		{onlyALeaves(), f(a(), a()), true},
+		{onlyALeaves(), f(a(), b()), false},
+		{someBLeaf(), a(), false},
+		{someBLeaf(), b(), true},
+		{someBLeaf(), f(a(), f(a(), b())), true},
+		{someBLeaf(), f(a(), f(a(), a())), false},
+	}
+	for i, c := range cases {
+		if got := c.ta.Accepts(c.tree); got != c.want {
+			t.Errorf("case %d: Accepts(%s) = %v, want %v", i, c.tree, got, c.want)
+		}
+	}
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := f(a(), f(b(), a()))
+	if tr.Size() != 5 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+	if tr.Depth() != 3 {
+		t.Errorf("Depth = %d", tr.Depth())
+	}
+	if tr.String() != "2(0,2(1,0))" {
+		t.Errorf("String = %q", tr.String())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	empty, _ := New(1, 3).Empty()
+	if !empty {
+		t.Error("no transitions: language should be empty")
+	}
+	ta := onlyALeaves()
+	isEmpty, w := ta.Empty()
+	if isEmpty {
+		t.Fatal("language should be nonempty")
+	}
+	if !ta.Accepts(w) {
+		t.Errorf("witness %s not accepted", w)
+	}
+	if w.Size() != 1 {
+		t.Errorf("minimal witness should be a single leaf, got %s", w)
+	}
+	// A state that can never bottom out keeps the language empty.
+	loop := New(1, 3)
+	loop.AddStart(0)
+	loop.AddTransition(0, symF, []int{0, 0})
+	if isEmpty, _ := loop.Empty(); !isEmpty {
+		t.Error("automaton without leaf rules should be empty")
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	u := Union(onlyALeaves(), someBLeaf())
+	i := Intersect(allTrees(), someBLeaf())
+	trees := []*Tree{a(), b(), f(a(), a()), f(a(), b()), f(f(b(), a()), a())}
+	for _, tr := range trees {
+		wantU := onlyALeaves().Accepts(tr) || someBLeaf().Accepts(tr)
+		wantI := someBLeaf().Accepts(tr)
+		if got := u.Accepts(tr); got != wantU {
+			t.Errorf("union.Accepts(%s) = %v, want %v", tr, got, wantU)
+		}
+		if got := i.Accepts(tr); got != wantI {
+			t.Errorf("intersect.Accepts(%s) = %v, want %v", tr, got, wantI)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	full := allTrees().RankedAlphabet()
+	c := Complement(onlyALeaves(), full)
+	trees := []*Tree{a(), b(), f(a(), a()), f(a(), b()), f(b(), b()), f(f(a(), a()), b())}
+	for _, tr := range trees {
+		if c.Accepts(tr) == onlyALeaves().Accepts(tr) {
+			t.Errorf("complement agrees with original on %s", tr)
+		}
+	}
+}
+
+func TestContainsBasic(t *testing.T) {
+	if ok, w := Contains(onlyALeaves(), allTrees()); !ok {
+		t.Errorf("onlyA ⊆ all; witness %s", w)
+	}
+	ok, w := Contains(allTrees(), onlyALeaves())
+	if ok {
+		t.Fatal("all ⊄ onlyA")
+	}
+	if !allTrees().Accepts(w) || onlyALeaves().Accepts(w) {
+		t.Errorf("bad witness %s", w)
+	}
+	// Disjoint languages.
+	if ok, _ := Contains(onlyALeaves(), someBLeaf()); ok {
+		t.Error("onlyA ⊄ someB")
+	}
+	// Intersection contained in both.
+	i := Intersect(allTrees(), someBLeaf())
+	if ok, _ := Contains(i, someBLeaf()); !ok {
+		t.Error("intersection ⊆ someB")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	// all ∩ someB == someB.
+	i := Intersect(allTrees(), someBLeaf())
+	if ok, w := Equivalent(i, someBLeaf()); !ok {
+		t.Errorf("equivalence failed; witness %s", w)
+	}
+	if ok, _ := Equivalent(onlyALeaves(), someBLeaf()); ok {
+		t.Error("different languages reported equivalent")
+	}
+}
+
+// randomTA builds a random automaton over {a, b, f/2} with n states.
+func randomTA(rng *rand.Rand, n int) *TA {
+	t := New(n, 3)
+	t.AddStart(rng.Intn(n))
+	for s := 0; s < n; s++ {
+		if rng.Intn(2) == 0 {
+			t.AddTransition(s, rng.Intn(2), nil) // a or b leaf
+		}
+		for k := rng.Intn(3); k > 0; k-- {
+			t.AddTransition(s, symF, []int{rng.Intn(n), rng.Intn(n)})
+		}
+	}
+	return t
+}
+
+// Property: the antichain containment check agrees with the classical
+// complement-based reduction, and witnesses separate the languages.
+func TestContainsAgreesWithClassical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		x := randomTA(rng, 1+rng.Intn(3))
+		y := randomTA(rng, 1+rng.Intn(3))
+		fast, w := Contains(x, y)
+		classical, w2 := ContainsClassical(x, y)
+		if fast != classical {
+			t.Fatalf("trial %d: antichain=%v classical=%v", trial, fast, classical)
+		}
+		if !fast {
+			if !x.Accepts(w) || y.Accepts(w) {
+				t.Fatalf("trial %d: bad witness %s", trial, w)
+			}
+			if !x.Accepts(w2) || y.Accepts(w2) {
+				t.Fatalf("trial %d: bad classical witness %s", trial, w2)
+			}
+		}
+	}
+}
+
+// Property: emptiness witnesses are accepted; empty automata accept none
+// of a tree sample.
+func TestEmptyConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sample := []*Tree{a(), b(), f(a(), b()), f(f(a(), a()), b()), f(b(), f(b(), b()))}
+	for trial := 0; trial < 100; trial++ {
+		x := randomTA(rng, 1+rng.Intn(4))
+		isEmpty, w := x.Empty()
+		if isEmpty {
+			for _, tr := range sample {
+				if x.Accepts(tr) {
+					t.Fatalf("trial %d: empty automaton accepts %s", trial, tr)
+				}
+			}
+		} else if !x.Accepts(w) {
+			t.Fatalf("trial %d: witness %s rejected", trial, w)
+		}
+	}
+}
+
+func TestRankedAlphabet(t *testing.T) {
+	ra := someBLeaf().RankedAlphabet()
+	want := []RankedSymbol{{symA, 0}, {symB, 0}, {symF, 2}}
+	if len(ra) != len(want) {
+		t.Fatalf("RankedAlphabet = %v", ra)
+	}
+	for i := range want {
+		if ra[i] != want[i] {
+			t.Errorf("RankedAlphabet[%d] = %v, want %v", i, ra[i], want[i])
+		}
+	}
+	merged := MergeRanked(ra, []RankedSymbol{{symF, 2}, {symF, 3}})
+	if len(merged) != 4 {
+		t.Errorf("MergeRanked = %v", merged)
+	}
+}
+
+func TestTransitionDedup(t *testing.T) {
+	x := New(1, 3)
+	x.AddTransition(0, symF, []int{0, 0})
+	x.AddTransition(0, symF, []int{0, 0})
+	if x.NumTransitions() != 1 {
+		t.Errorf("duplicate transition stored: %d", x.NumTransitions())
+	}
+}

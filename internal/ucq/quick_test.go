@@ -1,0 +1,126 @@
+package ucq_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datalogeq/internal/cq"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/ucq"
+)
+
+func randUCQ(rng *rand.Rand) ucq.UCQ {
+	n := 1 + rng.Intn(3)
+	ds := make([]cq.CQ, n)
+	for i := range ds {
+		ds[i] = gen.RandomCQ(rng, "q", 1+rng.Intn(3), 3, 2)
+	}
+	return ucq.New(ds...)
+}
+
+// Property: Sagiv–Yannakakis containment is semantically sound on
+// random databases.
+func TestQuickSYSound(t *testing.T) {
+	preds := map[string]int{"e1": 2, "e2": 2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u, v := randUCQ(rng), randUCQ(rng)
+		if !ucq.ContainedInUCQ(u, v) {
+			return true
+		}
+		db := gen.RandomDB(rng, preds, 3, 5)
+		ru, err := u.Apply(db)
+		if err != nil {
+			return false
+		}
+		rv, err := v.Apply(db)
+		if err != nil {
+			return false
+		}
+		for _, tup := range ru.Tuples() {
+			if !rv.Contains(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Minimize and Dedup preserve equivalence, and Minimize never
+// grows the union.
+func TestQuickMinimizeDedupPreserve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := randUCQ(rng)
+		m := ucq.Minimize(u)
+		d := ucq.Dedup(u)
+		if m.Size() > u.Size() || d.Size() > u.Size() {
+			return false
+		}
+		return ucq.Equivalent(u, m) && ucq.Equivalent(u, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Minimize is idempotent and its result has pairwise
+// incomparable disjuncts.
+func TestQuickMinimizeCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := randUCQ(rng)
+		m := ucq.Minimize(u)
+		mm := ucq.Minimize(m)
+		if mm.Size() != m.Size() {
+			return false
+		}
+		for i, a := range m.Disjuncts {
+			for j, b := range m.Disjuncts {
+				if i != j && cq.Contained(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Holds agrees with Apply membership.
+func TestQuickHoldsAgreesWithApply(t *testing.T) {
+	preds := map[string]int{"e1": 2, "e2": 2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := randUCQ(rng)
+		db := gen.RandomDB(rng, preds, 3, 5)
+		rel, err := u.Apply(db)
+		if err != nil {
+			return false
+		}
+		dom := db.ActiveDomain()
+		if len(dom) == 0 {
+			return true
+		}
+		for i := 0; i < 5; i++ {
+			tup := []string{dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))]}
+			got, err := u.Holds(db, tup)
+			if err != nil {
+				return false
+			}
+			if got != rel.Contains(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

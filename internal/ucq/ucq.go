@@ -1,0 +1,190 @@
+// Package ucq implements unions of conjunctive queries and the
+// Sagiv–Yannakakis containment test (paper Theorem 2.3): a union Φ = ∪φᵢ
+// is contained in Ψ = ∪ψⱼ iff every φᵢ is contained in some ψⱼ, i.e.
+// there is a containment mapping from some ψⱼ to φᵢ.
+package ucq
+
+import (
+	"fmt"
+	"strings"
+
+	"datalogeq/internal/cq"
+	"datalogeq/internal/database"
+)
+
+// UCQ is a union of conjunctive queries. All disjuncts must share the
+// head predicate and arity; Validate enforces this.
+type UCQ struct {
+	Disjuncts []cq.CQ
+}
+
+// New constructs a UCQ from disjuncts.
+func New(disjuncts ...cq.CQ) UCQ {
+	return UCQ{Disjuncts: disjuncts}
+}
+
+// Validate checks that all disjuncts share head predicate and arity.
+func (u UCQ) Validate() error {
+	if len(u.Disjuncts) == 0 {
+		return nil
+	}
+	h := u.Disjuncts[0].Head
+	for _, d := range u.Disjuncts[1:] {
+		if d.Head.Pred != h.Pred || len(d.Head.Args) != len(h.Args) {
+			return fmt.Errorf("ucq: disjunct head %s incompatible with %s", d.Head, h)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (u UCQ) Clone() UCQ {
+	ds := make([]cq.CQ, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		ds[i] = d.Clone()
+	}
+	return UCQ{Disjuncts: ds}
+}
+
+// String renders the UCQ one disjunct per line.
+func (u UCQ) String() string {
+	var b strings.Builder
+	for _, d := range u.Disjuncts {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Size returns the number of disjuncts.
+func (u UCQ) Size() int { return len(u.Disjuncts) }
+
+// TotalAtoms returns the total number of body atoms across disjuncts, a
+// size measure used by the blowup experiments of §6.
+func (u UCQ) TotalAtoms() int {
+	n := 0
+	for _, d := range u.Disjuncts {
+		n += d.Size()
+	}
+	return n
+}
+
+// Apply evaluates the union over db: the union of the disjuncts'
+// results.
+func (u UCQ) Apply(db *database.DB) (*database.Relation, error) {
+	if len(u.Disjuncts) == 0 {
+		return database.NewRelation(0), nil
+	}
+	out := database.NewRelation(len(u.Disjuncts[0].Head.Args))
+	for _, d := range u.Disjuncts {
+		rel, err := d.Apply(db)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range rel.Tuples() {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+// Holds reports whether tuple is an answer of the union over db,
+// checking disjuncts one at a time and stopping at the first hit —
+// much cheaper than Apply when only membership is needed.
+func (u UCQ) Holds(db *database.DB, tuple database.Tuple) (bool, error) {
+	for _, d := range u.Disjuncts {
+		ok, err := d.Holds(db, tuple)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ContainedInUCQ reports whether u ⊆ v (Theorem 2.3): every disjunct of
+// u must be contained in some disjunct of v.
+func ContainedInUCQ(u, v UCQ) bool {
+	for _, d := range u.Disjuncts {
+		if !CQContainedInUCQ(d, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// CQContainedInUCQ reports whether the single conjunctive query d is
+// contained in the union v.
+//
+// Note: for a *single* CQ on the left, disjunct-wise checking is exact —
+// this is the content of Theorem 2.3 (which fails for unions on the left
+// only if checked disjunct-to-one-disjunct in the other direction).
+func CQContainedInUCQ(d cq.CQ, v UCQ) bool {
+	for _, e := range v.Disjuncts {
+		if cq.Contained(d, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equivalent reports whether u and v are equivalent.
+func Equivalent(u, v UCQ) bool {
+	return ContainedInUCQ(u, v) && ContainedInUCQ(v, u)
+}
+
+// Minimize returns an equivalent UCQ in which every disjunct is a core
+// and no disjunct is contained in another. This is the canonical minimal
+// form of a UCQ (unique up to renaming, by [SY81]).
+func Minimize(u UCQ) UCQ {
+	cores := make([]cq.CQ, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		cores[i] = cq.Minimize(d)
+	}
+	var kept []cq.CQ
+	for i, d := range cores {
+		redundant := false
+		for j, e := range cores {
+			if i == j {
+				continue
+			}
+			if !cq.Contained(d, e) {
+				continue
+			}
+			if cq.Contained(e, d) {
+				// Equivalent disjuncts: keep only the first.
+				if j < i {
+					redundant = true
+					break
+				}
+				continue
+			}
+			// d is strictly contained in e: drop d.
+			redundant = true
+			break
+		}
+		if !redundant {
+			kept = append(kept, d)
+		}
+	}
+	return UCQ{Disjuncts: kept}
+}
+
+// Dedup removes disjuncts that are syntactic duplicates up to variable
+// renaming and atom reordering (via cq.NormalizeKey). Cheap compared to
+// Minimize; used when unfolding nonrecursive programs.
+func Dedup(u UCQ) UCQ {
+	seen := make(map[string]bool)
+	var kept []cq.CQ
+	for _, d := range u.Disjuncts {
+		k := d.NormalizeKey()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, d)
+	}
+	return UCQ{Disjuncts: kept}
+}

@@ -1,0 +1,38 @@
+package wordauto
+
+// Interner assigns dense integer ids to string labels, for callers that
+// build automata over structured alphabets (e.g. Datalog rule instances)
+// and need to map labels to symbols.
+type Interner struct {
+	ids    map[string]int
+	labels []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int)}
+}
+
+// Intern returns the id of label, assigning the next free id on first
+// use.
+func (in *Interner) Intern(label string) int {
+	if id, ok := in.ids[label]; ok {
+		return id
+	}
+	id := len(in.labels)
+	in.ids[label] = id
+	in.labels = append(in.labels, label)
+	return id
+}
+
+// Lookup returns the id of label and whether it has been interned.
+func (in *Interner) Lookup(label string) (int, bool) {
+	id, ok := in.ids[label]
+	return id, ok
+}
+
+// Label returns the label of id.
+func (in *Interner) Label(id int) string { return in.labels[id] }
+
+// Len returns the number of interned labels.
+func (in *Interner) Len() int { return len(in.labels) }

@@ -1,0 +1,148 @@
+package wordauto
+
+// Minimize returns the minimal deterministic automaton equivalent to a:
+// the input is determinized (and completed) by the subset construction,
+// unreachable states are discarded, and equivalent states are merged
+// with Hopcroft's partition-refinement algorithm. The result is the
+// canonical DFA of L(a) up to state numbering.
+func Minimize(a *NFA) *NFA {
+	d := Determinize(a)
+	n := d.numStates
+	k := d.numSymbols
+
+	// delta[s][c]: the deterministic successor (Determinize always
+	// produces exactly one).
+	delta := make([][]int, n)
+	for s := 0; s < n; s++ {
+		delta[s] = make([]int, k)
+		for c := 0; c < k; c++ {
+			next := d.Next(s, c)
+			delta[s][c] = next[0]
+		}
+	}
+	// Reverse edges for Hopcroft.
+	rev := make([][][]int, n)
+	for s := range rev {
+		rev[s] = make([][]int, k)
+	}
+	for s := 0; s < n; s++ {
+		for c := 0; c < k; c++ {
+			t := delta[s][c]
+			rev[t][c] = append(rev[t][c], s)
+		}
+	}
+
+	// Initial partition: accepting vs non-accepting.
+	part := make([]int, n) // state -> block id
+	var blocks [][]int
+	var acc, rej []int
+	for s := 0; s < n; s++ {
+		if d.accept[s] {
+			acc = append(acc, s)
+		} else {
+			rej = append(rej, s)
+		}
+	}
+	addBlock := func(states []int) int {
+		id := len(blocks)
+		blocks = append(blocks, states)
+		for _, s := range states {
+			part[s] = id
+		}
+		return id
+	}
+	var worklist []int
+	if len(acc) > 0 {
+		worklist = append(worklist, addBlock(acc))
+	}
+	if len(rej) > 0 {
+		worklist = append(worklist, addBlock(rej))
+	}
+
+	inWork := make(map[int]bool)
+	for _, b := range worklist {
+		inWork[b] = true
+	}
+	for len(worklist) > 0 {
+		w := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		inWork[w] = false
+		splitter := append([]int(nil), blocks[w]...)
+		for c := 0; c < k; c++ {
+			// X = states with a c-transition into the splitter.
+			inX := make(map[int]bool)
+			for _, t := range splitter {
+				for _, s := range rev[t][c] {
+					inX[s] = true
+				}
+			}
+			if len(inX) == 0 {
+				continue
+			}
+			// Refine each block against X.
+			touched := make(map[int]bool)
+			for s := range inX {
+				touched[part[s]] = true
+			}
+			for b := range touched {
+				var in, out []int
+				for _, s := range blocks[b] {
+					if inX[s] {
+						in = append(in, s)
+					} else {
+						out = append(out, s)
+					}
+				}
+				if len(in) == 0 || len(out) == 0 {
+					continue
+				}
+				// Replace block b by `in`, create a new block for
+				// `out`.
+				blocks[b] = in
+				nb := addBlock(out)
+				if inWork[b] {
+					worklist = append(worklist, nb)
+					inWork[nb] = true
+				} else {
+					// Add the smaller half.
+					if len(in) <= len(out) {
+						worklist = append(worklist, b)
+						inWork[b] = true
+					} else {
+						worklist = append(worklist, nb)
+						inWork[nb] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Build the quotient automaton; renumber blocks reachably from the
+	// start block for a canonical-ish result.
+	startBlock := part[d.start[0]]
+	id := map[int]int{startBlock: 0}
+	orderList := []int{startBlock}
+	for i := 0; i < len(orderList); i++ {
+		b := orderList[i]
+		repr := blocks[b][0]
+		for c := 0; c < k; c++ {
+			nb := part[delta[repr][c]]
+			if _, ok := id[nb]; !ok {
+				id[nb] = len(orderList)
+				orderList = append(orderList, nb)
+			}
+		}
+	}
+	out := New(len(orderList), k)
+	out.AddStart(0)
+	for i, b := range orderList {
+		repr := blocks[b][0]
+		if d.accept[repr] {
+			out.SetAccept(i)
+		}
+		for c := 0; c < k; c++ {
+			out.AddTransition(i, c, id[part[delta[repr][c]]])
+		}
+	}
+	return out
+}

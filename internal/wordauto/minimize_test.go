@@ -1,0 +1,75 @@
+package wordauto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeEvenAs(t *testing.T) {
+	m := Minimize(evenAs())
+	if ok, w := Equivalent(m, evenAs()); !ok {
+		t.Fatalf("minimization changed the language; witness %v", w)
+	}
+	if m.NumStates() != 2 {
+		t.Errorf("minimal DFA for even-zeros has 2 states, got %d", m.NumStates())
+	}
+}
+
+func TestMinimizeEndsWith01(t *testing.T) {
+	m := Minimize(endsWith01())
+	if ok, _ := Equivalent(m, endsWith01()); !ok {
+		t.Fatal("language changed")
+	}
+	if m.NumStates() != 3 {
+		t.Errorf("minimal DFA for .*01 has 3 states, got %d", m.NumStates())
+	}
+}
+
+func TestMinimizeEmptyLanguage(t *testing.T) {
+	a := New(2, 2)
+	a.AddStart(0)
+	a.AddTransition(0, 0, 1)
+	m := Minimize(a)
+	if empty, _ := m.Empty(); !empty {
+		t.Error("empty language lost")
+	}
+	if m.NumStates() != 1 {
+		t.Errorf("minimal empty DFA has 1 (sink) state, got %d", m.NumStates())
+	}
+}
+
+// Property: minimization preserves the language, never grows past the
+// determinized automaton, and is idempotent on state count.
+func TestQuickMinimize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomNFA(rng, 1+rng.Intn(5))
+		m := Minimize(a)
+		if ok, _ := Equivalent(a, m); !ok {
+			return false
+		}
+		if m.NumStates() > Determinize(a).NumStates() {
+			return false
+		}
+		return Minimize(m).NumStates() == m.NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: equivalent automata have identical minimal state counts
+// (Myhill–Nerode canonicity, up to renumbering).
+func TestQuickMinimizeCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomNFA(rng, 1+rng.Intn(4))
+		// A language-preserving transform: union with itself.
+		b := Union(a, a)
+		return Minimize(a).NumStates() == Minimize(b).NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

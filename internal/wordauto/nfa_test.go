@@ -1,0 +1,260 @@
+package wordauto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// evenAs accepts words over {0, 1} with an even number of 0s.
+func evenAs() *NFA {
+	n := New(2, 2)
+	n.AddStart(0)
+	n.SetAccept(0)
+	n.AddTransition(0, 0, 1)
+	n.AddTransition(1, 0, 0)
+	n.AddTransition(0, 1, 0)
+	n.AddTransition(1, 1, 1)
+	return n
+}
+
+// endsWith01 accepts words over {0, 1} ending in 0,1.
+func endsWith01() *NFA {
+	n := New(3, 2)
+	n.AddStart(0)
+	n.AddTransition(0, 0, 0)
+	n.AddTransition(0, 1, 0)
+	n.AddTransition(0, 0, 1)
+	n.AddTransition(1, 1, 2)
+	n.SetAccept(2)
+	return n
+}
+
+func TestAccepts(t *testing.T) {
+	n := evenAs()
+	cases := []struct {
+		word []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0}, false},
+		{[]int{0, 0}, true},
+		{[]int{1, 1, 1}, true},
+		{[]int{0, 1, 0}, true},
+		{[]int{0, 1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := n.Accepts(c.word); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	n := New(3, 1)
+	n.AddStart(0)
+	n.AddTransition(0, 0, 1)
+	empty, _ := n.Empty()
+	if !empty {
+		t.Error("no accepting state: language should be empty")
+	}
+	n.SetAccept(1)
+	empty, w := n.Empty()
+	if empty {
+		t.Error("language should be nonempty")
+	}
+	if len(w) != 1 || w[0] != 0 || !n.Accepts(w) {
+		t.Errorf("witness = %v", w)
+	}
+	// Unreachable accepting state.
+	m := New(2, 1)
+	m.AddStart(0)
+	m.SetAccept(1)
+	if empty, _ := m.Empty(); !empty {
+		t.Error("unreachable accepting state should leave language empty")
+	}
+}
+
+func TestEmptyWitnessIsEpsilon(t *testing.T) {
+	n := New(1, 1)
+	n.AddStart(0)
+	n.SetAccept(0)
+	empty, w := n.Empty()
+	if empty || len(w) != 0 {
+		t.Errorf("epsilon witness expected: empty=%v w=%v", empty, w)
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := evenAs(), endsWith01()
+	u := Union(a, b)
+	i := Intersect(a, b)
+	words := [][]int{
+		nil, {0}, {1}, {0, 1}, {0, 0}, {1, 0, 1}, {0, 1, 0, 1}, {0, 0, 0, 1},
+	}
+	for _, w := range words {
+		wantU := a.Accepts(w) || b.Accepts(w)
+		wantI := a.Accepts(w) && b.Accepts(w)
+		if got := u.Accepts(w); got != wantU {
+			t.Errorf("union.Accepts(%v) = %v, want %v", w, got, wantU)
+		}
+		if got := i.Accepts(w); got != wantI {
+			t.Errorf("intersect.Accepts(%v) = %v, want %v", w, got, wantI)
+		}
+	}
+}
+
+func TestDeterminizeComplement(t *testing.T) {
+	a := endsWith01()
+	d := Determinize(a)
+	c := Complement(a)
+	words := [][]int{nil, {0}, {1}, {0, 1}, {1, 0, 1}, {0, 0, 1, 0}, {0, 1, 0, 1}}
+	for _, w := range words {
+		if d.Accepts(w) != a.Accepts(w) {
+			t.Errorf("determinize differs on %v", w)
+		}
+		if c.Accepts(w) == a.Accepts(w) {
+			t.Errorf("complement agrees on %v", w)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	a, b := evenAs(), endsWith01()
+	i := Intersect(a, b)
+	// L(a∩b) ⊆ L(a) and ⊆ L(b).
+	if ok, w := Contains(i, a); !ok {
+		t.Errorf("intersection not contained in a; witness %v", w)
+	}
+	if ok, w := Contains(i, b); !ok {
+		t.Errorf("intersection not contained in b; witness %v", w)
+	}
+	// L(a) ⊄ L(b).
+	ok, w := Contains(a, b)
+	if ok {
+		t.Fatal("evenAs should not be contained in endsWith01")
+	}
+	if !a.Accepts(w) || b.Accepts(w) {
+		t.Errorf("witness %v must separate the languages", w)
+	}
+	// Everything is contained in the union.
+	u := Union(a, b)
+	if ok, _ := Contains(a, u); !ok {
+		t.Error("a ⊆ a∪b")
+	}
+	if ok, _ := Contains(b, u); !ok {
+		t.Error("b ⊆ a∪b")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := evenAs()
+	d := Determinize(a)
+	if ok, w := Equivalent(a, d); !ok {
+		t.Errorf("determinization not equivalent; witness %v", w)
+	}
+	if ok, _ := Equivalent(a, endsWith01()); ok {
+		t.Error("different languages reported equivalent")
+	}
+}
+
+// randomNFA builds a random automaton with n states over a binary
+// alphabet.
+func randomNFA(rng *rand.Rand, n int) *NFA {
+	a := New(n, 2)
+	a.AddStart(rng.Intn(n))
+	for s := 0; s < n; s++ {
+		if rng.Intn(3) == 0 {
+			a.SetAccept(s)
+		}
+		for sym := 0; sym < 2; sym++ {
+			for k := rng.Intn(3); k > 0; k-- {
+				a.AddTransition(s, sym, rng.Intn(n))
+			}
+		}
+	}
+	return a
+}
+
+func randomWord(rng *rand.Rand, maxLen int) []int {
+	w := make([]int, rng.Intn(maxLen+1))
+	for i := range w {
+		w[i] = rng.Intn(2)
+	}
+	return w
+}
+
+// Property: the lazy antichain containment check agrees with the
+// classical complement+intersect+emptiness reduction.
+func TestContainsAgreesWithClassical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := randomNFA(rng, 1+rng.Intn(4))
+		b := randomNFA(rng, 1+rng.Intn(4))
+		fast, w := Contains(a, b)
+		diff := Intersect(a, Complement(b))
+		emptyDiff, w2 := diff.Empty()
+		if fast != emptyDiff {
+			t.Fatalf("trial %d: antichain says %v, classical says %v\na=%s\nb=%s", trial, fast, emptyDiff, a, b)
+		}
+		if !fast {
+			if !a.Accepts(w) || b.Accepts(w) {
+				t.Fatalf("trial %d: bad witness %v", trial, w)
+			}
+			if !a.Accepts(w2) || b.Accepts(w2) {
+				t.Fatalf("trial %d: bad classical witness %v", trial, w2)
+			}
+		}
+	}
+}
+
+// Property: De Morgan — complement of union equals intersection of
+// complements, tested by sampling words.
+func TestDeMorganSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	a := randomNFA(rng, 3)
+	b := randomNFA(rng, 3)
+	lhs := Complement(Union(a, b))
+	rhs := Intersect(Complement(a), Complement(b))
+	f := func(seed int64) bool {
+		w := randomWord(rand.New(rand.NewSource(seed)), 8)
+		return lhs.Accepts(w) == rhs.Accepts(w)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	if ok, w := Equivalent(lhs, rhs); !ok {
+		t.Errorf("De Morgan equivalence failed; witness %v", w)
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == b {
+		t.Error("distinct labels share an id")
+	}
+	if got := in.Intern("alpha"); got != a {
+		t.Error("re-interning changed the id")
+	}
+	if in.Label(a) != "alpha" || in.Label(b) != "beta" {
+		t.Error("Label lookup wrong")
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d", in.Len())
+	}
+	if _, ok := in.Lookup("gamma"); ok {
+		t.Error("Lookup of missing label succeeded")
+	}
+}
+
+func TestMismatchedAlphabetsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Union with mismatched alphabets should panic")
+		}
+	}()
+	Union(New(1, 2), New(1, 3))
+}

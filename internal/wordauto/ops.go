@@ -1,0 +1,300 @@
+package wordauto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Union returns an automaton accepting L(a) ∪ L(b). Both automata must
+// share the alphabet. The construction is the disjoint union
+// (Proposition 4.1, polynomial).
+func Union(a, b *NFA) *NFA {
+	if a.numSymbols != b.numSymbols {
+		panic("wordauto: Union over different alphabets")
+	}
+	out := New(a.numStates+b.numStates, a.numSymbols)
+	for _, s := range a.start {
+		out.AddStart(s)
+	}
+	for _, s := range b.start {
+		out.AddStart(s + a.numStates)
+	}
+	for s := 0; s < a.numStates; s++ {
+		if a.accept[s] {
+			out.SetAccept(s)
+		}
+		for _, sym := range a.SymbolsFrom(s) {
+			for _, t := range a.Next(s, sym) {
+				out.AddTransition(s, sym, t)
+			}
+		}
+	}
+	for s := 0; s < b.numStates; s++ {
+		if b.accept[s] {
+			out.SetAccept(s + a.numStates)
+		}
+		for _, sym := range b.SymbolsFrom(s) {
+			for _, t := range b.Next(s, sym) {
+				out.AddTransition(s+a.numStates, sym, t+a.numStates)
+			}
+		}
+	}
+	return out
+}
+
+// Intersect returns an automaton accepting L(a) ∩ L(b) via the product
+// construction restricted to reachable pairs (Proposition 4.1).
+func Intersect(a, b *NFA) *NFA {
+	if a.numSymbols != b.numSymbols {
+		panic("wordauto: Intersect over different alphabets")
+	}
+	type pair struct{ s, t int }
+	id := make(map[pair]int)
+	var pairs []pair
+	intern := func(p pair) int {
+		if i, ok := id[p]; ok {
+			return i
+		}
+		id[p] = len(pairs)
+		pairs = append(pairs, p)
+		return len(pairs) - 1
+	}
+	var startIDs []int
+	for _, s := range a.start {
+		for _, t := range b.start {
+			startIDs = append(startIDs, intern(pair{s, t}))
+		}
+	}
+	type edge struct{ from, sym, to int }
+	var edges []edge
+	for i := 0; i < len(pairs); i++ {
+		p := pairs[i]
+		for _, sym := range a.SymbolsFrom(p.s) {
+			bn := b.Next(p.t, sym)
+			if len(bn) == 0 {
+				continue
+			}
+			for _, s2 := range a.Next(p.s, sym) {
+				for _, t2 := range bn {
+					j := intern(pair{s2, t2})
+					edges = append(edges, edge{i, sym, j})
+				}
+			}
+		}
+	}
+	out := New(len(pairs), a.numSymbols)
+	for _, s := range startIDs {
+		out.AddStart(s)
+	}
+	for i, p := range pairs {
+		if a.accept[p.s] && b.accept[p.t] {
+			out.SetAccept(i)
+		}
+	}
+	for _, e := range edges {
+		out.AddTransition(e.from, e.sym, e.to)
+	}
+	return out
+}
+
+// Determinize returns an equivalent deterministic, complete automaton
+// via the subset construction (reachable subsets only). The exponential
+// blowup is inherent [MF71].
+func Determinize(a *NFA) *NFA {
+	type subset string
+	key := func(set []int) subset {
+		sort.Ints(set)
+		var b strings.Builder
+		for i, s := range set {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+		return subset(b.String())
+	}
+	dedupe := func(set []int) []int {
+		sort.Ints(set)
+		out := set[:0]
+		for i, s := range set {
+			if i == 0 || s != set[i-1] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	id := make(map[subset]int)
+	var sets [][]int
+	intern := func(set []int) int {
+		k := key(set)
+		if i, ok := id[k]; ok {
+			return i
+		}
+		id[k] = len(sets)
+		sets = append(sets, set)
+		return len(sets) - 1
+	}
+	start := intern(dedupe(append([]int(nil), a.start...)))
+	type edge struct{ from, sym, to int }
+	var edges []edge
+	for i := 0; i < len(sets); i++ {
+		cur := sets[i]
+		for sym := 0; sym < a.numSymbols; sym++ {
+			var next []int
+			for _, s := range cur {
+				next = append(next, a.Next(s, sym)...)
+			}
+			j := intern(dedupe(next))
+			edges = append(edges, edge{i, sym, j})
+		}
+	}
+	out := New(len(sets), a.numSymbols)
+	out.AddStart(start)
+	for i, set := range sets {
+		for _, s := range set {
+			if a.accept[s] {
+				out.SetAccept(i)
+				break
+			}
+		}
+	}
+	for _, e := range edges {
+		out.AddTransition(e.from, e.sym, e.to)
+	}
+	return out
+}
+
+// Complement returns an automaton accepting the complement of L(a)
+// (Proposition 4.1; exponential via determinization).
+func Complement(a *NFA) *NFA {
+	d := Determinize(a)
+	for s := 0; s < d.numStates; s++ {
+		d.accept[s] = !d.accept[s]
+	}
+	return d
+}
+
+// Contains reports whether L(a) ⊆ L(b); when it does not, a witness word
+// in L(a) \ L(b) is returned. The check runs a lazy product of a with
+// the subset construction of b, pruned to an antichain: for a fixed
+// a-state, only ⊆-minimal b-subsets are explored, since smaller subsets
+// dominate both for reaching a rejecting configuration and for every
+// future step (transitions are monotone in the subset).
+func Contains(a, b *NFA) (bool, []int) {
+	if a.numSymbols != b.numSymbols {
+		panic("wordauto: Contains over different alphabets")
+	}
+	type conf struct {
+		s      int   // state of a
+		set    []int // sorted subset of b's states
+		parent int
+		sym    int
+	}
+	accepts := func(set []int) bool {
+		for _, t := range set {
+			if b.accept[t] {
+				return true
+			}
+		}
+		return false
+	}
+	// frontier[s] holds the antichain of minimal subsets seen for a-state s.
+	antichain := make(map[int][][]int)
+	dominated := func(s int, set []int) bool {
+		for _, prev := range antichain[s] {
+			if subsetOf(prev, set) {
+				return true
+			}
+		}
+		return false
+	}
+	insert := func(s int, set []int) {
+		kept := make([][]int, 0, len(antichain[s])+1)
+		for _, prev := range antichain[s] {
+			if !subsetOf(set, prev) {
+				kept = append(kept, prev)
+			}
+		}
+		antichain[s] = append(kept, set)
+	}
+	var queue []conf
+	push := func(c conf) bool {
+		if dominated(c.s, c.set) {
+			return false
+		}
+		insert(c.s, c.set)
+		queue = append(queue, c)
+		return true
+	}
+	bStart := normSet(b.start)
+	for _, s := range a.start {
+		push(conf{s: s, set: bStart, parent: -1})
+	}
+	for i := 0; i < len(queue); i++ {
+		c := queue[i]
+		if a.accept[c.s] && !accepts(c.set) {
+			var rev []int
+			for j := i; queue[j].parent >= 0; j = queue[j].parent {
+				rev = append(rev, queue[j].sym)
+			}
+			word := make([]int, len(rev))
+			for k := range rev {
+				word[k] = rev[len(rev)-1-k]
+			}
+			return false, word
+		}
+		for _, sym := range a.SymbolsFrom(c.s) {
+			var next []int
+			for _, t := range c.set {
+				next = append(next, b.Next(t, sym)...)
+			}
+			nset := normSet(next)
+			for _, s2 := range a.Next(c.s, sym) {
+				push(conf{s: s2, set: nset, parent: i, sym: sym})
+			}
+		}
+	}
+	return true, nil
+}
+
+// Equivalent reports whether L(a) == L(b), with a witness word from the
+// symmetric difference when they differ.
+func Equivalent(a, b *NFA) (bool, []int) {
+	if ok, w := Contains(a, b); !ok {
+		return false, w
+	}
+	if ok, w := Contains(b, a); !ok {
+		return false, w
+	}
+	return true, nil
+}
+
+func normSet(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	dst := out[:0]
+	for i, x := range out {
+		if i == 0 || x != out[i-1] {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// subsetOf reports whether sorted slice a is a subset of sorted slice b.
+func subsetOf(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}

@@ -360,6 +360,43 @@ func BenchmarkE9_Eval(b *testing.B) {
 	}
 }
 
+// --- Storage engine: the interned-constant substrate on the canonical
+// transitive-closure workload. The seed's string-keyed store ran
+// chain60 semi-naive at ~1.46 ms/op with ~12,000 allocs/op; the slab
+// engine with persistent incremental indexes runs the same workload in
+// a fraction of that with two orders of magnitude fewer allocations
+// (current numbers are reported by -benchmem; custom metrics surface
+// the index-maintenance counters that prove rounds never rebuild).
+
+func BenchmarkEvalTransitiveClosure(b *testing.B) {
+	prog := gen.TransitiveClosure()
+	rng := rand.New(rand.NewSource(1))
+	workloads := []struct {
+		name string
+		db   *database.DB
+	}{
+		{"chain60", gen.ChainGraph(60)},
+		{"random40x120", gen.RandomGraph(rng, 40, 120)},
+	}
+	for _, w := range workloads {
+		b.Run(w.name, func(b *testing.B) {
+			var stats eval.Stats
+			for i := 0; i < b.N; i++ {
+				_, s, err := eval.Eval(prog, w.db, eval.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(float64(stats.Derived), "derived")
+			b.ReportMetric(float64(stats.IndexHits), "index-hits")
+			b.ReportMetric(float64(stats.IndexBuilds), "index-builds")
+			b.ReportMetric(float64(stats.IndexAppends), "index-appends")
+			b.ReportMetric(float64(stats.SlabBytes), "slab-bytes")
+		})
+	}
+}
+
 // --- E10: Theorem 6.5 end-to-end — equivalence with automata-size
 // accounting.
 

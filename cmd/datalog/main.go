@@ -95,10 +95,12 @@ func cmdEval(args []string) error {
 		return err
 	}
 	lines := make([]string, 0, rel.Len())
-	for _, t := range rel.Tuples() {
-		args := make([]ast.Term, len(t))
-		for i, c := range t {
-			args[i] = ast.C(c)
+	var row database.Row
+	for i := 0; i < rel.Len(); i++ {
+		row = rel.AppendRowAt(row[:0], i)
+		args := make([]ast.Term, len(row))
+		for j, id := range row {
+			args[j] = ast.C(database.Symbol(id))
 		}
 		lines = append(lines, ast.Atom{Pred: *goal, Args: args}.String()+".")
 	}

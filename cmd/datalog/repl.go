@@ -234,10 +234,12 @@ func (s *session) query(body string) string {
 		return "no answers"
 	}
 	var lines []string
-	for _, t := range rel.Tuples() {
+	var row database.Row
+	for r := 0; r < rel.Len(); r++ {
+		row = rel.AppendRowAt(row[:0], r)
 		parts := make([]string, len(vars))
 		for i, v := range vars {
-			parts[i] = fmt.Sprintf("%s = %s", v, t[i])
+			parts[i] = fmt.Sprintf("%s = %s", v, database.Symbol(row[i]))
 		}
 		lines = append(lines, "  "+strings.Join(parts, ", "))
 	}

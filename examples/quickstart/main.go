@@ -32,8 +32,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("p(X, Y) over the database:")
-	for _, t := range rel.Tuples() {
-		fmt.Printf("  p(%s, %s)\n", t[0], t[1])
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.RowAt(i)
+		fmt.Printf("  p(%s, %s)\n", database.Symbol(row[0]), database.Symbol(row[1]))
 	}
 
 	// Is the program contained in "paths of length at most 3"?

@@ -56,9 +56,13 @@ func CheckOnDB(p1 *ast.Program, p2 *ast.Program, goal string, db *database.DB) (
 	if err != nil {
 		return nil, false, err
 	}
-	for _, t := range r1.Tuples() {
-		if !r2.Contains(t) {
-			return t, true, nil
+	// Compare on interned rows; rows from different databases share the
+	// process-wide symbol table, so IDs are directly comparable.
+	var row database.Row
+	for i := 0; i < r1.Len(); i++ {
+		row = r1.AppendRowAt(row[:0], i)
+		if !r2.ContainsRow(row) {
+			return row.Tuple(), true, nil
 		}
 	}
 	return nil, false, nil

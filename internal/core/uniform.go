@@ -54,5 +54,5 @@ func ruleUniformlyDerivable(r ast.Rule, p2 *ast.Program) (bool, error) {
 // ensureConstant makes sure c appears in the database's active domain
 // by adding it to a throwaway unary relation.
 func ensureConstant(db *database.DB, c string) {
-	db.Relation("˂domain", 1).Add(database.Tuple{c})
+	db.Relation("˂domain", 1).AddRow(database.Row{database.Intern(c)})
 }

@@ -23,23 +23,26 @@ func FrozenConst(v string) string { return FreezePrefix + v }
 // contained in a program Π with goal Q iff evaluating Π on θ's canonical
 // database derives the frozen head tuple.
 func (q CQ) CanonicalDB() (*database.DB, database.Tuple) {
-	freeze := func(t ast.Term) string {
+	// Frozen constants are interned once per distinct term; the facts
+	// go straight into the store as rows of IDs.
+	freeze := func(t ast.Term) uint32 {
 		if t.Kind == ast.Const {
-			return t.Name
+			return database.Intern(t.Name)
 		}
-		return FrozenConst(t.Name)
+		return database.Intern(FrozenConst(t.Name))
 	}
 	db := database.New()
+	var row database.Row
 	for _, a := range q.Body {
-		tuple := make(database.Tuple, len(a.Args))
-		for i, t := range a.Args {
-			tuple[i] = freeze(t)
+		row = row[:0]
+		for _, t := range a.Args {
+			row = append(row, freeze(t))
 		}
-		db.Relation(a.Pred, len(a.Args)).Add(tuple)
+		db.Relation(a.Pred, len(a.Args)).AddRow(row)
 	}
 	head := make(database.Tuple, len(q.Head.Args))
 	for i, t := range q.Head.Args {
-		head[i] = freeze(t)
+		head[i] = database.Symbol(freeze(t))
 	}
 	return db, head
 }

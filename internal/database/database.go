@@ -1,6 +1,16 @@
 // Package database implements the extensional store a Datalog program is
 // evaluated over: named relations holding tuples of constants. It is the
 // "database D" of the paper's semantics Q_Π(D).
+//
+// Internally the store is an interned-constant engine: constants are
+// mapped once to dense uint32 IDs by a shared symbol table (interner.go),
+// tuples are rows of IDs living in flat columnar slabs per relation, and
+// dedup plus join indexes hash IDs rather than string keys. Indexes are
+// persistent and incrementally maintained: once a (relation, column-mask)
+// index exists, every inserted row is appended to its posting list, so
+// fixpoint evaluation never re-scans a relation to rebuild an index. The
+// string-facing API (Tuple, Add, Contains, Tuples) is a thin
+// compatibility surface over this engine.
 package database
 
 import (
@@ -56,23 +66,68 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
+// StorageStats aggregates the engine-level counters of a relation or
+// database: index usage and slab footprint.
+type StorageStats struct {
+	// IndexHits counts key lookups answered by a persistent index.
+	IndexHits uint64
+	// IndexBuilds counts full-scan index constructions. Once built an
+	// index is maintained incrementally, so this stays bounded by the
+	// number of distinct (relation, column-mask) pairs ever queried.
+	IndexBuilds uint64
+	// IndexAppends counts incremental posting-list insertions: one per
+	// (new row, live index on its relation).
+	IndexAppends uint64
+	// SlabBytes is the capacity of the columnar slabs in bytes.
+	SlabBytes int64
+	// Rows is the total number of stored rows.
+	Rows int
+}
+
+func (s *StorageStats) add(t StorageStats) {
+	s.IndexHits += t.IndexHits
+	s.IndexBuilds += t.IndexBuilds
+	s.IndexAppends += t.IndexAppends
+	s.SlabBytes += t.SlabBytes
+	s.Rows += t.Rows
+}
+
 // Relation is a set of same-arity tuples with insertion order preserved.
+// Tuples live as rows of interned IDs in per-column slabs; row IDs are
+// dense insertion indices, which delta-window evaluation relies on.
 type Relation struct {
-	arity  int
-	tuples []Tuple
-	index  map[string]bool
+	arity int
+	n     int
+	cols  [][]uint32
+	set   rowSet
+	// indexes maps a column bitmask to its persistent index.
+	indexes map[uint64]*relIndex
+	// strs lazily materializes rows for the string-facing Tuples().
+	strs    []Tuple
+	scratch Row
+	stats   StorageStats
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{arity: arity, index: make(map[string]bool)}
+	return &Relation{arity: arity, cols: make([][]uint32, arity)}
 }
 
 // Arity returns the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.n }
+
+// rowEqual compares slab row i to a probe row of the same arity.
+func (r *Relation) rowEqual(i int, row Row) bool {
+	for c := range r.cols {
+		if r.cols[c][i] != row[c] {
+			return false
+		}
+	}
+	return true
+}
 
 // Add inserts a tuple, reporting whether it was new. It panics if the
 // tuple has the wrong arity, which always indicates a programming error
@@ -81,46 +136,170 @@ func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("database: tuple %v has arity %d, relation has arity %d", t, len(t), r.arity))
 	}
-	k := t.Key()
-	if r.index[k] {
+	r.scratch = AppendInterned(r.scratch[:0], t)
+	return r.AddRow(r.scratch)
+}
+
+// AddRow inserts a row of interned IDs, reporting whether it was new.
+// The row's values are copied into the relation's slabs, so the caller
+// retains ownership of row and may reuse it. Every live index on the
+// relation is maintained incrementally. It panics on an arity mismatch.
+func (r *Relation) AddRow(row Row) bool {
+	if len(row) != r.arity {
+		panic(fmt.Sprintf("database: row %v has arity %d, relation has arity %d", row, len(row), r.arity))
+	}
+	h := hashRow(row)
+	if r.set.lookup(r, row, h) >= 0 {
 		return false
 	}
-	r.index[k] = true
-	r.tuples = append(r.tuples, t.Clone())
+	id := int32(r.n)
+	for c := range r.cols {
+		r.cols[c] = append(r.cols[c], row[c])
+	}
+	r.n++
+	r.set.insert(id, h)
+	for _, idx := range r.indexes {
+		r.scratch = idx.add(r, id, r.scratch)
+		r.stats.IndexAppends++
+	}
 	return true
 }
 
-// Contains reports whether the relation holds t.
+// Contains reports whether the relation holds t. It never interns: a
+// constant the engine has not seen cannot be in any relation.
 func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	return r.index[t.Key()]
+	row := r.scratch[:0]
+	for _, c := range t {
+		id, ok := LookupID(c)
+		if !ok {
+			return false
+		}
+		row = append(row, id)
+	}
+	r.scratch = row
+	return r.set.lookup(r, row, hashRow(row)) >= 0
 }
 
-// Tuples returns the tuples in insertion order. The returned slice is
-// shared; callers must not modify it.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// ContainsRow reports whether the relation holds the row.
+func (r *Relation) ContainsRow(row Row) bool {
+	if len(row) != r.arity {
+		return false
+	}
+	return r.set.lookup(r, row, hashRow(row)) >= 0
+}
 
-// Clone returns a deep copy of the relation.
+// RowAt returns row i as a fresh Row.
+func (r *Relation) RowAt(i int) Row {
+	return r.AppendRowAt(nil, i)
+}
+
+// AppendRowAt appends row i's IDs to dst and returns it; use with
+// dst[:0] to iterate rows without allocating.
+func (r *Relation) AppendRowAt(dst Row, i int) Row {
+	for c := range r.cols {
+		dst = append(dst, r.cols[c][i])
+	}
+	return dst
+}
+
+// At returns the ID at row i, column c.
+func (r *Relation) At(i, c int) uint32 { return r.cols[c][i] }
+
+// Column returns column c's slab. The slice is shared; callers must not
+// modify it.
+func (r *Relation) Column(c int) []uint32 { return r.cols[c] }
+
+// Tuples returns the tuples in insertion order, materialized as strings.
+// The returned slice is shared and extended lazily as rows are added;
+// callers must not modify it.
+func (r *Relation) Tuples() []Tuple {
+	for i := len(r.strs); i < r.n; i++ {
+		r.strs = append(r.strs, r.RowAt(i).Tuple())
+	}
+	return r.strs
+}
+
+// Match returns the IDs of rows in [lo, hi) whose values at the columns
+// of mask (bit c set = column c) equal key, in ascending row order. It
+// is served by the relation's persistent index for mask, building it on
+// first use; mask must be nonzero and the arity at most 64. The
+// returned slice aliases the index; callers must not modify it.
+func (r *Relation) Match(mask uint64, key Row, lo, hi int) []int32 {
+	idx := r.indexFor(mask)
+	r.stats.IndexHits++
+	rows := idx.lookup(r, key, hashRow(key))
+	return window(rows, lo, hi)
+}
+
+// indexFor returns the persistent index on mask, building it by a
+// single full scan on first use.
+func (r *Relation) indexFor(mask uint64) *relIndex {
+	if idx, ok := r.indexes[mask]; ok {
+		return idx
+	}
+	cols := make([]int, 0, r.arity)
+	for c := 0; c < r.arity; c++ {
+		if mask&(1<<uint(c)) != 0 {
+			cols = append(cols, c)
+		}
+	}
+	idx := &relIndex{cols: cols}
+	for i := 0; i < r.n; i++ {
+		r.scratch = idx.add(r, int32(i), r.scratch)
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[uint64]*relIndex)
+	}
+	r.indexes[mask] = idx
+	r.stats.IndexBuilds++
+	return idx
+}
+
+// Stats returns the relation's engine counters.
+func (r *Relation) Stats() StorageStats {
+	s := r.stats
+	for _, col := range r.cols {
+		s.SlabBytes += 4 * int64(cap(col))
+	}
+	s.Rows = r.n
+	return s
+}
+
+// Clone returns a deep copy of the relation. Indexes are not copied;
+// they rebuild lazily on first use in the clone.
 func (r *Relation) Clone() *Relation {
 	out := NewRelation(r.arity)
-	for _, t := range r.tuples {
-		out.Add(t)
+	out.n = r.n
+	for c := range r.cols {
+		out.cols[c] = append([]uint32(nil), r.cols[c]...)
 	}
+	out.set = rowSet{
+		table:  append([]int32(nil), r.set.table...),
+		hashes: append([]uint64(nil), r.set.hashes...),
+		n:      r.set.n,
+	}
+	// Share the immutable materialized prefix; the capacity cap forces
+	// copy-on-append so clones never write into each other.
+	out.strs = r.strs[:len(r.strs):len(r.strs)]
 	return out
 }
 
 // Equal reports whether two relations hold exactly the same tuples.
 func (r *Relation) Equal(s *Relation) bool {
-	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
+	if r.arity != s.arity || r.n != s.n {
 		return false
 	}
-	for _, t := range r.tuples {
-		if !s.Contains(t) {
+	row := r.scratch[:0]
+	for i := 0; i < r.n; i++ {
+		row = r.AppendRowAt(row[:0], i)
+		if !s.ContainsRow(row) {
 			return false
 		}
 	}
+	r.scratch = row
 	return true
 }
 
@@ -158,17 +337,25 @@ func (d *DB) Add(pred string, t Tuple) bool {
 	return d.Relation(pred, len(t)).Add(t)
 }
 
+// AddRow inserts the fact pred(row...) and reports whether it was new.
+// The caller retains ownership of row.
+func (d *DB) AddRow(pred string, row Row) bool {
+	return d.Relation(pred, len(row)).AddRow(row)
+}
+
 // AddAtom inserts a ground atom as a fact. It returns an error if the
 // atom is not ground.
 func (d *DB) AddAtom(a ast.Atom) error {
-	t := make(Tuple, len(a.Args))
-	for i, arg := range a.Args {
+	r := d.Relation(a.Pred, len(a.Args))
+	row := r.scratch[:0]
+	for _, arg := range a.Args {
 		if arg.Kind != ast.Const {
 			return fmt.Errorf("database: atom %s is not ground", a)
 		}
-		t[i] = arg.Name
+		row = append(row, Intern(arg.Name))
 	}
-	d.Add(a.Pred, t)
+	r.scratch = row
+	r.AddRow(row)
 	return nil
 }
 
@@ -195,6 +382,15 @@ func (d *DB) FactCount() int {
 		n += r.Len()
 	}
 	return n
+}
+
+// StorageStats aggregates engine counters across all relations.
+func (d *DB) StorageStats() StorageStats {
+	var s StorageStats
+	for _, r := range d.relations {
+		s.add(r.Stats())
+	}
+	return s
 }
 
 // Clone returns a deep copy of the database.
@@ -230,20 +426,31 @@ func (d *DB) Equal(e *DB) bool {
 	return true
 }
 
-// ActiveDomain returns the set of constants appearing anywhere in the
-// database, sorted.
-func (d *DB) ActiveDomain() []string {
-	seen := make(map[string]bool)
+// DomainIDs returns the set of interned IDs appearing anywhere in the
+// database, in unspecified order.
+func (d *DB) DomainIDs() []uint32 {
+	seen := make(map[uint32]bool)
+	var out []uint32
 	for _, r := range d.relations {
-		for _, t := range r.tuples {
-			for _, c := range t {
-				seen[c] = true
+		for _, col := range r.cols {
+			for _, id := range col {
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
 			}
 		}
 	}
-	out := make([]string, 0, len(seen))
-	for c := range seen {
-		out = append(out, c)
+	return out
+}
+
+// ActiveDomain returns the set of constants appearing anywhere in the
+// database, sorted.
+func (d *DB) ActiveDomain() []string {
+	ids := d.DomainIDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = Symbol(id)
 	}
 	sort.Strings(out)
 	return out
@@ -253,7 +460,7 @@ func (d *DB) ActiveDomain() []string {
 func (d *DB) String() string {
 	var lines []string
 	for p, r := range d.relations {
-		for _, t := range r.tuples {
+		for _, t := range r.Tuples() {
 			args := make([]ast.Term, len(t))
 			for i, c := range t {
 				args[i] = ast.C(c)

@@ -1,0 +1,174 @@
+package database
+
+import "sort"
+
+// This file holds the two hash structures that keep the storage engine
+// free of per-tuple string keys: rowSet, the dedup set over a
+// relation's slab, and relIndex, a persistent hash index of a relation
+// on a column subset. Both are open-addressing tables that store row
+// IDs and compare probe rows against the slab directly, so neither
+// insertion nor lookup materializes a key object.
+
+// rowSet is the relation's dedup set: a linear-probe table of row IDs
+// with per-row hashes kept for cheap resize.
+type rowSet struct {
+	table  []int32 // rowID + 1; 0 = empty
+	hashes []uint64
+	n      int
+}
+
+// lookup returns the row ID holding r, or -1.
+func (s *rowSet) lookup(rel *Relation, r Row, h uint64) int32 {
+	if len(s.table) == 0 {
+		return -1
+	}
+	mask := uint64(len(s.table) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		slot := s.table[i]
+		if slot == 0 {
+			return -1
+		}
+		id := slot - 1
+		if s.hashes[id] == h && rel.rowEqual(int(id), r) {
+			return id
+		}
+	}
+}
+
+// insert records that row ID id (already appended to the slab) hashes
+// to h. The caller has checked the row is absent.
+func (s *rowSet) insert(id int32, h uint64) {
+	if 4*(s.n+1) > 3*len(s.table) {
+		s.grow()
+	}
+	s.hashes = append(s.hashes, h)
+	s.place(id, h)
+	s.n++
+}
+
+func (s *rowSet) place(id int32, h uint64) {
+	mask := uint64(len(s.table) - 1)
+	i := h & mask
+	for s.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.table[i] = id + 1
+}
+
+func (s *rowSet) grow() {
+	size := 2 * len(s.table)
+	if size < 16 {
+		size = 16
+	}
+	s.table = make([]int32, size)
+	for id := 0; id < s.n; id++ {
+		s.place(int32(id), s.hashes[id])
+	}
+}
+
+// relIndex is a persistent hash index of a relation on the column set
+// cols: projection key → ascending row IDs. It is built once by a full
+// scan and thereafter maintained incrementally — every AddRow appends
+// the new row ID to its posting list, so fixpoint rounds never rebuild.
+type relIndex struct {
+	cols    []int
+	table   []int32 // entry index + 1; 0 = empty
+	entries []idxEntry
+}
+
+type idxEntry struct {
+	hash uint64
+	rows []int32
+}
+
+// project appends the row's values at idx.cols to dst.
+func (idx *relIndex) project(rel *Relation, row int, dst Row) Row {
+	for _, c := range idx.cols {
+		dst = append(dst, rel.cols[c][row])
+	}
+	return dst
+}
+
+// lookup returns the posting list for key, or nil.
+func (idx *relIndex) lookup(rel *Relation, key Row, h uint64) []int32 {
+	if len(idx.table) == 0 {
+		return nil
+	}
+	mask := uint64(len(idx.table) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		slot := idx.table[i]
+		if slot == 0 {
+			return nil
+		}
+		e := &idx.entries[slot-1]
+		if e.hash == h && idx.keyEqual(rel, int(e.rows[0]), key) {
+			return e.rows
+		}
+	}
+}
+
+// keyEqual compares key to the projection of the given slab row.
+func (idx *relIndex) keyEqual(rel *Relation, row int, key Row) bool {
+	for j, c := range idx.cols {
+		if rel.cols[c][row] != key[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// add appends row ID id to the posting list for its projection key.
+func (idx *relIndex) add(rel *Relation, id int32, scratch Row) Row {
+	key := idx.project(rel, int(id), scratch[:0])
+	h := hashRow(key)
+	if len(idx.table) > 0 {
+		mask := uint64(len(idx.table) - 1)
+		for i := h & mask; ; i = (i + 1) & mask {
+			slot := idx.table[i]
+			if slot == 0 {
+				break
+			}
+			e := &idx.entries[slot-1]
+			if e.hash == h && idx.keyEqual(rel, int(e.rows[0]), key) {
+				e.rows = append(e.rows, id)
+				return key
+			}
+		}
+	}
+	if 4*(len(idx.entries)+1) > 3*len(idx.table) {
+		idx.grow()
+	}
+	idx.entries = append(idx.entries, idxEntry{hash: h, rows: []int32{id}})
+	idx.place(int32(len(idx.entries)-1), h)
+	return key
+}
+
+func (idx *relIndex) place(entry int32, h uint64) {
+	mask := uint64(len(idx.table) - 1)
+	i := h & mask
+	for idx.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	idx.table[i] = entry + 1
+}
+
+func (idx *relIndex) grow() {
+	size := 2 * len(idx.table)
+	if size < 16 {
+		size = 16
+	}
+	idx.table = make([]int32, size)
+	for e := range idx.entries {
+		idx.place(int32(e), idx.entries[e].hash)
+	}
+}
+
+// window narrows an ascending posting list to row IDs in [lo, hi).
+func window(rows []int32, lo, hi int) []int32 {
+	if lo <= 0 && (len(rows) == 0 || int(rows[len(rows)-1]) < hi) {
+		return rows
+	}
+	a := sort.Search(len(rows), func(i int) bool { return int(rows[i]) >= lo })
+	b := sort.Search(len(rows), func(i int) bool { return int(rows[i]) >= hi })
+	return rows[a:b]
+}

@@ -1,0 +1,84 @@
+package database
+
+import "sync"
+
+// Interner maps constant strings to dense uint32 IDs and back. IDs are
+// assigned in interning order starting at 0, are never recycled, and
+// remain valid for the lifetime of the interner. The zero value is not
+// usable; construct with NewInterner.
+//
+// All storage in this package (Row, Relation slabs, indexes) speaks IDs
+// from the process-wide shared interner, so rows from different
+// databases compare directly by ID. An Interner is safe for concurrent
+// use.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	syms []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint32)}
+}
+
+// Intern returns the ID for s, assigning the next dense ID on first
+// sight.
+func (in *Interner) Intern(s string) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id = uint32(len(in.syms))
+	in.ids[s] = id
+	in.syms = append(in.syms, s)
+	return id
+}
+
+// ID returns the ID for s if it has been interned.
+func (in *Interner) ID(s string) (uint32, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// Value returns the string for an interned ID. It panics on an ID that
+// was never assigned, which always indicates corrupted row data.
+func (in *Interner) Value(id uint32) string {
+	in.mu.RLock()
+	s := in.syms[id]
+	in.mu.RUnlock()
+	return s
+}
+
+// Len returns the number of interned constants.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	n := len(in.syms)
+	in.mu.RUnlock()
+	return n
+}
+
+// shared is the process-wide symbol table every DB speaks.
+var shared = NewInterner()
+
+// Intern interns s in the shared symbol table.
+func Intern(s string) uint32 { return shared.Intern(s) }
+
+// LookupID returns the shared-table ID for s if s has ever been
+// interned. A miss means s cannot occur in any relation.
+func LookupID(s string) (uint32, bool) { return shared.ID(s) }
+
+// Symbol returns the constant string for a shared-table ID.
+func Symbol(id uint32) string { return shared.Value(id) }
+
+// InternedCount returns the size of the shared symbol table.
+func InternedCount() int { return shared.Len() }

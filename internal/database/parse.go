@@ -3,6 +3,7 @@ package database
 import (
 	"fmt"
 
+	"datalogeq/internal/ast"
 	"datalogeq/internal/parser"
 )
 
@@ -19,13 +20,19 @@ func Parse(src string) (*DB, error) {
 		return nil, err
 	}
 	db := New()
+	var row Row
 	for _, r := range prog.Rules {
 		if len(r.Body) > 0 {
 			return nil, fmt.Errorf("database: %s is a rule, not a fact", r)
 		}
-		if err := db.AddAtom(r.Head); err != nil {
-			return nil, err
+		row = row[:0]
+		for _, arg := range r.Head.Args {
+			if arg.Kind != ast.Const {
+				return nil, fmt.Errorf("database: atom %s is not ground", r.Head)
+			}
+			row = append(row, Intern(arg.Name))
 		}
+		db.Relation(r.Head.Pred, len(r.Head.Args)).AddRow(row)
 	}
 	return db, nil
 }

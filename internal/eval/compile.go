@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+)
+
+// Rule compilation: before evaluation every rule is lowered to a form
+// that runs entirely on interned IDs. Variables become dense slots in a
+// per-rule environment array, constants are interned once, and — since
+// the join order is the fixed left-to-right body order — whether a
+// variable occurrence is pre-bound, a fresh binding, or a repeat within
+// its atom is decided statically here rather than per tuple.
+
+// argOp classifies a compiled argument position.
+type argOp uint8
+
+const (
+	// opConst: the position must equal an interned constant.
+	opConst argOp = iota
+	// opBound: the position must equal the value of an env slot bound
+	// by an earlier body atom.
+	opBound
+	// opBind: first occurrence of a variable; matching binds its slot
+	// from the row. In a compiled head, slot is instead the index of
+	// the unbound-variable group the position belongs to.
+	opBind
+	// opCheck: a repeated fresh variable within the same atom; the
+	// position must equal the atom's earlier position pos.
+	opCheck
+)
+
+// carg is one compiled argument position.
+type carg struct {
+	op   argOp
+	id   uint32 // opConst: interned constant
+	slot int    // opBound/opBind: env slot (head opBind: group index)
+	pos  int    // opCheck: earlier position bound by the same variable
+}
+
+// catom is a compiled body atom.
+type catom struct {
+	pred  string
+	arity int
+	// mask has bit i set iff position i is statically constrained
+	// (constant or pre-bound variable); it keys the relation's
+	// persistent index. Wide atoms (arity > 64) cannot be masked and
+	// fall back to a linear scan.
+	mask uint64
+	wide bool
+	args []carg
+	// checks caches the opCheck constraints and binds the opBind
+	// positions, so the matcher never rescans args.
+	checks []checkStep
+	binds  []bindStep
+	idb    bool
+}
+
+type bindStep struct {
+	pos  int
+	slot int
+}
+
+type checkStep struct {
+	pos, firstPos int
+}
+
+// chead is a compiled rule head.
+type chead struct {
+	pred string
+	args []carg
+	// unboundGroups lists, per distinct head variable not bound by the
+	// body, the head positions it occupies. Such variables range over
+	// the active domain (Example 6.2 semantics).
+	unboundGroups [][]int
+}
+
+// crule is a compiled rule.
+type crule struct {
+	src   ast.Rule
+	nvars int
+	body  []catom
+	head  chead
+	// idbBody lists body positions with intensional predicates — the
+	// delta positions of semi-naive evaluation.
+	idbBody []int
+}
+
+// compileRules lowers every rule of prog and returns the compiled rules
+// plus the largest environment size needed.
+func compileRules(prog *ast.Program) ([]crule, int) {
+	idb := prog.IDBPreds()
+	rules := make([]crule, len(prog.Rules))
+	maxVars := 0
+	for i, r := range prog.Rules {
+		rules[i] = compileRule(r, idb)
+		if rules[i].nvars > maxVars {
+			maxVars = rules[i].nvars
+		}
+	}
+	return rules, maxVars
+}
+
+func compileRule(r ast.Rule, idb map[ast.PredSym]bool) crule {
+	cr := crule{src: r}
+	slots := make(map[string]int)
+	bound := make(map[string]bool)
+	for bi, a := range r.Body {
+		ca := catom{
+			pred:  a.Pred,
+			arity: len(a.Args),
+			wide:  len(a.Args) > 64,
+			idb:   idb[a.Sym()],
+		}
+		firstPos := make(map[string]int)
+		for i, t := range a.Args {
+			switch t.Kind {
+			case ast.Const:
+				ca.args = append(ca.args, carg{op: opConst, id: database.Intern(t.Name)})
+				if !ca.wide {
+					ca.mask |= 1 << uint(i)
+				}
+			case ast.Var:
+				if bound[t.Name] {
+					ca.args = append(ca.args, carg{op: opBound, slot: slots[t.Name]})
+					if !ca.wide {
+						ca.mask |= 1 << uint(i)
+					}
+					continue
+				}
+				if p, ok := firstPos[t.Name]; ok {
+					ca.args = append(ca.args, carg{op: opCheck, pos: p})
+					continue
+				}
+				firstPos[t.Name] = i
+				s, ok := slots[t.Name]
+				if !ok {
+					s = len(slots)
+					slots[t.Name] = s
+				}
+				ca.args = append(ca.args, carg{op: opBind, slot: s})
+			}
+		}
+		for i, arg := range ca.args {
+			switch arg.op {
+			case opCheck:
+				ca.checks = append(ca.checks, checkStep{pos: i, firstPos: arg.pos})
+			case opBind:
+				ca.binds = append(ca.binds, bindStep{pos: i, slot: arg.slot})
+			}
+		}
+		for v := range firstPos {
+			bound[v] = true
+		}
+		if ca.idb {
+			cr.idbBody = append(cr.idbBody, bi)
+		}
+		cr.body = append(cr.body, ca)
+	}
+
+	ch := chead{pred: r.Head.Pred}
+	groups := make(map[string]int)
+	for i, t := range r.Head.Args {
+		switch t.Kind {
+		case ast.Const:
+			ch.args = append(ch.args, carg{op: opConst, id: database.Intern(t.Name)})
+		case ast.Var:
+			if bound[t.Name] {
+				ch.args = append(ch.args, carg{op: opBound, slot: slots[t.Name]})
+				continue
+			}
+			g, ok := groups[t.Name]
+			if !ok {
+				g = len(ch.unboundGroups)
+				groups[t.Name] = g
+				ch.unboundGroups = append(ch.unboundGroups, nil)
+			}
+			ch.unboundGroups[g] = append(ch.unboundGroups[g], i)
+			ch.args = append(ch.args, carg{op: opBind, slot: g})
+		}
+	}
+	cr.head = ch
+	cr.nvars = len(slots)
+	return cr
+}

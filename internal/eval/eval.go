@@ -6,6 +6,12 @@
 // (Example 6.2 of the paper uses "dist0(x, x) :- .") are evaluated with
 // active-domain semantics: unbound head variables range over the set of
 // constants occurring in the database or the program.
+//
+// The hot path runs entirely on the storage engine's interned IDs:
+// rules are compiled to slot form (compile.go), join indexes live on the
+// relations and are maintained incrementally as facts are derived, and
+// semi-naive deltas are windows of row IDs into each relation's slab
+// rather than copied tuple slices.
 package eval
 
 import (
@@ -24,6 +30,23 @@ type Stats struct {
 	// Firings is the number of rule-body matches that produced a
 	// (possibly duplicate) head fact.
 	Firings int
+
+	// Storage-engine breakdown for this evaluation.
+
+	// IndexHits counts join lookups answered by a persistent index.
+	IndexHits uint64
+	// IndexBuilds counts full-scan index constructions; bounded by the
+	// number of distinct (predicate, column-mask) pairs in the program,
+	// independent of rounds or data size.
+	IndexBuilds uint64
+	// IndexAppends counts incremental index maintenance operations:
+	// one per (inserted row, live index on its relation).
+	IndexAppends uint64
+	// SlabBytes is the columnar-slab footprint of the result database.
+	SlabBytes int64
+	// InternedConstants is the size of the shared symbol table after
+	// evaluation.
+	InternedConstants int
 }
 
 // Options configure evaluation.
@@ -33,9 +56,15 @@ type Options struct {
 	Naive bool
 	// MaxFacts aborts evaluation once more than this many IDB facts
 	// have been derived; 0 means unlimited. Datalog evaluation always
-	// terminates, but a bound is useful in adversarial benchmarks.
+	// terminates, but a bound is useful in adversarial benchmarks. The
+	// bound is enforced on every insertion, so evaluation stops
+	// promptly mid-round rather than overshooting until the round ends.
 	MaxFacts int
 }
+
+// window is a half-open range [lo, hi) of row IDs in a relation's slab:
+// the facts a predicate gained during one fixpoint round.
+type window struct{ lo, hi int }
 
 // Eval computes the least fixpoint of prog over edb and returns a new
 // database containing all EDB facts plus every derived IDB fact. The
@@ -44,14 +73,22 @@ func Eval(prog *ast.Program, edb *database.DB, opts Options) (*database.DB, Stat
 	if err := prog.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
+	rules, maxVars := compileRules(prog)
 	e := &evaluator{
 		prog:  prog,
+		rules: rules,
 		total: edb.Clone(),
-		idb:   prog.IDBPreds(),
 		opts:  opts,
+		env:   make([]uint32, maxVars),
 	}
-	e.domain = activeDomain(prog, edb)
+	e.domain = activeDomainIDs(prog, edb)
 	stats, err := e.run()
+	st := e.total.StorageStats()
+	stats.IndexHits = st.IndexHits
+	stats.IndexBuilds = st.IndexBuilds
+	stats.IndexAppends = st.IndexAppends
+	stats.SlabBytes = st.SlabBytes
+	stats.InternedConstants = database.InternedCount()
 	return e.total, stats, err
 }
 
@@ -72,17 +109,27 @@ func Goal(prog *ast.Program, edb *database.DB, goal string, opts Options) (*data
 	return database.NewRelation(arity), stats, nil
 }
 
-func activeDomain(prog *ast.Program, edb *database.DB) []string {
-	seen := make(map[string]bool)
-	out := edb.ActiveDomain()
-	for _, c := range out {
-		seen[c] = true
+// activeDomainIDs interns the active domain of the evaluation: the
+// database's constants (in sorted order, for deterministic enumeration)
+// followed by the program's constants in order of appearance.
+func activeDomainIDs(prog *ast.Program, edb *database.DB) []uint32 {
+	seen := make(map[uint32]bool)
+	var out []uint32
+	for _, c := range edb.ActiveDomain() {
+		id := database.Intern(c)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
 	}
 	addAtom := func(a ast.Atom) {
 		for _, t := range a.Args {
-			if t.Kind == ast.Const && !seen[t.Name] {
-				seen[t.Name] = true
-				out = append(out, t.Name)
+			if t.Kind == ast.Const {
+				id := database.Intern(t.Name)
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
 			}
 		}
 	}
@@ -97,164 +144,144 @@ func activeDomain(prog *ast.Program, edb *database.DB) []string {
 
 type evaluator struct {
 	prog   *ast.Program
+	rules  []crule
 	total  *database.DB
-	idb    map[ast.PredSym]bool
-	domain []string
+	domain []uint32
 	opts   Options
 
-	// delta holds the facts derived in the previous round, per
-	// predicate name (semi-naive only).
-	delta map[string][]database.Tuple
+	// env is the per-rule slot environment; rules never run
+	// concurrently, so one array sized for the widest rule suffices.
+	env []uint32
+	// key and headRow are reusable scratch rows.
+	key     database.Row
+	headRow database.Row
 
-	// indexes caches join indexes per round; see matcher.
-	indexes map[indexKey]index
+	// limitErr is set by addFact when MaxFacts is exceeded; the join
+	// unwinds promptly once it is non-nil.
+	limitErr error
 
 	stats Stats
 }
 
 func (e *evaluator) run() (Stats, error) {
+	marks := make(map[string]int)
+	e.snapshot(marks)
 	// Round 0: evaluate every rule against the initial store.
-	first := e.applyAllRules(nil)
-	e.delta = first
+	e.applyAll(nil)
 	e.stats.Iterations = 1
-	for len(e.delta) > 0 {
-		if e.opts.MaxFacts > 0 && e.stats.Derived > e.opts.MaxFacts {
-			return e.stats, fmt.Errorf("eval: derived more than %d facts", e.opts.MaxFacts)
-		}
-		var next map[string][]database.Tuple
+	if e.limitErr != nil {
+		return e.stats, e.limitErr
+	}
+	delta := e.advance(marks)
+	for len(delta) > 0 {
 		if e.opts.Naive {
-			next = e.applyAllRules(nil)
+			e.applyAll(nil)
 		} else {
-			next = e.applyAllRules(e.delta)
+			e.applyAll(delta)
 		}
-		e.delta = next
 		e.stats.Iterations++
+		if e.limitErr != nil {
+			return e.stats, e.limitErr
+		}
+		delta = e.advance(marks)
 	}
 	return e.stats, nil
 }
 
-// applyAllRules evaluates every rule once. With delta == nil every rule
-// is evaluated against the full store. With a non-nil delta, rules whose
-// bodies contain IDB atoms are evaluated once per IDB position, with that
-// position restricted to the delta of its predicate (standard semi-naive
-// rewriting); rules without IDB subgoals are skipped, since they can
-// derive nothing new after round 0.
-func (e *evaluator) applyAllRules(delta map[string][]database.Tuple) map[string][]database.Tuple {
-	e.indexes = make(map[indexKey]index)
-	derived := make(map[string][]database.Tuple)
-	for _, rule := range e.prog.Rules {
-		if delta == nil {
-			e.applyRule(rule, -1, nil, derived)
-			continue
-		}
-		for i, a := range rule.Body {
-			if !e.idb[a.Sym()] {
-				continue
-			}
-			d := delta[a.Pred]
-			if len(d) == 0 {
-				continue
-			}
-			e.applyRule(rule, i, d, derived)
-		}
-	}
-	return derived
-}
-
-// applyRule joins the body of rule and adds resulting head facts to the
-// store, recording genuinely new facts in derived. If deltaPos >= 0, the
-// body atom at that position matches only deltaTuples.
-func (e *evaluator) applyRule(rule ast.Rule, deltaPos int, deltaTuples []database.Tuple, derived map[string][]database.Tuple) {
-	env := make(map[string]string)
-	e.joinFrom(rule, 0, deltaPos, deltaTuples, env, derived)
-}
-
-func (e *evaluator) joinFrom(rule ast.Rule, pos, deltaPos int, deltaTuples []database.Tuple, env map[string]string, derived map[string][]database.Tuple) {
-	if pos == len(rule.Body) {
-		e.emitHead(rule, env, derived)
-		return
-	}
-	atom := rule.Body[pos]
-	var tuples []database.Tuple
-	if pos == deltaPos {
-		tuples = e.matchDelta(atom, deltaTuples, env)
-	} else {
-		tuples = e.matchTotal(atom, env)
-	}
-	for _, t := range tuples {
-		bound := bindAtom(atom, t, env)
-		e.joinFrom(rule, pos+1, deltaPos, deltaTuples, env, derived)
-		for _, v := range bound {
-			delete(env, v)
-		}
+// snapshot records the current length of every relation.
+func (e *evaluator) snapshot(marks map[string]int) {
+	for _, p := range e.total.Preds() {
+		marks[p] = e.total.Lookup(p).Len()
 	}
 }
 
-// bindAtom extends env with the bindings needed to match atom against
-// tuple t (which is assumed to match all already-bound positions) and
-// returns the variables newly bound.
-func bindAtom(atom ast.Atom, t database.Tuple, env map[string]string) []string {
-	var bound []string
-	for i, arg := range atom.Args {
-		if arg.Kind == ast.Var {
-			if _, ok := env[arg.Name]; !ok {
-				env[arg.Name] = t[i]
-				bound = append(bound, arg.Name)
-			}
+// advance returns the windows of rows appended since marks and moves
+// marks to the current lengths. Relations created since the last
+// snapshot have an implicit mark of 0.
+func (e *evaluator) advance(marks map[string]int) map[string]window {
+	delta := make(map[string]window)
+	for _, p := range e.total.Preds() {
+		n := e.total.Lookup(p).Len()
+		if m := marks[p]; n > m {
+			delta[p] = window{m, n}
 		}
+		marks[p] = n
 	}
-	return bound
+	return delta
 }
 
-// emitHead instantiates the head under env; unbound head variables range
-// over the active domain.
-func (e *evaluator) emitHead(rule ast.Rule, env map[string]string, derived map[string][]database.Tuple) {
-	head := rule.Head
-	tuple := make(database.Tuple, len(head.Args))
-	var unboundPos []int
-	unboundVars := make(map[string][]int)
-	for i, arg := range head.Args {
-		if arg.Kind == ast.Const {
-			tuple[i] = arg.Name
-			continue
-		}
-		if c, ok := env[arg.Name]; ok {
-			tuple[i] = c
-			continue
-		}
-		unboundPos = append(unboundPos, i)
-		unboundVars[arg.Name] = append(unboundVars[arg.Name], i)
-	}
-	if len(unboundPos) == 0 {
-		e.addFact(head.Pred, tuple, derived)
-		return
-	}
-	// Active-domain semantics for unsafe heads: enumerate assignments
-	// to the distinct unbound variables.
-	vars := make([]string, 0, len(unboundVars))
-	for v := range unboundVars {
-		vars = append(vars, v)
-	}
-	var assign func(i int)
-	assign = func(i int) {
-		if i == len(vars) {
-			e.addFact(head.Pred, tuple.Clone(), derived)
+// applyAll evaluates every rule once. With delta == nil every rule is
+// evaluated against the full store. With a non-nil delta, rules whose
+// bodies contain IDB atoms are evaluated once per IDB position, with
+// that position restricted to the delta window of its predicate
+// (standard semi-naive rewriting); rules without IDB subgoals are
+// skipped, since they can derive nothing new after round 0.
+func (e *evaluator) applyAll(delta map[string]window) {
+	for ri := range e.rules {
+		rule := &e.rules[ri]
+		if e.limitErr != nil {
 			return
 		}
-		for _, c := range e.domain {
-			for _, pos := range unboundVars[vars[i]] {
-				tuple[pos] = c
+		if delta == nil {
+			e.joinFrom(rule, 0, -1, window{})
+			continue
+		}
+		for _, bi := range rule.idbBody {
+			w, ok := delta[rule.body[bi].pred]
+			if !ok {
+				continue
 			}
-			assign(i + 1)
+			e.joinFrom(rule, 0, bi, w)
+		}
+	}
+}
+
+func (e *evaluator) addFact(pred string, row database.Row) {
+	e.stats.Firings++
+	if e.total.AddRow(pred, row) {
+		e.stats.Derived++
+		if e.opts.MaxFacts > 0 && e.stats.Derived > e.opts.MaxFacts && e.limitErr == nil {
+			e.limitErr = fmt.Errorf("eval: derived more than %d facts", e.opts.MaxFacts)
+		}
+	}
+}
+
+// emitHead instantiates the head under the rule's environment; unbound
+// head variables range over the active domain. Rows are copied into the
+// store by AddRow, so the scratch row is reused across emissions.
+func (e *evaluator) emitHead(rule *crule) {
+	h := &rule.head
+	row := e.headRow[:0]
+	for _, a := range h.args {
+		switch a.op {
+		case opConst:
+			row = append(row, a.id)
+		case opBound:
+			row = append(row, e.env[a.slot])
+		default: // opBind: unbound, filled by domain enumeration below
+			row = append(row, 0)
+		}
+	}
+	e.headRow = row
+	if len(h.unboundGroups) == 0 {
+		e.addFact(h.pred, row)
+		return
+	}
+	var assign func(g int)
+	assign = func(g int) {
+		if e.limitErr != nil {
+			return
+		}
+		if g == len(h.unboundGroups) {
+			e.addFact(h.pred, row)
+			return
+		}
+		for _, id := range e.domain {
+			for _, p := range h.unboundGroups[g] {
+				row[p] = id
+			}
+			assign(g + 1)
 		}
 	}
 	assign(0)
-}
-
-func (e *evaluator) addFact(pred string, t database.Tuple, derived map[string][]database.Tuple) {
-	e.stats.Firings++
-	if e.total.Add(pred, t) {
-		e.stats.Derived++
-		derived[pred] = append(derived[pred], t)
-	}
 }

@@ -1,155 +1,108 @@
 package eval
 
 import (
-	"strings"
-
-	"datalogeq/internal/ast"
 	"datalogeq/internal/database"
 )
 
-// indexKey identifies a cached join index: a predicate, the bitmask of
-// columns the index is keyed on, and whether it indexes the delta store.
-type indexKey struct {
-	pred  string
-	mask  uint64
-	delta bool
-}
+// The matcher walks a compiled rule's body left to right, extending the
+// slot environment with one candidate row at a time. Candidate rows for
+// an atom come from the relation's persistent index on the atom's
+// static column mask, restricted to the atom's window — the full slab
+// for ordinary positions, the previous round's delta window for the
+// semi-naive delta position. Atoms with no constrained positions, and
+// atoms too wide for a 64-bit mask, fall back to scanLinear.
 
-// index maps a projection key (the bound column values, NUL-joined) to
-// the matching tuples.
-type index map[string][]database.Tuple
-
-// matchTotal returns tuples of atom's relation in the full store that
-// agree with env on bound positions and with constants in the atom.
-func (e *evaluator) matchTotal(atom ast.Atom, env map[string]string) []database.Tuple {
-	rel := e.total.Lookup(atom.Pred)
+// joinFrom matches rule.body[pos:] under the current environment and
+// emits head facts for every complete match. If deltaPos >= 0, the body
+// atom at that position is restricted to the rows of window dw.
+func (e *evaluator) joinFrom(rule *crule, pos, deltaPos int, dw window) {
+	if e.limitErr != nil {
+		return
+	}
+	if pos == len(rule.body) {
+		e.emitHead(rule)
+		return
+	}
+	ca := &rule.body[pos]
+	rel := e.total.Lookup(ca.pred)
 	if rel == nil {
-		return nil
+		return
 	}
-	return e.match(atom, rel.Tuples(), env, false)
+	lo, hi := 0, rel.Len()
+	if pos == deltaPos {
+		lo, hi = dw.lo, dw.hi
+	}
+	if ca.wide || ca.mask == 0 {
+		e.scanLinear(rule, ca, rel, lo, hi, pos, deltaPos, dw)
+		return
+	}
+	// Indexed path: constants and pre-bound slots form the lookup key;
+	// the persistent index returns the matching row IDs in [lo, hi).
+	key := e.key[:0]
+	for _, a := range ca.args {
+		switch a.op {
+		case opConst:
+			key = append(key, a.id)
+		case opBound:
+			key = append(key, e.env[a.slot])
+		}
+	}
+	e.key = key
+	for _, rid := range rel.Match(ca.mask, key, lo, hi) {
+		i := int(rid)
+		if !checksPass(ca, rel, i) {
+			continue
+		}
+		for _, b := range ca.binds {
+			e.env[b.slot] = rel.At(i, b.pos)
+		}
+		e.joinFrom(rule, pos+1, deltaPos, dw)
+		if e.limitErr != nil {
+			return
+		}
+	}
 }
 
-// matchDelta is matchTotal restricted to the given delta tuples.
-func (e *evaluator) matchDelta(atom ast.Atom, deltaTuples []database.Tuple, env map[string]string) []database.Tuple {
-	return e.match(atom, deltaTuples, env, true)
-}
-
-func (e *evaluator) match(atom ast.Atom, tuples []database.Tuple, env map[string]string, isDelta bool) []database.Tuple {
-	// Determine which positions are constrained: constants in the atom,
-	// variables already bound in env, and repeated variables within the
-	// atom (the second and later occurrences must equal the first, which
-	// we handle by treating only the first occurrence as binding and
-	// checking the rest).
-	var mask uint64
-	key := make([]string, 0, len(atom.Args))
-	seenVar := make(map[string]int)
-	var repeats [][2]int // (pos, firstPos) pairs for repeated variables
-	for i, arg := range atom.Args {
-		switch arg.Kind {
-		case ast.Const:
-			mask |= 1 << uint(i)
-			key = append(key, arg.Name)
-		case ast.Var:
-			if c, ok := env[arg.Name]; ok {
-				mask |= 1 << uint(i)
-				key = append(key, c)
-				continue
-			}
-			if first, ok := seenVar[arg.Name]; ok {
-				repeats = append(repeats, [2]int{i, first})
-			} else {
-				seenVar[arg.Name] = i
-			}
-		}
-	}
-	var candidates []database.Tuple
-	if mask == 0 {
-		candidates = tuples
-	} else if len(atom.Args) <= 64 {
-		idx := e.indexFor(atom.Pred, mask, isDelta, tuples, len(atom.Args))
-		candidates = idx[strings.Join(key, "\x00")]
-	} else {
-		candidates = filterLinear(tuples, atom, env)
-	}
-	if len(repeats) == 0 {
-		return candidates
-	}
-	out := candidates[:0:0]
-	for _, t := range candidates {
-		ok := true
-		for _, r := range repeats {
-			if t[r[0]] != t[r[1]] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
-// indexFor returns (building on first use this round) the hash index for
-// the given predicate, column mask, and store.
-func (e *evaluator) indexFor(pred string, mask uint64, isDelta bool, tuples []database.Tuple, arity int) index {
-	k := indexKey{pred: pred, mask: mask, delta: isDelta}
-	if idx, ok := e.indexes[k]; ok {
-		return idx
-	}
-	idx := make(index)
-	cols := make([]int, 0, arity)
-	for i := 0; i < arity; i++ {
-		if mask&(1<<uint(i)) != 0 {
-			cols = append(cols, i)
-		}
-	}
-	parts := make([]string, len(cols))
-	for _, t := range tuples {
-		for j, c := range cols {
-			parts[j] = t[c]
-		}
-		key := strings.Join(parts, "\x00")
-		idx[key] = append(idx[key], t)
-	}
-	e.indexes[k] = idx
-	return idx
-}
-
-// filterLinear is the fallback matcher for atoms too wide to index.
-func filterLinear(tuples []database.Tuple, atom ast.Atom, env map[string]string) []database.Tuple {
-	var out []database.Tuple
-	for _, t := range tuples {
-		if matchesTuple(atom, t, env) {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
-func matchesTuple(atom ast.Atom, t database.Tuple, env map[string]string) bool {
-	local := make(map[string]string)
-	for i, arg := range atom.Args {
-		switch arg.Kind {
-		case ast.Const:
-			if t[i] != arg.Name {
-				return false
-			}
-		case ast.Var:
-			if c, ok := env[arg.Name]; ok {
-				if t[i] != c {
-					return false
-				}
-				continue
-			}
-			if c, ok := local[arg.Name]; ok {
-				if t[i] != c {
-					return false
-				}
-				continue
-			}
-			local[arg.Name] = t[i]
+// checksPass verifies the repeated-fresh-variable constraints of an
+// atom against slab row i.
+func checksPass(ca *catom, rel *database.Relation, i int) bool {
+	for _, c := range ca.checks {
+		if rel.At(i, c.pos) != rel.At(i, c.firstPos) {
+			return false
 		}
 	}
 	return true
+}
+
+// scanLinear is the fallback matcher: a straight scan of rows [lo, hi)
+// verifying every compiled argument. It serves atoms with no
+// constrained positions (where an index would be pointless) and atoms
+// wider than 64 columns (which the bitmask cannot describe).
+func (e *evaluator) scanLinear(rule *crule, ca *catom, rel *database.Relation, lo, hi, pos, deltaPos int, dw window) {
+rows:
+	for i := lo; i < hi; i++ {
+		for j, a := range ca.args {
+			switch a.op {
+			case opConst:
+				if rel.At(i, j) != a.id {
+					continue rows
+				}
+			case opBound:
+				if rel.At(i, j) != e.env[a.slot] {
+					continue rows
+				}
+			case opCheck:
+				if rel.At(i, j) != rel.At(i, a.pos) {
+					continue rows
+				}
+			}
+		}
+		for _, b := range ca.binds {
+			e.env[b.slot] = rel.At(i, b.pos)
+		}
+		e.joinFrom(rule, pos+1, deltaPos, dw)
+		if e.limitErr != nil {
+			return
+		}
+	}
 }

@@ -196,29 +196,55 @@ func Answer(prog *ast.Program, query ast.Atom, db *database.DB) (*database.Relat
 	}
 	// Filter to tuples matching the query constants (bound positions
 	// are enforced by magic, but a rule head may bind them otherwise;
-	// filter defensively) and consistent with repeated variables.
+	// filter defensively) and consistent with repeated variables. The
+	// filter runs on interned rows: query constants are interned once
+	// and rows stream out of the relation's slab through a scratch row.
 	out := database.NewRelation(len(query.Args))
-	for _, t := range rel.Tuples() {
-		if matches(query, t) {
-			out.Add(t)
+	qrow := compileQueryRow(query)
+	var row database.Row
+	for i := 0; i < rel.Len(); i++ {
+		row = rel.AppendRowAt(row[:0], i)
+		if matchesRow(qrow, row) {
+			out.AddRow(row)
 		}
 	}
 	return out, stats, nil
 }
 
-func matches(q ast.Atom, t database.Tuple) bool {
-	seen := map[string]string{}
+// queryArg is one compiled query position: a constant ID to equal, or
+// the position of the first occurrence of its variable.
+type queryArg struct {
+	isConst  bool
+	id       uint32
+	firstPos int
+}
+
+func compileQueryRow(q ast.Atom) []queryArg {
+	out := make([]queryArg, len(q.Args))
+	first := map[string]int{}
 	for i, arg := range q.Args {
-		switch arg.Kind {
-		case ast.Const:
-			if t[i] != arg.Name {
+		if arg.Kind == ast.Const {
+			out[i] = queryArg{isConst: true, id: database.Intern(arg.Name)}
+			continue
+		}
+		p, ok := first[arg.Name]
+		if !ok {
+			p = i
+			first[arg.Name] = i
+		}
+		out[i] = queryArg{firstPos: p}
+	}
+	return out
+}
+
+func matchesRow(q []queryArg, row database.Row) bool {
+	for i, a := range q {
+		if a.isConst {
+			if row[i] != a.id {
 				return false
 			}
-		case ast.Var:
-			if prev, ok := seen[arg.Name]; ok && prev != t[i] {
-				return false
-			}
-			seen[arg.Name] = t[i]
+		} else if row[i] != row[a.firstPos] {
+			return false
 		}
 	}
 	return true

@@ -185,9 +185,12 @@ func TestQuickMagicAgreesWithDirect(t *testing.T) {
 			return false
 		}
 		want := database.NewRelation(2)
-		for _, tu := range direct.Tuples() {
-			if matches(query, tu) {
-				want.Add(tu)
+		qrow := compileQueryRow(query)
+		var row database.Row
+		for i := 0; i < direct.Len(); i++ {
+			row = direct.AppendRowAt(row[:0], i)
+			if matchesRow(qrow, row) {
+				want.AddRow(row)
 			}
 		}
 		return magicRel.Equal(want)

@@ -1,6 +1,10 @@
 package parser
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // FuzzProgram checks that the parser is total: it never panics, and
 // everything it accepts survives a print/parse round trip.
@@ -36,6 +40,42 @@ func FuzzProgram(f *testing.F) {
 			if back.Rules[i].Key() != prog.Rules[i].Key() {
 				t.Fatalf("round trip changed rule %d: %q vs %q", i, prog.Rules[i], back.Rules[i])
 			}
+		}
+	})
+}
+
+// FuzzParseProgram fuzzes the parser from the repository's real example
+// programs in testdata/, so mutations explore the grammar around
+// realistic rule shapes. Accepted programs must be stable under a
+// print/parse/print round trip and validate deterministically.
+func FuzzParseProgram(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.dl"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no testdata seeds found: %v", err)
+	}
+	for _, fn := range files {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Program(src)
+		if err != nil {
+			return
+		}
+		printed := prog.String()
+		back, err := Program(printed)
+		if err != nil {
+			t.Fatalf("reprint of accepted program rejected: %v\nprinted: %q", err, printed)
+		}
+		if got := back.String(); got != printed {
+			t.Fatalf("printing is not idempotent:\nfirst:  %q\nsecond: %q", printed, got)
+		}
+		// Validation must agree between a program and its reprint.
+		if (prog.Validate() == nil) != (back.Validate() == nil) {
+			t.Fatalf("validation disagrees across round trip: %q", printed)
 		}
 	})
 }

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datalogeq/internal/analyze"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed alongside fn's error.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	ferr := fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), ferr
+}
+
+func TestCmdCheck(t *testing.T) {
+	dir := t.TempDir()
+	clean := write(t, dir, "clean.dl", "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).\n")
+	unsafe := write(t, dir, "unsafe.dl", "p(X, Y) :- e(X).\n")
+	badArity := write(t, dir, "arity.dl", "p(X) :- e(X).\np(X, Y) :- e(X, Y).\n")
+	badSyntax := write(t, dir, "syntax.dl", "p(X :- e(X).\n")
+
+	// A clean program with a goal: infos only, exit 0.
+	out, err := captureStdout(t, func() error {
+		return cmdCheck([]string{"-goal", "p", clean})
+	})
+	if err != nil {
+		t.Errorf("clean program rejected: %v", err)
+	}
+	if !bytes.Contains([]byte(out), []byte("DL0008")) {
+		t.Errorf("no classification reported:\n%s", out)
+	}
+
+	// Warnings alone exit 0; -no-info leaves only the warning lines.
+	out, err = captureStdout(t, func() error {
+		return cmdCheck([]string{"-no-info", unsafe})
+	})
+	if err != nil {
+		t.Errorf("warnings must not fail the run: %v", err)
+	}
+	if !bytes.Contains([]byte(out), []byte("DL0002")) || bytes.Contains([]byte(out), []byte(" info ")) {
+		t.Errorf("want only the safety warning:\n%s", out)
+	}
+
+	// Arity conflicts are positioned errors and fail the run.
+	out, err = captureStdout(t, func() error {
+		return cmdCheck([]string{badArity})
+	})
+	if err == nil {
+		t.Errorf("arity conflict accepted:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("DL0001")) {
+		t.Errorf("no DL0001 in output:\n%s", out)
+	}
+
+	// Syntax errors become DL0000 diagnostics; a multi-file run still
+	// checks the other files and reports the bad one's file name.
+	out, err = captureStdout(t, func() error {
+		return cmdCheck([]string{badSyntax, clean})
+	})
+	if err == nil {
+		t.Error("syntax error accepted")
+	}
+	if !bytes.Contains([]byte(out), []byte(filepath.Base(badSyntax)+":")) ||
+		!bytes.Contains([]byte(out), []byte("DL0000")) {
+		t.Errorf("missing DL0000 for the bad file:\n%s", out)
+	}
+
+	// -passes lists the registry.
+	out, err = captureStdout(t, func() error {
+		return cmdCheck([]string{"-passes"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range analyze.Passes() {
+		if !bytes.Contains([]byte(out), []byte(p.Code)) {
+			t.Errorf("pass %s missing from -passes output", p.Code)
+		}
+	}
+
+	if err := cmdCheck(nil); err == nil {
+		t.Error("no files accepted")
+	}
+}
+
+func TestCmdCheckJSON(t *testing.T) {
+	dir := t.TempDir()
+	unsafe := write(t, dir, "unsafe.dl", "p(X, Y) :- e(X).\n")
+	out, err := captureStdout(t, func() error {
+		return cmdCheck([]string{"-json", unsafe})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []fileDiagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == "DL0002" && d.File == unsafe && d.Line == 1 && d.Severity == analyze.Warning {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no positioned DL0002 warning in %s", out)
+	}
+
+	// An empty result must still be a JSON array, not null.
+	empty := write(t, dir, "empty.dl", "% nothing\n")
+	out, err = captureStdout(t, func() error {
+		return cmdCheck([]string{"-json", empty})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bytes.TrimSpace([]byte(out))) != "[]" {
+		t.Errorf("want [], got %q", out)
+	}
+}
+
+// TestCmdCheckTestdata mirrors the CI step: every program under
+// /testdata must be free of error-severity findings.
+func TestCmdCheckTestdata(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs")
+	}
+	_, err = captureStdout(t, func() error { return cmdCheck(files) })
+	if err != nil {
+		t.Errorf("testdata programs have analyzer errors: %v", err)
+	}
+}

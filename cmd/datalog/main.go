@@ -7,6 +7,7 @@
 //	datalog eval -program tc.dl -db graph.dl -goal p [-naive]
 //	datalog unfold -program nonrec.dl -goal q [-minimize]
 //	datalog classify -program prog.dl
+//	datalog check prog.dl [-goal p] [-json]
 //	datalog trees -program tc.dl -goal p -depth 3 [-count 5]
 package main
 
@@ -37,6 +38,8 @@ func main() {
 		err = cmdUnfold(os.Args[2:])
 	case "classify":
 		err = cmdClassify(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
 	case "trees":
 		err = cmdTrees(os.Args[2:])
 	case "repl":
@@ -51,10 +54,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|trees|repl> [flags]
+	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|trees|repl> [flags]
   eval     -program FILE -db FILE -goal PRED [-naive]
   unfold   -program FILE -goal PRED [-minimize]
   classify -program FILE
+  check    FILE... [-goal PRED] [-json] [-no-info] [-passes]
   trees    -program FILE -goal PRED [-depth N] [-count N] [-dot]
   repl     interactive session`)
 	os.Exit(2)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"datalogeq/internal/analyze"
 	"datalogeq/internal/ast"
 	"datalogeq/internal/cq"
 	"datalogeq/internal/database"
@@ -121,6 +122,7 @@ commands:
   ?- p(a, X).                    query
   :list                          show rules and facts
   :classify                      program properties
+  :check [GOAL]                  static analysis of the loaded program
   :load FILE                     load rules/facts from a file
   :clear                         reset the session
   :quit                          leave`)
@@ -139,6 +141,12 @@ commands:
 		fmt.Fprintf(&b, "recursive: %v, linear: %v, path-linear: %v",
 			s.prog.IsRecursive(), s.prog.IsLinear(), s.prog.IsPathLinear())
 		return false, b.String()
+	case ":check":
+		goal := ""
+		if len(fields) > 1 {
+			goal = fields[1]
+		}
+		return false, s.check(goal)
 	case ":load":
 		if len(fields) != 2 {
 			return false, "usage: :load FILE"
@@ -147,13 +155,71 @@ commands:
 		if err != nil {
 			return false, "error: " + err.Error()
 		}
-		if msg := s.statement(string(src)); msg != "" {
+		msg := s.statement(string(src))
+		if strings.HasPrefix(msg, "error:") {
 			return false, msg
 		}
-		return false, "loaded " + fields[1]
+		// Loading succeeded: report analyzer warnings for the loaded
+		// text (positions refer to the file) but keep the session
+		// going — warnings are advice, not failures.
+		var b strings.Builder
+		if warn := checkSource(string(src), fields[1]); warn != "" {
+			b.WriteString(warn)
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "loaded %s", fields[1])
+		if msg != "" {
+			fmt.Fprintf(&b, " — %s", msg)
+		}
+		return false, b.String()
 	default:
 		return false, "unknown command " + fields[0] + " (:help for help)"
 	}
+}
+
+// check runs the static analyzer over the session's program (rules and
+// facts) and renders every diagnostic. Facts are included as bodiless
+// rules so arity conflicts with them are caught too.
+func (s *session) check(goal string) string {
+	prog := s.prog.Clone()
+	for _, pred := range s.facts.Preds() {
+		rel := s.facts.Lookup(pred)
+		var row database.Row
+		for i := 0; i < rel.Len(); i++ {
+			row = rel.AppendRowAt(row[:0], i)
+			args := make([]ast.Term, len(row))
+			for j, id := range row {
+				args[j] = ast.C(database.Symbol(id))
+			}
+			prog.Rules = append(prog.Rules, ast.Rule{Head: ast.Atom{Pred: pred, Args: args}})
+		}
+	}
+	diags := analyze.Run(prog, analyze.Options{Goal: goal})
+	if len(diags) == 0 {
+		return "no findings"
+	}
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = d.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// checkSource analyzes freshly loaded source text and renders its
+// warnings and errors (infos are left to :check), or "" when clean.
+func checkSource(src, file string) string {
+	prog, err := parser.ProgramUnvalidated(src)
+	if err != nil {
+		return ""
+	}
+	var lines []string
+	for _, d := range analyze.Run(prog, analyze.Options{}) {
+		if d.Severity == analyze.Info {
+			continue
+		}
+		lines = append(lines, file+":"+d.String())
+	}
+	return strings.Join(lines, "\n")
 }
 
 // statement handles one or more rules/facts, or a query.

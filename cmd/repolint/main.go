@@ -1,0 +1,346 @@
+// Command repolint is this repository's custom static analyzer for its
+// own Go source, built on the standard library only (go/parser,
+// go/types). It enforces two repo invariants that gofmt and go vet do
+// not cover:
+//
+//   - maprange: in the decision-procedure packages (treeauto, wordauto,
+//     core, ucq) iterating a map with range is flagged, because map
+//     order is random and those packages construct automata, witnesses,
+//     and unions whose determinism the tests and golden files rely on.
+//     Iterate a sorted key slice instead, or annotate the line (or the
+//     line above) with "//repolint:allow maprange — <why order cannot
+//     leak into output>".
+//
+//   - panic: calling panic in non-test library code (anything under
+//     internal/) is flagged, because the north-star is serving untrusted
+//     programs: user input must surface as errors with positions, not
+//     crashes. True invariant violations stay panics, annotated with
+//     "//repolint:allow panic — <why this is unreachable from input>".
+//
+// Usage: go run ./cmd/repolint ./...
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// orderedPkgs are the decision-procedure packages where map iteration
+// order can leak into constructed automata and rendered output.
+var orderedPkgs = map[string]bool{
+	"treeauto": true,
+	"wordauto": true,
+	"core":     true,
+	"ucq":      true,
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, module, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	dirs, err := expandDirs(root, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	l := newLinter(root, module)
+	for _, dir := range dirs {
+		if err := l.lintDir(dir); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Slice(l.findings, func(i, j int) bool { return l.findings[i] < l.findings[j] })
+	for _, f := range l.findings {
+		fmt.Println(f)
+	}
+	if len(l.findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(l.findings))
+		os.Exit(1)
+	}
+}
+
+// findModule locates go.mod upward from the working directory and
+// returns the module root and module path.
+func findModule() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandDirs resolves "./..."-style arguments into the set of
+// directories containing Go files.
+func expandDirs(root string, args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, a := range args {
+		if rest, ok := strings.CutSuffix(a, "..."); ok {
+			base := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(root, filepath.FromSlash(a)))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// linter type-checks packages (memoized) and accumulates findings.
+type linter struct {
+	root     string
+	module   string
+	fset     *token.FileSet
+	stdlib   types.ImporterFrom
+	pkgs     map[string]*types.Package // by import path
+	infos    map[string]*pkgInfo       // by directory
+	findings []string
+}
+
+// pkgInfo is one parsed-and-checked package directory.
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLinter(root, module string) *linter {
+	fset := token.NewFileSet()
+	return &linter{
+		root:   root,
+		module: module,
+		fset:   fset,
+		stdlib: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:   make(map[string]*types.Package),
+		infos:  make(map[string]*pkgInfo),
+	}
+}
+
+// Import resolves module-internal import paths by type-checking the
+// package from source; everything else (the standard library) goes to
+// the source importer. This keeps the tool free of external deps.
+func (l *linter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+func (l *linter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+		info, err := l.check(filepath.Join(l.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = info.pkg
+		return info.pkg, nil
+	}
+	pkg, err := l.stdlib.ImportFrom(path, dir, mode)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// check parses and type-checks the non-test Go files of one directory.
+func (l *linter) check(dir string) (*pkgInfo, error) {
+	if info, ok := l.infos[dir]; ok {
+		return info, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	rel, _ := filepath.Rel(l.root, dir)
+	importPath := l.module
+	if rel != "." {
+		importPath = l.module + "/" + filepath.ToSlash(rel)
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	pi := &pkgInfo{pkg: pkg, files: files, info: info}
+	l.infos[dir] = pi
+	return pi, nil
+}
+
+// lintDir runs both checks over one package directory.
+func (l *linter) lintDir(dir string) error {
+	pi, err := l.check(dir)
+	if err != nil {
+		return err
+	}
+	rel, _ := filepath.Rel(l.root, dir)
+	rel = filepath.ToSlash(rel)
+	inInternal := strings.HasPrefix(rel, "internal/")
+	checkMapRange := orderedPkgs[filepath.Base(dir)] && inInternal
+	for _, f := range pi.files {
+		allowed := allowLines(l.fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if !checkMapRange {
+					return true
+				}
+				tv, ok := pi.info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pos := l.fset.Position(n.Pos())
+				if suppressed(allowed["maprange"], pos.Line) {
+					return true
+				}
+				l.report(pos, "range over map: iteration order is random and this package's output must be deterministic; iterate sorted keys or annotate //repolint:allow maprange")
+			case *ast.CallExpr:
+				if !inInternal {
+					return true
+				}
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Only the builtin, not a local function named panic.
+				if _, isBuiltin := pi.info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				pos := l.fset.Position(n.Pos())
+				if suppressed(allowed["panic"], pos.Line) {
+					return true
+				}
+				l.report(pos, "panic in library code: untrusted input must surface as errors with positions; return an error or annotate //repolint:allow panic")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (l *linter) report(pos token.Position, msg string) {
+	rel, err := filepath.Rel(l.root, pos.Filename)
+	if err != nil {
+		rel = pos.Filename
+	}
+	l.findings = append(l.findings,
+		fmt.Sprintf("%s:%d:%d: %s", filepath.ToSlash(rel), pos.Line, pos.Column, msg))
+}
+
+// suppressed reports whether an annotation covers the finding at the
+// given line: on the line itself, on the line above, or on the line
+// below (the first line of a multi-line statement's body).
+func suppressed(lines map[int]bool, line int) bool {
+	return lines[line] || lines[line-1] || lines[line+1]
+}
+
+// allowLines collects, per check name, the source lines carrying a
+// "//repolint:allow <check>" annotation. An annotation suppresses
+// findings on its own line, the line above, and the line below it.
+func allowLines(fset *token.FileSet, f *ast.File) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), "repolint:allow ")
+			if !ok {
+				continue
+			}
+			check := rest
+			if i := strings.IndexAny(rest, " \t—"); i >= 0 {
+				check = rest[:i]
+			}
+			if out[check] == nil {
+				out[check] = make(map[int]bool)
+			}
+			out[check][fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return out
+}

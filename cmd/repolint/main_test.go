@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLinter(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod": "module example.com/lintme\n\ngo 1.22\n",
+		// An ordered package: maprange is checked, and so is panic.
+		"internal/core/a.go": `package core
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Allowed(m map[string]int) int {
+	n := 0
+	for range m { //repolint:allow maprange — counting is order-insensitive.
+		n++
+	}
+	return n
+}
+
+func Bad(i int) int {
+	if i < 0 {
+		panic("negative")
+	}
+	return i
+}
+
+func Must(i int) int {
+	if i < 0 {
+		//repolint:allow panic — fixture: documented to panic.
+		panic("negative")
+	}
+	return i
+}
+`,
+		// Library code outside the ordered packages: panic is still
+		// checked, maprange is not.
+		"internal/other/b.go": `package other
+
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func Boom() { panic("boom") }
+`,
+		// A command: neither check applies.
+		"cmd/tool/main.go": `package main
+
+func main() {
+	m := map[string]int{"a": 1}
+	for range m {
+		panic("fine here")
+	}
+}
+`,
+		// Test files are skipped entirely.
+		"internal/core/a_test.go": `package core
+
+import "testing"
+
+func TestPanic(t *testing.T) { defer func() { recover() }(); panic("ok") }
+`,
+	})
+
+	dirs, err := expandDirs(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLinter(root, "example.com/lintme")
+	for _, dir := range dirs {
+		if err := l.lintDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[string]string{
+		"internal/core/a.go:5":   "range over map",
+		"internal/core/a.go:21":  "panic in library code",
+		"internal/other/b.go:11": "panic in library code",
+	}
+	for _, f := range l.findings {
+		matched := false
+		for prefix, msg := range want {
+			if strings.HasPrefix(f, prefix+":") && strings.Contains(f, msg) {
+				delete(want, prefix)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for prefix, msg := range want {
+		t.Errorf("missing finding %q at %s", msg, prefix)
+	}
+}
+
+// TestLinterSelfClean runs the linter over this repository itself: CI
+// requires a clean run, so the test pins that state.
+func TestLinterSelfClean(t *testing.T) {
+	root, module, err := findModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := expandDirs(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLinter(root, module)
+	for _, dir := range dirs {
+		if err := l.lintDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range l.findings {
+		t.Errorf("repolint finding: %s", f)
+	}
+}

@@ -1,0 +1,156 @@
+package analyze
+
+import (
+	"datalogeq/internal/ast"
+)
+
+// Options configure an analysis run.
+type Options struct {
+	// Goal names the goal predicate. When set, the reachability passes
+	// (unused predicates, unreachable rules) and the boundedness pass
+	// run; without a goal every IDB predicate is a potential output and
+	// those passes stay silent.
+	Goal string
+
+	// DisableBoundedness skips the boundedness search (DL0009), which
+	// is the only pass with super-polynomial cost.
+	DisableBoundedness bool
+
+	// BoundedDepth is the maximum expansion height tried by the
+	// boundedness search; 0 means the default (2).
+	BoundedDepth int
+
+	// BoundedMaxStates caps the automaton constructions of the
+	// boundedness search; 0 means the default (4096 states).
+	BoundedMaxStates int
+}
+
+// Pass is one registered analysis pass.
+type Pass struct {
+	// Code is the diagnostic code the pass emits, e.g. "DL0002".
+	Code string
+	// Name is a short kebab-case identifier, e.g. "rule-safety".
+	Name string
+	// Doc is a one-line description used by documentation and
+	// "datalog check -passes".
+	Doc string
+	// NeedsGoal marks passes that only run when Options.Goal is set.
+	NeedsGoal bool
+
+	run func(*context)
+}
+
+// Passes returns the registered passes in execution order.
+func Passes() []Pass {
+	out := make([]Pass, len(passes))
+	copy(out, passes)
+	return out
+}
+
+// passes is the registry, in execution order. Diagnostics are sorted
+// by position afterwards, so order only matters for suppression state
+// shared between passes (duplicates suppress subsumption reports).
+var passes = []Pass{
+	{Code: "DL0001", Name: "predicate-arity", Doc: "predicate used at inconsistent arities", run: passArity},
+	{Code: "DL0002", Name: "rule-safety", Doc: "head variable not bound by the body (active-domain semantics apply)", run: passSafety},
+	{Code: "DL0003", Name: "goal-defined", Doc: "goal predicate missing or extensional", NeedsGoal: true, run: passGoal},
+	{Code: "DL0004", Name: "unused-predicate", Doc: "intensional predicate the goal does not depend on", NeedsGoal: true, run: passUnusedPred},
+	{Code: "DL0005", Name: "unreachable-rule", Doc: "rule that cannot contribute to the goal", NeedsGoal: true, run: passUnreachableRule},
+	{Code: "DL0006", Name: "duplicate-rule", Doc: "rule identical to an earlier rule up to renaming and reordering", run: passDuplicate},
+	{Code: "DL0007", Name: "subsumed-rule", Doc: "rule subsumed by another via a containment mapping (Thm 2.2)", run: passSubsumed},
+	{Code: "DL0008", Name: "recursion-class", Doc: "§2.1 classification: nonrecursive / linear / piecewise-linear / recursive", run: passClassify},
+	{Code: "DL0009", Name: "boundedness", Doc: "recursive program provably equivalent to a bounded union of expansions", NeedsGoal: true, run: passBounded},
+	{Code: "DL0010", Name: "cartesian-product", Doc: "rule body splits into variable-disjoint subgoal groups", run: passCartesian},
+	{Code: "DL0011", Name: "singleton-variable", Doc: "variable occurring exactly once (possible typo; prefix with _ to silence)", run: passSingleton},
+}
+
+// context carries the program, options, and shared artifacts across
+// passes of one run.
+type context struct {
+	prog *ast.Program
+	opts Options
+
+	diags []Diagnostic
+
+	// idb is the set of intensional predicate symbols.
+	idb map[ast.PredSym]bool
+	// contributes marks predicates the goal transitively depends on
+	// (including the goal itself); nil when no goal is set.
+	contributes map[ast.PredSym]bool
+	// goalDefined reports whether the goal is an IDB predicate.
+	goalDefined bool
+	// deadPreds are the predicates flagged by DL0004; deadFirstRule
+	// records the rule index where each was reported, which DL0005
+	// skips to avoid doubled noise on one line.
+	deadPreds     map[ast.PredSym]bool
+	deadFirstRule map[ast.PredSym]int
+	// dupRules marks rule indexes flagged by DL0006; DL0007 skips them.
+	dupRules map[int]bool
+	// arityConflict suppresses structure-sensitive passes when the
+	// program is not even well-formed.
+	arityConflict bool
+}
+
+func (c *context) emit(code string, sev Severity, pos ast.Pos, msg string) {
+	c.diags = append(c.diags, Diagnostic{Code: code, Severity: sev, Line: pos.Line, Col: pos.Col, Message: msg})
+}
+
+// Run executes every registered pass over prog and returns the
+// diagnostics sorted by source position. It accepts any program —
+// including ones Program.Validate would reject — and never panics on a
+// parser-produced program (guarded by FuzzRun).
+func Run(prog *ast.Program, opts Options) []Diagnostic {
+	c := &context{
+		prog:          prog,
+		opts:          opts,
+		idb:           prog.IDBPreds(),
+		deadPreds:     make(map[ast.PredSym]bool),
+		deadFirstRule: make(map[ast.PredSym]int),
+		dupRules:      make(map[int]bool),
+	}
+	if opts.Goal != "" {
+		c.buildReachability()
+	}
+	for _, p := range passes {
+		if p.NeedsGoal && opts.Goal == "" {
+			continue
+		}
+		p.run(c)
+	}
+	sortDiagnostics(c.diags)
+	return c.diags
+}
+
+// buildReachability computes the set of predicates the goal
+// transitively depends on, at any arity the goal name is used with.
+func (c *context) buildReachability() {
+	// dependsOn[p] = predicates occurring in bodies of p's rules.
+	dependsOn := make(map[ast.PredSym][]ast.PredSym)
+	for _, r := range c.prog.Rules {
+		h := r.Head.Sym()
+		for _, a := range r.Body {
+			dependsOn[h] = append(dependsOn[h], a.Sym())
+		}
+	}
+	c.contributes = make(map[ast.PredSym]bool)
+	var queue []ast.PredSym
+	push := func(s ast.PredSym) {
+		if !c.contributes[s] {
+			c.contributes[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for sym := range c.idb {
+		if sym.Name == c.opts.Goal {
+			c.goalDefined = true
+			push(sym)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, d := range dependsOn[s] {
+			push(d)
+		}
+	}
+}

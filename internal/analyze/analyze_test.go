@@ -1,0 +1,219 @@
+package analyze_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datalogeq/internal/analyze"
+	"datalogeq/internal/ast"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files under testdata")
+
+// goalDirective extracts the goal named by a leading "% goal: name"
+// comment, the convention the golden fixtures use.
+func goalDirective(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "% goal:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// render produces the golden form: one Diagnostic.String per line.
+func render(diags []analyze.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGolden runs the analyzer over every testdata/*.dl fixture and
+// compares the rendered diagnostics with the matching .golden file.
+// Regenerate with: go test ./internal/analyze -run TestGolden -update
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata fixtures")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".dl")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := parser.ProgramUnvalidated(string(src))
+			if err != nil {
+				t.Fatalf("fixture must parse: %v", err)
+			}
+			got := render(analyze.Run(prog, analyze.Options{Goal: goalDirective(string(src))}))
+			golden := strings.TrimSuffix(file, ".dl") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCoverage asserts the fixtures jointly exercise every
+// registered pass code except DL0000 (syntax, owned by the CLI).
+func TestGoldenCoverage(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, g := range goldens {
+		data, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range analyze.Passes() {
+			if strings.Contains(string(data), " "+p.Code+":") {
+				seen[p.Code] = true
+			}
+		}
+	}
+	for _, p := range analyze.Passes() {
+		if !seen[p.Code] {
+			t.Errorf("no golden fixture emits %s (%s)", p.Code, p.Name)
+		}
+	}
+}
+
+// TestPassRegistry checks the registry invariants the docs and CLI
+// rely on: unique ascending codes, names, and one-line docs.
+func TestPassRegistry(t *testing.T) {
+	passes := analyze.Passes()
+	if len(passes) < 8 {
+		t.Fatalf("want at least 8 passes, have %d", len(passes))
+	}
+	codes := make(map[string]bool)
+	names := make(map[string]bool)
+	prev := ""
+	for _, p := range passes {
+		if codes[p.Code] || names[p.Name] {
+			t.Errorf("duplicate pass %s/%s", p.Code, p.Name)
+		}
+		codes[p.Code] = true
+		names[p.Name] = true
+		if p.Code <= prev {
+			t.Errorf("pass codes not ascending: %s after %s", p.Code, prev)
+		}
+		prev = p.Code
+		if p.Doc == "" || strings.Contains(p.Doc, "\n") {
+			t.Errorf("pass %s needs a one-line doc", p.Code)
+		}
+	}
+}
+
+// TestPaperPrograms runs the analyzer over the generators for the
+// paper's example programs: all are well-formed, so no Error-severity
+// findings may appear, and the §2.1 classification must match the
+// program's own predicates.
+func TestPaperPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *ast.Program
+		goal string
+	}{
+		{"TransitiveClosure", gen.TransitiveClosure(), "p"},
+		{"Example11Trendy", gen.Example11Trendy(), "buys"},
+		{"Example11TrendyNR", gen.Example11TrendyNR(), "buys"},
+		{"Example11Knows", gen.Example11Knows(), "buys"},
+		{"Example11KnowsNR", gen.Example11KnowsNR(), "buys"},
+		{"DistProgram(3)", gen.DistProgram(3), gen.DistGoal(3)},
+		{"DistLeProgram(2)", gen.DistLeProgram(2), "distle2"},
+		{"EqualProgram(2)", gen.EqualProgram(2), "equal2"},
+		{"WordProgram(3)", gen.WordProgram(3), "word3"},
+		{"ChainProgram(3)", gen.ChainProgram(3), "p"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := analyze.Run(tc.prog, analyze.Options{Goal: tc.goal, DisableBoundedness: true})
+			for _, d := range diags {
+				if d.Severity == analyze.Error {
+					t.Errorf("paper program flagged: %s", d)
+				}
+			}
+			wantClass := "nonrecursive"
+			if tc.prog.IsRecursive() {
+				wantClass = "recursive"
+			}
+			found := false
+			for _, d := range diags {
+				if d.Code == "DL0008" && strings.Contains(d.Message, wantClass) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no DL0008 classification mentioning %q in %v", wantClass, diags)
+			}
+		})
+	}
+}
+
+// TestRunWithoutPositions runs the analyzer over a programmatically
+// built program (no parser positions): diagnostics degrade to 0:0 but
+// analysis must still work.
+func TestRunWithoutPositions(t *testing.T) {
+	prog := ast.NewProgram(
+		ast.NewRule(ast.NewAtom("p", ast.V("X"), ast.V("Y")), ast.NewAtom("e", ast.V("X"))),
+	)
+	diags := analyze.Run(prog, analyze.Options{})
+	unsafe := false
+	for _, d := range diags {
+		unsafe = unsafe || d.Code == "DL0002"
+	}
+	if !unsafe {
+		t.Fatalf("unsafe rule not flagged: %v", diags)
+	}
+	for _, d := range diags {
+		if d.Line != 0 || d.Col != 0 {
+			t.Errorf("positionless program produced a position: %s", d)
+		}
+	}
+}
+
+// TestBoundedPass checks DL0009 end to end on the paper's Example 1.1
+// pair: the trendy program is bounded, the knows program is not (it is
+// inherently recursive), and the search must stay silent on the latter.
+func TestBoundedPass(t *testing.T) {
+	hasBounded := func(p *ast.Program) bool {
+		for _, d := range analyze.Run(p, analyze.Options{Goal: "buys"}) {
+			if d.Code == "DL0009" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasBounded(gen.Example11Trendy()) {
+		t.Error("trendy program not reported bounded")
+	}
+	if hasBounded(gen.Example11Knows()) {
+		t.Error("knows program wrongly reported bounded")
+	}
+}

@@ -1,0 +1,43 @@
+package analyze_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datalogeq/internal/analyze"
+	"datalogeq/internal/parser"
+)
+
+// FuzzRun asserts the analyzer's contract: Run never panics on any
+// program ParseProgram accepts, with or without a goal, including
+// programs Program.Validate would reject.
+func FuzzRun(f *testing.F) {
+	for _, dir := range []string{"testdata", filepath.Join("..", "..", "testdata")} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.dl"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src), "")
+			f.Add(string(src), "p")
+		}
+	}
+	f.Add("p(X) :- e(X).", "p")
+	f.Add("p(X, Y).\np(X) :- p(X, X), p(X).", "p")
+	f.Add("a(X) :- b(X). b(X) :- a(X).", "a")
+	f.Fuzz(func(t *testing.T, src, goal string) {
+		prog, err := parser.ProgramUnvalidated(src)
+		if err != nil {
+			return
+		}
+		// Small caps keep each iteration cheap; the no-panic guarantee
+		// is what is under test, not the search's reach.
+		analyze.Run(prog, analyze.Options{Goal: goal, BoundedDepth: 1, BoundedMaxStates: 128})
+		analyze.Run(prog, analyze.Options{DisableBoundedness: true})
+	})
+}

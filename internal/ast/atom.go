@@ -41,9 +41,16 @@ func itoa(n int) string {
 }
 
 // Atom is an atomic formula p(t1, ..., tk).
+//
+// Pos and ArgPos are source positions set by the parser (and zero on
+// programmatically built atoms): Pos is the position of the predicate
+// name, ArgPos[i] — when non-nil — the position of the i-th argument.
+// Positions are metadata: Equal, Key, and unification ignore them.
 type Atom struct {
-	Pred string
-	Args []Term
+	Pred   string
+	Args   []Term
+	Pos    Pos
+	ArgPos []Pos
 }
 
 // NewAtom constructs an atom.
@@ -71,16 +78,22 @@ func (a Atom) Equal(b Atom) bool {
 func (a Atom) Clone() Atom {
 	args := make([]Term, len(a.Args))
 	copy(args, a.Args)
-	return Atom{Pred: a.Pred, Args: args}
+	out := Atom{Pred: a.Pred, Args: args, Pos: a.Pos}
+	if a.ArgPos != nil {
+		out.ArgPos = make([]Pos, len(a.ArgPos))
+		copy(out.ArgPos, a.ArgPos)
+	}
+	return out
 }
 
 // Apply returns the atom with substitution s applied to its arguments.
+// Source positions are preserved.
 func (a Atom) Apply(s Substitution) Atom {
 	args := make([]Term, len(a.Args))
 	for i, t := range a.Args {
 		args[i] = s.Apply(t)
 	}
-	return Atom{Pred: a.Pred, Args: args}
+	return Atom{Pred: a.Pred, Args: args, Pos: a.Pos, ArgPos: a.ArgPos}
 }
 
 // Vars appends the names of variables occurring in a to dst, in order of
@@ -92,6 +105,27 @@ func (a Atom) Vars(dst []string) []string {
 		}
 	}
 	return dst
+}
+
+// ArgPosAt returns the source position of the i-th argument, falling
+// back to the atom's own position when argument positions are absent.
+func (a Atom) ArgPosAt(i int) Pos {
+	if i >= 0 && i < len(a.ArgPos) && a.ArgPos[i].IsValid() {
+		return a.ArgPos[i]
+	}
+	return a.Pos
+}
+
+// VarPos returns the source position of the first occurrence of
+// variable v in a, falling back to the atom's position; the second
+// result reports whether v occurs at all.
+func (a Atom) VarPos(v string) (Pos, bool) {
+	for i, t := range a.Args {
+		if t.Kind == Var && t.Name == v {
+			return a.ArgPosAt(i), true
+		}
+	}
+	return a.Pos, false
 }
 
 // HasVar reports whether variable v occurs in a.

@@ -1,0 +1,23 @@
+package ast
+
+import "fmt"
+
+// Pos is a source position (1-based line and column) attached to atoms
+// and rules by the parser. The zero Pos means "no position": atoms and
+// rules constructed programmatically carry none, and every structural
+// operation (Equal, Key, unification, containment) ignores positions.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position was set by a parser.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col", or "-" if unset.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}

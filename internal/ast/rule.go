@@ -8,9 +8,14 @@ import (
 // Rule is a Horn rule head :- body. A rule with an empty body is a
 // "true" rule (the convention of Example 6.2 in the paper): its head
 // holds for every instantiation of its variables over the active domain.
+//
+// Pos is the source position of the rule (its head atom) when the rule
+// was parsed; it is zero for programmatically built rules and ignored
+// by all structural operations.
 type Rule struct {
 	Head Atom
 	Body []Atom
+	Pos  Pos
 }
 
 // NewRule constructs a rule.
@@ -24,16 +29,17 @@ func (r Rule) Clone() Rule {
 	for i, a := range r.Body {
 		body[i] = a.Clone()
 	}
-	return Rule{Head: r.Head.Clone(), Body: body}
+	return Rule{Head: r.Head.Clone(), Body: body, Pos: r.Pos}
 }
 
 // Apply returns the rule with substitution s applied throughout.
+// Source positions are preserved.
 func (r Rule) Apply(s Substitution) Rule {
 	body := make([]Atom, len(r.Body))
 	for i, a := range r.Body {
 		body[i] = a.Apply(s)
 	}
-	return Rule{Head: r.Head.Apply(s), Body: body}
+	return Rule{Head: r.Head.Apply(s), Body: body, Pos: r.Pos}
 }
 
 // Vars returns the variable names occurring anywhere in the rule, in

@@ -233,6 +233,7 @@ func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) 
 				aw.trans = append(aw.trans, nfaEdge{from: id, letter: letter, to: child})
 			default:
 				// Unreachable: path-linearity was checked above.
+				//repolint:allow panic — invariant: unreachable, path-linearity is checked before this switch.
 				panic("core: non-path-linear letter in linear procedure")
 			}
 		}

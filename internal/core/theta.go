@@ -134,6 +134,7 @@ func (info *thetaInfo) transitions(u *Universe, st thetaState, inst ast.Rule, id
 	placement := make([]int, len(pending))
 	mPrime := make(map[string]ast.Term, len(st.m))
 	for v, t := range st.m {
+		//repolint:allow maprange — map-to-map copy; no order leaks.
 		mPrime[v] = t
 	}
 
@@ -223,6 +224,7 @@ func (info *thetaInfo) transitions(u *Universe, st thetaState, inst ast.Rule, id
 		// Variables needing a chosen binding: unbound and in >= 2
 		// children.
 		var needChoice []string
+		//repolint:allow maprange — collected variables are sorted below.
 		for v, parts := range partsOf {
 			if _, bound := mPrime[v]; bound {
 				continue
@@ -259,6 +261,7 @@ func (info *thetaInfo) transitions(u *Universe, st thetaState, inst ast.Rule, id
 		choose = func(i int) {
 			if i == len(needChoice) {
 				// Validate all bound variables against their parts.
+				//repolint:allow maprange — universally quantified check; order-insensitive.
 				for v, parts := range partsOf {
 					img, bound := mPrime[v]
 					if !bound {

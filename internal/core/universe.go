@@ -148,6 +148,7 @@ func (u *Universe) Atom(id int) ast.Atom { return u.atoms[id] }
 func (u *Universe) AtomID(a ast.Atom) int {
 	id, ok := u.atomIDs[a.Key()]
 	if !ok {
+		//repolint:allow panic — invariant: AtomID is only called on atoms the proof-tree construction interned; see the method comment.
 		panic("core: atom " + a.String() + " was not interned by the proof-tree construction")
 	}
 	return id
@@ -244,6 +245,7 @@ func mapKey(m map[string]ast.Term) string {
 	}
 	keys := make([]string, 0, len(m))
 	for v := range m {
+		//repolint:allow maprange — keys are sorted before rendering below.
 		keys = append(keys, v)
 	}
 	sort.Strings(keys)

@@ -134,6 +134,7 @@ func (r *Relation) rowEqual(i int, row Row) bool {
 // upstream (the parser and evaluator enforce arity).
 func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
+		//repolint:allow panic — invariant: callers (parser, compiled eval) enforce arity; a mismatch is a programming error, not user input.
 		panic(fmt.Sprintf("database: tuple %v has arity %d, relation has arity %d", t, len(t), r.arity))
 	}
 	r.scratch = AppendInterned(r.scratch[:0], t)
@@ -146,6 +147,7 @@ func (r *Relation) Add(t Tuple) bool {
 // relation is maintained incrementally. It panics on an arity mismatch.
 func (r *Relation) AddRow(row Row) bool {
 	if len(row) != r.arity {
+		//repolint:allow panic — invariant: callers (parser, compiled eval) enforce arity; a mismatch is a programming error, not user input.
 		panic(fmt.Sprintf("database: row %v has arity %d, relation has arity %d", row, len(row), r.arity))
 	}
 	h := hashRow(row)
@@ -320,6 +322,7 @@ func New() *DB {
 func (d *DB) Relation(pred string, arity int) *Relation {
 	if r, ok := d.relations[pred]; ok {
 		if r.arity != arity {
+			//repolint:allow panic — invariant: eval.validateArities rejects program/database arity clashes before any Relation call; reaching this is a programming error.
 			panic(fmt.Sprintf("database: relation %s has arity %d, requested %d", pred, r.arity, arity))
 		}
 		return r

@@ -41,6 +41,7 @@ func Parse(src string) (*DB, error) {
 func MustParse(src string) *DB {
 	db, err := Parse(src)
 	if err != nil {
+		//repolint:allow panic — Must* helper: documented to panic, for tests.
 		panic(err)
 	}
 	return db

@@ -73,6 +73,9 @@ func Eval(prog *ast.Program, edb *database.DB, opts Options) (*database.DB, Stat
 	if err := prog.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
+	if err := validateArities(prog, edb); err != nil {
+		return nil, Stats{}, err
+	}
 	rules, maxVars := compileRules(prog)
 	e := &evaluator{
 		prog:  prog,
@@ -107,6 +110,42 @@ func Goal(prog *ast.Program, edb *database.DB, goal string, opts Options) (*data
 		return nil, stats, fmt.Errorf("eval: goal predicate %q does not occur in program", goal)
 	}
 	return database.NewRelation(arity), stats, nil
+}
+
+// validateArities rejects programs whose predicate arities disagree
+// with the database's relations. Without this check an arity clash
+// either panicked deep in the storage layer (head collision) or
+// silently matched rows of the wrong width (body atom), both reachable
+// from ordinary user input: a program file and a fact file that
+// disagree about a predicate.
+func validateArities(prog *ast.Program, edb *database.DB) error {
+	checked := make(map[string]bool)
+	check := func(a ast.Atom) error {
+		if checked[a.Pred] {
+			return nil
+		}
+		checked[a.Pred] = true
+		if r := edb.Lookup(a.Pred); r != nil && r.Arity() != len(a.Args) {
+			at := ""
+			if a.Pos.IsValid() {
+				at = " (program position " + a.Pos.String() + ")"
+			}
+			return fmt.Errorf("eval: predicate %s has arity %d in the program but arity %d in the database%s",
+				a.Pred, len(a.Args), r.Arity(), at)
+		}
+		return nil
+	}
+	for _, r := range prog.Rules {
+		if err := check(r.Head); err != nil {
+			return err
+		}
+		for _, a := range r.Body {
+			if err := check(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // activeDomainIDs interns the active domain of the evaluation: the

@@ -65,7 +65,7 @@ func (p *parser) parseAtom() (ast.Atom, *Error) {
 	if err != nil {
 		return ast.Atom{}, err
 	}
-	atom := ast.Atom{Pred: name.text}
+	atom := ast.Atom{Pred: name.text, Pos: ast.Pos{Line: name.line, Col: name.col}}
 	if p.tok.kind != tokLParen {
 		// 0-ary atom written without parentheses, e.g. "c :- body."
 		return atom, nil
@@ -80,11 +80,13 @@ func (p *parser) parseAtom() (ast.Atom, *Error) {
 		return atom, nil
 	}
 	for {
+		argPos := ast.Pos{Line: p.tok.line, Col: p.tok.col}
 		t, err := p.parseTerm()
 		if err != nil {
 			return ast.Atom{}, err
 		}
 		atom.Args = append(atom.Args, t)
+		atom.ArgPos = append(atom.ArgPos, argPos)
 		if p.tok.kind == tokComma {
 			if err := p.advance(); err != nil {
 				return ast.Atom{}, err
@@ -122,7 +124,7 @@ func (p *parser) parseRule() (ast.Rule, *Error) {
 	if err != nil {
 		return ast.Rule{}, err
 	}
-	rule := ast.Rule{Head: head}
+	rule := ast.Rule{Head: head, Pos: head.Pos}
 	if p.tok.kind == tokImplies {
 		if err := p.advance(); err != nil {
 			return ast.Rule{}, err
@@ -146,6 +148,21 @@ func (p *parser) parseRule() (ast.Rule, *Error) {
 
 // Program parses a whole Datalog program.
 func Program(src string) (*ast.Program, error) {
+	prog, err := ProgramUnvalidated(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ProgramUnvalidated parses a whole Datalog program without running
+// Program.Validate on the result. Static analysis uses it so that
+// structural problems (e.g. inconsistent predicate arities) surface as
+// positioned diagnostics rather than a single position-less error.
+func ProgramUnvalidated(src string) (*ast.Program, error) {
 	p, perr := newParser(src)
 	if perr != nil {
 		return nil, perr
@@ -158,9 +175,6 @@ func Program(src string) (*ast.Program, error) {
 		}
 		prog.Rules = append(prog.Rules, r)
 	}
-	if err := prog.Validate(); err != nil {
-		return nil, err
-	}
 	return prog, nil
 }
 
@@ -169,6 +183,7 @@ func Program(src string) (*ast.Program, error) {
 func MustProgram(src string) *ast.Program {
 	p, err := Program(src)
 	if err != nil {
+		//repolint:allow panic — Must* helper: documented to panic, for tests and embedded source.
 		panic(err)
 	}
 	return p
@@ -195,6 +210,7 @@ func Atom(src string) (ast.Atom, error) {
 func MustAtom(src string) ast.Atom {
 	a, err := Atom(src)
 	if err != nil {
+		//repolint:allow panic — Must* helper: documented to panic, for tests and embedded source.
 		panic(err)
 	}
 	return a
@@ -225,6 +241,7 @@ func AtomList(src string) ([]ast.Atom, error) {
 func MustAtomList(src string) []ast.Atom {
 	atoms, err := AtomList(src)
 	if err != nil {
+		//repolint:allow panic — Must* helper: documented to panic, for tests and embedded source.
 		panic(err)
 	}
 	return atoms

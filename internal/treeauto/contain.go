@@ -17,6 +17,7 @@ package treeauto
 // transition relation as pairs are discovered.
 func Contains(a, b *TA) (bool, *Tree) {
 	if a.numSymbols != b.numSymbols {
+		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
 		panic("treeauto: Contains over different alphabets")
 	}
 	type pairInfo struct {

@@ -10,6 +10,7 @@ import (
 // (Proposition 4.4, polynomial).
 func Union(a, b *TA) *TA {
 	if a.numSymbols != b.numSymbols {
+		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
 		panic("treeauto: Union over different alphabets")
 	}
 	out := New(a.numStates+b.numStates, a.numSymbols)
@@ -47,6 +48,7 @@ func Union(a, b *TA) *TA {
 // construction on reachable state pairs.
 func Intersect(a, b *TA) *TA {
 	if a.numSymbols != b.numSymbols {
+		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
 		panic("treeauto: Intersect over different alphabets")
 	}
 	type pair struct{ s, t int }
@@ -246,9 +248,18 @@ func Complement(a *TA, alphabet []RankedSymbol) *TA {
 			out.AddStart(i)
 		}
 	}
-	for k, result := range d.delta {
+	// Insert transitions in sorted key order: tuple order within a
+	// (state, symbol) bucket is insertion order, and it must not vary
+	// with map iteration between runs.
+	keys := make([]string, 0, len(d.delta))
+	for k := range d.delta {
+		//repolint:allow maprange — keys are sorted before use below.
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		sym, children := parseDeltaKey(k)
-		out.AddTransition(result, sym, children)
+		out.AddTransition(d.delta[k], sym, children)
 	}
 	return out
 }

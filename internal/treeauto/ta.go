@@ -106,6 +106,7 @@ func (a *TA) NumSymbols() int { return a.numSymbols }
 func (a *TA) NumTransitions() int {
 	n := 0
 	for _, m := range a.trans {
+		//repolint:allow maprange — counting only; order-insensitive.
 		for _, tuples := range m {
 			n += len(tuples)
 		}
@@ -148,6 +149,7 @@ func (a *TA) SymbolsFrom(state int) []int {
 	}
 	out := make([]int, 0, len(a.trans[state]))
 	for sym := range a.trans[state] {
+		//repolint:allow maprange — symbols are sorted before returning below.
 		out = append(out, sym)
 	}
 	sort.Ints(out)
@@ -266,6 +268,7 @@ func (a *TA) RankedAlphabet() []RankedSymbol {
 	}
 	out := make([]RankedSymbol, 0, len(seen))
 	for rs := range seen {
+		//repolint:allow maprange — symbols are sorted before returning below.
 		out = append(out, rs)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,5 +1,7 @@
 package wordauto
 
+import "sort"
+
 // Minimize returns the minimal deterministic automaton equivalent to a:
 // the input is determinized (and completed) by the subset construction,
 // unreachable states are discarded, and equivalent states are merged
@@ -79,12 +81,22 @@ func Minimize(a *NFA) *NFA {
 			if len(inX) == 0 {
 				continue
 			}
-			// Refine each block against X.
+			// Refine each block against X, in ascending block order:
+			// new block ids are assigned during the loop, and the
+			// numbering of the minimized automaton must not depend on
+			// map iteration order.
 			touched := make(map[int]bool)
 			for s := range inX {
+				//repolint:allow maprange — only builds the touched set; sorted below.
 				touched[part[s]] = true
 			}
+			touchedIDs := make([]int, 0, len(touched))
 			for b := range touched {
+				//repolint:allow maprange — ids are sorted before use below.
+				touchedIDs = append(touchedIDs, b)
+			}
+			sort.Ints(touchedIDs)
+			for _, b := range touchedIDs {
 				var in, out []int
 				for _, s := range blocks[b] {
 					if inX[s] {

@@ -49,6 +49,7 @@ func (n *NFA) NumSymbols() int { return n.numSymbols }
 func (n *NFA) NumTransitions() int {
 	total := 0
 	for _, m := range n.trans {
+		//repolint:allow maprange — counting only; order-insensitive.
 		for _, ts := range m {
 			total += len(ts)
 		}
@@ -97,6 +98,7 @@ func (n *NFA) SymbolsFrom(s int) []int {
 	}
 	out := make([]int, 0, len(n.trans[s]))
 	for a := range n.trans[s] {
+		//repolint:allow maprange — symbols are sorted before returning below.
 		out = append(out, a)
 	}
 	sort.Ints(out)
@@ -111,6 +113,7 @@ func (n *NFA) Accepts(word []int) bool {
 	}
 	for _, a := range word {
 		next := make(map[int]bool)
+		//repolint:allow maprange — set-to-set image; order-insensitive.
 		for s := range cur {
 			for _, t := range n.Next(s, a) {
 				next[t] = true
@@ -121,6 +124,7 @@ func (n *NFA) Accepts(word []int) bool {
 			return false
 		}
 	}
+	//repolint:allow maprange — existential check; order-insensitive.
 	for s := range cur {
 		if n.accept[s] {
 			return true

@@ -11,6 +11,7 @@ import (
 // (Proposition 4.1, polynomial).
 func Union(a, b *NFA) *NFA {
 	if a.numSymbols != b.numSymbols {
+		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
 		panic("wordauto: Union over different alphabets")
 	}
 	out := New(a.numStates+b.numStates, a.numSymbols)
@@ -47,6 +48,7 @@ func Union(a, b *NFA) *NFA {
 // construction restricted to reachable pairs (Proposition 4.1).
 func Intersect(a, b *NFA) *NFA {
 	if a.numSymbols != b.numSymbols {
+		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
 		panic("wordauto: Intersect over different alphabets")
 	}
 	type pair struct{ s, t int }
@@ -183,6 +185,7 @@ func Complement(a *NFA) *NFA {
 // future step (transitions are monotone in the subset).
 func Contains(a, b *NFA) (bool, []int) {
 	if a.numSymbols != b.numSymbols {
+		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
 		panic("wordauto: Contains over different alphabets")
 	}
 	type conf struct {

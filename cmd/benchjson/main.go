@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// report so benchmark trajectories can be committed and diffed across
+// PRs. The raw benchmark lines are preserved verbatim in the report, so
+// extracting them (jq -r '.raw[]') yields text benchstat accepts; the
+// parsed entries carry name, GOMAXPROCS (the -cpu suffix), ns/op, and
+// every custom metric.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=Scaling -cpu 1,4 . | go run ./cmd/benchjson -note "ci 4 vcpu" -o BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is the committed JSON document.
+type Report struct {
+	Note       string            `json:"note,omitempty"`
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Raw        []string          `json:"raw"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form provenance note recorded in the report")
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	report.Note = *note
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` text: context headers (goos, goarch,
+// pkg, cpu), benchmark result lines, and anything else (PASS, ok)
+// preserved only in Raw.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		report.Raw = append(report.Raw, line)
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if rest, ok := strings.CutPrefix(line, key+": "); ok {
+				report.Context[key] = strings.TrimSpace(rest)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", line, err)
+		}
+		report.Benchmarks = append(report.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input")
+	}
+	return report, nil
+}
+
+// parseLine splits one result line:
+//
+//	BenchmarkScalingEval/chain200-4   12   3138159 ns/op   200.0 derived
+//
+// The trailing -N on the name is GOMAXPROCS (absent means 1), then the
+// iteration count, then value/unit pairs.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, fmt.Errorf("too few fields")
+	}
+	b := Benchmark{Procs: 1, Metrics: map[string]float64{}}
+	b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count: %w", err)
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			continue
+		}
+		b.Metrics[unit] = val
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: datalogeq
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScalingEval/chain200         	      12	   3138159 ns/op	       200.0 derived	       201.0 rounds
+BenchmarkScalingEval/chain200-4       	      20	   1038159 ns/op	       200.0 derived	       201.0 rounds
+BenchmarkScalingUCQ-8                 	   15000	     76308 ns/op
+PASS
+ok  	datalogeq	0.191s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(report.Benchmarks); got != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", got)
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "ScalingEval/chain200" || b.Procs != 1 || b.Iterations != 12 {
+		t.Errorf("first benchmark parsed wrong: %+v", b)
+	}
+	if b.NsPerOp != 3138159 || b.Metrics["derived"] != 200 || b.Metrics["rounds"] != 201 {
+		t.Errorf("first benchmark values wrong: %+v", b)
+	}
+	if b := report.Benchmarks[1]; b.Procs != 4 || b.Name != "ScalingEval/chain200" {
+		t.Errorf("-cpu suffix not split: %+v", b)
+	}
+	if b := report.Benchmarks[2]; b.Procs != 8 || b.Metrics != nil {
+		t.Errorf("metric-free line parsed wrong: %+v", b)
+	}
+	if report.Context["goos"] != "linux" || !strings.Contains(report.Context["cpu"], "Xeon") {
+		t.Errorf("context headers missing: %v", report.Context)
+	}
+	// Raw preserves every input line so benchstat can consume the
+	// extracted text unchanged.
+	if len(report.Raw) != strings.Count(sample, "\n") {
+		t.Errorf("raw lines = %d", len(report.Raw))
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Error("input without benchmark lines accepted")
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	datalog eval -program tc.dl -db graph.dl -goal p [-naive]
+//	datalog eval -program tc.dl -db graph.dl -goal p [-naive] [-workers 4] [-timeout 30s]
 //	datalog unfold -program nonrec.dl -goal q [-minimize]
 //	datalog classify -program prog.dl
 //	datalog check prog.dl [-goal p] [-json]
@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|trees|repl> [flags]
-  eval     -program FILE -db FILE -goal PRED [-naive]
+  eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-timeout D]
   unfold   -program FILE -goal PRED [-minimize]
   classify -program FILE
   check    FILE... [-goal PRED] [-json] [-no-info] [-passes]
@@ -78,6 +79,8 @@ func cmdEval(args []string) error {
 	dbPath := fs.String("db", "", "facts file")
 	goal := fs.String("goal", "", "goal predicate")
 	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
+	workers := fs.Int("workers", 0, "worker goroutines per evaluation round (0 = all cores); results are identical for every value")
+	timeout := fs.Duration("timeout", 0, "abort evaluation after this duration (0 = no limit)")
 	fs.Parse(args)
 	if *progPath == "" || *dbPath == "" || *goal == "" {
 		return fmt.Errorf("eval needs -program, -db, and -goal")
@@ -94,7 +97,13 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	rel, stats, err := eval.Goal(prog, db, *goal, eval.Options{Naive: *naive})
+	opts := eval.Options{Naive: *naive, Workers: *workers}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
+	rel, stats, err := eval.Goal(prog, db, *goal, opts)
 	if err != nil {
 		return err
 	}

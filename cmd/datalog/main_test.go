@@ -37,6 +37,26 @@ func TestCmdEval(t *testing.T) {
 	}
 }
 
+func TestCmdEvalWorkersAndTimeout(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).\n")
+	db := write(t, dir, "g.dl", "e(a, b). e(b, c).")
+	for _, workers := range []string{"1", "4"} {
+		if err := cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-workers", workers}); err != nil {
+			t.Fatalf("-workers %s: %v", workers, err)
+		}
+	}
+	// A generous timeout lets the evaluation finish.
+	if err := cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-timeout", "1m"}); err != nil {
+		t.Fatalf("-timeout 1m: %v", err)
+	}
+	// A zero-width deadline aborts: context.WithTimeout(0) is expired on
+	// arrival, so Eval must return the deadline error.
+	if err := cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-timeout", "1ns"}); err == nil {
+		t.Error("expired timeout accepted")
+	}
+}
+
 func TestCmdUnfold(t *testing.T) {
 	dir := t.TempDir()
 	prog := write(t, dir, "nr.dl", `

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"datalogeq/internal/ast"
 	"datalogeq/internal/core"
@@ -87,6 +89,18 @@ func loadUCQ(path, goal string) (ucq.UCQ, error) {
 	return u, u.Validate()
 }
 
+// evalOpts assembles core.Options from the shared bounding flags. The
+// returned cancel must be deferred by the caller.
+func evalOpts(maxStates, workers int, timeout time.Duration) (core.Options, context.CancelFunc) {
+	opts := core.Options{MaxStates: maxStates, Workers: workers}
+	if timeout <= 0 {
+		return opts, func() {}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	opts.Ctx = ctx
+	return opts, cancel
+}
+
 func cmdContain(args []string) (bool, error) {
 	fs := flag.NewFlagSet("contain", flag.ExitOnError)
 	progPath := fs.String("program", "", "recursive program file")
@@ -94,6 +108,8 @@ func cmdContain(args []string) (bool, error) {
 	queriesPath := fs.String("queries", "", "union of conjunctive queries (as rules)")
 	linear := fs.Bool("linear", false, "use the word-automaton procedure (path-linear programs)")
 	maxStates := fs.Int("max-states", 0, "abort if an automaton exceeds this many states")
+	workers := fs.Int("workers", 0, "worker goroutines for automata construction and containment (0 = all cores)")
+	timeout := fs.Duration("timeout", 0, "abort the check after this duration (0 = no limit)")
 	fs.Parse(args)
 	if *progPath == "" || *goal == "" || *queriesPath == "" {
 		return false, fmt.Errorf("contain needs -program, -goal, and -queries")
@@ -106,7 +122,8 @@ func cmdContain(args []string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	opts := core.Options{MaxStates: *maxStates}
+	opts, cancel := evalOpts(*maxStates, *workers, *timeout)
+	defer cancel()
 	var res core.Result
 	if *linear {
 		if !prog.IsPathLinear() {
@@ -183,6 +200,8 @@ func cmdNonrec(args []string) (bool, error) {
 	nrPath := fs.String("nonrec", "", "nonrecursive program file")
 	goal := fs.String("goal", "", "goal predicate")
 	maxStates := fs.Int("max-states", 0, "abort if an automaton exceeds this many states")
+	workers := fs.Int("workers", 0, "worker goroutines for automata construction and containment (0 = all cores)")
+	timeout := fs.Duration("timeout", 0, "abort the check after this duration (0 = no limit)")
 	fs.Parse(args)
 	if *progPath == "" || *nrPath == "" || *goal == "" {
 		return false, fmt.Errorf("nonrec needs -program, -nonrec, and -goal")
@@ -195,7 +214,9 @@ func cmdNonrec(args []string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	res, err := core.EquivalentToNonrecursive(prog, *goal, nr, core.Options{MaxStates: *maxStates})
+	opts, cancel := evalOpts(*maxStates, *workers, *timeout)
+	defer cancel()
+	res, err := core.EquivalentToNonrecursive(prog, *goal, nr, opts)
 	if err != nil {
 		return false, err
 	}

@@ -1,7 +1,7 @@
 // Command repolint is this repository's custom static analyzer for its
 // own Go source, built on the standard library only (go/parser,
-// go/types). It enforces two repo invariants that gofmt and go vet do
-// not cover:
+// go/types). It enforces repo invariants that gofmt and go vet do not
+// cover:
 //
 //   - maprange: in the decision-procedure packages (treeauto, wordauto,
 //     core, ucq) iterating a map with range is flagged, because map
@@ -16,6 +16,22 @@
 //     programs: user input must surface as errors with positions, not
 //     crashes. True invariant violations stay panics, annotated with
 //     "//repolint:allow panic — <why this is unreachable from input>".
+//
+//   - goroutine: a naked go statement anywhere outside internal/par is
+//     flagged. All concurrency in this repo flows through the par
+//     executor so worker counts, stop flags, and determinism arguments
+//     live in one audited place. Annotate deliberate exceptions with
+//     "//repolint:allow goroutine — <why this cannot go through par>".
+//
+//   - mutexcopy: copying a value whose type (recursively) contains a
+//     sync.Mutex or sync.RWMutex — in an assignment, var initializer,
+//     call argument, or return — is flagged; a copied lock guards
+//     nothing. Pass a pointer instead.
+//
+//   - loopcapture: a go statement whose function literal captures a
+//     loop variable is flagged when the module's go directive predates
+//     1.22 (per-iteration loop variables); before then every iteration
+//     shares one variable and the goroutines race on it.
 //
 // Usage: go run ./cmd/repolint ./...
 package main
@@ -157,6 +173,7 @@ func hasGoFiles(dir string) bool {
 type linter struct {
 	root     string
 	module   string
+	preGo122 bool // module go directive < 1.22: loop vars are shared
 	fset     *token.FileSet
 	stdlib   types.ImporterFrom
 	pkgs     map[string]*types.Package // by import path
@@ -173,14 +190,33 @@ type pkgInfo struct {
 
 func newLinter(root, module string) *linter {
 	fset := token.NewFileSet()
+	major, minor := moduleGoVersion(root)
 	return &linter{
-		root:   root,
-		module: module,
-		fset:   fset,
-		stdlib: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:   make(map[string]*types.Package),
-		infos:  make(map[string]*pkgInfo),
+		root:     root,
+		module:   module,
+		preGo122: major == 1 && minor < 22,
+		fset:     fset,
+		stdlib:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:     make(map[string]*types.Package),
+		infos:    make(map[string]*pkgInfo),
 	}
+}
+
+// moduleGoVersion parses the "go" directive from the module's go.mod.
+// Returns zeros if absent: loopcapture then stays off rather than
+// guessing.
+func moduleGoVersion(root string) (major, minor int) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return 0, 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "go "); ok {
+			fmt.Sscanf(strings.TrimSpace(rest), "%d.%d", &major, &minor)
+			return major, minor
+		}
+	}
+	return 0, 0
 }
 
 // Import resolves module-internal import paths by type-checking the
@@ -235,6 +271,7 @@ func (l *linter) check(dir string) (*pkgInfo, error) {
 	info := &types.Info{
 		Types: make(map[ast.Expr]types.TypeAndValue),
 		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
 	}
 	conf := types.Config{Importer: l}
 	rel, _ := filepath.Rel(l.root, dir)
@@ -251,7 +288,7 @@ func (l *linter) check(dir string) (*pkgInfo, error) {
 	return pi, nil
 }
 
-// lintDir runs both checks over one package directory.
+// lintDir runs all checks over one package directory.
 func (l *linter) lintDir(dir string) error {
 	pi, err := l.check(dir)
 	if err != nil {
@@ -261,6 +298,9 @@ func (l *linter) lintDir(dir string) error {
 	rel = filepath.ToSlash(rel)
 	inInternal := strings.HasPrefix(rel, "internal/")
 	checkMapRange := orderedPkgs[filepath.Base(dir)] && inInternal
+	// internal/par is the one place allowed to spawn raw goroutines: it
+	// IS the executor everything else is told to use.
+	checkGo := rel != "internal/par"
 	for _, f := range pi.files {
 		allowed := allowLines(l.fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -281,7 +321,19 @@ func (l *linter) lintDir(dir string) error {
 					return true
 				}
 				l.report(pos, "range over map: iteration order is random and this package's output must be deterministic; iterate sorted keys or annotate //repolint:allow maprange")
+			case *ast.GoStmt:
+				if !checkGo {
+					return true
+				}
+				pos := l.fset.Position(n.Pos())
+				if suppressed(allowed["goroutine"], pos.Line) {
+					return true
+				}
+				l.report(pos, "naked go statement: spawn goroutines through internal/par so worker counts and stop flags stay centralized, or annotate //repolint:allow goroutine")
 			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					l.checkMutexCopy(pi, allowed, arg)
+				}
 				if !inInternal {
 					return true
 				}
@@ -298,11 +350,154 @@ func (l *linter) lintDir(dir string) error {
 					return true
 				}
 				l.report(pos, "panic in library code: untrusted input must surface as errors with positions; return an error or annotate //repolint:allow panic")
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					l.checkMutexCopy(pi, allowed, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					l.checkMutexCopy(pi, allowed, v)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					l.checkMutexCopy(pi, allowed, r)
+				}
 			}
 			return true
 		})
+		if l.preGo122 {
+			l.checkLoopCapture(pi, f, allowed)
+		}
 	}
 	return nil
+}
+
+// checkMutexCopy flags e when it reads an existing value whose type
+// recursively contains a sync.Mutex or sync.RWMutex: the enclosing
+// assignment, call, or return copies the lock. Fresh values (composite
+// literals, function-call results, &x) are not copies and pass.
+func (l *linter) checkMutexCopy(pi *pkgInfo, allowed map[string]map[int]bool, e ast.Expr) {
+	switch unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	tv, ok := pi.info.Types[e]
+	if !ok || tv.Type == nil || !containsMutex(tv.Type, nil) {
+		return
+	}
+	pos := l.fset.Position(e.Pos())
+	if suppressed(allowed["mutexcopy"], pos.Line) {
+		return
+	}
+	l.report(pos, "copies a value containing a sync.Mutex: a copied lock guards nothing; pass a pointer or annotate //repolint:allow mutexcopy")
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// containsMutex reports whether t recursively contains a sync.Mutex or
+// sync.RWMutex (through struct fields and array elements; pointers,
+// slices, and maps share rather than copy, so they stop the search).
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if name := obj.Name(); name == "Mutex" || name == "RWMutex" {
+				return true
+			}
+		}
+		return containsMutex(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsMutex(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(t.Elem(), seen)
+	}
+	return false
+}
+
+// checkLoopCapture flags go statements whose function literal reads a
+// loop variable. Only meaningful for modules on go < 1.22, where every
+// iteration shares one variable and the goroutines race on it.
+func (l *linter) checkLoopCapture(pi *pkgInfo, f *ast.File, allowed map[string]map[int]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		loopVars := make(map[types.Object]bool)
+		var body *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pi.info.Defs[id]; obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+			body = s.Body
+		case *ast.ForStmt:
+			if as, ok := s.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, e := range as.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pi.info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+			body = s.Body
+		default:
+			return true
+		}
+		if len(loopVars) == 0 {
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			g, ok := m.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			captured := false
+			ast.Inspect(fl.Body, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok {
+					if obj := pi.info.Uses[id]; obj != nil && loopVars[obj] {
+						captured = true
+					}
+				}
+				return true
+			})
+			if !captured {
+				return true
+			}
+			pos := l.fset.Position(g.Pos())
+			if suppressed(allowed["loopcapture"], pos.Line) {
+				return true
+			}
+			l.report(pos, "goroutine captures a loop variable: on go < 1.22 iterations share the variable and the goroutines race on it; pass it as an argument or annotate //repolint:allow loopcapture")
+			return true
+		})
+		return true
+	})
 }
 
 func (l *linter) report(pos token.Position, msg string) {

@@ -73,13 +73,18 @@ func Sum(m map[string]int) int {
 
 func Boom() { panic("boom") }
 `,
-		// A command: neither check applies.
+		// A command: maprange and panic do not apply, but the goroutine
+		// check does. The module is on go 1.22, so the loop-variable
+		// capture is NOT additionally flagged (per-iteration variables).
 		"cmd/tool/main.go": `package main
 
 func main() {
 	m := map[string]int{"a": 1}
 	for range m {
 		panic("fine here")
+	}
+	for k := range m {
+		go func() { _ = k }()
 	}
 }
 `,
@@ -107,6 +112,99 @@ func TestPanic(t *testing.T) { defer func() { recover() }(); panic("ok") }
 		"internal/core/a.go:5":   "range over map",
 		"internal/core/a.go:21":  "panic in library code",
 		"internal/other/b.go:11": "panic in library code",
+		"cmd/tool/main.go:9":     "naked go statement",
+	}
+	for _, f := range l.findings {
+		matched := false
+		for prefix, msg := range want {
+			if strings.HasPrefix(f, prefix+":") && strings.Contains(f, msg) {
+				delete(want, prefix)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for prefix, msg := range want {
+		t.Errorf("missing finding %q at %s", msg, prefix)
+	}
+}
+
+// TestLinterConcurrency exercises the concurrency pass: naked go
+// statements (with internal/par exempt), mutex copies, and — because
+// this fixture module is on go 1.21 — loop-variable capture in
+// goroutines.
+func TestLinterConcurrency(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod": "module example.com/concme\n\ngo 1.21\n",
+		// The executor package itself may spawn raw goroutines.
+		"internal/par/par.go": `package par
+
+func Go(fn func()) { go fn() }
+`,
+		"internal/work/w.go": `package work
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func Spawn(fn func()) {
+	go fn()
+}
+
+func SpawnAllowed(fn func()) {
+	go fn() //repolint:allow goroutine — fixture: managed elsewhere.
+}
+
+func Dup(g *guarded) guarded {
+	h := *g
+	return h
+}
+
+func take(g guarded) int { return g.n }
+
+func Use(g *guarded) int { return take(*g) }
+
+func Snapshot(g *guarded) guarded {
+	return *g //repolint:allow mutexcopy — fixture: caller owns g exclusively.
+}
+
+func Loop(items []int, fn func(int)) {
+	for _, it := range items {
+		go func() { //repolint:allow goroutine — fixture: exercising loopcapture.
+			fn(it)
+		}()
+	}
+}
+`,
+	})
+
+	dirs, err := expandDirs(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLinter(root, "example.com/concme")
+	if !l.preGo122 {
+		t.Fatal("go 1.21 module not detected as pre-1.22")
+	}
+	for _, dir := range dirs {
+		if err := l.lintDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[string]string{
+		"internal/work/w.go:11": "naked go statement",
+		"internal/work/w.go:19": "sync.Mutex",
+		"internal/work/w.go:20": "sync.Mutex",
+		"internal/work/w.go:25": "sync.Mutex",
+		"internal/work/w.go:33": "captures a loop variable",
 	}
 	for _, f := range l.findings {
 		matched := false

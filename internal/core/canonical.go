@@ -1,10 +1,13 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"datalogeq/internal/ast"
 	"datalogeq/internal/cq"
 	"datalogeq/internal/database"
 	"datalogeq/internal/eval"
+	"datalogeq/internal/par"
 	"datalogeq/internal/ucq"
 )
 
@@ -19,7 +22,10 @@ func CQContainedInProgram(theta cq.CQ, prog *ast.Program, goal string) (bool, er
 		return false, nil
 	}
 	db, head := theta.CanonicalDB()
-	rel, _, err := eval.Goal(prog, db, goal, eval.Options{})
+	// Canonical databases are tiny (one fact per body atom), so the
+	// evaluation runs single-worker; the parallelism worth having is the
+	// per-disjunct fan-out in UCQContainedInProgram.
+	rel, _, err := eval.Goal(prog, db, goal, eval.Options{Workers: 1})
 	if err != nil {
 		return false, err
 	}
@@ -27,15 +33,40 @@ func CQContainedInProgram(theta cq.CQ, prog *ast.Program, goal string) (bool, er
 }
 
 // UCQContainedInProgram decides Θ ⊆ Π disjunct-wise (Theorem 2.3 makes
-// per-disjunct checking exact when the left side is a union).
+// per-disjunct checking exact when the left side is a union). The
+// disjunct checks — independent canonical-database evaluations — fan
+// out across the worker pool; the reported failing disjunct is the
+// lowest-indexed one, exactly as in a sequential scan: workers track
+// the minimum known-bad index and skip disjuncts beyond it, and every
+// disjunct below the final minimum has completed cleanly.
 func UCQContainedInProgram(q ucq.UCQ, prog *ast.Program, goal string) (bool, *cq.CQ, error) {
-	for i := range q.Disjuncts {
-		d := q.Disjuncts[i]
-		ok, err := CQContainedInProgram(d, prog, goal)
-		if err != nil {
-			return false, nil, err
+	n := len(q.Disjuncts)
+	oks := make([]bool, n)
+	errs := make([]error, n)
+	var bad atomic.Int64
+	bad.Store(int64(n))
+	par.ForEach(par.Workers(0), n, func(i int) {
+		if int64(i) > bad.Load() {
+			return // a lower bad index already decides the outcome
 		}
-		if !ok {
+		ok, err := CQContainedInProgram(q.Disjuncts[i], prog, goal)
+		oks[i], errs[i] = ok, err
+		if ok && err == nil {
+			return
+		}
+		for {
+			cur := bad.Load()
+			if int64(i) >= cur || bad.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	})
+	for i := range q.Disjuncts {
+		if errs[i] != nil {
+			return false, nil, errs[i]
+		}
+		if !oks[i] {
+			d := q.Disjuncts[i]
 			return false, &d, nil
 		}
 	}

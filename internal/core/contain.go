@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"datalogeq/internal/ast"
 	"datalogeq/internal/cq"
 	"datalogeq/internal/expansion"
+	"datalogeq/internal/par"
 	"datalogeq/internal/treeauto"
 	"datalogeq/internal/ucq"
 	"datalogeq/internal/wordauto"
@@ -17,6 +18,22 @@ type Options struct {
 	// MaxStates aborts a construction whose proof-tree or
 	// strong-mapping automaton exceeds this many states; 0 = unlimited.
 	MaxStates int
+	// Ctx, when non-nil, cancels a check between stages and inside the
+	// state-construction and antichain loops, returning Ctx.Err().
+	Ctx context.Context
+	// Workers bounds the goroutines used for per-disjunct automaton
+	// construction and the containment check's subset steps; 0 or
+	// negative means runtime.GOMAXPROCS(0). Results are identical for
+	// every value.
+	Workers int
+}
+
+// ctxErr reports the options context's cancellation.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // Stats reports the sizes of the constructed automata — the quantities
@@ -66,7 +83,10 @@ func ContainsUCQ(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (Resul
 			b = treeauto.Union(b, tb.freeze(u.NumLetters()))
 		}
 	}
-	ok, wTree := treeauto.Contains(a, b)
+	ok, wTree, err := treeauto.ContainsOpt(a, b, treeauto.ContainOptions{Ctx: opts.Ctx, Workers: opts.Workers})
+	if err != nil {
+		return Result{Stats: stats}, err
+	}
 	res := Result{Contained: ok, Stats: stats}
 	if !ok {
 		res.Witness = decodeWitness(u, pt, wTree)
@@ -98,19 +118,13 @@ func buildAutomata(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (*Un
 	stats.Letters = u.NumLetters()
 	// The strong-mapping automata only read the universe (every atom
 	// they touch was interned by the proof-tree construction), so the
-	// per-disjunct builds run in parallel.
+	// per-disjunct builds fan out across the worker pool.
 	thetas := make([]*taBuilder, len(q.Disjuncts))
 	counts := make([]int, len(q.Disjuncts))
 	errs := make([]error, len(q.Disjuncts))
-	var wg sync.WaitGroup
-	for i := range q.Disjuncts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			thetas[i], counts[i], errs[i] = u.buildTheta(q.Disjuncts[i], pt, opts.MaxStates)
-		}(i)
-	}
-	wg.Wait()
+	par.ForEach(par.Workers(opts.Workers), len(q.Disjuncts), func(i int) {
+		thetas[i], counts[i], errs[i] = u.buildTheta(q.Disjuncts[i], pt, opts)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, nil, nil, stats, err
@@ -122,8 +136,10 @@ func buildAutomata(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (*Un
 
 // buildTheta constructs A^θ (Proposition 5.10) restricted to reachable
 // states, as a builder over the universe's letters. It returns the
-// builder and its state count.
-func (u *Universe) buildTheta(theta cq.CQ, pt *PtreesResult, maxStates int) (*taBuilder, int, error) {
+// builder and its state count. Safe to run concurrently for different
+// disjuncts: it only reads the universe and the proof-tree result.
+func (u *Universe) buildTheta(theta cq.CQ, pt *PtreesResult, opts Options) (*taBuilder, int, error) {
+	maxStates := opts.MaxStates
 	info, err := newThetaInfo(theta)
 	if err != nil {
 		return nil, 0, err
@@ -150,6 +166,11 @@ func (u *Universe) buildTheta(theta cq.CQ, pt *PtreesResult, maxStates int) (*ta
 	for id := 0; id < len(states); id++ {
 		if maxStates > 0 && len(states) > maxStates {
 			return nil, 0, fmt.Errorf("core: strong-mapping automaton exceeds %d states", maxStates)
+		}
+		if id&255 == 0 {
+			if err := opts.ctxErr(); err != nil {
+				return nil, 0, err
+			}
 		}
 		st := states[id]
 		for _, letter := range pt.LettersByAtom[st.atomID] {
@@ -242,6 +263,9 @@ func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) 
 	// One word automaton per disjunct, then the nondeterministic union.
 	var bw *wordauto.NFA
 	for _, d := range q.Disjuncts {
+		if err := opts.ctxErr(); err != nil {
+			return Result{Stats: stats}, err
+		}
 		nb, n, err := u.buildThetaWord(d, pt, opts.MaxStates)
 		if err != nil {
 			return Result{}, err
@@ -256,6 +280,9 @@ func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) 
 	}
 	if bw == nil {
 		bw = wordauto.New(0, u.NumLetters())
+	}
+	if err := opts.ctxErr(); err != nil {
+		return Result{Stats: stats}, err
 	}
 	ok, word := wordauto.Contains(aw.freeze(u.NumLetters()), bw)
 	res := Result{Contained: ok, Stats: stats}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"datalogeq/internal/gen"
+)
+
+// ContainsUCQ's verdict and stats are worker-count independent, and
+// every worker count produces a valid separating witness. (Witness
+// *text* is only canonical per universe construction — letter numbering
+// varies run to run — so cross-run comparison checks validity, not
+// string equality; bit-identical witnesses for fixed automata are
+// covered by treeauto's TestContainsOptWorkersAgree.)
+func TestContainsUCQWorkersAgree(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	for _, k := range []int{2, 3} {
+		q := gen.TCPathsUCQ(k)
+		base, err := ContainsUCQ(prog, "p", q, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			res, err := ContainsUCQ(prog, "p", q, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Contained != base.Contained || res.Stats != base.Stats {
+				t.Errorf("k=%d workers=%d: result %+v, sequential %+v", k, workers, res, base)
+			}
+			if (res.Witness == nil) != (base.Witness == nil) {
+				t.Errorf("k=%d workers=%d: witness presence differs", k, workers)
+			}
+			if res.Witness != nil {
+				verifyWitness(t, prog, "p", q, res.Witness)
+			}
+		}
+	}
+}
+
+// A cancelled context aborts the containment and equivalence
+// procedures with the context's error.
+func TestContainmentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prog := gen.TransitiveClosure()
+	q := gen.TCPathsUCQ(3)
+	for _, workers := range []int{1, 4} {
+		_, err := ContainsUCQ(prog, "p", q, Options{Ctx: ctx, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: ContainsUCQ err = %v, want context.Canceled", workers, err)
+		}
+		_, err = ContainsUCQLinear(prog, "p", q, Options{Ctx: ctx, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: ContainsUCQLinear err = %v, want context.Canceled", workers, err)
+		}
+	}
+}

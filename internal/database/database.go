@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"datalogeq/internal/ast"
 )
@@ -95,6 +96,21 @@ func (s *StorageStats) add(t StorageStats) {
 // Relation is a set of same-arity tuples with insertion order preserved.
 // Tuples live as rows of interned IDs in per-column slabs; row IDs are
 // dense insertion indices, which delta-window evaluation relies on.
+//
+// Concurrency contract: a Relation alternates between two phases.
+//
+//   - Read phase: any number of goroutines may call the pure readers —
+//     Len, Arity, At, Column, AppendRowAt, RowAt, ContainsRow, Probe —
+//     concurrently. Nothing may mutate the relation (no Add/AddRow, no
+//     Match or EnsureIndex that would build an index, no Tuples, no
+//     Contains/Equal, which reuse internal scratch space).
+//   - Write phase: exactly one goroutine mutates; no concurrent readers.
+//
+// The parallel evaluator enforces this with a round barrier: workers
+// probe frozen snapshots during the round, and a single-threaded merge
+// applies derived rows between rounds. AddRow and Probe carry a cheap
+// atomic assertion that panics when the phases are mixed, so a violation
+// surfaces immediately instead of as silent corruption.
 type Relation struct {
 	arity int
 	n     int
@@ -106,6 +122,9 @@ type Relation struct {
 	strs    []Tuple
 	scratch Row
 	stats   StorageStats
+	// writing asserts the concurrency contract above: set while AddRow
+	// mutates, checked by Probe.
+	writing atomic.Bool
 }
 
 // NewRelation returns an empty relation of the given arity.
@@ -154,6 +173,7 @@ func (r *Relation) AddRow(row Row) bool {
 	if r.set.lookup(r, row, h) >= 0 {
 		return false
 	}
+	r.writing.Store(true)
 	id := int32(r.n)
 	for c := range r.cols {
 		r.cols[c] = append(r.cols[c], row[c])
@@ -164,6 +184,7 @@ func (r *Relation) AddRow(row Row) bool {
 		r.scratch = idx.add(r, id, r.scratch)
 		r.stats.IndexAppends++
 	}
+	r.writing.Store(false)
 	return true
 }
 
@@ -260,6 +281,41 @@ func (r *Relation) indexFor(mask uint64) *relIndex {
 	return idx
 }
 
+// EnsureIndex builds the persistent index on mask if it does not exist
+// yet, by a single full scan. It is the write-phase half of the
+// concurrent probing contract: the parallel evaluator ensures every
+// index its compiled rules will probe between rounds, so that Probe is
+// a pure read during the round. Mask semantics match Match.
+func (r *Relation) EnsureIndex(mask uint64) {
+	r.indexFor(mask)
+}
+
+// Probe returns the IDs of rows in [lo, hi) whose values at the columns
+// of mask equal key, exactly like Match, but as a pure read: it never
+// builds an index (ok reports whether one exists) and never touches the
+// relation's counters or scratch space, so any number of goroutines may
+// Probe concurrently during a read phase. Callers count their own hits
+// and fold them in later via AddIndexHits. The returned slice aliases
+// the index; callers must not modify it.
+func (r *Relation) Probe(mask uint64, key Row, lo, hi int) (rows []int32, ok bool) {
+	if r.writing.Load() {
+		//repolint:allow panic — invariant: the evaluator's round barrier separates probes from writes; a trip here is a scheduler bug, not user input.
+		panic("database: Probe during a write phase (concurrent-read contract violated)")
+	}
+	idx, found := r.indexes[mask]
+	if !found {
+		return nil, false
+	}
+	return window(idx.lookup(r, key, hashRow(key)), lo, hi), true
+}
+
+// AddIndexHits folds n externally counted Probe hits into the
+// relation's statistics. Single-writer: call it only from a write
+// phase (the evaluator's merge step).
+func (r *Relation) AddIndexHits(n uint64) {
+	r.stats.IndexHits += n
+}
+
 // Stats returns the relation's engine counters.
 func (r *Relation) Stats() StorageStats {
 	s := r.stats
@@ -307,6 +363,12 @@ func (r *Relation) Equal(s *Relation) bool {
 
 // DB is a database: a map from predicate name to relation. The zero
 // value is not usable; construct with New.
+//
+// Concurrency: Lookup, Preds, FactCount and the per-relation read-phase
+// operations are safe to call from many goroutines as long as no
+// goroutine mutates the database (Add/AddRow/Relation may create
+// relations and must run exclusively). The same read/write phase
+// discipline as Relation applies.
 type DB struct {
 	relations map[string]*Relation
 }

@@ -1,6 +1,9 @@
 package database
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Interner maps constant strings to dense uint32 IDs and back. IDs are
 // assigned in interning order starting at 0, are never recycled, and
@@ -9,62 +12,75 @@ import "sync"
 //
 // All storage in this package (Row, Relation slabs, indexes) speaks IDs
 // from the process-wide shared interner, so rows from different
-// databases compare directly by ID. An Interner is safe for concurrent
-// use.
+// databases compare directly by ID.
+//
+// Concurrency contract: an Interner is safe for concurrent use, and the
+// read paths (Intern of an already-known string, ID, Value, Len) are
+// lock-free — parallel evaluation workers and containment checks probe
+// the table without contending on a mutex. Only the slow path of Intern
+// (first sight of a string) takes a lock, which serializes writers:
+//
+//   - string → ID lookups go through a sync.Map, whose read path is a
+//     lock-free hash lookup for keys that have been stable for a while
+//     (exactly the read-mostly regime of a symbol table);
+//   - ID → string lookups go through an atomically published snapshot of
+//     the symbol slice. Writers append in place while holding the mutex
+//     and publish a fresh slice header; a reader holding ID i obtained
+//     it (directly or through a row) after the header with len > i was
+//     published, so the atomic load always yields a slice long enough.
 type Interner struct {
-	mu   sync.RWMutex
-	ids  map[string]uint32
-	syms []string
+	mu   sync.Mutex // serializes writers; readers never take it
+	ids  sync.Map   // string → uint32
+	syms atomic.Pointer[[]string]
 }
 
 // NewInterner returns an empty interner.
 func NewInterner() *Interner {
-	return &Interner{ids: make(map[string]uint32)}
+	in := &Interner{}
+	empty := make([]string, 0)
+	in.syms.Store(&empty)
+	return in
 }
 
 // Intern returns the ID for s, assigning the next dense ID on first
-// sight.
+// sight. For already-interned strings this is a lock-free lookup.
 func (in *Interner) Intern(s string) uint32 {
-	in.mu.RLock()
-	id, ok := in.ids[s]
-	in.mu.RUnlock()
-	if ok {
-		return id
+	if v, ok := in.ids.Load(s); ok {
+		return v.(uint32)
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if id, ok := in.ids[s]; ok {
-		return id
+	if v, ok := in.ids.Load(s); ok {
+		return v.(uint32)
 	}
-	id = uint32(len(in.syms))
-	in.ids[s] = id
-	in.syms = append(in.syms, s)
+	cur := *in.syms.Load()
+	id := uint32(len(cur))
+	// Append in place (amortized growth) and publish the longer header
+	// before making the ID discoverable: anyone who can observe the ID
+	// can then resolve it through Value.
+	next := append(cur, s)
+	in.syms.Store(&next)
+	in.ids.Store(s, id)
 	return id
 }
 
 // ID returns the ID for s if it has been interned.
 func (in *Interner) ID(s string) (uint32, bool) {
-	in.mu.RLock()
-	id, ok := in.ids[s]
-	in.mu.RUnlock()
-	return id, ok
+	if v, ok := in.ids.Load(s); ok {
+		return v.(uint32), true
+	}
+	return 0, false
 }
 
 // Value returns the string for an interned ID. It panics on an ID that
 // was never assigned, which always indicates corrupted row data.
 func (in *Interner) Value(id uint32) string {
-	in.mu.RLock()
-	s := in.syms[id]
-	in.mu.RUnlock()
-	return s
+	return (*in.syms.Load())[id]
 }
 
 // Len returns the number of interned constants.
 func (in *Interner) Len() int {
-	in.mu.RLock()
-	n := len(in.syms)
-	in.mu.RUnlock()
-	return n
+	return len(*in.syms.Load())
 }
 
 // shared is the process-wide symbol table every DB speaks.

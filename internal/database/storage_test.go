@@ -2,6 +2,7 @@ package database
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -205,4 +206,84 @@ func BenchmarkRelationAddDuplicates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r.Add(dup)
 	}
+}
+
+// TestProbeReadOnlyContract covers the concurrent-read API: Probe
+// answers exactly like Match once EnsureIndex has run, reports a miss
+// (rather than building) when the index is absent, and leaves every
+// counter untouched.
+func TestProbeReadOnlyContract(t *testing.T) {
+	r := NewRelation(2)
+	for i := 0; i < 8; i++ {
+		r.Add(Tuple{fmt.Sprintf("x%d", i%3), fmt.Sprintf("y%d", i)})
+	}
+	key := Row{Intern("x1")}
+	if _, ok := r.Probe(1, key, 0, r.Len()); ok {
+		t.Fatal("Probe built or found an index that was never ensured")
+	}
+	if got := r.Stats().IndexBuilds; got != 0 {
+		t.Fatalf("Probe miss built an index: builds = %d", got)
+	}
+	r.EnsureIndex(1)
+	if got := r.Stats().IndexBuilds; got != 1 {
+		t.Fatalf("EnsureIndex builds = %d, want 1", got)
+	}
+	r.EnsureIndex(1) // idempotent
+	if got := r.Stats().IndexBuilds; got != 1 {
+		t.Fatalf("EnsureIndex not idempotent: builds = %d", got)
+	}
+	want := r.Match(1, key, 0, r.Len())
+	hitsAfterMatch := r.Stats().IndexHits
+	got, ok := r.Probe(1, key, 0, r.Len())
+	if !ok {
+		t.Fatal("Probe missed an ensured index")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Probe rows = %v, Match rows = %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Probe rows = %v, Match rows = %v", got, want)
+		}
+	}
+	if r.Stats().IndexHits != hitsAfterMatch {
+		t.Error("Probe mutated the hit counter")
+	}
+	r.AddIndexHits(5)
+	if r.Stats().IndexHits != hitsAfterMatch+5 {
+		t.Error("AddIndexHits did not fold in")
+	}
+}
+
+// TestConcurrentProbes hammers a frozen relation from many goroutines —
+// the evaluator's read phase — and must be race-detector clean.
+func TestConcurrentProbes(t *testing.T) {
+	r := NewRelation(2)
+	for i := 0; i < 200; i++ {
+		r.Add(Tuple{fmt.Sprintf("k%d", i%10), fmt.Sprintf("v%d", i)})
+	}
+	r.EnsureIndex(1)
+	n := r.Len()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := make(Row, 1)
+			for i := 0; i < 500; i++ {
+				id, _ := LookupID(fmt.Sprintf("k%d", (i+g)%10))
+				key[0] = id
+				rows, ok := r.Probe(1, key, 0, n)
+				if !ok || len(rows) != 20 {
+					panic(fmt.Sprintf("probe k%d: ok=%v rows=%d", (i+g)%10, ok, len(rows)))
+				}
+				for _, rid := range rows {
+					if r.At(int(rid), 0) != id {
+						panic("probe returned a non-matching row")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -12,9 +12,17 @@
 // relations and are maintained incrementally as facts are derived, and
 // semi-naive deltas are windows of row IDs into each relation's slab
 // rather than copied tuple slices.
+//
+// Evaluation is parallel (exec.go): each fixpoint round freezes the
+// store, fans the rule firings out over Options.Workers goroutines that
+// probe the frozen snapshot lock-free, and applies the buffered
+// derivations in a single-threaded, canonically ordered merge. The
+// output database, Stats, and MaxFacts abort point are bit-identical
+// for every worker count.
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"datalogeq/internal/ast"
@@ -57,9 +65,18 @@ type Options struct {
 	// MaxFacts aborts evaluation once more than this many IDB facts
 	// have been derived; 0 means unlimited. Datalog evaluation always
 	// terminates, but a bound is useful in adversarial benchmarks. The
-	// bound is enforced on every insertion, so evaluation stops
-	// promptly mid-round rather than overshooting until the round ends.
+	// bound is enforced at every merge in canonical order, so the abort
+	// round and the reported fact count are identical for every worker
+	// count.
 	MaxFacts int
+	// Workers is the number of goroutines that fire rules within a
+	// round; 0 or negative means runtime.GOMAXPROCS(0). Results are
+	// bit-identical for every value.
+	Workers int
+	// Ctx, when non-nil, cancels evaluation: long 2EXPTIME-ish runs
+	// return Ctx.Err() promptly (workers poll a cancellation flag
+	// between and within tasks) with a partial database.
+	Ctx context.Context
 }
 
 // window is a half-open range [lo, hi) of row IDs in a relation's slab:
@@ -78,16 +95,18 @@ func Eval(prog *ast.Program, edb *database.DB, opts Options) (*database.DB, Stat
 	}
 	rules, maxVars := compileRules(prog)
 	e := &evaluator{
-		prog:  prog,
-		rules: rules,
-		total: edb.Clone(),
-		opts:  opts,
-		env:   make([]uint32, maxVars),
+		prog:    prog,
+		rules:   rules,
+		maxVars: maxVars,
+		total:   edb.Clone(),
+		opts:    opts,
+		frozen:  make(map[string]int),
+		ensured: make(map[indexKey]bool),
 	}
 	e.domain = activeDomainIDs(prog, edb)
 	stats, err := e.run()
 	st := e.total.StorageStats()
-	stats.IndexHits = st.IndexHits
+	stats.IndexHits = st.IndexHits + e.probeHits
 	stats.IndexBuilds = st.IndexBuilds
 	stats.IndexAppends = st.IndexAppends
 	stats.SlabBytes = st.SlabBytes
@@ -179,148 +198,4 @@ func activeDomainIDs(prog *ast.Program, edb *database.DB) []uint32 {
 		}
 	}
 	return out
-}
-
-type evaluator struct {
-	prog   *ast.Program
-	rules  []crule
-	total  *database.DB
-	domain []uint32
-	opts   Options
-
-	// env is the per-rule slot environment; rules never run
-	// concurrently, so one array sized for the widest rule suffices.
-	env []uint32
-	// key and headRow are reusable scratch rows.
-	key     database.Row
-	headRow database.Row
-
-	// limitErr is set by addFact when MaxFacts is exceeded; the join
-	// unwinds promptly once it is non-nil.
-	limitErr error
-
-	stats Stats
-}
-
-func (e *evaluator) run() (Stats, error) {
-	marks := make(map[string]int)
-	e.snapshot(marks)
-	// Round 0: evaluate every rule against the initial store.
-	e.applyAll(nil)
-	e.stats.Iterations = 1
-	if e.limitErr != nil {
-		return e.stats, e.limitErr
-	}
-	delta := e.advance(marks)
-	for len(delta) > 0 {
-		if e.opts.Naive {
-			e.applyAll(nil)
-		} else {
-			e.applyAll(delta)
-		}
-		e.stats.Iterations++
-		if e.limitErr != nil {
-			return e.stats, e.limitErr
-		}
-		delta = e.advance(marks)
-	}
-	return e.stats, nil
-}
-
-// snapshot records the current length of every relation.
-func (e *evaluator) snapshot(marks map[string]int) {
-	for _, p := range e.total.Preds() {
-		marks[p] = e.total.Lookup(p).Len()
-	}
-}
-
-// advance returns the windows of rows appended since marks and moves
-// marks to the current lengths. Relations created since the last
-// snapshot have an implicit mark of 0.
-func (e *evaluator) advance(marks map[string]int) map[string]window {
-	delta := make(map[string]window)
-	for _, p := range e.total.Preds() {
-		n := e.total.Lookup(p).Len()
-		if m := marks[p]; n > m {
-			delta[p] = window{m, n}
-		}
-		marks[p] = n
-	}
-	return delta
-}
-
-// applyAll evaluates every rule once. With delta == nil every rule is
-// evaluated against the full store. With a non-nil delta, rules whose
-// bodies contain IDB atoms are evaluated once per IDB position, with
-// that position restricted to the delta window of its predicate
-// (standard semi-naive rewriting); rules without IDB subgoals are
-// skipped, since they can derive nothing new after round 0.
-func (e *evaluator) applyAll(delta map[string]window) {
-	for ri := range e.rules {
-		rule := &e.rules[ri]
-		if e.limitErr != nil {
-			return
-		}
-		if delta == nil {
-			e.joinFrom(rule, 0, -1, window{})
-			continue
-		}
-		for _, bi := range rule.idbBody {
-			w, ok := delta[rule.body[bi].pred]
-			if !ok {
-				continue
-			}
-			e.joinFrom(rule, 0, bi, w)
-		}
-	}
-}
-
-func (e *evaluator) addFact(pred string, row database.Row) {
-	e.stats.Firings++
-	if e.total.AddRow(pred, row) {
-		e.stats.Derived++
-		if e.opts.MaxFacts > 0 && e.stats.Derived > e.opts.MaxFacts && e.limitErr == nil {
-			e.limitErr = fmt.Errorf("eval: derived more than %d facts", e.opts.MaxFacts)
-		}
-	}
-}
-
-// emitHead instantiates the head under the rule's environment; unbound
-// head variables range over the active domain. Rows are copied into the
-// store by AddRow, so the scratch row is reused across emissions.
-func (e *evaluator) emitHead(rule *crule) {
-	h := &rule.head
-	row := e.headRow[:0]
-	for _, a := range h.args {
-		switch a.op {
-		case opConst:
-			row = append(row, a.id)
-		case opBound:
-			row = append(row, e.env[a.slot])
-		default: // opBind: unbound, filled by domain enumeration below
-			row = append(row, 0)
-		}
-	}
-	e.headRow = row
-	if len(h.unboundGroups) == 0 {
-		e.addFact(h.pred, row)
-		return
-	}
-	var assign func(g int)
-	assign = func(g int) {
-		if e.limitErr != nil {
-			return
-		}
-		if g == len(h.unboundGroups) {
-			e.addFact(h.pred, row)
-			return
-		}
-		for _, id := range e.domain {
-			for _, p := range h.unboundGroups[g] {
-				row[p] = id
-			}
-			assign(g + 1)
-		}
-	}
-	assign(0)
 }

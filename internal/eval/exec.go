@@ -1,0 +1,258 @@
+package eval
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/par"
+)
+
+// The round engine. Each fixpoint round runs in three strictly
+// separated phases:
+//
+//  1. prepare (single-threaded): ensure every (predicate, column-mask)
+//     index the compiled rules can use exists on the current store.
+//  2. fire (parallel): build the round's task list — one task per rule
+//     in a full round, one per (rule, delta position) in a semi-naive
+//     round — and fan the tasks out over the worker pool. Workers probe
+//     relations and indexes purely (database.Relation.Probe) and buffer
+//     every derived head row; nothing is written to the store, so the
+//     store and its indexes are frozen for the whole phase and reads
+//     need no locks.
+//  3. merge (single-threaded): apply the buffered rows in task order.
+//
+// Determinism: the task list is a pure function of the program and the
+// previous round's windows; each task's output rows depend only on the
+// frozen store and are enumerated in ascending row-ID order (both the
+// index posting lists and the linear scan yield rows oldest-first); the
+// merge applies tasks in canonical task order. Insertion order into the
+// store — hence row IDs, delta windows, duplicate suppression, Stats,
+// and the MaxFacts abort point — is therefore bit-identical for every
+// worker count, including 1.
+//
+// This is Jacobi-style iteration: facts derived in round i are visible
+// to joins from round i+1 on, never mid-round. The fixpoint is the same
+// (every round is monotone and bounded by the naive fixpoint), though
+// round counts can differ from an engine with mid-round visibility.
+
+// task is one unit of parallel work: fire rule against the frozen
+// store, with body position deltaPos (if >= 0) restricted to window w.
+type task struct {
+	rule     int
+	deltaPos int
+	w        window
+}
+
+// taskResult is a task's buffered output: head rows, flattened at the
+// head's arity. count is the number of firings (== rows/arity except
+// for zero-arity heads, which buffer no cells).
+type taskResult struct {
+	rows  []uint32
+	count int
+}
+
+// indexKey identifies a join index the engine has already ensured.
+type indexKey struct {
+	pred string
+	mask uint64
+}
+
+type evaluator struct {
+	prog    *ast.Program
+	rules   []crule
+	maxVars int
+	total   *database.DB
+	domain  []uint32
+	opts    Options
+
+	workers  int
+	stop     *atomic.Bool
+	matchers []*matcher
+
+	// frozen records each relation's length at the current round
+	// boundary; advance turns growth beyond it into delta windows.
+	frozen map[string]int
+	// ensured caches which (predicate, mask) indexes prepare has built.
+	ensured map[indexKey]bool
+
+	// probeHits accumulates the workers' index-probe counts; folded into
+	// Stats.IndexHits by Eval.
+	probeHits uint64
+
+	// limitErr is set by the merge when MaxFacts is exceeded; later
+	// buffered rows are discarded (their firings still count).
+	limitErr error
+
+	stats Stats
+}
+
+func (e *evaluator) run() (Stats, error) {
+	e.workers = par.Workers(e.opts.Workers)
+	stop, release := par.StopFlag(e.opts.Ctx)
+	e.stop = stop
+	defer release()
+
+	e.snapshot()
+	e.prepare()
+	var delta map[string]window // nil: fire every rule against the full store
+	for {
+		if err := e.ctxErr(); err != nil {
+			return e.stats, err
+		}
+		tasks := e.buildTasks(delta)
+		results, err := e.runTasks(tasks)
+		if err != nil {
+			return e.stats, err
+		}
+		mergeErr := e.merge(tasks, results)
+		e.stats.Iterations++
+		if mergeErr != nil {
+			return e.stats, mergeErr
+		}
+		next := e.advance()
+		if len(next) == 0 {
+			return e.stats, nil
+		}
+		e.prepare()
+		if e.opts.Naive {
+			delta = nil
+		} else {
+			delta = next
+		}
+	}
+}
+
+// ctxErr reports cancellation of the evaluation's context.
+func (e *evaluator) ctxErr() error {
+	if e.opts.Ctx == nil {
+		return nil
+	}
+	return e.opts.Ctx.Err()
+}
+
+// snapshot records the current length of every relation.
+func (e *evaluator) snapshot() {
+	for _, p := range e.total.Preds() {
+		e.frozen[p] = e.total.Lookup(p).Len()
+	}
+}
+
+// advance returns the windows of rows appended by the last merge and
+// moves the frozen marks to the current lengths. Relations created
+// since the last round have an implicit mark of 0.
+func (e *evaluator) advance() map[string]window {
+	delta := make(map[string]window)
+	for _, p := range e.total.Preds() {
+		n := e.total.Lookup(p).Len()
+		if m := e.frozen[p]; n > m {
+			delta[p] = window{m, n}
+		}
+		e.frozen[p] = n
+	}
+	return delta
+}
+
+// prepare ensures, single-threaded between rounds, every join index the
+// compiled rules can probe. Workers then never trigger a lazy index
+// build, which keeps the fire phase free of writes.
+func (e *evaluator) prepare() {
+	for ri := range e.rules {
+		for bi := range e.rules[ri].body {
+			ca := &e.rules[ri].body[bi]
+			if ca.mask == 0 || ca.wide {
+				continue
+			}
+			k := indexKey{ca.pred, ca.mask}
+			if e.ensured[k] {
+				continue
+			}
+			if rel := e.total.Lookup(ca.pred); rel != nil {
+				rel.EnsureIndex(ca.mask)
+				e.ensured[k] = true
+			}
+		}
+	}
+}
+
+// buildTasks lists the round's work in canonical order: rules in
+// program order; within a rule, delta positions in body order. The
+// merge replays results in this same order.
+func (e *evaluator) buildTasks(delta map[string]window) []task {
+	var tasks []task
+	for ri := range e.rules {
+		if delta == nil {
+			tasks = append(tasks, task{rule: ri, deltaPos: -1})
+			continue
+		}
+		for _, bi := range e.rules[ri].idbBody {
+			if w, ok := delta[e.rules[ri].body[bi].pred]; ok {
+				tasks = append(tasks, task{rule: ri, deltaPos: bi, w: w})
+			}
+		}
+	}
+	return tasks
+}
+
+// runTasks fires the round's tasks across the worker pool and collects
+// the buffered results, indexed by task. Each dense worker ID owns one
+// matcher, so scratch buffers are reused without locking.
+func (e *evaluator) runTasks(tasks []task) ([]taskResult, error) {
+	results := make([]taskResult, len(tasks))
+	nw := e.workers
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	for len(e.matchers) < nw {
+		e.matchers = append(e.matchers, e.newMatcher())
+	}
+	par.Run(e.workers, len(tasks), func(w, ti int) {
+		results[ti] = e.matchers[w].runTask(tasks[ti])
+	})
+	for _, m := range e.matchers {
+		e.probeHits += m.probes
+		m.probes = 0
+	}
+	if err := e.ctxErr(); err != nil {
+		// Workers stop early once the cancellation flag trips, so the
+		// buffers may be truncated; discard them.
+		return nil, err
+	}
+	return results, nil
+}
+
+// merge applies the round's buffered rows to the store in task order.
+// Firings are counted for the whole round — the barrier means every
+// task completed — while rows past the MaxFacts limit are discarded.
+func (e *evaluator) merge(tasks []task, results []taskResult) error {
+	for ti := range results {
+		res := &results[ti]
+		e.stats.Firings += res.count
+		if e.limitErr != nil {
+			continue
+		}
+		h := &e.rules[tasks[ti].rule].head
+		arity := len(h.args)
+		if arity == 0 {
+			for k := 0; k < res.count && e.limitErr == nil; k++ {
+				e.addFact(h.pred, database.Row{})
+			}
+			continue
+		}
+		rows := res.rows
+		for off := 0; off+arity <= len(rows) && e.limitErr == nil; off += arity {
+			e.addFact(h.pred, database.Row(rows[off:off+arity]))
+		}
+	}
+	return e.limitErr
+}
+
+func (e *evaluator) addFact(pred string, row database.Row) {
+	if e.total.AddRow(pred, row) {
+		e.stats.Derived++
+		if e.opts.MaxFacts > 0 && e.stats.Derived > e.opts.MaxFacts && e.limitErr == nil {
+			e.limitErr = fmt.Errorf("eval: derived more than %d facts", e.opts.MaxFacts)
+		}
+	}
+}

@@ -132,6 +132,15 @@ func TestRandomGenerators(t *testing.T) {
 	if chain.Lookup("e").Len() != 4 || chain.Lookup("b").Len() != 1 {
 		t.Error("ChainGraph shape wrong")
 	}
+	// A w×h grid has h+1 rows of w rightward edges and w+1 columns of h
+	// downward edges, with b a full copy of e.
+	grid := GridGraph(3, 2)
+	if got, want := grid.Lookup("e").Len(), 3*(2+1)+2*(3+1); got != want {
+		t.Errorf("GridGraph edges = %d, want %d", got, want)
+	}
+	if grid.Lookup("b").Len() != grid.Lookup("e").Len() {
+		t.Error("GridGraph b must duplicate e")
+	}
 	q := RandomCQ(rng, "q", 3, 3, 2)
 	if len(q.Body) != 3 {
 		t.Errorf("RandomCQ size = %d", len(q.Body))

@@ -38,6 +38,31 @@ func ChainGraph(k int) *database.DB {
 	return db
 }
 
+// GridGraph returns a database whose e relation is a directed (w+1)×(h+1)
+// grid: node (x, y) has an edge right to (x+1, y) and down to (x, y+1).
+// b duplicates the whole of e, so transitive closure derives the full
+// quadratic set of reachable pairs, each with many distinct derivations
+// — a denser, wider-delta workload than a chain.
+func GridGraph(w, h int) *database.DB {
+	db := database.New()
+	node := func(x, y int) string { return fmt.Sprintf("g%d_%d", x, y) }
+	add := func(a, b string) {
+		db.Add("e", database.Tuple{a, b})
+		db.Add("b", database.Tuple{a, b})
+	}
+	for y := 0; y <= h; y++ {
+		for x := 0; x <= w; x++ {
+			if x < w {
+				add(node(x, y), node(x+1, y))
+			}
+			if y < h {
+				add(node(x, y), node(x, y+1))
+			}
+		}
+	}
+	return db
+}
+
 // RandomDB returns a random database over the given predicate/arity
 // pairs with the given domain size and facts per relation.
 func RandomDB(rng *rand.Rand, preds map[string]int, domain, facts int) *database.DB {

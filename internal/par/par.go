@@ -1,0 +1,130 @@
+// Package par is the repository's worker-pool executor: every goroutine
+// the engine spawns is spawned here. Centralizing the fan-out keeps the
+// concurrency discipline auditable (cmd/repolint flags naked go
+// statements outside this package) and gives the callers one tested
+// implementation of dynamic task scheduling, early-exit quantification,
+// and context-to-flag cancellation bridging.
+//
+// The executor is deliberately oblivious to determinism: it guarantees
+// only that fn(w, t) is called exactly once per task t with worker ids
+// w < workers, and that Run returns after every call has finished.
+// Callers that need deterministic output (the parallel evaluator, the
+// antichain containment loop) write each task's result into a slot keyed
+// by task index and combine the slots in task order afterwards.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean
+// runtime.GOMAXPROCS(0), so benchmarks driven with -cpu and programs
+// honoring user flags share one convention.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes fn(worker, task) for every task in [0, n), using up to
+// `workers` goroutines. Tasks are claimed dynamically from a shared
+// counter, so uneven task costs balance automatically. Worker ids are
+// dense in [0, min(workers, n)) and each id is used by exactly one
+// goroutine, so fn may keep per-worker scratch state indexed by worker
+// id without locking. Run returns once all calls have completed.
+//
+// With workers <= 1 (or a single task) everything runs inline on the
+// calling goroutine as worker 0: the sequential path spawns nothing.
+func Run(workers, n int, fn func(worker, task int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			fn(0, t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	body := func(w int) {
+		defer wg.Done()
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= n {
+				return
+			}
+			fn(w, t)
+		}
+	}
+	wg.Add(workers)
+	for w := 1; w < workers; w++ {
+		go body(w)
+	}
+	body(0) // the caller participates as worker 0
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to `workers`
+// goroutines. It is Run for callers that need no per-worker state.
+func ForEach(workers, n int, fn func(i int)) {
+	Run(workers, n, func(_, i int) { fn(i) })
+}
+
+// All reports whether pred(i) holds for every i in [0, n), evaluating
+// the predicates on up to `workers` goroutines. A false result makes
+// the remaining unclaimed tasks be skipped; predicates already running
+// are not interrupted. The result is deterministic (a conjunction), but
+// which predicates are skipped after a failure is not.
+func All(workers, n int, pred func(i int) bool) bool {
+	var failed atomic.Bool
+	Run(workers, n, func(_, i int) {
+		if failed.Load() {
+			return
+		}
+		if !pred(i) {
+			failed.Store(true)
+		}
+	})
+	return !failed.Load()
+}
+
+// Do runs the given functions concurrently and returns when all have
+// finished. The first function runs on the calling goroutine.
+func Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		f := fn
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// StopFlag bridges a context to an atomic flag that hot loops can poll
+// without the cost of ctx.Err(): the flag becomes true when ctx is
+// cancelled. The returned release function detaches the bridge and must
+// be called (typically deferred) to avoid leaking the watcher. A nil
+// context yields a flag that never trips.
+func StopFlag(ctx context.Context) (*atomic.Bool, func()) {
+	flag := new(atomic.Bool)
+	if ctx == nil || ctx.Done() == nil {
+		return flag, func() {}
+	}
+	stop := context.AfterFunc(ctx, func() { flag.Store(true) })
+	return flag, func() { stop() }
+}

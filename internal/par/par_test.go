@@ -1,0 +1,117 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Errorf("Workers(0)=%d Workers(-1)=%d, want >= 1", Workers(0), Workers(-1))
+	}
+}
+
+func TestRunCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		maxWorker := atomic.Int32{}
+		Run(workers, n, func(w, task int) {
+			counts[task].Add(1)
+			for {
+				cur := maxWorker.Load()
+				if int32(w) <= cur || maxWorker.CompareAndSwap(cur, int32(w)) {
+					break
+				}
+			}
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+		if int(maxWorker.Load()) >= workers {
+			t.Errorf("workers=%d: worker id %d out of range", workers, maxWorker.Load())
+		}
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	called := false
+	Run(4, 0, func(_, _ int) { called = true })
+	if called {
+		t.Error("fn called with zero tasks")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 64)
+	ForEach(4, len(out), func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	if !All(4, 100, func(i int) bool { return true }) {
+		t.Error("All of true predicates should be true")
+	}
+	if All(4, 100, func(i int) bool { return i != 57 }) {
+		t.Error("All with one failure should be false")
+	}
+	if !All(4, 0, func(i int) bool { return false }) {
+		t.Error("vacuous All should be true")
+	}
+}
+
+func TestAllSkipsAfterFailure(t *testing.T) {
+	// With 1 worker the order is sequential, so everything after the
+	// first failure must be skipped.
+	var calls atomic.Int32
+	All(1, 100, func(i int) bool {
+		calls.Add(1)
+		return i < 3
+	})
+	if got := calls.Load(); got != 4 {
+		t.Errorf("sequential All ran %d predicates, want 4", got)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Error("Do did not run all functions")
+	}
+	Do() // no-op
+}
+
+func TestStopFlag(t *testing.T) {
+	flag, release := StopFlag(nil)
+	if flag.Load() {
+		t.Error("nil-context flag must never trip")
+	}
+	release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	flag, release = StopFlag(ctx)
+	defer release()
+	if flag.Load() {
+		t.Error("flag tripped before cancellation")
+	}
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("flag did not trip after cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

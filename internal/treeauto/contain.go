@@ -1,7 +1,32 @@
 package treeauto
 
+import (
+	"context"
+	"sync/atomic"
+
+	"datalogeq/internal/par"
+)
+
+// ContainOptions configure the containment check.
+type ContainOptions struct {
+	// Ctx, when non-nil, cancels the check; the antichain loop polls a
+	// cancellation flag and returns Ctx.Err().
+	Ctx context.Context
+	// Workers bounds the goroutines used for the subset-step (bStep)
+	// computations; 0 or negative means runtime.GOMAXPROCS(0). The
+	// result and witness are bit-identical for every value.
+	Workers int
+}
+
 // Contains reports whether T(a) ⊆ T(b); when it does not, a witness tree
-// in T(a) \ T(b) is returned.
+// in T(a) \ T(b) is returned. It is ContainsOpt with default options
+// (no cancellation, GOMAXPROCS workers).
+func Contains(a, b *TA) (bool, *Tree) {
+	ok, w, _ := ContainsOpt(a, b, ContainOptions{})
+	return ok, w
+}
+
+// ContainsOpt decides T(a) ⊆ T(b) under opts.
 //
 // The algorithm (the engineered form of Proposition 4.6) explores, bottom
 // up, the reachable pairs (s, T) where s is an a-state accepting some
@@ -15,106 +40,36 @@ package treeauto
 // transition (the subset step is monotone), so only ⊆-minimal T are
 // kept. A worklist keyed on child states avoids rescanning the whole
 // transition relation as pairs are discovered.
-func Contains(a, b *TA) (bool, *Tree) {
+//
+// Parallelism: the expensive step is bStep — scanning b's transitions
+// for the states accepting a given combination of child sets. The
+// combination enumeration batches combinations into fixed-size blocks,
+// computes their bSteps on the worker pool (bStep is a pure function of
+// the frozen automata and already-kept pair sets), and then pushes the
+// results single-threaded in exact enumeration order. Since domination
+// tests happen only at push time and bStep is independent of the
+// antichain, the pair list, antichain, and witness are bit-identical to
+// the sequential run for every worker count.
+func ContainsOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
 	if a.numSymbols != b.numSymbols {
 		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
 		panic("treeauto: Contains over different alphabets")
 	}
-	type pairInfo struct {
-		s   int
-		set []int
-		// Witness reconstruction: the transition that produced the
-		// pair.
-		sym      int
-		children []int // indexes into the pairs list
+	stop, release := par.StopFlag(opts.Ctx)
+	defer release()
+	r := &containRun{
+		a:         a,
+		b:         b,
+		workers:   par.Workers(opts.Workers),
+		stop:      stop,
+		antichain: make(map[int][]int),
 	}
-	var pairs []pairInfo
-	// antichain[s] holds indexes into pairs of the minimal sets for s.
-	// Slices are replaced wholesale on update, so snapshots taken by
-	// the combo enumeration stay valid.
-	antichain := make(map[int][]int)
-	dominated := func(s int, set []int) bool {
-		for _, i := range antichain[s] {
-			if subsetOf(pairs[i].set, set) {
-				return true
-			}
-		}
-		return false
-	}
-	// bStep computes the set of b-states that accept a tree rooted with
-	// sym whose i-th subtree is accepted exactly by childSets[i].
-	bStep := func(sym int, childSets [][]int) []int {
-		var out []int
-		for s := 0; s < b.numStates; s++ {
-			for _, tuple := range b.Tuples(s, sym) {
-				if len(tuple) != len(childSets) {
-					continue
-				}
-				ok := true
-				for i, c := range tuple {
-					if !containsInt(childSets[i], c) {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					out = append(out, s)
-					break
-				}
-			}
-		}
-		return out
-	}
-	var worklist []int // indexes of freshly added pairs
-	push := func(p pairInfo) bool {
-		if dominated(p.s, p.set) {
-			return false
-		}
-		// Drop previously kept pairs that the new one dominates (they
-		// stay in pairs for witness reconstruction but leave the
-		// antichain index). Build a fresh slice: callers may hold
-		// snapshots of the old one.
-		kept := make([]int, 0, len(antichain[p.s])+1)
-		for _, i := range antichain[p.s] {
-			if !subsetOf(p.set, pairs[i].set) {
-				kept = append(kept, i)
-			}
-		}
-		pairs = append(pairs, p)
-		antichain[p.s] = append(kept, len(pairs)-1)
-		worklist = append(worklist, len(pairs)-1)
-		return true
-	}
-	isStartA := make([]bool, a.numStates)
+	r.isStartA = make([]bool, a.numStates)
 	for _, s := range a.start {
-		isStartA[s] = true
-	}
-	intersectsStartB := func(set []int) bool {
-		for _, s := range b.start {
-			if containsInt(set, s) {
-				return true
-			}
-		}
-		return false
-	}
-	buildWitness := func(idx int) *Tree {
-		var rec func(i int) *Tree
-		rec = func(i int) *Tree {
-			p := pairs[i]
-			children := make([]*Tree, len(p.children))
-			for k, ci := range p.children {
-				children[k] = rec(ci)
-			}
-			return &Tree{Symbol: p.sym, Children: children}
-		}
-		return rec(idx)
+		r.isStartA[s] = true
 	}
 
 	// Index a's transitions by the child states they consume.
-	type transRef struct {
-		s, sym int
-		tuple  []int
-	}
 	usedBy := make(map[int][]transRef)
 	var leaves []transRef
 	for s := 0; s < a.numStates; s++ {
@@ -136,67 +91,276 @@ func Contains(a, b *TA) (bool, *Tree) {
 		}
 	}
 
-	// fire enumerates the combinations of kept pairs for ref's tuple;
-	// when mustUse >= 0, only combinations containing that pair index
-	// are produced (freshness filter for the worklist). It returns true
-	// when a failing pair was pushed.
-	fire := func(ref transRef, mustUse int) bool {
-		k := len(ref.tuple)
-		choice := make([]int, k)
-		childSets := make([][]int, k)
-		// Snapshot candidate lists.
-		cands := make([][]int, k)
-		for i, c := range ref.tuple {
-			cands[i] = antichain[c]
-			if len(cands[i]) == 0 {
-				return false
-			}
+	// Base: leaf transitions — one parallel bStep batch, pushed in leaf
+	// order.
+	leafSets := make([][]int, len(leaves))
+	par.Run(r.workers, len(leaves), func(_, i int) {
+		if r.stop.Load() {
+			return
 		}
-		var rec func(i int, used bool) bool
-		rec = func(i int, used bool) bool {
-			if i == k {
-				if mustUse >= 0 && !used {
-					return false
-				}
-				set := bStep(ref.sym, childSets)
-				p := pairInfo{s: ref.s, set: set, sym: ref.sym, children: append([]int(nil), choice...)}
-				if push(p) && isStartA[ref.s] && !intersectsStartB(set) {
-					return true
-				}
-				return false
-			}
-			for _, pi := range cands[i] {
-				choice[i] = pi
-				childSets[i] = pairs[pi].set
-				if rec(i+1, used || pi == mustUse) {
-					return true
-				}
-			}
-			return false
-		}
-		return rec(0, false)
+		leafSets[i] = r.bStep(leaves[i].sym, nil)
+	})
+	if err := ctxErr(opts.Ctx); err != nil {
+		return false, nil, err
 	}
-
-	// Base: leaf transitions.
-	for _, ref := range leaves {
-		set := bStep(ref.sym, nil)
-		p := pairInfo{s: ref.s, set: set, sym: ref.sym}
-		if push(p) && isStartA[ref.s] && !intersectsStartB(set) {
-			return false, buildWitness(len(pairs) - 1)
+	for i, ref := range leaves {
+		p := pairInfo{s: ref.s, set: leafSets[i], sym: ref.sym}
+		if r.push(p) && r.isStartA[ref.s] && !r.intersectsStartB(p.set) {
+			return false, r.buildWitness(len(r.pairs) - 1), nil
 		}
 	}
 	// Worklist saturation.
-	for len(worklist) > 0 {
-		pi := worklist[len(worklist)-1]
-		worklist = worklist[:len(worklist)-1]
-		state := pairs[pi].s
+	for len(r.worklist) > 0 {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return false, nil, err
+		}
+		pi := r.worklist[len(r.worklist)-1]
+		r.worklist = r.worklist[:len(r.worklist)-1]
+		state := r.pairs[pi].s
 		for _, ref := range usedBy[state] {
-			if fire(ref, pi) {
-				return false, buildWitness(len(pairs) - 1)
+			failed := r.fire(ref, pi)
+			if r.aborted {
+				return false, nil, ctxErr(opts.Ctx)
+			}
+			if failed {
+				return false, r.buildWitness(len(r.pairs) - 1), nil
 			}
 		}
 	}
-	return true, nil
+	return true, nil, nil
+}
+
+// ctxErr reports the context's error. Boundary checks read the context
+// directly (not the stop flag) so that an already-cancelled context
+// aborts deterministically — the flag is bridged asynchronously and may
+// lag by a scheduling quantum.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// blockSize is the number of child-set combinations batched per
+// parallel bStep round.
+const blockSize = 256
+
+// pairInfo is one reachable pair (s, T) with the transition that
+// produced it, for witness reconstruction.
+type pairInfo struct {
+	s   int
+	set []int
+	// Witness reconstruction: the transition that produced the pair.
+	sym      int
+	children []int // indexes into the pairs list
+}
+
+// transRef is one transition of a, indexed by the child states it
+// consumes.
+type transRef struct {
+	s, sym int
+	tuple  []int
+}
+
+// containRun is the mutable state of one ContainsOpt invocation. The
+// parallel phases only read it (pairs, antichain, automata); all
+// mutation happens on the calling goroutine.
+type containRun struct {
+	a, b    *TA
+	workers int
+	stop    *atomic.Bool
+	aborted bool
+
+	pairs []pairInfo
+	// antichain[s] holds indexes into pairs of the minimal sets for s.
+	// Slices are replaced wholesale on update, so snapshots taken by
+	// the combo enumeration stay valid.
+	antichain map[int][]int
+	worklist  []int // indexes of freshly added pairs
+	isStartA  []bool
+
+	// choices buffers the current block's combinations, k indexes per
+	// combination; sets receives their bStep results.
+	choices []int
+	sets    [][]int
+}
+
+func (r *containRun) dominated(s int, set []int) bool {
+	for _, i := range r.antichain[s] {
+		if subsetOf(r.pairs[i].set, set) {
+			return true
+		}
+	}
+	return false
+}
+
+// push keeps p if no kept pair dominates it, dropping kept pairs that p
+// dominates (they stay in pairs for witness reconstruction but leave
+// the antichain index). It reports whether p was kept.
+func (r *containRun) push(p pairInfo) bool {
+	if r.dominated(p.s, p.set) {
+		return false
+	}
+	// Build a fresh slice: callers may hold snapshots of the old one.
+	kept := make([]int, 0, len(r.antichain[p.s])+1)
+	for _, i := range r.antichain[p.s] {
+		if !subsetOf(p.set, r.pairs[i].set) {
+			kept = append(kept, i)
+		}
+	}
+	r.pairs = append(r.pairs, p)
+	r.antichain[p.s] = append(kept, len(r.pairs)-1)
+	r.worklist = append(r.worklist, len(r.pairs)-1)
+	return true
+}
+
+// bStep computes the set of b-states that accept a tree rooted with sym
+// whose i-th subtree is accepted exactly by childSets[i]. It is a pure
+// read of the frozen automaton, safe to run on any worker.
+func (r *containRun) bStep(sym int, childSets [][]int) []int {
+	var out []int
+	for s := 0; s < r.b.numStates; s++ {
+		for _, tuple := range r.b.Tuples(s, sym) {
+			if len(tuple) != len(childSets) {
+				continue
+			}
+			ok := true
+			for i, c := range tuple {
+				if !containsInt(childSets[i], c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (r *containRun) intersectsStartB(set []int) bool {
+	for _, s := range r.b.start {
+		if containsInt(set, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *containRun) buildWitness(idx int) *Tree {
+	var rec func(i int) *Tree
+	rec = func(i int) *Tree {
+		p := r.pairs[i]
+		children := make([]*Tree, len(p.children))
+		for k, ci := range p.children {
+			children[k] = rec(ci)
+		}
+		return &Tree{Symbol: p.sym, Children: children}
+	}
+	return rec(idx)
+}
+
+// fire enumerates the combinations of kept pairs for ref's tuple; when
+// mustUse >= 0, only combinations containing that pair index are
+// produced (freshness filter for the worklist). Combinations are
+// batched into blocks whose bSteps run on the worker pool; pushes
+// replay serially in enumeration order. It returns true when a failing
+// pair was pushed; r.aborted is set if the run was cancelled.
+func (r *containRun) fire(ref transRef, mustUse int) bool {
+	k := len(ref.tuple)
+	// Snapshot candidate lists.
+	cands := make([][]int, k)
+	for i, c := range ref.tuple {
+		cands[i] = r.antichain[c]
+		if len(cands[i]) == 0 {
+			return false
+		}
+	}
+	choice := make([]int, k)
+	r.choices = r.choices[:0]
+
+	// flush computes the buffered block's bSteps in parallel and pushes
+	// the results in order; it reports whether a failing pair was
+	// pushed.
+	flush := func() bool {
+		n := len(r.choices) / k
+		if n == 0 {
+			return false
+		}
+		if cap(r.sets) < n {
+			r.sets = make([][]int, n)
+		}
+		sets := r.sets[:n]
+		nw := r.workers
+		if nw > n {
+			nw = n
+		}
+		if nw < 1 {
+			nw = 1
+		}
+		scratch := make([][][]int, nw)
+		par.Run(r.workers, n, func(w, i int) {
+			if r.stop.Load() {
+				return
+			}
+			cs := scratch[w]
+			if cs == nil {
+				cs = make([][]int, k)
+				scratch[w] = cs
+			}
+			for j := 0; j < k; j++ {
+				cs[j] = r.pairs[r.choices[i*k+j]].set
+			}
+			sets[i] = r.bStep(ref.sym, cs)
+		})
+		if r.stop.Load() {
+			// Signal the enumeration to unwind; fire's caller sees
+			// r.aborted and discards the partial state.
+			r.aborted = true
+			return true
+		}
+		for i := 0; i < n; i++ {
+			p := pairInfo{
+				s:        ref.s,
+				set:      sets[i],
+				sym:      ref.sym,
+				children: append([]int(nil), r.choices[i*k:(i+1)*k]...),
+			}
+			if r.push(p) && r.isStartA[ref.s] && !r.intersectsStartB(p.set) {
+				return true
+			}
+		}
+		r.choices = r.choices[:0]
+		return false
+	}
+
+	var rec func(i int, used bool) bool // true: stop (failed or aborted)
+	rec = func(i int, used bool) bool {
+		if i == k {
+			if mustUse >= 0 && !used {
+				return false
+			}
+			r.choices = append(r.choices, choice...)
+			if len(r.choices) >= blockSize*k {
+				return flush()
+			}
+			return false
+		}
+		for _, pi := range cands[i] {
+			choice[i] = pi
+			if rec(i+1, used || pi == mustUse) {
+				return true
+			}
+		}
+		return false
+	}
+	stopped := rec(0, false)
+	if !stopped && !r.aborted {
+		stopped = flush()
+	}
+	return stopped && !r.aborted
 }
 
 // ContainsClassical decides containment by the textbook reduction:
@@ -210,15 +374,64 @@ func ContainsClassical(a, b *TA) (bool, *Tree) {
 }
 
 // Equivalent reports whether T(a) == T(b), with a witness from the
-// symmetric difference when they differ.
+// symmetric difference when they differ. It is EquivalentOpt with
+// default options.
 func Equivalent(a, b *TA) (bool, *Tree) {
-	if ok, w := Contains(a, b); !ok {
-		return false, w
+	ok, w, _ := EquivalentOpt(a, b, ContainOptions{})
+	return ok, w
+}
+
+// EquivalentOpt decides T(a) == T(b) under opts. With more than one
+// worker the two containment directions run concurrently, each with
+// half the workers; a ⊆ b failure is preferred when both fail, and a
+// failing a ⊆ b cancels the other direction's remaining work, so the
+// result and witness match the sequential two-direction check.
+func EquivalentOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
+	workers := par.Workers(opts.Workers)
+	if workers <= 1 {
+		if ok, w, err := ContainsOpt(a, b, opts); err != nil || !ok {
+			return false, w, err
+		}
+		if ok, w, err := ContainsOpt(b, a, opts); err != nil || !ok {
+			return false, w, err
+		}
+		return true, nil, nil
 	}
-	if ok, w := Contains(b, a); !ok {
-		return false, w
+	parent := opts.Ctx
+	if parent == nil {
+		parent = context.Background()
 	}
-	return true, nil
+	ctxBA, cancelBA := context.WithCancel(parent)
+	defer cancelBA()
+	var okAB, okBA bool
+	var tAB, tBA *Tree
+	var errAB, errBA error
+	par.Do(
+		func() {
+			okAB, tAB, errAB = ContainsOpt(a, b, ContainOptions{Ctx: opts.Ctx, Workers: (workers + 1) / 2})
+			if errAB == nil && !okAB {
+				// The verdict is already decided; stop the b ⊆ a
+				// direction's remaining work.
+				cancelBA()
+			}
+		},
+		func() {
+			okBA, tBA, errBA = ContainsOpt(b, a, ContainOptions{Ctx: ctxBA, Workers: workers / 2})
+		},
+	)
+	if errAB != nil {
+		return false, nil, errAB
+	}
+	if !okAB {
+		return false, tAB, nil
+	}
+	if errBA != nil {
+		return false, nil, errBA
+	}
+	if !okBA {
+		return false, tBA, nil
+	}
+	return true, nil, nil
 }
 
 func subsetOf(a, b []int) bool {

@@ -1,0 +1,76 @@
+package treeauto
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Property: ContainsOpt is worker-count independent — identical verdict
+// AND identical witness tree, since the pair exploration order is
+// canonical.
+func TestContainsOptWorkersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		x := randomTA(rng, 1+rng.Intn(4))
+		y := randomTA(rng, 1+rng.Intn(4))
+		baseOK, baseW, err := ContainsOpt(x, y, ContainOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			ok, w, err := ContainsOpt(x, y, ContainOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != baseOK {
+				t.Fatalf("trial %d workers=%d: ok=%v, sequential says %v", trial, workers, ok, baseOK)
+			}
+			if (w == nil) != (baseW == nil) || (w != nil && w.String() != baseW.String()) {
+				t.Fatalf("trial %d workers=%d: witness %s, sequential %s", trial, workers, w, baseW)
+			}
+		}
+	}
+}
+
+// Property: EquivalentOpt agrees with the sequential two-direction
+// check for every worker count, witness included (the a ⊆ b witness is
+// preferred in both).
+func TestEquivalentOptWorkersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 150; trial++ {
+		x := randomTA(rng, 1+rng.Intn(3))
+		y := randomTA(rng, 1+rng.Intn(3))
+		baseOK, baseW, err := EquivalentOpt(x, y, ContainOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, w, err := EquivalentOpt(x, y, ContainOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != baseOK {
+			t.Fatalf("trial %d: ok=%v, sequential says %v", trial, ok, baseOK)
+		}
+		if (w == nil) != (baseW == nil) || (w != nil && w.String() != baseW.String()) {
+			t.Fatalf("trial %d: witness %s, sequential %s", trial, w, baseW)
+		}
+	}
+}
+
+// A cancelled context aborts ContainsOpt with the context's error.
+func TestContainsOptCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, _, err := ContainsOpt(allTrees(), someBLeaf(), ContainOptions{Ctx: ctx, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		_, _, err = EquivalentOpt(allTrees(), someBLeaf(), ContainOptions{Ctx: ctx, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: Equivalent err = %v, want context.Canceled", workers, err)
+		}
+	}
+}

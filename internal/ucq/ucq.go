@@ -10,6 +10,7 @@ import (
 
 	"datalogeq/internal/cq"
 	"datalogeq/internal/database"
+	"datalogeq/internal/par"
 )
 
 // UCQ is a union of conjunctive queries. All disjuncts must share the
@@ -105,14 +106,14 @@ func (u UCQ) Holds(db *database.DB, tuple database.Tuple) (bool, error) {
 }
 
 // ContainedInUCQ reports whether u ⊆ v (Theorem 2.3): every disjunct of
-// u must be contained in some disjunct of v.
+// u must be contained in some disjunct of v. The per-disjunct checks are
+// independent containment-mapping searches, so they fan out across the
+// worker pool; the conjunction is deterministic regardless of schedule,
+// and a failed disjunct short-circuits the remaining work.
 func ContainedInUCQ(u, v UCQ) bool {
-	for _, d := range u.Disjuncts {
-		if !CQContainedInUCQ(d, v) {
-			return false
-		}
-	}
-	return true
+	return par.All(par.Workers(0), len(u.Disjuncts), func(i int) bool {
+		return CQContainedInUCQ(u.Disjuncts[i], v)
+	})
 }
 
 // CQContainedInUCQ reports whether the single conjunctive query d is
@@ -139,10 +140,14 @@ func Equivalent(u, v UCQ) bool {
 // and no disjunct is contained in another. This is the canonical minimal
 // form of a UCQ (unique up to renaming, by [SY81]).
 func Minimize(u UCQ) UCQ {
+	// Coring each disjunct is an independent (and potentially costly)
+	// search; fan the disjuncts out. The redundancy pruning below stays
+	// sequential: it is quadratic in disjuncts but cheap per pair, and
+	// its kept-set is order-dependent.
 	cores := make([]cq.CQ, len(u.Disjuncts))
-	for i, d := range u.Disjuncts {
-		cores[i] = cq.Minimize(d)
-	}
+	par.ForEach(par.Workers(0), len(u.Disjuncts), func(i int) {
+		cores[i] = cq.Minimize(u.Disjuncts[i])
+	})
 	var kept []cq.CQ
 	for i, d := range cores {
 		redundant := false

@@ -1,0 +1,102 @@
+// Multicore scaling families for the parallel engine (PR 3). Run with
+//
+//	go test -run=NONE -bench=Scaling -cpu 1,2,4,8 .
+//
+// Every benchmark passes Workers: 0, which sizes the worker pool to
+// GOMAXPROCS — exactly what -cpu varies — so one family measures the
+// sequential engine at -cpu 1 and the parallel engine at every higher
+// count, with bit-identical outputs by construction (the determinism
+// tests in internal/eval, internal/treeauto, and internal/core pin
+// that). Pipe the output through cmd/benchjson to produce the
+// BENCH_PR3.json trajectory file; the raw lines stay benchstat-ready.
+package datalogeq_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datalogeq/internal/core"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/ucq"
+)
+
+// --- Evaluation: transitive closure over the three graph shapes. The
+// chain is long and thin (many rounds, small deltas), the grid is dense
+// (few rounds, wide deltas — the parallel sweet spot), and the random
+// graph sits between.
+
+func BenchmarkScalingEval(b *testing.B) {
+	prog := gen.TransitiveClosure()
+	rng := rand.New(rand.NewSource(1))
+	workloads := []struct {
+		name string
+		db   *database.DB
+	}{
+		{"chain200", gen.ChainGraph(200)},
+		{"grid12x12", gen.GridGraph(12, 12)},
+		{"random80x400", gen.RandomGraph(rng, 80, 400)},
+	}
+	for _, w := range workloads {
+		b.Run(w.name, func(b *testing.B) {
+			var stats eval.Stats
+			for i := 0; i < b.N; i++ {
+				_, s, err := eval.Eval(prog, w.db, eval.Options{Workers: 0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(float64(stats.Derived), "derived")
+			b.ReportMetric(float64(stats.Iterations), "rounds")
+		})
+	}
+}
+
+// --- Containment: the E3 family (tree-automaton fan-out over theta
+// disjuncts plus block-parallel antichain firing) and the E10
+// equivalence family (both directions concurrent).
+
+func BenchmarkScalingContainment(b *testing.B) {
+	prog := gen.TransitiveClosure()
+	for _, k := range []int{4, 5} {
+		b.Run(fmt.Sprintf("E3/k=%d", k), func(b *testing.B) {
+			q := gen.TCPathsUCQ(k)
+			for i := 0; i < b.N; i++ {
+				res, err := core.ContainsUCQ(prog, "p", q, core.Options{Workers: 0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Contained {
+					b.Fatal("TC is not contained in bounded paths")
+				}
+			}
+		})
+	}
+	b.Run("E10/trendy", func(b *testing.B) {
+		recursive := gen.Example11Trendy()
+		nonrecursive := gen.Example11TrendyNR()
+		for i := 0; i < b.N; i++ {
+			res, err := core.EquivalentToNonrecursive(
+				recursive, "buys", nonrecursive, core.Options{Workers: 0})
+			if err != nil || !res.Equivalent {
+				b.Fatalf("want equivalent, got %v %v", res.Equivalent, err)
+			}
+		}
+	})
+}
+
+// --- UCQ-level fan-out: every disjunct of u is checked against v on
+// its own worker (Sagiv–Yannakakis, per-CQ checks independent).
+
+func BenchmarkScalingUCQ(b *testing.B) {
+	u := gen.TCPathsUCQ(6)
+	v := gen.TCPathsUCQ(6)
+	for i := 0; i < b.N; i++ {
+		if !ucq.ContainedInUCQ(u, v) {
+			b.Fatal("self-containment must hold")
+		}
+	}
+}

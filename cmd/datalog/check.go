@@ -28,6 +28,7 @@ func cmdCheck(args []string) error {
 	goal := fs.String("goal", "", "goal predicate: enables reachability and boundedness passes")
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	noInfo := fs.Bool("no-info", false, "suppress info-severity diagnostics")
+	maxStates := fs.Int("max-states", 0, "budget for the boundedness pass: automaton states per construction (0 = the pass's built-in default)")
 	listPasses := fs.Bool("passes", false, "list the registered passes and exit")
 	fs.Parse(args)
 	if *listPasses {
@@ -51,7 +52,7 @@ func cmdCheck(args []string) error {
 
 	var all []fileDiagnostic
 	for _, file := range files {
-		diags, err := checkFile(file, analyze.Options{Goal: *goal})
+		diags, err := checkFile(file, analyze.Options{Goal: *goal, BoundedMaxStates: *maxStates})
 		if err != nil {
 			return err
 		}

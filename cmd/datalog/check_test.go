@@ -99,6 +99,15 @@ func TestCmdCheck(t *testing.T) {
 	if err := cmdCheck(nil); err == nil {
 		t.Error("no files accepted")
 	}
+
+	// -max-states bounds the boundedness pass; a tiny budget must not
+	// crash or fail the run — the pass degrades to inconclusive.
+	out, err = captureStdout(t, func() error {
+		return cmdCheck([]string{"-goal", "p", "-max-states", "1", clean})
+	})
+	if err != nil {
+		t.Errorf("tiny -max-states must degrade, got: %v\n%s", err, out)
+	}
 }
 
 func TestCmdCheckJSON(t *testing.T) {

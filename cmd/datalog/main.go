@@ -4,15 +4,15 @@
 //
 // Usage:
 //
-//	datalog eval -program tc.dl -db graph.dl -goal p [-naive] [-workers 4] [-timeout 30s]
+//	datalog eval -program tc.dl -db graph.dl -goal p [-naive] [-workers 4] [-max-facts N] [-max-steps N] [-timeout 30s]
 //	datalog unfold -program nonrec.dl -goal q [-minimize]
 //	datalog classify -program prog.dl
-//	datalog check prog.dl [-goal p] [-json]
+//	datalog check prog.dl [-goal p] [-json] [-max-states N]
 //	datalog trees -program tc.dl -goal p -depth 3 [-count 5]
 package main
 
 import (
-	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +22,7 @@ import (
 	"datalogeq/internal/database"
 	"datalogeq/internal/eval"
 	"datalogeq/internal/expansion"
+	"datalogeq/internal/guard"
 	"datalogeq/internal/nonrec"
 	"datalogeq/internal/parser"
 	"datalogeq/internal/ucq"
@@ -56,10 +57,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|trees|repl> [flags]
-  eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-timeout D]
+  eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-max-facts N] [-max-steps N] [-timeout D]
   unfold   -program FILE -goal PRED [-minimize]
   classify -program FILE
-  check    FILE... [-goal PRED] [-json] [-no-info] [-passes]
+  check    FILE... [-goal PRED] [-json] [-no-info] [-passes] [-max-states N]
   trees    -program FILE -goal PRED [-depth N] [-count N] [-dot]
   repl     interactive session`)
 	os.Exit(2)
@@ -80,7 +81,9 @@ func cmdEval(args []string) error {
 	goal := fs.String("goal", "", "goal predicate")
 	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
 	workers := fs.Int("workers", 0, "worker goroutines per evaluation round (0 = all cores); results are identical for every value")
-	timeout := fs.Duration("timeout", 0, "abort evaluation after this duration (0 = no limit)")
+	maxFacts := fs.Int64("max-facts", 0, "budget: abort after deriving this many facts (0 = unlimited); a trip prints the partial result")
+	maxSteps := fs.Int64("max-steps", 0, "budget: abort after this many rule firings (0 = unlimited); a trip prints the partial result")
+	timeout := fs.Duration("timeout", 0, "budget: abort evaluation after this duration (0 = no limit)")
 	fs.Parse(args)
 	if *progPath == "" || *dbPath == "" || *goal == "" {
 		return fmt.Errorf("eval needs -program, -db, and -goal")
@@ -97,32 +100,46 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := eval.Options{Naive: *naive, Workers: *workers}
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		opts.Ctx = ctx
+	opts := eval.Options{
+		Naive:   *naive,
+		Workers: *workers,
+		Budget:  guard.Budget{MaxFacts: *maxFacts, MaxSteps: *maxSteps, MaxWall: *timeout},
 	}
-	rel, stats, err := eval.Goal(prog, db, *goal, opts)
-	if err != nil {
+	// Eval (not Goal) so a budget trip still yields the partial database.
+	out, stats, err := eval.Eval(prog, db, opts)
+	var limit *guard.LimitError
+	if err != nil && !errors.As(err, &limit) {
 		return err
 	}
-	lines := make([]string, 0, rel.Len())
-	var row database.Row
-	for i := 0; i < rel.Len(); i++ {
-		row = rel.AppendRowAt(row[:0], i)
-		args := make([]ast.Term, len(row))
-		for j, id := range row {
-			args[j] = ast.C(database.Symbol(id))
+	if prog.GoalArity(*goal) < 0 {
+		return fmt.Errorf("eval: goal predicate %q does not occur in program", *goal)
+	}
+	var lines []string
+	if rel := out.Lookup(*goal); rel != nil {
+		lines = make([]string, 0, rel.Len())
+		var row database.Row
+		for i := 0; i < rel.Len(); i++ {
+			row = rel.AppendRowAt(row[:0], i)
+			args := make([]ast.Term, len(row))
+			for j, id := range row {
+				args[j] = ast.C(database.Symbol(id))
+			}
+			lines = append(lines, ast.Atom{Pred: *goal, Args: args}.String()+".")
 		}
-		lines = append(lines, ast.Atom{Pred: *goal, Args: args}.String()+".")
 	}
 	sort.Strings(lines)
 	for _, l := range lines {
 		fmt.Println(l)
 	}
 	fmt.Fprintf(os.Stderr, "%% %d tuples, %d iterations, %d facts derived, %d rule firings\n",
-		rel.Len(), stats.Iterations, stats.Derived, stats.Firings)
+		len(lines), stats.Iterations, stats.Derived, stats.Firings)
+	if stats.Budget != (guard.Usage{}) {
+		fmt.Fprintf(os.Stderr, "%% budget consumed: %s\n", stats.Budget)
+	}
+	if limit != nil {
+		fmt.Fprintf(os.Stderr, "%% INCOMPLETE — budget exhausted: %v\n", limit)
+		fmt.Fprintf(os.Stderr, "%% the tuples above are a sound underapproximation of the fixpoint\n")
+	}
 	return nil
 }
 

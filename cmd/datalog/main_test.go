@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -13,6 +16,28 @@ func write(t *testing.T, dir, name, content string) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// captureStderr runs fn with os.Stderr redirected into a buffer and
+// returns what fn printed there.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	fn()
+	w.Close()
+	return <-done
 }
 
 func TestCmdEval(t *testing.T) {
@@ -50,10 +75,45 @@ func TestCmdEvalWorkersAndTimeout(t *testing.T) {
 	if err := cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-timeout", "1m"}); err != nil {
 		t.Fatalf("-timeout 1m: %v", err)
 	}
-	// A zero-width deadline aborts: context.WithTimeout(0) is expired on
-	// arrival, so Eval must return the deadline error.
-	if err := cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-timeout", "1ns"}); err == nil {
-		t.Error("expired timeout accepted")
+	// A zero-width deadline trips the wall budget. The trip degrades
+	// gracefully: partial results, an INCOMPLETE note, exit 0.
+	var err error
+	detail := captureStderr(t, func() {
+		err = cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-timeout", "1ns"})
+	})
+	if err != nil {
+		t.Errorf("expired timeout must degrade, got error: %v", err)
+	}
+	if !strings.Contains(detail, "INCOMPLETE") || !strings.Contains(detail, "budget exhausted") {
+		t.Errorf("tripped eval stderr %q missing the INCOMPLETE note", detail)
+	}
+}
+
+// TestCmdEvalBudgetTrip: -max-facts trips mid-evaluation; the partial
+// fixpoint is printed with the INCOMPLETE note, and the same budget with
+// room to spare changes nothing.
+func TestCmdEvalBudgetTrip(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).\n")
+	db := write(t, dir, "g.dl", "e(a, b). e(b, c). e(c, d).")
+	var err error
+	detail := captureStderr(t, func() {
+		err = cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-max-facts", "2"})
+	})
+	if err != nil {
+		t.Errorf("facts trip must degrade, got error: %v", err)
+	}
+	if !strings.Contains(detail, "INCOMPLETE") || !strings.Contains(detail, "facts budget") {
+		t.Errorf("tripped eval stderr %q missing the facts-budget note", detail)
+	}
+	detail = captureStderr(t, func() {
+		err = cmdEval([]string{"-program", prog, "-db", db, "-goal", "p", "-max-facts", "100", "-max-steps", "1000"})
+	})
+	if err != nil {
+		t.Errorf("generous budget: %v", err)
+	}
+	if strings.Contains(detail, "INCOMPLETE") {
+		t.Errorf("generous budget still tripped: %q", detail)
 	}
 }
 

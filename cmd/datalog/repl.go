@@ -2,17 +2,20 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"datalogeq/internal/analyze"
 	"datalogeq/internal/ast"
 	"datalogeq/internal/cq"
 	"datalogeq/internal/database"
 	"datalogeq/internal/eval"
+	"datalogeq/internal/guard"
 	"datalogeq/internal/parser"
 )
 
@@ -29,10 +32,31 @@ type session struct {
 	prog  *ast.Program
 	facts *database.DB
 	qn    int
+	// budget bounds each query evaluation so a runaway recursive
+	// program degrades to a structured message instead of hanging or
+	// exhausting memory; the session survives the trip.
+	budget guard.Budget
 }
 
+// replBudget is the per-query resource budget: generous enough for any
+// interactive workload, tight enough that a divergent query comes back
+// with an answerable error.
+var replBudget = guard.Budget{MaxFacts: 5_000_000, MaxWall: 30 * time.Second}
+
 func newSession() *session {
-	return &session{prog: &ast.Program{}, facts: database.New()}
+	return &session{prog: &ast.Program{}, facts: database.New(), budget: replBudget}
+}
+
+// safely invokes fn and converts a panic anywhere below (parser,
+// analyzer, evaluator) into a structured error message instead of
+// killing the session.
+func safely(fn func() string) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprintf("error: internal panic: %v (session preserved)", r)
+		}
+	}()
+	return fn()
 }
 
 // loop reads statements (possibly spanning lines, terminated by '.') or
@@ -53,7 +77,12 @@ func (s *session) loop(in io.Reader, out io.Writer) error {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
-			quit, msg := s.command(trimmed)
+			var quit bool
+			msg := safely(func() string {
+				var m string
+				quit, m = s.command(trimmed)
+				return m
+			})
 			if msg != "" {
 				fmt.Fprintln(out, msg)
 			}
@@ -71,7 +100,7 @@ func (s *session) loop(in io.Reader, out io.Writer) error {
 		}
 		stmt := buf.String()
 		buf.Reset()
-		if msg := s.statement(stmt); msg != "" {
+		if msg := safely(func() string { return s.statement(stmt) }); msg != "" {
 			fmt.Fprintln(out, msg)
 		}
 		prompt()
@@ -286,8 +315,16 @@ func (s *session) query(body string) string {
 	q := cq.CQ{Head: ast.Atom{Pred: headPred, Args: args}, Body: atoms}
 	prog := s.prog.Clone()
 	prog.Rules = append(prog.Rules, ast.Rule{Head: q.Head, Body: q.Body})
-	rel, _, err := eval.Goal(prog, s.facts, headPred, eval.Options{})
+	rel, _, err := eval.Goal(prog, s.facts, headPred, eval.Options{Budget: s.budget})
 	if err != nil {
+		var le *guard.LimitError
+		if errors.As(err, &le) {
+			return fmt.Sprintf("error: %v\n  progress: %s\n  (query aborted; session preserved)", le, le.Usage)
+		}
+		var pe *guard.PanicError
+		if errors.As(err, &pe) {
+			return fmt.Sprintf("error: internal panic during evaluation: %v (session preserved)", pe.Value)
+		}
 		return "error: " + err.Error()
 	}
 	if len(vars) == 0 {

@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"datalogeq/internal/guard"
 )
 
 func TestReplSession(t *testing.T) {
@@ -93,6 +96,84 @@ e(a, b). e(b, c).
 			t.Errorf("loop output missing %q:\n%s", want, text)
 		}
 	}
+}
+
+// TestReplPoisonedInput: a query whose evaluation blows its budget or
+// panics internally must come back as a structured error with the
+// session intact — the next query still answers.
+func TestReplPoisonedInput(t *testing.T) {
+	setup := func(t *testing.T) *session {
+		t.Helper()
+		s := newSession()
+		for _, stmt := range []string{
+			"p(X, Y) :- e(X, Z), p(Z, Y).",
+			"p(X, Y) :- e(X, Y).",
+			"e(a, b). e(b, c).",
+		} {
+			if got := s.statement(stmt); !strings.Contains(got, "ok") {
+				t.Fatalf("setup statement %q: %q", stmt, got)
+			}
+		}
+		return s
+	}
+
+	t.Run("budget-trip", func(t *testing.T) {
+		s := setup(t)
+		s.budget = guard.Budget{MaxFacts: 1}
+		got := s.query("p(a, X)")
+		if !strings.Contains(got, "error:") || !strings.Contains(got, "budget exhausted") {
+			t.Fatalf("tripped query = %q, want structured budget error", got)
+		}
+		if !strings.Contains(got, "session preserved") {
+			t.Errorf("tripped query %q does not reassure the session survives", got)
+		}
+		s.budget = replBudget
+		if got := s.query("p(a, X)"); !strings.Contains(got, "X = b") {
+			t.Errorf("session did not survive the trip: %q", got)
+		}
+	})
+
+	t.Run("injected-panic", func(t *testing.T) {
+		s := setup(t)
+		s.budget = guard.InjectPanic(guard.Budget{}, guard.Facts, 1)
+		got := s.query("p(a, X)")
+		if !strings.Contains(got, "error: internal panic") || !strings.Contains(got, "session preserved") {
+			t.Fatalf("poisoned query = %q, want structured panic report", got)
+		}
+		s.budget = replBudget
+		if got := s.query("p(a, X)"); !strings.Contains(got, "X = b") {
+			t.Errorf("session did not survive the panic: %q", got)
+		}
+	})
+
+	t.Run("loop-survives", func(t *testing.T) {
+		// End to end through the reader loop: the poisoned first query
+		// reports, the second one answers, :quit says bye.
+		in := strings.NewReader("?- p(a, X).\n?- p(b, X).\n:quit\n")
+		var out strings.Builder
+		s := setup(t)
+		s.budget = guard.Budget{MaxFacts: 1}
+		if err := s.loop(in, &out); err != nil {
+			t.Fatal(err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "budget exhausted") || !strings.Contains(text, "bye") {
+			t.Errorf("loop output missing trip report or prompt recovery:\n%s", text)
+		}
+	})
+
+	t.Run("wall-budget", func(t *testing.T) {
+		s := setup(t)
+		s.budget = guard.Budget{MaxWall: time.Nanosecond}
+		got := s.query("p(a, X)")
+		if !strings.Contains(got, "error:") {
+			t.Fatalf("expired wall budget not reported: %q", got)
+		}
+		s.budget = replBudget
+		if got := s.query("p(a, X)"); !strings.Contains(got, "X = b") {
+			t.Errorf("session did not survive the wall trip: %q", got)
+		}
+	})
 }
 
 func TestStatementComplete(t *testing.T) {

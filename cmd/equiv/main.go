@@ -10,19 +10,27 @@
 // "contain" decides Π ⊆ Θ for a union of conjunctive queries given as
 // Datalog rules with the goal predicate in their heads. "nonrec"
 // decides full equivalence of a recursive and a nonrecursive program.
-// Exit status: 0 = contained/equivalent, 1 = not, 2 = error.
+//
+// The procedures are 2EXPTIME/3EXPTIME-complete, so every subcommand
+// accepts resource budgets (-max-states, -max-steps, -max-facts,
+// -max-canon, -timeout). A budget trip is graceful degradation, not
+// failure: the run prints UNKNOWN plus the tripped limit and its
+// progress snapshot, and exits 0.
+//
+// Exit status: 0 = contained/equivalent/unknown (budget exhausted),
+// 1 = not contained/equivalent, 2 = error.
 package main
 
 import (
-	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"datalogeq/internal/ast"
 	"datalogeq/internal/core"
 	"datalogeq/internal/cq"
+	"datalogeq/internal/guard"
 	"datalogeq/internal/nonrec"
 	"datalogeq/internal/parser"
 	"datalogeq/internal/ucq"
@@ -33,16 +41,16 @@ func main() {
 		usage()
 	}
 	var (
-		verdict bool
-		err     error
+		code int
+		err  error
 	)
 	switch os.Args[1] {
 	case "contain":
-		verdict, err = cmdContain(os.Args[2:])
+		code, err = cmdContain(os.Args[2:])
 	case "nonrec":
-		verdict, err = cmdNonrec(os.Args[2:])
+		code, err = cmdNonrec(os.Args[2:])
 	case "ucq":
-		verdict, err = cmdUCQ(os.Args[2:])
+		code, err = cmdUCQ(os.Args[2:])
 	default:
 		usage()
 	}
@@ -50,17 +58,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "equiv:", err)
 		os.Exit(2)
 	}
-	if !verdict {
-		os.Exit(1)
-	}
+	os.Exit(code)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: equiv <contain|nonrec> [flags]
-  contain -program FILE -goal PRED -queries FILE [-linear] [-max-states N]
-  nonrec  -program FILE -nonrec FILE -goal PRED [-max-states N]
-  ucq     -left FILE -right FILE -goal PRED  (UCQ vs UCQ equivalence)`)
+	fmt.Fprintln(os.Stderr, `usage: equiv <contain|nonrec|ucq> [flags]
+  contain -program FILE -goal PRED -queries FILE [-linear] [budget flags]
+  nonrec  -program FILE -nonrec FILE -goal PRED [budget flags]
+  ucq     -left FILE -right FILE -goal PRED [budget flags]  (UCQ vs UCQ equivalence)
+budget flags: -max-states N -max-steps N -max-facts N -max-canon N -timeout D
+  a tripped budget prints UNKNOWN (exit 0) with the limit and progress`)
 	os.Exit(2)
+}
+
+// budgetFlags registers the shared resource-budget flags on fs and
+// returns a function assembling the guard.Budget after parsing.
+func budgetFlags(fs *flag.FlagSet) func() guard.Budget {
+	maxStates := fs.Int64("max-states", 0, "budget: automaton states per construction and antichain configurations (0 = unlimited)")
+	maxSteps := fs.Int64("max-steps", 0, "budget: transition firings in the containment loops (0 = unlimited)")
+	maxFacts := fs.Int64("max-facts", 0, "budget: facts derived on canonical databases (0 = unlimited)")
+	maxCanon := fs.Int64("max-canon", 0, "budget: canonical-database facts frozen (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "budget: wall-clock limit for the whole check (0 = no limit)")
+	return func() guard.Budget {
+		return guard.Budget{
+			MaxStates: *maxStates,
+			MaxSteps:  *maxSteps,
+			MaxFacts:  *maxFacts,
+			MaxCanon:  *maxCanon,
+			MaxWall:   *timeout,
+		}
+	}
+}
+
+// reportUnknown prints the graceful-degradation outcome: the verdict
+// line, the tripped limit, and the progress snapshot at trip time.
+func reportUnknown(le *guard.LimitError) {
+	fmt.Println("UNKNOWN")
+	fmt.Fprintf(os.Stderr, "%% budget exhausted: %v\n", le)
+	fmt.Fprintf(os.Stderr, "%% progress at trip: %s\n", le.Usage)
 }
 
 func loadProgram(path string) (*ast.Program, error) {
@@ -89,47 +124,33 @@ func loadUCQ(path, goal string) (ucq.UCQ, error) {
 	return u, u.Validate()
 }
 
-// evalOpts assembles core.Options from the shared bounding flags. The
-// returned cancel must be deferred by the caller.
-func evalOpts(maxStates, workers int, timeout time.Duration) (core.Options, context.CancelFunc) {
-	opts := core.Options{MaxStates: maxStates, Workers: workers}
-	if timeout <= 0 {
-		return opts, func() {}
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	opts.Ctx = ctx
-	return opts, cancel
-}
-
-func cmdContain(args []string) (bool, error) {
+func cmdContain(args []string) (int, error) {
 	fs := flag.NewFlagSet("contain", flag.ExitOnError)
 	progPath := fs.String("program", "", "recursive program file")
 	goal := fs.String("goal", "", "goal predicate")
 	queriesPath := fs.String("queries", "", "union of conjunctive queries (as rules)")
 	linear := fs.Bool("linear", false, "use the word-automaton procedure (path-linear programs)")
-	maxStates := fs.Int("max-states", 0, "abort if an automaton exceeds this many states")
 	workers := fs.Int("workers", 0, "worker goroutines for automata construction and containment (0 = all cores)")
-	timeout := fs.Duration("timeout", 0, "abort the check after this duration (0 = no limit)")
+	budget := budgetFlags(fs)
 	fs.Parse(args)
 	if *progPath == "" || *goal == "" || *queriesPath == "" {
-		return false, fmt.Errorf("contain needs -program, -goal, and -queries")
+		return 2, fmt.Errorf("contain needs -program, -goal, and -queries")
 	}
 	prog, err := loadProgram(*progPath)
 	if err != nil {
-		return false, err
+		return 2, err
 	}
 	q, err := loadUCQ(*queriesPath, *goal)
 	if err != nil {
-		return false, err
+		return 2, err
 	}
-	opts, cancel := evalOpts(*maxStates, *workers, *timeout)
-	defer cancel()
+	opts := core.Options{Workers: *workers, Budget: budget()}
 	var res core.Result
 	if *linear {
 		if !prog.IsPathLinear() {
 			inlined, err := nonrec.InlineNonrecursive(prog, *goal)
 			if err != nil {
-				return false, err
+				return 2, err
 			}
 			prog = inlined
 		}
@@ -138,18 +159,22 @@ func cmdContain(args []string) (bool, error) {
 		res, err = core.ContainsUCQ(prog, *goal, q, opts)
 	}
 	if err != nil {
-		return false, err
+		return 2, err
 	}
-	report(res)
-	return res.Contained, nil
+	return report(res), nil
 }
 
-func report(res core.Result) {
+func report(res core.Result) int {
 	fmt.Fprintf(os.Stderr, "%% alphabet %d letters, A^ptrees %d states, A^theta %d states\n",
 		res.Stats.Letters, res.Stats.PtreeStates, res.Stats.ThetaStates)
+	fmt.Fprintf(os.Stderr, "%% budget consumed (construction): %s\n", res.Stats.Budget)
+	if res.Verdict == core.Unknown {
+		reportUnknown(res.Limit)
+		return 0
+	}
 	if res.Contained {
 		fmt.Println("CONTAINED")
-		return
+		return 0
 	}
 	fmt.Println("NOT CONTAINED")
 	fmt.Println("% counterexample proof tree:")
@@ -159,73 +184,91 @@ func report(res core.Result) {
 	fmt.Println("% separating database:")
 	fmt.Println(db)
 	fmt.Printf("%% separating tuple: %v\n", head)
+	return 1
 }
 
 // cmdUCQ decides equivalence of two unions of conjunctive queries via
 // Sagiv-Yannakakis containment.
-func cmdUCQ(args []string) (bool, error) {
+func cmdUCQ(args []string) (int, error) {
 	fs := flag.NewFlagSet("ucq", flag.ExitOnError)
 	leftPath := fs.String("left", "", "first UCQ file (rules)")
 	rightPath := fs.String("right", "", "second UCQ file (rules)")
 	goal := fs.String("goal", "", "goal predicate")
+	workers := fs.Int("workers", 0, "worker goroutines for the per-disjunct checks (0 = all cores)")
+	budget := budgetFlags(fs)
 	fs.Parse(args)
 	if *leftPath == "" || *rightPath == "" || *goal == "" {
-		return false, fmt.Errorf("ucq needs -left, -right, and -goal")
+		return 2, fmt.Errorf("ucq needs -left, -right, and -goal")
 	}
 	left, err := loadUCQ(*leftPath, *goal)
 	if err != nil {
-		return false, err
+		return 2, err
 	}
 	right, err := loadUCQ(*rightPath, *goal)
 	if err != nil {
-		return false, err
+		return 2, err
 	}
-	lr := ucq.ContainedInUCQ(left, right)
-	rl := ucq.ContainedInUCQ(right, left)
-	fmt.Fprintf(os.Stderr, "%% left ⊆ right: %v; right ⊆ left: %v\n", lr, rl)
-	if lr && rl {
-		fmt.Println("EQUIVALENT")
-		min := ucq.Minimize(left)
-		fmt.Printf("%% canonical minimal form (%d disjuncts):\n", min.Size())
-		fmt.Print(min)
-		return true, nil
+	opts := ucq.Options{Workers: *workers, Budget: budget().Started()}
+	lr, err := ucq.ContainedInUCQOpt(left, right, opts)
+	if err == nil {
+		var rl bool
+		rl, err = ucq.ContainedInUCQOpt(right, left, opts)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "%% left ⊆ right: %v; right ⊆ left: %v\n", lr, rl)
+			if lr && rl {
+				fmt.Println("EQUIVALENT")
+				min := ucq.Minimize(left)
+				fmt.Printf("%% canonical minimal form (%d disjuncts):\n", min.Size())
+				fmt.Print(min)
+				return 0, nil
+			}
+			fmt.Println("NOT EQUIVALENT")
+			return 1, nil
+		}
 	}
-	fmt.Println("NOT EQUIVALENT")
-	return false, nil
+	var le *guard.LimitError
+	if errors.As(err, &le) {
+		reportUnknown(le)
+		return 0, nil
+	}
+	return 2, err
 }
 
-func cmdNonrec(args []string) (bool, error) {
+func cmdNonrec(args []string) (int, error) {
 	fs := flag.NewFlagSet("nonrec", flag.ExitOnError)
 	progPath := fs.String("program", "", "recursive program file")
 	nrPath := fs.String("nonrec", "", "nonrecursive program file")
 	goal := fs.String("goal", "", "goal predicate")
-	maxStates := fs.Int("max-states", 0, "abort if an automaton exceeds this many states")
 	workers := fs.Int("workers", 0, "worker goroutines for automata construction and containment (0 = all cores)")
-	timeout := fs.Duration("timeout", 0, "abort the check after this duration (0 = no limit)")
+	budget := budgetFlags(fs)
 	fs.Parse(args)
 	if *progPath == "" || *nrPath == "" || *goal == "" {
-		return false, fmt.Errorf("nonrec needs -program, -nonrec, and -goal")
+		return 2, fmt.Errorf("nonrec needs -program, -nonrec, and -goal")
 	}
 	prog, err := loadProgram(*progPath)
 	if err != nil {
-		return false, err
+		return 2, err
 	}
 	nr, err := loadProgram(*nrPath)
 	if err != nil {
-		return false, err
+		return 2, err
 	}
-	opts, cancel := evalOpts(*maxStates, *workers, *timeout)
-	defer cancel()
+	opts := core.Options{Workers: *workers, Budget: budget()}
 	res, err := core.EquivalentToNonrecursive(prog, *goal, nr, opts)
 	if err != nil {
-		return false, err
+		return 2, err
 	}
 	fmt.Fprintf(os.Stderr, "%% nonrecursive program unfolds to %d disjuncts\n", res.UnfoldedDisjuncts)
 	fmt.Fprintf(os.Stderr, "%% alphabet %d letters, A^ptrees %d states, A^theta %d states\n",
 		res.Stats.Letters, res.Stats.PtreeStates, res.Stats.ThetaStates)
+	fmt.Fprintf(os.Stderr, "%% budget consumed (construction): %s\n", res.Stats.Budget)
+	if res.Verdict == core.Unknown {
+		reportUnknown(res.Limit)
+		return 0, nil
+	}
 	if res.Equivalent {
 		fmt.Println("EQUIVALENT")
-		return true, nil
+		return 0, nil
 	}
 	fmt.Printf("NOT EQUIVALENT (%s)\n", res.Failure)
 	if res.Witness != nil {
@@ -239,5 +282,5 @@ func cmdNonrec(args []string) (bool, error) {
 	fmt.Println("% separating database:")
 	fmt.Println(res.SeparatingDB)
 	fmt.Printf("%% separating tuple: %v\n", res.SeparatingTuple)
-	return false, nil
+	return 1, nil
 }

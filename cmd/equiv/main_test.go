@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"datalogeq/internal/tm"
 )
 
 func write(t *testing.T, dir, name, content string) string {
@@ -15,6 +20,32 @@ func write(t *testing.T, dir, name, content string) string {
 	return path
 }
 
+// capture runs fn with one of the standard streams redirected into a
+// buffer and returns what fn printed there.
+func capture(t *testing.T, stream **os.File, fn func()) string {
+	t.Helper()
+	old := *stream
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	*stream = w
+	defer func() { *stream = old }()
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+func captureStdout(t *testing.T, fn func()) string {
+	return capture(t, &os.Stdout, fn)
+}
+
 const tcSrc = "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- b(X, Y).\n"
 
 const paths2Src = "p(X, Y) :- b(X, Y).\np(X, Y) :- e(X, A), b(A, Y).\n"
@@ -23,20 +54,20 @@ func TestCmdContain(t *testing.T) {
 	dir := t.TempDir()
 	prog := write(t, dir, "tc.dl", tcSrc)
 	qs := write(t, dir, "q.dl", paths2Src)
-	ok, err := cmdContain([]string{"-program", prog, "-goal", "p", "-queries", qs})
+	code, err := cmdContain([]string{"-program", prog, "-goal", "p", "-queries", qs})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
-		t.Error("TC should not be contained in paths<=2")
+	if code != 1 {
+		t.Errorf("code = %d; TC should not be contained in paths<=2", code)
 	}
 	// Word-automaton route agrees.
-	ok, err = cmdContain([]string{"-program", prog, "-goal", "p", "-queries", qs, "-linear"})
+	code, err = cmdContain([]string{"-program", prog, "-goal", "p", "-queries", qs, "-linear"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
-		t.Error("linear route disagrees")
+	if code != 1 {
+		t.Errorf("code = %d; linear route disagrees", code)
 	}
 	// Mismatched query head.
 	bad := write(t, dir, "bad.dl", "q(X) :- e(X, X).\n")
@@ -50,12 +81,64 @@ func TestCmdContain(t *testing.T) {
 		p(X, Y) :- b(X, Y).
 		step(X, Y) :- e(X, Y).
 	`)
-	ok, err = cmdContain([]string{"-program", mixed, "-goal", "p", "-queries", qs, "-linear"})
+	code, err = cmdContain([]string{"-program", mixed, "-goal", "p", "-queries", qs, "-linear"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
-		t.Error("mixed program not contained in paths<=2")
+	if code != 1 {
+		t.Errorf("code = %d; mixed program not contained in paths<=2", code)
+	}
+}
+
+// TestCmdContainBudgetTrip is the acceptance criterion of the resource
+// governor: a budget-tripped `equiv contain` run on a lower-bound
+// construction (the §5.3 reduction instance) exits 0 and reports
+// UNKNOWN — graceful degradation, not an error.
+func TestCmdContainBudgetTrip(t *testing.T) {
+	m := &tm.Machine{
+		States:      []string{"s0", "s1", "qa"},
+		TapeSymbols: []string{"_", "1"},
+		Blank:       "_",
+		Start:       "s0",
+		Accept:      []string{"qa"},
+		Transitions: []tm.Transition{
+			{State: "s0", Read: "_", Write: "1", Move: tm.Right, NewState: "s1"},
+			{State: "s1", Read: "_", Write: "_", Move: tm.Stay, NewState: "qa"},
+		},
+	}
+	e, err := tm.Encode53(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	prog := write(t, dir, "pi.dl", e.Program.String())
+	qs := write(t, dir, "theta.dl", e.Errors.String())
+	// The full decision on this instance is doubly exponential — the
+	// budget is what makes the run terminate at all.
+	var code int
+	var detail string
+	out := captureStdout(t, func() {
+		detail = capture(t, &os.Stderr, func() {
+			code, err = cmdContain([]string{
+				"-program", prog, "-goal", tm.Goal, "-queries", qs,
+				"-max-states", "16",
+			})
+		})
+	})
+	if err != nil {
+		t.Fatalf("budget trip must degrade gracefully, got error: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 for an UNKNOWN verdict", code)
+	}
+	if !strings.Contains(out, "UNKNOWN") {
+		t.Errorf("output %q does not report UNKNOWN", out)
+	}
+	if !strings.Contains(detail, "budget exhausted") || !strings.Contains(detail, "states") {
+		t.Errorf("stderr %q does not carry the limit detail", detail)
+	}
+	if !strings.Contains(detail, "progress at trip") {
+		t.Errorf("stderr %q does not carry the progress snapshot", detail)
 	}
 }
 
@@ -63,25 +146,36 @@ func TestCmdNonrec(t *testing.T) {
 	dir := t.TempDir()
 	trendy := write(t, dir, "trendy.dl", "buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).\n")
 	trendyNR := write(t, dir, "trendy_nr.dl", "buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), likes(Z, Y).\n")
-	ok, err := cmdNonrec([]string{"-program", trendy, "-nonrec", trendyNR, "-goal", "buys"})
+	code, err := cmdNonrec([]string{"-program", trendy, "-nonrec", trendyNR, "-goal", "buys"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
-		t.Error("trendy should be equivalent to its rewriting")
+	if code != 0 {
+		t.Errorf("code = %d; trendy should be equivalent to its rewriting", code)
 	}
 	knows := write(t, dir, "knows.dl", "buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- knows(X, Z), buys(Z, Y).\n")
 	knowsNR := write(t, dir, "knows_nr.dl", "buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- knows(X, Z), likes(Z, Y).\n")
-	ok, err = cmdNonrec([]string{"-program", knows, "-nonrec", knowsNR, "-goal", "buys"})
+	code, err = cmdNonrec([]string{"-program", knows, "-nonrec", knowsNR, "-goal", "buys"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
-		t.Error("knows is inherently recursive")
+	if code != 1 {
+		t.Errorf("code = %d; knows is inherently recursive", code)
 	}
 	// A recursive second program is rejected.
 	if _, err := cmdNonrec([]string{"-program", knows, "-nonrec", knows, "-goal", "buys"}); err == nil {
 		t.Error("recursive -nonrec accepted")
+	}
+	// A budget trip degrades to UNKNOWN with exit 0.
+	var out string
+	out = captureStdout(t, func() {
+		code, err = cmdNonrec([]string{"-program", knows, "-nonrec", knowsNR, "-goal", "buys", "-max-states", "2"})
+	})
+	if err != nil || code != 0 {
+		t.Errorf("tripped nonrec: code=%d err=%v, want 0/nil", code, err)
+	}
+	if !strings.Contains(out, "UNKNOWN") {
+		t.Errorf("tripped nonrec output %q does not report UNKNOWN", out)
 	}
 }
 
@@ -89,22 +183,33 @@ func TestCmdUCQ(t *testing.T) {
 	dir := t.TempDir()
 	left := write(t, dir, "l.dl", "p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Y), e(X, Z).\n")
 	right := write(t, dir, "r.dl", "p(U, V) :- e(U, V).\n")
-	ok, err := cmdUCQ([]string{"-left", left, "-right", right, "-goal", "p"})
+	code, err := cmdUCQ([]string{"-left", left, "-right", right, "-goal", "p"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
-		t.Error("redundant-atom union should be equivalent to the single edge query")
+	if code != 0 {
+		t.Errorf("code = %d; redundant-atom union should be equivalent to the single edge query", code)
 	}
 	other := write(t, dir, "o.dl", "p(X, Y) :- e(X, Z), e(Z, Y).\n")
-	ok, err = cmdUCQ([]string{"-left", left, "-right", other, "-goal", "p"})
+	code, err = cmdUCQ([]string{"-left", left, "-right", other, "-goal", "p"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
-		t.Error("edge query is not equivalent to path-2")
+	if code != 1 {
+		t.Errorf("code = %d; edge query is not equivalent to path-2", code)
 	}
 	if _, err := cmdUCQ([]string{"-left", left, "-goal", "p"}); err == nil {
 		t.Error("missing flags accepted")
+	}
+	// A budget trip degrades to UNKNOWN with exit 0.
+	var out string
+	out = captureStdout(t, func() {
+		code, err = cmdUCQ([]string{"-left", left, "-right", right, "-goal", "p", "-max-steps", "1"})
+	})
+	if err != nil || code != 0 {
+		t.Errorf("tripped ucq: code=%d err=%v, want 0/nil", code, err)
+	}
+	if !strings.Contains(out, "UNKNOWN") {
+		t.Errorf("tripped ucq output %q does not report UNKNOWN", out)
 	}
 }

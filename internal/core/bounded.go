@@ -24,12 +24,20 @@ func BoundedRewriting(prog *ast.Program, goal string, maxDepth int, opts Options
 	if maxDepth < 1 {
 		return ucq.UCQ{}, 0, false, fmt.Errorf("core: maxDepth must be at least 1")
 	}
+	opts.Budget = opts.budget().Started()
+	opts.MaxStates = 0
 	for k := 1; k <= maxDepth; k++ {
 		queries := expansion.Expansions(prog, goal, k, 0)
 		u := ucq.Dedup(ucq.New(queries...))
 		res, err := ContainsUCQ(prog, goal, u, opts)
 		if err != nil {
 			return ucq.UCQ{}, 0, false, err
+		}
+		if res.Verdict == Unknown {
+			// The search has no third value to offer — a trip at depth k
+			// says nothing about larger depths — so the budget trip
+			// surfaces as the error it is.
+			return ucq.UCQ{}, 0, false, res.Limit
 		}
 		if res.Contained {
 			return u, k, true, nil

@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"datalogeq/internal/ast"
 	"datalogeq/internal/cq"
 	"datalogeq/internal/expansion"
+	"datalogeq/internal/guard"
 	"datalogeq/internal/par"
 	"datalogeq/internal/treeauto"
 	"datalogeq/internal/ucq"
@@ -17,6 +19,9 @@ import (
 type Options struct {
 	// MaxStates aborts a construction whose proof-tree or
 	// strong-mapping automaton exceeds this many states; 0 = unlimited.
+	//
+	// Deprecated: set Budget.MaxStates instead. MaxStates is folded into
+	// the budget when Budget.MaxStates is unset; Budget wins otherwise.
 	MaxStates int
 	// Ctx, when non-nil, cancels a check between stages and inside the
 	// state-construction and antichain loops, returning Ctx.Err().
@@ -26,6 +31,14 @@ type Options struct {
 	// negative means runtime.GOMAXPROCS(0). Results are identical for
 	// every value.
 	Workers int
+	// Budget declares guard-layer limits across every phase of a check:
+	// MaxStates bounds each automaton construction and the antichain
+	// loop separately, MaxSteps bounds subset-step firings, MaxCanon
+	// bounds canonical-database facts in the converse direction, and
+	// MaxWall is one global deadline shared by all phases. A trip
+	// degrades the check to an Unknown verdict (see Result.Verdict)
+	// rather than an error.
+	Budget guard.Budget
 }
 
 // ctxErr reports the options context's cancellation.
@@ -34,6 +47,15 @@ func (o Options) ctxErr() error {
 		return nil
 	}
 	return o.Ctx.Err()
+}
+
+// budget folds the deprecated MaxStates field into the guard budget.
+func (o Options) budget() guard.Budget {
+	b := o.Budget
+	if b.MaxStates == 0 && o.MaxStates > 0 {
+		b.MaxStates = int64(o.MaxStates)
+	}
+	return b
 }
 
 // Stats reports the sizes of the constructed automata — the quantities
@@ -45,6 +67,11 @@ type Stats struct {
 	PtreeStates int
 	// ThetaStates is the total number of states across the A^θᵢ.
 	ThetaStates int
+	// Budget is the guard-meter consumption of the construction phases
+	// (states charged while building A^ptrees and the A^θᵢ). The
+	// antichain phase's consumption travels on the *guard.LimitError
+	// when it trips.
+	Budget guard.Usage
 }
 
 // Witness is a counterexample to containment: a proof tree of the
@@ -59,19 +86,55 @@ type Witness struct {
 
 // Result is the outcome of a containment check.
 type Result struct {
+	// Contained is the answer when Verdict is Yes or No; it is false and
+	// meaningless when Verdict is Unknown.
 	Contained bool
-	Witness   *Witness
-	Stats     Stats
+	// Verdict is the three-valued outcome: Yes/No when the procedure ran
+	// to completion, Unknown when a resource budget tripped first.
+	Verdict Verdict
+	Witness *Witness
+	// Limit carries the budget trip when Verdict is Unknown.
+	Limit *guard.LimitError
+	Stats Stats
+}
+
+// verdictOf maps a completed boolean answer to a Verdict.
+func verdictOf(ok bool) Verdict {
+	if ok {
+		return Yes
+	}
+	return No
+}
+
+// degrade converts a budget trip into a graceful Unknown result carrying
+// the partial stats; every other error propagates unchanged.
+func degrade(res Result, err error) (Result, error) {
+	var le *guard.LimitError
+	if errors.As(err, &le) {
+		res.Contained = false
+		res.Verdict = Unknown
+		res.Witness = nil
+		res.Limit = le
+		return res, nil
+	}
+	return res, err
 }
 
 // ContainsUCQ decides whether the program (with the given goal
 // predicate) is contained in the union of conjunctive queries — the
 // 2EXPTIME procedure of Theorem 5.12: T(A^ptrees) ⊆ ∪ᵢ T(A^θᵢ), checked
 // with the fused antichain algorithm of treeauto.Contains.
-func ContainsUCQ(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (Result, error) {
+//
+// On budget exhaustion the check degrades instead of failing: the
+// result carries Verdict == Unknown, the *guard.LimitError that tripped,
+// and the stats of whatever was constructed, with a nil error.
+func ContainsUCQ(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (res Result, err error) {
+	defer guard.Recover(&err, "core/contains-ucq")
+	opts.Budget = opts.budget().Started()
+	opts.MaxStates = 0
 	u, pt, thetas, stats, err := buildAutomata(prog, goal, q, opts)
 	if err != nil {
-		return Result{}, err
+		return degrade(Result{Stats: stats}, err)
 	}
 	a := pt.TA()
 	var b *treeauto.TA
@@ -80,14 +143,19 @@ func ContainsUCQ(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (Resul
 	} else {
 		b = thetas[0].freeze(u.NumLetters())
 		for _, tb := range thetas[1:] {
-			b = treeauto.Union(b, tb.freeze(u.NumLetters()))
+			b, err = treeauto.Union(b, tb.freeze(u.NumLetters()))
+			if err != nil {
+				return Result{Stats: stats}, err
+			}
 		}
 	}
-	ok, wTree, err := treeauto.ContainsOpt(a, b, treeauto.ContainOptions{Ctx: opts.Ctx, Workers: opts.Workers})
+	ok, wTree, err := treeauto.ContainsOpt(a, b, treeauto.ContainOptions{
+		Ctx: opts.Ctx, Workers: opts.Workers, Budget: opts.Budget,
+	})
 	if err != nil {
-		return Result{Stats: stats}, err
+		return degrade(Result{Stats: stats}, err)
 	}
-	res := Result{Contained: ok, Stats: stats}
+	res = Result{Contained: ok, Verdict: verdictOf(ok), Stats: stats}
 	if !ok {
 		res.Witness = decodeWitness(u, pt, wTree)
 	}
@@ -110,7 +178,10 @@ func buildAutomata(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (*Un
 	if err != nil {
 		return nil, nil, nil, stats, err
 	}
-	pt, err := u.buildPtrees(opts.MaxStates)
+	pm := opts.Budget.Meter()
+	pt, err := u.buildPtrees(pm)
+	stats.Budget = stats.Budget.Add(pm.Usage())
+	stats.Budget.Wall = 0
 	if err != nil {
 		return nil, nil, nil, stats, err
 	}
@@ -118,13 +189,24 @@ func buildAutomata(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (*Un
 	stats.Letters = u.NumLetters()
 	// The strong-mapping automata only read the universe (every atom
 	// they touch was interned by the proof-tree construction), so the
-	// per-disjunct builds fan out across the worker pool.
+	// per-disjunct builds fan out across the worker pool. Each disjunct
+	// charges its own meter (the budget bounds constructions separately,
+	// and per-disjunct metering keeps trip points deterministic under
+	// the fan-out); the reported error is the lowest-indexed one, as in
+	// a sequential scan.
 	thetas := make([]*taBuilder, len(q.Disjuncts))
 	counts := make([]int, len(q.Disjuncts))
 	errs := make([]error, len(q.Disjuncts))
+	meters := make([]*guard.Meter, len(q.Disjuncts))
 	par.ForEach(par.Workers(opts.Workers), len(q.Disjuncts), func(i int) {
-		thetas[i], counts[i], errs[i] = u.buildTheta(q.Disjuncts[i], pt, opts)
+		meters[i] = opts.Budget.Meter()
+		thetas[i], counts[i], errs[i] = u.buildTheta(q.Disjuncts[i], pt, meters[i], opts)
 	})
+	for _, m := range meters {
+		mu := m.Usage()
+		mu.Wall = 0
+		stats.Budget = stats.Budget.Add(mu)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, nil, nil, stats, err
@@ -137,9 +219,9 @@ func buildAutomata(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (*Un
 // buildTheta constructs A^θ (Proposition 5.10) restricted to reachable
 // states, as a builder over the universe's letters. It returns the
 // builder and its state count. Safe to run concurrently for different
-// disjuncts: it only reads the universe and the proof-tree result.
-func (u *Universe) buildTheta(theta cq.CQ, pt *PtreesResult, opts Options) (*taBuilder, int, error) {
-	maxStates := opts.MaxStates
+// disjuncts: it only reads the universe and the proof-tree result, and
+// charges only its own meter.
+func (u *Universe) buildTheta(theta cq.CQ, pt *PtreesResult, meter *guard.Meter, opts Options) (*taBuilder, int, error) {
 	info, err := newThetaInfo(theta)
 	if err != nil {
 		return nil, 0, err
@@ -163,12 +245,19 @@ func (u *Universe) buildTheta(theta cq.CQ, pt *PtreesResult, opts Options) (*taB
 		}
 		b.starts = append(b.starts, intern(st))
 	}
+	charged := 0
 	for id := 0; id < len(states); id++ {
-		if maxStates > 0 && len(states) > maxStates {
-			return nil, 0, fmt.Errorf("core: strong-mapping automaton exceeds %d states", maxStates)
+		if n := len(states); n > charged {
+			if err := meter.Charge("core/theta", guard.States, int64(n-charged)); err != nil {
+				return nil, 0, err
+			}
+			charged = n
 		}
 		if id&255 == 0 {
 			if err := opts.ctxErr(); err != nil {
+				return nil, 0, err
+			}
+			if err := meter.CheckWall("core/theta"); err != nil {
 				return nil, 0, err
 			}
 		}
@@ -211,7 +300,10 @@ func decodeWitness(u *Universe, pt *PtreesResult, t *treeauto.Tree) *Witness {
 // procedure of Theorem 5.12 for linear programs). Programs that are
 // linear but not path-linear should first be transformed with
 // nonrec.InlineNonrecursive.
-func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (Result, error) {
+func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (res Result, err error) {
+	defer guard.Recover(&err, "core/contains-ucq-linear")
+	opts.Budget = opts.budget().Started()
+	opts.MaxStates = 0
 	if !prog.IsPathLinear() {
 		return Result{}, fmt.Errorf("core: program is not path-linear; inline its nonrecursive predicates first")
 	}
@@ -228,9 +320,12 @@ func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) 
 	if err != nil {
 		return Result{}, err
 	}
-	pt, err := u.buildPtrees(opts.MaxStates)
+	pm := opts.Budget.Meter()
+	pt, err := u.buildPtrees(pm)
+	stats.Budget = stats.Budget.Add(pm.Usage())
+	stats.Budget.Wall = 0
 	if err != nil {
-		return Result{}, err
+		return degrade(Result{Stats: stats}, err)
 	}
 	stats.PtreeStates = u.NumAtoms()
 	stats.Letters = u.NumLetters()
@@ -261,21 +356,31 @@ func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) 
 	}
 
 	// One word automaton per disjunct, then the nondeterministic union.
+	// The loop is sequential, but each disjunct still charges a fresh
+	// meter: the budget bounds constructions separately, matching the
+	// tree-automaton path.
 	var bw *wordauto.NFA
 	for _, d := range q.Disjuncts {
 		if err := opts.ctxErr(); err != nil {
 			return Result{Stats: stats}, err
 		}
-		nb, n, err := u.buildThetaWord(d, pt, opts.MaxStates)
+		tm := opts.Budget.Meter()
+		nb, n, err := u.buildThetaWord(d, pt, tm, opts)
+		tu := tm.Usage()
+		tu.Wall = 0
+		stats.Budget = stats.Budget.Add(tu)
 		if err != nil {
-			return Result{}, err
+			return degrade(Result{Stats: stats}, err)
 		}
 		stats.ThetaStates += n
 		nfa := nb.freeze(u.NumLetters())
 		if bw == nil {
 			bw = nfa
 		} else {
-			bw = wordauto.Union(bw, nfa)
+			bw, err = wordauto.Union(bw, nfa)
+			if err != nil {
+				return Result{Stats: stats}, err
+			}
 		}
 	}
 	if bw == nil {
@@ -284,8 +389,11 @@ func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) 
 	if err := opts.ctxErr(); err != nil {
 		return Result{Stats: stats}, err
 	}
-	ok, word := wordauto.Contains(aw.freeze(u.NumLetters()), bw)
-	res := Result{Contained: ok, Stats: stats}
+	ok, word, err := wordauto.ContainsOpt(aw.freeze(u.NumLetters()), bw, wordauto.ContainOptions{Ctx: opts.Ctx, Budget: opts.Budget})
+	if err != nil {
+		return degrade(Result{Stats: stats}, err)
+	}
+	res = Result{Contained: ok, Verdict: verdictOf(ok), Stats: stats}
 	if !ok {
 		res.Witness = decodeWordWitness(u, pt, word)
 	}
@@ -294,7 +402,7 @@ func ContainsUCQLinear(prog *ast.Program, goal string, q ucq.UCQ, opts Options) 
 
 // buildThetaWord is the word-automaton analogue of buildTheta for
 // path-linear programs.
-func (u *Universe) buildThetaWord(theta cq.CQ, pt *PtreesResult, maxStates int) (*nfaBuilder, int, error) {
+func (u *Universe) buildThetaWord(theta cq.CQ, pt *PtreesResult, meter *guard.Meter, opts Options) (*nfaBuilder, int, error) {
 	info, err := newThetaInfo(theta)
 	if err != nil {
 		return nil, 0, err
@@ -320,9 +428,21 @@ func (u *Universe) buildThetaWord(theta cq.CQ, pt *PtreesResult, maxStates int) 
 	}
 	type pendingAccept struct{ from, letter int }
 	var accepts []pendingAccept
+	charged := 0
 	for id := 0; id < len(states); id++ {
-		if maxStates > 0 && len(states) > maxStates {
-			return nil, 0, fmt.Errorf("core: strong-mapping automaton exceeds %d states", maxStates)
+		if n := len(states); n > charged {
+			if err := meter.Charge("core/theta-word", guard.States, int64(n-charged)); err != nil {
+				return nil, 0, err
+			}
+			charged = n
+		}
+		if id&255 == 0 {
+			if err := opts.ctxErr(); err != nil {
+				return nil, 0, err
+			}
+			if err := meter.CheckWall("core/theta-word"); err != nil {
+				return nil, 0, err
+			}
 		}
 		st := states[id]
 		for _, letter := range pt.LettersByAtom[st.atomID] {

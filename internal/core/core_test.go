@@ -8,6 +8,7 @@ import (
 	"datalogeq/internal/eval"
 	"datalogeq/internal/expansion"
 	"datalogeq/internal/gen"
+	"datalogeq/internal/guard"
 	"datalogeq/internal/parser"
 	"datalogeq/internal/ucq"
 )
@@ -291,9 +292,15 @@ func TestEmptyUCQ(t *testing.T) {
 
 func TestMaxStatesAborts(t *testing.T) {
 	prog := gen.TransitiveClosure()
-	_, err := ContainsUCQ(prog, "p", gen.TCPathsUCQ(2), Options{MaxStates: 3})
-	if err == nil {
-		t.Error("MaxStates should abort the construction")
+	res, err := ContainsUCQ(prog, "p", gen.TCPathsUCQ(2), Options{MaxStates: 3})
+	if err != nil {
+		t.Fatalf("budget trips must degrade, not error: %v", err)
+	}
+	if res.Verdict != Unknown || res.Limit == nil {
+		t.Errorf("verdict = %v, limit = %v; want Unknown with a trip", res.Verdict, res.Limit)
+	}
+	if res.Limit != nil && res.Limit.Resource != guard.States {
+		t.Errorf("tripped resource = %v, want states", res.Limit.Resource)
 	}
 }
 

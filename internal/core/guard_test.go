@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"datalogeq/internal/gen"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/ucq"
+)
+
+// TestContainsUCQDegradeDifferential: a budget trip (real or injected)
+// degrades ContainsUCQ to an Unknown verdict — nil error, the
+// *guard.LimitError attached — with identical error detail and partial
+// stats for every worker count.
+func TestContainsUCQDegradeDifferential(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	q := gen.TCPathsUCQ(3)
+	budgets := []guard.Budget{
+		{MaxStates: 3},
+		{MaxSteps: 2},
+		guard.InjectFault(guard.Budget{}, guard.States, 2),
+	}
+	for _, b := range budgets {
+		base, err := ContainsUCQ(prog, "p", q, Options{Workers: 1, Budget: b})
+		if err != nil {
+			t.Fatalf("budget %+v: err = %v, want graceful degradation", b, err)
+		}
+		if base.Verdict != Unknown || base.Limit == nil {
+			t.Fatalf("budget %+v: verdict = %v, limit = %v; want Unknown with a trip",
+				b, base.Verdict, base.Limit)
+		}
+		if base.Contained || base.Witness != nil {
+			t.Errorf("budget %+v: Unknown result must not claim an answer", b)
+		}
+		for _, workers := range []int{2, 8} {
+			res, err := ContainsUCQ(prog, "p", q, Options{Workers: workers, Budget: b})
+			if err != nil {
+				t.Fatalf("workers=%d: err = %v", workers, err)
+			}
+			if res.Verdict != Unknown || res.Limit == nil ||
+				res.Limit.Error() != base.Limit.Error() {
+				t.Errorf("workers=%d: limit = %v, want %v", workers, res.Limit, base.Limit)
+			}
+			if res.Stats != base.Stats {
+				t.Errorf("workers=%d: stats = %+v, want %+v", workers, res.Stats, base.Stats)
+			}
+		}
+	}
+}
+
+// TestContainsUCQGenerousBudgetKeepsVerdict: a budget large enough to
+// finish changes nothing about the verdict or witness, and completed
+// runs report a definite Verdict agreeing with Contained.
+func TestContainsUCQGenerousBudgetKeepsVerdict(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	q := gen.TCPathsUCQ(2)
+	generous := guard.Budget{MaxStates: 1 << 30, MaxSteps: 1 << 30, MaxCanon: 1 << 30}
+	plain, err1 := ContainsUCQ(prog, "p", q, Options{})
+	bud, err2 := ContainsUCQ(prog, "p", q, Options{Budget: generous})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs %v / %v", err1, err2)
+	}
+	if plain.Verdict != verdictOf(plain.Contained) || bud.Verdict != verdictOf(bud.Contained) {
+		t.Error("completed runs must report a definite verdict")
+	}
+	if plain.Contained != bud.Contained || (plain.Witness == nil) != (bud.Witness == nil) {
+		t.Error("budget changed the verdict or witness")
+	}
+	if bud.Stats.Budget.States == 0 {
+		t.Error("stats should report construction-phase budget consumption")
+	}
+}
+
+// TestContainsUCQInjectedPanicRecovered: injected panics — fired both on
+// the caller goroutine (proof-tree construction) and inside the
+// per-disjunct fan-out (theta construction) — surface as
+// *guard.PanicError from the exported boundary, at every worker count.
+func TestContainsUCQInjectedPanicRecovered(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	q := gen.TCPathsUCQ(3)
+	for _, at := range []int64{2, 9} {
+		for _, workers := range []int{1, 2, 8} {
+			b := guard.InjectPanic(guard.Budget{}, guard.States, at)
+			_, err := ContainsUCQ(prog, "p", q, Options{Workers: workers, Budget: b})
+			var pe *guard.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("at=%d workers=%d: err = %v, want *guard.PanicError", at, workers, err)
+			}
+		}
+	}
+}
+
+// TestContainsUCQLinearDegrades: the word-automaton procedure degrades
+// the same way as the tree-automaton one.
+func TestContainsUCQLinearDegrades(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	q := gen.TCPathsUCQ(2)
+	res, err := ContainsUCQLinear(prog, "p", q, Options{Budget: guard.Budget{MaxStates: 3}})
+	if err != nil {
+		t.Fatalf("err = %v, want graceful degradation", err)
+	}
+	if res.Verdict != Unknown || res.Limit == nil {
+		t.Fatalf("verdict = %v, limit = %v; want Unknown with a trip", res.Verdict, res.Limit)
+	}
+	full, err := ContainsUCQLinear(prog, "p", q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Verdict != verdictOf(full.Contained) {
+		t.Error("completed linear run must report a definite verdict")
+	}
+}
+
+// TestUCQContainedInProgramOptCanonBudget: the converse direction
+// charges canonical-database facts against MaxCanon in a deterministic
+// admission pass.
+func TestUCQContainedInProgramOptCanonBudget(t *testing.T) {
+	prog := gen.TransitiveClosure()
+	q := gen.TCPathsUCQ(3)
+	_, _, err := UCQContainedInProgramOpt(q, prog, "p", Options{Budget: guard.Budget{MaxCanon: 2}})
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Resource != guard.Canon {
+		t.Fatalf("err = %v, want canon LimitError", err)
+	}
+	ok, failing, err := UCQContainedInProgramOpt(q, prog, "p", Options{Budget: guard.Budget{MaxCanon: 1 << 20}})
+	if err != nil || !ok || failing != nil {
+		t.Errorf("generous canon budget: ok=%v failing=%v err=%v", ok, failing, err)
+	}
+}
+
+// TestEquivalentToNonrecursiveUnknown: a budget trip mid-equivalence
+// yields a three-valued Unknown with the trip attached and a nil error;
+// the unguarded run decides the same instance definitely.
+func TestEquivalentToNonrecursiveUnknown(t *testing.T) {
+	prog := gen.Example11Knows()
+	nr := gen.Example11KnowsNR()
+	res, err := EquivalentToNonrecursive(prog, "buys", nr, Options{Budget: guard.Budget{MaxStates: 2}})
+	if err != nil {
+		t.Fatalf("err = %v, want graceful degradation", err)
+	}
+	if res.Verdict != Unknown || res.Limit == nil {
+		t.Fatalf("verdict = %v, limit = %v; want Unknown with a trip", res.Verdict, res.Limit)
+	}
+	if res.Equivalent {
+		t.Error("Unknown result must not claim equivalence")
+	}
+	full, err := EquivalentToNonrecursive(prog, "buys", nr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Verdict != verdictOf(full.Equivalent) {
+		t.Errorf("completed run: verdict = %v with equivalent = %v", full.Verdict, full.Equivalent)
+	}
+}
+
+// TestEquivalentToNonrecursiveCanonTrip: a trip in the *converse*
+// direction (canonical databases) also degrades to Unknown rather than
+// erroring out.
+func TestEquivalentToNonrecursiveCanonTrip(t *testing.T) {
+	prog := gen.Example11Trendy()
+	nr := gen.Example11TrendyNR()
+	res, err := EquivalentToNonrecursive(prog, "buys", nr, Options{Budget: guard.Budget{MaxCanon: 1}})
+	if err != nil {
+		t.Fatalf("err = %v, want graceful degradation", err)
+	}
+	if res.Verdict == Unknown && res.Limit == nil {
+		t.Error("Unknown verdict must carry its trip")
+	}
+	if res.Verdict == Unknown && res.Limit.Resource != guard.Canon {
+		t.Errorf("tripped resource = %v, want canon", res.Limit.Resource)
+	}
+}
+
+// TestBoundedRewritingBudgetSurfacesError: the bounded search has no
+// useful third value, so a trip is reported as the *guard.LimitError it
+// is.
+func TestBoundedRewritingBudgetSurfacesError(t *testing.T) {
+	prog := gen.ChainProgram(2)
+	_, _, _, err := BoundedRewriting(prog, "p", 2, Options{Budget: guard.Budget{MaxStates: 1}})
+	var le *guard.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *guard.LimitError", err)
+	}
+}
+
+// FuzzGuardedContain: under arbitrary tiny budgets the guarded
+// containment check never panics, never errors (it degrades), and is
+// bit-deterministic — same verdict, same trip detail, same stats —
+// across repeated runs and worker counts.
+func FuzzGuardedContain(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(8))
+	f.Add(int64(7), uint8(0), uint8(3))
+	f.Add(int64(42), uint8(255), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, maxStates, maxSteps uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		prog := gen.RandomLinearProgram(rng, 2, 2)
+		disjuncts := 1 + rng.Intn(3)
+		q := ucq.UCQ{}
+		for i := 0; i < disjuncts; i++ {
+			q.Disjuncts = append(q.Disjuncts, gen.RandomCQ(rng, "p", 1+rng.Intn(3), 1+rng.Intn(3), 2))
+		}
+		// The states budget stays strictly positive: an unbounded
+		// construction on an adversarial random instance is exactly the
+		// blowup the guard exists to stop, and the fuzz loop needs every
+		// execution to finish quickly.
+		b := guard.Budget{MaxStates: 1 + int64(maxStates%64), MaxSteps: int64(maxSteps)}
+		base, err := ContainsUCQ(prog, "p", q, Options{Workers: 1, Budget: b})
+		if err != nil {
+			t.Fatalf("guarded containment must degrade, not error: %v", err)
+		}
+		if base.Verdict != Unknown && base.Verdict != verdictOf(base.Contained) {
+			t.Fatalf("inconsistent verdict %v for contained=%v", base.Verdict, base.Contained)
+		}
+		for _, workers := range []int{1, 4} {
+			res, err := ContainsUCQ(prog, "p", q, Options{Workers: workers, Budget: b})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if res.Verdict != base.Verdict || res.Contained != base.Contained {
+				t.Fatalf("workers=%d: verdict %v/%v, want %v/%v",
+					workers, res.Verdict, res.Contained, base.Verdict, base.Contained)
+			}
+			if (res.Limit == nil) != (base.Limit == nil) ||
+				(res.Limit != nil && res.Limit.Error() != base.Limit.Error()) {
+				t.Fatalf("workers=%d: limit %v, want %v", workers, res.Limit, base.Limit)
+			}
+			if res.Stats != base.Stats {
+				t.Fatalf("workers=%d: stats %+v, want %+v", workers, res.Stats, base.Stats)
+			}
+		}
+	})
+}

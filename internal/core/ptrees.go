@@ -1,9 +1,8 @@
 package core
 
 import (
-	"fmt"
-
 	"datalogeq/internal/ast"
+	"datalogeq/internal/guard"
 	"datalogeq/internal/treeauto"
 	"datalogeq/internal/wordauto"
 )
@@ -74,8 +73,9 @@ type PtreesResult struct {
 // the root atoms Q(s): states are IDB atoms over Terms, and δ(α, ρ)
 // contains the tuple of IDB body atoms of ρ whenever ρ's head is α
 // (an empty tuple when ρ's body is all-EDB, making the node a leaf).
-// maxStates bounds the construction; 0 means unlimited.
-func (u *Universe) buildPtrees(maxStates int) (*PtreesResult, error) {
+// The meter's States budget bounds the construction; a nil meter is
+// unlimited.
+func (u *Universe) buildPtrees(meter *guard.Meter) (*PtreesResult, error) {
 	res := &PtreesResult{
 		u:             u,
 		LettersByAtom: make(map[int][]int),
@@ -86,9 +86,18 @@ func (u *Universe) buildPtrees(maxStates int) (*PtreesResult, error) {
 		res.builder.starts = append(res.builder.starts, id)
 	}
 	// Worklist: atom ids are dense and grow as children are interned.
+	charged := 0
 	for id := 0; id < u.NumAtoms(); id++ {
-		if maxStates > 0 && u.NumAtoms() > maxStates {
-			return nil, fmt.Errorf("core: proof-tree automaton exceeds %d states", maxStates)
+		if n := u.NumAtoms(); n > charged {
+			if err := meter.Charge("core/ptrees", guard.States, int64(n-charged)); err != nil {
+				return nil, err
+			}
+			charged = n
+		}
+		if id&255 == 0 {
+			if err := meter.CheckWall("core/ptrees"); err != nil {
+				return nil, err
+			}
 		}
 		atom := u.Atom(id)
 		u.InstancesFor(atom, func(inst ast.Rule, idbPos []int) {

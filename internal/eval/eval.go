@@ -27,6 +27,7 @@ import (
 
 	"datalogeq/internal/ast"
 	"datalogeq/internal/database"
+	"datalogeq/internal/guard"
 )
 
 // Stats reports work done by an evaluation.
@@ -55,6 +56,11 @@ type Stats struct {
 	// InternedConstants is the size of the shared symbol table after
 	// evaluation.
 	InternedConstants int
+
+	// Budget is the guard-layer consumption snapshot: facts and steps
+	// charged against Options.Budget (counters are deterministic across
+	// worker counts; Wall is not).
+	Budget guard.Usage
 }
 
 // Options configure evaluation.
@@ -63,12 +69,19 @@ type Options struct {
 	// the full store each round) instead of semi-naive.
 	Naive bool
 	// MaxFacts aborts evaluation once more than this many IDB facts
-	// have been derived; 0 means unlimited. Datalog evaluation always
-	// terminates, but a bound is useful in adversarial benchmarks. The
-	// bound is enforced at every merge in canonical order, so the abort
-	// round and the reported fact count are identical for every worker
-	// count.
+	// have been derived; 0 means unlimited. Deprecated compatibility
+	// shim: it is folded into Budget.MaxFacts (which wins when both are
+	// set) so eval shares the guard accounting path with the decision
+	// procedures. The bound is enforced at every merge in canonical
+	// order, so the abort round and the reported fact count are
+	// identical for every worker count.
 	MaxFacts int
+	// Budget declares guard-layer resource limits: derived facts
+	// (Facts), rule-body firings (Steps), and wall time, all enforced at
+	// single-threaded points so trips are bit-identical for every worker
+	// count. A trip aborts evaluation with a *guard.LimitError carrying
+	// a progress snapshot; the partial database is still returned.
+	Budget guard.Budget
 	// Workers is the number of goroutines that fire rules within a
 	// round; 0 or negative means runtime.GOMAXPROCS(0). Results are
 	// bit-identical for every value.
@@ -83,10 +96,26 @@ type Options struct {
 // the facts a predicate gained during one fixpoint round.
 type window struct{ lo, hi int }
 
+// budget folds the deprecated MaxFacts shim into the guard budget:
+// Budget.MaxFacts wins when both are set.
+func (o Options) budget() guard.Budget {
+	b := o.Budget
+	if b.MaxFacts == 0 && o.MaxFacts > 0 {
+		b.MaxFacts = int64(o.MaxFacts)
+	}
+	return b
+}
+
 // Eval computes the least fixpoint of prog over edb and returns a new
 // database containing all EDB facts plus every derived IDB fact. The
 // input database is not modified.
-func Eval(prog *ast.Program, edb *database.DB, opts Options) (*database.DB, Stats, error) {
+//
+// A budget trip returns the partial database together with a
+// *guard.LimitError; an internal panic (in this package or a worker
+// goroutine) is recovered and returned as a *guard.PanicError — Eval
+// never crashes the process.
+func Eval(prog *ast.Program, edb *database.DB, opts Options) (db *database.DB, stats Stats, err error) {
+	defer guard.Recover(&err, "eval")
 	if err := prog.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -100,17 +129,19 @@ func Eval(prog *ast.Program, edb *database.DB, opts Options) (*database.DB, Stat
 		maxVars: maxVars,
 		total:   edb.Clone(),
 		opts:    opts,
+		meter:   opts.budget().Started().Meter(),
 		frozen:  make(map[string]int),
 		ensured: make(map[indexKey]bool),
 	}
 	e.domain = activeDomainIDs(prog, edb)
-	stats, err := e.run()
+	stats, err = e.run()
 	st := e.total.StorageStats()
 	stats.IndexHits = st.IndexHits + e.probeHits
 	stats.IndexBuilds = st.IndexBuilds
 	stats.IndexAppends = st.IndexAppends
 	stats.SlabBytes = st.SlabBytes
 	stats.InternedConstants = database.InternedCount()
+	stats.Budget = e.meter.Usage()
 	return e.total, stats, err
 }
 

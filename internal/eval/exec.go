@@ -1,11 +1,11 @@
 package eval
 
 import (
-	"fmt"
 	"sync/atomic"
 
 	"datalogeq/internal/ast"
 	"datalogeq/internal/database"
+	"datalogeq/internal/guard"
 	"datalogeq/internal/par"
 )
 
@@ -66,6 +66,7 @@ type evaluator struct {
 	total   *database.DB
 	domain  []uint32
 	opts    Options
+	meter   *guard.Meter
 
 	workers  int
 	stop     *atomic.Bool
@@ -81,8 +82,10 @@ type evaluator struct {
 	// Stats.IndexHits by Eval.
 	probeHits uint64
 
-	// limitErr is set by the merge when MaxFacts is exceeded; later
-	// buffered rows are discarded (their firings still count).
+	// limitErr is the budget trip observed by the merge; later buffered
+	// rows are discarded (their firings still count). The merge is
+	// single-threaded and replays tasks in canonical order, so the trip
+	// point is bit-identical for every worker count.
 	limitErr error
 
 	stats Stats
@@ -99,6 +102,9 @@ func (e *evaluator) run() (Stats, error) {
 	var delta map[string]window // nil: fire every rule against the full store
 	for {
 		if err := e.ctxErr(); err != nil {
+			return e.stats, err
+		}
+		if err := e.meter.CheckWall("eval/round"); err != nil {
 			return e.stats, err
 		}
 		tasks := e.buildTasks(delta)
@@ -224,11 +230,18 @@ func (e *evaluator) runTasks(tasks []task) ([]taskResult, error) {
 
 // merge applies the round's buffered rows to the store in task order.
 // Firings are counted for the whole round — the barrier means every
-// task completed — while rows past the MaxFacts limit are discarded.
+// task completed — while rows past a budget trip are discarded. All
+// budget charges happen here, single-threaded and in canonical task
+// order, which is what makes trip points worker-count-independent.
 func (e *evaluator) merge(tasks []task, results []taskResult) error {
 	for ti := range results {
 		res := &results[ti]
 		e.stats.Firings += res.count
+		if res.count > 0 {
+			if err := e.meter.Charge("eval/merge", guard.Steps, int64(res.count)); err != nil && e.limitErr == nil {
+				e.limitErr = err
+			}
+		}
 		if e.limitErr != nil {
 			continue
 		}
@@ -251,8 +264,8 @@ func (e *evaluator) merge(tasks []task, results []taskResult) error {
 func (e *evaluator) addFact(pred string, row database.Row) {
 	if e.total.AddRow(pred, row) {
 		e.stats.Derived++
-		if e.opts.MaxFacts > 0 && e.stats.Derived > e.opts.MaxFacts && e.limitErr == nil {
-			e.limitErr = fmt.Errorf("eval: derived more than %d facts", e.opts.MaxFacts)
+		if err := e.meter.Charge("eval/merge", guard.Facts, 1); err != nil && e.limitErr == nil {
+			e.limitErr = err
 		}
 	}
 }

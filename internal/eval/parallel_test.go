@@ -16,11 +16,13 @@ import (
 	"datalogeq/internal/parser"
 )
 
-// statsComparable strips the one Stats field that depends on global
-// state rather than on this evaluation: the shared interner only grows,
-// so InternedConstants reflects every string any earlier test interned.
+// statsComparable strips the Stats fields that are not functions of
+// this evaluation alone: the shared interner only grows, so
+// InternedConstants reflects every string any earlier test interned,
+// and the budget's wall-clock component is real time.
 func statsComparable(s eval.Stats) eval.Stats {
 	s.InternedConstants = 0
+	s.Budget.Wall = 0
 	return s
 }
 

@@ -1,0 +1,90 @@
+package guard
+
+import "fmt"
+
+// Deterministic fault injection. A fault arms one resource counter with
+// an exact trigger value; the Charge (or CheckWall poll) whose addition
+// first reaches the trigger fires it. Because each resource is charged
+// from a single goroutine per meter, the firing point — and therefore
+// the partial state observed by the degradation path — is bit-identical
+// across runs and worker counts, which is what lets differential tests
+// pin graceful degradation exactly.
+//
+// Faults are injected through Options (any Options struct that carries
+// a Budget), so production binaries pay nothing: a zero Budget has no
+// fault and every check short-circuits.
+
+// faultKind selects what an armed fault does when it fires.
+type faultKind int
+
+const (
+	// faultTrip returns an injected *LimitError, exercising the budget
+	// degradation path without waiting for a real blowup.
+	faultTrip faultKind = iota
+	// faultPanic panics with *InjectedPanic, exercising the recover
+	// boundaries of the exported APIs.
+	faultPanic
+	// faultCancel invokes a callback (typically a context.CancelFunc),
+	// exercising cancellation at an exact mid-phase point.
+	faultCancel
+)
+
+type fault struct {
+	kind     faultKind
+	resource Resource
+	at       int64
+	onFire   func()
+}
+
+// InjectFault arms a deterministic budget trip: the charge that brings
+// resource r's counter to at (or past it) returns an injected
+// *LimitError. For Wall, at counts CheckWall polls.
+func InjectFault(b Budget, r Resource, at int64) Budget {
+	b.fault = &fault{kind: faultTrip, resource: r, at: at}
+	return b
+}
+
+// InjectPanic arms a deterministic panic at the same trigger point,
+// for pinning the recover() boundaries.
+func InjectPanic(b Budget, r Resource, at int64) Budget {
+	b.fault = &fault{kind: faultPanic, resource: r, at: at}
+	return b
+}
+
+// InjectCancel arms a deterministic cancellation: when the trigger is
+// reached, cancel is invoked (once) and the computation proceeds until
+// it observes its context — exactly how a real mid-phase cancellation
+// lands.
+func InjectCancel(b Budget, r Resource, at int64, cancel func()) Budget {
+	b.fault = &fault{kind: faultCancel, resource: r, at: at, onFire: cancel}
+	return b
+}
+
+// InjectedPanic is the value raised by an InjectPanic fault.
+type InjectedPanic struct {
+	Resource Resource
+	At       int64
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("guard: injected panic at %s=%d", p.Resource, p.At)
+}
+
+// fire executes an armed fault that has just reached its trigger. Trip
+// faults return the sticky injected LimitError; panic faults panic;
+// cancel faults run their callback and let the computation continue.
+func (m *Meter) fire(phase string, r Resource) error {
+	f := m.budget.fault
+	switch f.kind {
+	case faultPanic:
+		//repolint:allow panic — deliberate: InjectPanic exists to test the recover boundaries.
+		panic(&InjectedPanic{Resource: r, At: f.at})
+	case faultCancel:
+		if f.onFire != nil {
+			f.onFire()
+		}
+		return nil
+	default:
+		return m.trip(&LimitError{Resource: r, Limit: m.budget.limit(r), Phase: phase, Injected: true, Usage: m.Usage()})
+	}
+}

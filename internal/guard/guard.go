@@ -1,0 +1,340 @@
+// Package guard is the unified resource-governance layer of the
+// decision procedures. The paper's algorithms are 2EXPTIME-complete for
+// UCQ containment and 3EXPTIME-complete for recursive-vs-nonrecursive
+// equivalence (Theorems 5.11/5.12, §6), so state explosion on
+// adversarial inputs is expected behavior, not a bug. guard turns those
+// blowups from OOM kills and unbounded spins into structured,
+// diagnosable outcomes:
+//
+//   - a Budget declares limits on wall time, derived facts, automaton
+//     states, transition firings, and canonical-database size;
+//   - a Meter charges consumption against the budget at the hot-loop
+//     boundaries of eval, core, treeauto, wordauto, and ucq;
+//   - a trip produces a *LimitError carrying the phase name and a
+//     progress snapshot (every counter consumed so far), which the
+//     decision procedures degrade into a three-valued Unknown verdict
+//     rather than an error exit;
+//   - Recover converts internal panics at exported API boundaries into
+//     *PanicError values with the original stack;
+//   - deterministic fault injection (InjectFault / InjectPanic /
+//     InjectCancel) fires trips, panics, and cancellations at exact
+//     counter values, so degradation paths are pinned by differential
+//     tests at every worker count.
+//
+// Determinism contract: every charge site in the engines runs on a
+// single goroutine per meter (merge phases, antichain pushes, block
+// flushes), so the counter value at which a budget trips — and hence
+// the partial result returned — is bit-identical for every worker
+// count. Meters still use atomic counters so that the few shared-meter
+// configurations (concurrent containment directions) stay race-free.
+package guard
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Resource names one governed dimension of a computation.
+type Resource int
+
+// The governed resources.
+const (
+	// Wall is elapsed wall-clock time, charged by CheckWall polls.
+	Wall Resource = iota
+	// Facts counts derived IDB facts (eval's merge phase).
+	Facts
+	// States counts automaton states materialized (proof-tree and
+	// strong-mapping constructions, subset/antichain pairs).
+	States
+	// Steps counts transition firings: rule-body matches in eval,
+	// subset-step (bStep) evaluations in the antichain loops.
+	Steps
+	// Canon counts canonical-database facts frozen for the converse
+	// containment direction.
+	Canon
+
+	numResources
+)
+
+func (r Resource) String() string {
+	switch r {
+	case Wall:
+		return "wall"
+	case Facts:
+		return "facts"
+	case States:
+		return "states"
+	case Steps:
+		return "steps"
+	case Canon:
+		return "canon"
+	}
+	return fmt.Sprintf("Resource(%d)", int(r))
+}
+
+// Budget declares resource limits. The zero value is unlimited: no
+// limit is enforced and no fault fires. Budgets are plain values,
+// copied freely into Options structs.
+type Budget struct {
+	// MaxWall bounds elapsed wall-clock time; 0 = unlimited. The clock
+	// starts at Started (or at the first Meter if Started was never
+	// called), so one budget threaded through several phases enforces
+	// one global deadline.
+	MaxWall time.Duration
+	// MaxFacts bounds derived IDB facts; 0 = unlimited.
+	MaxFacts int64
+	// MaxStates bounds automaton states per construction; 0 = unlimited.
+	MaxStates int64
+	// MaxSteps bounds transition firings; 0 = unlimited.
+	MaxSteps int64
+	// MaxCanon bounds canonical-database facts; 0 = unlimited.
+	MaxCanon int64
+
+	// deadline, when nonzero, is the absolute wall deadline pinned by
+	// Started; it survives copying into sub-phase meters.
+	deadline time.Time
+	// fault is the injected deterministic fault, if any.
+	fault *fault
+}
+
+// Active reports whether the budget enforces anything: a limit, a
+// pinned deadline, or an injected fault.
+func (b Budget) Active() bool {
+	return b.MaxWall > 0 || b.MaxFacts > 0 || b.MaxStates > 0 ||
+		b.MaxSteps > 0 || b.MaxCanon > 0 || !b.deadline.IsZero() || b.fault != nil
+}
+
+// Started pins the wall-clock deadline at now + MaxWall. Entry points
+// call it once so that every phase meter derived from the budget shares
+// one absolute deadline; without it each Meter starts its own clock.
+func (b Budget) Started() Budget {
+	if b.MaxWall > 0 && b.deadline.IsZero() {
+		b.deadline = time.Now().Add(b.MaxWall)
+	}
+	return b
+}
+
+// limit returns the declared limit for r (Wall in nanoseconds), 0 for
+// unlimited.
+func (b Budget) limit(r Resource) int64 {
+	switch r {
+	case Wall:
+		return int64(b.MaxWall)
+	case Facts:
+		return b.MaxFacts
+	case States:
+		return b.MaxStates
+	case Steps:
+		return b.MaxSteps
+	case Canon:
+		return b.MaxCanon
+	}
+	return 0
+}
+
+// Usage is a progress snapshot: the resources consumed by one meter (or
+// the sum over several phase meters).
+type Usage struct {
+	Wall   time.Duration
+	Facts  int64
+	States int64
+	Steps  int64
+	Canon  int64
+}
+
+// Add returns the field-wise sum of two usages; phases run
+// sequentially, so wall times add.
+func (u Usage) Add(v Usage) Usage {
+	return Usage{
+		Wall:   u.Wall + v.Wall,
+		Facts:  u.Facts + v.Facts,
+		States: u.States + v.States,
+		Steps:  u.Steps + v.Steps,
+		Canon:  u.Canon + v.Canon,
+	}
+}
+
+// String renders the nonzero counters compactly, e.g.
+// "facts=120 steps=451 wall=1.2ms".
+func (u Usage) String() string {
+	var parts []string
+	if u.Facts > 0 {
+		parts = append(parts, fmt.Sprintf("facts=%d", u.Facts))
+	}
+	if u.States > 0 {
+		parts = append(parts, fmt.Sprintf("states=%d", u.States))
+	}
+	if u.Steps > 0 {
+		parts = append(parts, fmt.Sprintf("steps=%d", u.Steps))
+	}
+	if u.Canon > 0 {
+		parts = append(parts, fmt.Sprintf("canon=%d", u.Canon))
+	}
+	if u.Wall > 0 {
+		parts = append(parts, fmt.Sprintf("wall=%s", u.Wall.Round(time.Microsecond)))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// LimitError reports a budget trip: which resource, in which phase, and
+// a progress snapshot of everything consumed up to the trip. Decision
+// procedures degrade it into an Unknown verdict; CLIs print it and keep
+// going.
+type LimitError struct {
+	// Resource is the dimension that tripped.
+	Resource Resource
+	// Limit is the budget value that was exceeded (nanoseconds for
+	// Wall). 0 for injected faults on an unlimited resource.
+	Limit int64
+	// Phase names the hot loop that observed the trip, e.g.
+	// "eval/merge" or "treeauto/antichain".
+	Phase string
+	// Injected marks trips fired by InjectFault rather than a real
+	// limit.
+	Injected bool
+	// Usage is the progress snapshot at trip time. Counter fields are
+	// deterministic for a given input and budget; Wall is not.
+	Usage Usage
+}
+
+// Error renders the trip without the wall-clock portion of the
+// snapshot, so the message is bit-identical across runs and worker
+// counts (differential tests compare error strings).
+func (e *LimitError) Error() string {
+	det := e.Usage
+	det.Wall = 0
+	kind := "budget exhausted"
+	if e.Injected {
+		kind = "injected fault"
+	}
+	if e.Resource == Wall && !e.Injected {
+		return fmt.Sprintf("guard: %s: wall budget %s exhausted (%s)",
+			e.Phase, time.Duration(e.Limit), det)
+	}
+	return fmt.Sprintf("guard: %s: %s %s at %d of %d (%s)",
+		e.Phase, e.Resource, kind, e.count(), e.Limit, det)
+}
+
+// count returns the tripping resource's counter value from the
+// snapshot.
+func (e *LimitError) count() int64 {
+	switch e.Resource {
+	case Facts:
+		return e.Usage.Facts
+	case States:
+		return e.Usage.States
+	case Steps:
+		return e.Usage.Steps
+	case Canon:
+		return e.Usage.Canon
+	}
+	return 0
+}
+
+// Meter charges consumption against one budget. Create one per phase
+// with Budget.Meter; a nil *Meter is valid and charges nothing.
+// Counters are atomic, so a meter may be shared by concurrent phases;
+// the determinism contract (trip points identical across worker counts)
+// holds when each resource is charged from a single goroutine, which is
+// how the engines are structured.
+type Meter struct {
+	budget   Budget
+	start    time.Time
+	deadline time.Time
+	counts   [numResources]atomic.Int64 // counts[Wall] counts CheckWall polls
+	tripped  atomic.Pointer[LimitError]
+}
+
+// Meter starts metering against the budget. The wall clock begins now
+// unless the budget was Started earlier.
+func (b Budget) Meter() *Meter {
+	m := &Meter{budget: b, start: time.Now()}
+	if b.MaxWall > 0 {
+		m.deadline = b.deadline
+		if m.deadline.IsZero() {
+			m.deadline = m.start.Add(b.MaxWall)
+		}
+	}
+	return m
+}
+
+// Usage snapshots the meter's consumption.
+func (m *Meter) Usage() Usage {
+	if m == nil {
+		return Usage{}
+	}
+	return Usage{
+		Wall:   time.Since(m.start),
+		Facts:  m.counts[Facts].Load(),
+		States: m.counts[States].Load(),
+		Steps:  m.counts[Steps].Load(),
+		Canon:  m.counts[Canon].Load(),
+	}
+}
+
+// Tripped returns the sticky trip, if any.
+func (m *Meter) Tripped() *LimitError {
+	if m == nil {
+		return nil
+	}
+	return m.tripped.Load()
+}
+
+// Charge adds n to resource r and returns a *LimitError when the budget
+// (or an injected fault) trips. Trips are sticky: once tripped, every
+// subsequent Charge and CheckWall returns the same error, so a trip
+// deep in a helper propagates to every later boundary check. A nil
+// meter charges nothing and never trips.
+func (m *Meter) Charge(phase string, r Resource, n int64) error {
+	if m == nil {
+		return nil
+	}
+	if le := m.tripped.Load(); le != nil {
+		return le
+	}
+	c := m.counts[r].Add(n)
+	if f := m.budget.fault; f != nil && f.resource == r && c-n < f.at && f.at <= c {
+		if err := m.fire(phase, r); err != nil {
+			return err
+		}
+	}
+	if lim := m.budget.limit(r); lim > 0 && c > lim {
+		return m.trip(&LimitError{Resource: r, Limit: lim, Phase: phase, Usage: m.Usage()})
+	}
+	return nil
+}
+
+// CheckWall polls the wall-clock deadline (and the Wall fault counter).
+// Hot loops call it at round or worklist boundaries, where a time.Now
+// per iteration is affordable.
+func (m *Meter) CheckWall(phase string) error {
+	if m == nil {
+		return nil
+	}
+	if le := m.tripped.Load(); le != nil {
+		return le
+	}
+	c := m.counts[Wall].Add(1)
+	if f := m.budget.fault; f != nil && f.resource == Wall && c-1 < f.at && f.at <= c {
+		if err := m.fire(phase, Wall); err != nil {
+			return err
+		}
+	}
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		return m.trip(&LimitError{Resource: Wall, Limit: int64(m.budget.MaxWall), Phase: phase, Usage: m.Usage()})
+	}
+	return nil
+}
+
+// trip records the first trip and returns the sticky winner.
+func (m *Meter) trip(le *LimitError) *LimitError {
+	if m.tripped.CompareAndSwap(nil, le) {
+		return le
+	}
+	return m.tripped.Load()
+}

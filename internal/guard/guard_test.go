@@ -1,0 +1,187 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestZeroBudgetNeverTrips(t *testing.T) {
+	m := Budget{}.Meter()
+	for i := 0; i < 1000; i++ {
+		if err := m.Charge("p", Facts, 1); err != nil {
+			t.Fatalf("unlimited budget tripped: %v", err)
+		}
+	}
+	if err := m.CheckWall("p"); err != nil {
+		t.Fatalf("unlimited wall tripped: %v", err)
+	}
+	if (Budget{}).Active() {
+		t.Error("zero budget reports Active")
+	}
+	u := m.Usage()
+	if u.Facts != 1000 {
+		t.Errorf("usage facts = %d, want 1000", u.Facts)
+	}
+}
+
+func TestNilMeterIsInert(t *testing.T) {
+	var m *Meter
+	if err := m.Charge("p", Facts, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckWall("p"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tripped() != nil || m.Usage() != (Usage{}) {
+		t.Error("nil meter not inert")
+	}
+}
+
+func TestChargeTripsPastLimit(t *testing.T) {
+	m := Budget{MaxFacts: 10}.Meter()
+	for i := 0; i < 10; i++ {
+		if err := m.Charge("eval/merge", Facts, 1); err != nil {
+			t.Fatalf("charge %d tripped early: %v", i, err)
+		}
+	}
+	err := m.Charge("eval/merge", Facts, 1)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LimitError", err)
+	}
+	if le.Resource != Facts || le.Limit != 10 || le.Phase != "eval/merge" || le.Injected {
+		t.Errorf("trip = %+v", le)
+	}
+	if le.Usage.Facts != 11 {
+		t.Errorf("snapshot facts = %d, want 11", le.Usage.Facts)
+	}
+	// Sticky: later charges on any resource return the same trip.
+	if err2 := m.Charge("other", States, 5); err2 != err {
+		t.Errorf("trip not sticky: %v", err2)
+	}
+	if m.Tripped() != le {
+		t.Error("Tripped does not return the trip")
+	}
+	// The message must be deterministic: no wall-clock component.
+	if s := le.Error(); strings.Contains(s, "wall=") {
+		t.Errorf("error string leaks wall time: %q", s)
+	}
+}
+
+func TestWallDeadline(t *testing.T) {
+	b := Budget{MaxWall: time.Nanosecond}.Started()
+	time.Sleep(time.Millisecond)
+	m := b.Meter()
+	err := m.CheckWall("phase")
+	var le *LimitError
+	if !errors.As(err, &le) || le.Resource != Wall {
+		t.Fatalf("err = %v, want wall LimitError", err)
+	}
+}
+
+func TestStartedPinsOneDeadline(t *testing.T) {
+	b := Budget{MaxWall: time.Hour}.Started()
+	m1, m2 := b.Meter(), b.Meter()
+	if !m1.deadline.Equal(m2.deadline) {
+		t.Error("phase meters disagree on the pinned deadline")
+	}
+}
+
+func TestInjectFaultExactPoint(t *testing.T) {
+	m := InjectFault(Budget{}, Steps, 7).Meter()
+	for i := 1; i <= 6; i++ {
+		if err := m.Charge("p", Steps, 1); err != nil {
+			t.Fatalf("charge %d fired early: %v", i, err)
+		}
+	}
+	err := m.Charge("p", Steps, 1)
+	var le *LimitError
+	if !errors.As(err, &le) || !le.Injected || le.Resource != Steps {
+		t.Fatalf("err = %v, want injected Steps trip", err)
+	}
+	if le.Usage.Steps != 7 {
+		t.Errorf("fired at steps=%d, want 7", le.Usage.Steps)
+	}
+}
+
+func TestInjectFaultCrossingByBulkCharge(t *testing.T) {
+	m := InjectFault(Budget{}, Facts, 10).Meter()
+	if err := m.Charge("p", Facts, 25); err == nil {
+		t.Fatal("bulk charge crossing the trigger did not fire")
+	}
+}
+
+func TestInjectPanicReachesRecover(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err, "test/boundary")
+		m := InjectPanic(Budget{}, States, 3).Meter()
+		for i := 0; i < 10; i++ {
+			if e := m.Charge("p", States, 1); e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	err := run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	ip, ok := pe.Value.(*InjectedPanic)
+	if !ok || ip.At != 3 || ip.Resource != States {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if pe.Phase != "test/boundary" {
+		t.Errorf("phase = %q", pe.Phase)
+	}
+}
+
+func TestInjectCancelFiresOnce(t *testing.T) {
+	fired := 0
+	m := InjectCancel(Budget{}, Facts, 5, func() { fired++ }).Meter()
+	for i := 0; i < 20; i++ {
+		if err := m.Charge("p", Facts, 1); err != nil {
+			t.Fatalf("cancel fault must not trip the meter: %v", err)
+		}
+	}
+	if fired != 1 {
+		t.Errorf("cancel fired %d times, want 1", fired)
+	}
+}
+
+func TestRecoverPassesNestedPanicError(t *testing.T) {
+	inner := &PanicError{Phase: "inner", Value: "boom"}
+	run := func() (err error) {
+		defer Recover(&err, "outer")
+		panic(inner)
+	}
+	if err := run(); err != inner {
+		t.Errorf("nested PanicError rewrapped: %v", err)
+	}
+}
+
+func TestRecoverNoPanicKeepsError(t *testing.T) {
+	sentinel := errors.New("normal failure")
+	run := func() (err error) {
+		defer Recover(&err, "outer")
+		return sentinel
+	}
+	if err := run(); err != sentinel {
+		t.Errorf("Recover clobbered a normal error: %v", err)
+	}
+}
+
+func TestUsageAddAndString(t *testing.T) {
+	u := Usage{Facts: 1, Steps: 2}.Add(Usage{Facts: 3, States: 4, Wall: time.Millisecond})
+	if u.Facts != 4 || u.States != 4 || u.Steps != 2 || u.Wall != time.Millisecond {
+		t.Errorf("Add = %+v", u)
+	}
+	if s := (Usage{}).String(); s != "none" {
+		t.Errorf("empty usage = %q", s)
+	}
+	if s := u.String(); !strings.Contains(s, "facts=4") || !strings.Contains(s, "states=4") {
+		t.Errorf("usage = %q", s)
+	}
+}

@@ -1,0 +1,58 @@
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic converted into an error at an exported API
+// boundary: the decision procedures promise that no input can crash the
+// process, so internal invariant violations surface as diagnosable
+// errors instead.
+type PanicError struct {
+	// Phase names the API boundary that recovered, e.g. "core/ContainsUCQ".
+	Phase string
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack trace of the panicking goroutine (the worker's
+	// own stack when the panic crossed a par.Run boundary).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("guard: internal panic in %s: %v", e.Phase, e.Value)
+}
+
+// stackCarrier is implemented by values (par.WorkerPanic) that ferry a
+// panic from a worker goroutine together with its original stack.
+type stackCarrier interface {
+	PanicValue() any
+	PanicStack() []byte
+}
+
+// Recover converts an in-flight panic into a *PanicError assigned to
+// *err. Use as the first deferred statement of an exported entry point:
+//
+//	func Eval(...) (db *DB, stats Stats, err error) {
+//		defer guard.Recover(&err, "eval")
+//		...
+//
+// A panic that is already a *PanicError (from a nested boundary) passes
+// through unchanged; a worker panic re-raised by par.Run keeps the
+// worker goroutine's stack. When no panic is in flight Recover does
+// nothing, preserving the callee's normal return values.
+func Recover(err *error, phase string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if pe, ok := r.(*PanicError); ok {
+		*err = pe
+		return
+	}
+	if wc, ok := r.(stackCarrier); ok {
+		*err = &PanicError{Phase: phase, Value: wc.PanicValue(), Stack: wc.PanicStack()}
+		return
+	}
+	*err = &PanicError{Phase: phase, Value: r, Stack: debug.Stack()}
+}

@@ -15,10 +15,64 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// WorkerPanic carries a panic out of a worker goroutine. Run and Do
+// re-raise it on the calling goroutine once every worker has stopped,
+// so a recover() boundary around the caller observes worker panics
+// exactly like inline ones. The original panic value and the worker's
+// own stack are preserved (guard.Recover unwraps them via the
+// PanicValue/PanicStack accessors).
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) String() string {
+	return fmt.Sprintf("par: worker panic: %v", p.Value)
+}
+
+// PanicValue returns the original panic value.
+func (p *WorkerPanic) PanicValue() any { return p.Value }
+
+// PanicStack returns the panicking worker's stack trace.
+func (p *WorkerPanic) PanicStack() []byte { return p.Stack }
+
+// panicTrap captures the first panic among a group of workers and
+// aborts the remaining work.
+type panicTrap struct {
+	first atomic.Pointer[WorkerPanic]
+}
+
+// run invokes f, converting a panic into the trap's sticky first
+// capture. It reports whether the group should keep going.
+func (pt *panicTrap) run(f func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if wp, isWP := r.(*WorkerPanic); isWP {
+				pt.first.CompareAndSwap(nil, wp)
+			} else {
+				pt.first.CompareAndSwap(nil, &WorkerPanic{Value: r, Stack: debug.Stack()})
+			}
+			ok = false
+		}
+	}()
+	f()
+	return true
+}
+
+// rethrow re-raises the captured panic, if any, on the caller.
+func (pt *panicTrap) rethrow() {
+	if wp := pt.first.Load(); wp != nil {
+		//repolint:allow panic — deliberate re-raise: worker panics must surface on the caller.
+		panic(wp)
+	}
+}
 
 // Workers resolves a requested worker count: values <= 0 mean
 // runtime.GOMAXPROCS(0), so benchmarks driven with -cpu and programs
@@ -39,6 +93,11 @@ func Workers(n int) int {
 //
 // With workers <= 1 (or a single task) everything runs inline on the
 // calling goroutine as worker 0: the sequential path spawns nothing.
+//
+// If any fn panics, the remaining unclaimed tasks are skipped, every
+// worker is allowed to stop, and the first panic is re-raised on the
+// calling goroutine as a *WorkerPanic preserving the original value and
+// worker stack. On the sequential path panics propagate unchanged.
 func Run(workers, n int, fn func(worker, task int)) {
 	if n <= 0 {
 		return
@@ -52,16 +111,19 @@ func Run(workers, n int, fn func(worker, task int)) {
 		}
 		return
 	}
+	var trap panicTrap
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	body := func(w int) {
 		defer wg.Done()
-		for {
+		for trap.first.Load() == nil {
 			t := int(next.Add(1)) - 1
 			if t >= n {
 				return
 			}
-			fn(w, t)
+			if !trap.run(func() { fn(w, t) }) {
+				return
+			}
 		}
 	}
 	wg.Add(workers)
@@ -70,6 +132,7 @@ func Run(workers, n int, fn func(worker, task int)) {
 	}
 	body(0) // the caller participates as worker 0
 	wg.Wait()
+	trap.rethrow()
 }
 
 // ForEach runs fn(i) for every i in [0, n) on up to `workers`
@@ -97,22 +160,26 @@ func All(workers, n int, pred func(i int) bool) bool {
 }
 
 // Do runs the given functions concurrently and returns when all have
-// finished. The first function runs on the calling goroutine.
+// finished. The first function runs on the calling goroutine. A panic
+// in any function is re-raised on the caller as a *WorkerPanic after
+// all functions have finished.
 func Do(fns ...func()) {
 	if len(fns) == 0 {
 		return
 	}
+	var trap panicTrap
 	var wg sync.WaitGroup
 	wg.Add(len(fns) - 1)
 	for _, fn := range fns[1:] {
 		f := fn
 		go func() {
 			defer wg.Done()
-			f()
+			trap.run(f)
 		}()
 	}
-	fns[0]()
+	trap.run(fns[0])
 	wg.Wait()
+	trap.rethrow()
 }
 
 // StopFlag bridges a context to an atomic flag that hot loops can poll

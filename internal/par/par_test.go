@@ -115,3 +115,72 @@ func TestStopFlag(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestRunWorkerPanicReraisedOnCaller(t *testing.T) {
+	defer func() {
+		r := recover()
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *WorkerPanic", r, r)
+		}
+		if wp.PanicValue() != "boom-42" {
+			t.Errorf("panic value = %v", wp.PanicValue())
+		}
+		if len(wp.PanicStack()) == 0 {
+			t.Error("worker stack not captured")
+		}
+	}()
+	Run(4, 100, func(_, task int) {
+		if task == 42 {
+			panic("boom-42")
+		}
+	})
+	t.Fatal("Run returned normally despite a worker panic")
+}
+
+func TestRunPanicSkipsUnclaimedTasks(t *testing.T) {
+	// Sequentially-ordered claims with 2 workers: after the panic the
+	// remaining tasks must not all run.
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		Run(2, 10000, func(_, task int) {
+			if task == 0 {
+				panic("early")
+			}
+			ran.Add(1)
+			time.Sleep(time.Microsecond)
+		})
+	}()
+	if got := ran.Load(); got >= 10000-1 {
+		t.Errorf("all %d tasks ran despite early panic", got)
+	}
+}
+
+func TestRunSequentialPanicPropagatesRaw(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "inline" {
+			t.Errorf("sequential path rewrapped panic: %v", r)
+		}
+	}()
+	Run(1, 5, func(_, task int) {
+		if task == 2 {
+			panic("inline")
+		}
+	})
+}
+
+func TestDoPanicReraisedOnCaller(t *testing.T) {
+	var other atomic.Bool
+	defer func() {
+		r := recover()
+		if wp, ok := r.(*WorkerPanic); !ok || wp.Value != "do-boom" {
+			t.Fatalf("recovered %v, want *WorkerPanic(do-boom)", r)
+		}
+		if !other.Load() {
+			t.Error("Do re-raised before all functions finished")
+		}
+	}()
+	Do(func() { panic("do-boom") }, func() { other.Store(true) })
+	t.Fatal("Do returned normally despite a panic")
+}

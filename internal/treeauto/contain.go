@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"datalogeq/internal/guard"
 	"datalogeq/internal/par"
 )
 
@@ -16,14 +17,18 @@ type ContainOptions struct {
 	// computations; 0 or negative means runtime.GOMAXPROCS(0). The
 	// result and witness are bit-identical for every value.
 	Workers int
+	// Budget declares guard-layer limits: antichain pairs kept (States),
+	// subset-step evaluations (Steps), and wall time. All charges happen
+	// on the calling goroutine in enumeration order, so a trip aborts at
+	// the same pair for every worker count, with a *guard.LimitError.
+	Budget guard.Budget
 }
 
 // Contains reports whether T(a) ⊆ T(b); when it does not, a witness tree
 // in T(a) \ T(b) is returned. It is ContainsOpt with default options
 // (no cancellation, GOMAXPROCS workers).
-func Contains(a, b *TA) (bool, *Tree) {
-	ok, w, _ := ContainsOpt(a, b, ContainOptions{})
-	return ok, w
+func Contains(a, b *TA) (bool, *Tree, error) {
+	return ContainsOpt(a, b, ContainOptions{})
 }
 
 // ContainsOpt decides T(a) ⊆ T(b) under opts.
@@ -50,10 +55,10 @@ func Contains(a, b *TA) (bool, *Tree) {
 // tests happen only at push time and bStep is independent of the
 // antichain, the pair list, antichain, and witness are bit-identical to
 // the sequential run for every worker count.
-func ContainsOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
+func ContainsOpt(a, b *TA, opts ContainOptions) (ok bool, witness *Tree, err error) {
+	defer guard.Recover(&err, "treeauto/contains")
 	if a.numSymbols != b.numSymbols {
-		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
-		panic("treeauto: Contains over different alphabets")
+		return false, nil, errAlphabetMismatch("Contains", a, b)
 	}
 	stop, release := par.StopFlag(opts.Ctx)
 	defer release()
@@ -62,6 +67,7 @@ func ContainsOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
 		b:         b,
 		workers:   par.Workers(opts.Workers),
 		stop:      stop,
+		meter:     opts.Budget.Started().Meter(),
 		antichain: make(map[int][]int),
 	}
 	r.isStartA = make([]bool, a.numStates)
@@ -103,10 +109,16 @@ func ContainsOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
 	if err := ctxErr(opts.Ctx); err != nil {
 		return false, nil, err
 	}
+	if err := r.meter.Charge("treeauto/bstep", guard.Steps, int64(len(leaves))); err != nil {
+		return false, nil, err
+	}
 	for i, ref := range leaves {
 		p := pairInfo{s: ref.s, set: leafSets[i], sym: ref.sym}
 		if r.push(p) && r.isStartA[ref.s] && !r.intersectsStartB(p.set) {
 			return false, r.buildWitness(len(r.pairs) - 1), nil
+		}
+		if r.limitErr != nil {
+			return false, nil, r.limitErr
 		}
 	}
 	// Worklist saturation.
@@ -114,11 +126,17 @@ func ContainsOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
 		if err := ctxErr(opts.Ctx); err != nil {
 			return false, nil, err
 		}
+		if err := r.meter.CheckWall("treeauto/antichain"); err != nil {
+			return false, nil, err
+		}
 		pi := r.worklist[len(r.worklist)-1]
 		r.worklist = r.worklist[:len(r.worklist)-1]
 		state := r.pairs[pi].s
 		for _, ref := range usedBy[state] {
 			failed := r.fire(ref, pi)
+			if r.limitErr != nil {
+				return false, nil, r.limitErr
+			}
 			if r.aborted {
 				return false, nil, ctxErr(opts.Ctx)
 			}
@@ -169,7 +187,13 @@ type containRun struct {
 	a, b    *TA
 	workers int
 	stop    *atomic.Bool
+	meter   *guard.Meter
 	aborted bool
+	// limitErr is the budget trip observed by a push or flush; the
+	// caller aborts with it. Charges happen only on the calling
+	// goroutine in enumeration order, so the trip point is
+	// worker-count-independent.
+	limitErr error
 
 	pairs []pairInfo
 	// antichain[s] holds indexes into pairs of the minimal sets for s.
@@ -196,9 +220,16 @@ func (r *containRun) dominated(s int, set []int) bool {
 
 // push keeps p if no kept pair dominates it, dropping kept pairs that p
 // dominates (they stay in pairs for witness reconstruction but leave
-// the antichain index). It reports whether p was kept.
+// the antichain index). It reports whether p was kept; a budget trip
+// sets r.limitErr and keeps nothing.
 func (r *containRun) push(p pairInfo) bool {
 	if r.dominated(p.s, p.set) {
+		return false
+	}
+	if err := r.meter.Charge("treeauto/antichain", guard.States, 1); err != nil {
+		if r.limitErr == nil {
+			r.limitErr = err
+		}
 		return false
 	}
 	// Build a fresh slice: callers may hold snapshots of the old one.
@@ -321,6 +352,12 @@ func (r *containRun) fire(ref transRef, mustUse int) bool {
 			r.aborted = true
 			return true
 		}
+		if err := r.meter.Charge("treeauto/bstep", guard.Steps, int64(n)); err != nil {
+			if r.limitErr == nil {
+				r.limitErr = err
+			}
+			return true
+		}
 		for i := 0; i < n; i++ {
 			p := pairInfo{
 				s:        ref.s,
@@ -329,6 +366,9 @@ func (r *containRun) fire(ref transRef, mustUse int) bool {
 				children: append([]int(nil), r.choices[i*k:(i+1)*k]...),
 			}
 			if r.push(p) && r.isStartA[ref.s] && !r.intersectsStartB(p.set) {
+				return true
+			}
+			if r.limitErr != nil {
 				return true
 			}
 		}
@@ -366,19 +406,21 @@ func (r *containRun) fire(ref transRef, mustUse int) bool {
 // ContainsClassical decides containment by the textbook reduction:
 // T(a) ⊆ T(b) iff T(a) ∩ complement(T(b)) = ∅. Exponential even on easy
 // instances; used to cross-validate Contains.
-func ContainsClassical(a, b *TA) (bool, *Tree) {
+func ContainsClassical(a, b *TA) (bool, *Tree, error) {
 	alphabet := MergeRanked(a.RankedAlphabet(), b.RankedAlphabet())
-	diff := Intersect(a, Complement(b, alphabet))
+	diff, err := Intersect(a, Complement(b, alphabet))
+	if err != nil {
+		return false, nil, err
+	}
 	empty, witness := diff.Empty()
-	return empty, witness
+	return empty, witness, nil
 }
 
 // Equivalent reports whether T(a) == T(b), with a witness from the
 // symmetric difference when they differ. It is EquivalentOpt with
 // default options.
-func Equivalent(a, b *TA) (bool, *Tree) {
-	ok, w, _ := EquivalentOpt(a, b, ContainOptions{})
-	return ok, w
+func Equivalent(a, b *TA) (bool, *Tree, error) {
+	return EquivalentOpt(a, b, ContainOptions{})
 }
 
 // EquivalentOpt decides T(a) == T(b) under opts. With more than one
@@ -387,6 +429,8 @@ func Equivalent(a, b *TA) (bool, *Tree) {
 // failing a ⊆ b cancels the other direction's remaining work, so the
 // result and witness match the sequential two-direction check.
 func EquivalentOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
+	// Pin the wall deadline once so both directions share it.
+	opts.Budget = opts.Budget.Started()
 	workers := par.Workers(opts.Workers)
 	if workers <= 1 {
 		if ok, w, err := ContainsOpt(a, b, opts); err != nil || !ok {
@@ -408,7 +452,7 @@ func EquivalentOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
 	var errAB, errBA error
 	par.Do(
 		func() {
-			okAB, tAB, errAB = ContainsOpt(a, b, ContainOptions{Ctx: opts.Ctx, Workers: (workers + 1) / 2})
+			okAB, tAB, errAB = ContainsOpt(a, b, ContainOptions{Ctx: opts.Ctx, Workers: (workers + 1) / 2, Budget: opts.Budget})
 			if errAB == nil && !okAB {
 				// The verdict is already decided; stop the b ⊆ a
 				// direction's remaining work.
@@ -416,7 +460,7 @@ func EquivalentOpt(a, b *TA, opts ContainOptions) (bool, *Tree, error) {
 			}
 		},
 		func() {
-			okBA, tBA, errBA = ContainsOpt(b, a, ContainOptions{Ctx: ctxBA, Workers: workers / 2})
+			okBA, tBA, errBA = ContainsOpt(b, a, ContainOptions{Ctx: ctxBA, Workers: workers / 2, Budget: opts.Budget})
 		},
 	)
 	if errAB != nil {

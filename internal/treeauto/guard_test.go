@@ -1,0 +1,140 @@
+package treeauto
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"datalogeq/internal/guard"
+)
+
+// chainTA builds a containment instance big enough to survive a few
+// dozen antichain pushes before finishing: n states, each with a leaf
+// rule and binary rules into its neighbors.
+func chainTA(n int) *TA {
+	t := New(n, 3)
+	t.AddStart(0)
+	for s := 0; s < n; s++ {
+		t.AddTransition(s, s%2, nil)
+		t.AddTransition(s, symF, []int{(s + 1) % n, s})
+	}
+	return t
+}
+
+// TestContainsBudgetTripDifferential: a budget trip (real or injected)
+// aborts at the same point with the same error string for every worker
+// count.
+func TestContainsBudgetTripDifferential(t *testing.T) {
+	x, y := chainTA(6), chainTA(5)
+	budgets := []guard.Budget{
+		{MaxStates: 4},
+		{MaxSteps: 9},
+		guard.InjectFault(guard.Budget{}, guard.States, 3),
+		guard.InjectFault(guard.Budget{}, guard.Steps, 7),
+	}
+	for _, b := range budgets {
+		_, _, baseErr := ContainsOpt(x, y, ContainOptions{Workers: 1, Budget: b})
+		var le *guard.LimitError
+		if !errors.As(baseErr, &le) {
+			t.Fatalf("budget %+v: err = %v, want *guard.LimitError", b, baseErr)
+		}
+		for _, workers := range []int{2, 8} {
+			_, _, err := ContainsOpt(x, y, ContainOptions{Workers: workers, Budget: b})
+			if err == nil || err.Error() != baseErr.Error() {
+				t.Errorf("workers=%d: err = %v, want %v", workers, err, baseErr)
+			}
+		}
+	}
+}
+
+// TestContainsBudgetDoesNotChangeVerdicts: generous budgets leave every
+// random verdict and witness untouched.
+func TestContainsBudgetDoesNotChangeVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := guard.Budget{MaxStates: 1 << 20, MaxSteps: 1 << 20}
+	for trial := 0; trial < 100; trial++ {
+		x := randomTA(rng, 1+rng.Intn(4))
+		y := randomTA(rng, 1+rng.Intn(4))
+		plainOK, plainW, err1 := ContainsOpt(x, y, ContainOptions{Workers: 1})
+		budOK, budW, err2 := ContainsOpt(x, y, ContainOptions{Workers: 1, Budget: b})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: errs %v / %v", trial, err1, err2)
+		}
+		if plainOK != budOK || (plainW == nil) != (budW == nil) ||
+			(plainW != nil && plainW.String() != budW.String()) {
+			t.Fatalf("trial %d: budget changed the verdict or witness", trial)
+		}
+	}
+}
+
+// TestContainsInjectedPanicRecovered: panics fired inside the antichain
+// loop surface as *guard.PanicError for every worker count — including
+// panics on worker goroutines, which par.Run ferries to the caller.
+func TestContainsInjectedPanicRecovered(t *testing.T) {
+	x, y := chainTA(6), chainTA(5)
+	for _, workers := range []int{1, 2, 8} {
+		b := guard.InjectPanic(guard.Budget{}, guard.States, 3)
+		_, _, err := ContainsOpt(x, y, ContainOptions{Workers: workers, Budget: b})
+		var pe *guard.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *guard.PanicError", workers, err)
+		}
+		if _, ok := pe.Value.(*guard.InjectedPanic); !ok {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+	}
+}
+
+// TestContainsWallBudget: an expired wall deadline aborts the worklist
+// loop with a wall LimitError.
+func TestContainsWallBudget(t *testing.T) {
+	b := guard.Budget{MaxWall: time.Nanosecond}.Started()
+	time.Sleep(time.Millisecond)
+	_, _, err := ContainsOpt(chainTA(6), chainTA(5), ContainOptions{Budget: b})
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Resource != guard.Wall {
+		t.Fatalf("err = %v, want wall LimitError", err)
+	}
+}
+
+// TestContainsInjectCancelMidAntichain exercises cancellation hygiene
+// at an exact mid-loop point: ContainsOpt returns ctx.Err() promptly
+// and leaks no goroutines.
+func TestContainsInjectCancelMidAntichain(t *testing.T) {
+	x, y := chainTA(7), chainTA(6)
+	for _, workers := range []int{1, 2, 8} {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		b := guard.InjectCancel(guard.Budget{}, guard.States, 4, cancel)
+		_, _, err := ContainsOpt(x, y, ContainOptions{Ctx: ctx, Workers: workers, Budget: b})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		cancel()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > baseline+2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("workers=%d: goroutines did not settle: %d vs baseline %d",
+					workers, runtime.NumGoroutine(), baseline)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestEquivalentBudgetPropagates: EquivalentOpt threads the budget into
+// both containment directions.
+func TestEquivalentBudgetPropagates(t *testing.T) {
+	x, y := chainTA(6), chainTA(6)
+	for _, workers := range []int{1, 4} {
+		b := guard.Budget{MaxStates: 2}
+		_, _, err := EquivalentOpt(x, y, ContainOptions{Workers: workers, Budget: b})
+		var le *guard.LimitError
+		if !errors.As(err, &le) {
+			t.Errorf("workers=%d: err = %v, want *guard.LimitError", workers, err)
+		}
+	}
+}

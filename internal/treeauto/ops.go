@@ -6,12 +6,19 @@ import (
 	"strings"
 )
 
+// errAlphabetMismatch reports an operation over automata with different
+// alphabets. The constructions in internal/core always share one
+// universe alphabet, but the operations are exported, so the mismatch
+// surfaces as a diagnosable error rather than a panic.
+func errAlphabetMismatch(op string, a, b *TA) error {
+	return fmt.Errorf("treeauto: %s over different alphabets (%d vs %d symbols)", op, a.numSymbols, b.numSymbols)
+}
+
 // Union returns an automaton accepting T(a) ∪ T(b) via disjoint union
-// (Proposition 4.4, polynomial).
-func Union(a, b *TA) *TA {
+// (Proposition 4.4, polynomial). The automata must share an alphabet.
+func Union(a, b *TA) (*TA, error) {
 	if a.numSymbols != b.numSymbols {
-		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
-		panic("treeauto: Union over different alphabets")
+		return nil, errAlphabetMismatch("Union", a, b)
 	}
 	out := New(a.numStates+b.numStates, a.numSymbols)
 	for _, s := range a.start {
@@ -41,15 +48,15 @@ func Union(a, b *TA) *TA {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Intersect returns an automaton accepting T(a) ∩ T(b) via the product
-// construction on reachable state pairs.
-func Intersect(a, b *TA) *TA {
+// construction on reachable state pairs. The automata must share an
+// alphabet.
+func Intersect(a, b *TA) (*TA, error) {
 	if a.numSymbols != b.numSymbols {
-		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
-		panic("treeauto: Intersect over different alphabets")
+		return nil, errAlphabetMismatch("Intersect", a, b)
 	}
 	type pair struct{ s, t int }
 	id := make(map[pair]int)
@@ -101,7 +108,7 @@ func Intersect(a, b *TA) *TA {
 	for _, e := range edges {
 		out.AddTransition(e.from, e.sym, e.tuple)
 	}
-	return out
+	return out, nil
 }
 
 // Determinization result: a deterministic bottom-up automaton whose

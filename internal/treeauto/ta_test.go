@@ -111,9 +111,29 @@ func TestEmpty(t *testing.T) {
 	}
 }
 
+// mustUnion and mustIntersect wrap the error-returning operations for
+// tests whose automata share an alphabet by construction.
+func mustUnion(t *testing.T, a, b *TA) *TA {
+	t.Helper()
+	out, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mustIntersect(t *testing.T, a, b *TA) *TA {
+	t.Helper()
+	out, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestUnionIntersect(t *testing.T) {
-	u := Union(onlyALeaves(), someBLeaf())
-	i := Intersect(allTrees(), someBLeaf())
+	u := mustUnion(t, onlyALeaves(), someBLeaf())
+	i := mustIntersect(t, allTrees(), someBLeaf())
 	trees := []*Tree{a(), b(), f(a(), a()), f(a(), b()), f(f(b(), a()), a())}
 	for _, tr := range trees {
 		wantU := onlyALeaves().Accepts(tr) || someBLeaf().Accepts(tr)
@@ -139,10 +159,13 @@ func TestComplement(t *testing.T) {
 }
 
 func TestContainsBasic(t *testing.T) {
-	if ok, w := Contains(onlyALeaves(), allTrees()); !ok {
-		t.Errorf("onlyA ⊆ all; witness %s", w)
+	if ok, w, err := Contains(onlyALeaves(), allTrees()); err != nil || !ok {
+		t.Errorf("onlyA ⊆ all; witness %s err %v", w, err)
 	}
-	ok, w := Contains(allTrees(), onlyALeaves())
+	ok, w, err := Contains(allTrees(), onlyALeaves())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ok {
 		t.Fatal("all ⊄ onlyA")
 	}
@@ -150,24 +173,42 @@ func TestContainsBasic(t *testing.T) {
 		t.Errorf("bad witness %s", w)
 	}
 	// Disjoint languages.
-	if ok, _ := Contains(onlyALeaves(), someBLeaf()); ok {
+	if ok, _, _ := Contains(onlyALeaves(), someBLeaf()); ok {
 		t.Error("onlyA ⊄ someB")
 	}
 	// Intersection contained in both.
-	i := Intersect(allTrees(), someBLeaf())
-	if ok, _ := Contains(i, someBLeaf()); !ok {
+	i := mustIntersect(t, allTrees(), someBLeaf())
+	if ok, _, _ := Contains(i, someBLeaf()); !ok {
 		t.Error("intersection ⊆ someB")
 	}
 }
 
 func TestEquivalent(t *testing.T) {
 	// all ∩ someB == someB.
-	i := Intersect(allTrees(), someBLeaf())
-	if ok, w := Equivalent(i, someBLeaf()); !ok {
-		t.Errorf("equivalence failed; witness %s", w)
+	i := mustIntersect(t, allTrees(), someBLeaf())
+	if ok, w, err := Equivalent(i, someBLeaf()); err != nil || !ok {
+		t.Errorf("equivalence failed; witness %s err %v", w, err)
 	}
-	if ok, _ := Equivalent(onlyALeaves(), someBLeaf()); ok {
+	if ok, _, _ := Equivalent(onlyALeaves(), someBLeaf()); ok {
 		t.Error("different languages reported equivalent")
+	}
+}
+
+// TestAlphabetMismatchErrors: operations over automata with different
+// alphabets return errors instead of panicking.
+func TestAlphabetMismatchErrors(t *testing.T) {
+	x, y := New(1, 2), New(1, 3)
+	if _, err := Union(x, y); err == nil {
+		t.Error("Union over mismatched alphabets should error")
+	}
+	if _, err := Intersect(x, y); err == nil {
+		t.Error("Intersect over mismatched alphabets should error")
+	}
+	if _, _, err := Contains(x, y); err == nil {
+		t.Error("Contains over mismatched alphabets should error")
+	}
+	if _, _, err := Equivalent(x, y); err == nil {
+		t.Error("Equivalent over mismatched alphabets should error")
 	}
 }
 
@@ -193,8 +234,14 @@ func TestContainsAgreesWithClassical(t *testing.T) {
 	for trial := 0; trial < 150; trial++ {
 		x := randomTA(rng, 1+rng.Intn(3))
 		y := randomTA(rng, 1+rng.Intn(3))
-		fast, w := Contains(x, y)
-		classical, w2 := ContainsClassical(x, y)
+		fast, w, err := Contains(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classical, w2, err := ContainsClassical(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if fast != classical {
 			t.Fatalf("trial %d: antichain=%v classical=%v", trial, fast, classical)
 		}

@@ -1,0 +1,80 @@
+package ucq
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"datalogeq/internal/guard"
+)
+
+// TestContainedInUCQOptBudgetTrip: the sequential admission pass trips
+// deterministically before the fan-out, for every worker count.
+func TestContainedInUCQOptBudgetTrip(t *testing.T) {
+	p3 := paths(t, 3)
+	b := guard.Budget{MaxSteps: 4} // 3 disjuncts × 3 candidates = 9 > 4
+	var base error
+	for _, workers := range []int{1, 2, 8} {
+		_, err := ContainedInUCQOpt(p3, p3, Options{Workers: workers, Budget: b})
+		var le *guard.LimitError
+		if !errors.As(err, &le) || le.Resource != guard.Steps {
+			t.Fatalf("workers=%d: err = %v, want steps LimitError", workers, err)
+		}
+		if base == nil {
+			base = err
+		} else if err.Error() != base.Error() {
+			t.Errorf("workers=%d: trip not deterministic: %v vs %v", workers, err, base)
+		}
+	}
+}
+
+// TestContainedInUCQOptGenerousBudgetKeepsVerdict: budgets large enough
+// to finish change nothing.
+func TestContainedInUCQOptGenerousBudgetKeepsVerdict(t *testing.T) {
+	p2, p3 := paths(t, 2), paths(t, 3)
+	b := guard.Budget{MaxSteps: 1 << 20}
+	if ok, err := ContainedInUCQOpt(p2, p3, Options{Budget: b}); err != nil || !ok {
+		t.Errorf("paths≤2 ⊆ paths≤3 under budget: ok=%v err=%v", ok, err)
+	}
+	if ok, err := ContainedInUCQOpt(p3, p2, Options{Budget: b}); err != nil || ok {
+		t.Errorf("paths≤3 ⊄ paths≤2 under budget: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestContainedInUCQOptCancellation: an already-cancelled context aborts
+// the admission pass.
+func TestContainedInUCQOptCancellation(t *testing.T) {
+	p3 := paths(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ContainedInUCQOpt(p3, p3, Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestContainedInUCQOptWallBudget: an expired deadline trips at the
+// admission boundary.
+func TestContainedInUCQOptWallBudget(t *testing.T) {
+	p3 := paths(t, 3)
+	b := guard.Budget{MaxWall: time.Nanosecond}.Started()
+	time.Sleep(time.Millisecond)
+	_, err := ContainedInUCQOpt(p3, p3, Options{Budget: b})
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Resource != guard.Wall {
+		t.Fatalf("err = %v, want wall LimitError", err)
+	}
+}
+
+// TestContainedInUCQOptInjectedPanicRecovered: the recover boundary
+// converts injected panics into *guard.PanicError.
+func TestContainedInUCQOptInjectedPanicRecovered(t *testing.T) {
+	p3 := paths(t, 3)
+	b := guard.InjectPanic(guard.Budget{}, guard.Steps, 2)
+	_, err := ContainedInUCQOpt(p3, p3, Options{Budget: b})
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *guard.PanicError", err)
+	}
+}

@@ -5,11 +5,13 @@
 package ucq
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"datalogeq/internal/cq"
 	"datalogeq/internal/database"
+	"datalogeq/internal/guard"
 	"datalogeq/internal/par"
 )
 
@@ -105,15 +107,57 @@ func (u UCQ) Holds(db *database.DB, tuple database.Tuple) (bool, error) {
 	return false, nil
 }
 
+// Options configure the guarded containment check.
+type Options struct {
+	// Ctx, when non-nil, cancels the check between disjuncts, returning
+	// Ctx.Err().
+	Ctx context.Context
+	// Workers bounds the per-disjunct fan-out; 0 or negative means
+	// runtime.GOMAXPROCS(0). Results are identical for every value.
+	Workers int
+	// Budget declares guard-layer limits: MaxSteps bounds the
+	// disjunct-pair containment-mapping searches the check admits, and
+	// MaxWall bounds elapsed time. A trip aborts with a
+	// *guard.LimitError.
+	Budget guard.Budget
+}
+
 // ContainedInUCQ reports whether u ⊆ v (Theorem 2.3): every disjunct of
-// u must be contained in some disjunct of v. The per-disjunct checks are
-// independent containment-mapping searches, so they fan out across the
-// worker pool; the conjunction is deterministic regardless of schedule,
-// and a failed disjunct short-circuits the remaining work.
+// u must be contained in some disjunct of v. It is ContainedInUCQOpt
+// with default options; an internal failure conservatively reports
+// non-containment.
 func ContainedInUCQ(u, v UCQ) bool {
-	return par.All(par.Workers(0), len(u.Disjuncts), func(i int) bool {
+	ok, err := ContainedInUCQOpt(u, v, Options{})
+	return err == nil && ok
+}
+
+// ContainedInUCQOpt is ContainedInUCQ under opts. The per-disjunct
+// checks are independent containment-mapping searches, so they fan out
+// across the worker pool; the conjunction is deterministic regardless
+// of schedule, and a failed disjunct short-circuits the remaining work.
+// Budget charges run in a sequential admission pass before the fan-out
+// (one Steps charge per disjunct pair the search may explore), so trip
+// points are identical for every worker count.
+func ContainedInUCQOpt(u, v UCQ, opts Options) (ok bool, err error) {
+	defer guard.Recover(&err, "ucq/contain")
+	meter := opts.Budget.Started().Meter()
+	for range u.Disjuncts {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		if err := meter.Charge("ucq/contain", guard.Steps, int64(max(1, len(v.Disjuncts)))); err != nil {
+			return false, err
+		}
+		if err := meter.CheckWall("ucq/contain"); err != nil {
+			return false, err
+		}
+	}
+	ok = par.All(par.Workers(opts.Workers), len(u.Disjuncts), func(i int) bool {
 		return CQContainedInUCQ(u.Disjuncts[i], v)
 	})
+	return ok, nil
 }
 
 // CQContainedInUCQ reports whether the single conjunctive query d is

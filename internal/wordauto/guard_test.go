@@ -1,0 +1,117 @@
+package wordauto
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"datalogeq/internal/guard"
+)
+
+// ladder builds an n-state cycle automaton whose self-containment
+// check must explore one configuration per state — no early witness, so
+// mid-run faults are reachable deterministically.
+func ladder(n int) *NFA {
+	a := New(n, 2)
+	a.AddStart(0)
+	a.SetAccept(n - 1)
+	for s := 0; s < n; s++ {
+		a.AddTransition(s, 0, (s+1)%n)
+		a.AddTransition(s, 1, s)
+	}
+	return a
+}
+
+// TestContainsOptBudgetTrip: real and injected trips abort the
+// exploration with a *guard.LimitError, deterministically.
+func TestContainsOptBudgetTrip(t *testing.T) {
+	a, b := ladder(6), ladder(6)
+	budgets := []guard.Budget{
+		{MaxStates: 3},
+		{MaxSteps: 3},
+		guard.InjectFault(guard.Budget{}, guard.States, 3),
+		guard.InjectFault(guard.Budget{}, guard.Steps, 3),
+	}
+	for _, bud := range budgets {
+		_, _, err1 := ContainsOpt(a, b, ContainOptions{Budget: bud})
+		var le *guard.LimitError
+		if !errors.As(err1, &le) {
+			t.Fatalf("budget %+v: err = %v, want *guard.LimitError", bud, err1)
+		}
+		_, _, err2 := ContainsOpt(a, b, ContainOptions{Budget: bud})
+		if err2 == nil || err1.Error() != err2.Error() {
+			t.Errorf("budget %+v: trips not deterministic: %v vs %v", bud, err1, err2)
+		}
+	}
+}
+
+// TestContainsOptGenerousBudgetKeepsVerdict: a generous budget changes
+// nothing about verdicts or witnesses.
+func TestContainsOptGenerousBudgetKeepsVerdict(t *testing.T) {
+	a, b := evenAs(), endsWith01()
+	plainOK, plainW, err1 := Contains(a, b)
+	budOK, budW, err2 := ContainsOpt(a, b, ContainOptions{Budget: guard.Budget{MaxStates: 1 << 20}})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs %v / %v", err1, err2)
+	}
+	if plainOK != budOK || len(plainW) != len(budW) {
+		t.Error("budget changed the verdict or witness")
+	}
+}
+
+// TestContainsOptCancellation: an already-cancelled context aborts at
+// the first pop boundary.
+func TestContainsOptCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := ContainsOpt(evenAs(), endsWith01(), ContainOptions{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestContainsOptInjectCancelMidLoop: a cancellation injected at an
+// exact step count is observed at the next boundary.
+func TestContainsOptInjectCancelMidLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := guard.InjectCancel(guard.Budget{}, guard.Steps, 2, cancel)
+	_, _, err := ContainsOpt(ladder(6), ladder(6), ContainOptions{Ctx: ctx, Budget: b})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestContainsOptInjectedPanicRecovered: the recover boundary converts
+// injected panics into *guard.PanicError.
+func TestContainsOptInjectedPanicRecovered(t *testing.T) {
+	b := guard.InjectPanic(guard.Budget{}, guard.States, 3)
+	_, _, err := ContainsOpt(ladder(6), ladder(6), ContainOptions{Budget: b})
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *guard.PanicError", err)
+	}
+}
+
+// TestContainsOptWallBudget: an expired deadline trips promptly.
+func TestContainsOptWallBudget(t *testing.T) {
+	b := guard.Budget{MaxWall: time.Nanosecond}.Started()
+	time.Sleep(time.Millisecond)
+	_, _, err := ContainsOpt(evenAs(), endsWith01(), ContainOptions{Budget: b})
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Resource != guard.Wall {
+		t.Fatalf("err = %v, want wall LimitError", err)
+	}
+}
+
+// TestEquivalentOptBudget: the budget applies to both directions. The
+// instance is a true equivalence, so the check cannot finish early on a
+// witness and must exhaust the one-state budget.
+func TestEquivalentOptBudget(t *testing.T) {
+	_, _, err := EquivalentOpt(evenAs(), evenAs(), ContainOptions{Budget: guard.Budget{MaxStates: 1}})
+	var le *guard.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *guard.LimitError", err)
+	}
+}

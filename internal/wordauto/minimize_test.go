@@ -8,8 +8,8 @@ import (
 
 func TestMinimizeEvenAs(t *testing.T) {
 	m := Minimize(evenAs())
-	if ok, w := Equivalent(m, evenAs()); !ok {
-		t.Fatalf("minimization changed the language; witness %v", w)
+	if ok, w, err := Equivalent(m, evenAs()); err != nil || !ok {
+		t.Fatalf("minimization changed the language; witness %v err %v", w, err)
 	}
 	if m.NumStates() != 2 {
 		t.Errorf("minimal DFA for even-zeros has 2 states, got %d", m.NumStates())
@@ -18,7 +18,7 @@ func TestMinimizeEvenAs(t *testing.T) {
 
 func TestMinimizeEndsWith01(t *testing.T) {
 	m := Minimize(endsWith01())
-	if ok, _ := Equivalent(m, endsWith01()); !ok {
+	if ok, _, err := Equivalent(m, endsWith01()); err != nil || !ok {
 		t.Fatal("language changed")
 	}
 	if m.NumStates() != 3 {
@@ -46,7 +46,7 @@ func TestQuickMinimize(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		a := randomNFA(rng, 1+rng.Intn(5))
 		m := Minimize(a)
-		if ok, _ := Equivalent(a, m); !ok {
+		if ok, _, err := Equivalent(a, m); err != nil || !ok {
 			return false
 		}
 		if m.NumStates() > Determinize(a).NumStates() {
@@ -66,7 +66,10 @@ func TestQuickMinimizeCanonical(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		a := randomNFA(rng, 1+rng.Intn(4))
 		// A language-preserving transform: union with itself.
-		b := Union(a, a)
+		b, err := Union(a, a)
+		if err != nil {
+			return false
+		}
 		return Minimize(a).NumStates() == Minimize(b).NumStates()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {

@@ -85,10 +85,30 @@ func TestEmptyWitnessIsEpsilon(t *testing.T) {
 	}
 }
 
+// mustUnion and mustIntersect wrap the error-returning operations for
+// tests whose automata share an alphabet by construction.
+func mustUnion(t *testing.T, a, b *NFA) *NFA {
+	t.Helper()
+	out, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mustIntersect(t *testing.T, a, b *NFA) *NFA {
+	t.Helper()
+	out, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestUnionIntersect(t *testing.T) {
 	a, b := evenAs(), endsWith01()
-	u := Union(a, b)
-	i := Intersect(a, b)
+	u := mustUnion(t, a, b)
+	i := mustIntersect(t, a, b)
 	words := [][]int{
 		nil, {0}, {1}, {0, 1}, {0, 0}, {1, 0, 1}, {0, 1, 0, 1}, {0, 0, 0, 1},
 	}
@@ -121,16 +141,19 @@ func TestDeterminizeComplement(t *testing.T) {
 
 func TestContains(t *testing.T) {
 	a, b := evenAs(), endsWith01()
-	i := Intersect(a, b)
+	i := mustIntersect(t, a, b)
 	// L(a∩b) ⊆ L(a) and ⊆ L(b).
-	if ok, w := Contains(i, a); !ok {
-		t.Errorf("intersection not contained in a; witness %v", w)
+	if ok, w, err := Contains(i, a); err != nil || !ok {
+		t.Errorf("intersection not contained in a; witness %v err %v", w, err)
 	}
-	if ok, w := Contains(i, b); !ok {
-		t.Errorf("intersection not contained in b; witness %v", w)
+	if ok, w, err := Contains(i, b); err != nil || !ok {
+		t.Errorf("intersection not contained in b; witness %v err %v", w, err)
 	}
 	// L(a) ⊄ L(b).
-	ok, w := Contains(a, b)
+	ok, w, err := Contains(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ok {
 		t.Fatal("evenAs should not be contained in endsWith01")
 	}
@@ -138,11 +161,11 @@ func TestContains(t *testing.T) {
 		t.Errorf("witness %v must separate the languages", w)
 	}
 	// Everything is contained in the union.
-	u := Union(a, b)
-	if ok, _ := Contains(a, u); !ok {
+	u := mustUnion(t, a, b)
+	if ok, _, _ := Contains(a, u); !ok {
 		t.Error("a ⊆ a∪b")
 	}
-	if ok, _ := Contains(b, u); !ok {
+	if ok, _, _ := Contains(b, u); !ok {
 		t.Error("b ⊆ a∪b")
 	}
 }
@@ -150,10 +173,10 @@ func TestContains(t *testing.T) {
 func TestEquivalent(t *testing.T) {
 	a := evenAs()
 	d := Determinize(a)
-	if ok, w := Equivalent(a, d); !ok {
-		t.Errorf("determinization not equivalent; witness %v", w)
+	if ok, w, err := Equivalent(a, d); err != nil || !ok {
+		t.Errorf("determinization not equivalent; witness %v err %v", w, err)
 	}
-	if ok, _ := Equivalent(a, endsWith01()); ok {
+	if ok, _, _ := Equivalent(a, endsWith01()); ok {
 		t.Error("different languages reported equivalent")
 	}
 }
@@ -191,8 +214,11 @@ func TestContainsAgreesWithClassical(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		a := randomNFA(rng, 1+rng.Intn(4))
 		b := randomNFA(rng, 1+rng.Intn(4))
-		fast, w := Contains(a, b)
-		diff := Intersect(a, Complement(b))
+		fast, w, err := Contains(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := mustIntersect(t, a, Complement(b))
 		emptyDiff, w2 := diff.Empty()
 		if fast != emptyDiff {
 			t.Fatalf("trial %d: antichain says %v, classical says %v\na=%s\nb=%s", trial, fast, emptyDiff, a, b)
@@ -215,8 +241,8 @@ func TestDeMorganSampled(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 60, Rand: rng}
 	a := randomNFA(rng, 3)
 	b := randomNFA(rng, 3)
-	lhs := Complement(Union(a, b))
-	rhs := Intersect(Complement(a), Complement(b))
+	lhs := Complement(mustUnion(t, a, b))
+	rhs := mustIntersect(t, Complement(a), Complement(b))
 	f := func(seed int64) bool {
 		w := randomWord(rand.New(rand.NewSource(seed)), 8)
 		return lhs.Accepts(w) == rhs.Accepts(w)
@@ -224,8 +250,8 @@ func TestDeMorganSampled(t *testing.T) {
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
-	if ok, w := Equivalent(lhs, rhs); !ok {
-		t.Errorf("De Morgan equivalence failed; witness %v", w)
+	if ok, w, err := Equivalent(lhs, rhs); err != nil || !ok {
+		t.Errorf("De Morgan equivalence failed; witness %v err %v", w, err)
 	}
 }
 
@@ -250,11 +276,18 @@ func TestInterner(t *testing.T) {
 	}
 }
 
-func TestMismatchedAlphabetsPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Union with mismatched alphabets should panic")
-		}
-	}()
-	Union(New(1, 2), New(1, 3))
+func TestMismatchedAlphabetsError(t *testing.T) {
+	x, y := New(1, 2), New(1, 3)
+	if _, err := Union(x, y); err == nil {
+		t.Error("Union over mismatched alphabets should error")
+	}
+	if _, err := Intersect(x, y); err == nil {
+		t.Error("Intersect over mismatched alphabets should error")
+	}
+	if _, _, err := Contains(x, y); err == nil {
+		t.Error("Contains over mismatched alphabets should error")
+	}
+	if _, _, err := Equivalent(x, y); err == nil {
+		t.Error("Equivalent over mismatched alphabets should error")
+	}
 }

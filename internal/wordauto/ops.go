@@ -1,18 +1,28 @@
 package wordauto
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"datalogeq/internal/guard"
 )
+
+// errAlphabetMismatch reports an operation over automata with different
+// alphabets. The constructions in internal/core always share one
+// universe alphabet, but the operations are exported, so the mismatch
+// surfaces as a diagnosable error rather than a panic.
+func errAlphabetMismatch(op string, a, b *NFA) error {
+	return fmt.Errorf("wordauto: %s over different alphabets (%d vs %d symbols)", op, a.numSymbols, b.numSymbols)
+}
 
 // Union returns an automaton accepting L(a) ∪ L(b). Both automata must
 // share the alphabet. The construction is the disjoint union
 // (Proposition 4.1, polynomial).
-func Union(a, b *NFA) *NFA {
+func Union(a, b *NFA) (*NFA, error) {
 	if a.numSymbols != b.numSymbols {
-		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
-		panic("wordauto: Union over different alphabets")
+		return nil, errAlphabetMismatch("Union", a, b)
 	}
 	out := New(a.numStates+b.numStates, a.numSymbols)
 	for _, s := range a.start {
@@ -41,15 +51,14 @@ func Union(a, b *NFA) *NFA {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Intersect returns an automaton accepting L(a) ∩ L(b) via the product
 // construction restricted to reachable pairs (Proposition 4.1).
-func Intersect(a, b *NFA) *NFA {
+func Intersect(a, b *NFA) (*NFA, error) {
 	if a.numSymbols != b.numSymbols {
-		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
-		panic("wordauto: Intersect over different alphabets")
+		return nil, errAlphabetMismatch("Intersect", a, b)
 	}
 	type pair struct{ s, t int }
 	id := make(map[pair]int)
@@ -97,7 +106,7 @@ func Intersect(a, b *NFA) *NFA {
 	for _, e := range edges {
 		out.AddTransition(e.from, e.sym, e.to)
 	}
-	return out
+	return out, nil
 }
 
 // Determinize returns an equivalent deterministic, complete automaton
@@ -177,17 +186,36 @@ func Complement(a *NFA) *NFA {
 	return d
 }
 
+// ContainOptions configure the containment check.
+type ContainOptions struct {
+	// Ctx, when non-nil, cancels the check at queue-pop boundaries,
+	// returning Ctx.Err().
+	Ctx context.Context
+	// Budget declares guard-layer limits: antichain configurations kept
+	// (States), queue pops (Steps), and wall time. The exploration is
+	// sequential, so trips are deterministic; a trip aborts with a
+	// *guard.LimitError.
+	Budget guard.Budget
+}
+
 // Contains reports whether L(a) ⊆ L(b); when it does not, a witness word
-// in L(a) \ L(b) is returned. The check runs a lazy product of a with
-// the subset construction of b, pruned to an antichain: for a fixed
-// a-state, only ⊆-minimal b-subsets are explored, since smaller subsets
-// dominate both for reaching a rejecting configuration and for every
-// future step (transitions are monotone in the subset).
-func Contains(a, b *NFA) (bool, []int) {
+// in L(a) \ L(b) is returned. It is ContainsOpt with default options.
+func Contains(a, b *NFA) (bool, []int, error) {
+	return ContainsOpt(a, b, ContainOptions{})
+}
+
+// ContainsOpt decides L(a) ⊆ L(b) under opts. The check runs a lazy
+// product of a with the subset construction of b, pruned to an
+// antichain: for a fixed a-state, only ⊆-minimal b-subsets are
+// explored, since smaller subsets dominate both for reaching a
+// rejecting configuration and for every future step (transitions are
+// monotone in the subset).
+func ContainsOpt(a, b *NFA, opts ContainOptions) (ok bool, witness []int, err error) {
+	defer guard.Recover(&err, "wordauto/contains")
 	if a.numSymbols != b.numSymbols {
-		//repolint:allow panic — invariant: both automata are built by internal/core over one shared universe alphabet.
-		panic("wordauto: Contains over different alphabets")
+		return false, nil, errAlphabetMismatch("Contains", a, b)
 	}
+	meter := opts.Budget.Started().Meter()
 	type conf struct {
 		s      int   // state of a
 		set    []int // sorted subset of b's states
@@ -221,9 +249,16 @@ func Contains(a, b *NFA) (bool, []int) {
 		}
 		antichain[s] = append(kept, set)
 	}
+	var limitErr error
 	var queue []conf
 	push := func(c conf) bool {
 		if dominated(c.s, c.set) {
+			return false
+		}
+		if err := meter.Charge("wordauto/antichain", guard.States, 1); err != nil {
+			if limitErr == nil {
+				limitErr = err
+			}
 			return false
 		}
 		insert(c.s, c.set)
@@ -235,6 +270,20 @@ func Contains(a, b *NFA) (bool, []int) {
 		push(conf{s: s, set: bStart, parent: -1})
 	}
 	for i := 0; i < len(queue); i++ {
+		if limitErr != nil {
+			return false, nil, limitErr
+		}
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return false, nil, err
+			}
+		}
+		if err := meter.Charge("wordauto/step", guard.Steps, 1); err != nil {
+			return false, nil, err
+		}
+		if err := meter.CheckWall("wordauto/contains"); err != nil {
+			return false, nil, err
+		}
 		c := queue[i]
 		if a.accept[c.s] && !accepts(c.set) {
 			var rev []int
@@ -245,7 +294,7 @@ func Contains(a, b *NFA) (bool, []int) {
 			for k := range rev {
 				word[k] = rev[len(rev)-1-k]
 			}
-			return false, word
+			return false, word, nil
 		}
 		for _, sym := range a.SymbolsFrom(c.s) {
 			var next []int
@@ -258,19 +307,30 @@ func Contains(a, b *NFA) (bool, []int) {
 			}
 		}
 	}
-	return true, nil
+	if limitErr != nil {
+		return false, nil, limitErr
+	}
+	return true, nil, nil
 }
 
 // Equivalent reports whether L(a) == L(b), with a witness word from the
-// symmetric difference when they differ.
-func Equivalent(a, b *NFA) (bool, []int) {
-	if ok, w := Contains(a, b); !ok {
-		return false, w
+// symmetric difference when they differ. It is EquivalentOpt with
+// default options.
+func Equivalent(a, b *NFA) (bool, []int, error) {
+	return EquivalentOpt(a, b, ContainOptions{})
+}
+
+// EquivalentOpt decides L(a) == L(b) under opts, checking the two
+// containment directions in sequence under one shared wall deadline.
+func EquivalentOpt(a, b *NFA, opts ContainOptions) (bool, []int, error) {
+	opts.Budget = opts.Budget.Started()
+	if ok, w, err := ContainsOpt(a, b, opts); err != nil || !ok {
+		return false, w, err
 	}
-	if ok, w := Contains(b, a); !ok {
-		return false, w
+	if ok, w, err := ContainsOpt(b, a, opts); err != nil || !ok {
+		return false, w, err
 	}
-	return true, nil
+	return true, nil, nil
 }
 
 func normSet(xs []int) []int {

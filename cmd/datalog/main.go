@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	datalog eval -program tc.dl -db graph.dl -goal p [-naive] [-workers 4] [-max-facts N] [-max-steps N] [-timeout 30s]
+//	datalog eval -program tc.dl -db graph.dl -goal p [-naive] [-workers 4] [-explain] [-no-planner] [-max-facts N] [-max-steps N] [-timeout 30s]
 //	datalog unfold -program nonrec.dl -goal q [-minimize]
 //	datalog classify -program prog.dl
 //	datalog check prog.dl [-goal p] [-json] [-max-states N]
@@ -57,7 +57,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|trees|repl> [flags]
-  eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-max-facts N] [-max-steps N] [-timeout D]
+  eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-explain] [-no-planner] [-max-facts N] [-max-steps N] [-timeout D]
   unfold   -program FILE -goal PRED [-minimize]
   classify -program FILE
   check    FILE... [-goal PRED] [-json] [-no-info] [-passes] [-max-states N]
@@ -81,6 +81,8 @@ func cmdEval(args []string) error {
 	goal := fs.String("goal", "", "goal predicate")
 	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
 	workers := fs.Int("workers", 0, "worker goroutines per evaluation round (0 = all cores); results are identical for every value")
+	explain := fs.Bool("explain", false, "print each rule's chosen join tree (access paths, estimated vs actual rows) to stderr")
+	noPlanner := fs.Bool("no-planner", false, "disable cost-based join ordering and keep the textual atom order; results are identical either way")
 	maxFacts := fs.Int64("max-facts", 0, "budget: abort after deriving this many facts (0 = unlimited); a trip prints the partial result")
 	maxSteps := fs.Int64("max-steps", 0, "budget: abort after this many rule firings (0 = unlimited); a trip prints the partial result")
 	timeout := fs.Duration("timeout", 0, "budget: abort evaluation after this duration (0 = no limit)")
@@ -101,12 +103,20 @@ func cmdEval(args []string) error {
 		return err
 	}
 	opts := eval.Options{
-		Naive:   *naive,
-		Workers: *workers,
-		Budget:  guard.Budget{MaxFacts: *maxFacts, MaxSteps: *maxSteps, MaxWall: *timeout},
+		Naive:     *naive,
+		Workers:   *workers,
+		NoPlanner: *noPlanner,
+		Budget:    guard.Budget{MaxFacts: *maxFacts, MaxSteps: *maxSteps, MaxWall: *timeout},
 	}
 	// Eval (not Goal) so a budget trip still yields the partial database.
-	out, stats, err := eval.Eval(prog, db, opts)
+	var out *database.DB
+	var stats eval.Stats
+	var report *eval.Explain
+	if *explain {
+		out, stats, report, err = eval.EvalExplain(prog, db, opts)
+	} else {
+		out, stats, err = eval.Eval(prog, db, opts)
+	}
 	var limit *guard.LimitError
 	if err != nil && !errors.As(err, &limit) {
 		return err
@@ -131,8 +141,13 @@ func cmdEval(args []string) error {
 	for _, l := range lines {
 		fmt.Println(l)
 	}
+	if report != nil {
+		fmt.Fprintf(os.Stderr, "%% query plans:\n%s", report)
+	}
 	fmt.Fprintf(os.Stderr, "%% %d tuples, %d iterations, %d facts derived, %d rule firings\n",
 		len(lines), stats.Iterations, stats.Derived, stats.Firings)
+	fmt.Fprintf(os.Stderr, "%% plan cache: %d hits, %d misses, %d replans\n",
+		stats.PlanCacheHits, stats.PlanCacheMisses, stats.PlanReplans)
 	if stats.Budget != (guard.Usage{}) {
 		fmt.Fprintf(os.Stderr, "%% budget consumed: %s\n", stats.Budget)
 	}

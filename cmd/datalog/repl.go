@@ -149,6 +149,7 @@ commands:
   p(X, Y) :- e(X, Z), p(Z, Y).   add a rule
   e(a, b).                       add a fact
   ?- p(a, X).                    query
+  :plan p(a, X)                  show the join trees chosen for a query
   :list                          show rules and facts
   :classify                      program properties
   :check [GOAL]                  static analysis of the loaded program
@@ -176,6 +177,13 @@ commands:
 			goal = fields[1]
 		}
 		return false, s.check(goal)
+	case ":plan":
+		body := strings.TrimSpace(strings.TrimPrefix(line, ":plan"))
+		body = strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(body, "?-")), ".")
+		if body == "" {
+			return false, "usage: :plan BODY   (e.g. :plan p(a, X))"
+		}
+		return false, s.plan(body)
 	case ":load":
 		if len(fields) != 2 {
 			return false, "usage: :load FILE"
@@ -295,15 +303,16 @@ func (s *session) statement(text string) string {
 	return fmt.Sprintf("ok (%d statements)", len(prog.Rules))
 }
 
-// query evaluates "?- body" by compiling the body into a fresh query
-// rule whose head carries the body's variables.
-func (s *session) query(body string) string {
+// buildQuery compiles a query body into a fresh query rule whose head
+// carries the body's variables, appended to a clone of the session
+// program.
+func (s *session) buildQuery(body string) (*ast.Program, string, []string, error) {
 	atoms, err := parser.AtomList(body)
 	if err != nil {
-		return "error: " + err.Error()
+		return nil, "", nil, err
 	}
 	if len(atoms) == 0 {
-		return "error: empty query"
+		return nil, "", nil, errors.New("empty query")
 	}
 	s.qn++
 	headPred := fmt.Sprintf("˂query%d", s.qn)
@@ -315,6 +324,40 @@ func (s *session) query(body string) string {
 	q := cq.CQ{Head: ast.Atom{Pred: headPred, Args: args}, Body: atoms}
 	prog := s.prog.Clone()
 	prog.Rules = append(prog.Rules, ast.Rule{Head: q.Head, Body: q.Body})
+	return prog, headPred, vars, nil
+}
+
+// plan evaluates a query with plan instrumentation and renders the
+// join tree the cost-based planner chose for every rule the query
+// touched — access paths, estimated vs actual rows, plan-cache totals
+// — instead of the answers.
+func (s *session) plan(body string) string {
+	prog, headPred, _, err := s.buildQuery(body)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	out, _, report, err := eval.EvalExplain(prog, s.facts, eval.Options{Budget: s.budget})
+	if err != nil {
+		var le *guard.LimitError
+		if !errors.As(err, &le) {
+			return "error: " + err.Error()
+		}
+		// A budget trip still produced plans worth showing.
+	}
+	msg := strings.TrimRight(report.String(), "\n")
+	if rel := out.Lookup(headPred); rel != nil {
+		msg += fmt.Sprintf("\n%d answers", rel.Len())
+	}
+	return msg
+}
+
+// query evaluates "?- body" by compiling the body into a fresh query
+// rule whose head carries the body's variables.
+func (s *session) query(body string) string {
+	prog, headPred, vars, err := s.buildQuery(body)
+	if err != nil {
+		return "error: " + err.Error()
+	}
 	rel, _, err := eval.Goal(prog, s.facts, headPred, eval.Options{Budget: s.budget})
 	if err != nil {
 		var le *guard.LimitError

@@ -40,7 +40,10 @@ func CQContainedInProgramOpt(theta cq.CQ, prog *ast.Program, goal string, opts O
 	db, head := theta.CanonicalDB()
 	// Canonical databases are tiny (one fact per body atom), so the
 	// evaluation runs single-worker; the parallelism worth having is the
-	// per-disjunct fan-out in UCQContainedInProgram.
+	// per-disjunct fan-out in UCQContainedInProgram. The evaluation goes
+	// through eval's cost-based planner like any other, so containment
+	// checks against large programs inherit its join ordering; per-rule
+	// plans are cached across the fixpoint rounds of this one call.
 	rel, _, err := eval.Goal(prog, db, goal, eval.Options{Workers: 1, Ctx: opts.Ctx, Budget: b})
 	if err != nil {
 		return false, err

@@ -79,10 +79,19 @@ func (q CQ) AtomCount() int {
 
 // Apply evaluates the query over db and returns the relation of answer
 // tuples. Head variables not occurring in the body range over the active
-// domain (consistent with eval's semantics for unsafe rules).
+// domain (consistent with eval's semantics for unsafe rules). The body
+// is joined by eval's cost-based planner — the join order follows the
+// database's cardinalities, not the textual atom order.
 func (q CQ) Apply(db *database.DB) (*database.Relation, error) {
+	return q.ApplyOpt(db, eval.Options{})
+}
+
+// ApplyOpt is Apply under explicit evaluation options (worker count,
+// budget, NoPlanner), for callers threading governance or differential
+// configurations through CQ evaluation.
+func (q CQ) ApplyOpt(db *database.DB, opts eval.Options) (*database.Relation, error) {
 	prog := ast.NewProgram(ast.Rule{Head: q.Head, Body: q.Body})
-	rel, _, err := eval.Goal(prog, db, q.Head.Pred, eval.Options{})
+	rel, _, err := eval.Goal(prog, db, q.Head.Pred, opts)
 	return rel, err
 }
 

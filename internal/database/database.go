@@ -15,6 +15,7 @@ package database
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -270,6 +271,7 @@ func (r *Relation) indexFor(mask uint64) *relIndex {
 		}
 	}
 	idx := &relIndex{cols: cols}
+	idx.presize(r.n)
 	for i := 0; i < r.n; i++ {
 		r.scratch = idx.add(r, int32(i), r.scratch)
 	}
@@ -288,6 +290,26 @@ func (r *Relation) indexFor(mask uint64) *relIndex {
 // a pure read during the round. Mask semantics match Match.
 func (r *Relation) EnsureIndex(mask uint64) {
 	r.indexFor(mask)
+}
+
+// HasIndex reports whether a persistent index on mask exists, without
+// building one. It is a pure read, safe during a read phase.
+func (r *Relation) HasIndex(mask uint64) bool {
+	_, ok := r.indexes[mask]
+	return ok
+}
+
+// IndexCard returns the number of distinct keys in the persistent index
+// on mask — the posting-list count a cost model turns into an average
+// fan-out (rows / distinct keys) — and whether the index exists. It
+// never builds an index and never touches counters or scratch space, so
+// planners may call it freely during a read phase.
+func (r *Relation) IndexCard(mask uint64) (distinct int, ok bool) {
+	idx, found := r.indexes[mask]
+	if !found {
+		return 0, false
+	}
+	return len(idx.entries), true
 }
 
 // Probe returns the IDs of rows in [lo, hi) whose values at the columns
@@ -456,6 +478,24 @@ func (d *DB) StorageStats() StorageStats {
 		s.add(r.Stats())
 	}
 	return s
+}
+
+// StatsEpoch returns a monotonically non-decreasing fingerprint of the
+// database's planning-relevant statistics: it grows when a relation is
+// created, when a relation crosses a power-of-two row count, or when a
+// new persistent index is built. Query planners key plan caches on it —
+// while the epoch is unchanged, every cardinality a cost model would
+// read (relation lengths to within 2×, index posting-list counts) is
+// close enough that replanning cannot improve the plan. It is computed
+// on demand from the store, so it needs no bump discipline at write
+// sites; call it only from a write phase or a round boundary (it reads
+// lengths and index maps that a concurrent writer would mutate).
+func (d *DB) StatsEpoch() uint64 {
+	e := uint64(len(d.relations))
+	for _, r := range d.relations {
+		e += uint64(bits.Len(uint(r.n))) + uint64(len(r.indexes))
+	}
+	return e
 }
 
 // Clone returns a deep copy of the database.

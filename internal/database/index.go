@@ -143,6 +143,23 @@ func (idx *relIndex) add(rel *Relation, id int32, scratch Row) Row {
 	return key
 }
 
+// presize pre-allocates the table and entry slab for a build over n
+// rows, so a full-scan construction never rehashes through the doubling
+// ladder. n is an upper bound on the distinct-key count; the load
+// factor matches grow's 3/4 threshold, so incremental adds after the
+// build behave identically to an un-presized index.
+func (idx *relIndex) presize(n int) {
+	if n == 0 {
+		return
+	}
+	size := 16
+	for 4*(n+1) > 3*size {
+		size *= 2
+	}
+	idx.table = make([]int32, size)
+	idx.entries = make([]idxEntry, 0, n)
+}
+
 func (idx *relIndex) place(entry int32, h uint64) {
 	mask := uint64(len(idx.table) - 1)
 	i := h & mask

@@ -3,66 +3,38 @@ package eval
 import (
 	"datalogeq/internal/ast"
 	"datalogeq/internal/database"
+	"datalogeq/internal/plan"
 )
 
 // Rule compilation: before evaluation every rule is lowered to a form
 // that runs entirely on interned IDs. Variables become dense slots in a
-// per-rule environment array, constants are interned once, and — since
-// the join order is the fixed left-to-right body order — whether a
-// variable occurrence is pre-bound, a fresh binding, or a repeat within
-// its atom is decided statically here rather than per tuple.
+// per-rule environment array and constants are interned once. Bodies
+// compile to slot-form plan.Atoms — pure structure, with no join order
+// baked in — and the planner (internal/plan) decides per task how a
+// body is ordered, probed, and filtered. Heads keep their own compiled
+// form here, since head instantiation (including active-domain
+// enumeration for unbound head variables) is eval's business, not the
+// planner's.
 
-// argOp classifies a compiled argument position.
+// argOp classifies a compiled head argument position.
 type argOp uint8
 
 const (
-	// opConst: the position must equal an interned constant.
+	// opConst: the position is an interned constant.
 	opConst argOp = iota
-	// opBound: the position must equal the value of an env slot bound
-	// by an earlier body atom.
+	// opBound: the position is a variable bound by the body; slot is its
+	// env slot.
 	opBound
-	// opBind: first occurrence of a variable; matching binds its slot
-	// from the row. In a compiled head, slot is instead the index of
-	// the unbound-variable group the position belongs to.
+	// opBind: a head variable not bound by the body; slot is the index
+	// of the unbound-variable group the position belongs to.
 	opBind
-	// opCheck: a repeated fresh variable within the same atom; the
-	// position must equal the atom's earlier position pos.
-	opCheck
 )
 
-// carg is one compiled argument position.
+// carg is one compiled head argument position.
 type carg struct {
 	op   argOp
 	id   uint32 // opConst: interned constant
-	slot int    // opBound/opBind: env slot (head opBind: group index)
-	pos  int    // opCheck: earlier position bound by the same variable
-}
-
-// catom is a compiled body atom.
-type catom struct {
-	pred  string
-	arity int
-	// mask has bit i set iff position i is statically constrained
-	// (constant or pre-bound variable); it keys the relation's
-	// persistent index. Wide atoms (arity > 64) cannot be masked and
-	// fall back to a linear scan.
-	mask uint64
-	wide bool
-	args []carg
-	// checks caches the opCheck constraints and binds the opBind
-	// positions, so the matcher never rescans args.
-	checks []checkStep
-	binds  []bindStep
-	idb    bool
-}
-
-type bindStep struct {
-	pos  int
-	slot int
-}
-
-type checkStep struct {
-	pos, firstPos int
+	slot int    // opBound: env slot; opBind: group index
 }
 
 // chead is a compiled rule head.
@@ -79,7 +51,16 @@ type chead struct {
 type crule struct {
 	src   ast.Rule
 	nvars int
-	body  []catom
+	// body is the slot-form conjunction handed to the planner.
+	body []plan.Atom
+	// fp is the plan-cache fingerprint of (body, headSlots).
+	fp string
+	// headSlots lists the env slots the head reads (with duplicates for
+	// repeated head variables); the planner keeps them live end-to-end.
+	headSlots []int
+	// names maps env slots back to source variable names, for explain
+	// output.
+	names []string
 	head  chead
 	// idbBody lists body positions with intensional predicates — the
 	// delta positions of semi-naive evaluation.
@@ -104,58 +85,28 @@ func compileRules(prog *ast.Program) ([]crule, int) {
 func compileRule(r ast.Rule, idb map[ast.PredSym]bool) crule {
 	cr := crule{src: r}
 	slots := make(map[string]int)
-	bound := make(map[string]bool)
+	slotOf := func(name string) int {
+		s, ok := slots[name]
+		if !ok {
+			s = len(slots)
+			slots[name] = s
+			cr.names = append(cr.names, name)
+		}
+		return s
+	}
 	for bi, a := range r.Body {
-		ca := catom{
-			pred:  a.Pred,
-			arity: len(a.Args),
-			wide:  len(a.Args) > 64,
-			idb:   idb[a.Sym()],
-		}
-		firstPos := make(map[string]int)
-		for i, t := range a.Args {
-			switch t.Kind {
-			case ast.Const:
-				ca.args = append(ca.args, carg{op: opConst, id: database.Intern(t.Name)})
-				if !ca.wide {
-					ca.mask |= 1 << uint(i)
-				}
-			case ast.Var:
-				if bound[t.Name] {
-					ca.args = append(ca.args, carg{op: opBound, slot: slots[t.Name]})
-					if !ca.wide {
-						ca.mask |= 1 << uint(i)
-					}
-					continue
-				}
-				if p, ok := firstPos[t.Name]; ok {
-					ca.args = append(ca.args, carg{op: opCheck, pos: p})
-					continue
-				}
-				firstPos[t.Name] = i
-				s, ok := slots[t.Name]
-				if !ok {
-					s = len(slots)
-					slots[t.Name] = s
-				}
-				ca.args = append(ca.args, carg{op: opBind, slot: s})
+		pa := plan.Atom{Pred: a.Pred, Args: make([]plan.Arg, 0, len(a.Args))}
+		for _, t := range a.Args {
+			if t.Kind == ast.Const {
+				pa.Args = append(pa.Args, plan.Arg{Const: true, ID: database.Intern(t.Name)})
+			} else {
+				pa.Args = append(pa.Args, plan.Arg{Slot: slotOf(t.Name)})
 			}
 		}
-		for i, arg := range ca.args {
-			switch arg.op {
-			case opCheck:
-				ca.checks = append(ca.checks, checkStep{pos: i, firstPos: arg.pos})
-			case opBind:
-				ca.binds = append(ca.binds, bindStep{pos: i, slot: arg.slot})
-			}
-		}
-		for v := range firstPos {
-			bound[v] = true
-		}
-		if ca.idb {
+		if idb[a.Sym()] {
 			cr.idbBody = append(cr.idbBody, bi)
 		}
-		cr.body = append(cr.body, ca)
+		cr.body = append(cr.body, pa)
 	}
 
 	ch := chead{pred: r.Head.Pred}
@@ -165,8 +116,9 @@ func compileRule(r ast.Rule, idb map[ast.PredSym]bool) crule {
 		case ast.Const:
 			ch.args = append(ch.args, carg{op: opConst, id: database.Intern(t.Name)})
 		case ast.Var:
-			if bound[t.Name] {
-				ch.args = append(ch.args, carg{op: opBound, slot: slots[t.Name]})
+			if s, ok := slots[t.Name]; ok {
+				ch.args = append(ch.args, carg{op: opBound, slot: s})
+				cr.headSlots = append(cr.headSlots, s)
 				continue
 			}
 			g, ok := groups[t.Name]
@@ -181,5 +133,6 @@ func compileRule(r ast.Rule, idb map[ast.PredSym]bool) crule {
 	}
 	cr.head = ch
 	cr.nvars = len(slots)
+	cr.fp = plan.Fingerprint(cr.body, cr.headSlots)
 	return cr
 }

@@ -8,10 +8,14 @@
 // constants occurring in the database or the program.
 //
 // The hot path runs entirely on the storage engine's interned IDs:
-// rules are compiled to slot form (compile.go), join indexes live on the
-// relations and are maintained incrementally as facts are derived, and
-// semi-naive deltas are windows of row IDs into each relation's slab
-// rather than copied tuple slices.
+// rules are compiled to slot form (compile.go), each (rule ×
+// delta-position) task is planned by the cost-based join planner
+// (internal/plan) into an operator tree of index probes and filtered
+// scans ordered by live cardinality statistics — plans are cached by
+// (rule fingerprint, stats epoch), so stable rounds replan nothing —
+// join indexes live on the relations and are maintained incrementally
+// as facts are derived, and semi-naive deltas are windows of row IDs
+// into each relation's slab rather than copied tuple slices.
 //
 // Evaluation is parallel (exec.go): each fixpoint round freezes the
 // store, fans the rule firings out over Options.Workers goroutines that
@@ -28,6 +32,7 @@ import (
 	"datalogeq/internal/ast"
 	"datalogeq/internal/database"
 	"datalogeq/internal/guard"
+	"datalogeq/internal/plan"
 )
 
 // Stats reports work done by an evaluation.
@@ -57,9 +62,18 @@ type Stats struct {
 	// evaluation.
 	InternedConstants int
 
-	// Budget is the guard-layer consumption snapshot: facts and steps
-	// charged against Options.Budget (counters are deterministic across
-	// worker counts; Wall is not).
+	// Plan-cache behavior of the cost-based planner: hits, misses
+	// (plan constructions), and replans (a shape planned again because
+	// the store's stats epoch moved). On a stable store — no relation
+	// creations, power-of-two growth crossings, or index builds between
+	// rounds — every task hits the cache and Replans stays flat.
+	PlanCacheHits   uint64
+	PlanCacheMisses uint64
+	PlanReplans     uint64
+
+	// Budget is the guard-layer consumption snapshot: facts, steps, and
+	// plans charged against Options.Budget (counters are deterministic
+	// across worker counts; Wall is not).
 	Budget guard.Usage
 }
 
@@ -82,6 +96,13 @@ type Options struct {
 	// count. A trip aborts evaluation with a *guard.LimitError carrying
 	// a progress snapshot; the partial database is still returned.
 	Budget guard.Budget
+	// NoPlanner disables cost-based join ordering: plans keep the
+	// textual body order with the same index pushdown — the engine's
+	// historical fixed left-to-right behavior. The fixpoint, Stats
+	// counters (except index and plan-cache statistics), and budget
+	// trip points are identical with and without the planner; the flag
+	// exists for differential testing and plan-regression debugging.
+	NoPlanner bool
 	// Workers is the number of goroutines that fire rules within a
 	// round; 0 or negative means runtime.GOMAXPROCS(0). Results are
 	// bit-identical for every value.
@@ -115,12 +136,19 @@ func (o Options) budget() guard.Budget {
 // goroutine) is recovered and returned as a *guard.PanicError — Eval
 // never crashes the process.
 func Eval(prog *ast.Program, edb *database.DB, opts Options) (db *database.DB, stats Stats, err error) {
+	db, stats, _, err = evalWith(prog, edb, opts, false)
+	return db, stats, err
+}
+
+// evalWith is the shared core of Eval and EvalExplain; explain turns on
+// the per-step row instrumentation the Explain report is built from.
+func evalWith(prog *ast.Program, edb *database.DB, opts Options, explain bool) (db *database.DB, stats Stats, ex *Explain, err error) {
 	defer guard.Recover(&err, "eval")
 	if err := prog.Validate(); err != nil {
-		return nil, Stats{}, err
+		return nil, Stats{}, nil, err
 	}
 	if err := validateArities(prog, edb); err != nil {
-		return nil, Stats{}, err
+		return nil, Stats{}, nil, err
 	}
 	rules, maxVars := compileRules(prog)
 	e := &evaluator{
@@ -130,8 +158,9 @@ func Eval(prog *ast.Program, edb *database.DB, opts Options) (db *database.DB, s
 		total:   edb.Clone(),
 		opts:    opts,
 		meter:   opts.budget().Started().Meter(),
+		planner: &plan.Planner{Fixed: opts.NoPlanner},
 		frozen:  make(map[string]int),
-		ensured: make(map[indexKey]bool),
+		explain: explain,
 	}
 	e.domain = activeDomainIDs(prog, edb)
 	stats, err = e.run()
@@ -141,8 +170,14 @@ func Eval(prog *ast.Program, edb *database.DB, opts Options) (db *database.DB, s
 	stats.IndexAppends = st.IndexAppends
 	stats.SlabBytes = st.SlabBytes
 	stats.InternedConstants = database.InternedCount()
+	stats.PlanCacheHits = e.planner.Hits
+	stats.PlanCacheMisses = e.planner.Misses
+	stats.PlanReplans = e.planner.Replans
 	stats.Budget = e.meter.Usage()
-	return e.total, stats, err
+	if explain {
+		ex = e.buildExplain(stats)
+	}
+	return e.total, stats, ex, err
 }
 
 // Goal evaluates prog over edb and returns the relation computed for the

@@ -7,30 +7,45 @@ import (
 	"datalogeq/internal/database"
 	"datalogeq/internal/guard"
 	"datalogeq/internal/par"
+	"datalogeq/internal/plan"
 )
 
 // The round engine. Each fixpoint round runs in three strictly
 // separated phases:
 //
-//  1. prepare (single-threaded): ensure every (predicate, column-mask)
-//     index the compiled rules can use exists on the current store.
-//  2. fire (parallel): build the round's task list — one task per rule
-//     in a full round, one per (rule, delta position) in a semi-naive
-//     round — and fan the tasks out over the worker pool. Workers probe
-//     relations and indexes purely (database.Relation.Probe) and buffer
-//     every derived head row; nothing is written to the store, so the
-//     store and its indexes are frozen for the whole phase and reads
-//     need no locks.
+//  1. plan (single-threaded): every (rule × delta-position) task of the
+//     round gets an operator-tree plan from the cost-based planner,
+//     keyed by (rule fingerprint, delta position, stats epoch) — stable
+//     rounds hit the plan cache and replan nothing. Planning ensures
+//     the indexes the chosen plans probe, so this is also where lazy
+//     index builds happen; workers never write.
+//  2. fire (parallel): the round's task list — one task per rule in a
+//     full round, one per (rule, delta position) in a semi-naive round —
+//     fans out over the worker pool. Workers stream their plans against
+//     the frozen store (database.Relation.Probe is a pure read) and
+//     buffer every derived head row; the store and its indexes are
+//     frozen for the whole phase and reads need no locks.
 //  3. merge (single-threaded): apply the buffered rows in task order.
 //
 // Determinism: the task list is a pure function of the program and the
-// previous round's windows; each task's output rows depend only on the
-// frozen store and are enumerated in ascending row-ID order (both the
-// index posting lists and the linear scan yield rows oldest-first); the
-// merge applies tasks in canonical task order. Insertion order into the
-// store — hence row IDs, delta windows, duplicate suppression, Stats,
-// and the MaxFacts abort point — is therefore bit-identical for every
-// worker count, including 1.
+// previous round's windows; planning is single-threaded, in canonical
+// task order, against a store state that is itself worker-count
+// independent, so every worker count sees identical plans; each task's
+// output rows depend only on its plan and the frozen store and are
+// enumerated in ascending row-ID order at every step (index posting
+// lists and linear scans are both oldest-first); the merge applies
+// tasks in canonical task order. Insertion order into the store —
+// hence row IDs, delta windows, duplicate suppression, Stats, and the
+// budget trip points — is therefore bit-identical for every worker
+// count, including 1.
+//
+// Join order does not leak into the contract either: the set of
+// complete matches of a rule body under a delta restriction is
+// independent of the order the atoms are joined in, so Firings, Derived
+// facts, round counts, and budget trips are identical whether the
+// cost-based planner or the fixed textual order (Options.NoPlanner)
+// produced the plans. Only the index-usage counters and the plan-cache
+// statistics differ between the two modes.
 //
 // This is Jacobi-style iteration: facts derived in round i are visible
 // to joins from round i+1 on, never mid-round. The fixpoint is the same
@@ -38,25 +53,34 @@ import (
 // round counts can differ from an engine with mid-round visibility.
 
 // task is one unit of parallel work: fire rule against the frozen
-// store, with body position deltaPos (if >= 0) restricted to window w.
+// store, with body position deltaPos (if >= 0) restricted to window w,
+// executing plan p.
 type task struct {
 	rule     int
 	deltaPos int
 	w        window
+	p        *plan.Plan
 }
 
 // taskResult is a task's buffered output: head rows, flattened at the
 // head's arity. count is the number of firings (== rows/arity except
-// for zero-arity heads, which buffer no cells).
+// for zero-arity heads, which buffer no cells). trace carries the
+// per-step actual row counts when explain instrumentation is on.
 type taskResult struct {
 	rows  []uint32
 	count int
+	trace []uint64
 }
 
-// indexKey identifies a join index the engine has already ensured.
-type indexKey struct {
-	pred string
-	mask uint64
+// planTrace accumulates explain instrumentation for one plan: how many
+// tasks executed it and the cumulative actual rows per step, aggregated
+// single-threaded at merge time in canonical task order.
+type planTrace struct {
+	rule     int
+	deltaPos int
+	p        *plan.Plan
+	tasks    int
+	rows     []uint64
 }
 
 type evaluator struct {
@@ -67,6 +91,7 @@ type evaluator struct {
 	domain  []uint32
 	opts    Options
 	meter   *guard.Meter
+	planner *plan.Planner
 
 	workers  int
 	stop     *atomic.Bool
@@ -75,12 +100,17 @@ type evaluator struct {
 	// frozen records each relation's length at the current round
 	// boundary; advance turns growth beyond it into delta windows.
 	frozen map[string]int
-	// ensured caches which (predicate, mask) indexes prepare has built.
-	ensured map[indexKey]bool
 
 	// probeHits accumulates the workers' index-probe counts; folded into
 	// Stats.IndexHits by Eval.
 	probeHits uint64
+
+	// explain turns on per-step row instrumentation; traces aggregates
+	// it per plan, in first-use order (canonical, since the merge walks
+	// tasks in canonical order).
+	explain    bool
+	traces     map[*plan.Plan]*planTrace
+	traceOrder []*planTrace
 
 	// limitErr is the budget trip observed by the merge; later buffered
 	// rows are discarded (their firings still count). The merge is
@@ -98,7 +128,6 @@ func (e *evaluator) run() (Stats, error) {
 	defer release()
 
 	e.snapshot()
-	e.prepare()
 	var delta map[string]window // nil: fire every rule against the full store
 	for {
 		if err := e.ctxErr(); err != nil {
@@ -108,6 +137,9 @@ func (e *evaluator) run() (Stats, error) {
 			return e.stats, err
 		}
 		tasks := e.buildTasks(delta)
+		if err := e.planTasks(tasks); err != nil {
+			return e.stats, err
+		}
 		results, err := e.runTasks(tasks)
 		if err != nil {
 			return e.stats, err
@@ -121,7 +153,6 @@ func (e *evaluator) run() (Stats, error) {
 		if len(next) == 0 {
 			return e.stats, nil
 		}
-		e.prepare()
 		if e.opts.Naive {
 			delta = nil
 		} else {
@@ -160,28 +191,6 @@ func (e *evaluator) advance() map[string]window {
 	return delta
 }
 
-// prepare ensures, single-threaded between rounds, every join index the
-// compiled rules can probe. Workers then never trigger a lazy index
-// build, which keeps the fire phase free of writes.
-func (e *evaluator) prepare() {
-	for ri := range e.rules {
-		for bi := range e.rules[ri].body {
-			ca := &e.rules[ri].body[bi]
-			if ca.mask == 0 || ca.wide {
-				continue
-			}
-			k := indexKey{ca.pred, ca.mask}
-			if e.ensured[k] {
-				continue
-			}
-			if rel := e.total.Lookup(ca.pred); rel != nil {
-				rel.EnsureIndex(ca.mask)
-				e.ensured[k] = true
-			}
-		}
-	}
-}
-
 // buildTasks lists the round's work in canonical order: rules in
 // program order; within a rule, delta positions in body order. The
 // merge replays results in this same order.
@@ -193,12 +202,42 @@ func (e *evaluator) buildTasks(delta map[string]window) []task {
 			continue
 		}
 		for _, bi := range e.rules[ri].idbBody {
-			if w, ok := delta[e.rules[ri].body[bi].pred]; ok {
+			if w, ok := delta[e.rules[ri].body[bi].Pred]; ok {
 				tasks = append(tasks, task{rule: ri, deltaPos: bi, w: w})
 			}
 		}
 	}
 	return tasks
+}
+
+// planTasks attaches a plan to every task, single-threaded between
+// rounds. The stats epoch is read once at the round boundary, so every
+// task of the round keys the plan cache against the same epoch; cache
+// misses construct a plan (ensuring the indexes it probes — the round's
+// only index builds) and charge the budget's Plans dimension, in
+// canonical task order so trips are worker-count independent.
+func (e *evaluator) planTasks(tasks []task) error {
+	epoch := e.total.StatsEpoch()
+	for ti := range tasks {
+		t := &tasks[ti]
+		r := &e.rules[t.rule]
+		p, cached := e.planner.Plan(plan.Request{
+			Atoms:       r.body,
+			Fingerprint: r.fp,
+			NumSlots:    r.nvars,
+			HeadSlots:   r.headSlots,
+			DeltaPos:    t.deltaPos,
+			DB:          e.total,
+			Epoch:       epoch,
+		})
+		t.p = p
+		if !cached {
+			if err := e.meter.Charge("eval/plan", guard.Plans, 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // runTasks fires the round's tasks across the worker pool and collects
@@ -217,8 +256,8 @@ func (e *evaluator) runTasks(tasks []task) ([]taskResult, error) {
 		results[ti] = e.matchers[w].runTask(tasks[ti])
 	})
 	for _, m := range e.matchers {
-		e.probeHits += m.probes
-		m.probes = 0
+		e.probeHits += m.x.Probes
+		m.x.Probes = 0
 	}
 	if err := e.ctxErr(); err != nil {
 		// Workers stop early once the cancellation flag trips, so the
@@ -236,6 +275,9 @@ func (e *evaluator) runTasks(tasks []task) ([]taskResult, error) {
 func (e *evaluator) merge(tasks []task, results []taskResult) error {
 	for ti := range results {
 		res := &results[ti]
+		if e.explain && res.trace != nil {
+			e.recordTrace(&tasks[ti], res.trace)
+		}
 		e.stats.Firings += res.count
 		if res.count > 0 {
 			if err := e.meter.Charge("eval/merge", guard.Steps, int64(res.count)); err != nil && e.limitErr == nil {
@@ -259,6 +301,30 @@ func (e *evaluator) merge(tasks []task, results []taskResult) error {
 		}
 	}
 	return e.limitErr
+}
+
+// recordTrace folds one task's per-step row counts into its plan's
+// cumulative trace. Runs inside the single-threaded merge, in canonical
+// task order, so trace aggregation is deterministic.
+func (e *evaluator) recordTrace(t *task, rows []uint64) {
+	tr := e.traces[t.p]
+	if tr == nil {
+		tr = &planTrace{
+			rule:     t.rule,
+			deltaPos: t.deltaPos,
+			p:        t.p,
+			rows:     make([]uint64, len(t.p.Steps)),
+		}
+		if e.traces == nil {
+			e.traces = make(map[*plan.Plan]*planTrace)
+		}
+		e.traces[t.p] = tr
+		e.traceOrder = append(e.traceOrder, tr)
+	}
+	tr.tasks++
+	for i, v := range rows {
+		tr.rows[i] += v
+	}
 }
 
 func (e *evaluator) addFact(pred string, row database.Row) {

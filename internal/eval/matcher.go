@@ -2,191 +2,74 @@ package eval
 
 import (
 	"datalogeq/internal/database"
+	"datalogeq/internal/plan"
 )
 
-// A matcher is one worker's private rule-firing state. It walks a
-// compiled rule's body left to right, extending the slot environment
-// with one candidate row at a time. Candidate rows for an atom come
-// from the relation's persistent index on the atom's static column
-// mask, restricted to the atom's window — the full (frozen) slab for
-// ordinary positions, the previous round's delta window for the
-// semi-naive delta position. Atoms with no constrained positions, atoms
-// too wide for a 64-bit mask, and atoms whose index has not been built
-// fall back to scanLinear.
+// A matcher is one worker's private rule-firing state: a streaming plan
+// executor (internal/plan.Exec) plus the head-instantiation logic that
+// turns each complete body match into buffered head rows. The executor
+// pipelines candidate rows through the task's operator tree — index
+// probes and filtered scans in the planner's join order — and fires
+// OnMatch per complete match; emitHead then instantiates the head under
+// the slot environment, enumerating the active domain for head
+// variables the body leaves unbound.
 //
 // During a round the matcher only reads the store (Relation.Probe, At)
 // and appends derived head rows to its private out buffer; the round
 // engine merges buffers after the parallel phase.
 type matcher struct {
 	e *evaluator
+	x plan.Exec
 
-	// env is the rule's slot environment, sized for the widest rule.
-	env []uint32
-	// key and headRow are reusable scratch rows.
-	key     database.Row
+	// rule is the task currently firing; set by runTask before the
+	// executor runs, read by the OnMatch callback.
+	rule *crule
+
+	// headRow is a reusable scratch row.
 	headRow database.Row
 
 	// out and count buffer the current task's emissions: head rows
 	// flattened at the head arity, and the firing count.
 	out   []uint32
 	count int
-
-	// probes counts index probes; folded into Stats.IndexHits by the
-	// round engine after each barrier.
-	probes uint64
-
-	// steps and stopped implement cheap cancellation: every 1024 match
-	// steps the worker polls the engine's stop flag.
-	steps   uint32
-	stopped bool
 }
 
 func (e *evaluator) newMatcher() *matcher {
-	return &matcher{e: e, env: make([]uint32, e.maxVars)}
+	m := &matcher{e: e}
+	m.x.Env = make([]uint32, e.maxVars)
+	m.x.Stop = e.stop
+	m.x.OnMatch = m.emitHead
+	return m
 }
 
 // runTask fires one task and returns its buffered output. The scratch
 // buffer is reused across tasks; the result gets a right-sized copy.
 func (m *matcher) runTask(t task) taskResult {
-	rule := &m.e.rules[t.rule]
+	m.rule = &m.e.rules[t.rule]
 	m.out = m.out[:0]
 	m.count = 0
-	m.joinFrom(rule, 0, t.deltaPos, t.w)
-	return taskResult{rows: append([]uint32(nil), m.out...), count: m.count}
-}
-
-// poll returns true once the evaluation has been cancelled. The flag
-// load is amortized over 1024 steps so the hot loops stay cheap.
-func (m *matcher) poll() bool {
-	if m.stopped {
-		return true
+	var trace []uint64
+	if m.e.explain {
+		trace = make([]uint64, len(t.p.Steps))
 	}
-	m.steps++
-	if m.steps&1023 == 0 && m.e.stop.Load() {
-		m.stopped = true
-	}
-	return m.stopped
-}
-
-// joinFrom matches rule.body[pos:] under the current environment and
-// buffers head facts for every complete match. If deltaPos >= 0, the
-// body atom at that position is restricted to the rows of window dw.
-func (m *matcher) joinFrom(rule *crule, pos, deltaPos int, dw window) {
-	if m.stopped {
-		return
-	}
-	if pos == len(rule.body) {
-		m.emitHead(rule)
-		return
-	}
-	ca := &rule.body[pos]
-	rel := m.e.total.Lookup(ca.pred)
-	if rel == nil {
-		return
-	}
-	// The store is frozen during the fire phase, so Len() is the
-	// round-start snapshot length.
-	lo, hi := 0, rel.Len()
-	if pos == deltaPos {
-		lo, hi = dw.lo, dw.hi
-	}
-	if ca.wide || ca.mask == 0 {
-		m.scanLinear(rule, ca, rel, lo, hi, pos, deltaPos, dw)
-		return
-	}
-	// Indexed path: constants and pre-bound slots form the lookup key;
-	// the persistent index returns the matching row IDs in [lo, hi),
-	// oldest first.
-	key := m.key[:0]
-	for _, a := range ca.args {
-		switch a.op {
-		case opConst:
-			key = append(key, a.id)
-		case opBound:
-			key = append(key, m.env[a.slot])
-		}
-	}
-	m.key = key
-	rows, ok := rel.Probe(ca.mask, key, lo, hi)
-	if !ok {
-		// Index not built (relation appeared after the last prepare);
-		// fall back to scanning.
-		m.scanLinear(rule, ca, rel, lo, hi, pos, deltaPos, dw)
-		return
-	}
-	m.probes++
-	for _, rid := range rows {
-		if m.poll() {
-			return
-		}
-		i := int(rid)
-		if !checksPass(ca, rel, i) {
-			continue
-		}
-		for _, b := range ca.binds {
-			m.env[b.slot] = rel.At(i, b.pos)
-		}
-		m.joinFrom(rule, pos+1, deltaPos, dw)
-	}
-}
-
-// checksPass verifies the repeated-fresh-variable constraints of an
-// atom against slab row i.
-func checksPass(ca *catom, rel *database.Relation, i int) bool {
-	for _, c := range ca.checks {
-		if rel.At(i, c.pos) != rel.At(i, c.firstPos) {
-			return false
-		}
-	}
-	return true
-}
-
-// scanLinear is the fallback matcher: a straight scan of rows [lo, hi)
-// verifying every compiled argument. It serves atoms with no
-// constrained positions (where an index would be pointless) and atoms
-// wider than 64 columns (which the bitmask cannot describe).
-func (m *matcher) scanLinear(rule *crule, ca *catom, rel *database.Relation, lo, hi, pos, deltaPos int, dw window) {
-rows:
-	for i := lo; i < hi; i++ {
-		if m.poll() {
-			return
-		}
-		for j, a := range ca.args {
-			switch a.op {
-			case opConst:
-				if rel.At(i, j) != a.id {
-					continue rows
-				}
-			case opBound:
-				if rel.At(i, j) != m.env[a.slot] {
-					continue rows
-				}
-			case opCheck:
-				if rel.At(i, j) != rel.At(i, a.pos) {
-					continue rows
-				}
-			}
-		}
-		for _, b := range ca.binds {
-			m.env[b.slot] = rel.At(i, b.pos)
-		}
-		m.joinFrom(rule, pos+1, deltaPos, dw)
-	}
+	m.x.Rows = trace
+	m.x.Run(t.p, plan.Window{Lo: t.w.lo, Hi: t.w.hi})
+	return taskResult{rows: append([]uint32(nil), m.out...), count: m.count, trace: trace}
 }
 
 // emitHead instantiates the head under the rule's environment and
 // buffers the resulting rows; unbound head variables range over the
 // active domain. Rows are copied into the out buffer, so the scratch
 // row is reused across emissions.
-func (m *matcher) emitHead(rule *crule) {
-	h := &rule.head
+func (m *matcher) emitHead() {
+	h := &m.rule.head
 	row := m.headRow[:0]
 	for _, a := range h.args {
 		switch a.op {
 		case opConst:
 			row = append(row, a.id)
 		case opBound:
-			row = append(row, m.env[a.slot])
+			row = append(row, m.x.Env[a.slot])
 		default: // opBind: unbound, filled by domain enumeration below
 			row = append(row, 0)
 		}
@@ -198,7 +81,7 @@ func (m *matcher) emitHead(rule *crule) {
 	}
 	var assign func(g int)
 	assign = func(g int) {
-		if m.stopped {
+		if m.x.Stopped() {
 			return
 		}
 		if g == len(h.unboundGroups) {
@@ -217,7 +100,7 @@ func (m *matcher) emitHead(rule *crule) {
 
 // emit buffers one head row (a firing).
 func (m *matcher) emit(row database.Row) {
-	if m.poll() {
+	if m.x.Poll() {
 		return
 	}
 	m.out = append(m.out, row...)

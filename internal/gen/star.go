@@ -1,0 +1,47 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/parser"
+)
+
+// StarJoin returns a star-join workload where join order dominates
+// cost: the single rule
+//
+//	q(X) :- d1(X, Y1), d2(X, Y2), ..., d<dims>(X, Y<dims>), sel(X).
+//
+// over a database where every dimension relation d_i holds keys×fanout
+// rows (fanout Y values per X key) and sel holds only selKeys of the
+// keys. The selective atom is textually last, so a fixed left-to-right
+// join enumerates keys×fanout^dims intermediate bindings before sel
+// prunes them, while a cost-based order that starts from sel touches
+// only the selKeys×fanout^dims bindings that survive — a keys/selKeys
+// work ratio, independent of the engine's constant factors.
+func StarJoin(dims, keys, fanout, selKeys int) (*ast.Program, *database.DB) {
+	var b strings.Builder
+	b.WriteString("q(X) :- ")
+	for i := 1; i <= dims; i++ {
+		fmt.Fprintf(&b, "d%d(X, Y%d), ", i, i)
+	}
+	b.WriteString("sel(X).")
+	prog := parser.MustProgram(b.String())
+
+	db := database.New()
+	key := func(k int) string { return fmt.Sprintf("k%d", k) }
+	for i := 1; i <= dims; i++ {
+		pred := fmt.Sprintf("d%d", i)
+		for k := 0; k < keys; k++ {
+			for f := 0; f < fanout; f++ {
+				db.Add(pred, database.Tuple{key(k), fmt.Sprintf("v%d_%d_%d", i, k, f)})
+			}
+		}
+	}
+	for k := 0; k < selKeys; k++ {
+		db.Add("sel", database.Tuple{key(k)})
+	}
+	return prog, db
+}

@@ -7,7 +7,8 @@
 // diagnosable outcomes:
 //
 //   - a Budget declares limits on wall time, derived facts, automaton
-//     states, transition firings, and canonical-database size;
+//     states, transition firings, canonical-database size, and query-plan
+//     constructions;
 //   - a Meter charges consumption against the budget at the hot-loop
 //     boundaries of eval, core, treeauto, wordauto, and ucq;
 //   - a trip produces a *LimitError carrying the phase name and a
@@ -54,6 +55,9 @@ const (
 	// Canon counts canonical-database facts frozen for the converse
 	// containment direction.
 	Canon
+	// Plans counts query plans constructed by eval's cost-based planner
+	// (plan-cache misses; cache hits are free).
+	Plans
 
 	numResources
 )
@@ -70,6 +74,8 @@ func (r Resource) String() string {
 		return "steps"
 	case Canon:
 		return "canon"
+	case Plans:
+		return "plans"
 	}
 	return fmt.Sprintf("Resource(%d)", int(r))
 }
@@ -91,6 +97,11 @@ type Budget struct {
 	MaxSteps int64
 	// MaxCanon bounds canonical-database facts; 0 = unlimited.
 	MaxCanon int64
+	// MaxPlans bounds query-plan constructions; 0 = unlimited. A trip
+	// here catches pathological replanning (a store whose statistics
+	// never stabilize), which would otherwise hide planning cost inside
+	// every round.
+	MaxPlans int64
 
 	// deadline, when nonzero, is the absolute wall deadline pinned by
 	// Started; it survives copying into sub-phase meters.
@@ -103,7 +114,8 @@ type Budget struct {
 // pinned deadline, or an injected fault.
 func (b Budget) Active() bool {
 	return b.MaxWall > 0 || b.MaxFacts > 0 || b.MaxStates > 0 ||
-		b.MaxSteps > 0 || b.MaxCanon > 0 || !b.deadline.IsZero() || b.fault != nil
+		b.MaxSteps > 0 || b.MaxCanon > 0 || b.MaxPlans > 0 ||
+		!b.deadline.IsZero() || b.fault != nil
 }
 
 // Started pins the wall-clock deadline at now + MaxWall. Entry points
@@ -130,6 +142,8 @@ func (b Budget) limit(r Resource) int64 {
 		return b.MaxSteps
 	case Canon:
 		return b.MaxCanon
+	case Plans:
+		return b.MaxPlans
 	}
 	return 0
 }
@@ -142,6 +156,7 @@ type Usage struct {
 	States int64
 	Steps  int64
 	Canon  int64
+	Plans  int64
 }
 
 // Add returns the field-wise sum of two usages; phases run
@@ -153,6 +168,7 @@ func (u Usage) Add(v Usage) Usage {
 		States: u.States + v.States,
 		Steps:  u.Steps + v.Steps,
 		Canon:  u.Canon + v.Canon,
+		Plans:  u.Plans + v.Plans,
 	}
 }
 
@@ -171,6 +187,9 @@ func (u Usage) String() string {
 	}
 	if u.Canon > 0 {
 		parts = append(parts, fmt.Sprintf("canon=%d", u.Canon))
+	}
+	if u.Plans > 0 {
+		parts = append(parts, fmt.Sprintf("plans=%d", u.Plans))
 	}
 	if u.Wall > 0 {
 		parts = append(parts, fmt.Sprintf("wall=%s", u.Wall.Round(time.Microsecond)))
@@ -232,6 +251,8 @@ func (e *LimitError) count() int64 {
 		return e.Usage.Steps
 	case Canon:
 		return e.Usage.Canon
+	case Plans:
+		return e.Usage.Plans
 	}
 	return 0
 }
@@ -274,6 +295,7 @@ func (m *Meter) Usage() Usage {
 		States: m.counts[States].Load(),
 		Steps:  m.counts[Steps].Load(),
 		Canon:  m.counts[Canon].Load(),
+		Plans:  m.counts[Plans].Load(),
 	}
 }
 

@@ -184,13 +184,23 @@ func adornRule(r ast.Rule, headAd Adornment, isIDB map[ast.PredSym]bool, push fu
 }
 
 // Answer evaluates the query through the magic-sets rewriting and
-// returns the matching tuples of the original query atom.
+// returns the matching tuples of the original query atom. It is
+// AnswerOpt with default options.
 func Answer(prog *ast.Program, query ast.Atom, db *database.DB) (*database.Relation, eval.Stats, error) {
+	return AnswerOpt(prog, query, db, eval.Options{})
+}
+
+// AnswerOpt is Answer under explicit evaluation options. The rewritten
+// program runs through eval's cost-based planner like any other — magic
+// guards are just small relations the cost model naturally orders
+// first — so goal-directed filtering and cardinality-driven join
+// ordering compose.
+func AnswerOpt(prog *ast.Program, query ast.Atom, db *database.DB, opts eval.Options) (*database.Relation, eval.Stats, error) {
 	res, err := Transform(prog, query)
 	if err != nil {
 		return nil, eval.Stats{}, err
 	}
-	rel, stats, err := eval.Goal(res.Program, db, res.GoalPred, eval.Options{})
+	rel, stats, err := eval.Goal(res.Program, db, res.GoalPred, opts)
 	if err != nil {
 		return nil, stats, err
 	}

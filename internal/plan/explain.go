@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"datalogeq/internal/database"
+)
+
+// Render pretty-prints the plan as one line per step: the atom under
+// the plan's order (Δ marks the delta step), the access path (index
+// probe with its key columns, or scan), the cost model's cumulative
+// row estimate, the actual cumulative rows when instrumentation is
+// supplied, and the slots a materializing executor would project away
+// after the step. name maps env slots to display names (the rule's
+// variable names); nil falls back to s0, s1, ...; actual is the
+// per-step binding counts accumulated by Exec.Rows, or nil.
+func (p *Plan) Render(name func(slot int) string, actual []uint64) string {
+	if name == nil {
+		name = func(s int) string { return fmt.Sprintf("s%d", s) }
+	}
+	if len(p.Steps) == 0 {
+		return "  (no body: fires once per task)\n"
+	}
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 0, 0, 2, ' ', 0)
+	for si := range p.Steps {
+		st := &p.Steps[si]
+		cells := stepCells(st, name)
+		atom := st.Pred + "(" + strings.Join(cells, ", ") + ")"
+		if st.Delta {
+			atom = "Δ" + atom
+		}
+		act := "-"
+		if actual != nil && si < len(actual) {
+			act = fmt.Sprintf("%d", actual[si])
+		}
+		drop := ""
+		if len(st.Dead) > 0 {
+			var names []string
+			for _, s := range st.Dead {
+				names = append(names, name(s))
+			}
+			drop = "drop " + strings.Join(names, ", ")
+		}
+		fmt.Fprintf(w, "  %d.\t%s\t%s\test %.4g\tact %s\t%s\n",
+			si+1, atom, accessPath(st, cells), st.EstRows, act, drop)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// stepCells reconstructs the step's argument rendering from its
+// compiled filters and binds: every column is a pushed-down constant,
+// a bound slot, a fresh binding, or a repeat of an earlier column.
+func stepCells(st *Step, name func(int) string) []string {
+	arity := 0
+	for _, f := range st.Filters {
+		if f.Pos+1 > arity {
+			arity = f.Pos + 1
+		}
+	}
+	for _, b := range st.Binds {
+		if b.Pos+1 > arity {
+			arity = b.Pos + 1
+		}
+	}
+	cells := make([]string, arity)
+	for _, b := range st.Binds {
+		cells[b.Pos] = name(b.Slot)
+	}
+	for _, f := range st.Filters {
+		switch f.Kind {
+		case FilterConst:
+			cells[f.Pos] = database.Symbol(f.ID)
+		case FilterBound:
+			cells[f.Pos] = name(f.Slot)
+		}
+	}
+	// Repeats copy their first occurrence, which a bind has named.
+	for _, f := range st.Filters {
+		if f.Kind == FilterRepeat {
+			cells[f.Pos] = cells[f.First]
+		}
+	}
+	return cells
+}
+
+// accessPath renders how the step reads its relation: an index probe
+// with the bound columns of the key spelled out ("·" marks free
+// columns), or a scan.
+func accessPath(st *Step, cells []string) string {
+	if st.Mask == 0 || st.Wide {
+		if st.Wide {
+			return "scan (wide)"
+		}
+		return "scan"
+	}
+	cols := make([]string, len(cells))
+	for c := range cells {
+		if st.Mask&(1<<uint(c)) != 0 {
+			cols[c] = cells[c]
+		} else {
+			cols[c] = "·"
+		}
+	}
+	return "probe " + st.Pred + "[" + strings.Join(cols, ",") + "]"
+}

@@ -1,0 +1,290 @@
+package plan
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"datalogeq/internal/database"
+)
+
+// Request describes one planning problem: a slot-form body, the slots
+// its head consumes, the delta position of the semi-naive task, and the
+// store (with its stats epoch) to plan against.
+type Request struct {
+	Atoms []Atom
+	// Fingerprint identifies the (body, head-slot) shape; compute it
+	// once per rule with Fingerprint.
+	Fingerprint string
+	// NumSlots is the rule's environment size.
+	NumSlots int
+	// HeadSlots lists the env slots the rule head reads; they stay live
+	// through the whole pipeline (never annotated dead).
+	HeadSlots []int
+	// DeltaPos is the body position restricted to the task's delta
+	// window, or -1 for a full firing.
+	DeltaPos int
+	// DB is the store planned against; index choices call EnsureIndex
+	// on it, so planning must run in a write phase (eval plans between
+	// rounds, single-threaded).
+	DB *database.DB
+	// Epoch is DB.StatsEpoch() at the round boundary, the cache's
+	// staleness key. The caller reads it once per round so every task
+	// of a round keys against the same epoch.
+	Epoch uint64
+}
+
+// Fingerprint renders the structural identity of a rule body and its
+// head's slot usage: predicates, constants, and the slot-sharing
+// pattern. Two rules with identical fingerprints can share cached
+// plans — head predicate names do not matter, head slot usage does
+// (it decides which slots are live to the end).
+func Fingerprint(atoms []Atom, headSlots []int) string {
+	var b strings.Builder
+	for i, a := range atoms {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(a.Pred)
+		b.WriteByte('(')
+		for j, arg := range a.Args {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			if arg.Const {
+				b.WriteByte('c')
+				b.WriteString(strconv.FormatUint(uint64(arg.ID), 10))
+			} else {
+				b.WriteByte('s')
+				b.WriteString(strconv.Itoa(arg.Slot))
+			}
+		}
+		b.WriteByte(')')
+	}
+	b.WriteString("|h")
+	for _, s := range headSlots {
+		b.WriteByte('s')
+		b.WriteString(strconv.Itoa(s))
+	}
+	return b.String()
+}
+
+// cacheKey is the full plan-cache key: while the epoch is unchanged,
+// the statistics a plan was costed against still hold.
+type cacheKey struct {
+	fp       string
+	deltaPos int
+	epoch    uint64
+}
+
+// shapeKey identifies a planning problem across epochs, for the replan
+// counter.
+type shapeKey struct {
+	fp       string
+	deltaPos int
+}
+
+// Planner builds and caches plans. One Planner serves one evaluation;
+// it is not safe for concurrent use (eval plans single-threaded between
+// rounds).
+type Planner struct {
+	// Fixed disables cost-based ordering: plans keep the textual body
+	// order, with the same mask/pushdown compilation. This is the
+	// "planner off" baseline of the differential tests — identical
+	// semantics to the pre-planner left-to-right engine.
+	Fixed bool
+
+	cache map[cacheKey]*Plan
+	seen  map[shapeKey]uint64
+
+	// Hits / Misses / Replans count cache behavior: a replan is a miss
+	// for a shape that was already planned at an older epoch.
+	Hits, Misses, Replans uint64
+}
+
+// Plan returns the plan for req, building and caching it on a miss.
+// cached reports a cache hit; callers charge plan-construction budgets
+// only on misses.
+func (pl *Planner) Plan(req Request) (p *Plan, cached bool) {
+	key := cacheKey{req.Fingerprint, req.DeltaPos, req.Epoch}
+	if p, ok := pl.cache[key]; ok {
+		pl.Hits++
+		return p, true
+	}
+	pl.Misses++
+	sk := shapeKey{req.Fingerprint, req.DeltaPos}
+	if last, ok := pl.seen[sk]; ok && last != req.Epoch {
+		pl.Replans++
+	}
+	if pl.seen == nil {
+		pl.seen = make(map[shapeKey]uint64)
+	}
+	pl.seen[sk] = req.Epoch
+
+	p = pl.build(req)
+	if pl.cache == nil {
+		pl.cache = make(map[cacheKey]*Plan)
+	}
+	pl.cache[key] = p
+	return p, false
+}
+
+// build constructs the plan: choose a join order, compile each atom
+// into a probe/scan step relative to that order, annotate dead slots,
+// and ensure the chosen indexes exist.
+func (pl *Planner) build(req Request) *Plan {
+	var order []int
+	if pl.Fixed {
+		order = make([]int, len(req.Atoms))
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		order = chooseOrder(req.Atoms, req.DeltaPos, req.DB)
+	}
+	p := &Plan{
+		DeltaPos:    req.DeltaPos,
+		Fingerprint: req.Fingerprint,
+		Epoch:       req.Epoch,
+		NumSlots:    req.NumSlots,
+		Fixed:       pl.Fixed,
+	}
+	p.Steps = compileSteps(req.Atoms, order, req.DeltaPos, req.DB)
+	annotateDead(p.Steps, req.NumSlots, req.HeadSlots)
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if st.Mask != 0 && st.rel != nil {
+			st.rel.EnsureIndex(st.Mask)
+		}
+	}
+	return p
+}
+
+// chooseOrder picks the join order greedily: the delta atom first (its
+// window is the round's novelty and is typically the smallest input),
+// then repeatedly the remaining atom with the lowest estimated fan-out
+// under the slots bound so far. Ties break toward the lowest original
+// atom index, which keeps planning deterministic.
+func chooseOrder(atoms []Atom, deltaPos int, db *database.DB) []int {
+	n := len(atoms)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[int]bool)
+	take := func(ai int) {
+		order = append(order, ai)
+		used[ai] = true
+		for _, arg := range atoms[ai].Args {
+			if !arg.Const {
+				bound[arg.Slot] = true
+			}
+		}
+	}
+	if deltaPos >= 0 {
+		take(deltaPos)
+	}
+	for len(order) < n {
+		best, bestCost := -1, 0.0
+		for ai := 0; ai < n; ai++ {
+			if used[ai] {
+				continue
+			}
+			c := estimateFan(atoms[ai], bound, db)
+			if best < 0 || c < bestCost {
+				best, bestCost = ai, c
+			}
+		}
+		take(best)
+	}
+	return order
+}
+
+// compileSteps lowers the atoms, in the chosen order, to executable
+// steps: each position becomes a pushed-down constant, a bound-slot
+// key/filter, a repeat check, or a fresh binding, relative to the slots
+// the preceding steps bind.
+func compileSteps(atoms []Atom, order []int, deltaPos int, db *database.DB) []Step {
+	bound := make(map[int]bool)
+	steps := make([]Step, 0, len(order))
+	cum := 1.0
+	for _, ai := range order {
+		a := atoms[ai]
+		st := Step{
+			Atom:  ai,
+			Pred:  a.Pred,
+			Delta: ai == deltaPos,
+			Wide:  a.Wide(),
+			rel:   db.Lookup(a.Pred),
+		}
+		st.EstFan = estimateFan(a, bound, db)
+		cum *= st.EstFan
+		st.EstRows = cum
+		firstPos := make(map[int]int)
+		for pos, arg := range a.Args {
+			switch {
+			case arg.Const:
+				st.Filters = append(st.Filters, Filter{Kind: FilterConst, Pos: pos, ID: arg.ID})
+				if !st.Wide {
+					st.Mask |= 1 << uint(pos)
+					st.Key = append(st.Key, KeyPart{Const: true, ID: arg.ID})
+				}
+			case bound[arg.Slot]:
+				st.Filters = append(st.Filters, Filter{Kind: FilterBound, Pos: pos, Slot: arg.Slot})
+				if !st.Wide {
+					st.Mask |= 1 << uint(pos)
+					st.Key = append(st.Key, KeyPart{Slot: arg.Slot})
+				}
+			default:
+				if fp, ok := firstPos[arg.Slot]; ok {
+					f := Filter{Kind: FilterRepeat, Pos: pos, First: fp}
+					st.Filters = append(st.Filters, f)
+					st.Checks = append(st.Checks, f)
+					continue
+				}
+				firstPos[arg.Slot] = pos
+				st.Binds = append(st.Binds, Bind{Pos: pos, Slot: arg.Slot})
+			}
+		}
+		for _, b := range st.Binds {
+			bound[b.Slot] = true
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// annotateDead marks, per step, the env slots whose last consumer is
+// that step and which the head never reads — where a materializing
+// executor would project them away.
+func annotateDead(steps []Step, numSlots int, headSlots []int) {
+	last := make([]int, numSlots)
+	for i := range last {
+		last[i] = -1
+	}
+	touch := func(slot, si int) {
+		if slot >= 0 && slot < numSlots && si > last[slot] {
+			last[slot] = si
+		}
+	}
+	for si := range steps {
+		for _, f := range steps[si].Filters {
+			if f.Kind == FilterBound {
+				touch(f.Slot, si)
+			}
+		}
+		for _, b := range steps[si].Binds {
+			touch(b.Slot, si)
+		}
+	}
+	live := make(map[int]bool, len(headSlots))
+	for _, s := range headSlots {
+		live[s] = true
+	}
+	for slot, si := range last {
+		if si >= 0 && !live[slot] {
+			steps[si].Dead = append(steps[si].Dead, slot)
+		}
+	}
+	for si := range steps {
+		sort.Ints(steps[si].Dead)
+	}
+}

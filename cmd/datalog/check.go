@@ -93,13 +93,18 @@ func cmdCheck(args []string) error {
 
 // checkFile parses the file without validation (so arity clashes reach
 // the analyzer as positioned DL0001 diagnostics instead of one
-// position-less error) and runs every analysis pass. A syntax error is
-// reported as a DL0000 diagnostic rather than aborting the run, so a
-// multi-file invocation checks every file.
+// position-less error) and runs every analysis pass. A syntax error —
+// or an unreadable file — is reported as a DL0000 diagnostic rather
+// than aborting the run, so a multi-file invocation checks every file
+// and -json always emits a complete, valid array.
 func checkFile(path string, opts analyze.Options) ([]analyze.Diagnostic, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return []analyze.Diagnostic{{
+			Code:     "DL0000",
+			Severity: analyze.Error,
+			Message:  err.Error(),
+		}}, nil
 	}
 	prog, perr := parser.ProgramUnvalidated(string(src))
 	if perr != nil {

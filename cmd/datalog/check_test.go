@@ -144,6 +144,33 @@ func TestCmdCheckJSON(t *testing.T) {
 	if string(bytes.TrimSpace([]byte(out))) != "[]" {
 		t.Errorf("want [], got %q", out)
 	}
+
+	// An unreadable file must not abort before the JSON is written: the
+	// output stays a valid array, with the I/O failure as a DL0000 error
+	// entry, and the run exits nonzero like any other error finding.
+	missing := filepath.Join(dir, "does-not-exist.dl")
+	out, err = captureStdout(t, func() error {
+		return cmdCheck([]string{"-json", missing, unsafe})
+	})
+	if err == nil {
+		t.Error("unreadable file accepted")
+	}
+	diags = nil
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output with unreadable file is not a JSON array: %v\n%s", err, out)
+	}
+	foundMissing, foundOther := false, false
+	for _, d := range diags {
+		if d.File == missing && d.Code == "DL0000" && d.Severity == analyze.Error {
+			foundMissing = true
+		}
+		if d.File == unsafe && d.Code == "DL0002" {
+			foundOther = true
+		}
+	}
+	if !foundMissing || !foundOther {
+		t.Errorf("want DL0000 for the missing file and DL0002 for the readable one, got %s", out)
+	}
 }
 
 // TestCmdCheckTestdata mirrors the CI step: every program under

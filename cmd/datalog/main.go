@@ -42,6 +42,8 @@ func main() {
 		err = cmdClassify(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "opt":
+		err = cmdOpt(os.Args[2:])
 	case "trees":
 		err = cmdTrees(os.Args[2:])
 	case "repl":
@@ -56,11 +58,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|trees|repl> [flags]
-  eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-explain] [-no-planner] [-max-facts N] [-max-steps N] [-timeout D]
+	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|opt|trees|repl> [flags]
+  eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-explain] [-optimize] [-no-planner] [-max-facts N] [-max-steps N] [-timeout D]
   unfold   -program FILE -goal PRED [-minimize]
   classify -program FILE
   check    FILE... [-goal PRED] [-json] [-no-info] [-passes] [-max-states N]
+  opt      FILE... [-goal PRED] [-json] [-verify] [-passes] [-depth N] [-max-states N] [-no-unfold]
   trees    -program FILE -goal PRED [-depth N] [-count N] [-dot]
   repl     interactive session`)
 	os.Exit(2)
@@ -83,6 +86,7 @@ func cmdEval(args []string) error {
 	workers := fs.Int("workers", 0, "worker goroutines per evaluation round (0 = all cores); results are identical for every value")
 	explain := fs.Bool("explain", false, "print each rule's chosen join tree (access paths, estimated vs actual rows) to stderr")
 	noPlanner := fs.Bool("no-planner", false, "disable cost-based join ordering and keep the textual atom order; results are identical either way")
+	optimize := fs.Bool("optimize", false, "run the static optimizer on the program (goal-directed, so non-goal relations may be pruned) and evaluate under its SCC-stratified schedule")
 	maxFacts := fs.Int64("max-facts", 0, "budget: abort after deriving this many facts (0 = unlimited); a trip prints the partial result")
 	maxSteps := fs.Int64("max-steps", 0, "budget: abort after this many rule firings (0 = unlimited); a trip prints the partial result")
 	timeout := fs.Duration("timeout", 0, "budget: abort evaluation after this duration (0 = no limit)")
@@ -107,6 +111,10 @@ func cmdEval(args []string) error {
 		Workers:   *workers,
 		NoPlanner: *noPlanner,
 		Budget:    guard.Budget{MaxFacts: *maxFacts, MaxSteps: *maxSteps, MaxWall: *timeout},
+	}
+	if *optimize {
+		opts.Optimize = true
+		opts.OptimizeGoal = *goal
 	}
 	// Eval (not Goal) so a budget trip still yields the partial database.
 	var out *database.DB

@@ -16,6 +16,7 @@ import (
 	"datalogeq/internal/database"
 	"datalogeq/internal/eval"
 	"datalogeq/internal/guard"
+	"datalogeq/internal/opt"
 	"datalogeq/internal/parser"
 )
 
@@ -153,6 +154,7 @@ commands:
   :list                          show rules and facts
   :classify                      program properties
   :check [GOAL]                  static analysis of the loaded program
+  :opt [GOAL]                    show the statically optimized program and rewrite report
   :load FILE                     load rules/facts from a file
   :clear                         reset the session
   :quit                          leave`)
@@ -177,6 +179,12 @@ commands:
 			goal = fields[1]
 		}
 		return false, s.check(goal)
+	case ":opt":
+		goal := ""
+		if len(fields) > 1 {
+			goal = fields[1]
+		}
+		return false, s.optimize(goal)
 	case ":plan":
 		body := strings.TrimSpace(strings.TrimPrefix(line, ":plan"))
 		body = strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(body, "?-")), ".")
@@ -240,6 +248,25 @@ func (s *session) check(goal string) string {
 		lines[i] = d.String()
 	}
 	return strings.Join(lines, "\n")
+}
+
+// optimize runs the static optimizer over the session's rules and
+// renders the optimized program with its rewrite report. The session
+// program is left untouched — the command is a what-if view, like
+// :plan; re-enter the printed rules (after :clear) to adopt them.
+func (s *session) optimize(goal string) string {
+	if len(s.prog.Rules) == 0 {
+		return "no rules loaded"
+	}
+	optimized, rep, err := opt.Optimize(s.prog, opt.Options{Goal: goal})
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	var b strings.Builder
+	b.WriteString(strings.TrimRight(optimized.String(), "\n"))
+	b.WriteByte('\n')
+	b.WriteString(strings.TrimRight(rep.String(), "\n"))
+	return b.String()
 }
 
 // checkSource analyzes freshly loaded source text and renders its

@@ -33,6 +33,15 @@
 //     1.22 (per-iteration loop variables); before then every iteration
 //     shares one variable and the goroutines race on it.
 //
+//   - guardcharge: budget accounting inside a worker closure passed to
+//     internal/par — creating a meter (guard.Budget.Meter), charging
+//     one (Meter.Charge, Meter.CheckWall), or handing a *guard.Meter to
+//     a callee — is flagged. Charges racing across workers make budget
+//     trip points depend on the worker count, breaking the engine's
+//     bit-determinism contract; charge at a single-threaded point, or
+//     annotate "//repolint:allow guardcharge — <why trips stay
+//     deterministic>" (e.g. a dedicated meter per task index).
+//
 // Usage: go run ./cmd/repolint ./...
 package main
 
@@ -334,6 +343,13 @@ func (l *linter) lintDir(dir string) error {
 				for _, arg := range n.Args {
 					l.checkMutexCopy(pi, allowed, arg)
 				}
+				if l.isParCall(pi, n) {
+					for _, arg := range n.Args {
+						if fl, ok := arg.(*ast.FuncLit); ok {
+							l.checkGuardCharge(pi, allowed, fl)
+						}
+					}
+				}
 				if !inInternal {
 					return true
 				}
@@ -391,6 +407,76 @@ func (l *linter) checkMutexCopy(pi *pkgInfo, allowed map[string]map[int]bool, e 
 		return
 	}
 	l.report(pos, "copies a value containing a sync.Mutex: a copied lock guards nothing; pass a pointer or annotate //repolint:allow mutexcopy")
+}
+
+// isParCall reports whether the call's callee is a function of this
+// module's internal/par package (the worker executor).
+func (l *linter) isParCall(pi *pkgInfo, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pi.info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pn.Imported().Path() == l.module+"/internal/par"
+}
+
+// checkGuardCharge flags budget accounting lexically inside a worker
+// closure handed to internal/par: meter creation, charge/wall checks,
+// and *guard.Meter values passed on to callees. All of those run
+// concurrently across workers, so a shared meter's trip point would
+// depend on the worker count.
+func (l *linter) checkGuardCharge(pi *pkgInfo, allowed map[string]map[int]bool, fl *ast.FuncLit) {
+	flag := func(p token.Pos, what string) {
+		pos := l.fset.Position(p)
+		if suppressed(allowed["guardcharge"], pos.Line) {
+			return
+		}
+		l.report(pos, what+" inside a par worker closure: concurrent budget accounting makes trip points worker-count-dependent; charge at a single-threaded point or annotate //repolint:allow guardcharge")
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if tv, ok := pi.info.Types[sel.X]; ok && tv.Type != nil {
+				switch {
+				case sel.Sel.Name == "Meter" && l.isGuardType(tv.Type, "Budget"):
+					flag(call.Pos(), "creates a guard.Meter")
+				case (sel.Sel.Name == "Charge" || sel.Sel.Name == "CheckWall") && l.isGuardType(tv.Type, "Meter"):
+					flag(call.Pos(), "charges a guard.Meter")
+				}
+			}
+		}
+		for _, a := range call.Args {
+			if tv, ok := pi.info.Types[a]; ok && tv.Type != nil && l.isGuardType(tv.Type, "Meter") {
+				flag(a.Pos(), "passes a *guard.Meter to a callee")
+			}
+		}
+		return true
+	})
+}
+
+// isGuardType reports whether t (or its pointee) is the named type
+// internal/guard.<name> of this module.
+func (l *linter) isGuardType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == l.module+"/internal/guard" && obj.Name() == name
 }
 
 func unparen(e ast.Expr) ast.Expr {

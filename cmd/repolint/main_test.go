@@ -224,6 +224,107 @@ func Loop(items []int, fn func(int)) {
 	}
 }
 
+// TestLinterGuardCharge exercises the guardcharge pass: budget
+// accounting inside worker closures passed to internal/par.
+func TestLinterGuardCharge(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod": "module example.com/guardme\n\ngo 1.22\n",
+		"internal/par/par.go": `package par
+
+func ForEach(workers, n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+`,
+		"internal/guard/guard.go": `package guard
+
+type Budget struct{ MaxSteps int64 }
+
+type Meter struct{ steps int64 }
+
+func (b Budget) Meter() *Meter { return &Meter{} }
+
+func (m *Meter) Charge(phase string, n int64) error { return nil }
+
+func (m *Meter) CheckWall(phase string) error { return nil }
+`,
+		"internal/work/w.go": `package work
+
+import (
+	"example.com/guardme/internal/guard"
+	"example.com/guardme/internal/par"
+)
+
+func use(m *guard.Meter) {}
+
+func SharedCharge(b guard.Budget, n int) {
+	m := b.Meter()
+	par.ForEach(1, n, func(i int) {
+		_ = m.Charge("w", 1)
+	})
+}
+
+func InnerMeter(b guard.Budget, n int) {
+	par.ForEach(1, n, func(i int) {
+		m := b.Meter()
+
+		use(m)
+	})
+}
+
+func SingleThreaded(b guard.Budget, n int) {
+	m := b.Meter()
+	par.ForEach(1, n, func(i int) {
+		_ = i
+	})
+	_ = m.Charge("w", 1)
+}
+
+func PerIndex(b guard.Budget, n int) {
+	meters := make([]*guard.Meter, n)
+	par.ForEach(1, n, func(i int) {
+		meters[i] = b.Meter() //repolint:allow guardcharge — fixture: one meter per index.
+	})
+}
+`,
+	})
+
+	dirs, err := expandDirs(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLinter(root, "example.com/guardme")
+	for _, dir := range dirs {
+		if err := l.lintDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[string]string{
+		"internal/work/w.go:13": "charges a guard.Meter",
+		"internal/work/w.go:19": "creates a guard.Meter",
+		"internal/work/w.go:21": "passes a *guard.Meter",
+	}
+	for _, f := range l.findings {
+		matched := false
+		for prefix, msg := range want {
+			if strings.HasPrefix(f, prefix+":") && strings.Contains(f, msg) {
+				delete(want, prefix)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for prefix, msg := range want {
+		t.Errorf("missing finding %q at %s", msg, prefix)
+	}
+}
+
 // TestLinterSelfClean runs the linter over this repository itself: CI
 // requires a clean run, so the test pins that state.
 func TestLinterSelfClean(t *testing.T) {

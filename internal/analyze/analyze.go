@@ -62,6 +62,8 @@ var passes = []Pass{
 	{Code: "DL0009", Name: "boundedness", Doc: "recursive program provably equivalent to a bounded union of expansions", NeedsGoal: true, run: passBounded},
 	{Code: "DL0010", Name: "cartesian-product", Doc: "rule body splits into variable-disjoint subgoal groups", run: passCartesian},
 	{Code: "DL0011", Name: "singleton-variable", Doc: "variable occurring exactly once (possible typo; prefix with _ to silence)", run: passSingleton},
+	{Code: "DL0012", Name: "scc-schedule", Doc: "SCC-stratified evaluation schedule (topological order, recursive components starred)", run: passSchedule},
+	{Code: "DL0013", Name: "rewrite-applied", Doc: "rewrite the static optimizer would apply (duplicate atoms, constant propagation, recursion elimination)", run: passRewrites},
 }
 
 // context carries the program, options, and shared artifacts across

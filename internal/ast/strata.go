@@ -1,0 +1,97 @@
+package ast
+
+import (
+	"sort"
+	"strings"
+)
+
+// Stratum is one evaluation stratum of a program: the rules defining the
+// predicates of one strongly connected component of the dependence
+// graph. Strata are ordered callees-first, so every body atom of a
+// stratum's rules refers either to an EDB predicate or to a predicate
+// defined in the same or an earlier stratum — fixpointing the strata in
+// order therefore computes the same least fixpoint as one global round
+// loop (the rule sets partition the program and evaluation is monotone).
+type Stratum struct {
+	// Preds are the component's intensional predicates, sorted by name
+	// then arity.
+	Preds []PredSym
+	// Recursive reports whether the component is a dependence-graph
+	// cycle (more than one predicate, or one predicate with a
+	// self-loop): a recursive stratum needs a fixpoint loop, a
+	// nonrecursive one is complete after a single round.
+	Recursive bool
+	// Rules are the indexes into Program.Rules of the rules whose head
+	// predicate lies in the component, ascending.
+	Rules []int
+}
+
+// Strata returns the program's evaluation schedule: one Stratum per
+// dependence-graph SCC that contains at least one intensional
+// predicate, in topological (callees-first) order. The schedule is a
+// pure function of the program: SCCs enumerates components
+// deterministically, predicate and rule lists are sorted, so repeated
+// calls — and calls from different worker configurations — produce
+// identical schedules.
+func (p *Program) Strata() []Stratum {
+	edges := p.DependenceGraph()
+	byHead := make(map[PredSym][]int)
+	for i, r := range p.Rules {
+		sym := r.Head.Sym()
+		byHead[sym] = append(byHead[sym], i)
+	}
+	var out []Stratum
+	for _, comp := range p.SCCs() {
+		var s Stratum
+		for _, sym := range comp {
+			if rules, ok := byHead[sym]; ok {
+				s.Preds = append(s.Preds, sym)
+				s.Rules = append(s.Rules, rules...)
+			}
+		}
+		if len(s.Preds) == 0 {
+			continue // pure-EDB component
+		}
+		sort.Slice(s.Preds, func(i, j int) bool {
+			if s.Preds[i].Name != s.Preds[j].Name {
+				return s.Preds[i].Name < s.Preds[j].Name
+			}
+			return s.Preds[i].Arity < s.Preds[j].Arity
+		})
+		sort.Ints(s.Rules)
+		s.Recursive = sccRecursive(comp, edges)
+		out = append(out, s)
+	}
+	return out
+}
+
+// sccRecursive reports whether the component is a dependence cycle.
+func sccRecursive(comp []PredSym, edges map[PredSym][]PredSym) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	for _, m := range edges[comp[0]] {
+		if m == comp[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatStrata renders a schedule compactly, e.g. "{tc}* -> {j} -> {t}":
+// one group per stratum in evaluation order, recursive strata starred.
+func FormatStrata(strata []Stratum) string {
+	parts := make([]string, len(strata))
+	for i, s := range strata {
+		names := make([]string, len(s.Preds))
+		for j, sym := range s.Preds {
+			names[j] = sym.Name
+		}
+		star := ""
+		if s.Recursive {
+			star = "*"
+		}
+		parts[i] = "{" + strings.Join(names, " ") + "}" + star
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -199,7 +199,8 @@ func buildAutomata(prog *ast.Program, goal string, q ucq.UCQ, opts Options) (*Un
 	errs := make([]error, len(q.Disjuncts))
 	meters := make([]*guard.Meter, len(q.Disjuncts))
 	par.ForEach(par.Workers(opts.Workers), len(q.Disjuncts), func(i int) {
-		meters[i] = opts.Budget.Meter()
+		meters[i] = opts.Budget.Meter() //repolint:allow guardcharge — one meter per disjunct index, never shared across workers
+		//repolint:allow guardcharge — buildTheta charges only meters[i]; trips are per-disjunct and deterministic
 		thetas[i], counts[i], errs[i] = u.buildTheta(q.Disjuncts[i], pt, meters[i], opts)
 	})
 	for _, m := range meters {

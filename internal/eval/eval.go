@@ -107,6 +107,24 @@ type Options struct {
 	// round; 0 or negative means runtime.GOMAXPROCS(0). Results are
 	// bit-identical for every value.
 	Workers int
+	// Optimize runs the internal/opt static optimizer over the program
+	// before compilation (requires that package to be linked in; it
+	// registers itself via RegisterOptimizer) and evaluates the result
+	// under its SCC-stratified schedule: each dependence-graph component
+	// is fixpointed to completion in topological order instead of one
+	// global round loop. The goal relation — and, when OptimizeGoal is
+	// unset, the entire fixpoint — is identical with and without the
+	// flag; Stats.Iterations counts the per-stratum rounds, so round
+	// counts differ from the global loop. The schedule and every rewrite
+	// are computed single-threaded in canonical order, so the
+	// worker-count bit-determinism contract is unchanged.
+	Optimize bool
+	// OptimizeGoal names the goal predicate for Optimize's goal-directed
+	// rewrites (dead-code elimination, constant propagation, recursion
+	// elimination). When set, relations the goal does not depend on may
+	// be absent from the output database; "" applies only
+	// fixpoint-preserving rewrites.
+	OptimizeGoal string
 	// Ctx, when non-nil, cancels evaluation: long 2EXPTIME-ish runs
 	// return Ctx.Err() promptly (workers poll a cancellation flag
 	// between and within tasks) with a partial database.
@@ -150,6 +168,14 @@ func evalWith(prog *ast.Program, edb *database.DB, opts Options, explain bool) (
 	if err := validateArities(prog, edb); err != nil {
 		return nil, Stats{}, nil, err
 	}
+	prog, optSummary, err := opts.optimize(prog)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	var strata []ast.Stratum
+	if opts.Optimize {
+		strata = prog.Strata()
+	}
 	rules, maxVars := compileRules(prog)
 	e := &evaluator{
 		prog:    prog,
@@ -161,6 +187,7 @@ func evalWith(prog *ast.Program, edb *database.DB, opts Options, explain bool) (
 		planner: &plan.Planner{Fixed: opts.NoPlanner},
 		frozen:  make(map[string]int),
 		explain: explain,
+		strata:  strata,
 	}
 	e.domain = activeDomainIDs(prog, edb)
 	stats, err = e.run()
@@ -176,6 +203,7 @@ func evalWith(prog *ast.Program, edb *database.DB, opts Options, explain bool) (
 	stats.Budget = e.meter.Usage()
 	if explain {
 		ex = e.buildExplain(stats)
+		ex.Opt = optSummary
 	}
 	return e.total, stats, ex, err
 }

@@ -97,6 +97,12 @@ type evaluator struct {
 	stop     *atomic.Bool
 	matchers []*matcher
 
+	// strata, when non-nil, is the SCC-stratified evaluation schedule
+	// (Options.Optimize): each stratum's rules are fixpointed to
+	// completion before the next stratum starts. nil runs the single
+	// global round loop.
+	strata []ast.Stratum
+
 	// frozen records each relation's length at the current round
 	// boundary; advance turns growth beyond it into delta windows.
 	frozen map[string]int
@@ -127,31 +133,61 @@ func (e *evaluator) run() (Stats, error) {
 	e.stop = stop
 	defer release()
 
-	e.snapshot()
+	if e.strata == nil {
+		e.snapshot()
+		return e.stats, e.fixpoint(nil)
+	}
+	// Stratified driver: fixpoint each dependence-graph component to
+	// completion in topological (callees-first) order. Every body
+	// predicate of a stratum's rules is extensional or defined in the
+	// same or an earlier — already completed — stratum, so the union of
+	// the per-stratum fixpoints is the program's least fixpoint. The
+	// schedule is a pure function of the program and each stratum runs
+	// the same plan/fire/merge phases as the global loop, so the
+	// worker-count determinism contract is unchanged; only the round
+	// structure (and hence Stats.Iterations) differs.
+	for _, s := range e.strata {
+		e.snapshot()
+		if err := e.fixpoint(s.Rules); err != nil {
+			return e.stats, err
+		}
+	}
+	return e.stats, nil
+}
+
+// fixpoint runs the round loop restricted to ruleSet (nil = every rule)
+// until the restricted rules derive nothing new.
+func (e *evaluator) fixpoint(ruleSet []int) error {
 	var delta map[string]window // nil: fire every rule against the full store
 	for {
 		if err := e.ctxErr(); err != nil {
-			return e.stats, err
+			return err
 		}
 		if err := e.meter.CheckWall("eval/round"); err != nil {
-			return e.stats, err
+			return err
 		}
-		tasks := e.buildTasks(delta)
+		tasks := e.buildTasks(ruleSet, delta)
+		if ruleSet != nil && delta != nil && len(tasks) == 0 {
+			// Stratified semi-naive: the last growth feeds no rule of this
+			// stratum (typical for a nonrecursive stratum), so the stratum
+			// is complete without an empty round.
+			return nil
+		}
 		if err := e.planTasks(tasks); err != nil {
-			return e.stats, err
+			return err
 		}
 		results, err := e.runTasks(tasks)
 		if err != nil {
-			return e.stats, err
+			return err
 		}
 		mergeErr := e.merge(tasks, results)
 		e.stats.Iterations++
 		if mergeErr != nil {
-			return e.stats, mergeErr
+			return mergeErr
 		}
 		next := e.advance()
 		if len(next) == 0 {
-			return e.stats, nil
+			return nil
 		}
 		if e.opts.Naive {
 			delta = nil
@@ -192,19 +228,29 @@ func (e *evaluator) advance() map[string]window {
 }
 
 // buildTasks lists the round's work in canonical order: rules in
-// program order; within a rule, delta positions in body order. The
-// merge replays results in this same order.
-func (e *evaluator) buildTasks(delta map[string]window) []task {
+// program order (restricted to ruleSet when non-nil — the active
+// stratum's ascending rule indexes); within a rule, delta positions in
+// body order. The merge replays results in this same order.
+func (e *evaluator) buildTasks(ruleSet []int, delta map[string]window) []task {
 	var tasks []task
-	for ri := range e.rules {
+	add := func(ri int) {
 		if delta == nil {
 			tasks = append(tasks, task{rule: ri, deltaPos: -1})
-			continue
+			return
 		}
 		for _, bi := range e.rules[ri].idbBody {
 			if w, ok := delta[e.rules[ri].body[bi].Pred]; ok {
 				tasks = append(tasks, task{rule: ri, deltaPos: bi, w: w})
 			}
+		}
+	}
+	if ruleSet == nil {
+		for ri := range e.rules {
+			add(ri)
+		}
+	} else {
+		for _, ri := range ruleSet {
+			add(ri)
 		}
 	}
 	return tasks

@@ -20,6 +20,10 @@ type Explain struct {
 	// Plan-cache totals, duplicated from Stats for self-contained
 	// rendering.
 	PlanCacheHits, PlanCacheMisses, PlanReplans uint64
+	// Opt is the static optimizer's per-pass summary when
+	// Options.Optimize ran; nil otherwise. The rule plans above describe
+	// the optimized program.
+	Opt *OptSummary
 }
 
 // RuleExplain groups the plans chosen for one source rule.
@@ -56,6 +60,10 @@ type PlanExplain struct {
 // String renders the whole report.
 func (ex *Explain) String() string {
 	var b strings.Builder
+	if ex.Opt != nil {
+		b.WriteString("optimizer:\n")
+		b.WriteString(ex.Opt.String())
+	}
 	for _, re := range ex.Rules {
 		fmt.Fprintf(&b, "%s\n", re.Rule)
 		for _, pe := range re.Plans {

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"datalogeq/internal/ast"
+)
+
+// OptSummary is the flat account of a static-optimization run carried
+// by Explain: per-pass rule counts, the stratified schedule the engine
+// executed, and the optimizer's notes (rewrites considered but not
+// proven safe). It mirrors internal/opt's Report without importing it —
+// the optimizer's proof search runs on the containment machinery, which
+// itself evaluates queries through this package, so eval can only see
+// the optimizer through the registration hook below.
+type OptSummary struct {
+	Passes   []OptPassStat
+	Schedule string
+	Notes    []string
+}
+
+// OptPassStat is one pipeline pass's before/after account.
+type OptPassStat struct {
+	Name                    string
+	RulesBefore, RulesAfter int
+	Rewrites                int
+}
+
+// String renders the summary for Explain: passes that changed
+// something, the schedule, and the notes.
+func (s *OptSummary) String() string {
+	var b strings.Builder
+	for _, p := range s.Passes {
+		if p.Rewrites == 0 && p.RulesBefore == p.RulesAfter {
+			continue
+		}
+		fmt.Fprintf(&b, "  pass %-16s %d -> %d rules, %d rewrite(s)\n",
+			p.Name, p.RulesBefore, p.RulesAfter, p.Rewrites)
+	}
+	fmt.Fprintf(&b, "  schedule: %s\n", s.Schedule)
+	for _, n := range s.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Optimizer is the whole-program static-rewrite hook installed by
+// internal/opt: it returns a semantics-preserving rewrite of prog for
+// the given goal ("" = no goal-directed rewrites) plus a summary for
+// Explain. The registration indirection breaks the import cycle
+// opt → core → cq → eval.
+type Optimizer func(prog *ast.Program, goal string) (*ast.Program, *OptSummary, error)
+
+// optimizer is the installed hook; nil until internal/opt is imported.
+var optimizer Optimizer
+
+// RegisterOptimizer installs the static optimizer. Called from
+// internal/opt's init; last registration wins.
+func RegisterOptimizer(f Optimizer) { optimizer = f }
+
+// optimize applies the registered optimizer for Options.Optimize and
+// returns the program eval should compile. The stratified schedule is
+// computed by the caller from the returned program.
+func (o Options) optimize(prog *ast.Program) (*ast.Program, *OptSummary, error) {
+	if !o.Optimize {
+		return prog, nil, nil
+	}
+	if optimizer == nil {
+		return nil, nil, fmt.Errorf("eval: Options.Optimize requires the static optimizer (import datalogeq/internal/opt)")
+	}
+	return optimizer(prog, o.OptimizeGoal)
+}

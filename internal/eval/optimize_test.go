@@ -1,0 +1,23 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+
+	"datalogeq/internal/eval"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+)
+
+// TestOptimizeRequiresRegistration pins the hook contract: this test
+// binary does not import internal/opt, so Options.Optimize must fail
+// with a message naming the package to import — not silently evaluate
+// unoptimized. (The registered path is exercised by internal/opt's
+// differential tests.)
+func TestOptimizeRequiresRegistration(t *testing.T) {
+	prog := parser.MustProgram(`p(X, Y) :- e(X, Y).`)
+	_, _, err := eval.Eval(prog, gen.ChainGraph(2), eval.Options{Optimize: true})
+	if err == nil || !strings.Contains(err.Error(), "internal/opt") {
+		t.Fatalf("err = %v, want a message naming internal/opt", err)
+	}
+}

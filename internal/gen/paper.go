@@ -44,6 +44,27 @@ func Example11TrendyNR() *ast.Program {
 	`)
 }
 
+// LayeredTC is a three-stratum program for exercising the
+// SCC-stratified evaluation schedule: a recursive transitive-closure
+// component, a nonrecursive join layer over it, and a top copy.
+//
+//	top(X, Y) :- j(X, Y).
+//	j(X, Y)   :- tc(X, Z), tc(Z, Y).
+//	tc(X, Y)  :- e(X, Z), tc(Z, Y).
+//	tc(X, Y)  :- e(X, Y).
+//
+// Under the global Jacobi loop the j and top rules re-fire against
+// every tc delta of every round; the stratified driver runs them once,
+// after tc has converged.
+func LayeredTC() *ast.Program {
+	return parser.MustProgram(`
+		top(X, Y) :- j(X, Y).
+		j(X, Y) :- tc(X, Z), tc(Z, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+		tc(X, Y) :- e(X, Y).
+	`)
+}
+
 // Example11Knows is the inherently recursive program Π₂ of Example 1.1.
 func Example11Knows() *ast.Program {
 	return parser.MustProgram(`

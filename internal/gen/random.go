@@ -63,6 +63,20 @@ func GridGraph(w, h int) *database.DB {
 	return db
 }
 
+// StarGraph returns a database whose e relation is a double star: k
+// source leaves each with an edge into a hub, and the hub with an edge
+// out to each of k sink leaves. Transitive closure adds the k² cross
+// pairs in one round — maximal fan-out with minimal depth, the
+// opposite extreme from ChainGraph.
+func StarGraph(k int) *database.DB {
+	db := database.New()
+	for i := 0; i < k; i++ {
+		db.Add("e", database.Tuple{fmt.Sprintf("s%d", i), "hub"})
+		db.Add("e", database.Tuple{"hub", fmt.Sprintf("t%d", i)})
+	}
+	return db
+}
+
 // RandomDB returns a random database over the given predicate/arity
 // pairs with the given domain size and facts per relation.
 func RandomDB(rng *rand.Rand, preds map[string]int, domain, facts int) *database.DB {

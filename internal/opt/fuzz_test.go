@@ -1,0 +1,77 @@
+package opt_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datalogeq/internal/eval"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/opt"
+	"datalogeq/internal/parser"
+)
+
+// FuzzOptimize asserts the optimizer's whole contract on arbitrary
+// parser-accepted programs: it never panics, its output is a valid
+// program that re-parses from its own rendering, and — the semantics —
+// the optimized program computes the same goal relation as the
+// original on a synthetic database, under a budget (a trip on either
+// side skips the comparison; boundedness search is capped tightly so
+// iterations stay cheap).
+func FuzzOptimize(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.dl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src), "")
+		f.Add(string(src), "p")
+	}
+	f.Add("buys(X, Y) :- likes(X, Y).\nbuys(X, Y) :- trendy(X), buys(Z, Y).", "buys")
+	f.Add("p(X, c) :- .\np(X, Y) :- e(X, Y), e(X, Y).", "p")
+	f.Add("a(X) :- b(X). b(X) :- a(X). a(X) :- e(X).", "a")
+	f.Fuzz(func(t *testing.T, src, goal string) {
+		prog, err := parser.Program(src)
+		if err != nil {
+			return
+		}
+		out, _, err := opt.Optimize(prog, opt.Options{
+			Goal:         goal,
+			BoundedDepth: 1,
+			Budget:       guard.Budget{MaxStates: 128, MaxSteps: 1 << 14, MaxCanon: 1 << 10},
+		})
+		if err != nil {
+			// The proof search degraded; the contract is no panic.
+			return
+		}
+		reparsed, err := parser.Program(out.String())
+		if err != nil {
+			t.Fatalf("optimized program does not re-parse: %v\n%s", err, out)
+		}
+		if err := reparsed.Validate(); err != nil {
+			t.Fatalf("optimized program invalid: %v\n%s", err, out)
+		}
+		if goal == "" || prog.GoalArity(goal) < 0 {
+			return
+		}
+		db := edbFor(prog, 1, 4, 8)
+		budget := guard.Budget{MaxFacts: 20000, MaxSteps: 1 << 18}
+		a, _, aerr := eval.Eval(prog, db, eval.Options{Budget: budget})
+		b, _, berr := eval.Eval(out, db, eval.Options{Budget: budget})
+		var limit *guard.LimitError
+		if errors.As(aerr, &limit) || errors.As(berr, &limit) {
+			return // either side tripped: fixpoints are partial, not comparable
+		}
+		if aerr != nil || berr != nil {
+			t.Fatalf("eval failed: %v / %v\n%s", aerr, berr, out)
+		}
+		if !relEqual(a.Lookup(goal), b.Lookup(goal)) {
+			t.Fatalf("goal %q differs after optimization:\noriginal %s\noptimized %s\nprogram:\n%s", goal, a, b, out)
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Package opt is the whole-program static optimizer: a pipeline of
+// provably-safe rewrites over ast.Program, each justified by one of the
+// repository's decision procedures, plus the SCC-stratified evaluation
+// schedule the rewritten program is executed under.
+//
+// The pipeline, in order:
+//
+//   - dedup-atoms: duplicate body atoms are removed (conjunction is
+//     idempotent; the kept copy preserves every constant, so the active
+//     domain is unchanged).
+//   - dedup-rules: rules identical to an earlier rule up to variable
+//     renaming and body reordering (cq.NormalizeKey) are removed.
+//   - subsume-rules: rules contained in another rule for the same head
+//     predicate via a Theorem 2.2 containment mapping are removed —
+//     treating every body predicate as frozen, rule r ⊆ r' means every
+//     fact r derives in a round is derived by r' in the same round, so
+//     by induction over rounds the fixpoint is unchanged.
+//   - dead-code: rules whose head predicate the goal does not
+//     transitively depend on are removed (the DL0004/DL0005
+//     reachability analysis, applied instead of reported).
+//   - const-prop: when every body occurrence of an intensional
+//     predicate binds some argument to one constant, the constant is
+//     pushed into the predicate's rules (heads with a conflicting
+//     constant can never produce a consumable fact and are removed);
+//     binding-pattern (adornment) summaries are reported for the
+//     planner's prefix pushdown.
+//   - unfold-recursion: a recursive SCC is replaced by the bounded
+//     unfolding of its exported predicates when core.BoundedRewriting
+//     proves equivalence under the budget; an Unknown verdict (budget
+//     trip, depth exhausted, or a blown gate) keeps the SCC untouched
+//     and leaves a note.
+//   - cleanup passes re-run dedup/subsume/dead-code over the rewritten
+//     program.
+//
+// Safety: rewrites that delete rules or specialize heads can shrink the
+// set of program constants, and unsafe rules (head variables unbound by
+// the body) range those variables over the active domain — database
+// constants plus program constants. Every rule-deleting pass is
+// therefore gated on all rules being safe; only the duplicate removals,
+// which preserve the constant multiset's support, run on programs with
+// unsafe rules.
+//
+// Determinism: the pipeline is single-threaded and every iteration
+// order is sorted (predicates by name/arity, rules by index), so the
+// optimized program and report are bit-identical across runs and worker
+// counts, preserving the evaluation engine's determinism contract.
+package opt
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/guard"
+)
+
+// Options configure an optimization run.
+type Options struct {
+	// Goal names the query predicate. Goal-directed passes (dead-code,
+	// const-prop, unfold-recursion) run only when it is set and defined
+	// by the program; the duplicate and subsumption passes always run.
+	Goal string
+
+	// Budget bounds the recursion-elimination proof search (automaton
+	// states, transition firings, canonical-database facts). The zero
+	// budget selects a deterministic default (4096 states); the search
+	// degrades to "recursion kept" with a note when it trips.
+	Budget guard.Budget
+
+	// BoundedDepth is the maximum expansion height tried by the
+	// recursion-elimination search; 0 means the default (2).
+	BoundedDepth int
+
+	// DisableUnfold skips recursion elimination, the only pass with
+	// super-polynomial cost.
+	DisableUnfold bool
+}
+
+// Action is one applied (or, for a dry run, applicable) rewrite, with
+// the source position of the rule it touched.
+type Action struct {
+	Pass string `json:"pass"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// PassReport is the before/after account of one pipeline pass.
+type PassReport struct {
+	Name        string   `json:"name"`
+	RulesBefore int      `json:"rules_before"`
+	RulesAfter  int      `json:"rules_after"`
+	Actions     []Action `json:"actions,omitempty"`
+}
+
+// Report describes everything an optimization run did: per-pass
+// before/after rule counts and actions, the stratified evaluation
+// schedule of the optimized program, and notes about rewrites that were
+// considered but not proven safe (e.g. a recursion-elimination search
+// that ended Unknown).
+type Report struct {
+	Passes   []PassReport `json:"passes"`
+	Schedule string       `json:"schedule"`
+	Notes    []string     `json:"notes,omitempty"`
+}
+
+// Rewrites returns every action across all passes, in pipeline order.
+func (r *Report) Rewrites() []Action {
+	var out []Action
+	for _, p := range r.Passes {
+		out = append(out, p.Actions...)
+	}
+	return out
+}
+
+// String renders the report for human consumption: one line per pass
+// that changed something, then the schedule and notes.
+func (r *Report) String() string {
+	out := ""
+	for _, p := range r.Passes {
+		if len(p.Actions) == 0 && p.RulesBefore == p.RulesAfter {
+			continue
+		}
+		out += fmt.Sprintf("pass %-16s %d -> %d rules, %d rewrite(s)\n",
+			p.Name, p.RulesBefore, p.RulesAfter, len(p.Actions))
+		for _, a := range p.Actions {
+			out += fmt.Sprintf("  %d:%d: %s\n", a.Line, a.Col, a.Msg)
+		}
+	}
+	out += fmt.Sprintf("schedule: %s\n", r.Schedule)
+	for _, n := range r.Notes {
+		out += fmt.Sprintf("note: %s\n", n)
+	}
+	return out
+}
+
+// defaultBudget bounds the recursion-elimination search when the caller
+// declares no budget: counter dimensions only (no wall clock), so trips
+// are deterministic.
+var defaultBudget = guard.Budget{
+	MaxStates: 4096,
+	MaxSteps:  1 << 20,
+	MaxCanon:  1 << 16,
+}
+
+// pipeline carries shared state across passes of one run.
+type pipeline struct {
+	opts    Options
+	allSafe bool
+	// goalOK reports that Options.Goal is set and defined by a rule, so
+	// goal-directed passes may delete what it cannot reach.
+	goalOK bool
+	notes  []string
+	// unsafeNoted dedups the gating note.
+	unsafeNoted bool
+}
+
+func (c *pipeline) note(format string, args ...any) {
+	c.notes = append(c.notes, fmt.Sprintf(format, args...))
+}
+
+// gateSafe reports whether rule-deleting passes may run, noting the
+// reason once when they may not.
+func (c *pipeline) gateSafe() bool {
+	if c.allSafe {
+		return true
+	}
+	if !c.unsafeNoted {
+		c.unsafeNoted = true
+		c.note("unsafe rules present: rule-deleting rewrites disabled (active-domain semantics depend on program constants)")
+	}
+	return false
+}
+
+// pass is one named pipeline stage.
+type pass struct {
+	name string
+	run  func(*pipeline, *ast.Program) (*ast.Program, []Action)
+}
+
+// passes returns the pipeline in execution order.
+func (c *pipeline) passes() []pass {
+	return []pass{
+		{"dedup-atoms", (*pipeline).dedupAtoms},
+		{"dedup-rules", (*pipeline).dedupRules},
+		{"subsume-rules", (*pipeline).subsumeRules},
+		{"dead-code", (*pipeline).deadCode},
+		{"const-prop", (*pipeline).constProp},
+		{"unfold-recursion", (*pipeline).unfoldRecursion},
+		{"cleanup-dedup", (*pipeline).dedupRules},
+		{"cleanup-subsume", (*pipeline).subsumeRules},
+		{"cleanup-dead", (*pipeline).deadCode},
+	}
+}
+
+// PassNames lists the pipeline's passes in execution order.
+func PassNames() []string {
+	c := &pipeline{}
+	var out []string
+	for _, p := range c.passes() {
+		out = append(out, p.name)
+	}
+	return out
+}
+
+// Optimize rewrites prog through the full pass pipeline and returns the
+// optimized program (always a fresh clone; the input is not modified)
+// with a report of everything that happened. Optimize is total on
+// parser-produced programs: internal panics are recovered into a
+// *guard.PanicError and rewrites that cannot be proven safe are simply
+// not applied, so on the hardest inputs the output equals the input.
+func Optimize(prog *ast.Program, opts Options) (out *ast.Program, rep *Report, err error) {
+	defer guard.Recover(&err, "opt")
+	out = prog.Clone()
+	rep = &Report{}
+	c := &pipeline{opts: opts, allSafe: true}
+	for _, r := range out.Rules {
+		if !r.IsSafe() {
+			c.allSafe = false
+			break
+		}
+	}
+	if opts.Goal != "" {
+		for _, r := range out.Rules {
+			if r.Head.Pred == opts.Goal {
+				c.goalOK = true
+				break
+			}
+		}
+		if !c.goalOK {
+			c.note("goal %s is not defined by any rule: goal-directed passes skipped", opts.Goal)
+		}
+	}
+	for _, p := range c.passes() {
+		before := len(out.Rules)
+		var acts []Action
+		out, acts = p.run(c, out)
+		rep.Passes = append(rep.Passes, PassReport{
+			Name:        p.name,
+			RulesBefore: before,
+			RulesAfter:  len(out.Rules),
+			Actions:     acts,
+		})
+	}
+	rep.Notes = c.notes
+	rep.Schedule = ast.FormatStrata(out.Strata())
+	return out, rep, nil
+}

@@ -1,0 +1,285 @@
+package opt_test
+
+import (
+	"strings"
+	"testing"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/opt"
+	"datalogeq/internal/parser"
+	"datalogeq/internal/tm"
+)
+
+// passReport finds a pass's report by name.
+func passReport(t *testing.T, rep *opt.Report, name string) opt.PassReport {
+	t.Helper()
+	for _, p := range rep.Passes {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("no pass %q in report", name)
+	return opt.PassReport{}
+}
+
+// hasNote reports whether any note contains the substring.
+func hasNote(rep *opt.Report, substr string) bool {
+	for _, n := range rep.Notes {
+		if strings.Contains(n, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTrendyBecomesNonrecursive is the paper's Example 1.1: the bounded
+// recursive program Π₁ must be rewritten into a nonrecursive
+// equivalent by the recursion-elimination pass.
+func TestTrendyBecomesNonrecursive(t *testing.T) {
+	prog := parser.MustProgram(`
+		buys(X, Y) :- likes(X, Y).
+		buys(X, Y) :- trendy(X), buys(Z, Y).
+	`)
+	out, rep, err := opt.Optimize(prog, opt.Options{Goal: "buys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsNonrecursive() {
+		t.Fatalf("Example 1.1 not derecursified:\n%s%s", out, rep)
+	}
+	p := passReport(t, rep, "unfold-recursion")
+	if len(p.Actions) != 1 || !strings.Contains(p.Actions[0].Msg, "buys") {
+		t.Errorf("want one unfold action naming buys, got %+v", p.Actions)
+	}
+	// The replacement rules are EDB-only: complete unfoldings mention no
+	// intensional predicate, so downstream consumers see the same
+	// relation on every database.
+	for _, r := range out.Rules {
+		for _, a := range r.Body {
+			if out.IsIDB(a.Sym()) {
+				t.Errorf("rule %s still has intensional subgoal %s", r, a)
+			}
+		}
+	}
+}
+
+// TestLowerBoundUnchanged is the §5.3 hard instance: the Turing-machine
+// encoding is unbounded (or at least not provably bounded under a tiny
+// budget), so the optimizer must return it untouched with a note that
+// the search ended Unknown rather than silently rewriting.
+func TestLowerBoundUnchanged(t *testing.T) {
+	m := &tm.Machine{
+		States:      []string{"s0", "s1", "qa"},
+		TapeSymbols: []string{"_", "1"},
+		Blank:       "_",
+		Start:       "s0",
+		Accept:      []string{"qa"},
+		Transitions: []tm.Transition{
+			{State: "s0", Read: "_", Write: "1", Move: tm.Right, NewState: "s1"},
+			{State: "s1", Read: "_", Write: "_", Move: tm.Stay, NewState: "qa"},
+		},
+	}
+	enc, err := tm.Encode53(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := enc.Program.String()
+	out, rep, err := opt.Optimize(enc.Program, opt.Options{
+		Goal:   tm.Goal,
+		Budget: guard.Budget{MaxStates: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != before {
+		t.Errorf("§5.3 instance was rewritten under a tiny budget:\n%s\nwant\n%s", out, before)
+	}
+	if !hasNote(rep, "unknown") && !hasNote(rep, "budget") {
+		t.Errorf("no unknown/budget note for the kept recursion; notes = %q", rep.Notes)
+	}
+}
+
+func TestDedupAtomsAndRules(t *testing.T) {
+	prog := parser.MustProgram(`
+		p(X, Y) :- e(X, Y), e(X, Y).
+		p(A, B) :- e(A, B).
+		q(X) :- p(X, X).
+	`)
+	out, rep, err := opt.Optimize(prog, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := passReport(t, rep, "dedup-atoms"); len(got.Actions) != 1 {
+		t.Errorf("dedup-atoms actions = %+v, want 1", got.Actions)
+	}
+	// After atom dedup the first two rules are identical up to renaming,
+	// so rule dedup removes one.
+	if len(out.Rules) != 2 {
+		t.Errorf("rules after dedup = %d, want 2:\n%s", len(out.Rules), out)
+	}
+}
+
+func TestSubsumedRuleRemoved(t *testing.T) {
+	// The second rule is contained in the first (Thm 2.2: map X→X, Y→Y;
+	// the extra join only restricts it), so it derives nothing new.
+	prog := parser.MustProgram(`
+		p(X, Y) :- e(X, Y).
+		p(X, Y) :- e(X, Y), f(X, X).
+	`)
+	out, rep, err := opt.Optimize(prog, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1:\n%s", len(out.Rules), out)
+	}
+	if got := passReport(t, rep, "subsume-rules"); len(got.Actions) != 1 {
+		t.Errorf("subsume-rules actions = %+v, want 1", got.Actions)
+	}
+}
+
+func TestDeadCodeNeedsGoal(t *testing.T) {
+	src := `
+		p(X, Y) :- e(X, Y).
+		orphan(X) :- f(X), orphan(X).
+	`
+	// Without a goal every IDB predicate is an output: nothing dies.
+	out, _, err := opt.Optimize(parser.MustProgram(src), opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != 2 {
+		t.Errorf("goal-less run deleted rules:\n%s", out)
+	}
+	// With a goal the orphan component is unreachable and removed.
+	out, rep, err := opt.Optimize(parser.MustProgram(src), opt.Options{Goal: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != 1 || out.Rules[0].Head.Pred != "p" {
+		t.Errorf("dead code not removed:\n%s%s", out, rep)
+	}
+}
+
+func TestConstPropSpecializesAndPrunes(t *testing.T) {
+	// Every call of q binds its first argument to the constant a, so q's
+	// rules specialize; the rule with the conflicting head constant b can
+	// never produce a consumable fact and is dropped.
+	prog := parser.MustProgram(`
+		goal(Y) :- q(a, Y).
+		q(X, Y) :- e(X, Y).
+		q(b, Y) :- f(Y).
+	`)
+	out, rep, err := opt.Optimize(prog, opt.Options{Goal: "goal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "q(a, Y)") || strings.Contains(text, "q(b,") {
+		t.Errorf("const-prop result unexpected:\n%s%s", text, rep)
+	}
+	if got := passReport(t, rep, "const-prop"); len(got.Actions) == 0 {
+		t.Error("const-prop reported no actions")
+	}
+}
+
+// TestUnsafeGatesRuleDeletion: with an unsafe rule present, passes that
+// delete rules must not run (deleting a rule can shrink the program's
+// constant set, which feeds active-domain semantics), while the
+// in-place atom dedup still may.
+func TestUnsafeGatesRuleDeletion(t *testing.T) {
+	prog := parser.MustProgram(`
+		u(X, c) :- .
+		p(X, Y) :- e(X, Y), e(X, Y).
+		p(X, Y) :- e(X, Y), f(X, X).
+	`)
+	out, rep, err := opt.Optimize(prog, opt.Options{Goal: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != 3 {
+		t.Errorf("rule-deleting pass ran on an unsafe program:\n%s", out)
+	}
+	if got := passReport(t, rep, "dedup-atoms"); len(got.Actions) != 1 {
+		t.Errorf("dedup-atoms gated too: %+v", got.Actions)
+	}
+	if !hasNote(rep, "unsafe") {
+		t.Errorf("no gating note; notes = %q", rep.Notes)
+	}
+}
+
+// TestOptimizeDoesNotMutateInput pins that Optimize clones.
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	prog := parser.MustProgram(`
+		buys(X, Y) :- likes(X, Y).
+		buys(X, Y) :- trendy(X), buys(Z, Y).
+	`)
+	before := prog.String()
+	if _, _, err := opt.Optimize(prog, opt.Options{Goal: "buys"}); err != nil {
+		t.Fatal(err)
+	}
+	if prog.String() != before {
+		t.Errorf("input mutated:\n%s\nwant\n%s", prog, before)
+	}
+}
+
+// TestScheduleDeterminism pins the SCC-stratified schedule: repeated
+// computation yields the identical stratum sequence, and the known
+// multi-SCC program gets exactly its topological callees-first order.
+func TestScheduleDeterminism(t *testing.T) {
+	prog := parser.MustProgram(`
+		top(X, Y) :- j(X, Y).
+		j(X, Y) :- tc(X, Z), tc(Z, Y).
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`)
+	want := "{tc}* -> {j} -> {top}"
+	if got := ast.FormatStrata(prog.Strata()); got != want {
+		t.Fatalf("schedule = %q, want %q", got, want)
+	}
+	base := prog.Strata()
+	for i := 0; i < 20; i++ {
+		strata := prog.Strata()
+		if len(strata) != len(base) {
+			t.Fatalf("run %d: %d strata, want %d", i, len(strata), len(base))
+		}
+		for j := range strata {
+			if strata[j].Recursive != base[j].Recursive ||
+				ast.FormatStrata(strata[j:j+1]) != ast.FormatStrata(base[j:j+1]) {
+				t.Fatalf("run %d stratum %d differs", i, j)
+			}
+			for k := range strata[j].Rules {
+				if strata[j].Rules[k] != base[j].Rules[k] {
+					t.Fatalf("run %d stratum %d rule set differs", i, j)
+				}
+			}
+		}
+	}
+	_, rep, err := opt.Optimize(prog, opt.Options{DisableUnfold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedule != want {
+		t.Errorf("report schedule = %q, want %q", rep.Schedule, want)
+	}
+}
+
+func TestPassNames(t *testing.T) {
+	names := opt.PassNames()
+	if len(names) == 0 {
+		t.Fatal("no passes")
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] && !strings.HasPrefix(n, "cleanup-") {
+			t.Errorf("duplicate pass name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"dedup-rules", "subsume-rules", "dead-code", "const-prop", "unfold-recursion"} {
+		if !seen[want] {
+			t.Errorf("pass %q missing from %v", want, names)
+		}
+	}
+}

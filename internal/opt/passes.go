@@ -1,0 +1,350 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/cq"
+)
+
+// dedupAtoms removes duplicate body atoms within each rule. A
+// conjunction is idempotent, so the match set is unchanged; the kept
+// copy carries the same constants, so the active domain is unchanged —
+// this pass is safe on any program.
+func (c *pipeline) dedupAtoms(prog *ast.Program) (*ast.Program, []Action) {
+	var acts []Action
+	for ri := range prog.Rules {
+		r := &prog.Rules[ri]
+		seen := make(map[string]bool, len(r.Body))
+		kept := r.Body[:0]
+		for _, a := range r.Body {
+			k := a.Key()
+			if seen[k] {
+				acts = append(acts, Action{
+					Pass: "dedup-atoms", Line: a.Pos.Line, Col: a.Pos.Col,
+					Msg: fmt.Sprintf("duplicate body atom %s removed from the rule for %s", a, r.Head.Sym()),
+				})
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, a)
+		}
+		r.Body = kept
+	}
+	return prog, acts
+}
+
+// dedupRules removes rules whose canonical form (invariant under
+// variable renaming and body reordering, cq.NormalizeKey) matches an
+// earlier rule. The canonical form fixes the constants, so the removed
+// rule contributes no constant the kept one lacks — safe on any
+// program.
+func (c *pipeline) dedupRules(prog *ast.Program) (*ast.Program, []Action) {
+	var acts []Action
+	seen := make(map[string]int)
+	kept := prog.Rules[:0]
+	for _, r := range prog.Rules {
+		key := cq.CQ{Head: r.Head, Body: r.Body}.NormalizeKey()
+		if j, ok := seen[key]; ok {
+			acts = append(acts, Action{
+				Pass: "dedup-rules", Line: r.Pos.Line, Col: r.Pos.Col,
+				Msg: fmt.Sprintf("duplicate rule for %s removed: identical (up to renaming) to the rule at %s",
+					r.Head.Sym(), prog.Rules[j].Pos),
+			})
+			continue
+		}
+		seen[key] = len(kept)
+		kept = append(kept, r)
+	}
+	prog.Rules = kept
+	return prog, acts
+}
+
+// Bounds for the subsumption pass, mirroring the analyzer's DL0007
+// gates: beyond them the pass leaves the program alone rather than
+// risking exponential containment searches on adversarial input.
+const (
+	maxSubsumptionBody  = 12
+	maxSubsumptionGroup = 64
+)
+
+// subsumeRules removes rules subsumed by another rule for the same head
+// predicate via a Theorem 2.2 containment mapping: with every body
+// predicate frozen at the round boundary, rule ⊆ rule' means every fact
+// the subsumed rule derives in a round is derived by the subsuming rule
+// in the same round, so by induction over rounds the fixpoint is
+// unchanged. Mutually subsuming (equivalent) rules keep the earliest.
+// Gated on all rules being safe (deleting a rule may drop constants
+// from the active domain).
+func (c *pipeline) subsumeRules(prog *ast.Program) (*ast.Program, []Action) {
+	if !c.gateSafe() {
+		return prog, nil
+	}
+	groups := make(map[ast.PredSym][]int)
+	for i, r := range prog.Rules {
+		if len(r.Body) > maxSubsumptionBody {
+			continue
+		}
+		groups[r.Head.Sym()] = append(groups[r.Head.Sym()], i)
+	}
+	var syms []ast.PredSym
+	for sym, idxs := range groups {
+		if len(idxs) > 1 && len(idxs) <= maxSubsumptionGroup {
+			syms = append(syms, sym)
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Name != syms[j].Name {
+			return syms[i].Name < syms[j].Name
+		}
+		return syms[i].Arity < syms[j].Arity
+	})
+	deleted := make(map[int]bool)
+	var acts []Action
+	for _, sym := range syms {
+		idxs := groups[sym]
+		for _, i := range idxs {
+			ri := prog.Rules[i]
+			qi := cq.CQ{Head: ri.Head, Body: ri.Body}
+			for _, j := range idxs {
+				if i == j || deleted[j] {
+					continue
+				}
+				rj := prog.Rules[j]
+				qj := cq.CQ{Head: rj.Head, Body: rj.Body}
+				if !cq.Contained(qi, qj) {
+					continue
+				}
+				// Of mutually subsuming (equivalent) rules keep the
+				// earliest: only a later rule deletes an earlier one when
+				// the containment is strict.
+				if j > i && cq.Contained(qj, qi) {
+					continue
+				}
+				deleted[i] = true
+				acts = append(acts, Action{
+					Pass: "subsume-rules", Line: ri.Pos.Line, Col: ri.Pos.Col,
+					Msg: fmt.Sprintf("rule for %s removed: subsumed by the rule at %s (containment mapping, Thm 2.2)",
+						sym, rj.Pos),
+				})
+				break
+			}
+		}
+	}
+	if len(deleted) == 0 {
+		return prog, nil
+	}
+	kept := prog.Rules[:0]
+	for i, r := range prog.Rules {
+		if !deleted[i] {
+			kept = append(kept, r)
+		}
+	}
+	prog.Rules = kept
+	return prog, acts
+}
+
+// deadCode removes rules whose head predicate the goal does not
+// transitively depend on — the DL0004/DL0005 reachability analysis,
+// applied. Gated on a defined goal and on all rules being safe.
+func (c *pipeline) deadCode(prog *ast.Program) (*ast.Program, []Action) {
+	if !c.goalOK || !c.gateSafe() {
+		return prog, nil
+	}
+	contributes := reachableFrom(prog, c.opts.Goal)
+	var acts []Action
+	kept := prog.Rules[:0]
+	for _, r := range prog.Rules {
+		if contributes[r.Head.Sym()] {
+			kept = append(kept, r)
+			continue
+		}
+		acts = append(acts, Action{
+			Pass: "dead-code", Line: r.Pos.Line, Col: r.Pos.Col,
+			Msg: fmt.Sprintf("dead rule for %s removed: goal %s does not depend on it", r.Head.Sym(), c.opts.Goal),
+		})
+	}
+	prog.Rules = kept
+	return prog, acts
+}
+
+// reachableFrom returns the set of predicate symbols the goal
+// transitively depends on (including every symbol named goal).
+func reachableFrom(prog *ast.Program, goal string) map[ast.PredSym]bool {
+	dependsOn := make(map[ast.PredSym][]ast.PredSym)
+	for _, r := range prog.Rules {
+		h := r.Head.Sym()
+		for _, a := range r.Body {
+			dependsOn[h] = append(dependsOn[h], a.Sym())
+		}
+	}
+	out := make(map[ast.PredSym]bool)
+	var queue []ast.PredSym
+	push := func(s ast.PredSym) {
+		if !out[s] {
+			out[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for _, r := range prog.Rules {
+		if r.Head.Pred == goal {
+			push(r.Head.Sym())
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, d := range dependsOn[s] {
+			push(d)
+		}
+	}
+	return out
+}
+
+// constProp pushes constants from call sites into rule heads: when
+// every body occurrence of an intensional predicate p (which is not the
+// goal — external queries bind the goal freely) carries the same
+// constant at some argument position, p's rules are specialized to that
+// constant — a variable head argument is substituted, a conflicting
+// constant head argument means the rule can never produce a consumable
+// fact and it is removed. The propagated constant already occurs at
+// every call site, so the active domain is unchanged by substitution;
+// rule removal is covered by the all-safe gate. Runs to a local
+// fixpoint, since one propagation can ground further call sites.
+//
+// The pass also summarizes binding patterns (adornments): for each
+// surviving intensional predicate, argument positions bound to a
+// constant at every call site — the prefix the cost-based planner can
+// push down.
+func (c *pipeline) constProp(prog *ast.Program) (*ast.Program, []Action) {
+	if !c.goalOK || !c.gateSafe() {
+		return prog, nil
+	}
+	var acts []Action
+	for changed := true; changed; {
+		changed = false
+		for _, sym := range sortedIDBSyms(prog) {
+			if sym.Name == c.opts.Goal {
+				continue
+			}
+			for pos := 0; pos < sym.Arity; pos++ {
+				cst, ok := commonCallConstant(prog, sym, pos)
+				if !ok {
+					continue
+				}
+				if progChanged := specializeHead(prog, sym, pos, cst, &acts); progChanged {
+					changed = true
+				}
+			}
+		}
+	}
+	// Adornment summaries for the planner: computed after propagation so
+	// they describe the program eval will actually run.
+	for _, sym := range sortedIDBSyms(prog) {
+		if pat, any := adornment(prog, sym, c.opts.Goal); any {
+			c.note("adornment %s^%s: constant-bound argument positions at every call site", sym.Name, pat)
+		}
+	}
+	return prog, acts
+}
+
+// sortedIDBSyms returns the program's intensional predicate symbols in
+// name/arity order.
+func sortedIDBSyms(prog *ast.Program) []ast.PredSym {
+	idb := prog.IDBPreds()
+	syms := make([]ast.PredSym, 0, len(idb))
+	for sym := range idb {
+		syms = append(syms, sym)
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Name != syms[j].Name {
+			return syms[i].Name < syms[j].Name
+		}
+		return syms[i].Arity < syms[j].Arity
+	})
+	return syms
+}
+
+// commonCallConstant reports the constant every body occurrence of sym
+// carries at argument position pos, if one exists (at least one
+// occurrence, all of them that same constant).
+func commonCallConstant(prog *ast.Program, sym ast.PredSym, pos int) (string, bool) {
+	cst, n := "", 0
+	for _, r := range prog.Rules {
+		for _, a := range r.Body {
+			if a.Sym() != sym {
+				continue
+			}
+			t := a.Args[pos]
+			if t.Kind != ast.Const {
+				return "", false
+			}
+			if n == 0 {
+				cst = t.Name
+			} else if t.Name != cst {
+				return "", false
+			}
+			n++
+		}
+	}
+	return cst, n > 0
+}
+
+// specializeHead rewrites sym's rules for a call-site constant cst at
+// head position pos; reports whether anything changed.
+func specializeHead(prog *ast.Program, sym ast.PredSym, pos int, cst string, acts *[]Action) bool {
+	changed := false
+	kept := prog.Rules[:0]
+	for _, r := range prog.Rules {
+		if r.Head.Sym() != sym {
+			kept = append(kept, r)
+			continue
+		}
+		h := r.Head.Args[pos]
+		switch {
+		case h.Kind == ast.Var:
+			r = r.Apply(ast.Substitution{h.Name: ast.C(cst)})
+			*acts = append(*acts, Action{
+				Pass: "const-prop", Line: r.Pos.Line, Col: r.Pos.Col,
+				Msg: fmt.Sprintf("constant %s propagated into the rule for %s (argument %d is %s at every call site)",
+					cst, sym, pos+1, cst),
+			})
+			changed = true
+			kept = append(kept, r)
+		case h.Name != cst:
+			*acts = append(*acts, Action{
+				Pass: "const-prop", Line: r.Pos.Line, Col: r.Pos.Col,
+				Msg: fmt.Sprintf("rule for %s removed: every call site binds argument %d to %s but the head has %s",
+					sym, pos+1, cst, h.Name),
+			})
+			changed = true
+		default:
+			kept = append(kept, r)
+		}
+	}
+	prog.Rules = kept
+	return changed
+}
+
+// adornment renders sym's call-site binding pattern ("b" for positions
+// constant at every occurrence, "f" otherwise); any reports whether at
+// least one position is bound. The goal predicate is skipped — its
+// bindings come from the query, not the program.
+func adornment(prog *ast.Program, sym ast.PredSym, goal string) (string, bool) {
+	if sym.Name == goal {
+		return "", false
+	}
+	var b strings.Builder
+	any := false
+	for pos := 0; pos < sym.Arity; pos++ {
+		if _, ok := commonCallConstant(prog, sym, pos); ok {
+			b.WriteByte('b')
+			any = true
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String(), any
+}

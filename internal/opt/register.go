@@ -1,0 +1,34 @@
+package opt
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/eval"
+)
+
+// init installs the optimizer behind eval.Options.Optimize. The hook
+// indirection exists because eval cannot import this package: the
+// recursion-elimination proofs run on internal/core, whose containment
+// machinery evaluates queries through eval itself.
+func init() {
+	eval.RegisterOptimizer(func(prog *ast.Program, goal string) (*ast.Program, *eval.OptSummary, error) {
+		out, rep, err := Optimize(prog, Options{Goal: goal})
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, Summary(rep), nil
+	})
+}
+
+// Summary flattens a Report into eval's Explain-friendly shape.
+func Summary(rep *Report) *eval.OptSummary {
+	s := &eval.OptSummary{Schedule: rep.Schedule, Notes: rep.Notes}
+	for _, p := range rep.Passes {
+		s.Passes = append(s.Passes, eval.OptPassStat{
+			Name:        p.Name,
+			RulesBefore: p.RulesBefore,
+			RulesAfter:  p.RulesAfter,
+			Rewrites:    len(p.Actions),
+		})
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/core"
+	"datalogeq/internal/expansion"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/ucq"
+)
+
+// Gates for the recursion-elimination search: the proof machinery is
+// 2EXPTIME-ish, so it only runs on small components, and the expansion
+// union is pre-counted so an exponential unfolding is detected before
+// it is materialized.
+const (
+	maxUnfoldRules    = 16
+	maxUnfoldRuleVars = 8
+	maxUnfoldCQs      = 512
+)
+
+// unfoldRecursion replaces recursive SCCs with bounded unfoldings when
+// provably safe: for each recursive component, every predicate the rest
+// of the program (or the goal) consumes from it is run through
+// core.BoundedRewriting — the Theorem 5.12 containment procedure asking
+// whether the program is equivalent to the union of that predicate's
+// expansions of height ≤ k. Only if the proof succeeds for every
+// exported predicate is the component's rule set replaced by the
+// unions' disjuncts (whose bodies are extensional only, so every
+// downstream consumer computes the same relations on every database).
+// A budget trip, a blown gate, or an exhausted depth leaves the
+// component untouched with a note: Unknown is never rewritten.
+func (c *pipeline) unfoldRecursion(prog *ast.Program) (*ast.Program, []Action) {
+	if !c.goalOK || !c.gateSafe() || c.opts.DisableUnfold {
+		return prog, nil
+	}
+	depth := c.opts.BoundedDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	budget := c.opts.Budget
+	if !budget.Active() {
+		budget = defaultBudget
+	}
+	var acts []Action
+	attempted := make(map[string]bool)
+	for {
+		replaced := false
+		for _, s := range prog.Strata() {
+			if !s.Recursive {
+				continue
+			}
+			key := sccKey(s.Preds)
+			if attempted[key] {
+				continue
+			}
+			attempted[key] = true
+			if out, act, ok := c.unfoldSCC(prog, s, depth, budget); ok {
+				prog = out
+				acts = append(acts, act)
+				replaced = true
+				break // strata indexes are stale; recompute
+			}
+		}
+		if !replaced {
+			return prog, acts
+		}
+	}
+}
+
+// unfoldSCC attempts to replace one recursive component; it reports
+// success and, on failure, leaves an explanatory note behind.
+func (c *pipeline) unfoldSCC(prog *ast.Program, s ast.Stratum, depth int, budget guard.Budget) (*ast.Program, Action, bool) {
+	names := sccKey(s.Preds)
+	if len(prog.Rules) > maxUnfoldRules || prog.MaxRuleVars() > maxUnfoldRuleVars {
+		c.note("recursion kept for {%s}: program exceeds the unfold gates (%d rules, %d vars); boundedness unknown",
+			names, len(prog.Rules), prog.MaxRuleVars())
+		return prog, Action{}, false
+	}
+	inSCC := make(map[ast.PredSym]bool, len(s.Preds))
+	for _, sym := range s.Preds {
+		inSCC[sym] = true
+	}
+	exports := sccExports(prog, inSCC, c.opts.Goal)
+	if len(exports) == 0 {
+		return prog, Action{}, false
+	}
+	type rewrite struct {
+		u ucq.UCQ
+		k int
+	}
+	found := make(map[ast.PredSym]rewrite)
+	maxK := 0
+	for _, e := range exports {
+		// Pre-count the expansions so an exponential unfolding is caught
+		// before the containment automata are built over it.
+		if n := len(expansion.Expansions(prog, e.Name, depth, maxUnfoldCQs+1)); n > maxUnfoldCQs {
+			c.note("recursion kept for {%s}: %s has more than %d expansions of height ≤ %d; boundedness unknown under budget",
+				names, e.Name, maxUnfoldCQs, depth)
+			return prog, Action{}, false
+		}
+		u, k, ok, err := core.BoundedRewriting(prog, e.Name, depth, core.Options{Budget: budget})
+		if err != nil {
+			var le *guard.LimitError
+			if errors.As(err, &le) {
+				c.note("recursion kept for {%s}: boundedness of %s unknown — search budget exhausted (%v)",
+					names, e.Name, le)
+			} else {
+				c.note("recursion kept for {%s}: boundedness search for %s failed: %v", names, e.Name, err)
+			}
+			return prog, Action{}, false
+		}
+		if !ok {
+			c.note("recursion kept for {%s}: %s is not equivalent to its unfoldings up to height %d (deeper equivalence unknown)",
+				names, e.Name, depth)
+			return prog, Action{}, false
+		}
+		found[e] = rewrite{u: u, k: k}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	// Every export proved bounded: splice the unions' disjuncts in at
+	// the component's first rule, dropping the component's rules.
+	var repl []ast.Rule
+	pos := ast.Pos{}
+	for _, r := range prog.Rules {
+		if inSCC[r.Head.Sym()] {
+			pos = r.Pos
+			break
+		}
+	}
+	total := 0
+	for _, e := range exports {
+		for _, d := range found[e].u.Disjuncts {
+			repl = append(repl, ast.Rule{Head: d.Head.Clone(), Body: cloneAtoms(d.Body), Pos: pos})
+			total++
+		}
+	}
+	out := &ast.Program{}
+	spliced := false
+	for _, r := range prog.Rules {
+		if inSCC[r.Head.Sym()] {
+			if !spliced {
+				out.Rules = append(out.Rules, repl...)
+				spliced = true
+			}
+			continue
+		}
+		out.Rules = append(out.Rules, r)
+	}
+	exportNames := make([]string, len(exports))
+	for i, e := range exports {
+		exportNames[i] = e.Name
+	}
+	return out, Action{
+		Pass: "unfold-recursion", Line: pos.Line, Col: pos.Col,
+		Msg: fmt.Sprintf("recursive component {%s} replaced by %d nonrecursive rule(s): %s proved equivalent to expansions of height ≤ %d (Thm 5.12)",
+			names, total, strings.Join(exportNames, ", "), maxK),
+	}, true
+}
+
+// sccExports returns the component predicates consumed outside it (or
+// equal to the goal), sorted.
+func sccExports(prog *ast.Program, inSCC map[ast.PredSym]bool, goal string) []ast.PredSym {
+	seen := make(map[ast.PredSym]bool)
+	var out []ast.PredSym
+	add := func(sym ast.PredSym) {
+		if !seen[sym] {
+			seen[sym] = true
+			out = append(out, sym)
+		}
+	}
+	for _, r := range prog.Rules {
+		if inSCC[r.Head.Sym()] {
+			continue
+		}
+		for _, a := range r.Body {
+			if inSCC[a.Sym()] {
+				add(a.Sym())
+			}
+		}
+	}
+	for sym := range inSCC {
+		if sym.Name == goal {
+			add(sym)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// sccKey renders a component's predicate names for notes and dedup.
+func sccKey(preds []ast.PredSym) string {
+	names := make([]string, len(preds))
+	for i, sym := range preds {
+		names[i] = sym.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func cloneAtoms(atoms []ast.Atom) []ast.Atom {
+	out := make([]ast.Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Clone()
+	}
+	return out
+}

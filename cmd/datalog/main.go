@@ -12,11 +12,14 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"datalogeq/internal/ast"
 	"datalogeq/internal/database"
@@ -26,6 +29,8 @@ import (
 	"datalogeq/internal/nonrec"
 	"datalogeq/internal/parser"
 	"datalogeq/internal/ucq"
+
+	_ "datalogeq/internal/ivm" // registers the incremental maintainer behind eval.Maintain
 )
 
 func main() {
@@ -90,6 +95,7 @@ func cmdEval(args []string) error {
 	maxFacts := fs.Int64("max-facts", 0, "budget: abort after deriving this many facts (0 = unlimited); a trip prints the partial result")
 	maxSteps := fs.Int64("max-steps", 0, "budget: abort after this many rule firings (0 = unlimited); a trip prints the partial result")
 	timeout := fs.Duration("timeout", 0, "budget: abort evaluation after this duration (0 = no limit)")
+	watch := fs.Bool("watch", false, "after the initial fixpoint, maintain it incrementally: read '+fact.'/'-fact.' update lines from stdin, print per-update stats, and print the goal relation at EOF")
 	fs.Parse(args)
 	if *progPath == "" || *dbPath == "" || *goal == "" {
 		return fmt.Errorf("eval needs -program, -db, and -goal")
@@ -116,6 +122,12 @@ func cmdEval(args []string) error {
 		opts.Optimize = true
 		opts.OptimizeGoal = *goal
 	}
+	if *watch {
+		if prog.GoalArity(*goal) < 0 {
+			return fmt.Errorf("eval: goal predicate %q does not occur in program", *goal)
+		}
+		return evalWatch(prog, db, *goal, opts, os.Stdin, os.Stdout)
+	}
 	// Eval (not Goal) so a budget trip still yields the partial database.
 	var out *database.DB
 	var stats eval.Stats
@@ -132,20 +144,7 @@ func cmdEval(args []string) error {
 	if prog.GoalArity(*goal) < 0 {
 		return fmt.Errorf("eval: goal predicate %q does not occur in program", *goal)
 	}
-	var lines []string
-	if rel := out.Lookup(*goal); rel != nil {
-		lines = make([]string, 0, rel.Len())
-		var row database.Row
-		for i := 0; i < rel.Len(); i++ {
-			row = rel.AppendRowAt(row[:0], i)
-			args := make([]ast.Term, len(row))
-			for j, id := range row {
-				args[j] = ast.C(database.Symbol(id))
-			}
-			lines = append(lines, ast.Atom{Pred: *goal, Args: args}.String()+".")
-		}
-	}
-	sort.Strings(lines)
+	lines := goalFactLines(out, *goal)
 	for _, l := range lines {
 		fmt.Println(l)
 	}
@@ -162,6 +161,86 @@ func cmdEval(args []string) error {
 	if limit != nil {
 		fmt.Fprintf(os.Stderr, "%% INCOMPLETE — budget exhausted: %v\n", limit)
 		fmt.Fprintf(os.Stderr, "%% the tuples above are a sound underapproximation of the fixpoint\n")
+	}
+	return nil
+}
+
+// goalFactLines renders the goal relation as sorted fact lines.
+func goalFactLines(db *database.DB, goal string) []string {
+	rel := db.Lookup(goal)
+	if rel == nil {
+		return nil
+	}
+	lines := make([]string, 0, rel.Len())
+	var row database.Row
+	for i := 0; i < rel.Len(); i++ {
+		row = rel.AppendRowAt(row[:0], i)
+		args := make([]ast.Term, len(row))
+		for j, id := range row {
+			args[j] = ast.C(database.Symbol(id))
+		}
+		lines = append(lines, ast.Atom{Pred: goal, Args: args}.String()+".")
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// evalWatch is eval's incremental mode: one initial fixpoint through
+// the maintainer, then a stream of update lines from in — "+fact." (or
+// a bare "fact.") inserts, "-fact." retracts; several comma-separated
+// facts per line form one batch; '%' comments and blank lines are
+// skipped. Each update prints its UpdateStats; at EOF the goal relation
+// is printed like a normal eval run. A budget trip aborts the stream —
+// the materialization is no longer consistent.
+func evalWatch(prog *ast.Program, db *database.DB, goal string, opts eval.Options, in io.Reader, out io.Writer) error {
+	h, stats, err := eval.Maintain(prog, db, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%% materialized: %d facts derived, %d rule firings; watching stdin for +fact./-fact. updates\n",
+		stats.Derived, stats.Firings)
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		retract := false
+		switch line[0] {
+		case '-':
+			retract = true
+			line = line[1:]
+		case '+':
+			line = line[1:]
+		}
+		atoms, err := parser.AtomList(strings.TrimSuffix(strings.TrimSpace(line), "."))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%% line %d: %v (skipped)\n", lineNo, err)
+			continue
+		}
+		var us eval.UpdateStats
+		if retract {
+			us, err = h.Retract(atoms)
+		} else {
+			us, err = h.Insert(atoms)
+		}
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		verb := "insert"
+		if retract {
+			verb = "retract"
+		}
+		fmt.Fprintf(out, "%% %s: %s\n", verb, us)
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	for _, l := range goalFactLines(h.DB(), goal) {
+		fmt.Fprintln(out, l)
 	}
 	return nil
 }

@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
 )
 
 func write(t *testing.T, dir, name, content string) string {
@@ -155,5 +158,50 @@ func TestCmdTreesDOT(t *testing.T) {
 	prog := write(t, dir, "tc.dl", "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- b(X, Y).\n")
 	if err := cmdTrees([]string{"-program", prog, "-goal", "p", "-depth", "2", "-dot"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCmdEvalWatch(t *testing.T) {
+	dir := t.TempDir()
+	prog := write(t, dir, "tc.dl", "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).\n")
+	db := write(t, dir, "g.dl", "e(a, b). e(b, c).")
+	in := strings.NewReader(strings.Join([]string{
+		"% a comment, then a blank line",
+		"",
+		"+e(c, d).",
+		"-e(a, b).",
+		"this is not a fact",
+		"e(a, e).", // bare line defaults to insert
+	}, "\n"))
+	// evalWatch is driven directly; cmdEval wires os.Stdin to it.
+	p, err := loadProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := database.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	stderr := captureStderr(t, func() {
+		if err := evalWatch(p, d, "p", eval.Options{}, in, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	got := out.String()
+	for _, want := range []string{"% insert:", "% retract:", "p(a, e).", "p(b, d).", "p(c, d)."} {
+		if !strings.Contains(got, want) {
+			t.Errorf("watch output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "p(a, b).") || strings.Contains(got, "p(a, c).") {
+		t.Errorf("retracted closure still present:\n%s", got)
+	}
+	if !strings.Contains(stderr, "materialized") || !strings.Contains(stderr, "line 5") {
+		t.Errorf("stderr = %q", stderr)
 	}
 }

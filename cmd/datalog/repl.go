@@ -37,6 +37,11 @@ type session struct {
 	// program degrades to a structured message instead of hanging or
 	// exhausting memory; the session survives the trip.
 	budget guard.Budget
+	// handle is the maintained materialization behind :insert/:retract,
+	// built lazily on first use and dropped whenever the program or
+	// facts change through any other path (statements, :load, :clear) —
+	// the handle's base database would no longer match the session's.
+	handle *eval.Handle
 }
 
 // replBudget is the per-query resource budget: generous enough for any
@@ -155,6 +160,8 @@ commands:
   :classify                      program properties
   :check [GOAL]                  static analysis of the loaded program
   :opt [GOAL]                    show the statically optimized program and rewrite report
+  :insert FACT, ...              add facts through incremental maintenance (no re-fixpoint)
+  :retract FACT, ...             remove facts, incrementally deleting what they derived
   :load FILE                     load rules/facts from a file
   :clear                         reset the session
   :quit                          leave`)
@@ -166,7 +173,14 @@ commands:
 	case ":clear":
 		s.prog = &ast.Program{}
 		s.facts = database.New()
+		s.handle = nil
 		return false, "cleared"
+	case ":insert", ":retract":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		if rest == "" {
+			return false, "usage: " + fields[0] + " FACT, ...   (e.g. :insert e(a, b))"
+		}
+		return false, s.maintain(fields[0] == ":retract", rest)
 	case ":classify":
 		var b strings.Builder
 		fmt.Fprintf(&b, "rules: %d, facts: %d\n", len(s.prog.Rules), s.facts.FactCount())
@@ -327,7 +341,71 @@ func (s *session) statement(text string) string {
 			return "error: " + err.Error()
 		}
 	}
+	s.handle = nil
 	return fmt.Sprintf("ok (%d statements)", len(prog.Rules))
+}
+
+// maintain applies :insert/:retract through the incremental maintainer.
+// The first use materializes the fixpoint once; later updates run delta
+// rounds only. The session's fact store is mirrored on success so
+// queries (which evaluate from s.facts) agree with the handle.
+func (s *session) maintain(retract bool, factText string) string {
+	atoms, err := parser.AtomList(strings.TrimSuffix(factText, "."))
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	var b strings.Builder
+	if s.handle == nil {
+		h, stats, err := eval.Maintain(s.prog, s.facts, eval.Options{Budget: s.budget})
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		s.handle = h
+		fmt.Fprintf(&b, "materialized: %d facts derived, %d rule firings\n", stats.Derived, stats.Firings)
+	}
+	var us eval.UpdateStats
+	if retract {
+		us, err = s.handle.Retract(atoms)
+	} else {
+		us, err = s.handle.Insert(atoms)
+	}
+	if err != nil {
+		// The handle may be mid-update; drop it so the next :insert
+		// rebuilds from the (unchanged) session facts.
+		s.handle = nil
+		var le *guard.LimitError
+		if errors.As(err, &le) {
+			return fmt.Sprintf("error: %v\n  progress: %s\n  (update aborted; session facts unchanged)", le, le.Usage)
+		}
+		return "error: " + err.Error()
+	}
+	for _, a := range atoms {
+		if retract {
+			s.retractFact(a)
+		} else if err := s.facts.AddAtom(a); err != nil {
+			s.handle = nil
+			return "error: " + err.Error()
+		}
+	}
+	fmt.Fprintf(&b, "%s", us)
+	return b.String()
+}
+
+// retractFact removes one ground fact from the session's fact store.
+func (s *session) retractFact(a ast.Atom) {
+	rel := s.facts.Lookup(a.Pred)
+	if rel == nil {
+		return
+	}
+	row := make(database.Row, 0, len(a.Args))
+	for _, t := range a.Args {
+		row = append(row, database.Intern(t.Name))
+	}
+	id := rel.RowID(row)
+	if id < 0 {
+		return
+	}
+	rel.DeleteRows(func(i int) bool { return i == int(id) })
 }
 
 // buildQuery compiles a query body into a fresh query rule whose head

@@ -195,3 +195,51 @@ func TestStatementComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestReplInsertRetract(t *testing.T) {
+	s := newSession()
+	s.statement("p(X, Y) :- e(X, Y).")
+	s.statement("p(X, Y) :- e(X, Z), p(Z, Y).")
+	s.statement("e(a, b).")
+
+	_, msg := s.command(":insert e(b, c)")
+	if !strings.Contains(msg, "materialized") || !strings.Contains(msg, "rows in") {
+		t.Fatalf(":insert = %q", msg)
+	}
+	if got := s.statement("?- p(a, c)."); !strings.Contains(got, "true") {
+		t.Errorf("after :insert, p(a, c) = %q", got)
+	}
+
+	// Second update reuses the handle: no re-materialization.
+	_, msg = s.command(":retract e(a, b)")
+	if strings.Contains(msg, "materialized") || !strings.Contains(msg, "rows out") {
+		t.Fatalf(":retract = %q", msg)
+	}
+	if got := s.statement("?- p(a, c)."); !strings.Contains(got, "false") {
+		t.Errorf("after :retract, p(a, c) = %q", got)
+	}
+	if got := s.statement("?- p(b, c)."); !strings.Contains(got, "true") {
+		t.Errorf("after :retract, p(b, c) = %q", got)
+	}
+
+	// A plain statement invalidates the handle; the next :insert
+	// rebuilds it against the updated session.
+	s.statement("q(X) :- p(X, c).")
+	if s.handle != nil {
+		t.Fatal("statement did not invalidate the handle")
+	}
+	_, msg = s.command(":insert e(c, d)")
+	if !strings.Contains(msg, "materialized") {
+		t.Fatalf("handle not rebuilt: %q", msg)
+	}
+	if got := s.statement("?- q(b)."); !strings.Contains(got, "true") {
+		t.Errorf("after rebuild, q(b) = %q", got)
+	}
+
+	if _, msg := s.command(":insert"); !strings.Contains(msg, "usage") {
+		t.Errorf("bare :insert = %q", msg)
+	}
+	if _, msg := s.command(":insert e(X, b)"); !strings.Contains(msg, "error") {
+		t.Errorf("non-ground :insert = %q", msg)
+	}
+}

@@ -119,10 +119,16 @@ type Relation struct {
 	set   rowSet
 	// indexes maps a column bitmask to its persistent index.
 	indexes map[uint64]*relIndex
+	// counts, when non-nil, is the per-row derivation-count column used
+	// by incremental view maintenance (counts.go). Kept aligned with the
+	// slab: AddRow appends a zero for each new row.
+	counts []int32
 	// strs lazily materializes rows for the string-facing Tuples().
 	strs    []Tuple
 	scratch Row
-	stats   StorageStats
+	// newIDBuf is DeleteRows' reusable old-ID → new-ID map.
+	newIDBuf []int32
+	stats    StorageStats
 	// writing asserts the concurrency contract above: set while AddRow
 	// mutates, checked by Probe.
 	writing atomic.Bool
@@ -180,6 +186,9 @@ func (r *Relation) AddRow(row Row) bool {
 		r.cols[c] = append(r.cols[c], row[c])
 	}
 	r.n++
+	if r.counts != nil {
+		r.counts = append(r.counts, 0)
+	}
 	r.set.insert(id, h)
 	for _, idx := range r.indexes {
 		r.scratch = idx.add(r, id, r.scratch)
@@ -360,6 +369,9 @@ func (r *Relation) Clone() *Relation {
 		table:  append([]int32(nil), r.set.table...),
 		hashes: append([]uint64(nil), r.set.hashes...),
 		n:      r.set.n,
+	}
+	if r.counts != nil {
+		out.counts = append([]int32(nil), r.counts...)
 	}
 	// Share the immutable materialized prefix; the capacity cap forces
 	// copy-on-append so clones never write into each other.

@@ -66,6 +66,59 @@ func (s *rowSet) grow() {
 	}
 }
 
+// remap rewrites the set after an order-preserving compaction: row IDs
+// in [first, oldN) shift or die per newID, earlier IDs are untouched.
+// Because row hashes do not change, a surviving entry's probe position
+// is already correct, so only the affected IDs' slots are visited: each
+// is located by probing from its stored hash (cost proportional to the
+// rows that moved, not the table), renumbered or cleared, and each
+// cleared hole's following probe cluster is re-homed (classic
+// linear-probe deletion) so no survivor is stranded behind an empty
+// slot. The hash array is compacted alongside. No row is rehashed.
+func (s *rowSet) remap(newID []int32, first, oldN, w int) {
+	mask := uint64(len(s.table) - 1)
+	var slotBuf [256]int32
+	slots := slotBuf[:0]
+	// Locate before mutating: clearing a slot would break the probe
+	// chains later lookups walk.
+	for id := first; id < oldN; id++ {
+		j := s.hashes[id] & mask
+		for s.table[j] != int32(id)+1 {
+			j = (j + 1) & mask
+		}
+		slots = append(slots, int32(j))
+	}
+	var holeBuf [64]int32
+	holes := holeBuf[:0]
+	for k, id := 0, first; id < oldN; k, id = k+1, id+1 {
+		j := slots[k]
+		if nid := newID[id]; nid >= 0 {
+			s.table[j] = nid + 1
+		} else {
+			s.table[j] = 0
+			holes = append(holes, j)
+		}
+	}
+	for id := first; id < oldN; id++ {
+		if nid := newID[id]; nid >= 0 {
+			s.hashes[nid] = s.hashes[id]
+		}
+	}
+	s.hashes = s.hashes[:w]
+	s.n = w
+	m := len(s.table) - 1
+	for _, hi := range holes {
+		if s.table[hi] != 0 {
+			continue // an earlier repair re-homed an entry here
+		}
+		for j := (int(hi) + 1) & m; s.table[j] != 0; j = (j + 1) & m {
+			id := s.table[j] - 1
+			s.table[j] = 0
+			s.place(id, s.hashes[id])
+		}
+	}
+}
+
 // relIndex is a persistent hash index of a relation on the column set
 // cols: projection key → ascending row IDs. It is built once by a full
 // scan and thereafter maintained incrementally — every AddRow appends
@@ -177,6 +230,54 @@ func (idx *relIndex) grow() {
 	idx.table = make([]int32, size)
 	for e := range idx.entries {
 		idx.place(int32(e), idx.entries[e].hash)
+	}
+}
+
+// remap rewrites the index after an order-preserving compaction of its
+// relation: each posting list is filtered and renumbered through newID
+// (old row ID → new row ID, -1 = deleted; identity below first) —
+// order preservation keeps the lists ascending, and ascending order
+// means postings below first need no visit at all — entries whose
+// lists empty out are dropped, and only then is the table re-placed
+// from the entries' stored key hashes. No row is projected or rehashed.
+func (idx *relIndex) remap(newID []int32, first int) {
+	emptied := 0
+	for ei := range idx.entries {
+		e := &idx.entries[ei]
+		rows := e.rows
+		a := sort.Search(len(rows), func(i int) bool { return int(rows[i]) >= first })
+		if a == len(rows) {
+			continue
+		}
+		w := a
+		for _, rid := range rows[a:] {
+			if nid := newID[rid]; nid >= 0 {
+				rows[w] = nid
+				w++
+			}
+		}
+		e.rows = rows[:w]
+		if w == 0 {
+			emptied++
+		}
+	}
+	if emptied == 0 {
+		// Every key survived: entry indices are unchanged, so the table
+		// is already correct.
+		return
+	}
+	live := idx.entries[:0]
+	for ei := range idx.entries {
+		if len(idx.entries[ei].rows) > 0 {
+			live = append(live, idx.entries[ei])
+		}
+	}
+	idx.entries = live
+	for i := range idx.table {
+		idx.table[i] = 0
+	}
+	for ei := range idx.entries {
+		idx.place(int32(ei), idx.entries[ei].hash)
 	}
 }
 

@@ -107,6 +107,13 @@ type evaluator struct {
 	// boundary; advance turns growth beyond it into delta windows.
 	frozen map[string]int
 
+	// planMemo short-circuits the plan-cache probe per (rule, deltaPos):
+	// while the stats epoch is unchanged the planner would return the
+	// same plan anyway, so the memo skips hashing the (long) fingerprint
+	// string every round. Indexed [rule][deltaPos+1]; memo hits still
+	// count as planner cache hits so Stats are unchanged.
+	planMemo [][]planMemoEntry
+
 	// probeHits accumulates the workers' index-probe counts; folded into
 	// Stats.IndexHits by Eval.
 	probeHits uint64
@@ -181,6 +188,7 @@ func (e *evaluator) fixpoint(ruleSet []int) error {
 			return err
 		}
 		mergeErr := e.merge(tasks, results)
+		e.recycle(results)
 		e.stats.Iterations++
 		if mergeErr != nil {
 			return mergeErr
@@ -256,6 +264,13 @@ func (e *evaluator) buildTasks(ruleSet []int, delta map[string]window) []task {
 	return tasks
 }
 
+// planMemoEntry is one memoized (rule, deltaPos) plan and the epoch it
+// was cached under.
+type planMemoEntry struct {
+	p     *plan.Plan
+	epoch uint64
+}
+
 // planTasks attaches a plan to every task, single-threaded between
 // rounds. The stats epoch is read once at the round boundary, so every
 // task of the round keys the plan cache against the same epoch; cache
@@ -264,9 +279,25 @@ func (e *evaluator) buildTasks(ruleSet []int, delta map[string]window) []task {
 // canonical task order so trips are worker-count independent.
 func (e *evaluator) planTasks(tasks []task) error {
 	epoch := e.total.StatsEpoch()
+	if e.planMemo == nil {
+		e.planMemo = make([][]planMemoEntry, len(e.rules))
+	}
 	for ti := range tasks {
 		t := &tasks[ti]
 		r := &e.rules[t.rule]
+		mrow := e.planMemo[t.rule]
+		if mrow == nil {
+			mrow = make([]planMemoEntry, len(r.body)+1)
+			e.planMemo[t.rule] = mrow
+		}
+		me := &mrow[t.deltaPos+1]
+		if me.p != nil && me.epoch == epoch {
+			// The planner's cache would return the same plan; count the
+			// hit without re-hashing the fingerprint.
+			t.p = me.p
+			e.planner.Hits++
+			continue
+		}
 		p, cached := e.planner.Plan(plan.Request{
 			Atoms:       r.body,
 			Fingerprint: r.fp,
@@ -277,6 +308,7 @@ func (e *evaluator) planTasks(tasks []task) error {
 			Epoch:       epoch,
 		})
 		t.p = p
+		me.p, me.epoch = p, epoch
 		if !cached {
 			if err := e.meter.Charge("eval/plan", guard.Plans, 1); err != nil {
 				return err
@@ -347,6 +379,22 @@ func (e *evaluator) merge(tasks []task, results []taskResult) error {
 		}
 	}
 	return e.limitErr
+}
+
+// recycle hands the round's result buffers back to the workers' free
+// lists, round-robin, so the next round's tasks write into them instead
+// of allocating. Runs single-threaded between rounds; the merge has
+// already copied every row it kept into the store.
+func (e *evaluator) recycle(results []taskResult) {
+	if len(e.matchers) == 0 {
+		return
+	}
+	for i := range results {
+		if b := results[i].rows; cap(b) > 0 {
+			m := e.matchers[i%len(e.matchers)]
+			m.free = append(m.free, b)
+		}
+	}
 }
 
 // recordTrace folds one task's per-step row counts into its plan's

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"fmt"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/guard"
+)
+
+// Incremental view maintenance entry points. The algorithm lives in
+// internal/ivm, which evaluates through this package's machinery; the
+// registration indirection below breaks the cycle the same way the
+// static optimizer's hook does (optimize.go).
+
+// UpdateStats reports the work one incremental update (Insert or
+// Retract) performed, the maintenance analogue of Stats. Every counter
+// is accumulated at single-threaded points in canonical order, so —
+// like Stats — an update's UpdateStats are bit-identical for every
+// worker count.
+type UpdateStats struct {
+	// RowsInserted counts rows newly added to the live database:
+	// admitted base facts plus derived rows whose support went 0 →
+	// positive.
+	RowsInserted int
+	// RowsDeleted counts rows physically removed: retracted base facts
+	// plus derived rows whose support reached zero and survived no
+	// rederivation.
+	RowsDeleted int
+	// Rederived counts overdeleted rows the rederivation pass revived
+	// (they kept alternative support not routed through a deleted row).
+	Rederived int
+	// CountUpdates counts support-count mutations applied — the "rows
+	// touched" measure of an update, charged against the budget's
+	// Maintained dimension.
+	CountUpdates int64
+	// StrataRun counts strata whose rules actually fired; unaffected
+	// strata are skipped wholesale.
+	StrataRun int
+	// Rounds counts delta rounds executed across all strata run.
+	Rounds int
+	// Firings counts rule-body matches enumerated by the update.
+	Firings int
+	// Budget is the maintainer's cumulative guard consumption after the
+	// update (shared across the handle's lifetime, like one evaluation).
+	Budget guard.Usage
+}
+
+// String renders the update account on one line, REPL-style.
+func (u UpdateStats) String() string {
+	return fmt.Sprintf("%d rows in, %d rows out, %d rederived, %d count updates, %d strata, %d rounds, %d firings",
+		u.RowsInserted, u.RowsDeleted, u.Rederived, u.CountUpdates, u.StrataRun, u.Rounds, u.Firings)
+}
+
+// Maintainer is the incremental-maintenance implementation installed by
+// internal/ivm. Facts are ground atoms; both methods run the counting
+// delta algorithm over the affected strata only and leave the live
+// database at exactly the fixpoint a from-scratch evaluation of
+// (base ± facts) would produce.
+type Maintainer interface {
+	Insert(facts []ast.Atom) (UpdateStats, error)
+	Retract(facts []ast.Atom) (UpdateStats, error)
+	// DB returns the live maintained database (base facts plus every
+	// derived fact, with support counts on IDB relations). Callers must
+	// treat it as read-only; it is only valid between updates.
+	DB() *database.DB
+}
+
+// MaintainerFactory builds a Maintainer: it runs the initial fixpoint
+// of prog over edb (reporting its Stats) and attaches support counts.
+type MaintainerFactory func(prog *ast.Program, edb *database.DB, opts Options) (Maintainer, Stats, error)
+
+// maintainerFactory is the installed hook; nil until internal/ivm is
+// imported.
+var maintainerFactory MaintainerFactory
+
+// RegisterMaintainer installs the incremental maintenance factory.
+// Called from internal/ivm's init; last registration wins.
+func RegisterMaintainer(f MaintainerFactory) { maintainerFactory = f }
+
+// Handle is a maintained materialization of prog over a base database:
+// the initial fixpoint is computed once, and Insert/Retract update it
+// incrementally — delta rounds over the affected strata instead of a
+// re-fixpoint, with per-row support counts driving retraction. At every
+// point the live database, each update's UpdateStats, and any budget
+// trip are bit-identical across worker counts, matching the engine's
+// evaluation contract.
+type Handle struct {
+	m Maintainer
+}
+
+// Insert adds ground facts to the base database and propagates them
+// through the materialization. Unknown predicates create new base
+// relations. A budget trip returns a *guard.LimitError; the handle is
+// then no longer consistent and must be discarded.
+func (h *Handle) Insert(facts []ast.Atom) (UpdateStats, error) { return h.m.Insert(facts) }
+
+// Retract removes ground facts from the base database and propagates
+// the removal: support counts are decremented, rows losing all support
+// are deleted, and rederivation revives rows with alternative
+// derivations. Retracting an absent fact is a no-op. A budget trip
+// returns a *guard.LimitError; the handle is then no longer consistent
+// and must be discarded.
+func (h *Handle) Retract(facts []ast.Atom) (UpdateStats, error) { return h.m.Retract(facts) }
+
+// DB returns the live maintained database. Read-only; valid between
+// updates.
+func (h *Handle) DB() *database.DB { return h.m.DB() }
+
+// Maintain computes the initial fixpoint of prog over edb and returns a
+// handle for incremental updates, plus the initial evaluation's Stats.
+// The input database is not modified. It requires internal/ivm to be
+// linked in (it registers itself via RegisterMaintainer) and rejects
+// programs outside the maintainable fragment — rules whose head
+// variables the body does not bind (active-domain semantics would make
+// retraction non-local).
+func Maintain(prog *ast.Program, edb *database.DB, opts Options) (*Handle, Stats, error) {
+	if maintainerFactory == nil {
+		return nil, Stats{}, fmt.Errorf("eval: Maintain requires the incremental maintainer (import datalogeq/internal/ivm)")
+	}
+	m, stats, err := maintainerFactory(prog, edb, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return &Handle{m: m}, stats, nil
+}

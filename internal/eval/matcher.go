@@ -29,9 +29,18 @@ type matcher struct {
 	headRow database.Row
 
 	// out and count buffer the current task's emissions: head rows
-	// flattened at the head arity, and the firing count.
+	// flattened at the head arity, and the firing count. out is taken
+	// from free at task start and handed off in the taskResult; the
+	// round engine returns buffers after its merge, so steady-state
+	// rounds allocate no result buffers.
 	out   []uint32
 	count int
+
+	// free holds result buffers returned by the round engine, reusable
+	// by this worker's next tasks. Only the owning worker pops (during
+	// the parallel phase) and only the single-threaded recycle step
+	// pushes (between rounds), so no locking is needed.
+	free [][]uint32
 }
 
 func (e *evaluator) newMatcher() *matcher {
@@ -42,11 +51,18 @@ func (e *evaluator) newMatcher() *matcher {
 	return m
 }
 
-// runTask fires one task and returns its buffered output. The scratch
-// buffer is reused across tasks; the result gets a right-sized copy.
+// runTask fires one task and returns its buffered output. The output
+// buffer comes from the worker's free list (the round engine recycles
+// result buffers after each merge) and is handed off in the result, so
+// stable rounds reuse the same few buffers instead of allocating.
 func (m *matcher) runTask(t task) taskResult {
 	m.rule = &m.e.rules[t.rule]
-	m.out = m.out[:0]
+	if n := len(m.free); n > 0 {
+		m.out = m.free[n-1][:0]
+		m.free = m.free[:n-1]
+	} else {
+		m.out = nil
+	}
 	m.count = 0
 	var trace []uint64
 	if m.e.explain {
@@ -54,7 +70,9 @@ func (m *matcher) runTask(t task) taskResult {
 	}
 	m.x.Rows = trace
 	m.x.Run(t.p, plan.Window{Lo: t.w.lo, Hi: t.w.hi})
-	return taskResult{rows: append([]uint32(nil), m.out...), count: m.count, trace: trace}
+	rows := m.out
+	m.out = nil
+	return taskResult{rows: rows, count: m.count, trace: trace}
 }
 
 // emitHead instantiates the head under the rule's environment and

@@ -58,6 +58,12 @@ const (
 	// Plans counts query plans constructed by eval's cost-based planner
 	// (plan-cache misses; cache hits are free).
 	Plans
+	// Maintained counts support-count mutations applied by incremental
+	// view maintenance (internal/ivm): one per derivation-count
+	// increment or decrement admitted at the single-threaded merge
+	// points, so an update that fans out into a large re-derivation
+	// cascade trips deterministically at every worker count.
+	Maintained
 
 	numResources
 )
@@ -76,6 +82,8 @@ func (r Resource) String() string {
 		return "canon"
 	case Plans:
 		return "plans"
+	case Maintained:
+		return "maintained"
 	}
 	return fmt.Sprintf("Resource(%d)", int(r))
 }
@@ -102,6 +110,12 @@ type Budget struct {
 	// never stabilize), which would otherwise hide planning cost inside
 	// every round.
 	MaxPlans int64
+	// MaxMaintained bounds support-count mutations per incremental
+	// update; 0 = unlimited. A trip here catches a "small" update whose
+	// deletion or re-derivation cascade touches a large fraction of the
+	// database — the case where a from-scratch re-fixpoint would have
+	// been cheaper.
+	MaxMaintained int64
 
 	// deadline, when nonzero, is the absolute wall deadline pinned by
 	// Started; it survives copying into sub-phase meters.
@@ -115,7 +129,7 @@ type Budget struct {
 func (b Budget) Active() bool {
 	return b.MaxWall > 0 || b.MaxFacts > 0 || b.MaxStates > 0 ||
 		b.MaxSteps > 0 || b.MaxCanon > 0 || b.MaxPlans > 0 ||
-		!b.deadline.IsZero() || b.fault != nil
+		b.MaxMaintained > 0 || !b.deadline.IsZero() || b.fault != nil
 }
 
 // Started pins the wall-clock deadline at now + MaxWall. Entry points
@@ -144,6 +158,8 @@ func (b Budget) limit(r Resource) int64 {
 		return b.MaxCanon
 	case Plans:
 		return b.MaxPlans
+	case Maintained:
+		return b.MaxMaintained
 	}
 	return 0
 }
@@ -151,24 +167,26 @@ func (b Budget) limit(r Resource) int64 {
 // Usage is a progress snapshot: the resources consumed by one meter (or
 // the sum over several phase meters).
 type Usage struct {
-	Wall   time.Duration
-	Facts  int64
-	States int64
-	Steps  int64
-	Canon  int64
-	Plans  int64
+	Wall       time.Duration
+	Facts      int64
+	States     int64
+	Steps      int64
+	Canon      int64
+	Plans      int64
+	Maintained int64
 }
 
 // Add returns the field-wise sum of two usages; phases run
 // sequentially, so wall times add.
 func (u Usage) Add(v Usage) Usage {
 	return Usage{
-		Wall:   u.Wall + v.Wall,
-		Facts:  u.Facts + v.Facts,
-		States: u.States + v.States,
-		Steps:  u.Steps + v.Steps,
-		Canon:  u.Canon + v.Canon,
-		Plans:  u.Plans + v.Plans,
+		Wall:       u.Wall + v.Wall,
+		Facts:      u.Facts + v.Facts,
+		States:     u.States + v.States,
+		Steps:      u.Steps + v.Steps,
+		Canon:      u.Canon + v.Canon,
+		Plans:      u.Plans + v.Plans,
+		Maintained: u.Maintained + v.Maintained,
 	}
 }
 
@@ -190,6 +208,9 @@ func (u Usage) String() string {
 	}
 	if u.Plans > 0 {
 		parts = append(parts, fmt.Sprintf("plans=%d", u.Plans))
+	}
+	if u.Maintained > 0 {
+		parts = append(parts, fmt.Sprintf("maintained=%d", u.Maintained))
 	}
 	if u.Wall > 0 {
 		parts = append(parts, fmt.Sprintf("wall=%s", u.Wall.Round(time.Microsecond)))
@@ -253,6 +274,8 @@ func (e *LimitError) count() int64 {
 		return e.Usage.Canon
 	case Plans:
 		return e.Usage.Plans
+	case Maintained:
+		return e.Usage.Maintained
 	}
 	return 0
 }
@@ -290,12 +313,13 @@ func (m *Meter) Usage() Usage {
 		return Usage{}
 	}
 	return Usage{
-		Wall:   time.Since(m.start),
-		Facts:  m.counts[Facts].Load(),
-		States: m.counts[States].Load(),
-		Steps:  m.counts[Steps].Load(),
-		Canon:  m.counts[Canon].Load(),
-		Plans:  m.counts[Plans].Load(),
+		Wall:       time.Since(m.start),
+		Facts:      m.counts[Facts].Load(),
+		States:     m.counts[States].Load(),
+		Steps:      m.counts[Steps].Load(),
+		Canon:      m.counts[Canon].Load(),
+		Plans:      m.counts[Plans].Load(),
+		Maintained: m.counts[Maintained].Load(),
 	}
 }
 

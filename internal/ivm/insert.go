@@ -1,0 +1,190 @@
+package ivm
+
+import (
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/plan"
+)
+
+// Insert: counting-based insert maintenance. New base facts are
+// admitted, then each stratum (callees-first) runs semi-naive delta
+// rounds whose per-atom windows enumerate every match containing at
+// least one new row exactly once — atom i ranges over the rows new this
+// round, atoms before i over the previous frontier, atoms after i over
+// everything up to the round snapshot. Each match increments its head
+// row's support; a row appearing for the first time is added to the
+// live database. Because the enumeration is exactly-once, counts stay
+// exact and a later Retract can trust them.
+
+// admission is one validated fact of an update batch.
+type admission struct {
+	pred string
+	row  database.Row
+}
+
+func (m *maint) Insert(facts []ast.Atom) (eval.UpdateStats, error) {
+	var us eval.UpdateStats
+	if err := m.checkUsable(); err != nil {
+		return us, err
+	}
+	adms, err := m.validate(facts)
+	if err != nil {
+		return us, err
+	}
+	meter := m.meter()
+	m.stop.Store(false)
+	m.tripErr = nil
+
+	// Lengths before admission: everything at or past these marks is
+	// this update's delta. New predicates admitted below default to 0.
+	preLens := make(map[string]int)
+	for _, p := range m.live.Preds() {
+		preLens[p] = m.live.Lookup(p).Len()
+	}
+
+	for _, ad := range adms {
+		if !m.base.Relation(ad.pred, len(ad.row)).AddRow(ad.row) {
+			continue // already asserted; sets, not bags
+		}
+		lr := m.live.Relation(ad.pred, len(ad.row))
+		if m.counted[ad.pred] {
+			lr.EnableCounts()
+		}
+		if id := lr.RowID(ad.row); id >= 0 {
+			// Already derived: external support only bumps the count.
+			if m.counted[ad.pred] {
+				lr.AddCountAt(int(id), 1)
+				us.CountUpdates++
+				if err := m.charge(meter, "ivm/insert"); err != nil {
+					return m.fail(&us, meter, err)
+				}
+			}
+			continue
+		}
+		lr.AddRow(ad.row)
+		us.RowsInserted++
+		if m.counted[ad.pred] {
+			lr.AddCountAt(lr.Len()-1, 1)
+			us.CountUpdates++
+		}
+		if err := m.charge(meter, "ivm/insert"); err != nil {
+			return m.fail(&us, meter, err)
+		}
+	}
+
+	m.track()
+	u := m.newUpdate(meter, &us)
+	start := make([]int, len(m.trackRels))
+	for i, name := range m.trackNames {
+		start[i] = preLens[name]
+	}
+	if err := u.propagateInserts(start); err != nil {
+		return m.fail(&us, meter, err)
+	}
+	us.Budget = meter.Usage()
+	return us, nil
+}
+
+// validate interns and checks every fact before any mutation, so a bad
+// batch leaves the handle untouched.
+func (m *maint) validate(facts []ast.Atom) ([]admission, error) {
+	adms := make([]admission, 0, len(facts))
+	for _, a := range facts {
+		pred, row, err := m.groundRow(a)
+		if err != nil {
+			return nil, err
+		}
+		adms = append(adms, admission{pred, row})
+	}
+	return adms, nil
+}
+
+// fail poisons the handle: the live database is mid-update.
+func (m *maint) fail(us *eval.UpdateStats, meter *guard.Meter, err error) (eval.UpdateStats, error) {
+	m.broken = err
+	us.Budget = meter.Usage()
+	return *us, err
+}
+
+// propagateInserts runs the per-stratum delta rounds. start holds the
+// pre-admission lengths per tracked relation: for each stratum the
+// first round's delta is everything admitted or derived since the
+// update began — earlier strata's additions included — and later rounds
+// narrow to the rows the previous round appended.
+func (u *update) propagateInserts(start []int) error {
+	m := u.m
+	u.mode = updInsert
+	if cap(u.prev) < len(start) {
+		u.prev = make([]int, len(start))
+		u.cur = make([]int, len(start))
+	}
+	prev, cur := u.prev[:len(start)], u.cur[:len(start)]
+	for _, s := range m.strata {
+		copy(prev, start)
+		fired := false
+		for {
+			if err := u.meter.CheckWall("ivm/insert"); err != nil {
+				return err
+			}
+			if m.opts.Ctx != nil {
+				if err := m.opts.Ctx.Err(); err != nil {
+					return err
+				}
+			}
+			for i, rel := range m.trackRels {
+				cur[i] = rel.Len()
+			}
+			epoch := m.live.StatsEpoch()
+			tasks := 0
+			for _, ri := range s.Rules {
+				r := &m.rules[ri]
+				for ai := range r.body {
+					ti := m.atomIdx[ri][ai]
+					if ti < 0 || prev[ti] >= cur[ti] {
+						continue
+					}
+					tasks++
+					p, err := m.deltaPlan(ri, ai, epoch, u.meter)
+					if err != nil {
+						return err
+					}
+					if cap(u.bounds) < len(r.body) {
+						u.bounds = make([]plan.Window, len(r.body))
+					}
+					bounds := u.bounds[:len(r.body)]
+					for aj := range r.body {
+						tj := m.atomIdx[ri][aj]
+						switch {
+						case tj < 0:
+							bounds[aj] = plan.Window{}
+						case aj < ai:
+							bounds[aj] = plan.Window{Lo: 0, Hi: prev[tj]}
+						case aj == ai:
+							bounds[aj] = plan.Window{Lo: prev[tj], Hi: cur[tj]}
+						default:
+							bounds[aj] = plan.Window{Lo: 0, Hi: cur[tj]}
+						}
+					}
+					u.rule = r
+					u.headRel = m.headRels[ri]
+					u.x.RunBounded(p, bounds)
+					if m.tripErr != nil {
+						return m.tripErr
+					}
+				}
+			}
+			if tasks == 0 {
+				break
+			}
+			u.us.Rounds++
+			fired = true
+			copy(prev, cur)
+		}
+		if fired {
+			u.us.StrataRun++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,509 @@
+// Package ivm is the counting-based incremental view maintenance layer:
+// it keeps the least fixpoint Q_Π(D) of a program materialized while
+// the base database D changes, without re-running the fixpoint.
+//
+// The materialization carries one support count per derived row —
+// the number of rule-body matches deriving it, plus one if the fact is
+// asserted in the base database. Inserts run semi-naive delta rounds
+// over the affected strata only (ast.Program.Strata, callees-first),
+// with per-atom row-ID windows giving an exactly-once enumeration of
+// the new matches, so counts stay exact. Retraction is
+// delete-and-rederive with counts: killed matches decrement their head
+// support exactly once (scattered deleted rows are joined through
+// residual plans with row-exclusion filters); nonrecursive strata
+// delete precisely the rows whose support reaches zero, while recursive
+// strata overdelete transitively and then revive every overdeleted row
+// that kept support — the count left after overdeletion is exactly the
+// number of derivations untouched by the deletion, which makes the
+// classic DRed rederivation query a simple count>0 test. Physical
+// deletion is deferred to one compaction at the end of the update, so
+// the cascade enumerates against intact slabs.
+//
+// Every update runs single-threaded in canonical order (strata in
+// topological order, rules ascending, body positions ascending,
+// frontier rows in kill order), and all admission — each row insertion,
+// deletion, and support-count mutation — is charged to the budget's
+// Maintained dimension at those points, so the live database, each
+// update's UpdateStats, and any budget trip are bit-identical for every
+// worker count, extending the engine's evaluation contract to
+// maintenance.
+//
+// The package registers itself with eval.RegisterMaintainer; use
+// eval.Maintain to construct a handle.
+package ivm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/plan"
+)
+
+func init() {
+	eval.RegisterMaintainer(func(prog *ast.Program, edb *database.DB, opts eval.Options) (eval.Maintainer, eval.Stats, error) {
+		return newMaint(prog, edb, opts)
+	})
+}
+
+// harg is one compiled head argument: an interned constant or a body
+// slot (the maintainable fragment has no unbound head variables).
+type harg struct {
+	isConst bool
+	id      uint32
+	slot    int
+}
+
+// mrule is a rule lowered to slot form for maintenance: the planner's
+// body atoms plus a head template instantiated per match.
+type mrule struct {
+	headPred  string
+	headArity int
+	head      []harg
+	body      []plan.Atom
+	headSlots []int
+	nvars     int
+	fp        string
+	// bindSet is scratch for binding a delta row into the environment:
+	// one flag per slot, reused across calls.
+	bindSet []bool
+}
+
+// maint is the maintained materialization behind an eval.Handle.
+type maint struct {
+	prog   *ast.Program
+	opts   eval.Options
+	rules  []mrule
+	strata []ast.Stratum
+	// stratumRecursive[pred] reports whether pred's defining stratum is
+	// recursive — the retraction-side overdelete/exact-count switch.
+	stratumRecursive map[string]bool
+	// counted marks the IDB (head) predicates, whose live relations
+	// carry support counts.
+	counted map[string]bool
+
+	// base is the asserted database: the facts the user has inserted
+	// and not retracted, of any predicate. live is base plus every
+	// derived fact, with counts on IDB relations.
+	base *database.DB
+	live *database.DB
+
+	// planner carries the plan cache across updates: rule fingerprints
+	// are stable, so a stable store replans nothing between updates.
+	planner *plan.Planner
+	// deltaMemo and resMemo short-circuit the planner's string-keyed
+	// cache per (rule, body position): on an epoch hit the plan (and,
+	// for residual plans, the per-step relations and skip masks) is
+	// returned without hashing anything.
+	deltaMemo [][]deltaEntry
+	resMemo   [][]resEntry
+	// headRels[ri] is rule ri's head relation in the live store.
+	headRels []*database.Relation
+	// bodyRels[ri][ai] is the live relation of rule ri's body atom ai
+	// (created empty if the predicate has no facts yet).
+	bodyRels [][]*database.Relation
+	// strataBody[si] is the set of predicates appearing in stratum si's
+	// rule bodies; strataPreds[si] the stratum's own (head) predicates.
+	strataBody  []map[string]bool
+	strataPreds []map[string]bool
+
+	// Tracked-relation snapshot for insert propagation, rebuilt at
+	// update start: names sorted, atomIdx[ri][ai] the tracked position
+	// of rule ri's atom ai (-1 if the predicate appeared later).
+	trackNames []string
+	trackRels  []*database.Relation
+	trackIdx   map[string]int
+	atomIdx    [][]int
+
+	// upd is the pooled per-update machinery (update.go); updates are
+	// serialized per handle.
+	upd *update
+
+	// stop aborts a streaming enumeration mid-run on a budget trip; the
+	// trip error is recorded in tripErr and rethrown after the executor
+	// winds down.
+	stop    atomic.Bool
+	tripErr error
+
+	// broken poisons the handle after a budget trip or internal error:
+	// the live database may be mid-update and no longer consistent.
+	broken error
+}
+
+// newMaint runs the initial fixpoint and attaches exact support counts.
+func newMaint(prog *ast.Program, edb *database.DB, opts eval.Options) (*maint, eval.Stats, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, eval.Stats{}, err
+	}
+	rules, err := compileRules(prog)
+	if err != nil {
+		return nil, eval.Stats{}, err
+	}
+	live, stats, err := eval.Eval(prog, edb, opts)
+	if err != nil {
+		// A partial fixpoint cannot be maintained; surface the trip.
+		return nil, stats, err
+	}
+	m := &maint{
+		prog:             prog,
+		opts:             opts,
+		rules:            rules,
+		strata:           prog.Strata(),
+		stratumRecursive: make(map[string]bool),
+		counted:          make(map[string]bool),
+		base:             edb.Clone(),
+		live:             live,
+		planner:          &plan.Planner{Fixed: opts.NoPlanner},
+	}
+	for _, s := range m.strata {
+		body := make(map[string]bool)
+		preds := make(map[string]bool)
+		for _, ri := range s.Rules {
+			for _, a := range m.rules[ri].body {
+				body[a.Pred] = true
+			}
+		}
+		for _, sym := range s.Preds {
+			m.stratumRecursive[sym.Name] = s.Recursive
+			preds[sym.Name] = true
+		}
+		m.strataBody = append(m.strataBody, body)
+		m.strataPreds = append(m.strataPreds, preds)
+	}
+	m.deltaMemo = make([][]deltaEntry, len(m.rules))
+	m.resMemo = make([][]resEntry, len(m.rules))
+	m.headRels = make([]*database.Relation, len(m.rules))
+	m.bodyRels = make([][]*database.Relation, len(m.rules))
+	m.atomIdx = make([][]int, len(m.rules))
+	for ri := range m.rules {
+		r := &m.rules[ri]
+		m.counted[r.headPred] = true
+		m.headRels[ri] = m.live.Relation(r.headPred, r.headArity)
+		m.headRels[ri].EnableCounts()
+		m.deltaMemo[ri] = make([]deltaEntry, len(r.body))
+		m.resMemo[ri] = make([]resEntry, len(r.body))
+		m.bodyRels[ri] = make([]*database.Relation, len(r.body))
+		m.atomIdx[ri] = make([]int, len(r.body))
+		for ai := range r.body {
+			m.bodyRels[ri][ai] = m.live.Relation(r.body[ai].Pred, len(r.body[ai].Args))
+		}
+	}
+	m.initCounts()
+	return m, stats, nil
+}
+
+// deltaEntry and resEntry are plan-memo slots, keyed by the statistics
+// epoch they were built under.
+type deltaEntry struct {
+	p     *plan.Plan
+	epoch uint64
+}
+
+type resEntry struct {
+	p     *plan.Plan
+	epoch uint64
+	// rels resolves each step's relation; odMask and rvMask are the
+	// per-step row-phase skip masks for the overdelete and revival
+	// passes (positions before the delta atom exclude the current
+	// frontier as well, making the enumeration exactly-once).
+	rels   []*database.Relation
+	odMask []uint8
+	rvMask []uint8
+}
+
+// deltaPlan returns the semi-naive plan for rule ri with delta position
+// ai, through the per-rule memo.
+func (m *maint) deltaPlan(ri, ai int, epoch uint64, meter *guard.Meter) (*plan.Plan, error) {
+	e := &m.deltaMemo[ri][ai]
+	if e.p != nil && e.epoch == epoch {
+		m.planner.Hits++
+		return e.p, nil
+	}
+	r := &m.rules[ri]
+	p, cached := m.planner.Plan(plan.Request{
+		Atoms:       r.body,
+		Fingerprint: r.fp,
+		NumSlots:    r.nvars,
+		HeadSlots:   r.headSlots,
+		DeltaPos:    ai,
+		DB:          m.live,
+		Epoch:       epoch,
+	})
+	if !cached {
+		if err := meter.Charge("ivm/plan", guard.Plans, 1); err != nil {
+			return nil, err
+		}
+	}
+	e.p, e.epoch = p, epoch
+	return p, nil
+}
+
+// residualEntry returns the residual plan for rule ri minus atom ai,
+// with its per-step relations and skip masks, through the memo.
+func (m *maint) residualEntry(ri, ai int, epoch uint64, meter *guard.Meter) (*resEntry, error) {
+	e := &m.resMemo[ri][ai]
+	if e.p != nil && e.epoch == epoch {
+		m.planner.Hits++
+		return e, nil
+	}
+	r := &m.rules[ri]
+	p, cached := m.planner.Plan(plan.Request{
+		Atoms:       r.body,
+		Fingerprint: r.fp,
+		NumSlots:    r.nvars,
+		HeadSlots:   r.headSlots,
+		DeltaPos:    ai,
+		DB:          m.live,
+		Epoch:       epoch,
+		Residual:    true,
+	})
+	if !cached {
+		if err := meter.Charge("ivm/plan", guard.Plans, 1); err != nil {
+			return nil, err
+		}
+	}
+	e.p, e.epoch = p, epoch
+	e.rels = e.rels[:0]
+	e.odMask = e.odMask[:0]
+	e.rvMask = e.rvMask[:0]
+	for si := range p.Steps {
+		e.rels = append(e.rels, m.live.Lookup(p.Steps[si].Pred))
+		if p.Steps[si].Atom < ai {
+			e.odMask = append(e.odMask, rsFront|rsProp)
+			e.rvMask = append(e.rvMask, rsDead|rsRev)
+		} else {
+			e.odMask = append(e.odMask, rsProp)
+			e.rvMask = append(e.rvMask, rsDead)
+		}
+	}
+	return e, nil
+}
+
+// track rebuilds the tracked-relation snapshot after admission: the
+// sorted live predicate list, each rule atom's tracked position, and
+// the per-update length buffers.
+func (m *maint) track() {
+	m.trackNames = m.trackNames[:0]
+	m.trackRels = m.trackRels[:0]
+	for _, p := range m.live.Preds() {
+		m.trackNames = append(m.trackNames, p)
+		m.trackRels = append(m.trackRels, m.live.Lookup(p))
+	}
+	if m.trackIdx == nil {
+		m.trackIdx = make(map[string]int)
+	}
+	clear(m.trackIdx)
+	for i, p := range m.trackNames {
+		m.trackIdx[p] = i
+	}
+	for ri := range m.rules {
+		for ai, a := range m.rules[ri].body {
+			if ti, ok := m.trackIdx[a.Pred]; ok {
+				m.atomIdx[ri][ai] = ti
+			} else {
+				m.atomIdx[ri][ai] = -1
+			}
+		}
+	}
+}
+
+// compileRules lowers every rule and rejects programs outside the
+// maintainable fragment: a head variable the body does not bind ranges
+// over the active domain, which changes retroactively as constants come
+// and go — retraction would not be local.
+func compileRules(prog *ast.Program) ([]mrule, error) {
+	rules := make([]mrule, len(prog.Rules))
+	for ri, r := range prog.Rules {
+		cr := &rules[ri]
+		cr.headPred = r.Head.Pred
+		cr.headArity = len(r.Head.Args)
+		slots := make(map[string]int)
+		slotOf := func(name string) int {
+			s, ok := slots[name]
+			if !ok {
+				s = len(slots)
+				slots[name] = s
+			}
+			return s
+		}
+		for _, a := range r.Body {
+			pa := plan.Atom{Pred: a.Pred, Args: make([]plan.Arg, 0, len(a.Args))}
+			for _, t := range a.Args {
+				if t.Kind == ast.Const {
+					pa.Args = append(pa.Args, plan.Arg{Const: true, ID: database.Intern(t.Name)})
+				} else {
+					pa.Args = append(pa.Args, plan.Arg{Slot: slotOf(t.Name)})
+				}
+			}
+			cr.body = append(cr.body, pa)
+		}
+		for _, t := range r.Head.Args {
+			if t.Kind == ast.Const {
+				cr.head = append(cr.head, harg{isConst: true, id: database.Intern(t.Name)})
+				continue
+			}
+			s, ok := slots[t.Name]
+			if !ok {
+				return nil, fmt.Errorf("ivm: rule %d (%s): head variable %s is not bound by the body; active-domain rules cannot be maintained incrementally", ri, r.Head.Pred, t.Name)
+			}
+			cr.head = append(cr.head, harg{slot: s})
+			cr.headSlots = append(cr.headSlots, s)
+		}
+		cr.nvars = len(slots)
+		cr.fp = plan.Fingerprint(cr.body, cr.headSlots)
+		cr.bindSet = make([]bool, cr.nvars)
+	}
+	return rules, nil
+}
+
+// initCounts attaches exact support counts to the fresh fixpoint: one
+// full enumeration of every rule's matches (the same planned streaming
+// joins evaluation uses, through the handle's plan cache), plus one
+// support per base-asserted fact.
+func (m *maint) initCounts() {
+	env := make([]uint32, m.maxVars())
+	headRow := make(database.Row, 0, 8)
+	for ri := range m.rules {
+		r := &m.rules[ri]
+		rel := m.live.Relation(r.headPred, r.headArity)
+		p, _ := m.planner.Plan(plan.Request{
+			Atoms:       r.body,
+			Fingerprint: r.fp,
+			NumSlots:    r.nvars,
+			HeadSlots:   r.headSlots,
+			DeltaPos:    -1,
+			DB:          m.live,
+			Epoch:       m.live.StatsEpoch(),
+		})
+		x := plan.Exec{Env: env}
+		x.OnMatch = func() {
+			headRow = r.appendHead(headRow[:0], x.Env)
+			id := rel.RowID(headRow)
+			// Every match's head is in the fixpoint by construction.
+			rel.AddCountAt(int(id), 1)
+		}
+		x.Run(p, plan.Window{})
+		env = x.Env
+	}
+	for _, pred := range m.base.Preds() {
+		if !m.counted[pred] {
+			continue
+		}
+		br := m.base.Lookup(pred)
+		rel := m.live.Lookup(pred)
+		row := make(database.Row, 0, br.Arity())
+		for i := 0; i < br.Len(); i++ {
+			row = br.AppendRowAt(row[:0], i)
+			rel.AddCountAt(int(rel.RowID(row)), 1)
+		}
+	}
+}
+
+// maxVars returns the largest rule environment size.
+func (m *maint) maxVars() int {
+	n := 0
+	for i := range m.rules {
+		if m.rules[i].nvars > n {
+			n = m.rules[i].nvars
+		}
+	}
+	return n
+}
+
+// appendHead instantiates the rule head under env, appending to dst.
+func (r *mrule) appendHead(dst database.Row, env []uint32) database.Row {
+	for _, a := range r.head {
+		if a.isConst {
+			dst = append(dst, a.id)
+		} else {
+			dst = append(dst, env[a.slot])
+		}
+	}
+	return dst
+}
+
+// bindDelta binds body atom ai of r to slab row rid of rel: constants
+// must match, repeated slots must agree, and fresh slots are written
+// into env. Reports whether the row satisfies the atom.
+func (r *mrule) bindDelta(env []uint32, ai int, rel *database.Relation, rid int32) bool {
+	for i := range r.bindSet {
+		r.bindSet[i] = false
+	}
+	for pos, arg := range r.body[ai].Args {
+		v := rel.At(int(rid), pos)
+		if arg.Const {
+			if v != arg.ID {
+				return false
+			}
+			continue
+		}
+		if r.bindSet[arg.Slot] {
+			if env[arg.Slot] != v {
+				return false
+			}
+			continue
+		}
+		env[arg.Slot] = v
+		r.bindSet[arg.Slot] = true
+	}
+	return true
+}
+
+// DB returns the live maintained database.
+func (m *maint) DB() *database.DB { return m.live }
+
+// meter starts a fresh per-update budget meter. Each update is governed
+// like one evaluation: trips are deterministic because every charge
+// happens at a single-threaded point in canonical order.
+func (m *maint) meter() *guard.Meter {
+	b := m.opts.Budget
+	if b.MaxFacts == 0 && m.opts.MaxFacts > 0 {
+		b.MaxFacts = int64(m.opts.MaxFacts)
+	}
+	return b.Started().Meter()
+}
+
+// groundRow validates one ground fact against the program and existing
+// relations and returns its (pred, interned row).
+func (m *maint) groundRow(a ast.Atom) (string, database.Row, error) {
+	row := make(database.Row, 0, len(a.Args))
+	for _, t := range a.Args {
+		if t.Kind != ast.Const {
+			return "", nil, fmt.Errorf("ivm: fact %s is not ground", a)
+		}
+		row = append(row, database.Intern(t.Name))
+	}
+	if ar := m.prog.GoalArity(a.Pred); ar >= 0 && ar != len(a.Args) {
+		return "", nil, fmt.Errorf("ivm: fact %s has arity %d but predicate %s has arity %d in the program", a, len(a.Args), a.Pred, ar)
+	}
+	if r := m.live.Lookup(a.Pred); r != nil && r.Arity() != len(a.Args) {
+		return "", nil, fmt.Errorf("ivm: fact %s has arity %d but relation %s has arity %d", a, len(a.Args), a.Pred, r.Arity())
+	}
+	return a.Pred, row, nil
+}
+
+// checkUsable rejects updates on a poisoned handle.
+func (m *maint) checkUsable() error {
+	if m.broken != nil {
+		return fmt.Errorf("ivm: handle is no longer consistent after earlier error: %w", m.broken)
+	}
+	return nil
+}
+
+// charge records one admission (row inserted or deleted, or one support
+// count mutated) against the Maintained budget dimension. On a trip the
+// stop flag winds down any streaming enumeration and the handle is
+// poisoned by the caller.
+func (m *maint) charge(meter *guard.Meter, phase string) error {
+	if err := meter.Charge(phase, guard.Maintained, 1); err != nil {
+		m.stop.Store(true)
+		if m.tripErr == nil {
+			m.tripErr = err
+		}
+		return err
+	}
+	return nil
+}

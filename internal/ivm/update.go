@@ -1,0 +1,253 @@
+package ivm
+
+import (
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/plan"
+)
+
+// Per-update machinery shared by Insert and Retract. Updates are small
+// and frequent, so the hot loops avoid per-round allocation: row phase
+// state lives in per-relation byte arrays instead of hash sets, the
+// executor and its callbacks are built once per update, frontier
+// buffers are swapped and reset rather than reallocated, and plans come
+// from a per-(rule, position) memo that skips the planner's string-keyed
+// cache on epoch hits.
+
+// Row phase bits, per relation, allocated lazily for relations an
+// update actually touches. IDs index the pre-compaction slab, so the
+// state dies with the update.
+const (
+	// rsDead marks a killed (and not revived) row.
+	rsDead uint8 = 1 << iota
+	// rsFront marks a member of the current overdelete frontier.
+	rsFront
+	// rsProp marks an overdelete frontier member already propagated.
+	rsProp
+	// rsRev marks a member of the current revival frontier.
+	rsRev
+	// rsPending marks a revival buffered for the round boundary.
+	rsPending
+)
+
+// Executor callback modes.
+const (
+	updInsert = iota
+	updDelete
+	updRevive
+)
+
+// killRec is one killed row, recorded in kill order; the global order
+// drives deterministic frontier construction.
+type killRec struct {
+	pred string
+	rel  *database.Relation
+	rid  int32
+}
+
+// frontier is one round's worth of rows to propagate, grouped by
+// predicate in discovery order. Buffers are reset and reused.
+type frontier struct {
+	preds []string
+	rows  map[string][]int32
+	n     int
+}
+
+func newFrontier() *frontier {
+	return &frontier{rows: make(map[string][]int32)}
+}
+
+func (f *frontier) add(pred string, rid int32) {
+	rs := f.rows[pred]
+	if len(rs) == 0 {
+		f.preds = append(f.preds, pred)
+	}
+	f.rows[pred] = append(rs, rid)
+	f.n++
+}
+
+func (f *frontier) reset() {
+	for _, p := range f.preds {
+		f.rows[p] = f.rows[p][:0]
+	}
+	f.preds = f.preds[:0]
+	f.n = 0
+}
+
+// update is one Insert or Retract in flight.
+type update struct {
+	m     *maint
+	meter *guard.Meter
+	us    *eval.UpdateStats
+
+	// x is the streaming executor, reused across every task of the
+	// update; its callbacks dispatch on the fields below.
+	x       plan.Exec
+	headRow database.Row
+	mode    int
+	rule    *mrule
+	headRel *database.Relation
+	// recursive is the current stratum's recursion flag: recursive
+	// strata overdelete unconditionally, nonrecursive ones exactly.
+	recursive bool
+
+	// Retract state: per-relation row phases, the global kill order,
+	// the frontier being discovered (next kills or pending revivals),
+	// and double-buffered frontiers.
+	st         map[*database.Relation][]uint8
+	deadOrder  []killRec
+	next       *frontier
+	fa, fb     *frontier
+	stepStates [][]uint8
+	skipMask   []uint8
+
+	// Insert state: tracked-relation length snapshots.
+	prev, cur []int
+	bounds    []plan.Window
+}
+
+// newUpdate returns the handle's pooled update, reset. Updates are
+// serialized per handle, so one pooled instance (executor, frontier
+// buffers, state arrays) serves every Insert and Retract.
+func (m *maint) newUpdate(meter *guard.Meter, us *eval.UpdateStats) *update {
+	u := m.upd
+	if u == nil {
+		u = &update{m: m}
+		u.x.Env = make([]uint32, m.maxVars())
+		u.x.Stop = &m.stop
+		u.x.OnMatch = u.onMatch
+		u.headRow = make(database.Row, 0, 8)
+		u.st = make(map[*database.Relation][]uint8)
+		u.fa, u.fb = newFrontier(), newFrontier()
+		m.upd = u
+	}
+	u.meter = meter
+	u.us = us
+	// Truncate state arrays rather than dropping them: stateOf re-zeroes
+	// on next touch, reusing the allocation.
+	for rel, s := range u.st {
+		u.st[rel] = s[:0]
+	}
+	u.deadOrder = u.deadOrder[:0]
+	u.fa.reset()
+	u.fb.reset()
+	u.x.SkipRow = nil
+	return u
+}
+
+// stateOf returns rel's phase array, allocating (or re-zeroing the
+// pooled buffer) on first touch in this update.
+func (u *update) stateOf(rel *database.Relation) []uint8 {
+	s := u.st[rel]
+	if len(s) == 0 {
+		n := rel.Len()
+		if cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = 0
+			}
+		} else {
+			s = make([]uint8, n)
+		}
+		u.st[rel] = s
+	}
+	return s
+}
+
+// kill marks a row dead, recording it in the global kill order.
+// Reports whether the row was newly killed.
+func (u *update) kill(pred string, rel *database.Relation, rid int32) bool {
+	s := u.stateOf(rel)
+	if s[rid]&rsDead != 0 {
+		return false
+	}
+	s[rid] |= rsDead
+	u.deadOrder = append(u.deadOrder, killRec{pred, rel, rid})
+	return true
+}
+
+func (u *update) isDead(rel *database.Relation, rid int32) bool {
+	s := u.st[rel]
+	return len(s) != 0 && s[rid]&rsDead != 0
+}
+
+// prepTask points the executor's row filter at one task's step
+// relations and skip masks (from the residual-plan memo entry).
+func (u *update) prepTask(e *resEntry, mask []uint8) {
+	u.skipMask = mask
+	if cap(u.stepStates) < len(e.rels) {
+		u.stepStates = make([][]uint8, len(e.rels))
+	}
+	u.stepStates = u.stepStates[:len(e.rels)]
+	for i, rel := range e.rels {
+		u.stepStates[i] = nil
+		if rel != nil {
+			// A zero-length entry is a pooled buffer from an earlier
+			// update, not state: treat it as untouched.
+			if s := u.st[rel]; len(s) != 0 {
+				u.stepStates[i] = s
+			}
+		}
+	}
+}
+
+// skipRow is the executor's per-candidate-row filter: skip when the
+// row's phase intersects the step's skip mask. Untouched relations have
+// no state and nothing to skip.
+func (u *update) skipRow(si int, rid int32) bool {
+	s := u.stepStates[si]
+	return s != nil && s[rid]&u.skipMask[si] != 0
+}
+
+// onMatch handles one complete body match, dispatching on the update
+// phase: insert propagation adds support (and rows), overdelete removes
+// support and kills, revival restores support and buffers revivals.
+func (u *update) onMatch() {
+	if u.m.stop.Load() {
+		return
+	}
+	u.us.Firings++
+	u.headRow = u.rule.appendHead(u.headRow[:0], u.x.Env)
+	rel := u.headRel
+	switch u.mode {
+	case updInsert:
+		if id := rel.RowID(u.headRow); id >= 0 {
+			rel.AddCountAt(int(id), 1)
+			u.us.CountUpdates++
+			u.m.charge(u.meter, "ivm/insert")
+			return
+		}
+		rel.AddRow(u.headRow)
+		rel.AddCountAt(rel.Len()-1, 1)
+		u.us.RowsInserted++
+		u.us.CountUpdates++
+		u.m.charge(u.meter, "ivm/insert")
+	case updDelete:
+		// The match's head is in the fixpoint by construction: every
+		// body row was, before this update, a fixpoint row.
+		hid := rel.RowID(u.headRow)
+		c := rel.AddCountAt(int(hid), -1)
+		u.us.CountUpdates++
+		u.m.charge(u.meter, "ivm/retract")
+		s := u.stateOf(rel)
+		if s[hid]&rsDead != 0 {
+			return
+		}
+		if u.recursive || c == 0 {
+			s[hid] |= rsDead
+			u.deadOrder = append(u.deadOrder, killRec{u.rule.headPred, rel, hid})
+			u.next.add(u.rule.headPred, hid)
+		}
+	case updRevive:
+		hid := rel.RowID(u.headRow)
+		rel.AddCountAt(int(hid), 1)
+		u.us.CountUpdates++
+		u.m.charge(u.meter, "ivm/retract")
+		s := u.stateOf(rel)
+		if s[hid]&(rsDead|rsPending) == rsDead {
+			s[hid] |= rsPending
+			u.next.add(u.rule.headPred, hid)
+		}
+	}
+}

@@ -33,6 +33,12 @@ type Exec struct {
 	// binding counts (explain instrumentation): Rows[i] += 1 for every
 	// row of step i that passes its checks.
 	Rows []uint64
+	// SkipRow, when non-nil, is consulted once per candidate row before
+	// its filters run: returning true excludes slab row rid of step si
+	// from the enumeration. Incremental maintenance uses it to subtract
+	// scattered row-ID sets (deleted or not-yet-revived rows) that no
+	// contiguous window can express. Nil costs one pointer check per row.
+	SkipRow func(si int, rid int32) bool
 
 	// Probes counts index probes issued; the caller folds it into its
 	// index-hit statistics after the parallel phase.
@@ -70,10 +76,29 @@ func (x *Exec) Run(p *Plan, w Window) {
 	for len(x.Env) < p.NumSlots {
 		x.Env = append(x.Env, 0)
 	}
-	x.run(p, 0, w)
+	x.run(p, 0, w, nil)
 }
 
-func (x *Exec) run(p *Plan, si int, w Window) {
+// RunBounded executes the plan with an explicit row-ID window per body
+// atom, indexed by original atom position (Step.Atom): step s
+// enumerates rows [bounds[s.Atom].Lo, bounds[s.Atom].Hi), with Hi = -1
+// meaning "through the end of the relation". The plan's Delta marking
+// is ignored — the caller controls every atom's range. Incremental
+// maintenance uses this for exactly-once delta decompositions, where
+// atoms before and after the delta position see different frontiers.
+// Env slots may be pre-bound by the caller (residual plans); RunBounded
+// grows Env without clearing it.
+func (x *Exec) RunBounded(p *Plan, bounds []Window) {
+	if x.stopped {
+		return
+	}
+	for len(x.Env) < p.NumSlots {
+		x.Env = append(x.Env, 0)
+	}
+	x.run(p, 0, Window{}, bounds)
+}
+
+func (x *Exec) run(p *Plan, si int, w Window, bounds []Window) {
 	if si == len(p.Steps) {
 		x.OnMatch()
 		return
@@ -86,11 +111,18 @@ func (x *Exec) run(p *Plan, si int, w Window) {
 	// The store is frozen during the fire phase, so Len() is the
 	// round-start snapshot length.
 	lo, hi := 0, rel.Len()
-	if st.Delta {
+	switch {
+	case bounds != nil:
+		b := bounds[st.Atom]
+		lo = b.Lo
+		if b.Hi >= 0 {
+			hi = b.Hi
+		}
+	case st.Delta:
 		lo, hi = w.Lo, w.Hi
 	}
 	if st.Mask == 0 || st.Wide {
-		x.scan(p, si, st, rel, lo, hi, w)
+		x.scan(p, si, st, rel, lo, hi, w, bounds)
 		return
 	}
 	// Probe path: constants and bound slots form the key; the
@@ -110,13 +142,16 @@ func (x *Exec) run(p *Plan, si int, w Window) {
 		// Index not built (the plan predates it being possible); fall
 		// back to scanning. Unreachable when the planner ensured the
 		// index, kept as a safety net.
-		x.scan(p, si, st, rel, lo, hi, w)
+		x.scan(p, si, st, rel, lo, hi, w, bounds)
 		return
 	}
 	x.Probes++
 	for _, rid := range rows {
 		if x.Poll() {
 			return
+		}
+		if x.SkipRow != nil && x.SkipRow(si, rid) {
+			continue
 		}
 		i := int(rid)
 		if !checksPass(st.Checks, rel, i) {
@@ -126,7 +161,7 @@ func (x *Exec) run(p *Plan, si int, w Window) {
 			x.Env[b.Slot] = rel.At(i, b.Pos)
 		}
 		x.count(si)
-		x.run(p, si+1, w)
+		x.run(p, si+1, w, bounds)
 		if x.stopped {
 			return
 		}
@@ -137,11 +172,14 @@ func (x *Exec) run(p *Plan, si int, w Window) {
 // verifying every filter. It serves steps with no constrained columns
 // (where an index would enumerate everything anyway) and atoms wider
 // than the 64-bit mask.
-func (x *Exec) scan(p *Plan, si int, st *Step, rel *database.Relation, lo, hi int, w Window) {
+func (x *Exec) scan(p *Plan, si int, st *Step, rel *database.Relation, lo, hi int, w Window, bounds []Window) {
 rows:
 	for i := lo; i < hi; i++ {
 		if x.Poll() {
 			return
+		}
+		if x.SkipRow != nil && x.SkipRow(si, int32(i)) {
+			continue
 		}
 		for _, f := range st.Filters {
 			switch f.Kind {
@@ -163,7 +201,7 @@ rows:
 			x.Env[b.Slot] = rel.At(i, b.Pos)
 		}
 		x.count(si)
-		x.run(p, si+1, w)
+		x.run(p, si+1, w, bounds)
 		if x.stopped {
 			return
 		}

@@ -157,4 +157,10 @@ type Plan struct {
 	NumSlots int
 	// Fixed marks a plan built in textual body order (planner off).
 	Fixed bool
+	// Residual marks a plan whose DeltaPos atom is not a step at all:
+	// the caller binds that atom's slots in Env before running and
+	// verifies its constant/repeat constraints itself. Incremental
+	// retraction uses residual plans to join the rest of a body against
+	// one deleted row at a time.
+	Residual bool
 }

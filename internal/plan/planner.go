@@ -32,6 +32,11 @@ type Request struct {
 	// staleness key. The caller reads it once per round so every task
 	// of a round keys against the same epoch.
 	Epoch uint64
+	// Residual requests a plan over the body minus the DeltaPos atom,
+	// with that atom's slots treated as bound from the start: the caller
+	// binds them in Exec.Env per delta row and runs the plan once per
+	// row. DeltaPos must be a valid atom position.
+	Residual bool
 }
 
 // Fingerprint renders the structural identity of a rule body and its
@@ -75,6 +80,7 @@ type cacheKey struct {
 	fp       string
 	deltaPos int
 	epoch    uint64
+	residual bool
 }
 
 // shapeKey identifies a planning problem across epochs, for the replan
@@ -82,6 +88,7 @@ type cacheKey struct {
 type shapeKey struct {
 	fp       string
 	deltaPos int
+	residual bool
 }
 
 // Planner builds and caches plans. One Planner serves one evaluation;
@@ -106,13 +113,13 @@ type Planner struct {
 // cached reports a cache hit; callers charge plan-construction budgets
 // only on misses.
 func (pl *Planner) Plan(req Request) (p *Plan, cached bool) {
-	key := cacheKey{req.Fingerprint, req.DeltaPos, req.Epoch}
+	key := cacheKey{req.Fingerprint, req.DeltaPos, req.Epoch, req.Residual}
 	if p, ok := pl.cache[key]; ok {
 		pl.Hits++
 		return p, true
 	}
 	pl.Misses++
-	sk := shapeKey{req.Fingerprint, req.DeltaPos}
+	sk := shapeKey{req.Fingerprint, req.DeltaPos, req.Residual}
 	if last, ok := pl.seen[sk]; ok && last != req.Epoch {
 		pl.Replans++
 	}
@@ -133,14 +140,28 @@ func (pl *Planner) Plan(req Request) (p *Plan, cached bool) {
 // into a probe/scan step relative to that order, annotate dead slots,
 // and ensure the chosen indexes exist.
 func (pl *Planner) build(req Request) *Plan {
+	// Residual plans exclude the delta atom: its slots are bound by the
+	// caller before the run, so later steps key and filter against them
+	// exactly as if an earlier step had bound them.
+	var pre []int
+	if req.Residual {
+		for _, arg := range req.Atoms[req.DeltaPos].Args {
+			if !arg.Const {
+				pre = append(pre, arg.Slot)
+			}
+		}
+	}
 	var order []int
 	if pl.Fixed {
-		order = make([]int, len(req.Atoms))
-		for i := range order {
-			order[i] = i
+		order = make([]int, 0, len(req.Atoms))
+		for i := range req.Atoms {
+			if req.Residual && i == req.DeltaPos {
+				continue
+			}
+			order = append(order, i)
 		}
 	} else {
-		order = chooseOrder(req.Atoms, req.DeltaPos, req.DB)
+		order = chooseOrder(req.Atoms, req.DeltaPos, req.DB, req.Residual)
 	}
 	p := &Plan{
 		DeltaPos:    req.DeltaPos,
@@ -148,8 +169,13 @@ func (pl *Planner) build(req Request) *Plan {
 		Epoch:       req.Epoch,
 		NumSlots:    req.NumSlots,
 		Fixed:       pl.Fixed,
+		Residual:    req.Residual,
 	}
-	p.Steps = compileSteps(req.Atoms, order, req.DeltaPos, req.DB)
+	stepDelta := req.DeltaPos
+	if req.Residual {
+		stepDelta = -1
+	}
+	p.Steps = compileSteps(req.Atoms, order, stepDelta, req.DB, pre)
 	annotateDead(p.Steps, req.NumSlots, req.HeadSlots)
 	for i := range p.Steps {
 		st := &p.Steps[i]
@@ -164,8 +190,10 @@ func (pl *Planner) build(req Request) *Plan {
 // window is the round's novelty and is typically the smallest input),
 // then repeatedly the remaining atom with the lowest estimated fan-out
 // under the slots bound so far. Ties break toward the lowest original
-// atom index, which keeps planning deterministic.
-func chooseOrder(atoms []Atom, deltaPos int, db *database.DB) []int {
+// atom index, which keeps planning deterministic. Residual requests
+// treat the delta atom as already consumed — its slots are bound, but
+// it contributes no step.
+func chooseOrder(atoms []Atom, deltaPos int, db *database.DB, residual bool) []int {
 	n := len(atoms)
 	order := make([]int, 0, n)
 	used := make([]bool, n)
@@ -179,10 +207,19 @@ func chooseOrder(atoms []Atom, deltaPos int, db *database.DB) []int {
 			}
 		}
 	}
-	if deltaPos >= 0 {
+	want := n
+	if residual {
+		used[deltaPos] = true
+		want--
+		for _, arg := range atoms[deltaPos].Args {
+			if !arg.Const {
+				bound[arg.Slot] = true
+			}
+		}
+	} else if deltaPos >= 0 {
 		take(deltaPos)
 	}
-	for len(order) < n {
+	for len(order) < want {
 		best, bestCost := -1, 0.0
 		for ai := 0; ai < n; ai++ {
 			if used[ai] {
@@ -201,9 +238,13 @@ func chooseOrder(atoms []Atom, deltaPos int, db *database.DB) []int {
 // compileSteps lowers the atoms, in the chosen order, to executable
 // steps: each position becomes a pushed-down constant, a bound-slot
 // key/filter, a repeat check, or a fresh binding, relative to the slots
-// the preceding steps bind.
-func compileSteps(atoms []Atom, order []int, deltaPos int, db *database.DB) []Step {
+// the preceding steps bind. preBound lists slots the caller binds
+// before the run (residual plans); they compile as bound everywhere.
+func compileSteps(atoms []Atom, order []int, deltaPos int, db *database.DB, preBound []int) []Step {
 	bound := make(map[int]bool)
+	for _, s := range preBound {
+		bound[s] = true
+	}
 	steps := make([]Step, 0, len(order))
 	cum := 1.0
 	for _, ai := range order {

@@ -5,10 +5,12 @@
 // Usage:
 //
 //	datalog eval -program tc.dl -db graph.dl -goal p [-naive] [-workers 4] [-explain] [-no-planner] [-max-facts N] [-max-steps N] [-timeout 30s]
+//	datalog eval -program tc.dl -goal p -data ./store [-watch] [-checkpoint] [-snapshot-bytes N] [-max-bytes N]
 //	datalog unfold -program nonrec.dl -goal q [-minimize]
 //	datalog classify -program prog.dl
 //	datalog check prog.dl [-goal p] [-json] [-max-states N]
 //	datalog trees -program tc.dl -goal p -depth 3 [-count 5]
+//	datalog recover -data ./store [-program tc.dl] [-verify]
 package main
 
 import (
@@ -53,6 +55,8 @@ func main() {
 		err = cmdTrees(os.Args[2:])
 	case "repl":
 		err = cmdRepl(os.Args[2:])
+	case "recover":
+		err = cmdRecover(os.Args[2:])
 	default:
 		usage()
 	}
@@ -63,14 +67,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|opt|trees|repl> [flags]
+	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|opt|trees|repl|recover> [flags]
   eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-explain] [-optimize] [-no-planner] [-max-facts N] [-max-steps N] [-timeout D]
+           [-data DIR] [-watch] [-checkpoint] [-snapshot-bytes N] [-max-bytes N]
   unfold   -program FILE -goal PRED [-minimize]
   classify -program FILE
   check    FILE... [-goal PRED] [-json] [-no-info] [-passes] [-max-states N]
   opt      FILE... [-goal PRED] [-json] [-verify] [-passes] [-depth N] [-max-states N] [-no-unfold]
   trees    -program FILE -goal PRED [-depth N] [-count N] [-dot]
-  repl     interactive session`)
+  repl     interactive session
+  recover  -data DIR [-program FILE] [-verify]`)
 	os.Exit(2)
 }
 
@@ -96,21 +102,28 @@ func cmdEval(args []string) error {
 	maxSteps := fs.Int64("max-steps", 0, "budget: abort after this many rule firings (0 = unlimited); a trip prints the partial result")
 	timeout := fs.Duration("timeout", 0, "budget: abort evaluation after this duration (0 = no limit)")
 	watch := fs.Bool("watch", false, "after the initial fixpoint, maintain it incrementally: read '+fact.'/'-fact.' update lines from stdin, print per-update stats, and print the goal relation at EOF")
+	dataDir := fs.String("data", "", "durable store directory: recover state from its snapshot and WAL, and commit every update durably (crash-safe)")
+	checkpoint := fs.Bool("checkpoint", false, "with -data: write a snapshot and truncate the WAL before exiting, so the next open recovers without replay")
+	snapBytes := fs.Int64("snapshot-bytes", 0, "with -data: WAL size that triggers an automatic snapshot (0 = 1 MiB default, negative = only on -checkpoint)")
+	maxBytes := fs.Int64("max-bytes", 0, "with -data: budget: refuse commits after this many bytes written to disk (0 = unlimited)")
 	fs.Parse(args)
-	if *progPath == "" || *dbPath == "" || *goal == "" {
-		return fmt.Errorf("eval needs -program, -db, and -goal")
+	if *progPath == "" || *goal == "" || (*dbPath == "" && *dataDir == "") {
+		return fmt.Errorf("eval needs -program, -goal, and -db or -data")
 	}
 	prog, err := loadProgram(*progPath)
 	if err != nil {
 		return err
 	}
-	src, err := os.ReadFile(*dbPath)
-	if err != nil {
-		return err
-	}
-	db, err := database.Parse(string(src))
-	if err != nil {
-		return err
+	db := database.New()
+	if *dbPath != "" {
+		src, err := os.ReadFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		db, err = database.Parse(string(src))
+		if err != nil {
+			return err
+		}
 	}
 	opts := eval.Options{
 		Naive:     *naive,
@@ -122,11 +135,20 @@ func cmdEval(args []string) error {
 		opts.Optimize = true
 		opts.OptimizeGoal = *goal
 	}
+	if *dataDir != "" {
+		return evalDurable(prog, db, *goal, opts, *dataDir, *snapBytes, *maxBytes, *watch, *checkpoint)
+	}
 	if *watch {
 		if prog.GoalArity(*goal) < 0 {
 			return fmt.Errorf("eval: goal predicate %q does not occur in program", *goal)
 		}
-		return evalWatch(prog, db, *goal, opts, os.Stdin, os.Stdout)
+		h, stats, err := eval.Maintain(prog, db, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%% materialized: %d facts derived, %d rule firings; watching stdin for +fact./-fact. updates\n",
+			stats.Derived, stats.Firings)
+		return evalWatch(h, *goal, os.Stdin, os.Stdout)
 	}
 	// Eval (not Goal) so a budget trip still yields the partial database.
 	var out *database.DB
@@ -185,20 +207,92 @@ func goalFactLines(db *database.DB, goal string) []string {
 	return lines
 }
 
-// evalWatch is eval's incremental mode: one initial fixpoint through
-// the maintainer, then a stream of update lines from in — "+fact." (or
-// a bare "fact.") inserts, "-fact." retracts; several comma-separated
-// facts per line form one batch; '%' comments and blank lines are
-// skipped. Each update prints its UpdateStats; at EOF the goal relation
-// is printed like a normal eval run. A budget trip aborts the stream —
-// the materialization is no longer consistent.
-func evalWatch(prog *ast.Program, db *database.DB, goal string, opts eval.Options, in io.Reader, out io.Writer) error {
-	h, stats, err := eval.Maintain(prog, db, opts)
+// evalDurable is eval's persistent mode: the handle is recovered from
+// (or freshly bound to) the durable store in dir, a -db file seeds a
+// fresh store as its first committed batch, and -watch updates are
+// committed through the WAL — each acknowledged update survives a
+// crash. -checkpoint folds the WAL into a snapshot before exit.
+func evalDurable(prog *ast.Program, db *database.DB, goal string, opts eval.Options, dir string, snapBytes, maxBytes int64, watch, checkpoint bool) error {
+	if prog.GoalArity(goal) < 0 {
+		return fmt.Errorf("eval: goal predicate %q does not occur in program", goal)
+	}
+	d, err := database.Open(dir, database.OpenOptions{
+		Budget:        guard.Budget{MaxBytes: maxBytes},
+		SnapshotBytes: snapBytes,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%% materialized: %d facts derived, %d rule firings; watching stdin for +fact./-fact. updates\n",
-		stats.Derived, stats.Firings)
+	fresh := d.Fresh()
+	if !fresh {
+		fmt.Fprintf(os.Stderr, "%% recovering %s: generation %d, %d committed batches (%d replayed from WAL, %d torn bytes discarded)\n",
+			dir, d.Gen(), d.Seq(), len(d.Tail()), d.TornBytes())
+	}
+	h, stats, err := eval.MaintainDurable(prog, d, opts)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	if fresh {
+		if facts := dbAtoms(db); len(facts) > 0 {
+			us, err := h.Insert(facts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "%% seeded fresh store with %d base facts: %s\n", len(facts), us)
+		}
+	} else if len(db.Preds()) > 0 {
+		fmt.Fprintf(os.Stderr, "%% note: store already holds state; -db file ignored (state comes from %s)\n", dir)
+	}
+	if fresh && stats != (eval.Stats{}) {
+		fmt.Fprintf(os.Stderr, "%% materialized: %d facts derived, %d rule firings\n", stats.Derived, stats.Firings)
+	}
+	if watch {
+		fmt.Fprintf(os.Stderr, "%% watching stdin for +fact./-fact. updates; each update is committed durably\n")
+		if err := evalWatch(h, goal, os.Stdin, os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		for _, l := range goalFactLines(h.DB(), goal) {
+			fmt.Println(l)
+		}
+	}
+	if checkpoint {
+		if err := h.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%% checkpoint written: %d batches folded into the snapshot\n", h.Seq())
+	}
+	return nil
+}
+
+// dbAtoms renders every tuple of db as a ground atom, in sorted
+// predicate order — the batch that seeds a fresh durable store from a
+// -db facts file.
+func dbAtoms(db *database.DB) []ast.Atom {
+	var atoms []ast.Atom
+	var row database.Row
+	for _, pred := range db.Preds() {
+		rel := db.Lookup(pred)
+		for i := 0; i < rel.Len(); i++ {
+			row = rel.AppendRowAt(row[:0], i)
+			args := make([]ast.Term, len(row))
+			for j, id := range row {
+				args[j] = ast.C(database.Symbol(id))
+			}
+			atoms = append(atoms, ast.Atom{Pred: pred, Args: args})
+		}
+	}
+	return atoms
+}
+
+// evalWatch is eval's incremental mode: a stream of update lines from
+// in — "+fact." (or a bare "fact.") inserts, "-fact." retracts; several
+// comma-separated facts per line form one batch; '%' comments and blank
+// lines are skipped. Each update prints its UpdateStats; at EOF the
+// goal relation is printed like a normal eval run. A budget trip aborts
+// the stream — the materialization is no longer consistent.
+func evalWatch(h *eval.Handle, goal string, in io.Reader, out io.Writer) error {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
@@ -328,4 +422,74 @@ func cmdTrees(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "%% %d trees up to height %d\n", len(trees), *depth)
 	return nil
+}
+
+// cmdRecover inspects a durable store directory: what generation and
+// WAL it holds, how many batches are committed, and whether a crash
+// left torn bytes behind. With -program the full engine state is
+// recovered; with -verify the recovered materialization must match a
+// from-scratch re-evaluation of the program over the recovered base,
+// bit for bit — the recovery half of the determinism contract, checked
+// on a live store.
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	dataDir := fs.String("data", "", "durable store directory")
+	progPath := fs.String("program", "", "program file: recover the full materialization, not just the on-disk inventory")
+	verify := fs.Bool("verify", false, "with -program: re-evaluate from scratch over the recovered base and require identical state")
+	fs.Parse(args)
+	if *dataDir == "" {
+		return fmt.Errorf("recover needs -data")
+	}
+	if *verify && *progPath == "" {
+		return fmt.Errorf("recover: -verify needs -program")
+	}
+	d, err := database.Open(*dataDir, database.OpenOptions{SnapshotBytes: -1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generation:        %d\n", d.Gen())
+	fmt.Printf("snapshot:          %v\n", d.SnapshotState() != nil)
+	fmt.Printf("committed batches: %d\n", d.Seq())
+	fmt.Printf("wal tail:          %d batches, %d bytes\n", len(d.Tail()), d.WALSize())
+	fmt.Printf("torn bytes:        %d\n", d.TornBytes())
+	if *progPath == "" {
+		return d.Close()
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		d.Close()
+		return err
+	}
+	h, _, err := eval.MaintainDurable(prog, d, eval.Options{})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	for _, pred := range h.DB().Preds() {
+		fmt.Printf("relation:          %s: %d rows (%d base)\n",
+			pred, h.DB().Lookup(pred).Len(), baseLen(h.Base(), pred))
+	}
+	if !*verify {
+		return nil
+	}
+	fresh, _, err := eval.Maintain(prog, h.Base().Clone(), eval.Options{})
+	if err != nil {
+		return fmt.Errorf("recover: from-scratch re-evaluation: %w", err)
+	}
+	if got, want := h.DB().String(), fresh.DB().String(); got != want {
+		return fmt.Errorf("recover: VERIFY FAILED — recovered state differs from re-evaluation:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := h.DB().StatsEpoch(), fresh.DB().StatsEpoch(); got != want {
+		return fmt.Errorf("recover: VERIFY FAILED — StatsEpoch %d, re-evaluation %d", got, want)
+	}
+	fmt.Printf("verify:            ok — recovered state matches from-scratch evaluation\n")
+	return nil
+}
+
+// baseLen returns the base relation's row count, 0 when absent.
+func baseLen(base *database.DB, pred string) int {
+	if r := base.Lookup(pred); r != nil {
+		return r.Len()
+	}
+	return 0
 }

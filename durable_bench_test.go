@@ -1,0 +1,191 @@
+// Durable-storage benchmark families (PR 9). Run with
+//
+//	go test -run=NONE -bench=DurableEval .
+//
+// Two questions, one family each. "update" prices the WAL: the same
+// retract/insert delta pairs through a durable handle (every update
+// encoded, appended, fsynced) and an in-memory one — the ns/op gap is
+// the cost of crash safety per update, dominated by the fsync.
+// "recover" prices startup: attaching to a checkpointed store (decode
+// the snapshot, wire the maintainer, no fixpoint) vs replaying a pure
+// WAL store batch by batch vs the from-scratch fixpoint an engine with
+// no persistence pays. Pipe the output through cmd/benchjson to
+// produce the BENCH_PR9.json trajectory file.
+package datalogeq_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/gen"
+	"datalogeq/internal/parser"
+
+	_ "datalogeq/internal/ivm" // registers the maintainer behind eval.Maintain
+)
+
+// durableFromDB opens a durable handle in a fresh directory and seeds
+// it with db's facts as one committed batch.
+func durableFromDB(b *testing.B, prog *ast.Program, db *database.DB, snapBytes int64) (*eval.Handle, string) {
+	b.Helper()
+	dir := b.TempDir()
+	d, err := database.Open(dir, database.OpenOptions{SnapshotBytes: snapBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, _, err := eval.MaintainDurable(prog, d, eval.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.Insert(allAtoms(db)); err != nil {
+		b.Fatal(err)
+	}
+	return h, dir
+}
+
+// allAtoms renders db as ground atoms in sorted predicate order.
+func allAtoms(db *database.DB) []ast.Atom {
+	var atoms []ast.Atom
+	var row database.Row
+	for _, pred := range db.Preds() {
+		rel := db.Lookup(pred)
+		for i := 0; i < rel.Len(); i++ {
+			row = rel.AppendRowAt(row[:0], i)
+			args := make([]ast.Term, len(row))
+			for j, id := range row {
+				args[j] = ast.C(database.Symbol(id))
+			}
+			atoms = append(atoms, ast.Atom{Pred: pred, Args: args})
+		}
+	}
+	return atoms
+}
+
+func BenchmarkDurableEval(b *testing.B) {
+	tc := parser.MustProgram(`
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`)
+	rng := rand.New(rand.NewSource(11))
+	families := []struct {
+		name string
+		db   *database.DB
+	}{
+		{"chain60", gen.ChainGraph(60)},
+		{"random40x120", gen.RandomGraph(rng, 40, 120)},
+	}
+
+	// Update cost: one retract+insert delta pair per iteration, so the
+	// maintained state is identical at every iteration boundary and the
+	// two lanes time exactly the same logical work — the durable lane
+	// just commits (and fsyncs) each half.
+	for _, f := range families {
+		for _, delta := range []int{1, 10} {
+			stream := gen.UpdateStream(rand.New(rand.NewSource(int64(delta))), f.db, "e", 64, delta)
+			prefix := fmt.Sprintf("%s/delta%d/update/", f.name, delta)
+
+			b.Run(prefix+"wal", func(b *testing.B) {
+				h, _ := durableFromDB(b, tc, f.db, -1)
+				defer h.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					batch := stream[i%len(stream)]
+					if _, err := h.Retract(batch); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := h.Insert(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+
+			b.Run(prefix+"memory", func(b *testing.B) {
+				h, _, err := eval.Maintain(tc, f.db, eval.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					batch := stream[i%len(stream)]
+					if _, err := h.Retract(batch); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := h.Insert(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	// Recovery cost: reattach to the same store directory b.N times.
+	// "snapshot" holds the whole state in a checkpoint (attach = decode
+	// + wire), "replay" holds it as 64 WAL batches (attach = decode +
+	// replay through the maintenance paths), "scratch" is the
+	// no-persistence baseline re-fixpoint.
+	for _, f := range families {
+		stream := gen.UpdateStream(rand.New(rand.NewSource(7)), f.db, "e", 64, 1)
+
+		snapDir := func(checkpoint bool) string {
+			h, dir := durableFromDB(b, tc, f.db, -1)
+			for _, batch := range stream {
+				if _, err := h.Retract(batch); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.Insert(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if checkpoint {
+				if err := h.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := h.Close(); err != nil {
+				b.Fatal(err)
+			}
+			return dir
+		}
+
+		for _, mode := range []struct {
+			name       string
+			checkpoint bool
+		}{{"snapshot", true}, {"replay", false}} {
+			b.Run(f.name+"/recover/"+mode.name, func(b *testing.B) {
+				dir := snapDir(mode.checkpoint)
+				b.ResetTimer()
+				var seq uint64
+				for i := 0; i < b.N; i++ {
+					d, err := database.Open(dir, database.OpenOptions{SnapshotBytes: -1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					h, _, err := eval.MaintainDurable(tc, d, eval.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					seq = h.Seq()
+					if err := h.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(seq), "batches")
+			})
+		}
+
+		b.Run(f.name+"/recover/scratch", func(b *testing.B) {
+			var stats eval.Stats
+			for i := 0; i < b.N; i++ {
+				_, s, err := eval.Eval(tc, f.db, eval.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(float64(stats.Derived), "derived")
+		})
+	}
+}

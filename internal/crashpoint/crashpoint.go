@@ -1,0 +1,37 @@
+// Package crashpoint is the deterministic crash-injection seam of the
+// durable storage layer. The WAL, snapshot, and durable-store code call
+// Hit at every point where a crash would leave the on-disk state in a
+// distinct intermediate shape (frame header written but not the
+// payload, snapshot temp file written but not renamed, new WAL created
+// but the old generation not yet removed, ...). In production the hook
+// is nil and a Hit is one atomic load and a branch; the crash-injection
+// harness (internal/crashtest) arms a hook that SIGKILLs the process on
+// the n-th hit of a named point, so kill -9 tests die at exact,
+// reproducible byte positions instead of wherever a polling parent
+// happened to catch them.
+package crashpoint
+
+import "sync/atomic"
+
+// hook is the armed crash function, nil in production. It takes the
+// point name; returning is allowed (a hook may ignore points it is not
+// scripted for).
+var hook atomic.Pointer[func(string)]
+
+// Set installs (or, with nil, removes) the process-wide crash hook.
+// Intended for test binaries only; the durable layer never calls it.
+func Set(f func(name string)) {
+	if f == nil {
+		hook.Store(nil)
+		return
+	}
+	hook.Store(&f)
+}
+
+// Hit fires the crash hook, if armed, with the named point. The
+// production cost is one atomic pointer load.
+func Hit(name string) {
+	if f := hook.Load(); f != nil {
+		(*f)(name)
+	}
+}

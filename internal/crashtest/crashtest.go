@@ -1,0 +1,164 @@
+// Package crashtest is a reusable kill-9 injection harness for the
+// durable storage layer. A parent test re-execs its own test binary as
+// a child restricted to one scripted workload test; the child arms the
+// crashpoint hook so that the n-th hit of a named protocol point
+// SIGKILLs the process — no deferred handlers, no flushes, exactly the
+// on-disk state of a power cut at that instruction. The parent then
+// reopens the directory, asks the store how many batches were
+// acknowledged durable, and checks the recovered state bit-for-bit
+// against an in-memory oracle that replays exactly those batches.
+//
+// Because the crash points are deterministic (k-th WAL append, k-th
+// snapshot rename, ...) rather than timer-based, every failure is
+// reproducible from its table entry alone.
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/crashpoint"
+)
+
+// Environment protocol between parent and child.
+const (
+	envChild = "CRASHTEST_CHILD"
+	envDir   = "CRASHTEST_DIR"
+	envPoint = "CRASHTEST_POINT" // "name:k" — SIGKILL on the k-th hit of name
+)
+
+// IsChild reports whether this process is a re-execed crashtest child.
+// Workload tests call it first and skip when running normally.
+func IsChild() bool { return os.Getenv(envChild) == "1" }
+
+// Dir returns the store directory handed to the child.
+func Dir() string { return os.Getenv(envDir) }
+
+// EnvInt reads an integer handed to the child via Config.Env, with a
+// default for unset or malformed values.
+func EnvInt(name string, def int) int {
+	if v, err := strconv.Atoi(os.Getenv(name)); err == nil {
+		return v
+	}
+	return def
+}
+
+// Arm installs the SIGKILL hook described by the environment: on the
+// k-th crashpoint.Hit of the named point, the process kills itself with
+// SIGKILL. Unarmed (no point in the environment) it is a no-op, which
+// is how a recovery re-run completes the workload.
+func Arm() error {
+	spec := os.Getenv(envPoint)
+	if spec == "" {
+		return nil
+	}
+	name, kstr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("crashtest: malformed %s=%q, want name:k", envPoint, spec)
+	}
+	k, err := strconv.ParseInt(kstr, 10, 64)
+	if err != nil || k < 1 {
+		return fmt.Errorf("crashtest: malformed hit count in %s=%q", envPoint, spec)
+	}
+	var hits atomic.Int64
+	crashpoint.Set(func(p string) {
+		if p != name {
+			return
+		}
+		if hits.Add(1) == k {
+			// Bypass every deferred handler and buffer: this is the
+			// power cut the durability contract is tested against.
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // unreachable: SIGKILL cannot be handled
+		}
+	})
+	return nil
+}
+
+// Config describes one child run.
+type Config struct {
+	// Test is the child workload's test name, anchored into -test.run.
+	Test string
+	// Dir is the durable store directory (shared with the parent).
+	Dir string
+	// Point and Hit arm the kill: SIGKILL at the Hit-th crossing of
+	// Point. An empty Point runs the child unarmed to completion.
+	Point string
+	Hit   int
+	// Env holds extra KEY=VALUE pairs for the child (seeds, step
+	// counts, snapshot thresholds).
+	Env []string
+}
+
+// Result reports how a child run ended.
+type Result struct {
+	// Killed: the child died by SIGKILL (the armed crash fired).
+	Killed bool
+	// Completed: the child ran its workload to completion and exited 0.
+	Completed bool
+	// Output is the child's combined test output, for diagnostics.
+	Output string
+}
+
+// Run re-execs the current test binary as a crashtest child and waits
+// for it. Any outcome other than clean completion or the armed SIGKILL
+// is returned as an error with the child's output.
+func Run(cfg Config) (Result, error) {
+	cmd := exec.Command(os.Args[0], "-test.run=^"+cfg.Test+"$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		envChild+"=1",
+		envDir+"="+cfg.Dir,
+	)
+	if cfg.Point != "" {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%s:%d", envPoint, cfg.Point, cfg.Hit))
+	}
+	cmd.Env = append(cmd.Env, cfg.Env...)
+	out, err := cmd.CombinedOutput()
+	res := Result{Output: string(out)}
+	if err == nil {
+		res.Completed = true
+		return res, nil
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL {
+			res.Killed = true
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("crashtest: child failed: %w\n%s", err, out)
+}
+
+// Op is one scripted update batch.
+type Op struct {
+	Insert bool
+	Facts  []ast.Atom
+}
+
+// Stream returns a deterministic schedule of insert/retract batches
+// over a small edge universe: the same seed always yields the same
+// schedule, in the parent's oracle and in every child run alike.
+// Inserts outnumber retracts two to one so the store grows enough for
+// snapshots to fire.
+func Stream(seed int64, steps int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, steps)
+	for i := range ops {
+		ops[i].Insert = rng.Intn(3) != 0
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			x, y := rng.Intn(7), rng.Intn(7)
+			ops[i].Facts = append(ops[i].Facts, ast.Atom{
+				Pred: "e",
+				Args: []ast.Term{ast.C(fmt.Sprintf("n%d", x)), ast.C(fmt.Sprintf("n%d", y))},
+			})
+		}
+	}
+	return ops
+}

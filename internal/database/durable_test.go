@@ -1,0 +1,220 @@
+package database
+
+import (
+	"os"
+	"testing"
+
+	"datalogeq/internal/ast"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/snapshot"
+)
+
+func atom(pred string, args ...string) ast.Atom {
+	terms := make([]ast.Term, len(args))
+	for i, a := range args {
+		terms[i] = ast.C(a)
+	}
+	return ast.Atom{Pred: pred, Args: terms}
+}
+
+func TestDurableFreshCommitReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !d.Fresh() || d.Seq() != 0 || d.Gen() != 0 {
+		t.Fatalf("fresh store: Fresh=%v Seq=%d Gen=%d", d.Fresh(), d.Seq(), d.Gen())
+	}
+	batches := []Batch{
+		{Op: OpInsert, Facts: []ast.Atom{atom("edge", "a", "b"), atom("edge", "b", "c")}},
+		{Op: OpInsert, Facts: []ast.Atom{atom("edge", "c", "d")}},
+		{Op: OpRetract, Facts: []ast.Atom{atom("edge", "b", "c")}},
+	}
+	for _, b := range batches {
+		if err := d.Commit(b.Op, b.Facts); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	if d.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", d.Seq())
+	}
+	if u := d.Usage(); u.Bytes == 0 {
+		t.Fatal("Bytes usage not charged")
+	}
+	d.Close()
+
+	r, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if r.Fresh() || r.Seq() != 3 || r.Gen() != 0 || r.SnapshotState() != nil || r.TornBytes() != 0 {
+		t.Fatalf("reopen: Fresh=%v Seq=%d Gen=%d snap=%v torn=%d",
+			r.Fresh(), r.Seq(), r.Gen(), r.SnapshotState(), r.TornBytes())
+	}
+	tail := r.Tail()
+	if len(tail) != len(batches) {
+		t.Fatalf("tail has %d batches, want %d", len(tail), len(batches))
+	}
+	for i, b := range batches {
+		if tail[i].Op != b.Op || len(tail[i].Facts) != len(b.Facts) {
+			t.Fatalf("tail[%d] = %+v, want %+v", i, tail[i], b)
+		}
+		for j := range b.Facts {
+			if tail[i].Facts[j].String() != b.Facts[j].String() {
+				t.Fatalf("tail[%d].Facts[%d] = %s, want %s", i, j, tail[i].Facts[j], b.Facts[j])
+			}
+		}
+	}
+}
+
+func TestDurableSnapshotCycle(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, OpenOptions{SnapshotBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := New()
+	for _, b := range []ast.Atom{atom("edge", "a", "b"), atom("edge", "b", "c")} {
+		if err := d.Commit(OpInsert, []ast.Atom{b}); err != nil {
+			t.Fatal(err)
+		}
+		if err := state.AddAtom(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.ShouldSnapshot() {
+		t.Fatal("ShouldSnapshot false above a 1-byte threshold")
+	}
+	if err := d.Snapshot([]*DB{state}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if d.Gen() != 1 || d.WALSize() != 0 {
+		t.Fatalf("after snapshot: Gen=%d WALSize=%d", d.Gen(), d.WALSize())
+	}
+	// Old generation files are gone.
+	if _, err := os.Stat(snapshot.WALPath(dir, 0)); !os.IsNotExist(err) {
+		t.Fatalf("wal-0 still present: %v", err)
+	}
+	// Commit on top of the new generation.
+	post := atom("edge", "c", "d")
+	if err := d.Commit(OpInsert, []ast.Atom{post}); err != nil {
+		t.Fatal(err)
+	}
+	if err := state.AddAtom(post); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	r, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if r.Gen() != 1 || r.Seq() != 3 || r.Fresh() {
+		t.Fatalf("reopen: Gen=%d Seq=%d Fresh=%v", r.Gen(), r.Seq(), r.Fresh())
+	}
+	snap := r.SnapshotState()
+	if len(snap) != 1 || snap[0] == nil {
+		t.Fatalf("SnapshotState = %v", snap)
+	}
+	if len(r.Tail()) != 1 || r.Tail()[0].Facts[0].String() != post.String() {
+		t.Fatalf("tail = %+v", r.Tail())
+	}
+	// Snapshot + tail reconstructs the full state.
+	rec := snap[0]
+	if err := rec.AddAtom(r.Tail()[0].Facts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if rec.String() != state.String() {
+		t.Fatalf("recovered state:\n%s\nwant:\n%s", rec.String(), state.String())
+	}
+}
+
+// TestDurableTornTail simulates a crash mid-append by chopping bytes
+// off the WAL: reopen must report the torn bytes and only the intact
+// batches.
+func TestDurableTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit(OpInsert, []ast.Atom{atom("p", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit(OpInsert, []ast.Atom{atom("p", "y")}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	walPath := snapshot.WALPath(dir, 0)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	defer r.Close()
+	if len(r.Tail()) != 1 || r.Seq() != 1 || r.TornBytes() == 0 {
+		t.Fatalf("torn reopen: %d batches, Seq=%d, torn=%d", len(r.Tail()), r.Seq(), r.TornBytes())
+	}
+	// The surviving batch is intact and the log accepts new commits.
+	if r.Tail()[0].Facts[0].String() != atom("p", "x").String() {
+		t.Fatalf("surviving batch = %+v", r.Tail()[0])
+	}
+	if err := r.Commit(OpInsert, []ast.Atom{atom("p", "z")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableBytesBudget(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, OpenOptions{Budget: guard.Budget{MaxBytes: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Commit(OpInsert, []ast.Atom{atom("p", "a")}); err != nil {
+		t.Fatalf("first commit should fit: %v", err)
+	}
+	size := d.WALSize()
+	err = d.Commit(OpInsert, []ast.Atom{atom("p", "bbbbbbbbbbbbbbbbbbbbbbbb")})
+	le, ok := err.(*guard.LimitError)
+	if !ok || le.Resource != guard.Bytes {
+		t.Fatalf("overflowing commit: %v", err)
+	}
+	if d.WALSize() != size || d.Seq() != 1 {
+		t.Fatalf("refused commit still wrote: size %d → %d, seq %d", size, d.WALSize(), d.Seq())
+	}
+	// The trip is sticky: even a tiny commit is now refused.
+	if err := d.Commit(OpInsert, []ast.Atom{atom("p", "c")}); err == nil {
+		t.Fatal("commit after trip succeeded")
+	}
+	// And snapshots are refused too.
+	if err := d.Snapshot([]*DB{New()}); err == nil {
+		t.Fatal("snapshot after trip succeeded")
+	}
+}
+
+func TestDurableSnapshotDisabled(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, OpenOptions{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 10; i++ {
+		if err := d.Commit(OpInsert, []ast.Atom{atom("p", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.ShouldSnapshot() {
+		t.Fatal("ShouldSnapshot true with a negative threshold")
+	}
+}

@@ -64,19 +64,44 @@ type Maintainer interface {
 	// derived fact, with support counts on IDB relations). Callers must
 	// treat it as read-only; it is only valid between updates.
 	DB() *database.DB
+	// Base returns the asserted base database: the facts inserted and
+	// not retracted, with no derived rows. Read-only, valid between
+	// updates; re-evaluating the program over a clone of it reproduces
+	// DB, which is how recovery is verified.
+	Base() *database.DB
+}
+
+// Checkpointer is implemented by durable maintainers: Checkpoint
+// forces a snapshot now (full state written, WAL truncated) instead of
+// waiting for the size threshold.
+type Checkpointer interface {
+	Checkpoint() error
 }
 
 // MaintainerFactory builds a Maintainer: it runs the initial fixpoint
 // of prog over edb (reporting its Stats) and attaches support counts.
 type MaintainerFactory func(prog *ast.Program, edb *database.DB, opts Options) (Maintainer, Stats, error)
 
+// DurableMaintainerFactory builds a Maintainer bound to an open
+// durable store: recovered state is rebuilt (snapshot plus WAL tail,
+// or an initial fixpoint for a fresh store) and every later committed
+// update is logged through the store.
+type DurableMaintainerFactory func(prog *ast.Program, d *database.Durable, opts Options) (Maintainer, Stats, error)
+
 // maintainerFactory is the installed hook; nil until internal/ivm is
 // imported.
 var maintainerFactory MaintainerFactory
 
+// durableFactory is the durable-mode hook, installed alongside.
+var durableFactory DurableMaintainerFactory
+
 // RegisterMaintainer installs the incremental maintenance factory.
 // Called from internal/ivm's init; last registration wins.
 func RegisterMaintainer(f MaintainerFactory) { maintainerFactory = f }
+
+// RegisterDurableMaintainer installs the durable maintenance factory.
+// Called from internal/ivm's init; last registration wins.
+func RegisterDurableMaintainer(f DurableMaintainerFactory) { durableFactory = f }
 
 // Handle is a maintained materialization of prog over a base database:
 // the initial fixpoint is computed once, and Insert/Retract update it
@@ -107,6 +132,41 @@ func (h *Handle) Retract(facts []ast.Atom) (UpdateStats, error) { return h.m.Ret
 // updates.
 func (h *Handle) DB() *database.DB { return h.m.DB() }
 
+// Base returns the asserted base database (no derived rows).
+// Read-only; valid between updates.
+func (h *Handle) Base() *database.DB { return h.m.Base() }
+
+// Checkpoint forces a snapshot on a durable handle: the full state is
+// written as the next generation and the WAL truncated, so the next
+// Open recovers without replaying. On an in-memory handle it is a
+// no-op.
+func (h *Handle) Checkpoint() error {
+	if c, ok := h.m.(Checkpointer); ok {
+		return c.Checkpoint()
+	}
+	return nil
+}
+
+// Seq returns the durable store's committed-batch sequence number: how
+// many batches have ever been acknowledged durable, counting from the
+// store's creation. 0 on an in-memory handle.
+func (h *Handle) Seq() uint64 {
+	if s, ok := h.m.(interface{ Seq() uint64 }); ok {
+		return s.Seq()
+	}
+	return 0
+}
+
+// Close releases the durable store behind the handle (acknowledged
+// commits are already fsynced); a no-op on in-memory handles. The
+// handle must not be used afterwards.
+func (h *Handle) Close() error {
+	if c, ok := h.m.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // Maintain computes the initial fixpoint of prog over edb and returns a
 // handle for incremental updates, plus the initial evaluation's Stats.
 // The input database is not modified. It requires internal/ivm to be
@@ -119,6 +179,26 @@ func Maintain(prog *ast.Program, edb *database.DB, opts Options) (*Handle, Stats
 		return nil, Stats{}, fmt.Errorf("eval: Maintain requires the incremental maintainer (import datalogeq/internal/ivm)")
 	}
 	m, stats, err := maintainerFactory(prog, edb, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return &Handle{m: m}, stats, nil
+}
+
+// MaintainDurable binds a maintained materialization of prog to an
+// open durable store and returns a handle whose committed updates
+// survive crashes. A fresh store gets an initial fixpoint over the
+// empty database (insert the base facts through the handle); a
+// recovered store is rebuilt from its snapshot plus WAL tail — by the
+// engine's determinism contract, into exactly the state the crashed
+// process held after its last acknowledged commit. Stats are those of
+// the initial fixpoint (zero when recovery skipped it). The handle
+// takes ownership of d; do not use d directly afterwards.
+func MaintainDurable(prog *ast.Program, d *database.Durable, opts Options) (*Handle, Stats, error) {
+	if durableFactory == nil {
+		return nil, Stats{}, fmt.Errorf("eval: MaintainDurable requires the incremental maintainer (import datalogeq/internal/ivm)")
+	}
+	m, stats, err := durableFactory(prog, d, opts)
 	if err != nil {
 		return nil, stats, err
 	}

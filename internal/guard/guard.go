@@ -64,6 +64,13 @@ const (
 	// points, so an update that fans out into a large re-derivation
 	// cascade trips deterministically at every worker count.
 	Maintained
+	// Bytes counts durable-storage I/O: bytes appended to the write-ahead
+	// log and bytes written to snapshot generation files, charged at the
+	// single-threaded commit points of database.Durable. Encoded sizes
+	// are deterministic functions of the committed batches, so a Bytes
+	// trip — like every other dimension — is bit-identical at every
+	// worker count.
+	Bytes
 
 	numResources
 )
@@ -84,6 +91,8 @@ func (r Resource) String() string {
 		return "plans"
 	case Maintained:
 		return "maintained"
+	case Bytes:
+		return "bytes"
 	}
 	return fmt.Sprintf("Resource(%d)", int(r))
 }
@@ -116,6 +125,12 @@ type Budget struct {
 	// database — the case where a from-scratch re-fixpoint would have
 	// been cheaper.
 	MaxMaintained int64
+	// MaxBytes bounds durable-storage I/O (WAL appends plus snapshot
+	// writes) over a store's lifetime; 0 = unlimited. A trip refuses the
+	// commit before any byte is written, so the in-memory state and the
+	// on-disk state stay individually consistent (the update is applied
+	// but cannot be acknowledged durable; callers poison the handle).
+	MaxBytes int64
 
 	// deadline, when nonzero, is the absolute wall deadline pinned by
 	// Started; it survives copying into sub-phase meters.
@@ -129,7 +144,7 @@ type Budget struct {
 func (b Budget) Active() bool {
 	return b.MaxWall > 0 || b.MaxFacts > 0 || b.MaxStates > 0 ||
 		b.MaxSteps > 0 || b.MaxCanon > 0 || b.MaxPlans > 0 ||
-		b.MaxMaintained > 0 || !b.deadline.IsZero() || b.fault != nil
+		b.MaxMaintained > 0 || b.MaxBytes > 0 || !b.deadline.IsZero() || b.fault != nil
 }
 
 // Started pins the wall-clock deadline at now + MaxWall. Entry points
@@ -160,6 +175,8 @@ func (b Budget) limit(r Resource) int64 {
 		return b.MaxPlans
 	case Maintained:
 		return b.MaxMaintained
+	case Bytes:
+		return b.MaxBytes
 	}
 	return 0
 }
@@ -174,6 +191,7 @@ type Usage struct {
 	Canon      int64
 	Plans      int64
 	Maintained int64
+	Bytes      int64
 }
 
 // Add returns the field-wise sum of two usages; phases run
@@ -187,6 +205,7 @@ func (u Usage) Add(v Usage) Usage {
 		Canon:      u.Canon + v.Canon,
 		Plans:      u.Plans + v.Plans,
 		Maintained: u.Maintained + v.Maintained,
+		Bytes:      u.Bytes + v.Bytes,
 	}
 }
 
@@ -211,6 +230,9 @@ func (u Usage) String() string {
 	}
 	if u.Maintained > 0 {
 		parts = append(parts, fmt.Sprintf("maintained=%d", u.Maintained))
+	}
+	if u.Bytes > 0 {
+		parts = append(parts, fmt.Sprintf("bytes=%d", u.Bytes))
 	}
 	if u.Wall > 0 {
 		parts = append(parts, fmt.Sprintf("wall=%s", u.Wall.Round(time.Microsecond)))
@@ -276,6 +298,8 @@ func (e *LimitError) count() int64 {
 		return e.Usage.Plans
 	case Maintained:
 		return e.Usage.Maintained
+	case Bytes:
+		return e.Usage.Bytes
 	}
 	return 0
 }
@@ -320,6 +344,7 @@ func (m *Meter) Usage() Usage {
 		Canon:      m.counts[Canon].Load(),
 		Plans:      m.counts[Plans].Load(),
 		Maintained: m.counts[Maintained].Load(),
+		Bytes:      m.counts[Bytes].Load(),
 	}
 }
 

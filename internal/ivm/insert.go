@@ -83,6 +83,9 @@ func (m *maint) Insert(facts []ast.Atom) (eval.UpdateStats, error) {
 	if err := u.propagateInserts(start); err != nil {
 		return m.fail(&us, meter, err)
 	}
+	if err := m.commitDurable(database.OpInsert, facts, &us, meter); err != nil {
+		return us, err
+	}
 	us.Budget = meter.Usage()
 	return us, nil
 }

@@ -131,6 +131,12 @@ type maint struct {
 	// broken poisons the handle after a budget trip or internal error:
 	// the live database may be mid-update and no longer consistent.
 	broken error
+
+	// dur, when non-nil, is the durable store behind the handle
+	// (durable.go): each successful update is committed to its WAL, and
+	// a WAL past its size threshold triggers a snapshot. nil while
+	// recovery replays the tail, so replayed batches are not re-logged.
+	dur *database.Durable
 }
 
 // newMaint runs the initial fixpoint and attaches exact support counts.
@@ -147,6 +153,17 @@ func newMaint(prog *ast.Program, edb *database.DB, opts eval.Options) (*maint, e
 		// A partial fixpoint cannot be maintained; surface the trip.
 		return nil, stats, err
 	}
+	m := wire(prog, rules, edb.Clone(), live, opts)
+	m.initCounts()
+	return m, stats, nil
+}
+
+// wire assembles a maint around an existing (base, live) pair: strata
+// maps, head/body relation pointers, and plan memos. It does not run a
+// fixpoint and does not touch counts — newMaint computes them fresh,
+// while the durable attach path (durable.go) restores them from a
+// snapshot.
+func wire(prog *ast.Program, rules []mrule, base, live *database.DB, opts eval.Options) *maint {
 	m := &maint{
 		prog:             prog,
 		opts:             opts,
@@ -154,7 +171,7 @@ func newMaint(prog *ast.Program, edb *database.DB, opts eval.Options) (*maint, e
 		strata:           prog.Strata(),
 		stratumRecursive: make(map[string]bool),
 		counted:          make(map[string]bool),
-		base:             edb.Clone(),
+		base:             base,
 		live:             live,
 		planner:          &plan.Planner{Fixed: opts.NoPlanner},
 	}
@@ -191,8 +208,7 @@ func newMaint(prog *ast.Program, edb *database.DB, opts eval.Options) (*maint, e
 			m.bodyRels[ri][ai] = m.live.Relation(r.body[ai].Pred, len(r.body[ai].Args))
 		}
 	}
-	m.initCounts()
-	return m, stats, nil
+	return m
 }
 
 // deltaEntry and resEntry are plan-memo slots, keyed by the statistics
@@ -454,6 +470,9 @@ func (r *mrule) bindDelta(env []uint32, ai int, rel *database.Relation, rid int3
 
 // DB returns the live maintained database.
 func (m *maint) DB() *database.DB { return m.live }
+
+// Base returns the asserted base database.
+func (m *maint) Base() *database.DB { return m.base }
 
 // meter starts a fresh per-update budget meter. Each update is governed
 // like one evaluation: trips are deterministic because every charge

@@ -2,6 +2,7 @@ package ivm
 
 import (
 	"datalogeq/internal/ast"
+	"datalogeq/internal/database"
 	"datalogeq/internal/eval"
 )
 
@@ -102,6 +103,9 @@ func (m *maint) Retract(facts []ast.Atom) (eval.UpdateStats, error) {
 				return m.fail(&us, meter, err)
 			}
 		}
+	}
+	if err := m.commitDurable(database.OpRetract, facts, &us, meter); err != nil {
+		return us, err
 	}
 	us.Budget = meter.Usage()
 	return us, nil

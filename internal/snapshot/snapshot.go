@@ -1,0 +1,231 @@
+// Package snapshot stores immutable generation files: each snapshot of
+// the durable store is one self-validating file, written atomically and
+// never modified afterwards.
+//
+// File layout (little-endian):
+//
+//	[8] magic "DLSNAP1\x00"
+//	[8] generation number
+//	[4] CRC32-Castagnoli of the payload
+//	[4] payload length n
+//	[n] payload (an opaque blob; the durable layer stores a
+//	    database.EncodeSnapshot payload behind a sequence header)
+//
+// Atomicity: Write lands the bytes in a temp file, fsyncs it, renames
+// it over the final name, and fsyncs the directory, so a crash leaves
+// either no generation file or a complete one — never a half-written
+// snapshot under the final name. Readers validate the checksum, so even
+// a storage-level corruption downgrades to "this generation is
+// unusable" (Latest falls back to an older one) rather than silently
+// wrong state.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datalogeq/internal/crashpoint"
+)
+
+var magic = []byte("DLSNAP1\x00")
+
+const headerSize = 24
+
+// MaxPayload bounds a snapshot payload, mirroring the WAL's frame
+// bound: a length above it marks the file corrupt instead of driving a
+// giant allocation.
+const MaxPayload = 1 << 31
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Path returns the snapshot file name for a generation.
+func Path(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x", gen))
+}
+
+// WALPath returns the write-ahead log file name paired with a
+// generation: wal-<gen> holds the mutations committed after snap-<gen>
+// was taken (and snap-0 never exists — generation 0 is the empty
+// store).
+func WALPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x", gen))
+}
+
+// Write atomically lands the payload as generation gen in dir.
+func Write(dir string, gen uint64, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("snapshot: payload of %d bytes exceeds the %d-byte bound", len(payload), MaxPayload)
+	}
+	final := Path(dir, gen)
+	tmp := final + ".tmp"
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	// The checksum covers the generation number too, so a corrupted
+	// header cannot masquerade as a different (or intact) generation.
+	sum := crc32.Checksum(hdr[8:16], crcTable)
+	sum = crc32.Update(sum, crcTable, payload)
+	binary.LittleEndian.PutUint32(hdr[16:], sum)
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(payload)))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	crashpoint.Hit("snapshot/written")
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	crashpoint.Hit("snapshot/renamed")
+	return nil
+}
+
+// Read loads and validates one generation file, returning its payload.
+func Read(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize || string(data[:8]) != string(magic) {
+		return nil, fmt.Errorf("snapshot: %s is not a snapshot file", path)
+	}
+	n := binary.LittleEndian.Uint32(data[20:])
+	if n > MaxPayload || int(n) != len(data)-headerSize {
+		return nil, fmt.Errorf("snapshot: %s has payload length %d, file holds %d", path, n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	sum := crc32.Checksum(data[8:16], crcTable)
+	sum = crc32.Update(sum, crcTable, payload)
+	if sum != binary.LittleEndian.Uint32(data[16:]) {
+		return nil, fmt.Errorf("snapshot: %s fails its checksum", path)
+	}
+	return payload, nil
+}
+
+// List returns the generation numbers with a snapshot file in dir,
+// ascending. It does not validate the files.
+func List(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		gen, err := strconv.ParseUint(strings.TrimPrefix(name, "snap-"), 16, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Latest returns the highest generation in dir whose snapshot file
+// validates, falling back past corrupt generations. ok is false when no
+// valid snapshot exists (a fresh or generation-0 store).
+func Latest(dir string) (gen uint64, payload []byte, ok bool, err error) {
+	gens, err := List(dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		p, rerr := Read(Path(dir, gens[i]))
+		if rerr != nil {
+			continue // corrupt or torn: fall back to the previous generation
+		}
+		return gens[i], p, true, nil
+	}
+	return 0, nil, false, nil
+}
+
+// Remove deletes generation gen's snapshot file and paired WAL, plus
+// any leftover temp file. Missing files are not an error: removal is
+// the crash-resumable tail of the snapshot protocol.
+func Remove(dir string, gen uint64) error {
+	for _, p := range []string{Path(dir, gen) + ".tmp", Path(dir, gen), WALPath(dir, gen)} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return syncDir(dir)
+}
+
+// Clean removes every generation file in dir — snapshots, WALs, and
+// leftover temp files — except those of generation keep. Recovery calls
+// it after choosing a generation, so debris from crashed snapshot
+// attempts (stale older generations, corrupt newer ones, .tmp files)
+// cannot accumulate or be re-read.
+func Clean(dir string, keep uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, "snap-") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		var prefix string
+		switch {
+		case strings.HasPrefix(name, "snap-"):
+			prefix = "snap-"
+		case strings.HasPrefix(name, "wal-"):
+			prefix = "wal-"
+		default:
+			continue
+		}
+		gen, perr := strconv.ParseUint(strings.TrimPrefix(name, prefix), 16, 64)
+		if perr != nil || gen == keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

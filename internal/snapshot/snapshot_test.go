@@ -1,0 +1,122 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, ok, err := Latest(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	for gen, payload := range map[uint64][]byte{
+		1: []byte("generation one"),
+		2: {},
+		7: bytes.Repeat([]byte{0x11}, 1000),
+	} {
+		if err := Write(dir, gen, payload); err != nil {
+			t.Fatalf("Write gen %d: %v", gen, err)
+		}
+		got, err := Read(Path(dir, gen))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("Read gen %d: %q, %v", gen, got, err)
+		}
+	}
+	gens, err := List(dir)
+	if err != nil || len(gens) != 3 || gens[0] != 1 || gens[2] != 7 {
+		t.Fatalf("List = %v, %v", gens, err)
+	}
+	gen, payload, ok, err := Latest(dir)
+	if err != nil || !ok || gen != 7 || len(payload) != 1000 {
+		t.Fatalf("Latest = %d, %d bytes, ok=%v, err=%v", gen, len(payload), ok, err)
+	}
+}
+
+// TestLatestFallsBackPastCorruption corrupts the newest generation at
+// every byte in turn; Latest must fall back to the older intact one.
+func TestLatestFallsBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, 3, []byte("old but intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(dir, 4, []byte("newest")); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(Path(dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(pristine); pos++ {
+		mut := append([]byte(nil), pristine...)
+		mut[pos] ^= 0xff
+		if err := os.WriteFile(Path(dir, 4), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		gen, payload, ok, err := Latest(dir)
+		if err != nil || !ok || gen != 3 || string(payload) != "old but intact" {
+			t.Fatalf("flip at %d: Latest = %d, %q, ok=%v, err=%v", pos, gen, payload, ok, err)
+		}
+	}
+	// Truncations, including to below the header.
+	for cut := 0; cut < len(pristine); cut++ {
+		if err := os.WriteFile(Path(dir, 4), pristine[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		gen, _, ok, err := Latest(dir)
+		if err != nil || !ok || gen != 3 {
+			t.Fatalf("truncate at %d: Latest = %d, ok=%v, err=%v", cut, gen, ok, err)
+		}
+	}
+}
+
+// TestTempFilesIgnored ensures a crash between temp write and rename
+// (a lingering .tmp) is invisible to recovery.
+func TestTempFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, 1, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(Path(dir, 9)+".tmp", []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gen, payload, ok, err := Latest(dir)
+	if err != nil || !ok || gen != 1 || string(payload) != "real" {
+		t.Fatalf("Latest = %d, %q, ok=%v, err=%v", gen, payload, ok, err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, 2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(WALPath(dir, 2), []byte("wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(Path(dir, 2)+".tmp", []byte("tmp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(dir, 2); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("dir not empty after Remove: %v", ents)
+	}
+	if err := Remove(dir, 2); err != nil {
+		t.Fatalf("second Remove not idempotent: %v", err)
+	}
+	// Unrelated files survive.
+	if err := os.WriteFile(filepath.Join(dir, "other"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "other")); err != nil {
+		t.Fatalf("unrelated file removed: %v", err)
+	}
+}

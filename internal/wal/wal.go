@@ -1,0 +1,165 @@
+// Package wal implements the write-ahead log of the durable storage
+// backend: an append-only file of length-prefixed, CRC32-framed
+// records.
+//
+// Frame layout (all little-endian):
+//
+//	[4] payload length n
+//	[4] CRC32-Castagnoli of the payload
+//	[n] payload
+//
+// The durability contract is at the frame level: a record is committed
+// once Sync returns, and Scan recovers exactly the longest prefix of
+// intact frames — a torn tail (short header, short payload, impossible
+// length, or checksum mismatch) ends the scan cleanly without
+// surfacing an error, because a tail torn by a crash is the expected
+// state of a recovered log, not corruption of committed data. Open
+// truncates the file back to that valid prefix, so a repaired log
+// appends new frames over the torn bytes.
+//
+// Group commit: Append only writes; Sync makes every frame appended
+// since the previous Sync durable with one fsync. A caller committing a
+// batch of mutations appends one frame per record and pays a single
+// fsync for the group.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"datalogeq/internal/crashpoint"
+)
+
+// MaxFrame bounds a frame's payload length. A length field above it is
+// treated as a torn tail: no committed frame can be this large, so the
+// bytes are crash debris, and bounding the length keeps a corrupt
+// header from driving a huge allocation during recovery.
+const MaxFrame = 1 << 26 // 64 MiB
+
+const headerSize = 8
+
+// FrameOverhead is the per-record framing cost in bytes (length field
+// plus checksum); callers accounting for on-disk growth add it to each
+// payload's length.
+const FrameOverhead = headerSize
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Scan parses frames from data and returns the decoded payloads along
+// with the byte length of the valid prefix. It never fails and never
+// panics: the first torn or corrupt frame ends the scan, and everything
+// after it is ignored. The returned payloads alias data.
+func Scan(data []byte) (payloads [][]byte, valid int64) {
+	off := 0
+	for {
+		if len(data)-off < headerSize {
+			return payloads, int64(off)
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxFrame || int(n) > len(data)-off-headerSize {
+			return payloads, int64(off)
+		}
+		payload := data[off+headerSize : off+headerSize+int(n)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return payloads, int64(off)
+		}
+		payloads = append(payloads, payload)
+		off += headerSize + int(n)
+	}
+}
+
+// Log is an open write-ahead log positioned at the end of its valid
+// prefix. Single-writer: the durable store serializes commits.
+type Log struct {
+	f    *os.File
+	path string
+	size int64 // bytes of complete frames written (durable or not)
+	hdr  [headerSize]byte
+}
+
+// Open opens (creating if absent) the log at path, scans it, truncates
+// any torn tail, and returns the log positioned for appending together
+// with the payloads of every intact frame. The returned payloads are
+// copies and remain valid after further appends.
+func Open(path string) (*Log, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	payloads, valid := Scan(data)
+	if int64(len(data)) > valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Copy out of the read buffer so the payloads survive the buffer
+	// being garbage collected or the caller holding them long-term.
+	out := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		out[i] = append([]byte(nil), p...)
+	}
+	return &Log{f: f, path: path, size: valid}, out, nil
+}
+
+// Append writes one frame. The record is not durable until Sync
+// returns. The frame is written header first, then payload, with a
+// crash point between the two, so kill -9 injection can leave a
+// genuinely torn frame on disk.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(payload), MaxFrame)
+	}
+	binary.LittleEndian.PutUint32(l.hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(l.hdr[:]); err != nil {
+		return err
+	}
+	crashpoint.Hit("wal/mid-frame")
+	if _, err := l.f.Write(payload); err != nil {
+		return err
+	}
+	l.size += int64(headerSize + len(payload))
+	crashpoint.Hit("wal/appended")
+	return nil
+}
+
+// Sync makes every appended frame durable: the group-commit fsync.
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	crashpoint.Hit("wal/synced")
+	return nil
+}
+
+// Commit appends one frame and syncs: a single-record group.
+func (l *Log) Commit(payload []byte) error {
+	if err := l.Append(payload); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// Size returns the log's length in bytes of complete frames.
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the file path the log writes to.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the underlying file without syncing; call Sync first if
+// the final frames must be durable.
+func (l *Log) Close() error { return l.f.Close() }

@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildLog writes the given payloads to a fresh log at path, syncing
+// once (one commit group), and returns the file's bytes.
+func buildLog(t *testing.T, path string, payloads [][]byte) []byte {
+	t.Helper()
+	l, old, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(old) != 0 {
+		t.Fatalf("fresh log has %d records", len(old))
+	}
+	for _, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return data
+}
+
+func testPayloads() [][]byte {
+	return [][]byte{
+		[]byte("first record"),
+		{},
+		bytes.Repeat([]byte{0xab}, 300),
+		[]byte("the last record, torn apart byte by byte"),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	want := testPayloads()
+	data := buildLog(t, path, want)
+
+	got, valid := Scan(data)
+	if valid != int64(len(data)) {
+		t.Fatalf("valid = %d, file = %d", valid, len(data))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Reopen: same records, positioned at the end.
+	l, replay, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if len(replay) != len(want) || l.Size() != int64(len(data)) {
+		t.Fatalf("reopen: %d records, size %d; want %d records, size %d",
+			len(replay), l.Size(), len(want), len(data))
+	}
+	if err := l.Commit([]byte("appended after reopen")); err != nil {
+		t.Fatalf("Commit after reopen: %v", err)
+	}
+	data2, _ := os.ReadFile(path)
+	got2, _ := Scan(data2)
+	if len(got2) != len(want)+1 || string(got2[len(want)]) != "appended after reopen" {
+		t.Fatalf("append after reopen not scanned back: %d records", len(got2))
+	}
+}
+
+// TestTornTailEveryByte truncates the log inside the last frame at
+// every byte boundary and asserts the scan stops cleanly at the last
+// complete frame: no panic, no error, no partial record surfaced.
+func TestTornTailEveryByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	want := testPayloads()
+	data := buildLog(t, path, want)
+	_, prefix := Scan(data[:int64(len(data))-int64(len(want[len(want)-1]))-headerSize])
+	for cut := prefix; cut < int64(len(data)); cut++ {
+		got, valid := Scan(data[:cut])
+		if len(got) != len(want)-1 {
+			t.Fatalf("cut %d: %d records, want %d", cut, len(got), len(want)-1)
+		}
+		if valid != prefix {
+			t.Fatalf("cut %d: valid = %d, want %d", cut, valid, prefix)
+		}
+	}
+}
+
+// TestTornTailReopenRepairs writes a torn tail to disk and reopens: the
+// log must report only the intact records and physically truncate the
+// debris, so later appends produce a clean log.
+func TestTornTailReopenRepairs(t *testing.T) {
+	dir := t.TempDir()
+	want := testPayloads()
+	for cutBack := 1; cutBack <= headerSize+4; cutBack++ {
+		path := filepath.Join(dir, fmt.Sprintf("wal%d", cutBack))
+		data := buildLog(t, path, want)
+		if err := os.WriteFile(path, data[:len(data)-cutBack], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, replay, err := Open(path)
+		if err != nil {
+			t.Fatalf("cutBack %d: Open: %v", cutBack, err)
+		}
+		if len(replay) != len(want)-1 {
+			t.Fatalf("cutBack %d: %d records, want %d", cutBack, len(replay), len(want)-1)
+		}
+		if err := l.Commit([]byte("post-repair")); err != nil {
+			t.Fatalf("cutBack %d: Commit: %v", cutBack, err)
+		}
+		l.Close()
+		data2, _ := os.ReadFile(path)
+		got, valid := Scan(data2)
+		if valid != int64(len(data2)) || len(got) != len(want) ||
+			string(got[len(got)-1]) != "post-repair" {
+			t.Fatalf("cutBack %d: repaired log not clean: %d records, valid %d of %d",
+				cutBack, len(got), valid, len(data2))
+		}
+	}
+}
+
+// TestBitFlipEveryByte flips each byte of the last frame in turn; the
+// CRC (or the length bound) must reject the frame, and the scan must
+// stop at the previous record with no panic.
+func TestBitFlipEveryByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	want := testPayloads()
+	data := buildLog(t, path, want)
+	lastStart := int64(len(data)) - int64(len(want[len(want)-1])) - headerSize
+	for pos := lastStart; pos < int64(len(data)); pos++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), data...)
+			mut[pos] ^= flip
+			got, valid := Scan(mut)
+			if len(got) != len(want)-1 || valid != lastStart {
+				t.Fatalf("flip %#x at %d: %d records (want %d), valid %d (want %d)",
+					flip, pos, len(got), len(want)-1, valid, lastStart)
+			}
+		}
+	}
+}
+
+// TestCorruptMidLog flips a byte in an EARLIER frame: everything from
+// that frame on is lost, but the prefix before it still replays.
+func TestCorruptMidLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	want := testPayloads()
+	data := buildLog(t, path, want)
+	// Corrupt the payload of record 0 (offset headerSize).
+	mut := append([]byte(nil), data...)
+	mut[headerSize] ^= 0xff
+	got, valid := Scan(mut)
+	if len(got) != 0 || valid != 0 {
+		t.Fatalf("corrupt first record: %d records, valid %d", len(got), valid)
+	}
+}
+
+func TestHugeLengthTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	data := buildLog(t, path, [][]byte{[]byte("ok")})
+	// Append a header claiming a larger-than-MaxFrame payload.
+	tail := make([]byte, headerSize)
+	tail[0], tail[1], tail[2], tail[3] = 0xff, 0xff, 0xff, 0x7f
+	got, valid := Scan(append(data, tail...))
+	if len(got) != 1 || valid != int64(len(data)) {
+		t.Fatalf("huge length: %d records, valid %d of %d", len(got), valid, len(data))
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized Append did not fail")
+	}
+}

@@ -57,6 +57,8 @@ func main() {
 		err = cmdRepl(os.Args[2:])
 	case "recover":
 		err = cmdRecover(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
@@ -67,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|opt|trees|repl|recover> [flags]
+	fmt.Fprintln(os.Stderr, `usage: datalog <eval|unfold|classify|check|opt|trees|repl|recover|serve> [flags]
   eval     -program FILE -db FILE -goal PRED [-naive] [-workers N] [-explain] [-optimize] [-no-planner] [-max-facts N] [-max-steps N] [-timeout D]
            [-data DIR] [-watch] [-checkpoint] [-snapshot-bytes N] [-max-bytes N]
   unfold   -program FILE -goal PRED [-minimize]
@@ -76,7 +78,9 @@ func usage() {
   opt      FILE... [-goal PRED] [-json] [-verify] [-passes] [-depth N] [-max-states N] [-no-unfold]
   trees    -program FILE -goal PRED [-depth N] [-count N] [-dot]
   repl     interactive session
-  recover  -data DIR [-program FILE] [-verify]`)
+  recover  -data DIR [-program FILE] [-verify]
+  serve    -program FILE [-data DIR] [-http ADDR] [-line ADDR] [-max-inflight N] [-queue-depth N]
+           [-deadline D] [-max-deadline D] [-max-facts N] [-max-steps N] [-max-wall D] [-max-maintained N]`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,133 @@
+package main
+
+// datalog serve: the network front end. Holds one maintained
+// materialization (in-memory, or durable with -data) and serves it over
+// HTTP/JSON and the line protocol with admission control, per-tenant
+// budgets, deadline propagation, idempotent durable mutations, and a
+// graceful SIGTERM drain (finish in-flight work, checkpoint, exit 0).
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datalogeq/internal/guard"
+	"datalogeq/internal/server"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	progPath := fs.String("program", "", "program file (required)")
+	dataDir := fs.String("data", "", "durable store directory; empty serves from memory")
+	httpAddr := fs.String("http", "", "HTTP/JSON listen address (e.g. :8080); empty disables")
+	lineAddr := fs.String("line", "", "line-protocol listen address (e.g. :8081); empty disables")
+	workers := fs.Int("workers", 0, "eval workers per round (0 = all cores)")
+	maxInflight := fs.Int("max-inflight", 4, "concurrently executing requests")
+	queueDepth := fs.Int("queue-depth", 16, "admission queue length; requests beyond it are shed")
+	defDeadline := fs.Duration("deadline", 10*time.Second, "default per-request deadline")
+	maxDeadline := fs.Duration("max-deadline", time.Minute, "clamp for client-supplied deadlines")
+	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint on shed and unknown responses")
+	idle := fs.Duration("idle-timeout", 2*time.Minute, "close line connections idle this long")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight work on SIGTERM")
+	maxFacts := fs.Int64("max-facts", 0, "per-request budget: derived facts (0 = unlimited)")
+	maxSteps := fs.Int64("max-steps", 0, "per-request budget: rule firings (0 = unlimited)")
+	maxWall := fs.Duration("max-wall", 0, "per-request budget: wall clock (0 = unlimited)")
+	maxMaintained := fs.Int64("max-maintained", 0, "per-request budget: maintained row touches (0 = unlimited)")
+	snapBytes := fs.Int64("snapshot-bytes", 0, "with -data: WAL size triggering a snapshot (0 = default)")
+	maxBytes := fs.Int64("max-bytes", 0, "with -data: refuse commits past this many bytes written (0 = unlimited)")
+	quiet := fs.Bool("quiet", false, "suppress operational log lines")
+	fs.Parse(args)
+	if *progPath == "" {
+		return fmt.Errorf("serve needs -program")
+	}
+	if *httpAddr == "" && *lineAddr == "" {
+		return fmt.Errorf("serve needs -http and/or -line")
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := server.New(server.Config{
+		Program:         prog,
+		DataDir:         *dataDir,
+		SnapshotBytes:   *snapBytes,
+		MaxBytes:        *maxBytes,
+		Workers:         *workers,
+		MaxInflight:     *maxInflight,
+		QueueDepth:      *queueDepth,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+		RetryAfter:      *retryAfter,
+		IdleTimeout:     *idle,
+		DefaultBudget: guard.Budget{
+			MaxFacts:      *maxFacts,
+			MaxSteps:      *maxSteps,
+			MaxWall:       *maxWall,
+			MaxMaintained: *maxMaintained,
+		},
+		Logf: logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 2)
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		logf("datalog serve: http on %s", ln.Addr())
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go func() { //repolint:allow goroutine — http.Server accept loop; lifecycle is the drain sequence, not a par pool.
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				errc <- err
+			}
+		}()
+	}
+	if *lineAddr != "" {
+		ln, err := net.Listen("tcp", *lineAddr)
+		if err != nil {
+			return err
+		}
+		logf("datalog serve: line protocol on %s", ln.Addr())
+		go func() { //repolint:allow goroutine — accept loop lives for the process; lifecycle is the drain sequence, not a par pool.
+			if err := srv.ServeLine(ln); err != nil {
+				errc <- err
+			}
+		}()
+	}
+
+	// Graceful drain: SIGTERM/SIGINT stop accepting, finish in-flight
+	// requests (bounded by -drain-timeout), checkpoint, exit 0.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logf("datalog serve: %v, draining", sig)
+	case err := <-errc:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if httpSrv != nil {
+		httpSrv.Shutdown(ctx)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logf("datalog serve: drained cleanly")
+	return nil
+}

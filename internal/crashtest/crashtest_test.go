@@ -232,6 +232,73 @@ func TestCrashRecoveryUnarmed(t *testing.T) {
 	}
 }
 
+// TestCrashDuringTornTruncation is the double-crash scenario the
+// directory fsync in wal.Open exists for: crash #1 (mid-frame) leaves a
+// torn WAL tail; the recovery run truncates that tail and is itself
+// killed between the truncate and its fsyncs (crash #2 at
+// wal/torn-truncated) — exactly the window where, without the syncs, a
+// third open could see the torn bytes resurrected and interleaved under
+// fresh appends. Recovery after the second crash must still match the
+// oracle, and the continuation run must finish the stream.
+func TestCrashDuringTornTruncation(t *testing.T) {
+	dir := t.TempDir()
+	// Crash #1: die mid-append, leaving a torn frame on disk.
+	res, err := crashtest.Run(crashtest.Config{
+		Test: childTest, Dir: dir,
+		Point: "wal/mid-frame", Hit: 3,
+		Env: childEnv(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Killed {
+		t.Fatalf("first child not killed\n%s", res.Output)
+	}
+	// Crash #2: the recovery run hits the torn tail, truncates it, and
+	// dies before the truncation is fsynced.
+	res, err = crashtest.Run(crashtest.Config{
+		Test: childTest, Dir: dir,
+		Point: "wal/torn-truncated", Hit: 1,
+		Env: childEnv(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Killed {
+		t.Fatalf("second child not killed at wal/torn-truncated — no torn tail was found\n%s", res.Output)
+	}
+	verifyDir(t, dir)
+	// A third crash immediately after the durable truncation exercises
+	// the other side of the window.
+	res, err = crashtest.Run(crashtest.Config{
+		Test: childTest, Dir: dir,
+		Point: "wal/truncation-synced", Hit: 1,
+		Env: childEnv(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second crash died before appending, so this run may or may not
+	// find a torn tail again depending on what the page cache persisted;
+	// both a kill (tail found) and a completion (no tail) are legal.
+	if !res.Killed && !res.Completed {
+		t.Fatalf("third child neither killed nor completed\n%s", res.Output)
+	}
+	if res.Killed {
+		verifyDir(t, dir)
+		res, err = crashtest.Run(crashtest.Config{Test: childTest, Dir: dir, Env: childEnv()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("continuation child did not complete\n%s", res.Output)
+		}
+	}
+	if got := verifyDir(t, dir); got != childSteps {
+		t.Fatalf("final Seq = %d, want %d", got, childSteps)
+	}
+}
+
 // TestCrashRepeatedKills crashes the same store over and over at
 // successive commits — kill at every WAL fsync in turn — verifying
 // recovery after each, so corruption can never accumulate across

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"sort"
 
 	"datalogeq/internal/ast"
 	"datalogeq/internal/crashpoint"
@@ -55,6 +56,10 @@ type OpenOptions struct {
 type Batch struct {
 	Op    byte // OpInsert or OpRetract
 	Facts []ast.Atom
+	// Client and ClientSeq are the idempotency tag the batch was
+	// committed with (CommitTagged); empty/zero for untagged batches.
+	Client    string
+	ClientSeq uint64
 }
 
 // Durable is an open durable store. It owns the directory's WAL and
@@ -74,6 +79,15 @@ type Durable struct {
 	snapSeq   uint64
 	tail      []Batch
 	seq       uint64
+
+	// clients is the idempotency table: per client ID, the highest
+	// client sequence number ever committed under that ID. It rides the
+	// durability protocol — folded into each snapshot payload, advanced
+	// by each CommitTagged, and rebuilt at Open from the snapshot table
+	// plus the WAL tail's tags — so a serving front end recovering after
+	// kill -9 still recognizes every acknowledged (client, seq) pair and
+	// never double-applies a retried mutation.
+	clients map[string]uint64
 }
 
 // Open opens (creating if needed) the durable store in dir and
@@ -87,7 +101,7 @@ func Open(dir string, opts OpenOptions) (*Durable, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	d := &Durable{dir: dir, opts: opts, meter: opts.Budget.Started().Meter()}
+	d := &Durable{dir: dir, opts: opts, meter: opts.Budget.Started().Meter(), clients: make(map[string]uint64)}
 
 	// Choose the newest generation that both validates (checksum) and
 	// decodes; anything newer is a torn or corrupt snapshot attempt.
@@ -104,11 +118,18 @@ func Open(dir string, opts OpenOptions) (*Durable, error) {
 		if n <= 0 {
 			continue
 		}
-		dbs, derr := DecodeSnapshot(payload[n:])
+		clients, rest, cerr := decodeClientTable(payload[n:])
+		if cerr != nil {
+			continue
+		}
+		dbs, derr := DecodeSnapshot(rest)
 		if derr != nil {
 			continue
 		}
 		d.gen, d.snapSeq, d.snapState = gens[i], seq, dbs
+		for c, s := range clients {
+			d.clients[c] = s
+		}
 		break
 	}
 	if err := snapshot.Clean(dir, d.gen); err != nil {
@@ -127,7 +148,7 @@ func Open(dir string, opts OpenOptions) (*Durable, error) {
 	d.log = log
 	d.torn = rawSize - log.Size()
 	for i, p := range payloads {
-		op, facts, derr := DecodeBatch(p)
+		op, facts, client, cseq, derr := DecodeBatchTagged(p)
 		if derr != nil {
 			// The frame passed its checksum, so this is not a torn tail
 			// but a real corruption (or version skew) of committed data:
@@ -135,7 +156,10 @@ func Open(dir string, opts OpenOptions) (*Durable, error) {
 			log.Close()
 			return nil, fmt.Errorf("database: wal-%016x frame %d: %w", d.gen, i, derr)
 		}
-		d.tail = append(d.tail, Batch{Op: op, Facts: facts})
+		d.tail = append(d.tail, Batch{Op: op, Facts: facts, Client: client, ClientSeq: cseq})
+		if client != "" && cseq > d.clients[client] {
+			d.clients[client] = cseq
+		}
 	}
 	d.seq = d.snapSeq + uint64(len(d.tail))
 	return d, nil
@@ -178,7 +202,17 @@ func (d *Durable) Usage() guard.Usage { return d.meter.Usage() }
 // appended, and fsynced. When Commit returns nil the batch survives
 // any crash.
 func (d *Durable) Commit(op byte, facts []ast.Atom) error {
-	payload := EncodeBatch(op, facts)
+	return d.CommitTagged(op, facts, "", 0)
+}
+
+// CommitTagged commits one applied batch together with its client
+// idempotency tag. The tag is durable with the batch — recorded in the
+// WAL frame and folded into every later snapshot — so after any crash
+// ClientSeq still reports the pair and a retry of the same (client,
+// clientSeq) can be recognized instead of re-applied. An empty client
+// commits untagged.
+func (d *Durable) CommitTagged(op byte, facts []ast.Atom, client string, clientSeq uint64) error {
+	payload := EncodeBatchTagged(op, facts, client, clientSeq)
 	if err := d.meter.Charge("durable/commit", guard.Bytes, int64(len(payload))+wal.FrameOverhead); err != nil {
 		return err
 	}
@@ -186,7 +220,29 @@ func (d *Durable) Commit(op byte, facts []ast.Atom) error {
 		return err
 	}
 	d.seq++
+	if client != "" && clientSeq > d.clients[client] {
+		d.clients[client] = clientSeq
+	}
 	return nil
+}
+
+// ClientSeq returns the highest client sequence number ever committed
+// under the client ID, and whether the client has committed at all. A
+// serving front end treats an incoming (client, seq) with seq at or
+// below the returned value as a retry of an already-acknowledged batch.
+func (d *Durable) ClientSeq(client string) (uint64, bool) {
+	s, ok := d.clients[client]
+	return s, ok
+}
+
+// Clients returns a copy of the idempotency table: every client ID the
+// store has committed tagged batches for, with its highest sequence.
+func (d *Durable) Clients() map[string]uint64 {
+	out := make(map[string]uint64, len(d.clients))
+	for c, s := range d.clients {
+		out[c] = s
+	}
+	return out
 }
 
 // ShouldSnapshot reports whether the WAL has outgrown the configured
@@ -209,6 +265,7 @@ func (d *Durable) ShouldSnapshot() bool {
 // every batch committed so far (it is stamped with Seq).
 func (d *Durable) Snapshot(dbs []*DB) error {
 	payload := binary.AppendUvarint(nil, d.seq)
+	payload = appendClientTable(payload, d.clients)
 	payload = append(payload, EncodeSnapshot(dbs)...)
 	if err := d.meter.Charge("durable/snapshot", guard.Bytes, int64(len(payload))); err != nil {
 		return err
@@ -240,3 +297,45 @@ func (d *Durable) Snapshot(dbs []*DB) error {
 // Close closes the WAL without syncing (every acknowledged Commit has
 // already been fsynced). The store must not be used afterwards.
 func (d *Durable) Close() error { return d.log.Close() }
+
+// appendClientTable serializes the idempotency table in sorted client
+// order (determinism: the same committed history always produces the
+// same snapshot bytes).
+func appendClientTable(buf []byte, clients map[string]uint64) []byte {
+	names := make([]string, 0, len(clients))
+	for c := range clients {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, c := range names {
+		buf = appendString(buf, c)
+		buf = binary.AppendUvarint(buf, clients[c])
+	}
+	return buf
+}
+
+// decodeClientTable parses the idempotency table from the head of a
+// snapshot payload (after the sequence number) and returns the
+// remaining snapshot body. Payloads written before the table existed
+// start directly with the snapshot magic; they decode as an empty
+// table, so old stores open cleanly.
+func decodeClientTable(data []byte) (map[string]uint64, []byte, error) {
+	if len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == string(snapMagic) {
+		return nil, data, nil
+	}
+	rd := &sreader{data: data}
+	n := rd.count(2)
+	clients := make(map[string]uint64, n)
+	for i := 0; i < n && rd.err == nil; i++ {
+		c := rd.str()
+		s := rd.uvarint()
+		if rd.err == nil {
+			clients[c] = s
+		}
+	}
+	if rd.err != nil {
+		return nil, nil, fmt.Errorf("database: snapshot client table: %w", rd.err)
+	}
+	return clients, data[rd.off:], nil
+}

@@ -40,6 +40,11 @@ const (
 	OpInsert = byte(1)
 	// OpRetract is a committed ivm.Handle.Retract.
 	OpRetract = byte(2)
+	// opTagged flags a batch payload carrying a client idempotency tag
+	// (client ID string plus client-assigned sequence number) ahead of
+	// the fact body. The tag is how a serving front end makes retried
+	// mutations exactly-once across severed connections and crashes.
+	opTagged = byte(0x80)
 )
 
 // IndexMasks returns the column bitmasks of the relation's persistent
@@ -176,7 +181,25 @@ func DecodeSnapshot(data []byte) ([]*DB, error) {
 // as strings, not IDs, because a WAL batch must replay correctly after
 // a snapshot whose interner assignment it has never seen.
 func EncodeBatch(op byte, facts []ast.Atom) []byte {
-	buf := []byte{op}
+	return appendBatchBody([]byte{op}, facts)
+}
+
+// EncodeBatchTagged frames one committed mutation together with its
+// client idempotency tag: the (client, clientSeq) pair a serving front
+// end uses to recognize a retried batch after a severed connection or a
+// crash. An empty client encodes the plain untagged form.
+func EncodeBatchTagged(op byte, facts []ast.Atom, client string, clientSeq uint64) []byte {
+	if client == "" {
+		return EncodeBatch(op, facts)
+	}
+	buf := []byte{op | opTagged}
+	buf = appendString(buf, client)
+	buf = binary.AppendUvarint(buf, clientSeq)
+	return appendBatchBody(buf, facts)
+}
+
+// appendBatchBody appends the fact list as predicate/constant strings.
+func appendBatchBody(buf []byte, facts []ast.Atom) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(facts)))
 	for _, f := range facts {
 		buf = appendString(buf, f.Pred)
@@ -189,12 +212,29 @@ func EncodeBatch(op byte, facts []ast.Atom) []byte {
 }
 
 // DecodeBatch parses a WAL batch payload back into its opcode and
-// ground facts.
+// ground facts, dropping any idempotency tag.
 func DecodeBatch(data []byte) (op byte, facts []ast.Atom, err error) {
+	op, facts, _, _, err = DecodeBatchTagged(data)
+	return op, facts, err
+}
+
+// DecodeBatchTagged parses a WAL batch payload in either form: the
+// untagged opcode+facts layout, or the tagged layout carrying the
+// (client, clientSeq) idempotency pair. Untagged batches return an
+// empty client.
+func DecodeBatchTagged(data []byte) (op byte, facts []ast.Atom, client string, clientSeq uint64, err error) {
 	rd := &sreader{data: data}
 	op = rd.byte()
+	if op&opTagged != 0 {
+		op &^= opTagged
+		client = rd.str()
+		clientSeq = rd.uvarint()
+		if rd.err == nil && client == "" {
+			return 0, nil, "", 0, fmt.Errorf("database: tagged batch has an empty client ID")
+		}
+	}
 	if rd.err == nil && op != OpInsert && op != OpRetract {
-		return 0, nil, fmt.Errorf("database: batch has unknown opcode %d", op)
+		return 0, nil, "", 0, fmt.Errorf("database: batch has unknown opcode %d", op)
 	}
 	nfacts := rd.count(2)
 	facts = make([]ast.Atom, 0, nfacts)
@@ -208,12 +248,12 @@ func DecodeBatch(data []byte) (op byte, facts []ast.Atom, err error) {
 		facts = append(facts, ast.Atom{Pred: pred, Args: args})
 	}
 	if rd.err != nil {
-		return 0, nil, rd.err
+		return 0, nil, "", 0, rd.err
 	}
 	if rd.off != len(rd.data) {
-		return 0, nil, fmt.Errorf("database: batch payload has %d trailing bytes", len(rd.data)-rd.off)
+		return 0, nil, "", 0, fmt.Errorf("database: batch payload has %d trailing bytes", len(rd.data)-rd.off)
 	}
-	return op, facts, nil
+	return op, facts, client, clientSeq, nil
 }
 
 var errTruncated = errors.New("database: truncated snapshot payload")

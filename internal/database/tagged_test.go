@@ -1,0 +1,196 @@
+package database
+
+// Tests for the idempotency-tag extension of the durability protocol:
+// tagged WAL frames, the client table in snapshots, and the recovery
+// paths that rebuild the table after a crash.
+
+import (
+	"testing"
+
+	"datalogeq/internal/ast"
+)
+
+func TestBatchTaggedRoundTrip(t *testing.T) {
+	facts := []ast.Atom{atom("edge", "a", "b"), atom("edge", "b", "c")}
+	enc := EncodeBatchTagged(OpInsert, facts, "client-7", 42)
+	op, got, client, seq, err := DecodeBatchTagged(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if op != OpInsert || client != "client-7" || seq != 42 || len(got) != 2 {
+		t.Fatalf("round trip: op=%d client=%q seq=%d facts=%v", op, client, seq, got)
+	}
+	for i := range facts {
+		if got[i].String() != facts[i].String() {
+			t.Fatalf("fact %d: %v != %v", i, got[i], facts[i])
+		}
+	}
+}
+
+func TestBatchTaggedEmptyClientIsUntagged(t *testing.T) {
+	facts := []ast.Atom{atom("edge", "a", "b")}
+	tagged := EncodeBatchTagged(OpRetract, facts, "", 9)
+	plain := EncodeBatch(OpRetract, facts)
+	if string(tagged) != string(plain) {
+		t.Fatalf("empty client must encode the untagged form")
+	}
+	op, _, client, seq, err := DecodeBatchTagged(tagged)
+	if err != nil || op != OpRetract || client != "" || seq != 0 {
+		t.Fatalf("decode untagged: op=%d client=%q seq=%d err=%v", op, client, seq, err)
+	}
+}
+
+func TestBatchUntaggedDecodeCompat(t *testing.T) {
+	// DecodeBatch still reads both forms: the tag is invisible to
+	// callers that ignore it.
+	facts := []ast.Atom{atom("edge", "x", "y")}
+	for _, enc := range [][]byte{
+		EncodeBatch(OpInsert, facts),
+		EncodeBatchTagged(OpInsert, facts, "c", 1),
+	} {
+		op, got, err := DecodeBatch(enc)
+		if err != nil || op != OpInsert || len(got) != 1 {
+			t.Fatalf("DecodeBatch: op=%d facts=%v err=%v", op, got, err)
+		}
+	}
+}
+
+func TestBatchTaggedRejectsEmptyClientOnWire(t *testing.T) {
+	// A tagged frame with an empty client name is crash debris or an
+	// encoder bug, never a legal commit.
+	enc := EncodeBatchTagged(OpInsert, []ast.Atom{atom("e", "a")}, "c", 1)
+	// Corrupt: rewrite the client-name length prefix to zero. Layout is
+	// [op][uvarint len(client)]... — a one-byte uvarint for short names.
+	bad := append([]byte(nil), enc...)
+	if bad[1] != 1 {
+		t.Fatalf("unexpected layout: client length prefix = %d", bad[1])
+	}
+	bad = append(bad[:2], bad[3:]...) // drop the name byte
+	bad[1] = 0
+	if _, _, _, _, err := DecodeBatchTagged(bad); err == nil {
+		t.Fatalf("tagged frame with empty client must be rejected")
+	}
+}
+
+// TestDurableClientTableAcrossWAL pins WAL-tail recovery of the
+// idempotency table: tagged commits with no snapshot in between.
+func TestDurableClientTableAcrossWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, OpenOptions{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	commits := []struct {
+		client string
+		seq    uint64
+	}{{"alice", 1}, {"bob", 1}, {"alice", 2}, {"alice", 3}, {"bob", 2}}
+	for i, c := range commits {
+		if err := d.CommitTagged(OpInsert, []ast.Atom{atom("e", "a", string(rune('a'+i)))}, c.client, c.seq); err != nil {
+			t.Fatalf("CommitTagged %d: %v", i, err)
+		}
+	}
+	check := func(d *Durable, stage string) {
+		t.Helper()
+		if got, ok := d.ClientSeq("alice"); !ok || got != 3 {
+			t.Fatalf("%s: alice = %d,%v want 3", stage, got, ok)
+		}
+		if got, ok := d.ClientSeq("bob"); !ok || got != 2 {
+			t.Fatalf("%s: bob = %d,%v want 2", stage, got, ok)
+		}
+		if _, ok := d.ClientSeq("mallory"); ok {
+			t.Fatalf("%s: unknown client reported known", stage)
+		}
+		if cs := d.Clients(); len(cs) != 2 || cs["alice"] != 3 || cs["bob"] != 2 {
+			t.Fatalf("%s: Clients() = %v", stage, cs)
+		}
+	}
+	check(d, "live")
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d2, err := Open(dir, OpenOptions{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	check(d2, "recovered from WAL tail")
+	if d2.Seq() != uint64(len(commits)) {
+		t.Fatalf("Seq = %d, want %d", d2.Seq(), len(commits))
+	}
+}
+
+// TestDurableClientTableAcrossSnapshot pins snapshot persistence: the
+// table is folded into the snapshot payload and recovered from it even
+// when the WAL tail is empty, and WAL-tail tags layered on top of a
+// snapshot table merge correctly.
+func TestDurableClientTableAcrossSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, OpenOptions{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := d.CommitTagged(OpInsert, []ast.Atom{atom("e", "a", "b")}, "alice", 1); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	db := New()
+	db.AddAtom(atom("e", "a", "b"))
+	if err := d.Snapshot([]*DB{db}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Post-snapshot commits land in the new generation's WAL.
+	if err := d.CommitTagged(OpInsert, []ast.Atom{atom("e", "b", "c")}, "bob", 5); err != nil {
+		t.Fatalf("commit after snapshot: %v", err)
+	}
+	d.Close()
+
+	d2, err := Open(dir, OpenOptions{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if got, ok := d2.ClientSeq("alice"); !ok || got != 1 {
+		t.Fatalf("alice from snapshot table: %d,%v want 1", got, ok)
+	}
+	if got, ok := d2.ClientSeq("bob"); !ok || got != 5 {
+		t.Fatalf("bob from WAL tail over snapshot: %d,%v want 5", got, ok)
+	}
+	if len(d2.Tail()) != 1 {
+		t.Fatalf("tail = %d batches, want 1", len(d2.Tail()))
+	}
+	// The recovered tail batch carries its tag.
+	if b := d2.Tail()[0]; b.Client != "bob" || b.ClientSeq != 5 {
+		t.Fatalf("tail tag: %+v", b)
+	}
+}
+
+// TestDurableUntaggedLegacyMix pins interop: untagged commits (the
+// pre-tag format) coexist with tagged ones in the same WAL and a
+// legacy snapshot payload (no client table) still opens.
+func TestDurableUntaggedLegacyMix(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, OpenOptions{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := d.Commit(OpInsert, []ast.Atom{atom("e", "a", "b")}); err != nil {
+		t.Fatalf("untagged commit: %v", err)
+	}
+	if err := d.CommitTagged(OpInsert, []ast.Atom{atom("e", "b", "c")}, "alice", 1); err != nil {
+		t.Fatalf("tagged commit: %v", err)
+	}
+	d.Close()
+	d2, err := Open(dir, OpenOptions{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Seq() != 2 || len(d2.Tail()) != 2 {
+		t.Fatalf("Seq=%d tail=%d, want 2/2", d2.Seq(), len(d2.Tail()))
+	}
+	if b := d2.Tail()[0]; b.Client != "" || b.ClientSeq != 0 {
+		t.Fatalf("untagged batch grew a tag: %+v", b)
+	}
+	if got, ok := d2.ClientSeq("alice"); !ok || got != 1 {
+		t.Fatalf("alice: %d,%v want 1", got, ok)
+	}
+}

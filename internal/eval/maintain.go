@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"datalogeq/internal/ast"
@@ -76,6 +77,25 @@ type Maintainer interface {
 // waiting for the size threshold.
 type Checkpointer interface {
 	Checkpoint() error
+}
+
+// TaggedMaintainer is implemented by durable maintainers that record a
+// client idempotency tag with each committed batch. A serving front end
+// uses it for exactly-once retries: a batch retried with a (client,
+// clientSeq) at or below ClientSeq has already been acknowledged and
+// must not be re-applied.
+type TaggedMaintainer interface {
+	InsertTagged(facts []ast.Atom, client string, clientSeq uint64) (UpdateStats, error)
+	RetractTagged(facts []ast.Atom, client string, clientSeq uint64) (UpdateStats, error)
+	ClientSeq(client string) (uint64, bool)
+	Clients() map[string]uint64
+}
+
+// ContextSetter is implemented by maintainers whose updates can be
+// bounded by a per-update context (deadline propagation from a serving
+// front end into the maintenance cascade).
+type ContextSetter interface {
+	SetUpdateContext(ctx context.Context)
 }
 
 // MaintainerFactory builds a Maintainer: it runs the initial fixpoint
@@ -163,6 +183,67 @@ func (h *Handle) Seq() uint64 {
 func (h *Handle) Close() error {
 	if c, ok := h.m.(interface{ Close() error }); ok {
 		return c.Close()
+	}
+	return nil
+}
+
+// InsertTagged is Insert with a durable idempotency tag: the committed
+// batch records (client, clientSeq), so after any crash or reconnect
+// ClientSeq still reports the acknowledged pair. On a maintainer
+// without tag support the facts are applied untagged.
+func (h *Handle) InsertTagged(facts []ast.Atom, client string, clientSeq uint64) (UpdateStats, error) {
+	if tm, ok := h.m.(TaggedMaintainer); ok {
+		return tm.InsertTagged(facts, client, clientSeq)
+	}
+	return h.m.Insert(facts)
+}
+
+// RetractTagged is Retract with a durable idempotency tag; see
+// InsertTagged.
+func (h *Handle) RetractTagged(facts []ast.Atom, client string, clientSeq uint64) (UpdateStats, error) {
+	if tm, ok := h.m.(TaggedMaintainer); ok {
+		return tm.RetractTagged(facts, client, clientSeq)
+	}
+	return h.m.Retract(facts)
+}
+
+// ClientSeq reports the durable idempotency table's entry for client:
+// the highest client sequence ever committed under that ID. (0, false)
+// when the client is unknown or the handle has no durable store.
+func (h *Handle) ClientSeq(client string) (uint64, bool) {
+	if tm, ok := h.m.(TaggedMaintainer); ok {
+		return tm.ClientSeq(client)
+	}
+	return 0, false
+}
+
+// Clients returns the durable idempotency table (client ID → highest
+// committed client sequence); nil without a durable store.
+func (h *Handle) Clients() map[string]uint64 {
+	if tm, ok := h.m.(TaggedMaintainer); ok {
+		return tm.Clients()
+	}
+	return nil
+}
+
+// SetUpdateContext bounds later Insert/Retract calls with ctx: an
+// expired context rejects the update up front (handle intact), and a
+// cancellation mid-cascade aborts it like a budget trip (handle
+// poisoned — the caller must rebuild, see Err). nil clears the bound.
+func (h *Handle) SetUpdateContext(ctx context.Context) {
+	if cs, ok := h.m.(ContextSetter); ok {
+		cs.SetUpdateContext(ctx)
+	}
+}
+
+// Err returns the error that poisoned the handle — a budget trip,
+// cancellation, or I/O failure mid-update left the materialization
+// inconsistent — or nil while the handle is healthy. A poisoned handle
+// refuses further updates; rebuild it from the durable store (whose
+// state is exactly the acknowledged batches) or from Base.
+func (h *Handle) Err() error {
+	if b, ok := h.m.(interface{ Broken() error }); ok {
+		return b.Broken()
 	}
 	return nil
 }

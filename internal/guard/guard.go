@@ -264,9 +264,13 @@ type LimitError struct {
 	Usage Usage
 }
 
-// Error renders the trip without the wall-clock portion of the
-// snapshot, so the message is bit-identical across runs and worker
-// counts (differential tests compare error strings).
+// Error renders the trip. Counter trips omit the wall-clock portion of
+// the snapshot, so those messages are bit-identical across runs and
+// worker counts (differential tests compare error strings). Wall trips
+// are inherently nondeterministic, so they instead report how long the
+// request actually ran against its limit plus the full usage snapshot —
+// the "how far did it get before shedding" detail server responses and
+// logs surface.
 func (e *LimitError) Error() string {
 	det := e.Usage
 	det.Wall = 0
@@ -275,8 +279,8 @@ func (e *LimitError) Error() string {
 		kind = "injected fault"
 	}
 	if e.Resource == Wall && !e.Injected {
-		return fmt.Sprintf("guard: %s: wall budget %s exhausted (%s)",
-			e.Phase, time.Duration(e.Limit), det)
+		return fmt.Sprintf("guard: %s: wall budget %s exhausted after %s (progress: %s)",
+			e.Phase, time.Duration(e.Limit), e.Usage.Wall.Round(time.Millisecond), det)
 	}
 	return fmt.Sprintf("guard: %s: %s %s at %d of %d (%s)",
 		e.Phase, e.Resource, kind, e.count(), e.Limit, det)

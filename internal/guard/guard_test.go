@@ -81,6 +81,32 @@ func TestWallDeadline(t *testing.T) {
 	}
 }
 
+func TestWallTripErrorDetail(t *testing.T) {
+	// A wall trip's message reports elapsed-vs-limit and the usage
+	// snapshot: the "how far did it get before shedding" detail server
+	// responses and logs surface. (Counter trips stay deterministic and
+	// are covered above; wall trips are inherently timed, so including
+	// the elapsed time is safe.)
+	b := Budget{MaxWall: time.Nanosecond}.Started()
+	m := b.Meter()
+	for i := 0; i < 7; i++ {
+		m.Charge("phase", Facts, 1)
+	}
+	time.Sleep(time.Millisecond)
+	err := m.CheckWall("phase")
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want LimitError", err)
+	}
+	s := le.Error()
+	if !strings.Contains(s, "wall budget 1ns exhausted after ") {
+		t.Errorf("message lacks elapsed-vs-limit detail: %q", s)
+	}
+	if !strings.Contains(s, "progress: ") || !strings.Contains(s, "facts=7") {
+		t.Errorf("message lacks the usage snapshot: %q", s)
+	}
+}
+
 func TestStartedPinsOneDeadline(t *testing.T) {
 	b := Budget{MaxWall: time.Hour}.Started()
 	m1, m2 := b.Meter(), b.Meter()

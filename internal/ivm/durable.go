@@ -88,7 +88,7 @@ func (m *maint) commitDurable(op byte, facts []ast.Atom, us *eval.UpdateStats, m
 	if m.dur == nil {
 		return nil
 	}
-	if err := m.dur.Commit(op, facts); err != nil {
+	if err := m.dur.CommitTagged(op, facts, m.tagClient, m.tagSeq); err != nil {
 		_, e := m.fail(us, meter, err)
 		return e
 	}

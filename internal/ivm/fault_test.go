@@ -1,0 +1,182 @@
+package ivm_test
+
+// I/O-error degradation: an injected failure under wal.Commit — a short
+// write (torn frame), a refused write (disk full before any byte), or a
+// failed fsync — must poison the maintenance handle cleanly (the error
+// is surfaced, further updates are refused), and reopening the
+// directory must recover to a consistent state containing every
+// acknowledged batch. The injected short writes are real: the permitted
+// prefix hits the disk, so recovery runs against genuine torn frames,
+// not simulated ones.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"datalogeq/internal/database"
+	"datalogeq/internal/eval"
+	"datalogeq/internal/parser"
+	"datalogeq/internal/wal"
+)
+
+func TestWALFaultPoisonsAndRecovers(t *testing.T) {
+	injected := errors.New("injected I/O failure")
+	cases := []struct {
+		name string
+		// fault builds the injector for one scenario.
+		fault func() wal.FaultFunc
+		// batch2Survives: the failed batch's frame still reached disk
+		// complete, so recovery replays it. (Legal: the batch was never
+		// acknowledged, and unacknowledged work may land — the contract
+		// is exactly-once for acknowledged batches only.)
+		batch2Survives bool
+	}{
+		{
+			// ENOSPC at the first byte: nothing of the frame lands.
+			name: "write-refused",
+			fault: func() wal.FaultFunc {
+				return func(op string, n int) (int, error) {
+					if op == "write" {
+						return 0, injected
+					}
+					return n, nil
+				}
+			},
+		},
+		{
+			// Short write on the payload: the header and half the payload
+			// land for real — a genuinely torn frame that reopen must
+			// truncate.
+			name: "short-write",
+			fault: func() wal.FaultFunc {
+				writes := 0
+				return func(op string, n int) (int, error) {
+					if op != "write" {
+						return n, nil
+					}
+					writes++
+					if writes == 2 { // frame layout: header write, then payload write
+						return n / 2, injected
+					}
+					return n, nil
+				}
+			},
+		},
+		{
+			// fsync failure: the frame is complete on disk but never
+			// acknowledged durable.
+			name:           "sync-failure",
+			batch2Survives: true,
+			fault: func() wal.FaultFunc {
+				return func(op string, n int) (int, error) {
+					if op == "sync" {
+						return 0, injected
+					}
+					return n, nil
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			prog := parser.MustProgram(tcSrc)
+			h := openDurable(t, dir, prog, eval.Options{}, -1)
+
+			if _, err := h.Insert(parser.MustAtomList("e(a, b), e(b, c)")); err != nil {
+				t.Fatalf("batch 1: %v", err)
+			}
+			if h.Seq() != 1 {
+				t.Fatalf("Seq = %d, want 1", h.Seq())
+			}
+
+			wal.SetFault(tc.fault())
+			_, err := h.Insert(parser.MustAtomList("e(c, d)"))
+			wal.SetFault(nil)
+			if !errors.Is(err, injected) {
+				t.Fatalf("faulted insert: err = %v, want injected failure", err)
+			}
+			// The handle is poisoned: the in-memory state is ahead of the
+			// durable state, so continuing would acknowledge ghosts.
+			if h.Err() == nil {
+				t.Fatalf("handle not poisoned after commit failure")
+			}
+			if _, err := h.Insert(parser.MustAtomList("e(x, y)")); err == nil ||
+				!strings.Contains(err.Error(), "no longer consistent") {
+				t.Fatalf("poisoned handle accepted an update: %v", err)
+			}
+			if _, err := h.Retract(parser.MustAtomList("e(a, b)")); err == nil {
+				t.Fatalf("poisoned handle accepted a retract")
+			}
+			if err := h.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			// Reopen: recovery lands on a consistent fixpoint containing
+			// every acknowledged batch.
+			h2 := openDurable(t, dir, prog, eval.Options{}, -1)
+			defer h2.Close()
+			baseSrc := "e(a, b). e(b, c)."
+			wantSeq := uint64(1)
+			if tc.batch2Survives {
+				baseSrc = "e(a, b). e(b, c). e(c, d)."
+				wantSeq = 2
+			}
+			if h2.Seq() != wantSeq {
+				t.Fatalf("recovered Seq = %d, want %d", h2.Seq(), wantSeq)
+			}
+			oracle := mustMaintain(t, prog, database.MustParse(baseSrc), eval.Options{})
+			if got, want := h2.DB().String(), oracle.DB().String(); got != want {
+				t.Fatalf("recovered state:\n%s\nwant:\n%s", got, want)
+			}
+			if got, want := countLines(h2.DB()), countLines(oracle.DB()); got != want {
+				t.Fatalf("recovered counts:\n%s\nwant:\n%s", got, want)
+			}
+			// The recovered handle serves updates again.
+			if _, err := h2.Insert(parser.MustAtomList("e(d, f)")); err != nil {
+				t.Fatalf("insert after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestWALFaultTaggedNotAcked pins the serving-layer consequence: a
+// tagged batch whose commit fails must NOT appear in the recovered
+// idempotency table — the client was never acknowledged, so its retry
+// must re-apply, not read as a duplicate.
+func TestWALFaultTaggedNotAcked(t *testing.T) {
+	dir := t.TempDir()
+	prog := parser.MustProgram(tcSrc)
+	h := openDurable(t, dir, prog, eval.Options{}, -1)
+	if _, err := h.InsertTagged(parser.MustAtomList("e(a, b)"), "c1", 1); err != nil {
+		t.Fatalf("batch 1: %v", err)
+	}
+	injected := fmt.Errorf("injected write failure")
+	wal.SetFault(func(op string, n int) (int, error) {
+		if op == "write" {
+			return 0, injected
+		}
+		return n, nil
+	})
+	_, err := h.InsertTagged(parser.MustAtomList("e(b, c)"), "c1", 2)
+	wal.SetFault(nil)
+	if err == nil {
+		t.Fatalf("faulted tagged insert succeeded")
+	}
+	h.Close()
+
+	h2 := openDurable(t, dir, prog, eval.Options{}, -1)
+	defer h2.Close()
+	if got, ok := h2.ClientSeq("c1"); !ok || got != 1 {
+		t.Fatalf("recovered client seq = %d,%v — want 1 (failed batch must not be acknowledged)", got, ok)
+	}
+	// The retry applies.
+	if _, err := h2.InsertTagged(parser.MustAtomList("e(b, c)"), "c1", 2); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if got, _ := h2.ClientSeq("c1"); got != 2 {
+		t.Fatalf("after retry: %d, want 2", got)
+	}
+}

@@ -33,6 +33,7 @@
 package ivm
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -137,6 +138,19 @@ type maint struct {
 	// a WAL past its size threshold triggers a snapshot. nil while
 	// recovery replays the tail, so replayed batches are not re-logged.
 	dur *database.Durable
+
+	// tagClient/tagSeq, when set, are the idempotency tag the next
+	// durable commit records with its batch (InsertTagged /
+	// RetractTagged); cleared after each update.
+	tagClient string
+	tagSeq    uint64
+
+	// updCtx/updDone, when set via SetUpdateContext, bound the next
+	// updates with a caller deadline: cancellation is observed at every
+	// admission point and aborts the update like a budget trip
+	// (poisoning the handle, since the live state is mid-cascade).
+	updCtx  context.Context
+	updDone <-chan struct{}
 }
 
 // newMaint runs the initial fixpoint and attaches exact support counts.
@@ -513,10 +527,22 @@ func (m *maint) checkUsable() error {
 }
 
 // charge records one admission (row inserted or deleted, or one support
-// count mutated) against the Maintained budget dimension. On a trip the
-// stop flag winds down any streaming enumeration and the handle is
-// poisoned by the caller.
+// count mutated) against the Maintained budget dimension, and polls the
+// update context. On a trip or a cancellation the stop flag winds down
+// any streaming enumeration and the handle is poisoned by the caller.
 func (m *maint) charge(meter *guard.Meter, phase string) error {
+	if m.updDone != nil {
+		select {
+		case <-m.updDone:
+			err := m.updCtx.Err()
+			m.stop.Store(true)
+			if m.tripErr == nil {
+				m.tripErr = err
+			}
+			return err
+		default:
+		}
+	}
 	if err := meter.Charge(phase, guard.Maintained, 1); err != nil {
 		m.stop.Store(true)
 		if m.tripErr == nil {
@@ -525,4 +551,73 @@ func (m *maint) charge(meter *guard.Meter, phase string) error {
 		return err
 	}
 	return nil
+}
+
+// SetUpdateContext bounds later updates with ctx: a deadline or
+// cancellation aborts an in-flight Insert/Retract at its next admission
+// point, poisoning the handle exactly like a budget trip (the cascade
+// is half-applied). A nil ctx clears the bound. The server front end
+// sets a per-request context here while holding its write lock, so each
+// mutation observes its own client's deadline.
+func (m *maint) SetUpdateContext(ctx context.Context) {
+	if ctx == nil {
+		m.updCtx, m.updDone = nil, nil
+		return
+	}
+	m.updCtx, m.updDone = ctx, ctx.Done()
+}
+
+// ctxLive rejects an update whose context is already expired before
+// anything is mutated: unlike a mid-update cancellation this leaves the
+// handle fully consistent, so it does not poison.
+func (m *maint) ctxLive() error {
+	if m.updDone == nil {
+		return nil
+	}
+	select {
+	case <-m.updDone:
+		return m.updCtx.Err()
+	default:
+		return nil
+	}
+}
+
+// Broken returns the error that poisoned the handle, nil while it is
+// healthy. Implements the optional eval interface behind Handle.Err.
+func (m *maint) Broken() error { return m.broken }
+
+// InsertTagged is Insert with a durable idempotency tag: the committed
+// batch records (client, clientSeq) so the store — and a serving front
+// end recovering it after a crash — recognizes a retry of the same pair
+// instead of re-applying it. On an in-memory handle the tag is ignored.
+func (m *maint) InsertTagged(facts []ast.Atom, client string, clientSeq uint64) (eval.UpdateStats, error) {
+	m.tagClient, m.tagSeq = client, clientSeq
+	defer func() { m.tagClient, m.tagSeq = "", 0 }()
+	return m.Insert(facts)
+}
+
+// RetractTagged is Retract with a durable idempotency tag; see
+// InsertTagged.
+func (m *maint) RetractTagged(facts []ast.Atom, client string, clientSeq uint64) (eval.UpdateStats, error) {
+	m.tagClient, m.tagSeq = client, clientSeq
+	defer func() { m.tagClient, m.tagSeq = "", 0 }()
+	return m.Retract(facts)
+}
+
+// ClientSeq reports the durable store's idempotency table entry for
+// client; (0, false) on an in-memory handle.
+func (m *maint) ClientSeq(client string) (uint64, bool) {
+	if m.dur == nil {
+		return 0, false
+	}
+	return m.dur.ClientSeq(client)
+}
+
+// Clients returns the durable store's full idempotency table; nil on an
+// in-memory handle.
+func (m *maint) Clients() map[string]uint64 {
+	if m.dur == nil {
+		return nil
+	}
+	return m.dur.Clients()
 }

@@ -26,6 +26,9 @@ func (m *maint) Retract(facts []ast.Atom) (eval.UpdateStats, error) {
 	if err := m.checkUsable(); err != nil {
 		return us, err
 	}
+	if err := m.ctxLive(); err != nil {
+		return us, err
+	}
 	adms, err := m.validate(facts)
 	if err != nil {
 		return us, err

@@ -1,0 +1,184 @@
+// Package netchaos is a deterministic in-process fault proxy for
+// network chaos testing. It sits between a client and a server as a
+// TCP forwarder and injects the failure modes real networks produce —
+// latency, truncated writes, severed connections — according to an
+// explicit per-connection plan instead of randomness, so every chaos
+// test is reproducible from its source alone.
+//
+// The proxy assigns plans to connections in accept order: connection i
+// gets Plans[i % len(Plans)]. A test that wants connection 3 severed
+// after 10 bytes writes that down; re-running the test replays exactly
+// the same faults.
+package netchaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan scripts the faults for one proxied connection. The zero Plan is
+// a transparent forwarder.
+type Plan struct {
+	// Delay pauses this long before forwarding each chunk in either
+	// direction — the slow-network mode.
+	Delay time.Duration
+	// SeverAfterC2S severs the connection (both directions, RST-like
+	// close) once this many client→server bytes have been forwarded.
+	// 0 = never. The server sees a truncated request; the client an
+	// error mid-response.
+	SeverAfterC2S int
+	// SeverAfterS2C severs once this many server→client bytes have been
+	// forwarded: the request reaches the server but the response is cut
+	// — the retry-ambiguity case idempotency exists for. 0 = never.
+	SeverAfterS2C int
+	// HaltC2S stops forwarding client→server bytes (without closing)
+	// after this many — a half-open stall the server's idle timeout
+	// must reap. 0 = never.
+	HaltC2S int
+}
+
+// Proxy is one listener forwarding to a fixed target with fault
+// injection. Create with New, stop with Close.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	plans  []Plan
+	next   atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Severed counts connections the proxy cut per plan trigger.
+	Severed atomic.Int64
+}
+
+// New starts a proxy on an ephemeral localhost port forwarding to
+// target. plans must be non-empty; they are assigned round-robin in
+// accept order.
+func New(target string, plans []Plan) (*Proxy, error) {
+	if len(plans) == 0 {
+		plans = []Plan{{}}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, plans: plans, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop() //repolint:allow goroutine — test-only proxy; joined by Close via wg, unrelated to eval worker pools.
+	return p, nil
+}
+
+// Addr is the proxy's listen address; point clients here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting, severs every live proxied connection, and
+// waits for the forwarding goroutines to exit.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		plan := p.plans[int(p.next.Add(1)-1)%len(p.plans)]
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			return
+		}
+		p.conns[client] = struct{}{}
+		p.conns[server] = struct{}{}
+		p.wg.Add(2)
+		p.mu.Unlock()
+		sever := func() {
+			p.Severed.Add(1)
+			client.Close()
+			server.Close()
+		}
+		go p.pipe(client, server, plan.Delay, plan.SeverAfterC2S, plan.HaltC2S, sever) //repolint:allow goroutine — per-connection copier, joined by Close via wg.
+		go p.pipe(server, client, plan.Delay, plan.SeverAfterS2C, 0, sever)            //repolint:allow goroutine — per-connection copier, joined by Close via wg.
+	}
+}
+
+// pipe forwards src→dst one chunk at a time, applying the plan's
+// delay, sever threshold, and halt threshold for this direction.
+func (p *Proxy) pipe(src, dst net.Conn, delay time.Duration, severAfter, haltAfter int, sever func()) {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, src)
+		p.mu.Unlock()
+		src.Close()
+		dst.Close()
+	}()
+	buf := make([]byte, 4096)
+	forwarded := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if haltAfter > 0 && forwarded+len(chunk) > haltAfter {
+				chunk = chunk[:haltAfter-forwarded]
+				if len(chunk) > 0 {
+					if delay > 0 {
+						time.Sleep(delay)
+					}
+					dst.Write(chunk)
+				}
+				// Halt: swallow everything further without closing —
+				// the half-open stall.
+				io.Copy(io.Discard, src)
+				return
+			}
+			cut := false
+			if severAfter > 0 && forwarded+len(chunk) >= severAfter {
+				chunk = chunk[:severAfter-forwarded]
+				cut = true
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if len(chunk) > 0 {
+				if _, werr := dst.Write(chunk); werr != nil {
+					return
+				}
+				forwarded += len(chunk)
+			}
+			if cut {
+				sever()
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -237,6 +237,38 @@ func AtomList(src string) ([]ast.Atom, error) {
 	return atoms, nil
 }
 
+// FactList parses a batch of atoms separated by commas and/or
+// periods, consuming the entire input: both "e(a, b), e(b, c)" and
+// "e(a, b). e(b, c)." are accepted. This is the wire format for fact
+// batches — unlike AtomList, which parses a single conjunctive body
+// and stops at the first period, FactList never silently drops atoms
+// after a separator.
+func FactList(src string) ([]ast.Atom, error) {
+	p, perr := newParser(src)
+	if perr != nil {
+		return nil, perr
+	}
+	var atoms []ast.Atom
+	for p.tok.kind != tokEOF {
+		group, err := p.parseAtomList()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, group...)
+		if p.tok.kind == tokPeriod {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.tok.kind != tokEOF {
+			return nil, &Error{Line: p.tok.line, Col: p.tok.col,
+				Msg: fmt.Sprintf("trailing input after atoms: %v %q", p.tok.kind, p.tok.text)}
+		}
+	}
+	return atoms, nil
+}
+
 // MustAtomList is like AtomList but panics on error.
 func MustAtomList(src string) []ast.Atom {
 	atoms, err := AtomList(src)

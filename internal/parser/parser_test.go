@@ -101,6 +101,33 @@ func TestParseAtomList(t *testing.T) {
 	}
 }
 
+func TestParseFactList(t *testing.T) {
+	// Commas, periods, and mixtures all parse the full batch: the wire
+	// format for fact batches must never silently drop atoms after a
+	// separator (AtomList stops at the first period by design).
+	for _, src := range []string{
+		"e(a, b), e(b, c), f(c)",
+		"e(a, b). e(b, c). f(c).",
+		"e(a, b), e(b, c). f(c)",
+	} {
+		atoms, err := FactList(src)
+		if err != nil {
+			t.Fatalf("FactList(%q): %v", src, err)
+		}
+		if len(atoms) != 3 || atoms[0].Pred != "e" || atoms[2].Pred != "f" {
+			t.Errorf("FactList(%q) = %v", src, atoms)
+		}
+	}
+	if atoms, err := FactList(""); err != nil || atoms != nil {
+		t.Errorf("empty FactList = %v, %v", atoms, err)
+	}
+	for _, bad := range []string{"e(a, b) e(b, c)", "e(a, b). :- x.", "e(a,"} {
+		if _, err := FactList(bad); err == nil {
+			t.Errorf("FactList(%q) did not error", bad)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		src     string

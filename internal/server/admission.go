@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// admission is the server's bounded admission queue: at most max
+// requests execute concurrently, at most maxQueue more wait in FIFO
+// order, and everything beyond that is shed immediately. Shedding is
+// deterministic — admission is a pure function of the queue state at
+// arrival, not of timers or sampling — so overload tests can pin the
+// exact number of shed responses.
+type admission struct {
+	mu       sync.Mutex
+	inflight int
+	max      int
+	queue    []chan struct{}
+	maxQueue int
+	closed   bool
+	idle     chan struct{} // closed when inflight+queue reach 0 while draining
+}
+
+func newAdmission(max, maxQueue int) *admission {
+	return &admission{max: max, maxQueue: maxQueue, idle: make(chan struct{})}
+}
+
+// acquire claims an execution slot, waiting in the FIFO queue when all
+// slots are busy. It fails fast with errShed when the queue is full,
+// errDraining when the server is draining, or ctx.Err() when the
+// caller's deadline expires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return errDraining
+	}
+	if a.inflight < a.max {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		return errShed
+	}
+	ch := make(chan struct{})
+	a.queue = append(a.queue, ch)
+	a.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+	}
+	// The deadline fired. Either the waiter is still queued (remove it)
+	// or a release granted the slot concurrently (hand it back).
+	a.mu.Lock()
+	for i, w := range a.queue {
+		if w == ch {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+	a.mu.Unlock()
+	a.release()
+	return ctx.Err()
+}
+
+// release returns a slot: the oldest queued waiter inherits it, or the
+// inflight count drops.
+func (a *admission) release() {
+	a.mu.Lock()
+	if len(a.queue) > 0 {
+		ch := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+		close(ch)
+		return
+	}
+	a.inflight--
+	if a.closed && a.inflight == 0 {
+		select {
+		case <-a.idle:
+		default:
+			close(a.idle)
+		}
+	}
+	a.mu.Unlock()
+}
+
+// close begins the drain: new acquires fail with errDraining; queued
+// waiters and inflight requests finish normally.
+func (a *admission) close() {
+	a.mu.Lock()
+	a.closed = true
+	if a.inflight == 0 && len(a.queue) == 0 {
+		select {
+		case <-a.idle:
+		default:
+			close(a.idle)
+		}
+	}
+	a.mu.Unlock()
+}
+
+// drain blocks until every admitted request has released its slot, or
+// ctx expires. Call close first.
+func (a *admission) drain(ctx context.Context) error {
+	// Queued waiters admitted before close still run; poll covers the
+	// queue→inflight handoff window that the idle channel alone misses.
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		a.mu.Lock()
+		done := a.inflight == 0 && len(a.queue) == 0
+		a.mu.Unlock()
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-a.idle:
+		case <-tick.C:
+		}
+	}
+}
+
+// load reports the current inflight and queued counts.
+func (a *admission) load() (inflight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, len(a.queue)
+}

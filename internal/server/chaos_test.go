@@ -1,0 +1,167 @@
+package server
+
+// Network chaos: the deterministic fault proxy (internal/netchaos)
+// sits between test clients and a live server and injects the failure
+// modes the robustness layer exists for — responses severed mid-write,
+// requests truncated mid-line, half-open stalls, slow links. Every
+// plan is an explicit byte count, so each test replays identically.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"datalogeq/internal/netchaos"
+)
+
+// TestChaosSeveredResponse covers the retry-ambiguity case idempotency
+// exists for: the batch reaches the server and applies, but the
+// connection dies before the acknowledgment arrives. The client must
+// retry; the retry must not double-apply.
+func TestChaosSeveredResponse(t *testing.T) {
+	dir := t.TempDir()
+	s, addr := newTestServer(t, func(c *Config) { c.DataDir = dir })
+
+	helloResp := "ok hello c1 acked=0\n\n"
+	// Connection 0: sever server→client after the hello response plus a
+	// few bytes — the insert applies, its acknowledgment is cut.
+	// Connection 1: transparent, for the retry.
+	proxy, err := netchaos.New(addr, []netchaos.Plan{
+		{SeverAfterS2C: len(helloResp) + 5},
+		{},
+	})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+
+	c1 := dialLine(t, proxy.Addr())
+	if got := c1.cmd(t, "hello c1"); got[0] != "ok hello c1 acked=0" {
+		t.Fatalf("hello: %q", got)
+	}
+	if resp, err := c1.try("insert 1 e(a, b)."); err == nil {
+		t.Fatalf("expected severed response, got %q", resp)
+	}
+	// The apply must have happened exactly once despite the lost ack.
+	waitFor(t, func() bool { return s.Seq() == 1 })
+
+	// A reconnecting client learns the acknowledged high-water mark and
+	// the retry reads as a duplicate — applied exactly once.
+	c2 := dialLine(t, proxy.Addr())
+	if got := c2.cmd(t, "hello c1"); got[0] != "ok hello c1 acked=1" {
+		t.Fatalf("reconnect hello: %q", got)
+	}
+	if got := c2.cmd(t, "insert 1 e(a, b)."); got[0] != "ok duplicate seq=1" {
+		t.Fatalf("retry: %q", got)
+	}
+	if s.Seq() != 1 {
+		t.Fatalf("seq = %d after retry, want 1 (no double apply)", s.Seq())
+	}
+	if got := c2.cmd(t, "query tc"); got[0] != "ok n=1" {
+		t.Fatalf("state: %q", got)
+	}
+	if n := proxy.Severed.Load(); n != 1 {
+		t.Fatalf("severed = %d, want 1", n)
+	}
+}
+
+// TestChaosTruncatedRequest pins the truncation-safety rule: a command
+// cut mid-line must not execute, even when the surviving prefix parses
+// as a valid shorter command. (Without the newline-termination rule,
+// "insert 1 e(a, b), e(c, d)." truncated to "insert 1 e(a, b)" would
+// apply a partial batch, and the full retry would then read as a
+// duplicate — silently losing e(c, d).)
+func TestChaosTruncatedRequest(t *testing.T) {
+	s, addr := newTestServer(t, nil)
+
+	hello := "hello c2\n"
+	partial := "insert 1 e(a, b)" // valid prefix of the real command
+	proxy, err := netchaos.New(addr, []netchaos.Plan{
+		{SeverAfterC2S: len(hello) + len(partial)},
+		{},
+	})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+
+	c1 := dialLine(t, proxy.Addr())
+	c1.cmd(t, "hello c2")
+	if resp, err := c1.try("insert 1 e(a, b), e(c, d)."); err == nil && len(resp) > 0 {
+		t.Fatalf("expected severed request, got %q", resp)
+	}
+
+	// Nothing may have applied: the truncated prefix was discarded.
+	c2 := dialLine(t, proxy.Addr())
+	if got := c2.cmd(t, "hello c2"); got[0] != "ok hello c2 acked=0" {
+		t.Fatalf("after truncation: %q (truncated command executed!)", got)
+	}
+	if got := c2.cmd(t, "query tc"); got[0] != "ok n=0" {
+		t.Fatalf("state after truncation: %q", got)
+	}
+	// The retry applies the full batch exactly once.
+	if got := c2.cmd(t, "insert 1 e(a, b), e(c, d)."); got[0] != "ok applied seq=0" {
+		t.Fatalf("retry: %q", got)
+	}
+	if got := c2.cmd(t, "query tc"); got[0] != "ok n=2" {
+		t.Fatalf("state after retry: %q", got)
+	}
+	_ = s
+}
+
+// TestChaosStalledClient pins the slow-client bound: a connection that
+// goes half-open mid-request is reaped by the idle timeout instead of
+// pinning a goroutine forever (TestMain's leak check is the other half
+// of this assertion).
+func TestChaosStalledClient(t *testing.T) {
+	_, addr := newTestServer(t, func(c *Config) { c.IdleTimeout = 100 * time.Millisecond })
+
+	hello := "hello c3\n"
+	proxy, err := netchaos.New(addr, []netchaos.Plan{
+		{HaltC2S: len(hello)}, // forward hello, then swallow everything
+		{},
+	})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+
+	c1 := dialLine(t, proxy.Addr())
+	if got := c1.cmd(t, "hello c3"); got[0] != "ok hello c3 acked=0" {
+		t.Fatalf("hello: %q", got)
+	}
+	// This command is swallowed by the stall; the server's idle timeout
+	// must close the connection from its side.
+	if resp, err := c1.try("insert 1 e(a, b)."); err == nil {
+		t.Fatalf("expected stalled connection to die, got %q", resp)
+	}
+	// Service is unaffected; nothing was applied.
+	c2 := dialLine(t, proxy.Addr())
+	if got := c2.cmd(t, "hello c3"); got[0] != "ok hello c3 acked=0" {
+		t.Fatalf("after stall: %q", got)
+	}
+	if got := c2.cmd(t, "query tc"); got[0] != "ok n=0" {
+		t.Fatalf("state: %q", got)
+	}
+}
+
+// TestChaosSlowLink runs a full session through a delayed link: latency
+// shifts timing but not one byte of the protocol.
+func TestChaosSlowLink(t *testing.T) {
+	_, addr := newTestServer(t, nil)
+	proxy, err := netchaos.New(addr, []netchaos.Plan{{Delay: 10 * time.Millisecond}})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+
+	c := dialLine(t, proxy.Addr())
+	c.cmd(t, "hello c4")
+	if got := c.cmd(t, "insert 1 e(a, b), e(b, c)."); got[0] != "ok applied seq=0" {
+		t.Fatalf("insert: %q", got)
+	}
+	got := c.cmd(t, "query tc")
+	if got[0] != "ok n=3" || !strings.HasPrefix(got[1], "tc(") {
+		t.Fatalf("query: %q", got)
+	}
+}

@@ -1,0 +1,165 @@
+package server
+
+// HTTP/JSON protocol. Endpoints:
+//
+//	POST /v1/query    {"goal":"p","program":"...","tenant":"t","deadline_ms":N}
+//	POST /v1/insert   {"facts":"e(a,b), e(b,c).","client":"c1","seq":7,...}
+//	POST /v1/retract  same shape as insert
+//	GET  /v1/stats    operational counters
+//	GET  /healthz     200 while serving, 503 while draining/degraded
+//
+// Error taxonomy (the robustness contract, mirrored by the line
+// protocol):
+//
+//	400  malformed request (bad JSON, parse error, unknown goal)
+//	429  shed by admission control; Retry-After header set
+//	503  draining; Retry-After header set
+//	500  isolated internal panic (the process survives)
+//	200  everything else — including budget trips and deadline expiry,
+//	     which are verdict:"unknown" payloads with retry_after_seconds,
+//	     because resource exhaustion is an answer, not a failure.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"datalogeq/internal/database"
+	"datalogeq/internal/guard"
+)
+
+// queryRequest is the body of POST /v1/query.
+type queryRequest struct {
+	Goal       string `json:"goal"`
+	Program    string `json:"program,omitempty"`
+	Tenant     string `json:"tenant,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// mutateRequest is the body of POST /v1/insert and /v1/retract.
+type mutateRequest struct {
+	// Facts is a comma-separated ground fact list: "e(a,b), e(b,c)."
+	Facts  string `json:"facts"`
+	Tenant string `json:"tenant,omitempty"`
+	// Client and Seq form the idempotency key: retries with the same
+	// pair are acknowledged without re-applying. Seq must increase by 1
+	// per acknowledged batch for the exact-prefix durability contract.
+	Client     string `json:"client,omitempty"`
+	Seq        uint64 `json:"seq,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+type errorBody struct {
+	Error      string `json:"error"`
+	RetryAfter int64  `json:"retry_after_seconds,omitempty"`
+}
+
+// Handler returns the HTTP front end as an http.Handler, ready for an
+// http.Server of the caller's construction.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+		s.handleMutate(w, r, database.OpInsert)
+	})
+	mux.HandleFunc("POST /v1/retract", func(w http.ResponseWriter, r *http.Request) {
+		s.handleMutate(w, r, database.OpRetract)
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if req.Goal == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "goal is required"})
+		return
+	}
+	res, err := s.Query(r.Context(), req.Tenant, req.Goal, req.Program,
+		time.Duration(req.DeadlineMS)*time.Millisecond)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, op byte) {
+	var req mutateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	facts, err := parseFacts(req.Facts)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("facts: %v", err)})
+		return
+	}
+	res, err := s.Apply(r.Context(), req.Tenant, op, facts, req.Client, req.Seq,
+		time.Duration(req.DeadlineMS)*time.Millisecond)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !s.Healthy() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// writeError maps the server's typed errors onto HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	retry := int64(s.cfg.RetryAfter / time.Second)
+	var bad *badRequestError
+	var pe *guard.PanicError
+	switch {
+	case errors.Is(err, errShed):
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfter: retry})
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), RetryAfter: retry})
+	case errors.As(err, &bad):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: bad.Error()})
+	case errors.As(err, &pe):
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal error (isolated): " + pe.Error()})
+	default:
+		// Context expiry while queued surfaces here: the client's
+		// deadline passed before a slot opened. Shed-equivalent.
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfter: retry})
+	}
+}
+
+// decodeJSON reads a bounded JSON body; on failure it writes the 400
+// itself and returns non-nil.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body: " + err.Error()})
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,65 @@
+package server
+
+// TestMain enforces the no-hung-goroutine contract over the whole
+// package: after every test (basics, chaos, crash, soak) has run and
+// shut its servers down, no goroutine may remain parked anywhere in the
+// serving stack. Severed connections, stalled clients, SIGKILLed
+// children, and drains must all release their goroutines; a leak fails
+// the run even when every individual test passed.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := checkGoroutineLeaks(); err != nil {
+			fmt.Fprintf(os.Stderr, "goroutine leak check failed:\n%v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// checkGoroutineLeaks scans all goroutine stacks for frames inside the
+// serving stack (this package, the chaos proxy, the maintenance layer).
+// Goroutines still winding down get a grace period; one that persists
+// is a leak.
+func checkGoroutineLeaks() error {
+	var stale string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stale = staleGoroutines()
+		if stale == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutines still in the serving stack after shutdown:\n%s", stale)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func staleGoroutines() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var leaks []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "datalogeq/internal/server.") ||
+			strings.Contains(g, "datalogeq/internal/netchaos.") ||
+			strings.Contains(g, "datalogeq/internal/ivm.") {
+			// The leak checker itself runs on the main test goroutine.
+			if strings.Contains(g, "checkGoroutineLeaks") {
+				continue
+			}
+			leaks = append(leaks, g)
+		}
+	}
+	return strings.Join(leaks, "\n\n")
+}

@@ -1,0 +1,510 @@
+package server
+
+// Functional tests for the serving layer: protocol basics, admission
+// shedding, deadline propagation, budget degradation, idempotent
+// retries, WAL-fault self-healing, and graceful drain. The chaos and
+// crash suites live in chaos_test.go and crash_test.go; TestMain's
+// goroutine-leak check (leak_test.go) covers everything in the package.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"datalogeq/internal/database"
+	"datalogeq/internal/guard"
+	"datalogeq/internal/parser"
+	"datalogeq/internal/wal"
+
+	_ "datalogeq/internal/ivm" // registers the maintainer behind eval.Maintain
+)
+
+const tcSrc = `
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+`
+
+// newTestServer builds a server over the transitive-closure program
+// with a line listener, returning the server and the listener address.
+// mod edits the config before construction.
+func newTestServer(t *testing.T, mod func(*Config)) (*Server, string) {
+	t.Helper()
+	cfg := Config{
+		Program:         parser.MustProgram(tcSrc),
+		DefaultDeadline: 5 * time.Second,
+		MaxDeadline:     10 * time.Second,
+		RetryAfter:      time.Second,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go s.ServeLine(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ln.Addr().String()
+}
+
+// lineClient is a test client for the line protocol.
+type lineClient struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+func dialLine(t *testing.T, addr string) *lineClient {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &lineClient{conn: conn, rd: bufio.NewReader(conn)}
+}
+
+// cmd sends one command and reads the response block (lines up to the
+// blank terminator).
+func (c *lineClient) cmd(t *testing.T, line string) []string {
+	t.Helper()
+	resp, err := c.try(line)
+	if err != nil {
+		t.Fatalf("cmd %q: %v", line, err)
+	}
+	return resp
+}
+
+// try is cmd without the fatal: chaos tests expect failures.
+func (c *lineClient) try(line string) ([]string, error) {
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return nil, err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var out []string
+	for {
+		l, err := c.rd.ReadString('\n')
+		if err != nil {
+			return out, err
+		}
+		l = strings.TrimRight(l, "\n")
+		if l == "" {
+			return out, nil
+		}
+		out = append(out, l)
+	}
+}
+
+func TestLineProtocolBasics(t *testing.T) {
+	_, addr := newTestServer(t, nil)
+	c := dialLine(t, addr)
+
+	if got := c.cmd(t, "hello c1"); got[0] != "ok hello c1 acked=0" {
+		t.Fatalf("hello: %q", got)
+	}
+	if got := c.cmd(t, "insert 1 e(a, b), e(b, c)."); got[0] != "ok applied seq=0" {
+		t.Fatalf("insert: %q", got)
+	}
+	got := c.cmd(t, "query tc")
+	want := []string{"ok n=3", "tc(a, b).", "tc(a, c).", "tc(b, c)."}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("query: %q, want %q", got, want)
+	}
+	if got := c.cmd(t, "retract 2 e(b, c)."); got[0] != "ok applied seq=0" {
+		t.Fatalf("retract: %q", got)
+	}
+	if got := c.cmd(t, "query tc"); got[0] != "ok n=1" || got[1] != "tc(a, b)." {
+		t.Fatalf("query after retract: %q", got)
+	}
+	// Ad-hoc evaluation against the live database.
+	got = c.cmd(t, "eval q q(Y) :- tc(a, Y).")
+	if got[0] != "ok n=1" || got[1] != "q(b)." {
+		t.Fatalf("eval: %q", got)
+	}
+	if got := c.cmd(t, "stats"); !strings.HasPrefix(got[0], "ok served=") {
+		t.Fatalf("stats: %q", got)
+	}
+	// Client mistakes are err responses, not dropped connections.
+	if got := c.cmd(t, "insert 3 nonsense(("); !strings.HasPrefix(got[0], "err ") {
+		t.Fatalf("bad facts: %q", got)
+	}
+	if got := c.cmd(t, "frobnicate"); !strings.HasPrefix(got[0], "err ") {
+		t.Fatalf("unknown cmd: %q", got)
+	}
+	if got := c.cmd(t, "quit"); got[0] != "ok bye" {
+		t.Fatalf("quit: %q", got)
+	}
+}
+
+func TestLineIdempotentRetry(t *testing.T) {
+	s, addr := newTestServer(t, nil)
+	c := dialLine(t, addr)
+	c.cmd(t, "hello c1")
+	if got := c.cmd(t, "insert 1 e(a, b)."); got[0] != "ok applied seq=0" {
+		t.Fatalf("first: %q", got)
+	}
+	// The retry is acknowledged but not re-applied.
+	if got := c.cmd(t, "insert 1 e(a, b)."); got[0] != "ok duplicate seq=0" {
+		t.Fatalf("retry: %q", got)
+	}
+	// A reconnecting client learns its acknowledged high-water mark.
+	c2 := dialLine(t, addr)
+	if got := c2.cmd(t, "hello c1"); got[0] != "ok hello c1 acked=1" {
+		t.Fatalf("reconnect hello: %q", got)
+	}
+	if n := s.Stats().Duplicates; n != 1 {
+		t.Fatalf("duplicates = %d, want 1", n)
+	}
+}
+
+func TestHTTPBasics(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer ts.Client().CloseIdleConnections()
+
+	post := func(path string, body any) (int, map[string]any) {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m)
+		return resp.StatusCode, m
+	}
+
+	code, m := post("/v1/insert", mutateRequest{Facts: "e(a, b), e(b, c).", Client: "h1", Seq: 1})
+	if code != 200 || m["verdict"] != "applied" {
+		t.Fatalf("insert: %d %v", code, m)
+	}
+	code, m = post("/v1/insert", mutateRequest{Facts: "e(a, b), e(b, c).", Client: "h1", Seq: 1})
+	if code != 200 || m["verdict"] != "duplicate" {
+		t.Fatalf("retry: %d %v", code, m)
+	}
+	code, m = post("/v1/query", queryRequest{Goal: "tc"})
+	if code != 200 || m["verdict"] != "complete" {
+		t.Fatalf("query: %d %v", code, m)
+	}
+	if tuples, _ := m["tuples"].([]any); len(tuples) != 3 {
+		t.Fatalf("tuples: %v", m["tuples"])
+	}
+	code, m = post("/v1/retract", mutateRequest{Facts: "e(b, c).", Client: "h1", Seq: 2})
+	if code != 200 || m["verdict"] != "applied" {
+		t.Fatalf("retract: %d %v", code, m)
+	}
+	// Malformed requests are 400s.
+	if code, _ = post("/v1/query", queryRequest{}); code != 400 {
+		t.Fatalf("missing goal: %d", code)
+	}
+	if code, _ = post("/v1/insert", mutateRequest{Facts: "((("}); code != 400 {
+		t.Fatalf("bad facts: %d", code)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("stats: %v %v", err, resp)
+	}
+	var st Stats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Served == 0 || st.Duplicates != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestShedDeterministic pins the admission contract: with the single
+// execution slot held and the queue full, every further request sheds
+// — exactly as many as were sent, no timers involved.
+func TestShedDeterministic(t *testing.T) {
+	s, addr := newTestServer(t, func(c *Config) {
+		c.MaxInflight = 1
+		c.QueueDepth = 1
+	})
+	// Occupy the one execution slot.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// Fill the one queue slot.
+	queued := make(chan error, 1)
+	go func() {
+		err := s.adm.acquire(context.Background())
+		if err == nil {
+			s.adm.release()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { _, q := s.adm.load(); return q == 1 })
+
+	// Every request now sheds, deterministically.
+	const n = 3
+	c := dialLine(t, addr)
+	for i := 0; i < n; i++ {
+		got := c.cmd(t, "query tc")
+		if got[0] != "shed retry-after=1" {
+			t.Fatalf("request %d: %q, want shed", i, got)
+		}
+	}
+	if shed := s.Stats().Shed; shed != n {
+		t.Fatalf("shed = %d, want %d", shed, n)
+	}
+	// Releasing the slot admits the queued waiter; service resumes.
+	s.adm.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	if got := c.cmd(t, "query tc"); got[0] != "ok n=0" {
+		t.Fatalf("after release: %q", got)
+	}
+}
+
+// TestPerTenantCap pins strict per-tenant fairness: a tenant at its
+// inflight cap sheds immediately even though global slots are free.
+func TestPerTenantCap(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxInflight = 8
+		c.Tenants = map[string]TenantConfig{"small": {MaxInflight: 1}}
+	})
+	ten := s.tenant("small")
+	ten.mu.Lock()
+	ten.inflight = 1 // simulate one in-flight request
+	ten.mu.Unlock()
+	_, err := s.Query(context.Background(), "small", "tc", "", 0)
+	if err != errShed {
+		t.Fatalf("tenant over cap: err = %v, want errShed", err)
+	}
+	// Other tenants are unaffected.
+	if _, err := s.Query(context.Background(), "big", "tc", "", 0); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	ten.mu.Lock()
+	ten.inflight = 0
+	ten.mu.Unlock()
+}
+
+// TestDeadlineQuery pins deadline propagation into evaluation: an
+// expired deadline degrades to an UNKNOWN verdict, not an error.
+func TestDeadlineQuery(t *testing.T) {
+	_, addr := newTestServer(t, nil)
+	c := dialLine(t, addr)
+	c.cmd(t, "hello c1")
+	c.cmd(t, "insert 1 e(a, b), e(b, c), e(c, d).")
+	got := c.cmd(t, "eval tc t=1ns "+strings.ReplaceAll(strings.TrimSpace(tcSrc), "\n", " "))
+	if !strings.HasPrefix(got[0], "unknown ") || !strings.Contains(got[0], "retry-after=1") {
+		t.Fatalf("expired deadline: %q", got)
+	}
+	// The next request is unaffected.
+	if got := c.cmd(t, "query tc"); got[0] != "ok n=6" {
+		t.Fatalf("after deadline: %q", got)
+	}
+}
+
+// TestDeadlineMutation pins the mutation path: an expired deadline
+// refuses the batch up front (handle intact, nothing applied), and the
+// retry under a sane deadline applies — it is NOT a duplicate, because
+// the refused attempt was never acknowledged.
+func TestDeadlineMutation(t *testing.T) {
+	s, addr := newTestServer(t, nil)
+	c := dialLine(t, addr)
+	c.cmd(t, "hello c1")
+	got := c.cmd(t, "insert 1 t=1ns e(a, b).")
+	if !strings.HasPrefix(got[0], "unknown ") {
+		t.Fatalf("expired deadline: %q", got)
+	}
+	if n := s.Stats().Rebuilds; n != 0 {
+		t.Fatalf("rebuilds = %d, want 0 (pre-apply refusal must not poison)", n)
+	}
+	if got := c.cmd(t, "insert 1 e(a, b)."); got[0] != "ok applied seq=0" {
+		t.Fatalf("retry: %q", got)
+	}
+}
+
+// TestBudgetTripUnknown pins graceful degradation: a per-tenant budget
+// trip returns UNKNOWN with the partial result and a Retry-After hint,
+// never a 500, and the server keeps serving.
+func TestBudgetTripUnknown(t *testing.T) {
+	s, addr := newTestServer(t, func(c *Config) {
+		c.DefaultBudget = guard.Budget{MaxFacts: 2}
+	})
+	c := dialLine(t, addr)
+	c.cmd(t, "hello c1")
+	c.cmd(t, "insert 1 e(a, b), e(b, c), e(c, d), e(d, f).")
+	// The ad-hoc program derives a fresh predicate (10 q-facts over the
+	// chain), so the 2-fact budget trips mid-evaluation.
+	got := c.cmd(t, "eval q q(X, Y) :- e(X, Y). q(X, Z) :- e(X, Y), q(Y, Z).")
+	if !strings.HasPrefix(got[0], "unknown ") || !strings.Contains(got[0], "guard:") {
+		t.Fatalf("budget trip: %q", got)
+	}
+	if n := s.Stats().Unknown; n != 1 {
+		t.Fatalf("unknown = %d, want 1", n)
+	}
+	// The maintained materialization (not under the query budget) still
+	// answers completely.
+	if got := c.cmd(t, "query tc"); got[0] != "ok n=10" {
+		t.Fatalf("after trip: %q", got)
+	}
+}
+
+// TestWALFaultSelfHeal drives the full degradation story on a durable
+// server: an injected write failure mid-commit (disk full) poisons the
+// handle, the server reports UNKNOWN (not applied) and rebuilds from
+// the store — whose state is exactly the acknowledged batches — and the
+// retry of the same (client, seq) then applies for real, not as a
+// duplicate.
+func TestWALFaultSelfHeal(t *testing.T) {
+	dir := t.TempDir()
+	s, addr := newTestServer(t, func(c *Config) { c.DataDir = dir })
+	c := dialLine(t, addr)
+	c.cmd(t, "hello c1")
+	if got := c.cmd(t, "insert 1 e(a, b)."); got[0] != "ok applied seq=1" {
+		t.Fatalf("insert 1: %q", got)
+	}
+
+	wal.SetFault(func(op string, n int) (int, error) {
+		if op == "write" {
+			return 0, fmt.Errorf("injected write failure: no space left on device")
+		}
+		return n, nil
+	})
+	got := c.cmd(t, "insert 2 e(b, c).")
+	wal.SetFault(nil)
+	if !strings.HasPrefix(got[0], "unknown ") || !strings.Contains(got[0], "injected write failure") {
+		t.Fatalf("faulted insert: %q", got)
+	}
+	if n := s.Stats().Rebuilds; n != 1 {
+		t.Fatalf("rebuilds = %d, want 1", n)
+	}
+	// The aborted batch is gone; only the acknowledged state survives.
+	if got := c.cmd(t, "query tc"); got[0] != "ok n=1" || got[1] != "tc(a, b)." {
+		t.Fatalf("after rebuild: %q", got)
+	}
+	// Retry: applied (the faulted attempt was never acknowledged).
+	if got := c.cmd(t, "insert 2 e(b, c)."); got[0] != "ok applied seq=2" {
+		t.Fatalf("retry: %q", got)
+	}
+	if got := c.cmd(t, "query tc"); got[0] != "ok n=3" {
+		t.Fatalf("after retry: %q", got)
+	}
+}
+
+// TestDrain pins the drain sequence: in-flight work finishes, new work
+// is refused with a draining response, and the store checkpoints.
+func TestDrain(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Program: parser.MustProgram(tcSrc), DataDir: dir}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer ts.Client().CloseIdleConnections()
+
+	if _, err := s.Apply(context.Background(), "", database.OpInsert,
+		parser.MustAtomList("e(a, b)"), "c1", 1, 0); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+
+	// Hold a slot: Shutdown must wait for it.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	waitFor(t, func() bool { return s.draining.Load() })
+
+	// New work is refused while draining.
+	b, _ := json.Marshal(queryRequest{Goal: "tc"})
+	resp, err := ts.Client().Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("query while draining: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned with a request in flight: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.adm.release()
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The checkpointed store recovers the acknowledged state and the
+	// idempotency table without WAL replay.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+	res, err := s2.Apply(context.Background(), "", database.OpInsert,
+		parser.MustAtomList("e(a, b)"), "c1", 1, 0)
+	if err != nil || !res.Duplicate {
+		t.Fatalf("retry after restart: res=%+v err=%v, want duplicate", res, err)
+	}
+	qr, err := s2.Query(context.Background(), "", "tc", "", 0)
+	if err != nil || len(qr.Tuples) != 1 {
+		t.Fatalf("query after restart: %+v err=%v", qr, err)
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached in 5s")
+}
+
+func TestPeriodSeparatedFactBatch(t *testing.T) {
+	// Period-separated batches — the natural Datalog fact syntax — must
+	// apply every fact, not just the first: the wire format is parsed by
+	// parser.FactList, which consumes the whole input, where AtomList
+	// would stop silently at the first period.
+	_, addr := newTestServer(t, nil)
+	c := dialLine(t, addr)
+	c.cmd(t, "hello c1")
+	if got := c.cmd(t, "insert 1 e(a, b). e(b, c). e(c, d)."); !strings.HasPrefix(got[0], "ok applied") {
+		t.Fatalf("insert: %q", got)
+	}
+	if got := c.cmd(t, "query tc"); got[0] != "ok n=6" {
+		t.Fatalf("query after period-separated batch: %q", got)
+	}
+}

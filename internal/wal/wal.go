@@ -29,6 +29,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"datalogeq/internal/crashpoint"
 )
@@ -47,6 +49,49 @@ const headerSize = 8
 const FrameOverhead = headerSize
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// FaultFunc intercepts one file operation for I/O-error injection
+// tests. op is "write", "sync", or "truncate"; n is the length of the
+// pending write (0 otherwise). A nil error passes the operation
+// through untouched. For writes, returning allow < n with a non-nil
+// error makes the log genuinely write only the first allow bytes before
+// failing — a short write exactly as ENOSPC or a full disk would leave
+// it, so recovery tests exercise real torn state, not simulated state.
+type FaultFunc func(op string, n int) (allow int, err error)
+
+// faultHook is the installed injector; nil in production. Atomic so
+// -race tests can install and clear it around concurrent workloads.
+var faultHook atomic.Pointer[FaultFunc]
+
+// SetFault installs (or, with nil, clears) the I/O fault injector.
+// Test-only: production code never calls it.
+func SetFault(f FaultFunc) {
+	if f == nil {
+		faultHook.Store(nil)
+		return
+	}
+	faultHook.Store(&f)
+}
+
+// write pushes p through the fault hook and then the file. A short
+// allowance writes the permitted prefix for real before returning the
+// injected error.
+func (l *Log) write(p []byte) error {
+	if fp := faultHook.Load(); fp != nil {
+		allow, err := (*fp)("write", len(p))
+		if err != nil {
+			if allow > len(p) {
+				allow = len(p)
+			}
+			if allow > 0 {
+				l.f.Write(p[:allow]) //nolint:errcheck — the injected error wins
+			}
+			return err
+		}
+	}
+	_, err := l.f.Write(p)
+	return err
+}
 
 // Scan parses frames from data and returns the decoded payloads along
 // with the byte length of the valid prefix. It never fails and never
@@ -97,10 +142,27 @@ func Open(path string) (*Log, [][]byte, error) {
 	}
 	payloads, valid := Scan(data)
 	if int64(len(data)) > valid {
+		// Truncate the torn tail and make the truncation itself durable:
+		// fsync the file (the new length is file metadata) and then the
+		// directory. Without the syncs a second crash could resurrect the
+		// torn bytes, and a later append at the truncated offset would
+		// then leave interleaved old and new bytes — a frame that might
+		// pass its checksum by accident. The crash point between truncate
+		// and the syncs lets the kill-9 harness pin exactly that window.
 		if err := f.Truncate(valid); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
+		crashpoint.Hit("wal/torn-truncated")
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		crashpoint.Hit("wal/truncation-synced")
 	}
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
 		f.Close()
@@ -125,11 +187,11 @@ func (l *Log) Append(payload []byte) error {
 	}
 	binary.LittleEndian.PutUint32(l.hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(l.hdr[4:], crc32.Checksum(payload, crcTable))
-	if _, err := l.f.Write(l.hdr[:]); err != nil {
+	if err := l.write(l.hdr[:]); err != nil {
 		return err
 	}
 	crashpoint.Hit("wal/mid-frame")
-	if _, err := l.f.Write(payload); err != nil {
+	if err := l.write(payload); err != nil {
 		return err
 	}
 	l.size += int64(headerSize + len(payload))
@@ -139,6 +201,11 @@ func (l *Log) Append(payload []byte) error {
 
 // Sync makes every appended frame durable: the group-commit fsync.
 func (l *Log) Sync() error {
+	if fp := faultHook.Load(); fp != nil {
+		if _, err := (*fp)("sync", 0); err != nil {
+			return err
+		}
+	}
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
@@ -163,3 +230,16 @@ func (l *Log) Path() string { return l.path }
 // Close closes the underlying file without syncing; call Sync first if
 // the final frames must be durable.
 func (l *Log) Close() error { return l.f.Close() }
+
+// syncDir fsyncs a directory so a truncation inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
